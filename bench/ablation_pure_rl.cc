@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Ablation: hybrid RL (heuristic bootstrap) vs pure RL (greedy on a
+ * cold table from the start). Section 3.1 argues the hybrid avoids
+ * the unacceptable QoS violations a pure learner incurs while the
+ * table is still cold; this bench quantifies that on our substrate.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "core/hipster_policy.hh"
+#include "experiments/runner.hh"
+#include "experiments/scenario.hh"
+
+using namespace hipster;
+
+int
+main(int argc, char **argv)
+{
+    const auto options = bench::parseArgs(argc, argv);
+    bench::banner("Ablation: hybrid vs pure RL",
+                  "QoS during and after the learning window");
+
+    auto csv = bench::maybeCsv(options);
+    if (csv) {
+        csv->header({"workload", "variant", "qos_learning_pct",
+                     "qos_overall_pct", "energy_j"});
+    }
+
+    TextTable table({"workload", "variant", "QoS (first 500 s)",
+                     "QoS (overall)", "energy (J)"});
+    for (const char *workload : {"memcached", "websearch"}) {
+        const Seconds duration =
+            diurnalDurationFor(workload) * options.durationScale;
+        const Seconds learning =
+            ScenarioDefaults::learningPhase * options.durationScale;
+        for (bool hybrid : {true, false}) {
+            ExperimentRunner runner =
+                makeDiurnalRunner(workload, duration, 1);
+            HipsterParams params = tunedHipsterParams(workload);
+            params.learningPhase = learning;
+            params.useHeuristicBootstrap = hybrid;
+            HipsterPolicy policy(runner.platform(), params);
+            const auto result = runner.run(policy, duration);
+
+            std::size_t early_met = 0, early_n = 0;
+            for (const auto &m : result.series) {
+                if (m.begin < learning) {
+                    ++early_n;
+                    early_met += m.qosViolated() ? 0 : 1;
+                }
+            }
+            const double early_qos =
+                early_n ? 100.0 * early_met / early_n : 0.0;
+            const char *variant = hybrid ? "hybrid" : "pure-RL";
+            table.newRow()
+                .cell(workload)
+                .cell(variant)
+                .cell(formatFixed(early_qos, 1) + "%")
+                .percentCell(result.summary.qosGuarantee)
+                .cell(result.summary.energy, 0);
+            if (csv) {
+                csv->add(workload)
+                    .add(variant)
+                    .add(early_qos)
+                    .add(result.summary.qosGuarantee * 100.0)
+                    .add(result.summary.energy)
+                    .endRow();
+            }
+        }
+    }
+    table.print(std::cout);
+    std::printf("\nExpected: the hybrid's learning window keeps QoS high "
+                "(heuristic picks viable rungs);\npure RL violates QoS "
+                "heavily until the table warms up (the Section 3.1 "
+                "argument).\n");
+    return 0;
+}

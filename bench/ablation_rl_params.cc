@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Ablation: sweep of the Q-learning hyper-parameters around the
+ * paper's defaults (alpha = 0.6, gamma = 0.9), plus the stochastic
+ * danger-zone reward on/off (Algorithm 1 line 9).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "core/hipster_policy.hh"
+#include "experiments/runner.hh"
+#include "experiments/scenario.hh"
+
+using namespace hipster;
+
+namespace
+{
+
+RunSummary
+runWith(const char *workload, Seconds duration, double alpha,
+        double gamma, bool stochastic)
+{
+    ExperimentRunner runner = makeDiurnalRunner(workload, duration, 1);
+    HipsterParams params = tunedHipsterParams(workload);
+    params.alpha = alpha;
+    params.gamma = gamma;
+    params.stochasticReward = stochastic;
+    params.learningPhase = std::min<Seconds>(
+        ScenarioDefaults::learningPhase, duration * 0.4);
+    HipsterPolicy policy(runner.platform(), params);
+    return runner.run(policy, duration).summary;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto options = bench::parseArgs(argc, argv);
+    bench::banner("Ablation: RL hyper-parameters",
+                  "alpha/gamma sweep + stochastic reward toggle "
+                  "(Web-Search diurnal)");
+
+    const char *workload = "websearch";
+    const Seconds duration =
+        diurnalDurationFor(workload) * options.durationScale;
+
+    auto csv = bench::maybeCsv(options);
+    if (csv) {
+        csv->header({"alpha", "gamma", "stochastic", "qos_pct",
+                     "energy_j"});
+    }
+
+    TextTable table({"alpha", "gamma", "stochastic", "QoS", "energy "
+                     "(J)"});
+    for (double alpha : {0.2, 0.6, 0.9}) {
+        for (double gamma : {0.0, 0.5, 0.9}) {
+            const RunSummary s =
+                runWith(workload, duration, alpha, gamma, true);
+            table.newRow()
+                .cell(alpha, 1)
+                .cell(gamma, 1)
+                .cell("on")
+                .percentCell(s.qosGuarantee)
+                .cell(s.energy, 0);
+            if (csv) {
+                csv->add(alpha).add(gamma).add(1)
+                    .add(s.qosGuarantee * 100.0).add(s.energy).endRow();
+            }
+        }
+    }
+    // Paper defaults without the stochastic danger-zone penalty.
+    const RunSummary plain = runWith(workload, duration, 0.6, 0.9, false);
+    table.newRow()
+        .cell(0.6, 1)
+        .cell(0.9, 1)
+        .cell("off")
+        .percentCell(plain.qosGuarantee)
+        .cell(plain.energy, 0);
+    if (csv) {
+        csv->add(0.6).add(0.9).add(0)
+            .add(plain.qosGuarantee * 100.0).add(plain.energy).endRow();
+    }
+    table.print(std::cout);
+
+    // Migration-penalty ablation (our extension over the pure greedy
+    // Algorithm 2 line 7): how the churn damping affects migrations.
+    std::printf("\nMigration-penalty ablation (memcached):\n");
+    TextTable mig({"penalty", "QoS", "energy (J)", "migrations"});
+    const Seconds mc_duration =
+        diurnalDurationFor("memcached") * options.durationScale;
+    for (double penalty : {0.0, 0.5, 2.0}) {
+        ExperimentRunner runner =
+            makeDiurnalRunner("memcached", mc_duration, 1);
+        HipsterParams params = tunedHipsterParams("memcached");
+        params.migrationPenalty = penalty;
+        HipsterPolicy policy(runner.platform(), params);
+        const auto result = runner.run(policy, mc_duration);
+        mig.newRow()
+            .cell(penalty, 1)
+            .percentCell(result.summary.qosGuarantee)
+            .cell(result.summary.energy, 0)
+            .cell(static_cast<long long>(result.migrations));
+        if (csv) {
+            csv->add(penalty).add(-1).add(-1)
+                .add(result.summary.qosGuarantee * 100.0)
+                .add(result.summary.energy).endRow();
+        }
+    }
+    mig.print(std::cout);
+
+    std::printf("\nPaper defaults: alpha = 0.6 (fast but noise-tolerant "
+                "learning), gamma = 0.9\n(values future rewards). "
+                "gamma = 0 collapses to myopic immediate reward.\n");
+    return 0;
+}

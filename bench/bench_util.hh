@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Shared helpers for the figure/table bench binaries: banner
+ * printing, optional CSV dumping (--csv <path>), and common
+ * formatting.
+ */
+
+#ifndef HIPSTER_BENCH_BENCH_UTIL_HH
+#define HIPSTER_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/csv.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace hipster::bench
+{
+
+/** Parsed common bench options. */
+struct BenchOptions
+{
+    /** CSV output path from --csv <path> (empty = no CSV). */
+    std::string csvPath;
+
+    /** Scale factor for run durations from --quick (0.25) to smoke-
+     * test a bench, default 1.0. */
+    double durationScale = 1.0;
+};
+
+inline BenchOptions
+parseArgs(int argc, char **argv)
+{
+    BenchOptions options;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--csv" && i + 1 < argc) {
+            options.csvPath = argv[++i];
+        } else if (arg == "--quick") {
+            options.durationScale = 0.25;
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("usage: %s [--csv <path>] [--quick]\n", argv[0]);
+            std::exit(0);
+        }
+    }
+    return options;
+}
+
+/** Open the CSV writer when requested. */
+inline std::unique_ptr<CsvWriter>
+maybeCsv(const BenchOptions &options)
+{
+    if (options.csvPath.empty())
+        return nullptr;
+    return std::make_unique<CsvWriter>(options.csvPath);
+}
+
+/** Print the experiment banner. */
+inline void
+banner(const std::string &id, const std::string &what)
+{
+    std::printf("=====================================================\n");
+    std::printf("%s — %s\n", id.c_str(), what.c_str());
+    std::printf("Reproduction on the simulated ARM Juno R1 substrate.\n");
+    std::printf("=====================================================\n\n");
+}
+
+} // namespace hipster::bench
+
+#endif // HIPSTER_BENCH_BENCH_UTIL_HH

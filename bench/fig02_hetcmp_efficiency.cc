@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Figure 2: throughput-per-watt of Memcached (2a) and Web-Search (2b)
+ * under HetCMP (best core-mix + DVFS configuration per load) versus
+ * the baseline policy BP (exclusively big or small cores at the
+ * highest DVFS), plus the resulting per-workload state machines (2c).
+ *
+ * Selection rule per the paper's Section 2: among the configurations
+ * meeting QoS at a load level, pick the least power.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "experiments/oracle.hh"
+#include "experiments/scenario.hh"
+#include "platform/config_space.hh"
+
+using namespace hipster;
+
+namespace
+{
+
+void
+runWorkload(const char *name, const std::vector<Fraction> &loads,
+            const bench::BenchOptions &options)
+{
+    const LcWorkloadDef def = lcWorkloadByName(name);
+    Platform platform(Platform::junoR1());
+    const auto hetcmp_states = ConfigSpace::paperStates(platform);
+    const auto bp_states = ConfigSpace::octopusManStates(platform);
+
+    OracleOptions oracle_options;
+    oracle_options.warmup = 4.0;
+    oracle_options.measure = 16.0 * options.durationScale;
+    HetCmpOracle oracle(Platform::junoR1(), def, oracle_options);
+
+    const char *unit =
+        def.params.name == "memcached" ? "RPS/Watt" : "QPS/Watt";
+    std::printf("--- %s (%s) ---\n", def.params.name.c_str(), unit);
+
+    auto csv = bench::maybeCsv(options);
+    if (csv) {
+        csv->header({"workload", "load_pct", "hetcmp_config",
+                     "hetcmp_eff", "bp_config", "bp_eff"});
+    }
+
+    TextTable table({"load", "HetCMP config", unit, "BP config",
+                     std::string("BP ") + unit, "HetCMP gain"});
+    double gain_sum = 0.0;
+    int gain_count = 0;
+    for (Fraction load : loads) {
+        const OracleEntry het = oracle.bestConfig(load, hetcmp_states);
+        const OracleEntry bp = oracle.bestConfig(load, bp_states);
+        const std::string het_label =
+            het.best ? het.best->config.label() : "-";
+        const std::string bp_label =
+            bp.best ? bp.best->config.label() : "-";
+        const double het_eff =
+            het.best ? het.best->throughputPerWatt : 0.0;
+        const double bp_eff = bp.best ? bp.best->throughputPerWatt : 0.0;
+        double gain = 0.0;
+        if (het.best && bp.best && bp_eff > 0.0) {
+            gain = het_eff / bp_eff - 1.0;
+            gain_sum += gain;
+            ++gain_count;
+        }
+        table.newRow()
+            .percentCell(load, 0)
+            .cell(het_label)
+            .cell(het_eff, 1)
+            .cell(bp_label)
+            .cell(bp_eff, 1)
+            .percentCell(gain, 1);
+        if (csv) {
+            csv->add(def.params.name)
+                .add(load * 100.0)
+                .add(het_label)
+                .add(het_eff)
+                .add(bp_label)
+                .add(bp_eff)
+                .endRow();
+        }
+    }
+    table.print(std::cout);
+    std::printf("Mean HetCMP efficiency gain over BP: %.1f%% "
+                "(paper: ~27.7%% Memcached, ~25%% Web-Search at "
+                "intermediate loads)\n\n",
+                gain_count ? gain_sum / gain_count * 100.0 : 0.0);
+}
+
+void
+printStateMachines(const bench::BenchOptions &options)
+{
+    std::printf("--- Figure 2c: per-workload state machines ---\n");
+    Platform platform(Platform::junoR1());
+    const auto states = ConfigSpace::paperStates(platform);
+    const std::vector<Fraction> loads = {0.20, 0.30, 0.40, 0.50, 0.60,
+                                         0.70, 0.75, 0.85, 0.90, 0.95,
+                                         1.00};
+    OracleOptions oracle_options;
+    oracle_options.warmup = 4.0;
+    oracle_options.measure = 16.0 * options.durationScale;
+
+    TextTable table({"load", "Memcached best", "Web-Search best"});
+    HetCmpOracle mc(Platform::junoR1(), lcWorkloadByName("memcached"),
+                    oracle_options);
+    HetCmpOracle ws(Platform::junoR1(), lcWorkloadByName("websearch"),
+                    oracle_options);
+    bool machines_differ = false;
+    for (Fraction load : loads) {
+        const auto mc_best = mc.bestConfig(load, states);
+        const auto ws_best = ws.bestConfig(load, states);
+        const std::string mc_label =
+            mc_best.best ? mc_best.best->config.label() : "-";
+        const std::string ws_label =
+            ws_best.best ? ws_best.best->config.label() : "-";
+        machines_differ |= mc_label != ws_label;
+        table.newRow().percentCell(load, 0).cell(mc_label).cell(ws_label);
+    }
+    table.print(std::cout);
+    std::printf("State machines differ across workloads: %s "
+                "(paper: yes — no single static ordering fits both)\n",
+                machines_differ ? "yes" : "no");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto options = bench::parseArgs(argc, argv);
+    bench::banner("Figure 2",
+                  "HetCMP vs baseline policy efficiency + state machines");
+
+    runWorkload("memcached",
+                {0.29, 0.40, 0.51, 0.63, 0.69, 0.71, 0.77, 0.83, 0.89,
+                 0.91, 0.94, 0.97, 1.00},
+                options);
+    runWorkload("websearch",
+                {0.18, 0.25, 0.33, 0.40, 0.47, 0.55, 0.62, 0.69, 0.76,
+                 0.84, 0.91, 0.96, 1.00},
+                options);
+    printStateMachines(options);
+    return 0;
+}

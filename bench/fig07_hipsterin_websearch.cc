@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Figure 7: HipsterIn managing Web-Search over the diurnal day.
+ * Paper claims to check here (Section 4.2.3): HipsterIn performs
+ * ~4.7x fewer task migrations than Octopus-Man on Web-Search while
+ * improving QoS (up to 16%) and reducing energy (~13.5%).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "core/baselines.hh"
+#include "core/hipster_policy.hh"
+#include "experiments/runner.hh"
+#include "experiments/scenario.hh"
+
+using namespace hipster;
+
+int
+main(int argc, char **argv)
+{
+    const auto options = bench::parseArgs(argc, argv);
+    bench::banner("Figure 7", "HipsterIn on Web-Search (diurnal)");
+
+    const Seconds duration =
+        ScenarioDefaults::webSearchDiurnal * options.durationScale;
+    const Seconds learning =
+        ScenarioDefaults::learningPhase * options.durationScale;
+
+    // HipsterIn run.
+    ExperimentRunner runner = makeDiurnalRunner("websearch", duration, 1);
+    HipsterParams params = tunedHipsterParams("websearch");
+    params.learningPhase = learning;
+    HipsterPolicy policy(runner.platform(), params);
+    const auto hipster = runner.run(policy, duration);
+
+    // Octopus-Man run for the migration/energy comparison.
+    ExperimentRunner runner2 = makeDiurnalRunner("websearch", duration, 1);
+    OctopusManPolicy octopus(runner2.platform(), {});
+    const auto baseline = runner2.run(octopus, duration);
+
+    auto csv = bench::maybeCsv(options);
+    if (csv) {
+        csv->header({"time_s", "tail_ms", "qps", "config", "phase"});
+        for (const auto &m : hipster.series) {
+            csv->add(m.begin)
+                .add(m.tailLatency)
+                .add(m.throughput)
+                .add(m.config.label())
+                .add(m.begin < learning ? "learning" : "exploitation")
+                .endRow();
+        }
+    }
+
+    TextTable table({"t(s)", "phase", "tail(ms)", "QPS", "config"});
+    for (std::size_t k = 0; k < hipster.series.size(); k += 45) {
+        const auto &m = hipster.series[k];
+        table.newRow()
+            .cell(static_cast<long long>(m.begin))
+            .cell(m.begin < learning ? "learn" : "exploit")
+            .cell(m.tailLatency, 1)
+            .cell(m.throughput, 0)
+            .cell(m.config.label());
+    }
+    table.print(std::cout);
+
+    const double migration_ratio =
+        hipster.migrations > 0
+            ? static_cast<double>(baseline.migrations) /
+                  hipster.migrations
+            : 0.0;
+    const double qos_gain = (hipster.summary.qosGuarantee -
+                             baseline.summary.qosGuarantee) *
+                            100.0;
+    const double energy_cut =
+        1.0 - hipster.summary.energy / baseline.summary.energy;
+
+    std::printf("\n              %-12s %-12s\n", "HipsterIn",
+                "Octopus-Man");
+    std::printf("QoS guarantee %-12.1f %-12.1f\n",
+                hipster.summary.qosGuarantee * 100.0,
+                baseline.summary.qosGuarantee * 100.0);
+    std::printf("migrations    %-12llu %-12llu\n",
+                static_cast<unsigned long long>(hipster.migrations),
+                static_cast<unsigned long long>(baseline.migrations));
+    std::printf("energy (J)    %-12.0f %-12.0f\n",
+                hipster.summary.energy, baseline.summary.energy);
+    std::printf("\nPaper: ~4.7x fewer migrations, QoS up to +16%%, "
+                "energy -13.5%% vs Octopus-Man.\n");
+    std::printf("Measured: %.1fx fewer migrations, QoS %+.1f%%, energy "
+                "%+.1f%%.\n",
+                migration_ratio, qos_gain, -energy_cut * 100.0);
+    return 0;
+}

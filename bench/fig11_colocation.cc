@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Figure 11: HipsterCo — Web-Search collocated with batch workloads
+ * (one SPEC CPU2006-like program per spare core). For each of the 12
+ * programs we run the static mapping (LC on 2 big cores, batch on 4
+ * small cores at max DVFS), Octopus-Man and HipsterCo, and report
+ * QoS guarantee, batch throughput (aggregate IPS) and energy, all
+ * normalized to static.
+ *
+ * Paper claims to check: HipsterCo ~94% QoS vs Octopus-Man ~76%;
+ * both deliver much higher batch throughput than static (means 2.3x
+ * and 2.6x); HipsterCo cuts energy (~0.8x static) while Octopus-Man
+ * increases it (~1.2x); compute-bound programs (calculix) gain the
+ * most, memory-bound (lbm, libquantum) the least.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "experiments/runner.hh"
+#include "experiments/scenario.hh"
+#include "workloads/batch.hh"
+
+using namespace hipster;
+
+namespace
+{
+
+struct CoRunResult
+{
+    RunSummary summary;
+    Ips batchIps = 0.0;
+};
+
+CoRunResult
+runOne(const BatchKernel &kernel, const std::string &policy_name,
+       Seconds duration)
+{
+    ExperimentRunner runner = makeDiurnalRunner("websearch", duration, 1);
+    runner.setBatch(std::make_shared<BatchWorkload>(
+        std::vector<BatchKernel>{kernel}));
+
+    HipsterParams params = tunedHipsterParams("websearch");
+    params.variant = PolicyVariant::Collocated;
+    params.learningPhase =
+        std::min<Seconds>(ScenarioDefaults::learningPhase,
+                          duration * 0.45);
+    std::unique_ptr<TaskPolicy> policy;
+    if (policy_name == "static") {
+        // LC pinned to the big cluster, batch on the small cores.
+        policy = std::make_unique<StaticPolicy>(StaticPolicy::allBig(
+            runner.platform(), PolicyVariant::Collocated));
+    } else {
+        HipsterParams hp = params;
+        OctopusManParams op;
+        op.variant = PolicyVariant::Collocated;
+        policy = makePolicy(policy_name == "octopus" ? "octopus-man"
+                                                     : "hipster-co",
+                            runner.platform(), hp, op);
+    }
+    const auto result = runner.run(*policy, duration);
+    CoRunResult out;
+    out.summary = result.summary;
+    out.batchIps = result.summary.meanBatchIps;
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto options = bench::parseArgs(argc, argv);
+    bench::banner("Figure 11",
+                  "Web-Search + batch collocation: QoS, throughput and "
+                  "energy vs static");
+
+    const Seconds duration =
+        ScenarioDefaults::webSearchDiurnal * options.durationScale;
+
+    auto csv = bench::maybeCsv(options);
+    if (csv) {
+        csv->header({"program", "policy", "qos_norm", "ips_norm",
+                     "energy_norm"});
+    }
+
+    TextTable table({"program", "QoS O-M", "QoS HipCo", "IPS O-M",
+                     "IPS HipCo", "Energy O-M", "Energy HipCo"});
+    double om_qos = 0.0, co_qos = 0.0;
+    double om_ips = 0.0, co_ips = 0.0;
+    double om_energy = 0.0, co_energy = 0.0;
+    double co_best_ips = 0.0, co_worst_ips = 1e18;
+    std::string best_name, worst_name;
+
+    for (const auto &kernel : SpecCatalog::all()) {
+        const CoRunResult st = runOne(kernel, "static", duration);
+        const CoRunResult om = runOne(kernel, "octopus", duration);
+        const CoRunResult co = runOne(kernel, "hipster", duration);
+
+        const double st_qos = std::max(st.summary.qosGuarantee, 1e-6);
+        const double st_ips = std::max(st.batchIps, 1.0);
+        const double st_energy = std::max(st.summary.energy, 1e-6);
+
+        const double om_qos_n = om.summary.qosGuarantee / st_qos;
+        const double co_qos_n = co.summary.qosGuarantee / st_qos;
+        const double om_ips_n = om.batchIps / st_ips;
+        const double co_ips_n = co.batchIps / st_ips;
+        const double om_energy_n = om.summary.energy / st_energy;
+        const double co_energy_n = co.summary.energy / st_energy;
+
+        om_qos += om.summary.qosGuarantee;
+        co_qos += co.summary.qosGuarantee;
+        om_ips += om_ips_n;
+        co_ips += co_ips_n;
+        om_energy += om_energy_n;
+        co_energy += co_energy_n;
+        if (co_ips_n > co_best_ips) {
+            co_best_ips = co_ips_n;
+            best_name = kernel.name;
+        }
+        if (co_ips_n < co_worst_ips) {
+            co_worst_ips = co_ips_n;
+            worst_name = kernel.name;
+        }
+
+        table.newRow()
+            .cell(kernel.name)
+            .cell(om_qos_n, 2)
+            .cell(co_qos_n, 2)
+            .cell(om_ips_n, 2)
+            .cell(co_ips_n, 2)
+            .cell(om_energy_n, 2)
+            .cell(co_energy_n, 2);
+        if (csv) {
+            csv->add(kernel.name).add("octopus-man").add(om_qos_n)
+                .add(om_ips_n).add(om_energy_n).endRow();
+            csv->add(kernel.name).add("hipster-co").add(co_qos_n)
+                .add(co_ips_n).add(co_energy_n).endRow();
+        }
+    }
+    table.print(std::cout);
+
+    const double n = SpecCatalog::all().size();
+    std::printf("\nMeans over the 12 programs (normalized to static "
+                "unless noted):\n");
+    std::printf("  QoS guarantee (absolute): HipsterCo %.1f%%, "
+                "Octopus-Man %.1f%% (paper: 94%% vs 76%%)\n",
+                co_qos / n * 100.0, om_qos / n * 100.0);
+    std::printf("  Batch throughput: HipsterCo %.2fx, Octopus-Man "
+                "%.2fx static (paper: 2.3x and 2.6x)\n",
+                co_ips / n, om_ips / n);
+    std::printf("  Energy: HipsterCo %.2fx, Octopus-Man %.2fx static "
+                "(paper: ~0.8x and ~1.2x)\n",
+                co_energy / n, om_energy / n);
+    std::printf("  Best HipsterCo throughput gain: %s (%.2fx); least: "
+                "%s (%.2fx)\n",
+                best_name.c_str(), co_best_ips, worst_name.c_str(),
+                co_worst_ips);
+    std::printf("  (paper: calculix best at 3.35x, libquantum least at "
+                "1.6x)\n");
+    return 0;
+}

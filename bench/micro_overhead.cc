@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Section 3.7's runtime-overhead claim, verified with
+ * google-benchmark: the paper measures < 2 ms per decision for its
+ * Python prototype (invoked every second, < 0.2% overhead). The C++
+ * implementation's whole decision path — reward, table update,
+ * argmax, decision decoration — must be far below that.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/baselines.hh"
+#include "core/hipster_policy.hh"
+#include "core/qtable.hh"
+#include "core/reward.hh"
+#include "platform/platform.hh"
+
+namespace
+{
+
+using namespace hipster;
+
+IntervalMetrics
+sampleMetrics(int i)
+{
+    IntervalMetrics m;
+    m.begin = i;
+    m.end = i + 1.0;
+    m.offeredLoad = 0.05 + 0.9 * ((i * 37) % 100) / 100.0;
+    m.tailLatency = 2.0 + (i % 10);
+    m.qosTarget = 10.0;
+    m.power = 2.0;
+    m.energy = 2.0;
+    return m;
+}
+
+void
+BM_HipsterDecision(benchmark::State &state)
+{
+    Platform platform(Platform::junoR1());
+    HipsterPolicy policy(platform, {});
+    policy.initialDecision();
+    int i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(policy.decide(sampleMetrics(i++)));
+    }
+    state.SetLabel("paper bound: 2 ms per decision");
+}
+BENCHMARK(BM_HipsterDecision);
+
+void
+BM_OctopusManDecision(benchmark::State &state)
+{
+    Platform platform(Platform::junoR1());
+    OctopusManPolicy policy(platform, {});
+    policy.initialDecision();
+    int i = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(policy.decide(sampleMetrics(i++)));
+}
+BENCHMARK(BM_OctopusManDecision);
+
+void
+BM_QTableUpdate(benchmark::State &state)
+{
+    QTable table(20, 13);
+    int i = 0;
+    for (auto _ : state) {
+        table.update(i % 20, i % 13, 1.5, (i + 1) % 20, 0.6, 0.9);
+        ++i;
+    }
+}
+BENCHMARK(BM_QTableUpdate);
+
+void
+BM_QTableBestAction(benchmark::State &state)
+{
+    QTable table(20, 13);
+    for (int w = 0; w < 20; ++w)
+        for (int c = 0; c < 13; ++c)
+            table.update(w, c, (w * 13 + c) % 7, (w + 1) % 20, 0.6, 0.9);
+    int w = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(table.bestAction(w));
+        w = (w + 1) % 20;
+    }
+}
+BENCHMARK(BM_QTableBestAction);
+
+void
+BM_RewardEvaluation(benchmark::State &state)
+{
+    RewardCalculator calc(0.8);
+    RewardInputs in;
+    in.qosCurr = 9.0;
+    in.qosTarget = 10.0;
+    in.power = 2.0;
+    in.tdp = 3.0;
+    in.maxIpsSum = 7.5e9;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(calc.evaluate(in));
+}
+BENCHMARK(BM_RewardEvaluation);
+
+void
+BM_PlatformApplyConfig(benchmark::State &state)
+{
+    Platform platform(Platform::junoR1());
+    const CoreConfig a{2, 0, 1.15, 0.65};
+    const CoreConfig b{1, 3, 0.90, 0.65};
+    bool flip = false;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(platform.applyConfig(flip ? a : b));
+        flip = !flip;
+    }
+}
+BENCHMARK(BM_PlatformApplyConfig);
+
+} // namespace
+
+BENCHMARK_MAIN();

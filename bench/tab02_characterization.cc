@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Table 2: power and performance characterization of the Juno
+ * platform with the compute-bound stress microbenchmark — the
+ * calibration anchors of the simulated substrate, plus the derived
+ * power-efficiency relations from Section 4.1.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "platform/config_space.hh"
+#include "platform/platform.hh"
+
+using namespace hipster;
+
+namespace
+{
+
+Watts
+systemPowerWith(const Platform &platform, CoreType type, std::uint32_t n,
+                GHz freq)
+{
+    const auto &cluster = platform.cluster(type);
+    const auto &model = platform.powerModel();
+    const Opp opp{freq, cluster.spec().voltageAt(freq)};
+    return model.restOfSystem() +
+           model.clusterPower(cluster.spec(), model.params(cluster.id()),
+                              opp, {n, 1.0});
+}
+
+Ips
+microbenchIps(const Platform &platform, CoreType type, std::uint32_t n,
+              GHz freq)
+{
+    return n * platform.cluster(type).spec().microbenchIpc * freq * 1e9;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto options = bench::parseArgs(argc, argv);
+    bench::banner("Table 2",
+                  "Juno power/performance characterization "
+                  "(microbenchmark, paper anchors in parentheses)");
+
+    Platform platform(Platform::junoR1());
+
+    auto csv = bench::maybeCsv(options);
+    if (csv) {
+        csv->header({"row", "power_w", "paper_power_w", "perf_mips",
+                     "paper_perf_mips"});
+    }
+
+    struct Row
+    {
+        const char *name;
+        CoreType type;
+        std::uint32_t cores;
+        GHz freq;
+        double paper_power;
+        double paper_mips;
+    };
+    const Row rows[] = {
+        {"Big A57 (1.15) all cores", CoreType::Big, 2, 1.15, 2.30, 4260},
+        {"Big A57 (1.15) one core", CoreType::Big, 1, 1.15, 1.62, 2138},
+        {"Small A53 (0.65) all cores", CoreType::Small, 4, 0.65, 1.43,
+         3298},
+        {"Small A53 (0.65) one core", CoreType::Small, 1, 0.65, 0.95,
+         826},
+    };
+
+    TextTable table({"Configuration", "Power (W)", "paper", "Perf "
+                     "(MIPS)", "paper"});
+    for (const Row &row : rows) {
+        const Watts power =
+            systemPowerWith(platform, row.type, row.cores, row.freq);
+        const double mips =
+            microbenchIps(platform, row.type, row.cores, row.freq) / 1e6;
+        table.newRow()
+            .cell(row.name)
+            .cell(power, 2)
+            .cell(row.paper_power, 2)
+            .cell(mips, 0)
+            .cell(row.paper_mips, 0);
+        if (csv) {
+            csv->add(row.name)
+                .add(power)
+                .add(row.paper_power)
+                .add(mips)
+                .add(row.paper_mips)
+                .endRow();
+        }
+    }
+    table.print(std::cout);
+
+    // Section 4.1's derived observations.
+    const double big1 = systemPowerWith(platform, CoreType::Big, 1, 1.15);
+    const double small1 =
+        systemPowerWith(platform, CoreType::Small, 1, 0.65);
+    const double big_all =
+        systemPowerWith(platform, CoreType::Big, 2, 1.15);
+    const double small_all =
+        systemPowerWith(platform, CoreType::Small, 4, 0.65);
+    const double big_core_eff = 2138e6 / big1;
+    const double small_core_eff = 826e6 / small1;
+    const double big_cluster_eff = 4260e6 / big_all;
+    const double small_cluster_eff = 3298e6 / small_all;
+
+    std::printf("\nDerived relations (Section 4.1):\n");
+    std::printf("  single big core vs single small core (system IPS/W): "
+                "%.0f%% more efficient (paper: 52%%)\n",
+                (big_core_eff / small_core_eff - 1.0) * 100.0);
+    std::printf("  small cluster vs big cluster (system IPS/W): %.0f%% "
+                "more efficient (paper: 25%%)\n",
+                (small_cluster_eff / big_cluster_eff - 1.0) * 100.0);
+    std::printf("  rest-of-system power: %.2f W (paper: ~0.76 W)\n",
+                platform.powerModel().restOfSystem());
+    std::printf("  TDP: %.2f W\n", platform.tdp());
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Table 3: the HipsterIn evaluation summary — QoS guarantee, QoS
+ * tardiness and energy reduction (vs static all-big) for the five
+ * policies on Memcached and Web-Search over the diurnal day.
+ *
+ * Shape checks from the paper: static all-small cannot meet QoS;
+ * the heuristic policies (Octopus-Man, Hipster's heuristic) save
+ * energy but violate QoS more; HipsterIn delivers the best QoS of
+ * the dynamic policies (99.4% / 96.5% in the paper) with double-
+ * digit energy savings.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "bench/bench_util.hh"
+#include "experiments/runner.hh"
+#include "experiments/scenario.hh"
+
+using namespace hipster;
+
+int
+main(int argc, char **argv)
+{
+    const auto options = bench::parseArgs(argc, argv);
+    bench::banner("Table 3",
+                  "QoS guarantee / tardiness / energy reduction, "
+                  "5 policies x 2 workloads");
+
+    auto csv = bench::maybeCsv(options);
+    if (csv) {
+        csv->header({"policy", "workload", "qos_guarantee_pct",
+                     "qos_tardiness", "energy_reduction_pct"});
+    }
+
+    std::map<std::string, std::map<std::string, RunSummary>> results;
+    std::map<std::string, std::string> display;
+
+    for (const char *workload : {"memcached", "websearch"}) {
+        const Seconds duration =
+            diurnalDurationFor(workload) * options.durationScale;
+        for (const auto &policy_name : tablePolicyNames()) {
+            ExperimentRunner runner =
+                makeDiurnalRunner(workload, duration, 1);
+            HipsterParams params = tunedHipsterParams(workload);
+            params.learningPhase =
+                ScenarioDefaults::learningPhase * options.durationScale;
+            auto policy =
+                makePolicy(policy_name, runner.platform(), params);
+            const auto result = runner.run(*policy, duration);
+            results[policy_name][workload] = result.summary;
+            display[policy_name] = result.policyName;
+        }
+    }
+
+    TextTable table({"Policy", "QoS guar. MC", "QoS guar. WS",
+                     "Tardiness MC", "Tardiness WS", "Energy red. MC",
+                     "Energy red. WS"});
+    const RunSummary &mc_base = results["static-big"]["memcached"];
+    const RunSummary &ws_base = results["static-big"]["websearch"];
+    for (const auto &policy_name : tablePolicyNames()) {
+        const RunSummary &mc = results[policy_name]["memcached"];
+        const RunSummary &ws = results[policy_name]["websearch"];
+        table.newRow()
+            .cell(display[policy_name])
+            .percentCell(mc.qosGuarantee)
+            .percentCell(ws.qosGuarantee)
+            .cell(mc.qosTardiness, 1)
+            .cell(ws.qosTardiness, 1)
+            .percentCell(mc.energyReductionVs(mc_base))
+            .percentCell(ws.energyReductionVs(ws_base));
+        if (csv) {
+            for (const char *workload : {"memcached", "websearch"}) {
+                const RunSummary &s = results[policy_name][workload];
+                const RunSummary &base = workload[0] == 'm' ? mc_base
+                                                            : ws_base;
+                csv->add(display[policy_name])
+                    .add(workload)
+                    .add(s.qosGuarantee * 100.0)
+                    .add(s.qosTardiness)
+                    .add(s.energyReductionVs(base) * 100.0)
+                    .endRow();
+            }
+        }
+    }
+    table.print(std::cout);
+
+    std::printf(
+        "\nPaper (Table 3):                QoS MC / WS     energy red.\n"
+        "  Static (all big)              99.5%% / 99.5%%     -    / -\n"
+        "  Static (all small)            85.8%% / 78.4%%   48.0%% / 31.0%%\n"
+        "  Hipster's heuristic           89.9%% / 95.3%%   18.7%% / 13.6%%\n"
+        "  Octopus-Man                   92.0%% / 80.0%%   17.2%% /  4.3%%\n"
+        "  HipsterIn                     99.4%% / 96.5%%   14.3%% / 17.8%%\n"
+        "\nShape checks: HipsterIn beats the heuristic policies on QoS\n"
+        "with comparable (10-20%%) energy savings; all-small saves the\n"
+        "most energy but cannot meet QoS.\n");
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Colocation demo (HipsterCo): Web-Search shares the Juno with a mix
+ * of batch programs; Hipster keeps the QoS target while giving the
+ * spare cores — clocked up — to the batch work.
+ *
+ * Usage:
+ *   ./build/examples/colocation_demo [batch-program ...]
+ * e.g.
+ *   ./build/examples/colocation_demo calculix lbm povray
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "common/table.hh"
+#include "core/hipster_policy.hh"
+#include "experiments/runner.hh"
+#include "experiments/scenario.hh"
+#include "workloads/batch.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hipster;
+
+    // Pick the batch mix: arguments or a default compute/memory blend.
+    std::vector<BatchKernel> mix;
+    for (int i = 1; i < argc; ++i)
+        mix.push_back(SpecCatalog::byName(argv[i]));
+    if (mix.empty()) {
+        mix = {SpecCatalog::byName("calculix"),
+               SpecCatalog::byName("lbm")};
+    }
+    std::printf("Batch mix:");
+    for (const auto &kernel : mix)
+        std::printf(" %s(mem=%.2f)", kernel.name.c_str(),
+                    kernel.memIntensity);
+    std::printf("\n\n");
+
+    const Seconds day = ScenarioDefaults::webSearchDiurnal;
+
+    auto run = [&](const char *policy_name) {
+        ExperimentRunner runner = makeDiurnalRunner("websearch", day, 1);
+        runner.setBatch(std::make_shared<BatchWorkload>(mix));
+        HipsterParams params = tunedHipsterParams("websearch");
+        params.variant = PolicyVariant::Collocated;
+        std::unique_ptr<TaskPolicy> policy;
+        if (std::string(policy_name) == "static") {
+            policy = std::make_unique<StaticPolicy>(StaticPolicy::allBig(
+                runner.platform(), PolicyVariant::Collocated));
+        } else {
+            policy = makePolicy(policy_name, runner.platform(), params);
+        }
+        return runner.run(*policy, day);
+    };
+
+    const auto s = run("static");
+    const auto o = run("octopus-man");
+    const auto h = run("hipster-co");
+
+    TextTable table({"policy", "QoS guarantee", "batch GIPS",
+                     "vs static", "energy (J)"});
+    auto add_row = [&](const ExperimentResult &r) {
+        table.newRow()
+            .cell(r.policyName)
+            .percentCell(r.summary.qosGuarantee)
+            .cell(r.summary.meanBatchIps / 1e9, 2)
+            .cell(s.summary.meanBatchIps > 0
+                      ? r.summary.meanBatchIps / s.summary.meanBatchIps
+                      : 0.0,
+                  2)
+            .cell(r.summary.energy, 0);
+    };
+    add_row(s);
+    add_row(o);
+    add_row(h);
+    table.print(std::cout);
+
+    std::printf(
+        "\nWhat to look for (paper Figure 11): both dynamic managers "
+        "feed the batch mix\nbig cores whenever Web-Search's load "
+        "allows, so batch throughput beats the\nstatic split; "
+        "Octopus-Man pushes throughput hardest but violates the "
+        "Web-Search\nQoS far more often, while HipsterCo keeps the "
+        "guarantee high at lower energy.\n");
+    return 0;
+}

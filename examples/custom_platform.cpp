@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Custom platform: shows that the library is not hard-wired to the
+ * Juno R1. We assemble a hypothetical server-class big.LITTLE part
+ * (4 "big" cores with four OPPs + 8 "small" cores with two OPPs),
+ * give it its own power calibration, let ConfigSpace derive a
+ * heuristic ladder automatically (no Figure 2c to copy from), and
+ * run HipsterIn on it.
+ *
+ * Usage:
+ *   ./build/examples/custom_platform
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hh"
+#include "core/hipster_policy.hh"
+#include "experiments/runner.hh"
+#include "experiments/scenario.hh"
+#include "platform/config_space.hh"
+
+namespace
+{
+
+using namespace hipster;
+
+/** A made-up 4+8 server SoC. */
+PlatformSpec
+serverSoc()
+{
+    PlatformSpec spec;
+    spec.name = "Custom 4B+8S server SoC";
+
+    ClusterSpec big;
+    big.name = "BigCore";
+    big.type = CoreType::Big;
+    big.coreCount = 4;
+    big.microbenchIpc = 2.2;
+    big.l2Bytes = 4ULL << 20;
+    big.opps = {{1.0, 0.80}, {1.5, 0.90}, {2.0, 1.00}, {2.5, 1.12}};
+
+    ClusterSpec small;
+    small.name = "SmallCore";
+    small.type = CoreType::Small;
+    small.coreCount = 8;
+    small.microbenchIpc = 1.4;
+    small.l2Bytes = 2ULL << 20;
+    small.opps = {{0.8, 0.78}, {1.2, 0.88}};
+
+    spec.clusters = {big, small};
+
+    ClusterPowerParams big_power;
+    big_power.core.refVoltage = 1.12;
+    big_power.core.staticAtRef = 0.35;
+    big_power.core.dynCoeff = 0.50;
+    big_power.uncoreAtRef = 0.40;
+
+    ClusterPowerParams small_power;
+    small_power.core.refVoltage = 0.88;
+    small_power.core.staticAtRef = 0.08;
+    small_power.core.dynCoeff = 0.22;
+    small_power.uncoreAtRef = 0.10;
+
+    spec.power = {big_power, small_power};
+    spec.restOfSystem = 1.5;
+    return spec;
+}
+
+/** A service sized for this bigger machine. */
+LcWorkloadDef
+bigBoxService()
+{
+    LcWorkloadDef def = memcachedWorkload();
+    def.params.name = "kv-store@4B8S";
+    def.params.demand.ipcBig = 0.85;
+    def.params.demand.ipcSmall = 0.45;
+    // Re-anchor max load the way the paper defines it (Table 1): the
+    // rate the big cluster at max DVFS serves at ~85% utilization.
+    // The memory-stall part of each request does not shrink with the
+    // faster clock, so derive it from the service model rather than
+    // scaling by clock ratio.
+    const ServiceModel model(def.params.demand);
+    const Seconds service = model.meanServiceTime(CoreType::Big, 2.5);
+    def.params.maxLoad = 0.85 * 4 / service / def.params.loadScale;
+    return def;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace hipster;
+
+    const PlatformSpec spec = serverSoc();
+    Platform platform(spec);
+    std::printf("platform: %s, %u cores, TDP %.1f W\n",
+                platform.name().c_str(), platform.totalCores(),
+                platform.tdp());
+
+    // Derive the action space automatically: enumerate every
+    // core-mix + OPP combination (no paper ladder exists for this
+    // part), thin it to the power-Pareto front, order by capability.
+    const auto ladder = ConfigSpace::paretoPrune(
+        platform, ConfigSpace::enumerate(platform),
+        /*ips_epsilon=*/0.10);
+    std::printf("derived ladder (%zu rungs):", ladder.size());
+    for (const auto &config : ladder)
+        std::printf(" %s", config.fullLabel().c_str());
+    std::printf("\n\n");
+
+    // Run HipsterIn with that ladder as the action space.
+    const Seconds day = 900.0;
+    ExperimentRunner runner(spec, bigBoxService(), diurnalTrace(day, 3),
+                            /*seed=*/5);
+    HipsterParams params;
+    params.bucketPercent = 8.0;
+    params.learningPhase = 300.0;
+    HipsterPolicy hipster(runner.platform(), params, ladder);
+    const auto result = runner.run(hipster, day);
+
+    ExperimentRunner base_runner(spec, bigBoxService(),
+                                 diurnalTrace(day, 3), /*seed=*/5);
+    StaticPolicy static_big = StaticPolicy::allBig(base_runner.platform());
+    const auto baseline = base_runner.run(static_big, day);
+
+    TextTable table({"policy", "QoS guarantee", "energy (J)",
+                     "vs static-big"});
+    table.newRow()
+        .cell(baseline.policyName)
+        .percentCell(baseline.summary.qosGuarantee)
+        .cell(baseline.summary.energy, 0)
+        .cell("-");
+    table.newRow()
+        .cell(result.policyName)
+        .percentCell(result.summary.qosGuarantee)
+        .cell(result.summary.energy, 0)
+        .percentCell(result.summary.energyReductionVs(baseline.summary));
+    table.print(std::cout);
+
+    std::printf("\nThe same manager, reward and monitor code runs "
+                "unmodified on a platform it has\nnever seen — only the "
+                "PlatformSpec and the (auto-derived) action space "
+                "changed.\n");
+    return 0;
+}

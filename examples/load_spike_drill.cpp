@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Load-spike drill: subjects a trained HipsterIn to the two
+ * time-varying load patterns Section 2 worries about — a gradual
+ * diurnal swell and a sudden traffic spike — and prints how the
+ * manager reconfigures through them, interval by interval.
+ *
+ * Usage:
+ *   ./build/examples/load_spike_drill
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "common/table.hh"
+#include "core/hipster_policy.hh"
+#include "experiments/runner.hh"
+#include "experiments/scenario.hh"
+
+int
+main()
+{
+    using namespace hipster;
+
+    // A day with a flash-crowd spike at t=700 s: +45% load decaying
+    // over 40 s on top of the diurnal curve.
+    const Seconds day = 900.0;
+    auto diurnal = std::make_shared<DiurnalTrace>(day, 0.05, 0.80);
+    auto spiky = std::make_shared<SpikeTrace>(diurnal, /*t0=*/700.0,
+                                              /*width=*/40.0,
+                                              /*height=*/0.45);
+
+    ExperimentRunner runner(Platform::junoR1(), memcachedWorkload(),
+                            spiky, /*seed=*/17);
+    HipsterParams params = tunedHipsterParams("memcached");
+    params.learningPhase = 400.0;
+    HipsterPolicy hipster(runner.platform(), params);
+
+    std::size_t violations_at_spike = 0;
+    Seconds last_violation = 0.0;
+    TextTable table({"t(s)", "load", "tail(ms)", "config", "phase"});
+    const auto result = runner.run(
+        hipster, day, [&](const IntervalMetrics &m) {
+            const bool spike_window = m.begin >= 695.0 && m.begin < 760.0;
+            if (spike_window && m.qosViolated()) {
+                ++violations_at_spike;
+                last_violation = m.begin;
+            }
+            // Print the interesting region at full resolution, the
+            // rest sparsely.
+            const auto t = static_cast<long long>(m.begin);
+            if (spike_window || t % 90 == 0) {
+                table.newRow()
+                    .cell(t)
+                    .percentCell(m.offeredLoad, 0)
+                    .cell(m.tailLatency, 2)
+                    .cell(m.config.label())
+                    .cell(m.begin < 400.0 ? "learn" : "exploit");
+            }
+        });
+    table.print(std::cout);
+
+    std::printf("\nSpike verdict: %zu violation(s) in the 65 s spike "
+                "window, last at t=%.0f s\n(recovered %.0f s after the "
+                "spike hit); overall QoS %.1f%%, energy %.0f J.\n"
+                "A flash crowd inevitably hurts while the request "
+                "backlog drains — what the\ntrained manager buys is "
+                "jumping straight to a viable configuration instead "
+                "of\nclimbing one rung per interval (the Figure 8 "
+                "contrast with Octopus-Man).\n",
+                violations_at_spike, last_violation,
+                last_violation > 0.0 ? last_violation - 700.0 : 0.0,
+                result.summary.qosGuarantee * 100.0,
+                result.summary.energy);
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Quickstart: the smallest useful Hipster program.
+ *
+ * Builds the simulated ARM Juno R1, loads the Memcached workload
+ * model, runs HipsterIn against one compressed diurnal day, and
+ * prints the Table 3 style summary. Everything here uses only the
+ * public API; start from this file when integrating the library.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "core/hipster_policy.hh"
+#include "experiments/runner.hh"
+#include "experiments/scenario.hh"
+
+int
+main()
+{
+    using namespace hipster;
+
+    // 1. A platform: the paper's evaluation board. Platform::junoR1()
+    //    describes 2x Cortex-A57 (DVFS 0.60/0.90/1.15 GHz) + 4x
+    //    Cortex-A53 (fixed 0.65 GHz) with a Table 2 calibrated power
+    //    model.
+    const PlatformSpec board = Platform::junoR1();
+
+    // 2. A latency-critical workload: Memcached per Table 1
+    //    (36 kRPS max load, 10 ms p95 target, open-loop traffic).
+    const LcWorkloadDef workload = memcachedWorkload();
+
+    // 3. A load trace: one compressed diurnal day (Figure 1 shape).
+    const Seconds day = ScenarioDefaults::memcachedDiurnal;
+    auto trace = diurnalTrace(day, /*seed=*/11);
+
+    // 4. The runner wires platform + workload + trace and steps the
+    //    closed loop one monitoring interval (1 s) at a time.
+    ExperimentRunner runner(board, workload, trace, /*seed=*/1);
+
+    // 5. The task manager: HipsterIn with the paper's defaults
+    //    (alpha = 0.6, gamma = 0.9, 500 s learning phase).
+    HipsterParams params = tunedHipsterParams("memcached");
+    HipsterPolicy hipster(runner.platform(), params);
+
+    // 6. Run and report.
+    const ExperimentResult result = runner.run(hipster, day);
+
+    std::printf("workload:        %s on %s\n",
+                result.workloadName.c_str(), board.name.c_str());
+    std::printf("policy:          %s\n", result.policyName.c_str());
+    std::printf("intervals:       %zu\n", result.summary.intervals);
+    std::printf("QoS guarantee:   %.1f%% of intervals met the %.0f ms "
+                "p%.0f target\n",
+                result.summary.qosGuarantee * 100.0,
+                workload.params.qosTargetMs,
+                workload.params.tailPercentile);
+    std::printf("QoS tardiness:   %.2f (mean QoS_curr/QoS_target over "
+                "violations)\n",
+                result.summary.qosTardiness);
+    std::printf("energy:          %.0f J (mean power %.2f W, TDP %.2f "
+                "W)\n",
+                result.summary.energy, result.summary.meanPower,
+                runner.platform().tdp());
+    std::printf("core migrations: %llu, DVFS transitions: %llu\n",
+                static_cast<unsigned long long>(result.migrations),
+                static_cast<unsigned long long>(result.dvfsTransitions));
+    std::printf("\nTry: ./build/examples/policy_comparison for the "
+                "full baseline lineup.\n");
+    return 0;
+}

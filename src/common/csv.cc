@@ -1,0 +1,69 @@
+#include "common/csv.hh"
+
+#include "common/logging.hh"
+
+namespace hipster
+{
+
+CsvWriter::CsvWriter(const std::string &path)
+    : file_(path), out_(&file_)
+{
+    if (!file_)
+        fatal("CsvWriter: cannot open '", path, "' for writing");
+}
+
+CsvWriter::CsvWriter(std::ostream &out)
+    : out_(&out)
+{
+}
+
+void
+CsvWriter::header(const std::vector<std::string> &columns)
+{
+    writeFields(columns);
+}
+
+void
+CsvWriter::endRow()
+{
+    writeFields(row_);
+    row_.clear();
+    ++rowsWritten_;
+}
+
+void
+CsvWriter::row(const std::vector<std::string> &fields)
+{
+    writeFields(fields);
+    ++rowsWritten_;
+}
+
+void
+CsvWriter::writeFields(const std::vector<std::string> &fields)
+{
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+        if (i)
+            *out_ << ',';
+        *out_ << escape(fields[i]);
+    }
+    *out_ << '\n';
+}
+
+std::string
+CsvWriter::escape(const std::string &field)
+{
+    const bool needs_quoting =
+        field.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quoting)
+        return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace hipster

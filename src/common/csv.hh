@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Small CSV writer used by bench binaries to dump figure/table data
+ * series alongside the human-readable stdout reports.
+ */
+
+#ifndef HIPSTER_COMMON_CSV_HH
+#define HIPSTER_COMMON_CSV_HH
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace hipster
+{
+
+/**
+ * Streams rows of comma-separated values to a file (or any ostream).
+ * Fields containing commas, quotes or newlines are quoted per RFC
+ * 4180.
+ */
+class CsvWriter
+{
+  public:
+    /** Write to an owned file; throws FatalError when unopenable. */
+    explicit CsvWriter(const std::string &path);
+
+    /** Write to an external stream (not owned). */
+    explicit CsvWriter(std::ostream &out);
+
+    /** Emit the header row. */
+    void header(const std::vector<std::string> &columns);
+
+    /** Begin accumulating one row; fields added with add(). */
+    template <typename T>
+    CsvWriter &
+    add(const T &value)
+    {
+        std::ostringstream oss;
+        oss << value;
+        row_.push_back(oss.str());
+        return *this;
+    }
+
+    /** Flush the accumulated row. */
+    void endRow();
+
+    /** Convenience: write an entire row at once. */
+    void row(const std::vector<std::string> &fields);
+
+    /** Number of data rows written so far (excluding the header). */
+    std::size_t rowsWritten() const { return rowsWritten_; }
+
+  private:
+    void writeFields(const std::vector<std::string> &fields);
+    static std::string escape(const std::string &field);
+
+    std::ofstream file_;
+    std::ostream *out_;
+    std::vector<std::string> row_;
+    std::size_t rowsWritten_ = 0;
+};
+
+} // namespace hipster
+
+#endif // HIPSTER_COMMON_CSV_HH

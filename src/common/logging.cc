@@ -1,0 +1,65 @@
+#include "common/logging.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+
+namespace hipster
+{
+
+namespace
+{
+
+std::atomic<LogLevel> globalLevel{LogLevel::Warn};
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Info: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Error: return "error";
+      case LogLevel::Quiet: return "quiet";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel.store(level, std::memory_order_relaxed);
+}
+
+LogLevel
+logLevel()
+{
+    return globalLevel.load(std::memory_order_relaxed);
+}
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    if (static_cast<int>(level) <
+        static_cast<int>(globalLevel.load(std::memory_order_relaxed))) {
+        return;
+    }
+    std::cerr << "[hipster:" << levelName(level) << "] " << msg << "\n";
+}
+
+namespace detail
+{
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "[hipster:panic] " << file << ":" << line << ": " << msg
+              << std::endl;
+    std::abort();
+}
+
+} // namespace detail
+
+} // namespace hipster

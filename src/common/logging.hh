@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Minimal logging and error-reporting facility in the spirit of
+ * gem5's base/logging.hh.
+ *
+ * `fatal()` reports a user-level error (bad configuration, invalid
+ * argument) and throws FatalError; `panic()` reports an internal
+ * invariant violation and aborts. `warn()` / `inform()` print to
+ * stderr and never stop execution. A global verbosity switch lets
+ * benchmarks silence informational output.
+ */
+
+#ifndef HIPSTER_COMMON_LOGGING_HH
+#define HIPSTER_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hipster
+{
+
+/** Severity levels for runtime log messages. */
+enum class LogLevel
+{
+    Debug,
+    Info,
+    Warn,
+    Error,
+    Quiet, ///< suppress everything below fatal/panic
+};
+
+/**
+ * Exception thrown by fatal(): a condition caused by the user
+ * (configuration error, invalid argument) from which the library
+ * cannot continue.
+ */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** Set the global log threshold (messages below it are dropped). */
+void setLogLevel(LogLevel level);
+
+/** Current global log threshold. */
+LogLevel logLevel();
+
+/** Emit a message at the given level to stderr (if enabled). */
+void logMessage(LogLevel level, const std::string &msg);
+
+namespace detail
+{
+
+/** Fold a pack of streamable values into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+} // namespace detail
+
+/** Report a user-caused error and throw FatalError. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    std::string msg = detail::concat(std::forward<Args>(args)...);
+    logMessage(LogLevel::Error, "fatal: " + msg);
+    throw FatalError(msg);
+}
+
+/** Informational message (suppressed when level > Info). */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    logMessage(LogLevel::Info, detail::concat(std::forward<Args>(args)...));
+}
+
+/** Warning message (suppressed when level > Warn). */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    logMessage(LogLevel::Warn,
+               "warn: " + detail::concat(std::forward<Args>(args)...));
+}
+
+/** Internal invariant violation: print and abort. */
+#define HIPSTER_PANIC(...)                                                   \
+    ::hipster::detail::panicImpl(__FILE__, __LINE__,                         \
+                                 ::hipster::detail::concat(__VA_ARGS__))
+
+/** Check an internal invariant; panic with a message when violated. */
+#define HIPSTER_ASSERT(cond, ...)                                            \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::hipster::detail::panicImpl(                                    \
+                __FILE__, __LINE__,                                          \
+                std::string("assertion failed: " #cond " ") +                \
+                    ::hipster::detail::concat(__VA_ARGS__));                 \
+        }                                                                    \
+    } while (false)
+
+} // namespace hipster
+
+#endif // HIPSTER_COMMON_LOGGING_HH

@@ -1,0 +1,185 @@
+#include "common/random.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hipster
+{
+
+namespace
+{
+
+/** SplitMix64 step, used for seeding xoshiro state. */
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : s_)
+        word = splitmix64(sm);
+    // Avoid the (astronomically unlikely) all-zero state.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0)
+        s_[0] = 0x1ULL;
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53-bit mantissa => uniform in [0, 1).
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    HIPSTER_ASSERT(hi >= lo, "uniform bounds inverted");
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t lo, std::uint64_t hi)
+{
+    HIPSTER_ASSERT(hi >= lo, "uniformInt bounds inverted");
+    const std::uint64_t span = hi - lo + 1;
+    if (span == 0) // full 64-bit range
+        return next();
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = (~0ULL) - ((~0ULL) % span) - 1;
+    std::uint64_t v;
+    do {
+        v = next();
+    } while (v > limit);
+    return lo + v % span;
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+double
+Rng::exponential(double rate)
+{
+    HIPSTER_ASSERT(rate > 0.0, "exponential rate must be positive");
+    double u;
+    do {
+        u = uniform();
+    } while (u <= 0.0);
+    return -std::log(u) / rate;
+}
+
+double
+Rng::normal()
+{
+    if (hasCachedNormal_) {
+        hasCachedNormal_ = false;
+        return cachedNormal_;
+    }
+    double u1;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    const double u2 = uniform();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    const double z0 = mag * std::cos(2.0 * M_PI * u2);
+    const double z1 = mag * std::sin(2.0 * M_PI * u2);
+    cachedNormal_ = z1;
+    hasCachedNormal_ = true;
+    return z0;
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+double
+Rng::lognormalMeanCv(double mean, double cv)
+{
+    HIPSTER_ASSERT(mean > 0.0, "lognormal mean must be positive");
+    HIPSTER_ASSERT(cv >= 0.0, "lognormal cv must be non-negative");
+    if (cv == 0.0)
+        return mean;
+    const double sigma2 = std::log(1.0 + cv * cv);
+    const double mu = std::log(mean) - 0.5 * sigma2;
+    return std::exp(normal(mu, std::sqrt(sigma2)));
+}
+
+Rng
+Rng::fork()
+{
+    // Derive a child seed from two fresh draws; fine for our purposes
+    // (statistical decorrelation across a handful of components).
+    const std::uint64_t a = next();
+    const std::uint64_t b = next();
+    return Rng(a ^ rotl(b, 32) ^ 0xd1b54a32d192ed03ULL);
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double alpha)
+    : alpha_(alpha)
+{
+    if (n == 0)
+        fatal("ZipfSampler requires at least one rank");
+    if (alpha < 0.0)
+        fatal("ZipfSampler skew must be non-negative, got ", alpha);
+    cdf_.resize(n);
+    double sum = 0.0;
+    for (std::size_t k = 1; k <= n; ++k) {
+        sum += 1.0 / std::pow(static_cast<double>(k), alpha);
+        cdf_[k - 1] = sum;
+    }
+    for (auto &v : cdf_)
+        v /= sum;
+    cdf_.back() = 1.0; // guard against rounding
+}
+
+std::size_t
+ZipfSampler::sample(Rng &rng) const
+{
+    const double u = rng.uniform();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<std::size_t>(it - cdf_.begin()) + 1;
+}
+
+double
+ZipfSampler::pmf(std::size_t rank) const
+{
+    HIPSTER_ASSERT(rank >= 1 && rank <= cdf_.size(), "rank out of range");
+    const double hi = cdf_[rank - 1];
+    const double lo = rank >= 2 ? cdf_[rank - 2] : 0.0;
+    return hi - lo;
+}
+
+} // namespace hipster

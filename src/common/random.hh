@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation and the distributions
+ * used by the workload models.
+ *
+ * The generator is xoshiro256++, a small, fast, high-quality PRNG.
+ * Every stochastic component of the library takes an explicit Rng (or
+ * a seed) so that experiments are reproducible bit-for-bit.
+ */
+
+#ifndef HIPSTER_COMMON_RANDOM_HH
+#define HIPSTER_COMMON_RANDOM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace hipster
+{
+
+/**
+ * xoshiro256++ pseudo-random generator.
+ *
+ * Satisfies the essentials of UniformRandomBitGenerator so it can be
+ * handed to standard-library distributions as well.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a 64-bit seed via SplitMix64 state expansion. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    std::uint64_t operator()() { return next(); }
+
+    static constexpr std::uint64_t min() { return 0; }
+    static constexpr std::uint64_t max() { return ~0ULL; }
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [lo, hi] (inclusive). */
+    std::uint64_t uniformInt(std::uint64_t lo, std::uint64_t hi);
+
+    /** True with probability p. */
+    bool bernoulli(double p);
+
+    /** Exponential variate with the given rate (mean = 1/rate). */
+    double exponential(double rate);
+
+    /** Standard normal variate (Box–Muller, cached pair). */
+    double normal();
+
+    /** Normal variate with mean/stddev. */
+    double normal(double mean, double stddev);
+
+    /**
+     * Lognormal variate parameterised by the mean and coefficient of
+     * variation of the *resulting* distribution (more convenient for
+     * service-time modelling than mu/sigma of the underlying normal).
+     */
+    double lognormalMeanCv(double mean, double cv);
+
+    /**
+     * Fork an independent stream: derives a new generator whose state
+     * is decorrelated from this one (used to give each component its
+     * own stream from a single experiment seed).
+     */
+    Rng fork();
+
+  private:
+    std::uint64_t s_[4];
+    double cachedNormal_ = 0.0;
+    bool hasCachedNormal_ = false;
+};
+
+/**
+ * Zipf(α) sampler over ranks {1..n} using precomputed CDF inversion
+ * (binary search). Used for the Web-Search document-popularity model
+ * (the paper drives Elasticsearch with a Zipfian distribution).
+ */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n     Number of ranks (n >= 1).
+     * @param alpha Skew parameter (alpha >= 0; 0 is uniform).
+     */
+    ZipfSampler(std::size_t n, double alpha);
+
+    /** Sample a rank in [1, n]. */
+    std::size_t sample(Rng &rng) const;
+
+    /** Probability mass of a given rank (1-based). */
+    double pmf(std::size_t rank) const;
+
+    std::size_t size() const { return cdf_.size(); }
+    double alpha() const { return alpha_; }
+
+  private:
+    std::vector<double> cdf_;
+    double alpha_;
+};
+
+} // namespace hipster
+
+#endif // HIPSTER_COMMON_RANDOM_HH

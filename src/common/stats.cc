@@ -1,0 +1,216 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace hipster
+{
+
+void
+SampleStats::add(double value)
+{
+    samples_.push_back(value);
+    sum_ += value;
+    dirty_ = true;
+}
+
+void
+SampleStats::addAll(const std::vector<double> &values)
+{
+    for (double v : values)
+        add(v);
+}
+
+void
+SampleStats::clear()
+{
+    samples_.clear();
+    sorted_.clear();
+    dirty_ = false;
+    sum_ = 0.0;
+}
+
+double
+SampleStats::mean() const
+{
+    return samples_.empty() ? 0.0 : sum_ / samples_.size();
+}
+
+void
+SampleStats::ensureSorted() const
+{
+    if (dirty_ || sorted_.size() != samples_.size()) {
+        sorted_ = samples_;
+        std::sort(sorted_.begin(), sorted_.end());
+        dirty_ = false;
+    }
+}
+
+double
+SampleStats::min() const
+{
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    return sorted_.front();
+}
+
+double
+SampleStats::max() const
+{
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    return sorted_.back();
+}
+
+double
+SampleStats::stddev() const
+{
+    const std::size_t n = samples_.size();
+    if (n < 2)
+        return 0.0;
+    const double m = mean();
+    double acc = 0.0;
+    for (double v : samples_)
+        acc += (v - m) * (v - m);
+    return std::sqrt(acc / (n - 1));
+}
+
+double
+SampleStats::percentile(double p) const
+{
+    if (samples_.empty())
+        return 0.0;
+    HIPSTER_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of range: ", p);
+    ensureSorted();
+    if (sorted_.size() == 1)
+        return sorted_.front();
+    const double rank = (p / 100.0) * (sorted_.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+    const double frac = rank - lo;
+    return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+void
+OnlineStats::add(double value)
+{
+    if (n_ == 0) {
+        min_ = max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    ++n_;
+    sum_ += value;
+    const double delta = value - mean_;
+    mean_ += delta / n_;
+    m2_ += delta * (value - mean_);
+}
+
+void
+OnlineStats::clear()
+{
+    *this = OnlineStats();
+}
+
+double
+OnlineStats::variance() const
+{
+    return n_ >= 2 ? m2_ / (n_ - 1) : 0.0;
+}
+
+double
+OnlineStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+OnlineStats::merge(const OnlineStats &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double delta = other.mean_ - mean_;
+    const std::size_t total = n_ + other.n_;
+    m2_ += other.m2_ +
+           delta * delta * (static_cast<double>(n_) * other.n_) / total;
+    mean_ += delta * static_cast<double>(other.n_) / total;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    sum_ += other.sum_;
+    n_ = total;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo)
+{
+    if (buckets == 0)
+        fatal("Histogram requires at least one bucket");
+    if (!(hi > lo))
+        fatal("Histogram range must be non-empty: [", lo, ", ", hi, ")");
+    width_ = (hi - lo) / buckets;
+    counts_.assign(buckets, 0);
+}
+
+void
+Histogram::add(double value)
+{
+    ++total_;
+    if (value < lo_) {
+        ++underflow_;
+        return;
+    }
+    const auto idx = static_cast<std::size_t>((value - lo_) / width_);
+    if (idx >= counts_.size()) {
+        ++overflow_;
+        return;
+    }
+    ++counts_[idx];
+}
+
+void
+Histogram::clear()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    underflow_ = overflow_ = total_ = 0;
+}
+
+double
+Histogram::bucketLo(std::size_t i) const
+{
+    return lo_ + width_ * i;
+}
+
+double
+Histogram::bucketHi(std::size_t i) const
+{
+    return lo_ + width_ * (i + 1);
+}
+
+double
+Histogram::percentile(double p) const
+{
+    HIPSTER_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of range: ", p);
+    if (total_ == 0)
+        return 0.0;
+    const double target = (p / 100.0) * total_;
+    double cum = static_cast<double>(underflow_);
+    if (cum >= target && underflow_ > 0)
+        return lo_;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        cum += counts_[i];
+        if (cum >= target)
+            return bucketLo(i) + width_ * 0.5;
+    }
+    return lo_ + width_ * counts_.size();
+}
+
+} // namespace hipster

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Statistics helpers: exact percentile estimation over a sample
+ * buffer, online mean/variance accumulation, and fixed-width
+ * histograms. These back the QoS monitor's tail-latency computation
+ * and the experiment reports.
+ */
+
+#ifndef HIPSTER_COMMON_STATS_HH
+#define HIPSTER_COMMON_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace hipster
+{
+
+/**
+ * Collects a sample set and answers exact order-statistics queries.
+ *
+ * Percentiles use the nearest-rank-with-interpolation definition
+ * (linear interpolation between closest ranks, the same convention as
+ * numpy.percentile's default), which is what the paper's analysis
+ * scripts would produce.
+ */
+class SampleStats
+{
+  public:
+    SampleStats() = default;
+
+    /** Add one observation. */
+    void add(double value);
+
+    /** Add many observations. */
+    void addAll(const std::vector<double> &values);
+
+    /** Remove all observations. */
+    void clear();
+
+    /** Number of observations so far. */
+    std::size_t count() const { return samples_.size(); }
+
+    bool empty() const { return samples_.empty(); }
+
+    /** Arithmetic mean (0 when empty). */
+    double mean() const;
+
+    /** Minimum observation (0 when empty). */
+    double min() const;
+
+    /** Maximum observation (0 when empty). */
+    double max() const;
+
+    /** Sum of observations. */
+    double sum() const { return sum_; }
+
+    /** Unbiased sample standard deviation (0 when count < 2). */
+    double stddev() const;
+
+    /**
+     * p-th percentile with linear interpolation, p in [0, 100].
+     * Returns 0 when empty.
+     */
+    double percentile(double p) const;
+
+    /** Read-only access to the raw samples (unsorted). */
+    const std::vector<double> &samples() const { return samples_; }
+
+  private:
+    /** Sort the scratch copy if new samples arrived since last query. */
+    void ensureSorted() const;
+
+    std::vector<double> samples_;
+    mutable std::vector<double> sorted_;
+    mutable bool dirty_ = false;
+    double sum_ = 0.0;
+};
+
+/**
+ * Online (streaming) mean/variance via Welford's algorithm; O(1)
+ * memory, suitable for per-interval counters that never need
+ * percentiles.
+ */
+class OnlineStats
+{
+  public:
+    void add(double value);
+    void clear();
+
+    std::size_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double variance() const;
+    double stddev() const;
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+    /** Merge another accumulator into this one (parallel reduction). */
+    void merge(const OnlineStats &other);
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/**
+ * Fixed-width histogram over [lo, hi) with under/overflow buckets.
+ * Used for latency distribution dumps in the experiment reports.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo      Lower bound of the tracked range.
+     * @param hi      Upper bound of the tracked range (hi > lo).
+     * @param buckets Number of equal-width buckets (>= 1).
+     */
+    Histogram(double lo, double hi, std::size_t buckets);
+
+    void add(double value);
+    void clear();
+
+    std::size_t count() const { return total_; }
+    std::size_t bucketCount() const { return counts_.size(); }
+    std::size_t bucket(std::size_t i) const { return counts_.at(i); }
+    std::size_t underflow() const { return underflow_; }
+    std::size_t overflow() const { return overflow_; }
+
+    /** Inclusive lower edge of bucket i. */
+    double bucketLo(std::size_t i) const;
+
+    /** Exclusive upper edge of bucket i. */
+    double bucketHi(std::size_t i) const;
+
+    /**
+     * Approximate p-th percentile from bucket midpoints (p in
+     * [0,100]). Underflow counts resolve to `lo`, overflow to `hi`.
+     */
+    double percentile(double p) const;
+
+  private:
+    double lo_;
+    double width_;
+    std::vector<std::size_t> counts_;
+    std::size_t underflow_ = 0;
+    std::size_t overflow_ = 0;
+    std::size_t total_ = 0;
+};
+
+} // namespace hipster
+
+#endif // HIPSTER_COMMON_STATS_HH

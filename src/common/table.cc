@@ -1,0 +1,112 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace hipster
+{
+
+std::string
+formatFixed(double value, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << value;
+    return oss.str();
+}
+
+std::string
+formatPercent(double fraction, int precision)
+{
+    return formatFixed(fraction * 100.0, precision) + "%";
+}
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    if (headers_.empty())
+        fatal("TextTable requires at least one column");
+}
+
+TextTable &
+TextTable::newRow()
+{
+    rows_.emplace_back();
+    return *this;
+}
+
+TextTable &
+TextTable::cell(const std::string &text)
+{
+    if (rows_.empty())
+        newRow();
+    HIPSTER_ASSERT(rows_.back().size() < headers_.size(),
+                   "row has more cells than headers");
+    rows_.back().push_back(text);
+    return *this;
+}
+
+TextTable &
+TextTable::cell(double value, int precision)
+{
+    return cell(formatFixed(value, precision));
+}
+
+TextTable &
+TextTable::cell(long long value)
+{
+    return cell(std::to_string(value));
+}
+
+TextTable &
+TextTable::percentCell(double fraction, int precision)
+{
+    return cell(formatPercent(fraction, precision));
+}
+
+std::string
+TextTable::str() const
+{
+    std::ostringstream oss;
+    print(oss);
+    return oss.str();
+}
+
+void
+TextTable::print(std::ostream &out) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto rule = [&] {
+        out << '+';
+        for (auto w : widths)
+            out << std::string(w + 2, '-') << '+';
+        out << '\n';
+    };
+    auto line = [&](const std::vector<std::string> &cells) {
+        out << '|';
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string &text = c < cells.size() ? cells[c] : "";
+            out << ' ' << text << std::string(widths[c] - text.size(), ' ')
+                << " |";
+        }
+        out << '\n';
+    };
+
+    rule();
+    line(headers_);
+    rule();
+    for (const auto &row : rows_)
+        line(row);
+    rule();
+}
+
+} // namespace hipster

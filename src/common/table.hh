@@ -1,0 +1,66 @@
+/**
+ * @file
+ * ASCII table formatter for bench/example stdout reports. Produces
+ * aligned, boxed tables that mirror the rows the paper's tables and
+ * figure annotations report.
+ */
+
+#ifndef HIPSTER_COMMON_TABLE_HH
+#define HIPSTER_COMMON_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hipster
+{
+
+/**
+ * Accumulates rows of string cells and renders them with
+ * column-aligned padding. Numeric convenience adders format doubles
+ * with a fixed precision.
+ */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Begin a new (empty) row. */
+    TextTable &newRow();
+
+    /** Append a string cell to the current row. */
+    TextTable &cell(const std::string &text);
+
+    /** Append a formatted numeric cell (fixed, `precision` digits). */
+    TextTable &cell(double value, int precision = 2);
+
+    /** Append an integer cell. */
+    TextTable &cell(long long value);
+
+    /** Append a percentage cell, e.g. 0.183 -> "18.3%". */
+    TextTable &percentCell(double fraction, int precision = 1);
+
+    /** Number of data rows so far. */
+    std::size_t rows() const { return rows_.size(); }
+
+    /** Render to a string. */
+    std::string str() const;
+
+    /** Render to a stream. */
+    void print(std::ostream &out) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with fixed precision into a string. */
+std::string formatFixed(double value, int precision);
+
+/** Format a fraction as a percentage string with '%' suffix. */
+std::string formatPercent(double fraction, int precision = 1);
+
+} // namespace hipster
+
+#endif // HIPSTER_COMMON_TABLE_HH

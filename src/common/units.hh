@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Unit typedefs and conversion helpers used across the Hipster library.
+ *
+ * We use plain `double` aliases rather than heavyweight strong types to
+ * keep arithmetic ergonomic, but every public API documents the unit of
+ * each quantity and the aliases make signatures self-describing.
+ */
+
+#ifndef HIPSTER_COMMON_UNITS_HH
+#define HIPSTER_COMMON_UNITS_HH
+
+#include <cstdint>
+
+namespace hipster
+{
+
+/** Simulated wall-clock time in seconds. */
+using Seconds = double;
+
+/** Time in milliseconds (used for latencies, matching the paper). */
+using Millis = double;
+
+/** Frequency in GHz (matching the paper's DVFS tables). */
+using GHz = double;
+
+/** Supply voltage in volts. */
+using Volts = double;
+
+/** Power in watts. */
+using Watts = double;
+
+/** Energy in joules. */
+using Joules = double;
+
+/** Instructions per second. */
+using Ips = double;
+
+/** Request (or query) arrival/service rate in requests per second. */
+using Rate = double;
+
+/** A count of CPU instructions or abstract work units. */
+using Instructions = double;
+
+/** Fraction in [0, 1] (utilizations, load fractions, probabilities). */
+using Fraction = double;
+
+/** Core identifier within a platform (dense, 0-based). */
+using CoreId = std::uint32_t;
+
+/** Cluster identifier within a platform (dense, 0-based). */
+using ClusterId = std::uint32_t;
+
+/** Convert seconds to milliseconds. */
+constexpr Millis
+toMillis(Seconds s)
+{
+    return s * 1e3;
+}
+
+/** Convert milliseconds to seconds. */
+constexpr Seconds
+toSeconds(Millis ms)
+{
+    return ms * 1e-3;
+}
+
+} // namespace hipster
+
+#endif // HIPSTER_COMMON_UNITS_HH

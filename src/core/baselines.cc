@@ -1,0 +1,183 @@
+#include "core/baselines.hh"
+
+#include "common/logging.hh"
+
+namespace hipster
+{
+
+namespace
+{
+
+GHz
+clusterMax(const Platform &platform, CoreType type)
+{
+    return platform.coreCount(type) > 0
+               ? platform.cluster(type).spec().maxFrequency()
+               : 0.0;
+}
+
+GHz
+clusterMin(const Platform &platform, CoreType type)
+{
+    return platform.coreCount(type) > 0
+               ? platform.cluster(type).spec().minFrequency()
+               : 0.0;
+}
+
+} // namespace
+
+StaticPolicy::StaticPolicy(const Platform &platform, CoreConfig config,
+                           PolicyVariant variant, std::string name)
+    : config_(config), variant_(variant), name_(std::move(name))
+{
+    if (!platform.isValidConfig(config))
+        fatal("StaticPolicy: configuration ", config.label(),
+              " is not realizable on ", platform.name());
+    if (name_.empty())
+        name_ = "Static(" + config.label() + ")";
+    bigMax_ = clusterMax(platform, CoreType::Big);
+    smallMax_ = clusterMax(platform, CoreType::Small);
+}
+
+StaticPolicy
+StaticPolicy::allBig(const Platform &platform, PolicyVariant variant)
+{
+    CoreConfig config;
+    config.nBig = platform.coreCount(CoreType::Big);
+    config.bigFreq = clusterMax(platform, CoreType::Big);
+    config.smallFreq = clusterMax(platform, CoreType::Small);
+    return StaticPolicy(platform, config, variant, "Static(all-big)");
+}
+
+StaticPolicy
+StaticPolicy::allSmall(const Platform &platform, PolicyVariant variant)
+{
+    CoreConfig config;
+    config.nSmall = platform.coreCount(CoreType::Small);
+    config.smallFreq = clusterMax(platform, CoreType::Small);
+    config.bigFreq = clusterMax(platform, CoreType::Big);
+    return StaticPolicy(platform, config, variant, "Static(all-small)");
+}
+
+Decision
+StaticPolicy::makeDecision() const
+{
+    Decision decision;
+    decision.config = config_;
+    decision.runBatch = variant_ == PolicyVariant::Collocated;
+    // Figure 11's static mapping leaves the batch cluster at the
+    // highest DVFS; for the interactive variant the spare cluster is
+    // idle so the setting is irrelevant but harmless.
+    if (config_.nBig == 0 && bigMax_ > 0.0)
+        decision.spareBigFreq = bigMax_;
+    if (config_.nSmall == 0 && smallMax_ > 0.0)
+        decision.spareSmallFreq = smallMax_;
+    return decision;
+}
+
+Decision
+StaticPolicy::initialDecision()
+{
+    return makeDecision();
+}
+
+Decision
+StaticPolicy::decide(const IntervalMetrics &)
+{
+    return makeDecision();
+}
+
+OctopusManPolicy::OctopusManPolicy(const Platform &platform,
+                                   OctopusManParams params)
+    : params_(params),
+      mapper_(ConfigSpace::octopusManStates(platform), params.zones,
+              /*start_at_top=*/true)
+{
+    bigMax_ = clusterMax(platform, CoreType::Big);
+    smallMax_ = clusterMax(platform, CoreType::Small);
+}
+
+Decision
+OctopusManPolicy::decorate(CoreConfig config) const
+{
+    Decision decision;
+    decision.config = config;
+    decision.runBatch = params_.variant == PolicyVariant::Collocated;
+    // Octopus-Man keeps every cluster at the highest DVFS.
+    if (config.nBig == 0 && bigMax_ > 0.0)
+        decision.spareBigFreq = bigMax_;
+    if (config.nSmall == 0 && smallMax_ > 0.0)
+        decision.spareSmallFreq = smallMax_;
+    return decision;
+}
+
+Decision
+OctopusManPolicy::initialDecision()
+{
+    return decorate(mapper_.current());
+}
+
+Decision
+OctopusManPolicy::decide(const IntervalMetrics &last)
+{
+    return decorate(mapper_.step(last.tailLatency, last.qosTarget));
+}
+
+void
+OctopusManPolicy::reset()
+{
+    mapper_.reset();
+}
+
+HeuristicOnlyPolicy::HeuristicOnlyPolicy(const Platform &platform,
+                                         ZoneParams zones,
+                                         PolicyVariant variant,
+                                         std::vector<CoreConfig> ladder)
+    : variant_(variant),
+      mapper_(ladder.empty()
+                  ? ConfigSpace::orderForHeuristic(
+                        platform, ConfigSpace::paperStates(platform))
+                  : std::move(ladder),
+              zones, /*start_at_top=*/true)
+{
+    bigMax_ = clusterMax(platform, CoreType::Big);
+    bigMin_ = clusterMin(platform, CoreType::Big);
+    smallMax_ = clusterMax(platform, CoreType::Small);
+    smallMin_ = clusterMin(platform, CoreType::Small);
+}
+
+Decision
+HeuristicOnlyPolicy::decorate(CoreConfig config) const
+{
+    Decision decision;
+    decision.config = config;
+    decision.runBatch = variant_ == PolicyVariant::Collocated;
+    const bool collocated = variant_ == PolicyVariant::Collocated;
+    // Algorithm 2 lines 8-13 applied heuristically: spare clusters
+    // run at max DVFS when accelerating batch work, min otherwise.
+    if (config.nBig == 0 && bigMax_ > 0.0)
+        decision.spareBigFreq = collocated ? bigMax_ : bigMin_;
+    if (config.nSmall == 0 && smallMax_ > 0.0)
+        decision.spareSmallFreq = collocated ? smallMax_ : smallMin_;
+    return decision;
+}
+
+Decision
+HeuristicOnlyPolicy::initialDecision()
+{
+    return decorate(mapper_.current());
+}
+
+Decision
+HeuristicOnlyPolicy::decide(const IntervalMetrics &last)
+{
+    return decorate(mapper_.step(last.tailLatency, last.qosTarget));
+}
+
+void
+HeuristicOnlyPolicy::reset()
+{
+    mapper_.reset();
+}
+
+} // namespace hipster

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Baseline task managers the paper evaluates against:
+ *
+ *  - StaticPolicy: a fixed configuration (all big cores at max DVFS,
+ *    or all small cores);
+ *  - OctopusManPolicy: the HPCA'15 state machine that maps the LC
+ *    workload to exclusively big or exclusively small cores at the
+ *    highest DVFS, climbing/descending on latency feedback;
+ *  - HeuristicOnlyPolicy: Hipster's learning-phase heuristic used as
+ *    a standalone manager (Figure 5 right-hand column).
+ */
+
+#ifndef HIPSTER_CORE_BASELINES_HH
+#define HIPSTER_CORE_BASELINES_HH
+
+#include <vector>
+
+#include "core/heuristic_mapper.hh"
+#include "core/policy.hh"
+#include "platform/config_space.hh"
+#include "platform/platform.hh"
+
+namespace hipster
+{
+
+/** Fixed-configuration manager (Table 3's "Static" rows). */
+class StaticPolicy : public TaskPolicy
+{
+  public:
+    /**
+     * @param config   The pinned configuration.
+     * @param variant  Collocated runs batch on the spare cores at
+     *                 the highest DVFS (Figure 11's static mapping).
+     * @param platform Used only to resolve cluster max frequencies.
+     */
+    StaticPolicy(const Platform &platform, CoreConfig config,
+                 PolicyVariant variant = PolicyVariant::Interactive,
+                 std::string name = "");
+
+    /** All big cores at the highest DVFS. */
+    static StaticPolicy allBig(const Platform &platform,
+                               PolicyVariant variant =
+                                   PolicyVariant::Interactive);
+
+    /** All small cores at the highest DVFS. */
+    static StaticPolicy allSmall(const Platform &platform,
+                                 PolicyVariant variant =
+                                     PolicyVariant::Interactive);
+
+    std::string name() const override { return name_; }
+    Decision initialDecision() override;
+    Decision decide(const IntervalMetrics &last) override;
+    void reset() override {}
+
+  private:
+    Decision makeDecision() const;
+
+    CoreConfig config_;
+    PolicyVariant variant_;
+    std::string name_;
+    GHz bigMax_ = 0.0;
+    GHz smallMax_ = 0.0;
+};
+
+/** Tunables for Octopus-Man (deployed with a threshold sweep). */
+struct OctopusManParams
+{
+    ZoneParams zones{0.80, 0.30};
+    PolicyVariant variant = PolicyVariant::Interactive;
+};
+
+/**
+ * Octopus-Man (Petrucci et al., HPCA'15), the paper's prior-work
+ * baseline: big-xor-small core mappings at the highest DVFS, driven
+ * by the same danger/safe-zone feedback loop. Never mixes core
+ * types and never scales frequency.
+ */
+class OctopusManPolicy : public TaskPolicy
+{
+  public:
+    OctopusManPolicy(const Platform &platform, OctopusManParams params);
+
+    std::string name() const override { return "Octopus-Man"; }
+    Decision initialDecision() override;
+    Decision decide(const IntervalMetrics &last) override;
+    void reset() override;
+
+    const HeuristicMapper &mapper() const { return mapper_; }
+
+  private:
+    Decision decorate(CoreConfig config) const;
+
+    OctopusManParams params_;
+    HeuristicMapper mapper_;
+    GHz bigMax_ = 0.0;
+    GHz smallMax_ = 0.0;
+};
+
+/**
+ * Hipster's heuristic mapper as a standalone policy (the paper
+ * evaluates it separately in Figure 5 and Table 3 as "Hipster's
+ * Heuristic"): full mixed-core + DVFS ladder, no learning.
+ */
+class HeuristicOnlyPolicy : public TaskPolicy
+{
+  public:
+    /**
+     * @param ladder Capability-ordered states (defaults to the
+     *               paper's 13 Figure-2c states when empty).
+     */
+    HeuristicOnlyPolicy(const Platform &platform, ZoneParams zones,
+                        PolicyVariant variant =
+                            PolicyVariant::Interactive,
+                        std::vector<CoreConfig> ladder = {});
+
+    std::string name() const override { return "Hipster-Heuristic"; }
+    Decision initialDecision() override;
+    Decision decide(const IntervalMetrics &last) override;
+    void reset() override;
+
+    const HeuristicMapper &mapper() const { return mapper_; }
+
+  private:
+    Decision decorate(CoreConfig config) const;
+
+    PolicyVariant variant_;
+    HeuristicMapper mapper_;
+    GHz bigMax_ = 0.0, bigMin_ = 0.0;
+    GHz smallMax_ = 0.0, smallMin_ = 0.0;
+};
+
+} // namespace hipster
+
+#endif // HIPSTER_CORE_BASELINES_HH

@@ -1,0 +1,88 @@
+#include "core/heuristic_mapper.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace hipster
+{
+
+HeuristicMapper::HeuristicMapper(std::vector<CoreConfig> ladder,
+                                 ZoneParams zones, bool start_at_top)
+    : ladder_(std::move(ladder)), zones_(zones)
+{
+    if (ladder_.empty())
+        fatal("HeuristicMapper: ladder cannot be empty");
+    if (zones_.danger <= 0.0 || zones_.danger >= 1.0)
+        fatal("HeuristicMapper: QoS_D must lie in (0, 1)");
+    if (zones_.safe < 0.0 || zones_.safe >= zones_.danger)
+        fatal("HeuristicMapper: QoS_S must lie in [0, QoS_D)");
+    start_ = start_at_top ? ladder_.size() - 1 : 0;
+    index_ = start_;
+}
+
+const CoreConfig &
+HeuristicMapper::step(Millis qos_curr, Millis qos_target)
+{
+    HIPSTER_ASSERT(qos_target > 0.0, "QoS target must be positive");
+    lastMove_ = 0;
+    if (qos_curr > qos_target * zones_.danger) {
+        // Danger zone (or outright violation): climb.
+        if (index_ + 1 < ladder_.size()) {
+            ++index_;
+            lastMove_ = 1;
+        }
+    } else if (qos_curr < qos_target * zones_.safe) {
+        // Safe zone: descend to save power.
+        if (index_ > 0) {
+            --index_;
+            lastMove_ = -1;
+        }
+    }
+    return ladder_[index_];
+}
+
+void
+HeuristicMapper::moveTo(std::size_t index)
+{
+    HIPSTER_ASSERT(index < ladder_.size(), "ladder index out of range");
+    index_ = index;
+    lastMove_ = 0;
+}
+
+void
+HeuristicMapper::moveToNearest(const CoreConfig &config)
+{
+    // Prefer an exact match; otherwise the state with the closest
+    // total core count and big-core count.
+    long best_score = -1;
+    std::size_t best = index_;
+    for (std::size_t i = 0; i < ladder_.size(); ++i) {
+        const CoreConfig &c = ladder_[i];
+        if (c == config) {
+            best = i;
+            break;
+        }
+        const long score =
+            -(std::labs(static_cast<long>(c.nBig) -
+                        static_cast<long>(config.nBig)) *
+                  4 +
+              std::labs(static_cast<long>(c.nSmall) -
+                        static_cast<long>(config.nSmall)));
+        if (best_score == -1 || score > best_score) {
+            best_score = score;
+            best = i;
+        }
+    }
+    index_ = best;
+    lastMove_ = 0;
+}
+
+void
+HeuristicMapper::reset()
+{
+    index_ = start_;
+    lastMove_ = 0;
+}
+
+} // namespace hipster

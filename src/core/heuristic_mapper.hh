@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The heuristic mapper of Section 3.3: a state machine with a
+ * feedback control loop over a ladder of core/DVFS configurations
+ * ordered approximately from lowest to highest capability. When the
+ * measured tail latency ends an interval in the danger zone the
+ * machine climbs to the next-higher power state; in the safe zone it
+ * descends. Octopus-Man uses the same machine over a ladder
+ * restricted to single-cluster states at max DVFS.
+ */
+
+#ifndef HIPSTER_CORE_HEURISTIC_MAPPER_HH
+#define HIPSTER_CORE_HEURISTIC_MAPPER_HH
+
+#include <vector>
+
+#include "common/units.hh"
+#include "platform/core_config.hh"
+
+namespace hipster
+{
+
+/** Danger/safe-zone thresholds (fractions of the QoS target). */
+struct ZoneParams
+{
+    /** QoS_D: danger zone starts at target * danger. */
+    double danger = 0.80;
+
+    /** QoS_S: safe zone ends at target * safe (safe < danger). */
+    double safe = 0.30;
+};
+
+/**
+ * Ladder-climbing feedback controller. Pure decision logic: the
+ * caller feeds measured tail latency once per interval and reads the
+ * configuration for the next interval.
+ */
+class HeuristicMapper
+{
+  public:
+    /**
+     * @param ladder Configurations ordered from least to most
+     *               capable (see ConfigSpace::orderForHeuristic).
+     * @param zones  Danger/safe thresholds.
+     * @param start_at_top Begin at the most capable state (safe
+     *               bootstrap); otherwise begin at the bottom.
+     */
+    HeuristicMapper(std::vector<CoreConfig> ladder, ZoneParams zones,
+                    bool start_at_top = true);
+
+    const std::vector<CoreConfig> &ladder() const { return ladder_; }
+    const ZoneParams &zones() const { return zones_; }
+
+    /** Current ladder position. */
+    std::size_t index() const { return index_; }
+
+    /** Configuration at the current position. */
+    const CoreConfig &current() const { return ladder_[index_]; }
+
+    /**
+     * Feed the interval's measured tail latency; the machine climbs
+     * on danger, descends on safe, else holds. Returns the (possibly
+     * new) configuration for the next interval.
+     */
+    const CoreConfig &step(Millis qos_curr, Millis qos_target);
+
+    /** Whether the last step climbed (+1), descended (-1) or held
+     * (0) — used by tests and the oscillation analysis. */
+    int lastMove() const { return lastMove_; }
+
+    /** Jump to a given ladder index. */
+    void moveTo(std::size_t index);
+
+    /** Jump to the ladder state nearest the given configuration
+     * (used when re-entering the learning phase). */
+    void moveToNearest(const CoreConfig &config);
+
+    /** Restart from the initial position. */
+    void reset();
+
+  private:
+    std::vector<CoreConfig> ladder_;
+    ZoneParams zones_;
+    std::size_t start_;
+    std::size_t index_;
+    int lastMove_ = 0;
+};
+
+} // namespace hipster
+
+#endif // HIPSTER_CORE_HEURISTIC_MAPPER_HH

@@ -1,0 +1,235 @@
+#include "core/hipster_policy.hh"
+
+#include "common/logging.hh"
+
+namespace hipster
+{
+
+namespace
+{
+
+GHz
+clusterMax(const Platform &platform, CoreType type)
+{
+    return platform.coreCount(type) > 0
+               ? platform.cluster(type).spec().maxFrequency()
+               : 0.0;
+}
+
+GHz
+clusterMin(const Platform &platform, CoreType type)
+{
+    return platform.coreCount(type) > 0
+               ? platform.cluster(type).spec().minFrequency()
+               : 0.0;
+}
+
+std::vector<CoreConfig>
+defaultActions(const Platform &platform)
+{
+    return ConfigSpace::orderForHeuristic(
+        platform, ConfigSpace::paperStates(platform));
+}
+
+} // namespace
+
+HipsterPolicy::HipsterPolicy(const Platform &platform,
+                             HipsterParams params,
+                             std::vector<CoreConfig> actions)
+    : params_(params),
+      actions_(actions.empty()
+                   ? defaultActions(platform)
+                   : ConfigSpace::orderForHeuristic(platform,
+                                                    std::move(actions))),
+      quantizer_(params.bucketPercent),
+      qtable_(quantizer_.bucketCount(), actions_.size()),
+      reward_(params.zones.danger, params.seed),
+      heuristic_(actions_, params.zones, /*start_at_top=*/true),
+      window_(params.guaranteeWindow)
+{
+    if (params_.learningPhase < 0.0)
+        fatal("HipsterPolicy: learningPhase must be non-negative");
+    if (params_.relearnThreshold < 0.0 || params_.relearnThreshold > 1.0)
+        fatal("HipsterPolicy: relearnThreshold must lie in [0, 1]");
+    for (const auto &config : actions_) {
+        if (!platform.isValidConfig(config))
+            fatal("HipsterPolicy: action ", config.label(),
+                  " is not realizable on ", platform.name());
+    }
+    bigMax_ = clusterMax(platform, CoreType::Big);
+    bigMin_ = clusterMin(platform, CoreType::Big);
+    smallMax_ = clusterMax(platform, CoreType::Small);
+    smallMin_ = clusterMin(platform, CoreType::Small);
+    tdp_ = platform.tdp();
+    // maxIPS(B) + maxIPS(S) at highest DVFS (Algorithm 1, line 13).
+    for (const auto &cluster : platform.clusters()) {
+        const auto &spec = cluster.spec();
+        maxIpsSum_ +=
+            spec.coreCount * spec.microbenchIpc * spec.maxFrequency() *
+            1e9;
+    }
+    learningUntil_ = params_.learningPhase;
+}
+
+std::string
+HipsterPolicy::name() const
+{
+    return params_.variant == PolicyVariant::Interactive ? "HipsterIn"
+                                                         : "HipsterCo";
+}
+
+Decision
+HipsterPolicy::decorate(CoreConfig config) const
+{
+    Decision decision;
+    decision.config = config;
+    decision.runBatch = params_.variant == PolicyVariant::Collocated;
+    const bool collocated =
+        params_.variant == PolicyVariant::Collocated;
+    // Algorithm 2 lines 8-13: clusters hosting no LC core run at the
+    // highest DVFS under HipsterCo (accelerate batch) and at the
+    // lowest DVFS under HipsterIn (save power).
+    if (config.nBig == 0 && bigMax_ > 0.0)
+        decision.spareBigFreq = collocated ? bigMax_ : bigMin_;
+    if (config.nSmall == 0 && smallMax_ > 0.0)
+        decision.spareSmallFreq = collocated ? smallMax_ : smallMin_;
+    return decision;
+}
+
+std::size_t
+HipsterPolicy::actionIndex(const CoreConfig &config) const
+{
+    for (std::size_t i = 0; i < actions_.size(); ++i) {
+        if (actions_[i] == config)
+            return i;
+    }
+    HIPSTER_PANIC("heuristic produced a configuration outside the "
+                  "action space: ",
+                  config.label());
+}
+
+Decision
+HipsterPolicy::initialDecision()
+{
+    // Bootstrap at the heuristic's starting state (most capable):
+    // QoS-safe while the first measurements arrive.
+    const CoreConfig &config = params_.useHeuristicBootstrap
+                                   ? heuristic_.current()
+                                   : actions_.back();
+    havePending_ = true;
+    pendingBucket_ = 0;
+    pendingAction_ = actionIndex(config);
+    return decorate(config);
+}
+
+Decision
+HipsterPolicy::decide(const IntervalMetrics &last)
+{
+    const int w_now = quantizer_.bucket(last.offeredLoad);
+
+    // --- Algorithm 1: reward for the interval that just ended, and
+    // --- table update for the (state, action) that produced it.
+    if (havePending_) {
+        RewardInputs inputs;
+        inputs.qosCurr = last.tailLatency;
+        inputs.qosTarget = last.qosTarget;
+        inputs.power = last.power;
+        inputs.tdp = tdp_;
+        inputs.batchPresent = last.batchPresent &&
+                              params_.variant == PolicyVariant::Collocated;
+        inputs.batchBigIps = last.batchBigIps;
+        inputs.batchSmallIps = last.batchSmallIps;
+        inputs.maxIpsSum = maxIpsSum_;
+
+        RewardBreakdown breakdown = reward_.evaluate(inputs);
+        if (!params_.stochasticReward)
+            breakdown.stochasticPenalty = 0.0;
+        qtable_.update(pendingBucket_, pendingAction_, breakdown.total(),
+                       w_now, params_.alpha, params_.gamma);
+    }
+
+    // --- Algorithm 2 line 18: QoS-guarantee watchdog.
+    window_.add(!last.qosViolated());
+    if (phase_ == HipsterPhase::Exploitation &&
+        window_.size() >= window_.window() &&
+        window_.guarantee() <= params_.relearnThreshold) {
+        enterLearning(last.end, last.config);
+    }
+
+    // --- Phase bookkeeping (prefixed time quantum, Section 3.2).
+    if (phase_ == HipsterPhase::Learning && last.end >= learningUntil_) {
+        phase_ = HipsterPhase::Exploitation;
+        // Start the watchdog fresh: the exploitation phase must not
+        // be blamed for violations the bootstrap heuristic caused.
+        window_.clear();
+    }
+
+    // --- Choose the next action.
+    CoreConfig next;
+    const bool learning =
+        phase_ == HipsterPhase::Learning && params_.useHeuristicBootstrap;
+    if (learning || !qtable_.visited(w_now)) {
+        // Learning phase — or a load bucket the table has never seen
+        // (e.g. an unprecedented load level): let the feedback
+        // heuristic pick a viable rung rather than trusting a cold
+        // table row.
+        next = heuristic_.step(last.tailLatency, last.qosTarget);
+    } else {
+        // Algorithm 2 line 7: greedy on the lookup table, made
+        // migration-aware: candidates pay a per-core penalty for the
+        // affinity churn they would cause, so near-ties resolve in
+        // favour of staying put. Keep the heuristic tracking the
+        // chosen state so a later re-entry resumes from a sensible
+        // rung.
+        const CoreConfig &current = actions_[pendingAction_];
+        std::size_t chosen = 0;
+        double best_score = -1e300;
+        for (std::size_t c = 0; c < actions_.size(); ++c) {
+            const auto delta = [](std::uint32_t a, std::uint32_t b) {
+                return a > b ? a - b : b - a;
+            };
+            const double churn =
+                delta(actions_[c].nBig, current.nBig) +
+                delta(actions_[c].nSmall, current.nSmall);
+            const double score = qtable_.value(w_now, c) -
+                                 params_.migrationPenalty * churn;
+            if (score > best_score) {
+                best_score = score;
+                chosen = c;
+            }
+        }
+        next = actions_[chosen];
+        heuristic_.moveToNearest(next);
+    }
+
+    havePending_ = true;
+    pendingBucket_ = w_now;
+    pendingAction_ = actionIndex(next);
+    return decorate(next);
+}
+
+void
+HipsterPolicy::enterLearning(Seconds now, const CoreConfig &resume_from)
+{
+    phase_ = HipsterPhase::Learning;
+    learningUntil_ = now + params_.learningPhase;
+    heuristic_.moveToNearest(resume_from);
+    window_.clear();
+    ++relearnCount_;
+}
+
+void
+HipsterPolicy::reset()
+{
+    qtable_.clear();
+    heuristic_.reset();
+    window_.clear();
+    phase_ = HipsterPhase::Learning;
+    learningUntil_ = params_.learningPhase;
+    relearnCount_ = 0;
+    havePending_ = false;
+    pendingBucket_ = 0;
+    pendingAction_ = 0;
+}
+
+} // namespace hipster

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * HipsterPolicy: the paper's contribution. A hybrid manager that
+ * bootstraps with the Section 3.3 heuristic mapper (learning phase),
+ * populates the R(w, c) lookup table with Algorithm 1 rewards, then
+ * switches to greedy exploitation (Algorithm 2) — continuing to
+ * update the table and falling back to the learning phase if the
+ * sliding-window QoS guarantee collapses (Algorithm 2, line 18).
+ *
+ * The two paper variants are selected with PolicyVariant:
+ * Interactive (HipsterIn, power reward) and Collocated (HipsterCo,
+ * batch-throughput reward + spare-cluster DVFS boost).
+ */
+
+#ifndef HIPSTER_CORE_HIPSTER_POLICY_HH
+#define HIPSTER_CORE_HIPSTER_POLICY_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/heuristic_mapper.hh"
+#include "core/policy.hh"
+#include "core/qtable.hh"
+#include "core/reward.hh"
+#include "monitor/qos_monitor.hh"
+#include "platform/config_space.hh"
+#include "platform/platform.hh"
+
+namespace hipster
+{
+
+/** All of Hipster's tunables, defaulting to the paper's values. */
+struct HipsterParams
+{
+    /** HipsterIn or HipsterCo. */
+    PolicyVariant variant = PolicyVariant::Interactive;
+
+    /** Load-bucket width in percent of max load (Figure 10 sweeps
+     * this; the paper tunes it per workload for >= 98% QoS). */
+    double bucketPercent = 5.0;
+
+    /** Danger/safe zones for the learning-phase heuristic and the
+     * reward's stochastic region. */
+    ZoneParams zones{0.80, 0.30};
+
+    /** Learning-phase duration in seconds (paper: 500 s, 200 s for
+     * the Figure 9 study). */
+    Seconds learningPhase = 500.0;
+
+    /** Q-learning rate alpha (paper: 0.6). */
+    double alpha = 0.6;
+
+    /** Discount factor gamma (paper: 0.9). */
+    double gamma = 0.9;
+
+    /** Threshold X on the sliding-window QoS guarantee below which
+     * the manager re-enters the learning phase. */
+    double relearnThreshold = 0.80;
+
+    /** Sliding-window length (samples) for the QoS guarantee. */
+    std::size_t guaranteeWindow = 100;
+
+    /**
+     * Migration-aware exploitation: each candidate action's table
+     * value is discounted by this much per core that would have to
+     * join/leave the LC allocation relative to the current
+     * configuration. Damps core-mapping flapping between near-equal
+     * actions when load noise hops across bucket boundaries — core
+     * transitions are the expensive actuation (Section 2, Kasture et
+     * al.). 0 = pure greedy (Algorithm 2 line 7 verbatim). The
+     * default is sized against the table's value scale (discounted
+     * sums, roughly reward/(1-gamma)).
+     */
+    double migrationPenalty = 0.5;
+
+    /** Disable the heuristic bootstrap (pure-RL ablation: actions in
+     * the learning phase are chosen greedily from the cold table). */
+    bool useHeuristicBootstrap = true;
+
+    /** Disable the stochastic danger-zone penalty (ablation). */
+    bool stochasticReward = true;
+
+    /** RNG seed (stochastic reward term). */
+    std::uint64_t seed = 0x415254;
+};
+
+/** Phase indicator for logging/analysis. */
+enum class HipsterPhase
+{
+    Learning,
+    Exploitation,
+};
+
+/** The hybrid RL + heuristic task manager. */
+class HipsterPolicy : public TaskPolicy
+{
+  public:
+    /**
+     * @param platform Platform managed (TDP, cluster OPPs, max IPS).
+     * @param params   Tunables.
+     * @param actions  Action space; empty = the paper's 13 states
+     *                 ordered for the heuristic.
+     */
+    HipsterPolicy(const Platform &platform, HipsterParams params,
+                  std::vector<CoreConfig> actions = {});
+
+    std::string name() const override;
+    Decision initialDecision() override;
+    Decision decide(const IntervalMetrics &last) override;
+    void reset() override;
+
+    /** Current phase. */
+    HipsterPhase phase() const { return phase_; }
+
+    /** The lookup table (tests/analysis). */
+    const QTable &qtable() const { return qtable_; }
+
+    /** Action list indexed by the table's action dimension. */
+    const std::vector<CoreConfig> &actions() const { return actions_; }
+
+    /** Load quantizer in use. */
+    const LoadBucketQuantizer &quantizer() const { return quantizer_; }
+
+    /** Sliding-window QoS guarantee (Algorithm 2, line 18 input). */
+    double windowGuarantee() const { return window_.guarantee(); }
+
+    /** Number of times the policy re-entered the learning phase. */
+    std::uint64_t relearnCount() const { return relearnCount_; }
+
+  private:
+    Decision decorate(CoreConfig config) const;
+    std::size_t actionIndex(const CoreConfig &config) const;
+    void enterLearning(Seconds now, const CoreConfig &resume_from);
+
+    HipsterParams params_;
+    std::vector<CoreConfig> actions_;
+    LoadBucketQuantizer quantizer_;
+    QTable qtable_;
+    RewardCalculator reward_;
+    HeuristicMapper heuristic_;
+    QosGuaranteeWindow window_;
+
+    GHz bigMax_ = 0.0, bigMin_ = 0.0;
+    GHz smallMax_ = 0.0, smallMin_ = 0.0;
+    Watts tdp_ = 0.0;
+    Ips maxIpsSum_ = 0.0;
+
+    HipsterPhase phase_ = HipsterPhase::Learning;
+    Seconds learningUntil_ = 0.0;
+    std::uint64_t relearnCount_ = 0;
+
+    bool havePending_ = false;
+    int pendingBucket_ = 0;
+    std::size_t pendingAction_ = 0;
+};
+
+} // namespace hipster
+
+#endif // HIPSTER_CORE_HIPSTER_POLICY_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * TaskPolicy: the interface every task manager implements — Hipster,
+ * its heuristic-only variant, Octopus-Man, and the static baselines.
+ * Once per monitoring interval the experiment runner feeds the last
+ * interval's metrics to the policy and receives the configuration to
+ * apply for the next interval.
+ */
+
+#ifndef HIPSTER_CORE_POLICY_HH
+#define HIPSTER_CORE_POLICY_HH
+
+#include <optional>
+#include <string>
+
+#include "monitor/metrics.hh"
+#include "platform/core_config.hh"
+
+namespace hipster
+{
+
+/** Whether the manager optimizes for power or batch throughput. */
+enum class PolicyVariant
+{
+    /** Latency-critical workload runs alone; minimize system power
+     * (HipsterIn). */
+    Interactive,
+
+    /** Latency-critical + batch collocation; maximize batch
+     * throughput (HipsterCo). */
+    Collocated,
+};
+
+/**
+ * A policy's decision for the next interval: the LC configuration
+ * plus how to clock clusters that host no LC core (Algorithm 2,
+ * lines 8-13) and whether batch jobs may run.
+ */
+struct Decision
+{
+    /** Core mapping + DVFS for the latency-critical workload. */
+    CoreConfig config;
+
+    /**
+     * Frequency for the big cluster when it hosts no LC core
+     * (unset = leave unchanged). HipsterIn sets the lowest OPP;
+     * HipsterCo sets the highest to accelerate batch work.
+     */
+    std::optional<GHz> spareBigFreq;
+
+    /** Same for the small cluster. */
+    std::optional<GHz> spareSmallFreq;
+
+    /** Whether batch jobs may run this interval (SIGCONT/SIGSTOP). */
+    bool runBatch = false;
+};
+
+/** Abstract task manager. */
+class TaskPolicy
+{
+  public:
+    virtual ~TaskPolicy() = default;
+
+    /** Display name used in reports ("HipsterIn", "Octopus-Man"...). */
+    virtual std::string name() const = 0;
+
+    /** Decision before any metrics exist (first interval). */
+    virtual Decision initialDecision() = 0;
+
+    /**
+     * Decision for the next interval, given the metrics observed
+     * during the interval that just ended.
+     */
+    virtual Decision decide(const IntervalMetrics &last) = 0;
+
+    /** Forget all state (fresh run). */
+    virtual void reset() = 0;
+};
+
+} // namespace hipster
+
+#endif // HIPSTER_CORE_POLICY_HH

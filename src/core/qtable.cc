@@ -1,0 +1,100 @@
+#include "core/qtable.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace hipster
+{
+
+QTable::QTable(int buckets, std::size_t actions)
+    : buckets_(buckets), actions_(actions)
+{
+    if (buckets <= 0)
+        fatal("QTable: bucket count must be positive");
+    if (actions == 0)
+        fatal("QTable: action count must be positive");
+    values_.assign(static_cast<std::size_t>(buckets) * actions, 0.0);
+    visits_.assign(values_.size(), 0);
+}
+
+std::size_t
+QTable::index(int w, std::size_t c) const
+{
+    HIPSTER_ASSERT(w >= 0 && w < buckets_, "bucket out of range: ", w);
+    HIPSTER_ASSERT(c < actions_, "action out of range: ", c);
+    return static_cast<std::size_t>(w) * actions_ + c;
+}
+
+double
+QTable::value(int w, std::size_t c) const
+{
+    return values_[index(w, c)];
+}
+
+std::uint64_t
+QTable::visits(int w, std::size_t c) const
+{
+    return visits_[index(w, c)];
+}
+
+std::size_t
+QTable::bestAction(int w) const
+{
+    const std::size_t base = index(w, 0);
+    std::size_t best = 0;
+    double best_value = values_[base];
+    for (std::size_t c = 1; c < actions_; ++c) {
+        if (values_[base + c] > best_value) {
+            best_value = values_[base + c];
+            best = c;
+        }
+    }
+    return best;
+}
+
+double
+QTable::maxValue(int w) const
+{
+    const std::size_t base = index(w, 0);
+    double best = values_[base];
+    for (std::size_t c = 1; c < actions_; ++c)
+        best = std::max(best, values_[base + c]);
+    return best;
+}
+
+void
+QTable::update(int w, std::size_t c, double reward, int w_next,
+               double alpha, double gamma)
+{
+    HIPSTER_ASSERT(alpha >= 0.0 && alpha <= 1.0,
+                   "alpha out of range: ", alpha);
+    HIPSTER_ASSERT(gamma >= 0.0 && gamma < 1.0,
+                   "gamma out of range: ", gamma);
+    const std::size_t i = index(w, c);
+    const double target = reward + gamma * maxValue(w_next);
+    values_[i] += alpha * (target - values_[i]);
+    ++visits_[i];
+    ++totalUpdates_;
+}
+
+bool
+QTable::visited(int w) const
+{
+    const std::size_t base = index(w, 0);
+    for (std::size_t c = 0; c < actions_; ++c) {
+        if (visits_[base + c] > 0)
+            return true;
+    }
+    return false;
+}
+
+void
+QTable::clear()
+{
+    std::fill(values_.begin(), values_.end(), 0.0);
+    std::fill(visits_.begin(), visits_.end(), 0);
+    totalUpdates_ = 0;
+}
+
+} // namespace hipster

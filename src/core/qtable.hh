@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The reinforcement-learning lookup table R(w, c) of Section 3.1:
+ * rows are quantized load buckets (MDP states), columns are
+ * configurations (actions). The paper implements it as a hash table
+ * with O(1) access; ours is a dense row-major array, which is the
+ * same complexity with better locality — the decision-latency bench
+ * (bench/micro_overhead) verifies the paper's <2 ms overhead claim
+ * holds with orders of magnitude to spare.
+ */
+
+#ifndef HIPSTER_CORE_QTABLE_HH
+#define HIPSTER_CORE_QTABLE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hipster
+{
+
+/** Dense R(w, c) table with the Algorithm 1 (line 16) update rule. */
+class QTable
+{
+  public:
+    /**
+     * @param buckets Number of load buckets (states).
+     * @param actions Number of configurations (actions).
+     */
+    QTable(int buckets, std::size_t actions);
+
+    int buckets() const { return buckets_; }
+    std::size_t actions() const { return actions_; }
+
+    /** Estimated total discounted reward of (w, c). */
+    double value(int w, std::size_t c) const;
+
+    /** Number of updates applied to (w, c). */
+    std::uint64_t visits(int w, std::size_t c) const;
+
+    /** Greedy action for state w (first index on ties). */
+    std::size_t bestAction(int w) const;
+
+    /** max_d R(w, d). */
+    double maxValue(int w) const;
+
+    /**
+     * Q-learning update (Algorithm 1, line 16):
+     *   R(w,c) += alpha * (reward + gamma * max_d R(w',d) - R(w,c))
+     */
+    void update(int w, std::size_t c, double reward, int w_next,
+                double alpha, double gamma);
+
+    /** Whether state w has ever been updated. */
+    bool visited(int w) const;
+
+    /** Zero the table (fresh learning). */
+    void clear();
+
+    /** Total updates applied. */
+    std::uint64_t totalUpdates() const { return totalUpdates_; }
+
+  private:
+    std::size_t index(int w, std::size_t c) const;
+
+    int buckets_;
+    std::size_t actions_;
+    std::vector<double> values_;
+    std::vector<std::uint64_t> visits_;
+    std::uint64_t totalUpdates_ = 0;
+};
+
+} // namespace hipster
+
+#endif // HIPSTER_CORE_QTABLE_HH

@@ -1,0 +1,60 @@
+#include "core/reward.hh"
+
+#include "common/logging.hh"
+
+namespace hipster
+{
+
+RewardCalculator::RewardCalculator(double qos_danger, std::uint64_t seed)
+    : qosDanger_(qos_danger), rng_(seed)
+{
+    if (qos_danger <= 0.0 || qos_danger >= 1.0)
+        fatal("RewardCalculator: QoS_D must lie in (0, 1), got ",
+              qos_danger);
+}
+
+RewardBreakdown
+RewardCalculator::evaluate(const RewardInputs &inputs)
+{
+    HIPSTER_ASSERT(inputs.qosTarget > 0.0, "QoS target must be positive");
+    RewardBreakdown out;
+
+    // Lines 4-11: QoS reward / tardiness penalty.
+    const double qos_reward = inputs.qosCurr / inputs.qosTarget;
+    if (inputs.qosCurr < inputs.qosTarget * qosDanger_) {
+        // Below the danger zone: positive reward, larger when the
+        // latency approaches (but does not cross) the target — that
+        // is what pushes the table toward frugal configurations.
+        out.qosComponent = qos_reward + 1.0;
+    } else if (inputs.qosCurr < inputs.qosTarget) {
+        // Inside the danger zone: same positive reward, minus a
+        // stochastic penalty so the configuration keeps being
+        // explored but with smaller probability (line 9).
+        out.qosComponent = qos_reward + 1.0;
+        out.stochasticPenalty = rng_.uniform();
+    } else {
+        // QoS violated: negative reward scaled by the tardiness.
+        out.qosComponent = -qos_reward - 1.0;
+    }
+
+    // Lines 12-15: throughput reward (collocated) or power reward.
+    if (inputs.batchPresent) {
+        HIPSTER_ASSERT(inputs.maxIpsSum > 0.0,
+                       "maxIpsSum must be positive");
+        out.efficiencyComponent =
+            (inputs.batchBigIps + inputs.batchSmallIps) /
+            inputs.maxIpsSum;
+    } else {
+        HIPSTER_ASSERT(inputs.power > 0.0, "power must be positive");
+        out.efficiencyComponent = inputs.tdp / inputs.power;
+    }
+    return out;
+}
+
+double
+RewardCalculator::operator()(const RewardInputs &inputs)
+{
+    return evaluate(inputs).total();
+}
+
+} // namespace hipster

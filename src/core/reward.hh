@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Algorithm 1: the reward mechanism. Combines the QoS reward (how
+ * close the tail latency came to the target, or how badly it
+ * violated it), a stochastic penalty inside the danger zone, and
+ * either the Power reward (HipsterIn: TDP / measured power) or the
+ * Throughput reward (HipsterCo: normalized batch IPS).
+ */
+
+#ifndef HIPSTER_CORE_REWARD_HH
+#define HIPSTER_CORE_REWARD_HH
+
+#include "common/random.hh"
+#include "common/units.hh"
+
+namespace hipster
+{
+
+/** Inputs of one reward evaluation (end of interval t_n..t_n+1). */
+struct RewardInputs
+{
+    /** Measured tail latency (ms). */
+    Millis qosCurr = 0.0;
+
+    /** QoS target (ms). */
+    Millis qosTarget = 1.0;
+
+    /** Measured mean system power over the interval (W). */
+    Watts power = 1.0;
+
+    /** Thermal design power of the platform (W). */
+    Watts tdp = 1.0;
+
+    /** Whether batch jobs exist (selects the throughput reward). */
+    bool batchPresent = false;
+
+    /** Aggregate batch IPS on the big cluster (BIPS). */
+    Ips batchBigIps = 0.0;
+
+    /** Aggregate batch IPS on the small cluster (SIPS). */
+    Ips batchSmallIps = 0.0;
+
+    /** maxIPS(B) + maxIPS(S): cluster peak IPS at highest DVFS. */
+    Ips maxIpsSum = 1.0;
+};
+
+/** Decomposition of a computed reward, for logging and tests. */
+struct RewardBreakdown
+{
+    double qosComponent = 0.0;
+    double stochasticPenalty = 0.0;
+    double efficiencyComponent = 0.0;
+
+    double
+    total() const
+    {
+        return qosComponent - stochasticPenalty + efficiencyComponent;
+    }
+};
+
+/**
+ * Computes Algorithm 1's reward lambda_n.
+ *
+ * @param qos_danger The danger-zone parameter QoS_D in (0, 1): the
+ *                   stochastic penalty applies when the latency lies
+ *                   between target*QoS_D and the target.
+ */
+class RewardCalculator
+{
+  public:
+    explicit RewardCalculator(double qos_danger = 0.8,
+                              std::uint64_t seed = 0x5eedF00dULL);
+
+    double qosDanger() const { return qosDanger_; }
+
+    /** Compute lambda_n with its decomposition. */
+    RewardBreakdown evaluate(const RewardInputs &inputs);
+
+    /** Convenience: just the scalar reward. */
+    double operator()(const RewardInputs &inputs);
+
+  private:
+    double qosDanger_;
+    Rng rng_;
+};
+
+} // namespace hipster
+
+#endif // HIPSTER_CORE_REWARD_HH

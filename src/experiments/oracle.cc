@@ -1,0 +1,96 @@
+#include "experiments/oracle.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "core/baselines.hh"
+
+namespace hipster
+{
+
+HetCmpOracle::HetCmpOracle(const PlatformSpec &spec, LcWorkloadDef def,
+                           OracleOptions options)
+    : spec_(spec), def_(std::move(def)), options_(options)
+{
+    if (options_.measure <= 0.0 || options_.warmup < 0.0)
+        fatal("HetCmpOracle: invalid warmup/measure windows");
+    if (options_.qosFractionRequired <= 0.0 ||
+        options_.qosFractionRequired > 1.0) {
+        fatal("HetCmpOracle: qosFractionRequired must lie in (0, 1]");
+    }
+}
+
+ConfigMeasurement
+HetCmpOracle::measure(Fraction load, const CoreConfig &config)
+{
+    RunnerOptions run_options;
+    run_options.interval = options_.interval;
+    ExperimentRunner runner(
+        spec_, def_, std::make_shared<ConstantTrace>(load),
+        options_.seed, run_options);
+    StaticPolicy policy(runner.platform(), config);
+
+    const Seconds total = options_.warmup + options_.measure;
+    ExperimentResult result = runner.run(policy, total);
+
+    const auto warmup_intervals = static_cast<std::size_t>(
+        options_.warmup / options_.interval + 0.5);
+
+    ConfigMeasurement out;
+    out.config = config;
+    out.load = load;
+
+    SampleStats tails;
+    std::size_t met = 0, counted = 0;
+    double power_sum = 0.0, throughput_sum = 0.0;
+    for (std::size_t k = warmup_intervals; k < result.series.size(); ++k) {
+        const IntervalMetrics &m = result.series[k];
+        tails.add(m.tailLatency);
+        if (!m.qosViolated())
+            ++met;
+        ++counted;
+        power_sum += m.power;
+        throughput_sum += m.throughput;
+    }
+    if (counted == 0)
+        fatal("HetCmpOracle: measurement window too short");
+
+    out.qosFraction = static_cast<double>(met) / counted;
+    out.tailLatency = tails.percentile(50.0);
+    out.power = power_sum / counted;
+    out.throughput = throughput_sum / counted;
+    out.throughputPerWatt =
+        out.power > 0.0 ? out.throughput / out.power : 0.0;
+    out.feasible = out.qosFraction >= options_.qosFractionRequired;
+    return out;
+}
+
+OracleEntry
+HetCmpOracle::bestConfig(Fraction load,
+                         const std::vector<CoreConfig> &candidates)
+{
+    OracleEntry entry;
+    entry.load = load;
+    for (const auto &config : candidates) {
+        ConfigMeasurement m = measure(load, config);
+        if (!m.feasible)
+            continue;
+        if (!entry.best || m.power < entry.best->power)
+            entry.best = m;
+    }
+    return entry;
+}
+
+std::vector<OracleEntry>
+HetCmpOracle::stateMachine(const std::vector<Fraction> &loads,
+                           const std::vector<CoreConfig> &candidates)
+{
+    std::vector<OracleEntry> out;
+    out.reserve(loads.size());
+    for (Fraction load : loads)
+        out.push_back(bestConfig(load, candidates));
+    return out;
+}
+
+} // namespace hipster

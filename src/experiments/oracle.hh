@@ -1,0 +1,108 @@
+/**
+ * @file
+ * HetCmpOracle: the offline best-configuration search behind the
+ * paper's motivation study (Figures 2 and 3). For every load level
+ * it measures each candidate configuration with a short steady-state
+ * simulation and — among the configurations meeting QoS — selects
+ * the one with the least power, exactly the selection rule of
+ * Section 2 ("among the configurations where the QoS is met at each
+ * load level, the configuration with the least power consumption is
+ * selected").
+ */
+
+#ifndef HIPSTER_EXPERIMENTS_ORACLE_HH
+#define HIPSTER_EXPERIMENTS_ORACLE_HH
+
+#include <optional>
+#include <vector>
+
+#include "experiments/runner.hh"
+#include "platform/config_space.hh"
+
+namespace hipster
+{
+
+/** Steady-state measurement of one (load, configuration) pair. */
+struct ConfigMeasurement
+{
+    CoreConfig config;
+    Fraction load = 0.0;
+
+    /** Fraction of measured intervals meeting the QoS target. */
+    double qosFraction = 0.0;
+
+    /** Median per-interval tail latency (ms). */
+    Millis tailLatency = 0.0;
+
+    /** Mean system power (W). */
+    Watts power = 0.0;
+
+    /** Mean achieved throughput (reported units). */
+    Rate throughput = 0.0;
+
+    /** Throughput per watt (the y-axis of Figure 2a/2b). */
+    double throughputPerWatt = 0.0;
+
+    /** QoS-met decision at the oracle's required confidence. */
+    bool feasible = false;
+};
+
+/** One row of the oracle's state machine (Figure 2c). */
+struct OracleEntry
+{
+    Fraction load = 0.0;
+    std::optional<ConfigMeasurement> best; ///< empty when infeasible
+};
+
+/** Oracle tunables. */
+struct OracleOptions
+{
+    /** Warm-up simulated seconds discarded before measuring. */
+    Seconds warmup = 5.0;
+
+    /** Measured simulated seconds per (load, config) pair. */
+    Seconds measure = 20.0;
+
+    /** Fraction of intervals that must meet QoS for feasibility. */
+    double qosFractionRequired = 0.90;
+
+    /** Monitoring interval. */
+    Seconds interval = 1.0;
+
+    std::uint64_t seed = 7;
+};
+
+/** Offline exhaustive configuration search. */
+class HetCmpOracle
+{
+  public:
+    HetCmpOracle(const PlatformSpec &spec, LcWorkloadDef def,
+                 OracleOptions options = {});
+
+    /** Measure one (load, configuration) pair. */
+    ConfigMeasurement measure(Fraction load, const CoreConfig &config);
+
+    /**
+     * Best configuration at one load among `candidates`: the least
+     * power among feasible ones; empty when none is feasible.
+     */
+    OracleEntry bestConfig(Fraction load,
+                           const std::vector<CoreConfig> &candidates);
+
+    /**
+     * Best configuration per load level: the per-workload state
+     * machine of Figure 2c.
+     */
+    std::vector<OracleEntry>
+    stateMachine(const std::vector<Fraction> &loads,
+                 const std::vector<CoreConfig> &candidates);
+
+  private:
+    PlatformSpec spec_;
+    LcWorkloadDef def_;
+    OracleOptions options_;
+};
+
+} // namespace hipster
+
+#endif // HIPSTER_EXPERIMENTS_ORACLE_HH

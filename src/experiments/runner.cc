@@ -1,0 +1,232 @@
+#include "experiments/runner.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace hipster
+{
+
+ExperimentRunner::ExperimentRunner(const PlatformSpec &spec,
+                                   LcWorkloadDef def,
+                                   std::shared_ptr<const LoadTrace> trace,
+                                   std::uint64_t seed,
+                                   RunnerOptions options)
+    : spec_(spec), def_(std::move(def)), trace_(std::move(trace)),
+      seed_(seed), options_(options), contention_(options.contention),
+      reportQuantizer_(options.reportBucketPercent)
+{
+    if (!trace_)
+        fatal("ExperimentRunner: load trace is null");
+    if (options_.interval <= 0.0)
+        fatal("ExperimentRunner: interval must be positive");
+    platform_ = std::make_unique<Platform>(spec_);
+    app_ = std::make_unique<LatencyCriticalApp>(def_.params, seed_);
+}
+
+void
+ExperimentRunner::setBatch(std::shared_ptr<BatchWorkload> batch)
+{
+    batch_ = std::move(batch);
+}
+
+std::vector<ServerSpec>
+ExperimentRunner::buildServers(
+    const std::vector<ClusterPressure> &pressure) const
+{
+    std::vector<ServerSpec> servers;
+    const ServiceModel &model = app_->serviceModel();
+    for (CoreId core : platform_->lcCores()) {
+        ServerSpec server;
+        server.core = core;
+        const CoreType type = platform_->coreType(core);
+        server.instructionRate =
+            model.instructionRate(type, platform_->coreFrequency(core));
+        server.stallScale = contention_.lcStallScale(
+            pressure, platform_->clusterOf(core),
+            def_.traits.stallSensitivity);
+        servers.push_back(server);
+    }
+    return servers;
+}
+
+ExperimentResult
+ExperimentRunner::run(
+    TaskPolicy &policy, Seconds duration,
+    const std::function<void(const IntervalMetrics &)> &observer)
+{
+    platform_->energyMeter().reset();
+    app_->reset();
+    lastLcUtilization_ = 0.0;
+
+    ExperimentResult result;
+    result.policyName = policy.name();
+    result.workloadName = def_.params.name;
+
+    const auto intervals = static_cast<std::size_t>(
+        duration / options_.interval + 0.5);
+    IntervalMetrics last;
+    for (std::size_t k = 0; k < intervals; ++k) {
+        const Decision decision =
+            k == 0 ? policy.initialDecision() : policy.decide(last);
+        last = stepInterval(k, decision);
+        result.series.push_back(last);
+        if (observer)
+            observer(last);
+    }
+
+    result.summary = RunSummary::fromSeries(result.series);
+    result.migrations = platform_->totalMigrations();
+    result.dvfsTransitions = platform_->totalDvfsTransitions();
+    return result;
+}
+
+IntervalMetrics
+ExperimentRunner::stepInterval(std::size_t k, const Decision &decision)
+{
+    const Seconds t0 = k * options_.interval;
+    const Seconds t1 = t0 + options_.interval;
+    const Seconds dt = options_.interval;
+
+    // --- Actuate.
+    ActuationResult actuation = platform_->applyConfig(decision.config);
+    if (decision.spareBigFreq &&
+        platform_->coreCount(CoreType::Big) > 0 &&
+        decision.config.nBig == 0) {
+        if (platform_->setClusterFrequency(CoreType::Big,
+                                           *decision.spareBigFreq)) {
+            ++actuation.dvfsTransitions;
+        }
+    }
+    if (decision.spareSmallFreq &&
+        platform_->coreCount(CoreType::Small) > 0 &&
+        decision.config.nSmall == 0) {
+        if (platform_->setClusterFrequency(CoreType::Small,
+                                           *decision.spareSmallFreq)) {
+            ++actuation.dvfsTransitions;
+        }
+    }
+
+    // --- Batch assignment and contention pressures.
+    const bool batch_running = batch_ && decision.runBatch;
+    if (batch_)
+        batch_->setSuspended(!decision.runBatch);
+    if (batch_ && options_.disableCpuIdleWithBatch)
+        platform_->cpuIdle().setEnabled(false);
+
+    const std::vector<CoreId> &spare = platform_->spareCores();
+    std::vector<ClusterPressure> pressure(platform_->clusters().size());
+    if (batch_running)
+        pressure = batch_->pressureOn(*platform_, spare);
+    // LC pressure (utilization-weighted, lagged one interval).
+    for (CoreId core : platform_->lcCores()) {
+        pressure[platform_->clusterOf(core)].lc +=
+            def_.traits.memPressure * lastLcUtilization_;
+    }
+
+    // --- Step the LC app.
+    platform_->perfCounters().beginInterval();
+    app_->configure(buildServers(pressure), t0, actuation.latency);
+    const Fraction offered = trace_->at(t0);
+    LcIntervalStats lc = app_->runInterval(t0, t1, offered);
+    lastLcUtilization_ = lc.utilization;
+
+    for (const auto &use : lc.usage) {
+        platform_->perfCounters().record(
+            use.core, use.instructions,
+            platform_->coreFrequency(use.core) * 1e9 * use.busyTime,
+            use.busyTime / dt);
+        const Seconds idle = dt - use.busyTime;
+        platform_->perfCounters().noteIdle(use.core, idle,
+                                           platform_->cpuIdle());
+    }
+
+    // --- Step the batch workload.
+    BatchIntervalStats batch_stats;
+    if (batch_running) {
+        batch_stats = batch_->runInterval(*platform_, spare, contention_,
+                                          pressure, dt);
+    } else {
+        for (CoreId core : spare)
+            platform_->perfCounters().noteIdle(core, dt,
+                                               platform_->cpuIdle());
+    }
+
+    // --- Power accounting. A cluster is powered when any of its
+    // cores is allocated (LC) or running batch work; powered-but-idle
+    // cores burn static power, which is what keeps the Figure 1
+    // baseline above 60% of peak at low load.
+    std::vector<ClusterActivity> activity(platform_->clusters().size());
+    std::vector<Seconds> busy(platform_->clusters().size(), 0.0);
+    std::vector<std::uint32_t> allocated(platform_->clusters().size(), 0);
+    for (const auto &use : lc.usage) {
+        busy[platform_->clusterOf(use.core)] += use.busyTime;
+    }
+    for (CoreId core : platform_->lcCores())
+        ++allocated[platform_->clusterOf(core)];
+    if (batch_running) {
+        for (CoreId core : spare) {
+            ++allocated[platform_->clusterOf(core)];
+            busy[platform_->clusterOf(core)] += dt;
+        }
+    }
+    for (std::size_t i = 0; i < activity.size(); ++i) {
+        const std::uint32_t cluster_cores =
+            platform_->clusters()[i].spec().coreCount;
+        if (allocated[i] == 0) {
+            activity[i] = {0, 0.0}; // power-gated
+            continue;
+        }
+        activity[i].activeCores = cluster_cores;
+        activity[i].utilization =
+            std::clamp(busy[i] / (dt * cluster_cores), 0.0, 1.0);
+    }
+    const Watts power = platform_->accountEnergy(activity, dt);
+
+    // --- Read perf counters the way the paper's monitor does.
+    Ips bips = 0.0, sips = 0.0;
+    bool ips_valid = true;
+    if (batch_running) {
+        for (CoreId core : spare) {
+            const auto counters = platform_->perfCounters().read(core);
+            if (!counters) {
+                ips_valid = false;
+                break;
+            }
+            if (platform_->coreType(core) == CoreType::Big) {
+                bips += counters->instructions / dt;
+            } else {
+                sips += counters->instructions / dt;
+            }
+        }
+        if (!ips_valid) {
+            bips = 0.0;
+            sips = 0.0;
+        }
+    }
+
+    // --- Assemble the monitor view.
+    IntervalMetrics metrics;
+    metrics.begin = t0;
+    metrics.end = t1;
+    metrics.offeredLoad = offered;
+    metrics.offeredRate = lc.offeredRate;
+    metrics.loadBucket = reportQuantizer_.bucket(offered);
+    metrics.tailLatency = lc.tailLatency;
+    metrics.qosTarget = def_.params.qosTargetMs;
+    metrics.throughput = lc.throughput;
+    metrics.power = power;
+    metrics.energy = power * dt;
+    metrics.batchBigIps = bips;
+    metrics.batchSmallIps = sips;
+    metrics.batchPresent = batch_running;
+    metrics.ipsValid = ips_valid;
+    metrics.config = decision.config;
+    metrics.migrations = actuation.migratedCores;
+    metrics.dvfsTransitions = actuation.dvfsTransitions;
+    metrics.lcUtilization = lc.utilization;
+    metrics.dropped = lc.dropped;
+    return metrics;
+}
+
+} // namespace hipster

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * ExperimentRunner: the closed loop of Figure 4. Every monitoring
+ * interval it (1) asks the policy for a decision, (2) actuates core
+ * affinity + DVFS on the platform, (3) steps the latency-critical
+ * app and any batch workload through the interval under the
+ * contention model, (4) meters power/energy and perf counters, and
+ * (5) assembles the IntervalMetrics the policy will see next.
+ */
+
+#ifndef HIPSTER_EXPERIMENTS_RUNNER_HH
+#define HIPSTER_EXPERIMENTS_RUNNER_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/policy.hh"
+#include "loadgen/load_trace.hh"
+#include "monitor/metrics.hh"
+#include "monitor/qos_monitor.hh"
+#include "platform/platform.hh"
+#include "workloads/apps.hh"
+#include "workloads/batch.hh"
+#include "workloads/contention.hh"
+#include "workloads/latency_app.hh"
+
+namespace hipster
+{
+
+/** Result of one experiment run. */
+struct ExperimentResult
+{
+    std::string policyName;
+    std::string workloadName;
+    std::vector<IntervalMetrics> series;
+    RunSummary summary;
+
+    /** Total LC core migrations over the run. */
+    std::uint64_t migrations = 0;
+
+    /** Total cluster DVFS transitions over the run. */
+    std::uint64_t dvfsTransitions = 0;
+};
+
+/** Knobs of the experiment loop. */
+struct RunnerOptions
+{
+    /** Monitoring interval (paper: 1 s). */
+    Seconds interval = 1.0;
+
+    /** Bucket width used for the informational loadBucket field in
+     * the metrics (policies quantize internally). */
+    double reportBucketPercent = 5.0;
+
+    /** Contention-model coefficients (collocation only). */
+    ContentionParams contention;
+
+    /** Disable cpuidle while batch jobs run, as the paper does to
+     * work around the Juno perf erratum (Section 3.7). */
+    bool disableCpuIdleWithBatch = true;
+};
+
+/**
+ * Owns the wiring of one experiment: a platform instance, an LC app,
+ * a load trace, and optionally a batch workload.
+ */
+class ExperimentRunner
+{
+  public:
+    /**
+     * @param spec  Platform description (a fresh Platform is built
+     *              so runs are isolated).
+     * @param def   LC workload definition (params + traits).
+     * @param trace Offered-load trace.
+     * @param seed  Seed for all stochastic components.
+     */
+    ExperimentRunner(const PlatformSpec &spec, LcWorkloadDef def,
+                     std::shared_ptr<const LoadTrace> trace,
+                     std::uint64_t seed, RunnerOptions options = {});
+
+    /** Attach a batch workload (enables collocation). */
+    void setBatch(std::shared_ptr<BatchWorkload> batch);
+
+    Platform &platform() { return *platform_; }
+    const Platform &platform() const { return *platform_; }
+    LatencyCriticalApp &app() { return *app_; }
+    const LcWorkloadDef &workload() const { return def_; }
+    const RunnerOptions &options() const { return options_; }
+
+    /**
+     * Run `duration` seconds under `policy` and return the series +
+     * summary. The platform's meters are reset at the start.
+     *
+     * @param observer Optional per-interval callback (time-series
+     *                 dumps for the figure benches).
+     */
+    ExperimentResult
+    run(TaskPolicy &policy, Seconds duration,
+        const std::function<void(const IntervalMetrics &)> &observer = {});
+
+  private:
+    IntervalMetrics stepInterval(std::size_t k, const Decision &decision);
+
+    /** Build the LC server set for the current platform state. */
+    std::vector<ServerSpec>
+    buildServers(const std::vector<ClusterPressure> &pressure) const;
+
+    PlatformSpec spec_;
+    LcWorkloadDef def_;
+    std::shared_ptr<const LoadTrace> trace_;
+    std::uint64_t seed_;
+    RunnerOptions options_;
+
+    std::unique_ptr<Platform> platform_;
+    std::unique_ptr<LatencyCriticalApp> app_;
+    std::shared_ptr<BatchWorkload> batch_;
+    ContentionModel contention_;
+    LoadBucketQuantizer reportQuantizer_;
+
+    /** LC utilization of the previous interval (pressure lag). */
+    Fraction lastLcUtilization_ = 0.0;
+};
+
+} // namespace hipster
+
+#endif // HIPSTER_EXPERIMENTS_RUNNER_HH

@@ -1,0 +1,99 @@
+#include "experiments/scenario.hh"
+
+#include "common/logging.hh"
+
+namespace hipster
+{
+
+std::shared_ptr<const LoadTrace>
+diurnalTrace(Seconds duration, std::uint64_t seed, Fraction low,
+             Fraction high)
+{
+    auto day = std::make_shared<DiurnalTrace>(duration, low, high);
+    return std::make_shared<NoisyTrace>(day, /*sigma=*/0.04,
+                                        /*interval=*/1.0, seed,
+                                        /*cap=*/1.05);
+}
+
+std::shared_ptr<const LoadTrace>
+rampTrace50to100()
+{
+    return std::make_shared<RampTrace>(0.50, 1.00, /*t0=*/5.0,
+                                       /*length=*/175.0);
+}
+
+Seconds
+diurnalDurationFor(const std::string &workload)
+{
+    if (workload == "memcached")
+        return ScenarioDefaults::memcachedDiurnal;
+    return ScenarioDefaults::webSearchDiurnal;
+}
+
+HipsterParams
+tunedHipsterParams(const std::string &workload)
+{
+    HipsterParams params;
+    // Bucket widths from the Figure 10 sweep on our substrate:
+    // Memcached's open-loop noise needs coarser buckets to stay
+    // above the QoS floor; Web-Search tolerates finer control.
+    params.bucketPercent = workload == "memcached" ? 8.0 : 5.0;
+    params.learningPhase = ScenarioDefaults::learningPhase;
+    return params;
+}
+
+std::unique_ptr<TaskPolicy>
+makePolicy(const std::string &name, const Platform &platform,
+           const HipsterParams &hipster_params,
+           const OctopusManParams &octopus_params)
+{
+    if (name == "static-big") {
+        return std::make_unique<StaticPolicy>(StaticPolicy::allBig(
+            platform, hipster_params.variant));
+    }
+    if (name == "static-small") {
+        return std::make_unique<StaticPolicy>(StaticPolicy::allSmall(
+            platform, hipster_params.variant));
+    }
+    if (name == "octopus-man") {
+        OctopusManParams params = octopus_params;
+        params.variant = hipster_params.variant;
+        return std::make_unique<OctopusManPolicy>(platform, params);
+    }
+    if (name == "heuristic") {
+        return std::make_unique<HeuristicOnlyPolicy>(
+            platform, hipster_params.zones, hipster_params.variant);
+    }
+    if (name == "hipster-in") {
+        HipsterParams params = hipster_params;
+        params.variant = PolicyVariant::Interactive;
+        return std::make_unique<HipsterPolicy>(platform, params);
+    }
+    if (name == "hipster-co") {
+        HipsterParams params = hipster_params;
+        params.variant = PolicyVariant::Collocated;
+        return std::make_unique<HipsterPolicy>(platform, params);
+    }
+    fatal("makePolicy: unknown policy '", name, "'");
+}
+
+const std::vector<std::string> &
+tablePolicyNames()
+{
+    static const std::vector<std::string> names = {
+        "static-big", "static-small", "heuristic", "octopus-man",
+        "hipster-in",
+    };
+    return names;
+}
+
+ExperimentRunner
+makeDiurnalRunner(const std::string &workload, Seconds duration,
+                  std::uint64_t seed)
+{
+    return ExperimentRunner(Platform::junoR1(),
+                            lcWorkloadByName(workload),
+                            diurnalTrace(duration, seed), seed);
+}
+
+} // namespace hipster

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Canned experiment scenarios shared by the bench binaries, examples
+ * and integration tests: the paper's diurnal runs (Section 4.1: a
+ * 36-hour day compressed so one hour lasts one minute), the Figure 8
+ * ramp, and policy factories keyed by the names the evaluation uses.
+ */
+
+#ifndef HIPSTER_EXPERIMENTS_SCENARIO_HH
+#define HIPSTER_EXPERIMENTS_SCENARIO_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/baselines.hh"
+#include "core/hipster_policy.hh"
+#include "experiments/runner.hh"
+
+namespace hipster
+{
+
+/** Standard run lengths used by the paper's figures. */
+struct ScenarioDefaults
+{
+    /** Memcached diurnal run (Figures 5/6 span ~1440 s). */
+    static constexpr Seconds memcachedDiurnal = 1440.0;
+
+    /** Web-Search diurnal run (Figures 5/7 span ~1000 s). */
+    static constexpr Seconds webSearchDiurnal = 1080.0;
+
+    /** Learning phase (Section 4.1). */
+    static constexpr Seconds learningPhase = 500.0;
+
+    /** Learning phase for the Figure 9 study. */
+    static constexpr Seconds shortLearningPhase = 200.0;
+};
+
+/**
+ * The diurnal trace used throughout the evaluation: a compressed day
+ * with mild per-interval noise, spanning ~5%..95% of max capacity.
+ */
+std::shared_ptr<const LoadTrace>
+diurnalTrace(Seconds duration, std::uint64_t seed = 11,
+             Fraction low = 0.05, Fraction high = 0.95);
+
+/** The Figure 8 stimulus: 50% -> 100% over 175 s. */
+std::shared_ptr<const LoadTrace> rampTrace50to100();
+
+/** Diurnal run length appropriate for a workload name. */
+Seconds diurnalDurationFor(const std::string &workload);
+
+/**
+ * Hipster tunables chosen at "deployment stage" per workload
+ * (Section 3.2: the bucket size is picked to maximize energy savings
+ * subject to a QoS-guarantee floor; Figure 10 shows the sweep).
+ */
+HipsterParams tunedHipsterParams(const std::string &workload);
+
+/**
+ * Policy factory keyed on the names used in Table 3:
+ * "static-big", "static-small", "octopus-man", "heuristic",
+ * "hipster-in", "hipster-co". Throws FatalError on unknown names.
+ */
+std::unique_ptr<TaskPolicy>
+makePolicy(const std::string &name, const Platform &platform,
+           const HipsterParams &hipster_params = {},
+           const OctopusManParams &octopus_params = {});
+
+/** The Table 3 policy list, in row order. */
+const std::vector<std::string> &tablePolicyNames();
+
+/**
+ * Convenience: build a runner for a named workload ("memcached" /
+ * "websearch") on the Juno R1 with the standard diurnal trace.
+ */
+ExperimentRunner makeDiurnalRunner(const std::string &workload,
+                                   Seconds duration,
+                                   std::uint64_t seed = 1);
+
+} // namespace hipster
+
+#endif // HIPSTER_EXPERIMENTS_SCENARIO_HH

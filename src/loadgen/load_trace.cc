@@ -1,0 +1,187 @@
+#include "loadgen/load_trace.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace hipster
+{
+
+ConstantTrace::ConstantTrace(Fraction level)
+    : level_(level)
+{
+    if (level < 0.0)
+        fatal("ConstantTrace: negative load level");
+}
+
+Fraction
+ConstantTrace::at(Seconds) const
+{
+    return level_;
+}
+
+RampTrace::RampTrace(Fraction from, Fraction to, Seconds t0,
+                     Seconds length)
+    : from_(from), to_(to), t0_(t0), length_(length)
+{
+    if (from < 0.0 || to < 0.0)
+        fatal("RampTrace: negative load level");
+    if (length <= 0.0)
+        fatal("RampTrace: ramp length must be positive");
+}
+
+Fraction
+RampTrace::at(Seconds t) const
+{
+    if (t <= t0_)
+        return from_;
+    if (t >= t0_ + length_)
+        return to_;
+    const double frac = (t - t0_) / length_;
+    return from_ + (to_ - from_) * frac;
+}
+
+PiecewiseTrace::PiecewiseTrace(
+    std::vector<std::pair<Seconds, Fraction>> points)
+    : points_(std::move(points))
+{
+    if (points_.empty())
+        fatal("PiecewiseTrace: needs at least one breakpoint");
+    for (std::size_t i = 1; i < points_.size(); ++i) {
+        if (points_[i].first <= points_[i - 1].first)
+            fatal("PiecewiseTrace: breakpoints must be strictly "
+                  "increasing in time");
+    }
+    for (const auto &[t, load] : points_) {
+        if (load < 0.0)
+            fatal("PiecewiseTrace: negative load at t=", t);
+    }
+}
+
+Fraction
+PiecewiseTrace::at(Seconds t) const
+{
+    if (t <= points_.front().first)
+        return points_.front().second;
+    if (t >= points_.back().first)
+        return points_.back().second;
+    // Find the segment containing t.
+    auto hi = std::upper_bound(
+        points_.begin(), points_.end(), t,
+        [](Seconds value, const auto &p) { return value < p.first; });
+    auto lo = hi - 1;
+    const double frac = (t - lo->first) / (hi->first - lo->first);
+    return lo->second + (hi->second - lo->second) * frac;
+}
+
+Seconds
+PiecewiseTrace::duration() const
+{
+    return points_.back().first;
+}
+
+DiurnalTrace::DiurnalTrace(Seconds duration, Fraction low, Fraction high,
+                           double evening_bias)
+    : duration_(duration), low_(low), high_(high),
+      eveningBias_(evening_bias)
+{
+    if (duration <= 0.0)
+        fatal("DiurnalTrace: duration must be positive");
+    if (low < 0.0 || high < low)
+        fatal("DiurnalTrace: need 0 <= low <= high");
+    if (evening_bias < 0.0 || evening_bias > 1.0)
+        fatal("DiurnalTrace: eveningBias must lie in [0, 1]");
+}
+
+Fraction
+DiurnalTrace::at(Seconds t) const
+{
+    // Wrap into one "day".
+    double phase = std::fmod(t, duration_) / duration_; // [0, 1)
+    if (phase < 0.0)
+        phase += 1.0;
+    // Two Gaussian humps (morning ~0.35, evening ~0.75 of the day)
+    // on top of a gentle day/night cosine. The hump-dominated mix
+    // keeps most of the day in the valleys with two pronounced
+    // peaks, matching the Figure 1 profile (load sits at 5-40% of
+    // capacity for the majority of the day). Normalized to [0, 1],
+    // then mapped to [low, high].
+    const auto hump = [](double x, double center, double width) {
+        const double d = (x - center) / width;
+        return std::exp(-0.5 * d * d);
+    };
+    const double base = 0.5 - 0.5 * std::cos(2.0 * M_PI * phase);
+    const double morning = hump(phase, 0.35, 0.08);
+    const double evening = eveningBias_ * hump(phase, 0.75, 0.10);
+    double shape = 0.30 * base + 0.70 * std::max(morning, evening);
+    shape = std::clamp(shape, 0.0, 1.0);
+    return low_ + (high_ - low_) * shape;
+}
+
+SpikeTrace::SpikeTrace(std::shared_ptr<const LoadTrace> inner, Seconds t0,
+                       Seconds width, Fraction height)
+    : inner_(std::move(inner)), t0_(t0), width_(width), height_(height)
+{
+    if (!inner_)
+        fatal("SpikeTrace: inner trace is null");
+    if (width <= 0.0)
+        fatal("SpikeTrace: width must be positive");
+    if (height < 0.0)
+        fatal("SpikeTrace: negative spike height");
+}
+
+Fraction
+SpikeTrace::at(Seconds t) const
+{
+    Fraction load = inner_->at(t);
+    if (t >= t0_) {
+        const double decay = std::exp(-(t - t0_) / width_);
+        load += height_ * decay;
+    }
+    return load;
+}
+
+Seconds
+SpikeTrace::duration() const
+{
+    return inner_->duration();
+}
+
+NoisyTrace::NoisyTrace(std::shared_ptr<const LoadTrace> inner,
+                       double sigma, Seconds interval, std::uint64_t seed,
+                       Fraction cap)
+    : inner_(std::move(inner)), sigma_(sigma), interval_(interval),
+      seed_(seed), cap_(cap)
+{
+    if (!inner_)
+        fatal("NoisyTrace: inner trace is null");
+    if (sigma < 0.0)
+        fatal("NoisyTrace: negative sigma");
+    if (interval <= 0.0)
+        fatal("NoisyTrace: interval must be positive");
+}
+
+Fraction
+NoisyTrace::at(Seconds t) const
+{
+    const Fraction base = inner_->at(t);
+    if (sigma_ == 0.0)
+        return base;
+    // Key the noise on the interval index so the trace is a pure
+    // function of time for a fixed seed.
+    const auto bucket =
+        static_cast<std::uint64_t>(std::floor(std::max(0.0, t) /
+                                              interval_));
+    Rng rng(seed_ ^ (bucket * 0x9e3779b97f4a7c15ULL + 0x1234567ULL));
+    const double factor = rng.normal(1.0, sigma_);
+    return std::clamp(base * factor, 0.0, cap_);
+}
+
+Seconds
+NoisyTrace::duration() const
+{
+    return inner_->duration();
+}
+
+} // namespace hipster

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Load traces: time-varying offered load as a fraction of an
+ * application's maximum capacity. The diurnal synthesizer reproduces
+ * the paper's Figure 1 pattern (a Google Web-Search day compressed so
+ * one hour becomes one minute, varying between ~5% and ~95% of max
+ * capacity); ramps and spikes reproduce the Figure 8 stimulus and
+ * the "sudden load spikes" discussed in Section 2.
+ */
+
+#ifndef HIPSTER_LOADGEN_LOAD_TRACE_HH
+#define HIPSTER_LOADGEN_LOAD_TRACE_HH
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/units.hh"
+
+namespace hipster
+{
+
+/** A deterministic load curve over time. */
+class LoadTrace
+{
+  public:
+    virtual ~LoadTrace() = default;
+
+    /** Offered load fraction at absolute time `t` (clamped to >=0). */
+    virtual Fraction at(Seconds t) const = 0;
+
+    /** Natural duration of the trace (0 = unbounded/periodic). */
+    virtual Seconds duration() const { return 0.0; }
+};
+
+/** Constant load. */
+class ConstantTrace : public LoadTrace
+{
+  public:
+    explicit ConstantTrace(Fraction level);
+    Fraction at(Seconds t) const override;
+
+  private:
+    Fraction level_;
+};
+
+/** Linear ramp from `from` to `to` over [t0, t0+length], constant
+ * outside. Reproduces the Figure 8 stimulus (50% -> 100% over
+ * 175 s). */
+class RampTrace : public LoadTrace
+{
+  public:
+    RampTrace(Fraction from, Fraction to, Seconds t0, Seconds length);
+    Fraction at(Seconds t) const override;
+    Seconds duration() const override { return t0_ + length_; }
+
+  private:
+    Fraction from_, to_;
+    Seconds t0_, length_;
+};
+
+/** Piecewise-linear trace through (time, load) breakpoints. */
+class PiecewiseTrace : public LoadTrace
+{
+  public:
+    /** Breakpoints must be sorted by time and non-empty. */
+    explicit PiecewiseTrace(
+        std::vector<std::pair<Seconds, Fraction>> points);
+    Fraction at(Seconds t) const override;
+    Seconds duration() const override;
+
+  private:
+    std::vector<std::pair<Seconds, Fraction>> points_;
+};
+
+/**
+ * Synthetic diurnal day: a smooth day/night oscillation with a
+ * morning and an evening peak, compressed to `duration` seconds.
+ * Matches the qualitative shape of the paper's Figure 1 (min ~5%,
+ * max ~95%, two humps).
+ */
+class DiurnalTrace : public LoadTrace
+{
+  public:
+    /**
+     * @param duration     Length of the compressed "day".
+     * @param low, high    Load range.
+     * @param eveningBias  Relative height of the second hump [0,1].
+     */
+    DiurnalTrace(Seconds duration, Fraction low = 0.05,
+                 Fraction high = 0.95, double evening_bias = 0.85);
+    Fraction at(Seconds t) const override;
+    Seconds duration() const override { return duration_; }
+
+  private:
+    Seconds duration_;
+    Fraction low_, high_;
+    double eveningBias_;
+};
+
+/**
+ * Adds a transient spike of `height` extra load at `t0` decaying
+ * over `width` seconds on top of an inner trace ("sudden load
+ * spikes", Section 2).
+ */
+class SpikeTrace : public LoadTrace
+{
+  public:
+    SpikeTrace(std::shared_ptr<const LoadTrace> inner, Seconds t0,
+               Seconds width, Fraction height);
+    Fraction at(Seconds t) const override;
+    Seconds duration() const override;
+
+  private:
+    std::shared_ptr<const LoadTrace> inner_;
+    Seconds t0_, width_;
+    Fraction height_;
+};
+
+/**
+ * Multiplicative per-interval noise on an inner trace: the load seen
+ * in interval k is inner * N(1, sigma), clamped to [0, cap].
+ * Deterministic for a given seed (noise is keyed on the interval
+ * index).
+ */
+class NoisyTrace : public LoadTrace
+{
+  public:
+    NoisyTrace(std::shared_ptr<const LoadTrace> inner, double sigma,
+               Seconds interval, std::uint64_t seed, Fraction cap = 1.2);
+    Fraction at(Seconds t) const override;
+    Seconds duration() const override;
+
+  private:
+    std::shared_ptr<const LoadTrace> inner_;
+    double sigma_;
+    Seconds interval_;
+    std::uint64_t seed_;
+    Fraction cap_;
+};
+
+} // namespace hipster
+
+#endif // HIPSTER_LOADGEN_LOAD_TRACE_HH

@@ -1,0 +1,58 @@
+#include "monitor/metrics.hh"
+
+namespace hipster
+{
+
+RunSummary
+RunSummary::fromSeries(const std::vector<IntervalMetrics> &series)
+{
+    RunSummary summary;
+    summary.intervals = series.size();
+    if (series.empty())
+        return summary;
+
+    std::size_t met = 0;
+    std::size_t violated = 0;
+    double tardiness_sum = 0.0;
+    double power_sum = 0.0;
+    double throughput_sum = 0.0;
+    double batch_ips_sum = 0.0;
+    std::size_t batch_intervals = 0;
+
+    for (const auto &m : series) {
+        if (m.qosViolated()) {
+            ++violated;
+            tardiness_sum += m.qosRatio();
+        } else {
+            ++met;
+        }
+        summary.energy += m.energy;
+        power_sum += m.power;
+        throughput_sum += m.throughput;
+        summary.migrations += m.migrations;
+        summary.dvfsTransitions += m.dvfsTransitions;
+        summary.dropped += m.dropped;
+        if (m.batchPresent) {
+            batch_ips_sum += m.batchBigIps + m.batchSmallIps;
+            ++batch_intervals;
+        }
+    }
+
+    summary.qosGuarantee = static_cast<double>(met) / series.size();
+    summary.qosTardiness = violated ? tardiness_sum / violated : 0.0;
+    summary.meanPower = power_sum / series.size();
+    summary.meanThroughput = throughput_sum / series.size();
+    summary.meanBatchIps =
+        batch_intervals ? batch_ips_sum / batch_intervals : 0.0;
+    return summary;
+}
+
+double
+RunSummary::energyReductionVs(const RunSummary &baseline) const
+{
+    if (baseline.energy <= 0.0)
+        return 0.0;
+    return 1.0 - energy / baseline.energy;
+}
+
+} // namespace hipster

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Monitoring data model: what the QoS Monitor collects each interval
+ * (Section 3.2) and the run-level summary metrics the evaluation
+ * reports (QoS guarantee, QoS tardiness, energy reduction —
+ * Section 4.2.4 / Table 3).
+ */
+
+#ifndef HIPSTER_MONITOR_METRICS_HH
+#define HIPSTER_MONITOR_METRICS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hh"
+#include "platform/core_config.hh"
+
+namespace hipster
+{
+
+/**
+ * Everything the task managers can observe about one monitoring
+ * interval. Produced by the QoSMonitor at the end of each interval;
+ * consumed by the policies to make the next decision.
+ */
+struct IntervalMetrics
+{
+    Seconds begin = 0.0;
+    Seconds end = 0.0;
+
+    /** Offered load as a fraction of the LC app's max capacity. */
+    Fraction offeredLoad = 0.0;
+
+    /** Offered rate in reported units (RPS/QPS). */
+    Rate offeredRate = 0.0;
+
+    /** Quantized load bucket (Section 3.1: the MDP state w). */
+    int loadBucket = 0;
+
+    /** Measured tail latency at the app's QoS percentile (ms). */
+    Millis tailLatency = 0.0;
+
+    /** The QoS target (ms). */
+    Millis qosTarget = 0.0;
+
+    /** Achieved throughput in reported units. */
+    Rate throughput = 0.0;
+
+    /** Mean system power over the interval (W). */
+    Watts power = 0.0;
+
+    /** Energy consumed during the interval (J). */
+    Joules energy = 0.0;
+
+    /** Aggregate batch IPS on the big cluster (0 without batch). */
+    Ips batchBigIps = 0.0;
+
+    /** Aggregate batch IPS on the small cluster. */
+    Ips batchSmallIps = 0.0;
+
+    /** Whether batch jobs were present this interval. */
+    bool batchPresent = false;
+
+    /** Whether the perf-counter reading was usable (idle erratum). */
+    bool ipsValid = true;
+
+    /** Configuration in force during the interval. */
+    CoreConfig config;
+
+    /** Core migrations performed when entering this interval. */
+    std::uint32_t migrations = 0;
+
+    /** DVFS transitions performed when entering this interval. */
+    std::uint32_t dvfsTransitions = 0;
+
+    /** Mean busy fraction of the LC cores. */
+    Fraction lcUtilization = 0.0;
+
+    /** Requests dropped (overload waiting-room bound). */
+    std::uint64_t dropped = 0;
+
+    /** QoS tardiness = QoScurr / QoStarget (Section 4.2, fn. 3). */
+    double
+    qosRatio() const
+    {
+        return qosTarget > 0.0 ? tailLatency / qosTarget : 0.0;
+    }
+
+    /** True when the interval violated the QoS target. */
+    bool qosViolated() const { return tailLatency > qosTarget; }
+};
+
+/**
+ * Run-level summary over a series of intervals, matching the metrics
+ * of Table 3.
+ */
+struct RunSummary
+{
+    std::size_t intervals = 0;
+
+    /** Fraction of intervals meeting QoS (Table 3 "QoS Guarantee"). */
+    double qosGuarantee = 0.0;
+
+    /**
+     * Mean QoScurr/QoStarget over the *violating* intervals only
+     * (Table 3 "QoS Tardiness"); 0 when nothing violated.
+     */
+    double qosTardiness = 0.0;
+
+    /** Total energy over the run (J). */
+    Joules energy = 0.0;
+
+    /** Mean system power (W). */
+    Watts meanPower = 0.0;
+
+    /** Total core migrations. */
+    std::uint64_t migrations = 0;
+
+    /** Total DVFS transitions. */
+    std::uint64_t dvfsTransitions = 0;
+
+    /** Mean achieved throughput (reported units). */
+    Rate meanThroughput = 0.0;
+
+    /** Mean aggregate batch IPS (big + small), when collocated. */
+    Ips meanBatchIps = 0.0;
+
+    /** Total requests dropped. */
+    std::uint64_t dropped = 0;
+
+    /** Build the summary from an interval series. */
+    static RunSummary fromSeries(const std::vector<IntervalMetrics> &series);
+
+    /**
+     * Energy reduction of this run relative to a baseline run
+     * (Table 3 reports savings vs. static all-big): 1 - E/E_base.
+     */
+    double energyReductionVs(const RunSummary &baseline) const;
+};
+
+} // namespace hipster
+
+#endif // HIPSTER_MONITOR_METRICS_HH

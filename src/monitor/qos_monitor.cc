@@ -1,0 +1,75 @@
+#include "monitor/qos_monitor.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace hipster
+{
+
+LoadBucketQuantizer::LoadBucketQuantizer(double bucket_percent)
+    : bucketPercent_(bucket_percent)
+{
+    if (bucket_percent <= 0.0 || bucket_percent > 100.0)
+        fatal("LoadBucketQuantizer: bucket percent must lie in (0, 100]");
+}
+
+int
+LoadBucketQuantizer::bucket(Fraction load) const
+{
+    const double percent = std::max(0.0, load) * 100.0;
+    const int index = static_cast<int>(percent / bucketPercent_);
+    return std::min(index, bucketCount() - 1);
+}
+
+int
+LoadBucketQuantizer::bucketCount() const
+{
+    return static_cast<int>(std::ceil(100.0 / bucketPercent_));
+}
+
+Fraction
+LoadBucketQuantizer::bucketCenter(int index) const
+{
+    HIPSTER_ASSERT(index >= 0 && index < bucketCount(),
+                   "bucket index out of range: ", index);
+    return (index + 0.5) * bucketPercent_ / 100.0;
+}
+
+QosGuaranteeWindow::QosGuaranteeWindow(std::size_t window)
+    : window_(window)
+{
+    if (window == 0)
+        fatal("QosGuaranteeWindow: window must be positive");
+}
+
+void
+QosGuaranteeWindow::add(bool met)
+{
+    samples_.push_back(met);
+    if (met)
+        ++metCount_;
+    if (samples_.size() > window_) {
+        if (samples_.front())
+            --metCount_;
+        samples_.pop_front();
+    }
+}
+
+double
+QosGuaranteeWindow::guarantee() const
+{
+    if (samples_.empty())
+        return 1.0;
+    return static_cast<double>(metCount_) / samples_.size();
+}
+
+void
+QosGuaranteeWindow::clear()
+{
+    samples_.clear();
+    metCount_ = 0;
+}
+
+} // namespace hipster

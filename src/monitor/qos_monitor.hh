@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The QoS Monitor (paper Section 3.2/3.7): quantizes the measured
+ * load into buckets (the MDP state), assembles per-interval metrics
+ * from the app, power and perf-counter readings, and tracks the
+ * sliding-window QoS guarantee used to decide when to re-enter the
+ * learning phase (Algorithm 2, line 18).
+ */
+
+#ifndef HIPSTER_MONITOR_QOS_MONITOR_HH
+#define HIPSTER_MONITOR_QOS_MONITOR_HH
+
+#include <deque>
+
+#include "common/units.hh"
+#include "monitor/metrics.hh"
+
+namespace hipster
+{
+
+/**
+ * Quantizes load fractions into discrete buckets 0..T-1 (paper
+ * Section 3.1: "Hipster quantizes the load into buckets").
+ */
+class LoadBucketQuantizer
+{
+  public:
+    /**
+     * @param bucket_percent Bucket width as a percentage of max load
+     *                       (the paper sweeps 2-9%, Figure 10).
+     */
+    explicit LoadBucketQuantizer(double bucket_percent = 5.0);
+
+    /** Bucket index of a load fraction (clamped to the top bucket
+     * at/above 100%). */
+    int bucket(Fraction load) const;
+
+    /** Number of buckets covering [0%, 100%]. */
+    int bucketCount() const;
+
+    double bucketPercent() const { return bucketPercent_; }
+
+    /** Center load fraction of bucket `index` (for reporting). */
+    Fraction bucketCenter(int index) const;
+
+  private:
+    double bucketPercent_;
+};
+
+/**
+ * Sliding-window QoS guarantee tracker: fraction of the last N
+ * samples that met QoS.
+ */
+class QosGuaranteeWindow
+{
+  public:
+    explicit QosGuaranteeWindow(std::size_t window = 100);
+
+    void add(bool met);
+
+    /** Guarantee over the window; 1.0 while empty (optimistic). */
+    double guarantee() const;
+
+    std::size_t size() const { return samples_.size(); }
+    std::size_t window() const { return window_; }
+    void clear();
+
+  private:
+    std::deque<bool> samples_;
+    std::size_t window_;
+    std::size_t metCount_ = 0;
+};
+
+} // namespace hipster
+
+#endif // HIPSTER_MONITOR_QOS_MONITOR_HH

@@ -1,0 +1,94 @@
+#include "platform/cluster.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace hipster
+{
+
+namespace
+{
+
+bool
+sameFreq(GHz a, GHz b)
+{
+    return std::abs(a - b) < 1e-9;
+}
+
+} // namespace
+
+GHz
+ClusterSpec::maxFrequency() const
+{
+    HIPSTER_ASSERT(!opps.empty(), "cluster '", name, "' has no OPPs");
+    return opps.back().frequency;
+}
+
+GHz
+ClusterSpec::minFrequency() const
+{
+    HIPSTER_ASSERT(!opps.empty(), "cluster '", name, "' has no OPPs");
+    return opps.front().frequency;
+}
+
+std::size_t
+ClusterSpec::oppIndex(GHz frequency) const
+{
+    for (std::size_t i = 0; i < opps.size(); ++i) {
+        if (sameFreq(opps[i].frequency, frequency))
+            return i;
+    }
+    fatal("cluster '", name, "': frequency ", frequency,
+          " GHz not in OPP table");
+}
+
+Volts
+ClusterSpec::voltageAt(GHz frequency) const
+{
+    return opps[oppIndex(frequency)].voltage;
+}
+
+void
+ClusterSpec::validate() const
+{
+    if (coreCount == 0)
+        fatal("cluster '", name, "' must have at least one core");
+    if (opps.empty())
+        fatal("cluster '", name, "' must have at least one OPP");
+    if (microbenchIpc <= 0.0)
+        fatal("cluster '", name, "' needs positive microbenchIpc");
+    for (std::size_t i = 0; i < opps.size(); ++i) {
+        if (opps[i].frequency <= 0.0 || opps[i].voltage <= 0.0)
+            fatal("cluster '", name, "': OPP ", i,
+                  " has non-positive frequency or voltage");
+        if (i > 0 && opps[i].frequency <= opps[i - 1].frequency)
+            fatal("cluster '", name,
+                  "': OPP table must be sorted ascending by frequency");
+        if (i > 0 && opps[i].voltage < opps[i - 1].voltage)
+            fatal("cluster '", name,
+                  "': voltage must be non-decreasing with frequency");
+    }
+}
+
+Cluster::Cluster(ClusterId id, ClusterSpec spec)
+    : id_(id), spec_(std::move(spec))
+{
+    spec_.validate();
+    // Boot at the highest OPP, like Linux's "performance" governor on
+    // a freshly booted Juno.
+    oppIndex_ = spec_.opps.size() - 1;
+}
+
+bool
+Cluster::setFrequency(GHz frequency)
+{
+    const std::size_t idx = spec_.oppIndex(frequency);
+    if (idx == oppIndex_)
+        return false;
+    oppIndex_ = idx;
+    return true;
+}
+
+} // namespace hipster

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Cluster specification and runtime state. A cluster is a set of
+ * identical cores sharing an L2 cache and a DVFS domain, mirroring
+ * the Juno R1's A57 (big) and A53 (small) clusters.
+ */
+
+#ifndef HIPSTER_PLATFORM_CLUSTER_HH
+#define HIPSTER_PLATFORM_CLUSTER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+#include "platform/types.hh"
+
+namespace hipster
+{
+
+/**
+ * Static description of one cluster: its core type, core count,
+ * microarchitectural throughput, cache size, and the OPP (DVFS)
+ * table.
+ */
+struct ClusterSpec
+{
+    /** Marketing/model name, e.g. "Cortex-A57". */
+    std::string name;
+
+    /** Heterogeneity class of the cores. */
+    CoreType type = CoreType::Small;
+
+    /** Number of cores in the cluster. */
+    std::uint32_t coreCount = 0;
+
+    /**
+     * Peak IPC of a core on the compute-bound stress microbenchmark
+     * used for characterization (paper Section 3.3 / Table 2).
+     * Workload models scale this with their own per-type factors.
+     */
+    double microbenchIpc = 1.0;
+
+    /** Shared L2 cache size in bytes (contention modelling). */
+    std::uint64_t l2Bytes = 0;
+
+    /**
+     * OPP table, sorted ascending by frequency. A fixed-frequency
+     * cluster (the Juno's A53s) has a single entry.
+     */
+    std::vector<Opp> opps;
+
+    /** Highest available frequency. */
+    GHz maxFrequency() const;
+
+    /** Lowest available frequency. */
+    GHz minFrequency() const;
+
+    /** Index of the OPP with the given frequency; throws if absent. */
+    std::size_t oppIndex(GHz frequency) const;
+
+    /** Voltage at the given frequency; throws if absent. */
+    Volts voltageAt(GHz frequency) const;
+
+    /** Validate internal consistency; throws FatalError on error. */
+    void validate() const;
+};
+
+/**
+ * Mutable per-cluster runtime state owned by the Platform: the
+ * currently programmed OPP.
+ */
+class Cluster
+{
+  public:
+    Cluster(ClusterId id, ClusterSpec spec);
+
+    ClusterId id() const { return id_; }
+    const ClusterSpec &spec() const { return spec_; }
+
+    /** Currently programmed frequency. */
+    GHz frequency() const { return spec_.opps[oppIndex_].frequency; }
+
+    /** Currently programmed voltage. */
+    Volts voltage() const { return spec_.opps[oppIndex_].voltage; }
+
+    /** Index of the current OPP in the spec table. */
+    std::size_t oppIndex() const { return oppIndex_; }
+
+    /**
+     * Program the OPP with the given frequency. Returns true when the
+     * frequency actually changed. Throws FatalError when the
+     * frequency is not in the OPP table.
+     */
+    bool setFrequency(GHz frequency);
+
+  private:
+    ClusterId id_;
+    ClusterSpec spec_;
+    std::size_t oppIndex_ = 0;
+};
+
+} // namespace hipster
+
+#endif // HIPSTER_PLATFORM_CLUSTER_HH

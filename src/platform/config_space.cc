@@ -1,0 +1,178 @@
+#include "platform/config_space.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace hipster
+{
+
+std::vector<CoreConfig>
+ConfigSpace::enumerate(const Platform &platform)
+{
+    const std::uint32_t max_big = platform.coreCount(CoreType::Big);
+    const std::uint32_t max_small = platform.coreCount(CoreType::Small);
+
+    std::vector<GHz> big_freqs{0.0};
+    if (max_big > 0) {
+        big_freqs.clear();
+        for (const auto &opp : platform.cluster(CoreType::Big).spec().opps)
+            big_freqs.push_back(opp.frequency);
+    }
+    std::vector<GHz> small_freqs{0.0};
+    if (max_small > 0) {
+        small_freqs.clear();
+        for (const auto &opp :
+             platform.cluster(CoreType::Small).spec().opps) {
+            small_freqs.push_back(opp.frequency);
+        }
+    }
+
+    std::vector<CoreConfig> out;
+    for (std::uint32_t nb = 0; nb <= max_big; ++nb) {
+        for (std::uint32_t ns = 0; ns <= max_small; ++ns) {
+            if (nb + ns == 0)
+                continue;
+            // Unused clusters: pin the frequency to the minimum OPP
+            // so that equivalent configs deduplicate.
+            const auto bfs = nb > 0 ? big_freqs
+                                    : std::vector<GHz>{big_freqs.front()};
+            const auto sfs = ns > 0 ? small_freqs
+                                    : std::vector<GHz>{small_freqs.front()};
+            for (GHz bf : bfs) {
+                for (GHz sf : sfs) {
+                    CoreConfig config{nb, ns, bf, sf};
+                    out.push_back(config);
+                }
+            }
+        }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::vector<CoreConfig>
+ConfigSpace::paperStates(const Platform &platform)
+{
+    const GHz small_freq =
+        platform.coreCount(CoreType::Small) > 0
+            ? platform.cluster(CoreType::Small).spec().minFrequency()
+            : 0.0;
+    // Figure 2c's y-axis, bottom to top.
+    const char *labels[] = {
+        "1S-0.65",   "2S-0.65",   "3S-0.65",  "2B-0.60",  "1B3S-0.60",
+        "4S-0.65",   "2B2S-0.60", "1B3S-0.90", "2B-0.90", "2B2S-0.90",
+        "1B3S-1.15", "2B2S-1.15", "2B-1.15",
+    };
+    std::vector<CoreConfig> out;
+    for (const char *label : labels) {
+        CoreConfig config = parseCoreConfig(label, small_freq);
+        if (!platform.isValidConfig(config))
+            fatal("paperStates: ", label, " is not realizable on ",
+                  platform.name());
+        out.push_back(config);
+    }
+    return out;
+}
+
+Ips
+ConfigSpace::peakIps(const Platform &platform, const CoreConfig &config)
+{
+    Ips total = 0.0;
+    if (config.nBig > 0) {
+        const auto &spec = platform.cluster(CoreType::Big).spec();
+        total += config.nBig * spec.microbenchIpc * config.bigFreq * 1e9;
+    }
+    if (config.nSmall > 0) {
+        const auto &spec = platform.cluster(CoreType::Small).spec();
+        total +=
+            config.nSmall * spec.microbenchIpc * config.smallFreq * 1e9;
+    }
+    return total;
+}
+
+Watts
+ConfigSpace::fullLoadPower(const Platform &platform,
+                           const CoreConfig &config)
+{
+    const auto &model = platform.powerModel();
+    Watts total = model.restOfSystem();
+    for (const auto &cluster : platform.clusters()) {
+        const auto &spec = cluster.spec();
+        const std::uint32_t active = spec.type == CoreType::Big
+                                         ? config.nBig
+                                         : config.nSmall;
+        if (active == 0)
+            continue;
+        const GHz freq = spec.type == CoreType::Big ? config.bigFreq
+                                                    : config.smallFreq;
+        const Opp opp{freq, spec.voltageAt(freq)};
+        total += model.clusterPower(spec, model.params(cluster.id()), opp,
+                                    {active, 1.0});
+    }
+    return total;
+}
+
+std::vector<CoreConfig>
+ConfigSpace::orderForHeuristic(const Platform &platform,
+                               std::vector<CoreConfig> configs)
+{
+    std::stable_sort(
+        configs.begin(), configs.end(),
+        [&](const CoreConfig &a, const CoreConfig &b) {
+            const Ips ia = peakIps(platform, a);
+            const Ips ib = peakIps(platform, b);
+            if (std::abs(ia - ib) > 1e-6 * std::max(ia, ib))
+                return ia < ib;
+            return fullLoadPower(platform, a) < fullLoadPower(platform, b);
+        });
+    return configs;
+}
+
+std::vector<CoreConfig>
+ConfigSpace::paretoPrune(const Platform &platform,
+                         std::vector<CoreConfig> configs,
+                         double ips_epsilon)
+{
+    auto ordered = orderForHeuristic(platform, std::move(configs));
+    std::vector<CoreConfig> out;
+    for (const auto &config : ordered) {
+        const Ips ips = peakIps(platform, config);
+        const Watts power = fullLoadPower(platform, config);
+        if (!out.empty()) {
+            const Ips prev_ips = peakIps(platform, out.back());
+            const bool near_equal =
+                std::abs(ips - prev_ips) <=
+                ips_epsilon * std::max(ips, prev_ips);
+            if (near_equal) {
+                if (power < fullLoadPower(platform, out.back()))
+                    out.back() = config;
+                continue;
+            }
+        }
+        out.push_back(config);
+    }
+    return out;
+}
+
+std::vector<CoreConfig>
+ConfigSpace::octopusManStates(const Platform &platform)
+{
+    std::vector<CoreConfig> out;
+    const std::uint32_t max_small = platform.coreCount(CoreType::Small);
+    const std::uint32_t max_big = platform.coreCount(CoreType::Big);
+    GHz small_max = 0.0, big_max = 0.0;
+    if (max_small > 0)
+        small_max = platform.cluster(CoreType::Small).spec().maxFrequency();
+    if (max_big > 0)
+        big_max = platform.cluster(CoreType::Big).spec().maxFrequency();
+
+    for (std::uint32_t ns = 1; ns <= max_small; ++ns)
+        out.push_back(CoreConfig{0, ns, 0.0, small_max});
+    for (std::uint32_t nb = 1; nb <= max_big; ++nb)
+        out.push_back(CoreConfig{nb, 0, big_max, small_max});
+    return orderForHeuristic(platform, std::move(out));
+}
+
+} // namespace hipster

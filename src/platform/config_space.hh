@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Enumeration and ordering of the configuration (action) space: all
+ * realizable CoreConfigs of a platform, the paper's canonical
+ * 13-state subset (Figure 2c), and the microbenchmark-based
+ * power-efficiency ordering used by the heuristic mapper
+ * (Section 3.3).
+ */
+
+#ifndef HIPSTER_PLATFORM_CONFIG_SPACE_HH
+#define HIPSTER_PLATFORM_CONFIG_SPACE_HH
+
+#include <vector>
+
+#include "platform/core_config.hh"
+#include "platform/platform.hh"
+
+namespace hipster
+{
+
+/**
+ * Helpers to build and order the set of candidate configurations.
+ * All functions are pure with respect to the platform.
+ */
+class ConfigSpace
+{
+  public:
+    /**
+     * Enumerate every non-empty configuration realizable on the
+     * platform: nBig in [0, NB] x nSmall in [0, NS] x big OPPs x
+     * small OPPs, with unused-cluster frequencies normalized to that
+     * cluster's minimum OPP so duplicates collapse.
+     */
+    static std::vector<CoreConfig> enumerate(const Platform &platform);
+
+    /**
+     * The 13 canonical states of the paper's Figure 2c (Juno R1
+     * only): 1S..4S at 0.65, 2B/1B3S/2B2S at 0.60/0.90/1.15 with 2B
+     * appearing at every big OPP. Throws when the platform cannot
+     * realize them.
+     */
+    static std::vector<CoreConfig> paperStates(const Platform &platform);
+
+    /**
+     * Peak instruction throughput (IPS) of a configuration on the
+     * characterization microbenchmark: sum over allocated cores of
+     * microbenchIpc * frequency. This is the "performance" half of
+     * the Section 3.3 characterization.
+     */
+    static Ips peakIps(const Platform &platform, const CoreConfig &config);
+
+    /**
+     * Predicted system power of a configuration at full utilization
+     * of the allocated cores (unallocated clusters power-gated) — the
+     * "power" half of the Section 3.3 characterization.
+     */
+    static Watts fullLoadPower(const Platform &platform,
+                               const CoreConfig &config);
+
+    /**
+     * Order configurations the way the heuristic mapper's state
+     * machine expects (Section 3.3): "approximately from highest to
+     * lowest power efficiency", i.e. ascending peak performance with
+     * power as the tie-breaker, so that "next-higher power state"
+     * always adds capability.
+     */
+    static std::vector<CoreConfig>
+    orderForHeuristic(const Platform &platform,
+                      std::vector<CoreConfig> configs);
+
+    /**
+     * Of the configurations whose peak IPS differs by < epsilon,
+     * keep only the one with the least full-load power. Thins the
+     * enumerate() output into a useful heuristic ladder on platforms
+     * without a published Figure 2c.
+     */
+    static std::vector<CoreConfig>
+    paretoPrune(const Platform &platform, std::vector<CoreConfig> configs,
+                double ips_epsilon = 0.02);
+
+    /**
+     * The baseline policy's configuration subset (Octopus-Man):
+     * exclusively big or exclusively small cores, always at the
+     * highest DVFS.
+     */
+    static std::vector<CoreConfig>
+    octopusManStates(const Platform &platform);
+};
+
+} // namespace hipster
+
+#endif // HIPSTER_PLATFORM_CONFIG_SPACE_HH

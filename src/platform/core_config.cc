@@ -1,0 +1,132 @@
+#include "platform/core_config.hh"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "platform/types.hh"
+
+namespace hipster
+{
+
+std::string
+CoreConfig::label() const
+{
+    std::string out;
+    if (nBig > 0)
+        out += std::to_string(nBig) + "B";
+    if (nSmall > 0)
+        out += std::to_string(nSmall) + "S";
+    if (out.empty())
+        out = "0";
+    const GHz freq = nBig > 0 ? bigFreq : smallFreq;
+    out += "-" + formatGHz(freq);
+    return out;
+}
+
+std::string
+CoreConfig::fullLabel() const
+{
+    std::string out;
+    if (nBig > 0)
+        out += std::to_string(nBig) + "B";
+    if (nSmall > 0)
+        out += std::to_string(nSmall) + "S";
+    if (out.empty())
+        out = "0";
+    out += "-";
+    if (nBig > 0)
+        out += formatGHz(bigFreq);
+    if (nBig > 0 && nSmall > 0)
+        out += "/";
+    if (nSmall > 0)
+        out += formatGHz(smallFreq);
+    return out;
+}
+
+bool
+CoreConfig::operator==(const CoreConfig &other) const
+{
+    return nBig == other.nBig && nSmall == other.nSmall &&
+           bigFreq == other.bigFreq && smallFreq == other.smallFreq;
+}
+
+bool
+CoreConfig::operator<(const CoreConfig &other) const
+{
+    if (nBig != other.nBig)
+        return nBig < other.nBig;
+    if (nSmall != other.nSmall)
+        return nSmall < other.nSmall;
+    if (bigFreq != other.bigFreq)
+        return bigFreq < other.bigFreq;
+    return smallFreq < other.smallFreq;
+}
+
+CoreConfig
+parseCoreConfig(const std::string &label, GHz small_freq)
+{
+    CoreConfig config;
+    config.smallFreq = small_freq;
+
+    std::size_t i = 0;
+    auto parse_count = [&]() -> std::uint32_t {
+        std::size_t start = i;
+        while (i < label.size() && std::isdigit(label[i]))
+            ++i;
+        if (i == start)
+            fatal("parseCoreConfig: expected digit at position ", start,
+                  " in '", label, "'");
+        return static_cast<std::uint32_t>(
+            std::strtoul(label.substr(start, i - start).c_str(), nullptr,
+                         10));
+    };
+
+    bool saw_any = false;
+    while (i < label.size() && label[i] != '-') {
+        const std::uint32_t count = parse_count();
+        if (i >= label.size())
+            fatal("parseCoreConfig: truncated label '", label, "'");
+        if (label[i] == 'B') {
+            config.nBig = count;
+        } else if (label[i] == 'S') {
+            config.nSmall = count;
+        } else {
+            fatal("parseCoreConfig: unexpected '", std::string(1, label[i]),
+                  "' in '", label, "'");
+        }
+        ++i;
+        saw_any = true;
+    }
+    if (!saw_any)
+        fatal("parseCoreConfig: no core counts in '", label, "'");
+    if (i >= label.size() || label[i] != '-')
+        fatal("parseCoreConfig: missing frequency suffix in '", label, "'");
+    ++i;
+    const double freq = std::strtod(label.c_str() + i, nullptr);
+    if (freq <= 0.0)
+        fatal("parseCoreConfig: bad frequency in '", label, "'");
+    if (config.nBig > 0) {
+        config.bigFreq = freq;
+    } else {
+        config.smallFreq = freq;
+    }
+    return config;
+}
+
+std::size_t
+CoreConfigHash::operator()(const CoreConfig &config) const
+{
+    // Frequencies come from small OPP tables, so hashing their
+    // rounded millihertz representation is stable.
+    const auto freq_key = [](GHz f) {
+        return static_cast<std::size_t>(std::llround(f * 1000.0));
+    };
+    std::size_t h = config.nBig;
+    h = h * 31 + config.nSmall;
+    h = h * 1009 + freq_key(config.bigFreq);
+    h = h * 1009 + freq_key(config.smallFreq);
+    return h;
+}
+
+} // namespace hipster

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * CoreConfig: the action space element of Hipster — how many big and
+ * small cores the latency-critical workload gets and the DVFS point
+ * of each cluster.
+ */
+
+#ifndef HIPSTER_PLATFORM_CORE_CONFIG_HH
+#define HIPSTER_PLATFORM_CORE_CONFIG_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/units.hh"
+
+namespace hipster
+{
+
+/**
+ * A core-mapping + DVFS configuration for the latency-critical
+ * workload, e.g. "2B2S-0.90" = 2 big cores and 2 small cores with the
+ * big cluster clocked at 0.90 GHz.
+ *
+ * Frequencies refer to the *cluster* DVFS domain (the Juno's DVFS is
+ * per-cluster): `bigFreq` applies to the big cluster whenever
+ * `nBig > 0`, and `smallFreq` to the small cluster whenever
+ * `nSmall > 0`. On the Juno R1 the small cluster is fixed at
+ * 0.65 GHz, so the paper's labels carry only the big frequency.
+ */
+struct CoreConfig
+{
+    std::uint32_t nBig = 0;
+    std::uint32_t nSmall = 0;
+    GHz bigFreq = 0.0;
+    GHz smallFreq = 0.0;
+
+    /** Total number of cores allocated to the LC workload. */
+    std::uint32_t totalCores() const { return nBig + nSmall; }
+
+    /** True when no core is allocated (an invalid action). */
+    bool empty() const { return totalCores() == 0; }
+
+    /** True when the LC workload occupies exactly one core type. */
+    bool
+    singleCoreType() const
+    {
+        return (nBig == 0) != (nSmall == 0);
+    }
+
+    /**
+     * Paper-style label, e.g. "2B2S-0.90", "4S-0.65", "2B-1.15".
+     * Zero-count core types are omitted; the trailing frequency is
+     * the big-cluster frequency when big cores are used, otherwise
+     * the small-cluster frequency (matching Figure 2c's axis labels).
+     */
+    std::string label() const;
+
+    /**
+     * Unambiguous label carrying both cluster frequencies, e.g.
+     * "2B2S-0.90/0.65". label() is ambiguous on platforms where a
+     * mixed config can pair one big OPP with several small OPPs;
+     * this variant never is.
+     */
+    std::string fullLabel() const;
+
+    bool operator==(const CoreConfig &other) const;
+
+    /**
+     * Lexicographic order (nBig, nSmall, bigFreq, smallFreq); used
+     * only to keep containers deterministic, not as a performance
+     * order.
+     */
+    bool operator<(const CoreConfig &other) const;
+};
+
+/**
+ * Parse a label produced by CoreConfig::label(). The small-cluster
+ * frequency cannot be recovered from labels that include big cores,
+ * so the caller provides the platform's small frequency.
+ *
+ * Throws FatalError on malformed labels.
+ */
+CoreConfig parseCoreConfig(const std::string &label, GHz small_freq);
+
+/** Hash functor so CoreConfig can key unordered containers. */
+struct CoreConfigHash
+{
+    std::size_t operator()(const CoreConfig &config) const;
+};
+
+} // namespace hipster
+
+#endif // HIPSTER_PLATFORM_CORE_CONFIG_HH

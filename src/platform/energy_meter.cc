@@ -1,0 +1,58 @@
+#include "platform/energy_meter.hh"
+
+#include "common/logging.hh"
+
+namespace hipster
+{
+
+EnergyMeter::EnergyMeter(std::size_t cluster_count)
+    : clusterEnergy_(cluster_count, 0.0)
+{
+}
+
+void
+EnergyMeter::accumulate(const std::vector<Watts> &cluster_power,
+                        Watts rest_power, Seconds duration)
+{
+    HIPSTER_ASSERT(cluster_power.size() == clusterEnergy_.size(),
+                   "cluster power vector size mismatch");
+    HIPSTER_ASSERT(duration >= 0.0, "negative duration");
+    for (std::size_t i = 0; i < cluster_power.size(); ++i)
+        clusterEnergy_[i] += cluster_power[i] * duration;
+    restEnergy_ += rest_power * duration;
+    elapsed_ += duration;
+}
+
+Joules
+EnergyMeter::clusterEnergy(std::size_t cluster) const
+{
+    HIPSTER_ASSERT(cluster < clusterEnergy_.size(),
+                   "cluster index out of range");
+    return clusterEnergy_[cluster];
+}
+
+Joules
+EnergyMeter::totalEnergy() const
+{
+    Joules total = restEnergy_;
+    for (Joules e : clusterEnergy_)
+        total += e;
+    return total;
+}
+
+Watts
+EnergyMeter::meanPower() const
+{
+    return elapsed_ > 0.0 ? totalEnergy() / elapsed_ : 0.0;
+}
+
+void
+EnergyMeter::reset()
+{
+    for (auto &e : clusterEnergy_)
+        e = 0.0;
+    restEnergy_ = 0.0;
+    elapsed_ = 0.0;
+}
+
+} // namespace hipster

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Energy meter modelling the Juno R1's on-board energy registers,
+ * which report accumulated energy separately for the big cluster,
+ * the small cluster, and the rest of the system (the `sys` register).
+ */
+
+#ifndef HIPSTER_PLATFORM_ENERGY_METER_HH
+#define HIPSTER_PLATFORM_ENERGY_METER_HH
+
+#include <vector>
+
+#include "common/units.hh"
+
+namespace hipster
+{
+
+/**
+ * Integrates per-domain power over time. Domains 0..N-1 are the
+ * platform's clusters; domain N is the rest of the system. The
+ * Platform calls accumulate() once per simulated interval; monitors
+ * read totals or per-interval deltas, exactly like the separate
+ * process the paper uses to poll the Juno's registers.
+ */
+class EnergyMeter
+{
+  public:
+    /** @param cluster_count Number of cluster domains to track. */
+    explicit EnergyMeter(std::size_t cluster_count);
+
+    /**
+     * Add `duration` seconds at the given per-cluster powers plus
+     * rest-of-system power.
+     */
+    void accumulate(const std::vector<Watts> &cluster_power,
+                    Watts rest_power, Seconds duration);
+
+    /** Total energy of one cluster domain since construction/reset. */
+    Joules clusterEnergy(std::size_t cluster) const;
+
+    /** Total rest-of-system energy. */
+    Joules restEnergy() const { return restEnergy_; }
+
+    /** Total system energy (all domains). */
+    Joules totalEnergy() const;
+
+    /** Total elapsed (integrated) time. */
+    Seconds elapsed() const { return elapsed_; }
+
+    /** Mean system power over the integrated window (0 if empty). */
+    Watts meanPower() const;
+
+    /** Reset all accumulators to zero. */
+    void reset();
+
+  private:
+    std::vector<Joules> clusterEnergy_;
+    Joules restEnergy_ = 0.0;
+    Seconds elapsed_ = 0.0;
+};
+
+} // namespace hipster
+
+#endif // HIPSTER_PLATFORM_ENERGY_METER_HH

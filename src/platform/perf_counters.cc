@@ -1,0 +1,67 @@
+#include "platform/perf_counters.hh"
+
+#include "common/logging.hh"
+
+namespace hipster
+{
+
+PerfCounterBank::PerfCounterBank(std::size_t core_count,
+                                 bool emulate_errata, std::uint64_t seed)
+    : counters_(core_count), emulateErrata_(emulate_errata), garbage_(seed)
+{
+    if (core_count == 0)
+        fatal("PerfCounterBank requires at least one core");
+}
+
+void
+PerfCounterBank::beginInterval()
+{
+    for (auto &c : counters_)
+        c = CoreCounters{};
+    poisoned_ = false;
+}
+
+void
+PerfCounterBank::record(CoreId core, Instructions instructions,
+                        double cycles, Fraction utilization)
+{
+    HIPSTER_ASSERT(core < counters_.size(), "core id out of range: ", core);
+    counters_[core].instructions += instructions;
+    counters_[core].cycles += cycles;
+    counters_[core].utilization = utilization;
+}
+
+void
+PerfCounterBank::noteIdle(CoreId core, Seconds idle_time,
+                          const CpuIdleControl &cpuidle)
+{
+    HIPSTER_ASSERT(core < counters_.size(), "core id out of range: ", core);
+    if (emulateErrata_ && cpuidle.wouldEnterIdle(idle_time))
+        poisoned_ = true;
+}
+
+std::optional<CoreCounters>
+PerfCounterBank::read(CoreId core) const
+{
+    HIPSTER_ASSERT(core < counters_.size(), "core id out of range: ", core);
+    if (poisoned_)
+        return std::nullopt;
+    return counters_[core];
+}
+
+CoreCounters
+PerfCounterBank::readRaw(CoreId core)
+{
+    HIPSTER_ASSERT(core < counters_.size(), "core id out of range: ", core);
+    if (!poisoned_)
+        return counters_[core];
+    // The erratum produces implausible values; emulate with large
+    // random counts so naive consumers visibly misbehave.
+    CoreCounters garbage;
+    garbage.instructions = static_cast<double>(garbage_.next() % (1ULL << 48));
+    garbage.cycles = static_cast<double>(garbage_.next() % (1ULL << 48));
+    garbage.utilization = garbage_.uniform();
+    return garbage;
+}
+
+} // namespace hipster

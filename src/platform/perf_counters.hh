@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Per-core performance counters modelling what the paper reads
+ * through `perf` (instructions retired, cycles), including an
+ * emulation of the Juno erratum described in Section 3.7: when any
+ * core enters an idle state, `perf` returns garbage for *all* cores.
+ * The paper's workaround — disabling cpuidle — is modelled by
+ * CpuIdleControl.
+ */
+
+#ifndef HIPSTER_PLATFORM_PERF_COUNTERS_HH
+#define HIPSTER_PLATFORM_PERF_COUNTERS_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/units.hh"
+
+namespace hipster
+{
+
+/** One core's counter snapshot for a monitoring interval. */
+struct CoreCounters
+{
+    Instructions instructions = 0.0;
+    double cycles = 0.0;
+    Fraction utilization = 0.0;
+};
+
+/**
+ * Models the Linux cpuidle switch. When enabled (the kernel default)
+ * cores that stay idle longer than `idleLatency` enter an idle state,
+ * which triggers the Juno perf erratum. HipsterCo disables it, as the
+ * paper does, to obtain trustworthy IPS readings.
+ */
+class CpuIdleControl
+{
+  public:
+    /** @param idle_latency Idle residency before entering an idle
+     * state (the paper cites 3500 us). */
+    explicit CpuIdleControl(Seconds idle_latency = 3500e-6)
+        : idleLatency_(idle_latency)
+    {}
+
+    bool enabled() const { return enabled_; }
+    void setEnabled(bool enabled) { enabled_ = enabled; }
+    Seconds idleLatency() const { return idleLatency_; }
+
+    /**
+     * Whether a core that was idle for `idle_time` seconds within an
+     * interval would have entered an idle state.
+     */
+    bool
+    wouldEnterIdle(Seconds idle_time) const
+    {
+        return enabled_ && idle_time > idleLatency_;
+    }
+
+  private:
+    bool enabled_ = true;
+    Seconds idleLatency_;
+};
+
+/**
+ * Bank of per-core counters. Workload models deposit instruction and
+ * cycle counts each interval; readers obtain either valid snapshots
+ * or — when the idle erratum fires — garbage values, which they must
+ * avoid by disabling cpuidle first (as the paper does).
+ */
+class PerfCounterBank
+{
+  public:
+    /**
+     * @param core_count     Number of cores to track.
+     * @param emulate_errata Emulate the Juno idle-state perf bug.
+     * @param seed           Seed for the garbage-value generator.
+     */
+    explicit PerfCounterBank(std::size_t core_count,
+                             bool emulate_errata = true,
+                             std::uint64_t seed = 0xC0FFEE);
+
+    std::size_t coreCount() const { return counters_.size(); }
+
+    /** Reset the interval accumulators (call at interval start). */
+    void beginInterval();
+
+    /** Deposit executed work for one core during the interval. */
+    void record(CoreId core, Instructions instructions, double cycles,
+                Fraction utilization);
+
+    /**
+     * Mark that a core was idle for `idle_time` seconds within the
+     * interval; with cpuidle enabled this may poison the whole bank
+     * (the erratum affects *all* cores).
+     */
+    void noteIdle(CoreId core, Seconds idle_time,
+                  const CpuIdleControl &cpuidle);
+
+    /**
+     * Read one core's counters. Returns nullopt when the erratum
+     * poisoned this interval and `emulate_errata` is on — mimicking
+     * the garbage that real perf returns (callers cannot distinguish
+     * garbage from data, so the bank refuses instead; the QoS monitor
+     * treats nullopt as "reading unusable").
+     */
+    std::optional<CoreCounters> read(CoreId core) const;
+
+    /**
+     * Raw read that returns garbage numbers when poisoned, exactly
+     * like the real bug. Only used by tests demonstrating why the
+     * workaround is necessary.
+     */
+    CoreCounters readRaw(CoreId core);
+
+    /** Whether the current interval's readings are poisoned. */
+    bool poisoned() const { return poisoned_; }
+
+  private:
+    std::vector<CoreCounters> counters_;
+    bool emulateErrata_;
+    bool poisoned_ = false;
+    Rng garbage_;
+};
+
+} // namespace hipster
+
+#endif // HIPSTER_PLATFORM_PERF_COUNTERS_HH

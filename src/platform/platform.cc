@@ -1,0 +1,335 @@
+#include "platform/platform.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace hipster
+{
+
+void
+PlatformSpec::validate() const
+{
+    if (clusters.empty())
+        fatal("platform '", name, "' needs at least one cluster");
+    if (clusters.size() != power.size())
+        fatal("platform '", name,
+              "': power params must match cluster count");
+    bool seen_big = false, seen_small = false;
+    for (const auto &c : clusters) {
+        c.validate();
+        if (c.type == CoreType::Big) {
+            if (seen_big)
+                fatal("platform '", name,
+                      "' may have at most one big cluster");
+            seen_big = true;
+        } else {
+            if (seen_small)
+                fatal("platform '", name,
+                      "' may have at most one small cluster");
+            seen_small = true;
+        }
+    }
+    if (restOfSystem < 0.0)
+        fatal("platform '", name, "': negative rest-of-system power");
+    if (costs.dvfsTransition < 0.0 || costs.coreMigration < 0.0)
+        fatal("platform '", name, "': negative actuation cost");
+}
+
+Platform::Platform(PlatformSpec spec)
+    : spec_(std::move(spec)),
+      meter_(spec_.clusters.size()),
+      counters_(1, false) // placeholder; rebuilt below once validated
+{
+    spec_.validate();
+    ClusterId id = 0;
+    CoreId base = 0;
+    for (const auto &cspec : spec_.clusters) {
+        clusterBase_.push_back(base);
+        clusters_.emplace_back(id++, cspec);
+        base += cspec.coreCount;
+    }
+    power_ = std::make_unique<PowerModel>(spec_.power, spec_.restOfSystem);
+    meter_ = EnergyMeter(clusters_.size());
+    counters_ = PerfCounterBank(totalCores(), spec_.emulatePerfErrata);
+
+    // Boot configuration: everything on the big cluster at max DVFS
+    // when one exists (like the paper's static baseline), otherwise
+    // all small cores.
+    CoreConfig boot;
+    for (const auto &cluster : clusters_) {
+        if (cluster.spec().type == CoreType::Big) {
+            boot.nBig = cluster.spec().coreCount;
+            boot.bigFreq = cluster.spec().maxFrequency();
+        } else {
+            boot.smallFreq = cluster.spec().maxFrequency();
+            if (boot.nBig == 0)
+                boot.nSmall = cluster.spec().coreCount;
+        }
+    }
+    if (boot.nBig > 0)
+        boot.nSmall = 0;
+    current_ = boot;
+    applyConfig(boot);
+    totalMigrations_ = 0;
+    totalDvfs_ = 0;
+}
+
+PlatformSpec
+Platform::junoR1()
+{
+    PlatformSpec spec;
+    spec.name = "ARM Juno R1";
+
+    // Big cluster: 2x Cortex-A57, per-cluster DVFS 0.60-1.15 GHz.
+    // The three OPPs match the paper's figures (0.60 / 0.90 / 1.15).
+    ClusterSpec big;
+    big.name = "Cortex-A57";
+    big.type = CoreType::Big;
+    big.coreCount = 2;
+    // Table 2: one big core at 1.15 GHz retires 2138 MIPS on the
+    // compute microbenchmark => IPC ~= 1.86.
+    big.microbenchIpc = 1.86;
+    big.l2Bytes = 2ULL * 1024 * 1024;
+    big.opps = {
+        {0.60, 0.82},
+        {0.90, 0.95},
+        {1.15, 1.09},
+    };
+
+    // Small cluster: 4x Cortex-A53, fixed 0.65 GHz.
+    // Table 2: one small core at 0.65 GHz retires 826 MIPS => IPC
+    // ~= 1.27.
+    ClusterSpec small;
+    small.name = "Cortex-A53";
+    small.type = CoreType::Small;
+    small.coreCount = 4;
+    small.microbenchIpc = 1.27;
+    small.l2Bytes = 1ULL * 1024 * 1024;
+    small.opps = {
+        {0.65, 0.82},
+    };
+
+    spec.clusters = {big, small};
+
+    // Power calibration (see DESIGN.md "Calibration anchors"):
+    // solving Table 2's four anchor points with a 0.76 W
+    // rest-of-system floor yields ~0.68 W per active big core plus
+    // ~0.18 W big-cluster uncore, and ~0.16 W per active small core
+    // plus ~0.03 W small-cluster uncore, all at max DVFS. We split
+    // each core's power 30% static / 70% dynamic at the top OPP.
+    ClusterPowerParams big_power;
+    big_power.core.refVoltage = 1.09;
+    big_power.core.staticAtRef = 0.204;                  // 30% of 0.68
+    big_power.core.dynCoeff = 0.476 / (1.09 * 1.09 * 1.15);
+    big_power.core.idleActivity = 0.06;
+    big_power.uncoreAtRef = 0.18;
+
+    ClusterPowerParams small_power;
+    small_power.core.refVoltage = 0.82;
+    small_power.core.staticAtRef = 0.048;                // 30% of 0.16
+    small_power.core.dynCoeff = 0.112 / (0.82 * 0.82 * 0.65);
+    small_power.core.idleActivity = 0.06;
+    small_power.uncoreAtRef = 0.03;
+
+    spec.power = {big_power, small_power};
+    spec.restOfSystem = 0.76;
+    spec.costs = ActuationCosts{};
+    spec.emulatePerfErrata = true;
+    return spec;
+}
+
+const Cluster &
+Platform::cluster(CoreType type) const
+{
+    for (const auto &c : clusters_) {
+        if (c.spec().type == type)
+            return c;
+    }
+    fatal("platform '", spec_.name, "' has no ", coreTypeName(type),
+          " cluster");
+}
+
+Cluster &
+Platform::clusterMutable(CoreType type)
+{
+    for (auto &c : clusters_) {
+        if (c.spec().type == type)
+            return c;
+    }
+    fatal("platform '", spec_.name, "' has no ", coreTypeName(type),
+          " cluster");
+}
+
+std::uint32_t
+Platform::coreCount(CoreType type) const
+{
+    for (const auto &c : clusters_) {
+        if (c.spec().type == type)
+            return c.spec().coreCount;
+    }
+    return 0;
+}
+
+std::uint32_t
+Platform::totalCores() const
+{
+    std::uint32_t total = 0;
+    for (const auto &c : clusters_)
+        total += c.spec().coreCount;
+    return total;
+}
+
+CoreType
+Platform::coreType(CoreId core) const
+{
+    return clusters_[clusterOf(core)].spec().type;
+}
+
+ClusterId
+Platform::clusterOf(CoreId core) const
+{
+    HIPSTER_ASSERT(core < totalCores(), "core id out of range: ", core);
+    for (std::size_t i = clusters_.size(); i-- > 0;) {
+        if (core >= clusterBase_[i])
+            return static_cast<ClusterId>(i);
+    }
+    HIPSTER_PANIC("unreachable");
+}
+
+std::vector<CoreId>
+Platform::coresOf(CoreType type) const
+{
+    std::vector<CoreId> out;
+    for (std::size_t i = 0; i < clusters_.size(); ++i) {
+        if (clusters_[i].spec().type != type)
+            continue;
+        for (std::uint32_t k = 0; k < clusters_[i].spec().coreCount; ++k)
+            out.push_back(clusterBase_[i] + k);
+    }
+    return out;
+}
+
+bool
+Platform::isValidConfig(const CoreConfig &config) const
+{
+    if (config.empty())
+        return false;
+    if (config.nBig > coreCount(CoreType::Big))
+        return false;
+    if (config.nSmall > coreCount(CoreType::Small))
+        return false;
+    if (config.nBig > 0) {
+        const auto &spec = cluster(CoreType::Big).spec();
+        bool found = false;
+        for (const auto &opp : spec.opps)
+            found |= std::abs(opp.frequency - config.bigFreq) < 1e-9;
+        if (!found)
+            return false;
+    }
+    if (config.nSmall > 0) {
+        const auto &spec = cluster(CoreType::Small).spec();
+        bool found = false;
+        for (const auto &opp : spec.opps)
+            found |= std::abs(opp.frequency - config.smallFreq) < 1e-9;
+        if (!found)
+            return false;
+    }
+    return true;
+}
+
+ActuationResult
+Platform::applyConfig(const CoreConfig &config)
+{
+    if (!isValidConfig(config))
+        fatal("applyConfig: configuration ", config.label(),
+              " is not realizable on ", spec_.name);
+
+    ActuationResult result;
+
+    // DVFS transitions for clusters hosting LC cores.
+    if (config.nBig > 0) {
+        if (clusterMutable(CoreType::Big).setFrequency(config.bigFreq))
+            ++result.dvfsTransitions;
+    }
+    if (config.nSmall > 0) {
+        if (clusterMutable(CoreType::Small).setFrequency(config.smallFreq))
+            ++result.dvfsTransitions;
+    }
+
+    // Affinity change: LC cores are packed onto the lowest-numbered
+    // cores of each cluster, so the delta is just the count change
+    // per cluster.
+    const auto migrated = [](std::uint32_t before, std::uint32_t after) {
+        return before > after ? before - after : after - before;
+    };
+    result.migratedCores = migrated(current_.nBig, config.nBig) +
+                           migrated(current_.nSmall, config.nSmall);
+
+    result.latency = result.dvfsTransitions * spec_.costs.dvfsTransition +
+                     (result.migratedCores > 0 ? spec_.costs.coreMigration
+                                               : 0.0);
+
+    current_ = config;
+    rebuildCoreSets();
+    totalMigrations_ += result.migratedCores;
+    totalDvfs_ += result.dvfsTransitions;
+    return result;
+}
+
+bool
+Platform::setClusterFrequency(CoreType type, GHz frequency)
+{
+    const bool changed = clusterMutable(type).setFrequency(frequency);
+    if (changed)
+        ++totalDvfs_;
+    return changed;
+}
+
+GHz
+Platform::coreFrequency(CoreId core) const
+{
+    return clusters_[clusterOf(core)].frequency();
+}
+
+Watts
+Platform::tdp() const
+{
+    return power_->tdp(clusters_);
+}
+
+Watts
+Platform::accountEnergy(const std::vector<ClusterActivity> &activity,
+                        Seconds duration)
+{
+    std::vector<Watts> cluster_power(clusters_.size());
+    for (std::size_t i = 0; i < clusters_.size(); ++i)
+        cluster_power[i] = power_->clusterPower(clusters_[i], activity[i]);
+    meter_.accumulate(cluster_power, power_->restOfSystem(), duration);
+    Watts total = power_->restOfSystem();
+    for (Watts p : cluster_power)
+        total += p;
+    return total;
+}
+
+void
+Platform::rebuildCoreSets()
+{
+    lcCores_.clear();
+    spareCores_.clear();
+    for (std::size_t i = 0; i < clusters_.size(); ++i) {
+        const auto &cspec = clusters_[i].spec();
+        const std::uint32_t lc_count =
+            cspec.type == CoreType::Big ? current_.nBig : current_.nSmall;
+        for (std::uint32_t k = 0; k < cspec.coreCount; ++k) {
+            const CoreId core = clusterBase_[i] + k;
+            if (k < lc_count) {
+                lcCores_.push_back(core);
+            } else {
+                spareCores_.push_back(core);
+            }
+        }
+    }
+}
+
+} // namespace hipster

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * The Platform ties together clusters, DVFS, the power model, energy
+ * meters and perf counters, and exposes the actuation interface the
+ * task managers use: apply a CoreConfig (core affinity + cluster
+ * DVFS), with realistic actuation costs.
+ *
+ * The default factory builds the paper's evaluation board, an ARM
+ * Juno R1 (2x Cortex-A57 big + 4x Cortex-A53 small); a generic
+ * builder composes arbitrary two-type platforms.
+ */
+
+#ifndef HIPSTER_PLATFORM_PLATFORM_HH
+#define HIPSTER_PLATFORM_PLATFORM_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+#include "platform/cluster.hh"
+#include "platform/core_config.hh"
+#include "platform/energy_meter.hh"
+#include "platform/perf_counters.hh"
+#include "platform/power_model.hh"
+
+namespace hipster
+{
+
+/** Actuation latencies of the platform/OS control interfaces. */
+struct ActuationCosts
+{
+    /**
+     * Latency of one cluster DVFS transition (acpi-cpufreq write).
+     * Prior work cited by the paper puts this at microseconds.
+     */
+    Seconds dvfsTransition = 100e-6;
+
+    /**
+     * Latency of migrating the LC workload's threads onto a
+     * different core set (sched_setaffinity + cache warm-up). The
+     * paper, citing Rubik, notes this is milliseconds — far more
+     * costly than DVFS.
+     */
+    Seconds coreMigration = 2e-3;
+};
+
+/** Full static description of a platform. */
+struct PlatformSpec
+{
+    std::string name;
+    std::vector<ClusterSpec> clusters;
+    std::vector<ClusterPowerParams> power;
+    Watts restOfSystem = 0.0;
+    ActuationCosts costs;
+
+    /** Emulate the Juno perf-counter idle erratum (Section 3.7). */
+    bool emulatePerfErrata = true;
+
+    void validate() const;
+};
+
+/** Cost report returned by Platform::applyConfig. */
+struct ActuationResult
+{
+    /** Number of cores that entered/left the LC allocation. */
+    std::uint32_t migratedCores = 0;
+
+    /** Number of clusters whose OPP changed. */
+    std::uint32_t dvfsTransitions = 0;
+
+    /** Total actuation latency implied by the changes. */
+    Seconds latency = 0.0;
+
+    bool
+    changedAnything() const
+    {
+        return migratedCores > 0 || dvfsTransitions > 0;
+    }
+};
+
+/**
+ * Runtime platform instance.
+ *
+ * Core numbering is dense and cluster-major: the big cluster's cores
+ * come first, then the small cluster's (matching Juno's logical CPU
+ * numbering with the big cluster listed first). The LC workload is
+ * always packed onto the lowest-numbered cores of each cluster; this
+ * mirrors the deterministic affinity masks the paper's user-space
+ * manager sets via sched_setaffinity.
+ */
+class Platform
+{
+  public:
+    explicit Platform(PlatformSpec spec);
+
+    /** The paper's evaluation platform: ARM Juno R1. */
+    static PlatformSpec junoR1();
+
+    const PlatformSpec &spec() const { return spec_; }
+    const std::string &name() const { return spec_.name; }
+
+    /** All clusters (index = ClusterId). */
+    const std::vector<Cluster> &clusters() const { return clusters_; }
+
+    /** Cluster holding the given core type; throws if absent. */
+    const Cluster &cluster(CoreType type) const;
+
+    /** Number of cores of one type. */
+    std::uint32_t coreCount(CoreType type) const;
+
+    /** Total core count across clusters. */
+    std::uint32_t totalCores() const;
+
+    /** Core type of a global core id. */
+    CoreType coreType(CoreId core) const;
+
+    /** Cluster id of a global core id. */
+    ClusterId clusterOf(CoreId core) const;
+
+    /** Global core ids of one cluster. */
+    std::vector<CoreId> coresOf(CoreType type) const;
+
+    /**
+     * Validate that a configuration is realizable here (core counts
+     * within cluster sizes, frequencies present in OPP tables,
+     * non-empty).
+     */
+    bool isValidConfig(const CoreConfig &config) const;
+
+    /**
+     * Apply a configuration: pin the LC workload to `config.nBig` big
+     * + `config.nSmall` small cores and program cluster frequencies.
+     * Frequencies of clusters with no LC core are left untouched (the
+     * policy layer decides what to do with them — Algorithm 2 lines
+     * 8-13).
+     *
+     * Throws FatalError on invalid configurations.
+     */
+    ActuationResult applyConfig(const CoreConfig &config);
+
+    /**
+     * Program one cluster's frequency directly (used by the policies
+     * for the non-LC cluster). Returns true when it changed.
+     */
+    bool setClusterFrequency(CoreType type, GHz frequency);
+
+    /** Currently applied LC configuration. */
+    const CoreConfig &currentConfig() const { return current_; }
+
+    /** Global core ids currently allocated to the LC workload. */
+    const std::vector<CoreId> &lcCores() const { return lcCores_; }
+
+    /** Global core ids not allocated to the LC workload. */
+    const std::vector<CoreId> &spareCores() const { return spareCores_; }
+
+    /** Effective frequency currently programmed for a core. */
+    GHz coreFrequency(CoreId core) const;
+
+    /** Power model (immutable). */
+    const PowerModel &powerModel() const { return *power_; }
+
+    /** System TDP per the power model. */
+    Watts tdp() const;
+
+    /**
+     * Compute system power for a per-cluster activity snapshot and
+     * charge it to the energy meter for `duration` seconds. Returns
+     * the system power used.
+     */
+    Watts accountEnergy(const std::vector<ClusterActivity> &activity,
+                        Seconds duration);
+
+    /** Energy meter (paper: Juno energy registers). */
+    const EnergyMeter &energyMeter() const { return meter_; }
+    EnergyMeter &energyMeter() { return meter_; }
+
+    /** Perf counter bank (paper: perf instructions counters). */
+    PerfCounterBank &perfCounters() { return counters_; }
+    const PerfCounterBank &perfCounters() const { return counters_; }
+
+    /** cpuidle control (Section 3.7 workaround). */
+    CpuIdleControl &cpuIdle() { return cpuIdle_; }
+    const CpuIdleControl &cpuIdle() const { return cpuIdle_; }
+
+    /** Cumulative count of LC core migrations across applyConfig. */
+    std::uint64_t totalMigrations() const { return totalMigrations_; }
+
+    /** Cumulative count of DVFS transitions across applyConfig. */
+    std::uint64_t totalDvfsTransitions() const { return totalDvfs_; }
+
+  private:
+    Cluster &clusterMutable(CoreType type);
+    void rebuildCoreSets();
+
+    PlatformSpec spec_;
+    std::vector<Cluster> clusters_;
+    std::unique_ptr<PowerModel> power_;
+    EnergyMeter meter_;
+    PerfCounterBank counters_;
+    CpuIdleControl cpuIdle_;
+
+    CoreConfig current_;
+    std::vector<CoreId> lcCores_;
+    std::vector<CoreId> spareCores_;
+    /** First global core id of each cluster. */
+    std::vector<CoreId> clusterBase_;
+
+    std::uint64_t totalMigrations_ = 0;
+    std::uint64_t totalDvfs_ = 0;
+};
+
+} // namespace hipster
+
+#endif // HIPSTER_PLATFORM_PLATFORM_HH

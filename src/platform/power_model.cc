@@ -1,0 +1,92 @@
+#include "platform/power_model.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace hipster
+{
+
+PowerModel::PowerModel(std::vector<ClusterPowerParams> cluster_params,
+                       Watts rest_of_system)
+    : params_(std::move(cluster_params)), restOfSystem_(rest_of_system)
+{
+    if (params_.empty())
+        fatal("PowerModel requires at least one cluster");
+    if (restOfSystem_ < 0.0)
+        fatal("PowerModel rest-of-system power must be non-negative");
+    for (const auto &p : params_) {
+        if (p.core.dynCoeff < 0.0 || p.core.staticAtRef < 0.0 ||
+            p.core.refVoltage <= 0.0 || p.uncoreAtRef < 0.0) {
+            fatal("PowerModel cluster parameters must be non-negative "
+                  "with positive reference voltage");
+        }
+        if (p.core.idleActivity < 0.0 || p.core.idleActivity > 1.0)
+            fatal("PowerModel idleActivity must lie in [0, 1]");
+    }
+}
+
+Watts
+PowerModel::clusterPower(const ClusterSpec &spec,
+                         const ClusterPowerParams &params, const Opp &opp,
+                         const ClusterActivity &activity) const
+{
+    HIPSTER_ASSERT(activity.activeCores <= spec.coreCount,
+                   "more active cores than the cluster has");
+    if (activity.activeCores == 0)
+        return 0.0; // cluster power-gated
+    const double vscale = opp.voltage / params.core.refVoltage;
+    const Watts static_per_core = params.core.staticAtRef * vscale;
+    const Watts dyn_full =
+        params.core.dynCoeff * opp.voltage * opp.voltage * opp.frequency;
+    const Fraction util =
+        std::clamp(activity.utilization, 0.0, 1.0);
+    const double activity_factor =
+        params.core.idleActivity + (1.0 - params.core.idleActivity) * util;
+    const Watts per_core = static_per_core + dyn_full * activity_factor;
+    const Watts uncore = params.uncoreAtRef * vscale;
+    return uncore + per_core * activity.activeCores;
+}
+
+Watts
+PowerModel::clusterPower(const Cluster &cluster,
+                         const ClusterActivity &activity) const
+{
+    const Opp opp{cluster.frequency(), cluster.voltage()};
+    return clusterPower(cluster.spec(), params(cluster.id()), opp,
+                        activity);
+}
+
+Watts
+PowerModel::systemPower(const std::vector<Cluster> &clusters,
+                        const std::vector<ClusterActivity> &activity) const
+{
+    HIPSTER_ASSERT(clusters.size() == activity.size(),
+                   "activity vector size mismatch");
+    Watts total = restOfSystem_;
+    for (std::size_t i = 0; i < clusters.size(); ++i)
+        total += clusterPower(clusters[i], activity[i]);
+    return total;
+}
+
+const ClusterPowerParams &
+PowerModel::params(ClusterId id) const
+{
+    HIPSTER_ASSERT(id < params_.size(), "cluster id out of range: ", id);
+    return params_[id];
+}
+
+Watts
+PowerModel::tdp(const std::vector<Cluster> &clusters) const
+{
+    Watts total = restOfSystem_;
+    for (const auto &cluster : clusters) {
+        const auto &spec = cluster.spec();
+        const Opp top = spec.opps.back();
+        total += clusterPower(spec, params(cluster.id()), top,
+                              {spec.coreCount, 1.0});
+    }
+    return total;
+}
+
+} // namespace hipster

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Analytic power model for a heterogeneous multicore, calibrated to
+ * the paper's Table 2 measurements of the ARM Juno R1.
+ *
+ * Per-core power is split into a voltage-dependent static part and a
+ * C*V^2*f dynamic part scaled by utilization. Each active cluster
+ * adds an "uncore" term (shared L2, clock tree), and the rest of the
+ * system (memory controller, interconnect, I/O) adds a constant
+ * floor. This decomposition reproduces the Table 2 anchor points:
+ *
+ *   big cluster (2 cores, 1.15 GHz, 100% util):  2.30 W system
+ *   one big core            (1.15 GHz, 100%):    1.62 W system
+ *   small cluster (4 cores, 0.65 GHz, 100%):     1.43 W system
+ *   one small core          (0.65 GHz, 100%):    0.95 W system
+ */
+
+#ifndef HIPSTER_PLATFORM_POWER_MODEL_HH
+#define HIPSTER_PLATFORM_POWER_MODEL_HH
+
+#include <vector>
+
+#include "common/units.hh"
+#include "platform/cluster.hh"
+
+namespace hipster
+{
+
+/** Calibration constants for one core type. */
+struct CorePowerParams
+{
+    /**
+     * Effective switched capacitance coefficient: dynamic power at
+     * full utilization is dynCoeff * V^2 * f (W, with V in volts and
+     * f in GHz).
+     */
+    double dynCoeff = 0.0;
+
+    /**
+     * Static (leakage) power at the reference voltage; scales
+     * linearly with V.
+     */
+    Watts staticAtRef = 0.0;
+
+    /** Reference voltage for staticAtRef. */
+    Volts refVoltage = 1.0;
+
+    /** Fraction of full dynamic power consumed by an idle (but
+     * powered) core in the cluster, modelling clock-gating residue. */
+    double idleActivity = 0.05;
+};
+
+/** Calibration constants for one cluster's shared resources. */
+struct ClusterPowerParams
+{
+    CorePowerParams core;
+
+    /** Uncore (shared L2, clock distribution) power when the cluster
+     * has at least one powered core; scales like static power. */
+    Watts uncoreAtRef = 0.0;
+};
+
+/**
+ * Per-cluster utilization snapshot handed to the power model each
+ * interval: how many cores are powered and the mean utilization of
+ * the powered cores.
+ */
+struct ClusterActivity
+{
+    /** Number of cores that are powered (allocated to any workload). */
+    std::uint32_t activeCores = 0;
+
+    /** Mean busy fraction of the powered cores in [0, 1]. */
+    Fraction utilization = 0.0;
+};
+
+/**
+ * System power model: maps (per-cluster OPP, per-cluster activity)
+ * to watts. Immutable once constructed; the Platform owns one.
+ */
+class PowerModel
+{
+  public:
+    /**
+     * @param cluster_params One entry per cluster, same order as the
+     *                       platform's clusters.
+     * @param rest_of_system Constant power of everything outside the
+     *                       clusters (W).
+     */
+    PowerModel(std::vector<ClusterPowerParams> cluster_params,
+               Watts rest_of_system);
+
+    /** Power of one cluster at a given OPP and activity. */
+    Watts clusterPower(const ClusterSpec &spec,
+                       const ClusterPowerParams &params, const Opp &opp,
+                       const ClusterActivity &activity) const;
+
+    /** Power of cluster `id` given the runtime cluster state. */
+    Watts clusterPower(const Cluster &cluster,
+                       const ClusterActivity &activity) const;
+
+    /**
+     * Total system power: sum of cluster powers plus the
+     * rest-of-system floor.
+     */
+    Watts systemPower(const std::vector<Cluster> &clusters,
+                      const std::vector<ClusterActivity> &activity) const;
+
+    Watts restOfSystem() const { return restOfSystem_; }
+
+    const ClusterPowerParams &params(ClusterId id) const;
+
+    /**
+     * Thermal design power: system power with every cluster at its
+     * highest OPP and 100% utilization. Used by the paper's
+     * Power-reward (Algorithm 1, line 5).
+     */
+    Watts tdp(const std::vector<Cluster> &clusters) const;
+
+  private:
+    std::vector<ClusterPowerParams> params_;
+    Watts restOfSystem_;
+};
+
+} // namespace hipster
+
+#endif // HIPSTER_PLATFORM_POWER_MODEL_HH

@@ -1,0 +1,28 @@
+#include "platform/types.hh"
+
+#include <cstdio>
+
+namespace hipster
+{
+
+const char *
+coreTypeLetter(CoreType type)
+{
+    return type == CoreType::Big ? "B" : "S";
+}
+
+const char *
+coreTypeName(CoreType type)
+{
+    return type == CoreType::Big ? "big" : "small";
+}
+
+std::string
+formatGHz(GHz freq)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f", freq);
+    return buf;
+}
+
+} // namespace hipster

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Basic platform vocabulary: core types and operating performance
+ * points (OPPs).
+ */
+
+#ifndef HIPSTER_PLATFORM_TYPES_HH
+#define HIPSTER_PLATFORM_TYPES_HH
+
+#include <string>
+
+#include "common/units.hh"
+
+namespace hipster
+{
+
+/**
+ * Kind of core in a heterogeneous (big.LITTLE-style) system.
+ *
+ * `Big` models a high-performance out-of-order core (Cortex-A57 on
+ * the paper's Juno R1); `Small` models a low-power in-order core
+ * (Cortex-A53).
+ */
+enum class CoreType
+{
+    Big,
+    Small,
+};
+
+/** Short name used in configuration labels: "B" / "S". */
+const char *coreTypeLetter(CoreType type);
+
+/** Human-readable name: "big" / "small". */
+const char *coreTypeName(CoreType type);
+
+/**
+ * One operating performance point of a DVFS domain: a frequency and
+ * the supply voltage required to sustain it.
+ */
+struct Opp
+{
+    GHz frequency = 0.0;
+    Volts voltage = 0.0;
+
+    bool
+    operator==(const Opp &other) const
+    {
+        return frequency == other.frequency && voltage == other.voltage;
+    }
+};
+
+/** Format a frequency like the paper's labels, e.g. 0.9 -> "0.90". */
+std::string formatGHz(GHz freq);
+
+} // namespace hipster
+
+#endif // HIPSTER_PLATFORM_TYPES_HH

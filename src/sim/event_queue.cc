@@ -1,0 +1,51 @@
+#include "sim/event_queue.hh"
+
+#include "common/logging.hh"
+
+namespace hipster
+{
+
+void
+EventQueue::schedule(Seconds when, Handler handler)
+{
+    heap_.push(Entry{when, nextSeq_++, std::move(handler)});
+}
+
+Seconds
+EventQueue::nextTime() const
+{
+    HIPSTER_ASSERT(!heap_.empty(), "nextTime on empty queue");
+    return heap_.top().when;
+}
+
+Seconds
+EventQueue::runOne()
+{
+    HIPSTER_ASSERT(!heap_.empty(), "runOne on empty queue");
+    // priority_queue::top returns const&; we must copy before pop.
+    Entry entry = heap_.top();
+    heap_.pop();
+    ++processed_;
+    entry.handler(entry.when);
+    return entry.when;
+}
+
+std::size_t
+EventQueue::runUntil(Seconds until)
+{
+    std::size_t count = 0;
+    while (!heap_.empty() && heap_.top().when <= until) {
+        runOne();
+        ++count;
+    }
+    return count;
+}
+
+void
+EventQueue::clear()
+{
+    while (!heap_.empty())
+        heap_.pop();
+}
+
+} // namespace hipster

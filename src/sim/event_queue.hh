@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Generic discrete-event simulation core: a time-ordered event queue
+ * with stable FIFO ordering among simultaneous events, and a small
+ * simulation clock wrapper.
+ */
+
+#ifndef HIPSTER_SIM_EVENT_QUEUE_HH
+#define HIPSTER_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace hipster
+{
+
+/**
+ * Min-heap of timestamped events. Events scheduled for the same time
+ * fire in insertion order (a sequence number breaks ties), which
+ * keeps simulations deterministic.
+ */
+class EventQueue
+{
+  public:
+    using Handler = std::function<void(Seconds now)>;
+
+    /** Schedule `handler` to fire at absolute time `when`. */
+    void schedule(Seconds when, Handler handler);
+
+    /** True when no events are pending. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return heap_.size(); }
+
+    /** Timestamp of the earliest pending event. */
+    Seconds nextTime() const;
+
+    /**
+     * Pop and run the earliest event. Returns its timestamp. Must
+     * not be called on an empty queue.
+     */
+    Seconds runOne();
+
+    /**
+     * Run events until the queue empties or the next event is later
+     * than `until`. Events at exactly `until` run. Returns the number
+     * of events processed.
+     */
+    std::size_t runUntil(Seconds until);
+
+    /** Drop all pending events. */
+    void clear();
+
+    /** Total events processed since construction. */
+    std::uint64_t processed() const { return processed_; }
+
+  private:
+    struct Entry
+    {
+        Seconds when;
+        std::uint64_t seq;
+        Handler handler;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t processed_ = 0;
+};
+
+} // namespace hipster
+
+#endif // HIPSTER_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,276 @@
+#include "sim/queueing.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace hipster
+{
+
+QueueingSystem::QueueingSystem(EventQueue &events, std::size_t max_queue)
+    : events_(events), maxQueue_(max_queue)
+{
+}
+
+Seconds
+QueueingSystem::serviceTime(const Server &server, const InFlight &work)
+{
+    HIPSTER_ASSERT(server.spec.instructionRate > 0.0,
+                   "server has zero instruction rate");
+    return work.remainInsn / server.spec.instructionRate +
+           work.remainStall * server.spec.stallScale;
+}
+
+void
+QueueingSystem::configure(const std::vector<ServerSpec> &servers,
+                          Seconds now)
+{
+    // Collect in-flight work from servers that disappear (shrink) and
+    // re-queue it at the front, preserving FIFO order among the
+    // displaced requests.
+    std::vector<InFlight> displaced;
+    for (std::size_t i = servers.size(); i < servers_.size(); ++i) {
+        Server &server = servers_[i];
+        if (server.busy) {
+            chargePartialProgress(server, now);
+            displaced.push_back(server.work);
+            server.busy = false;
+            ++server.epoch;
+        }
+    }
+    // Sort displaced requests by original arrival so re-queue order
+    // is deterministic.
+    std::stable_sort(displaced.begin(), displaced.end(),
+                     [](const InFlight &a, const InFlight &b) {
+                         return a.request.arrival < b.request.arrival;
+                     });
+    for (auto it = displaced.rbegin(); it != displaced.rend(); ++it)
+        queue_.push_front(*it);
+
+    // Preserve usage accounting for surviving servers across the
+    // reconfiguration; shrink/grow the vector afterwards.
+    const std::size_t surviving = std::min(servers.size(), servers_.size());
+    for (std::size_t i = 0; i < surviving; ++i) {
+        Server &server = servers_[i];
+        const bool speed_changed =
+            server.spec.instructionRate != servers[i].instructionRate ||
+            server.spec.stallScale != servers[i].stallScale;
+        if (server.busy && speed_changed) {
+            chargePartialProgress(server, now);
+            server.spec = servers[i];
+            server.busySince = now;
+            server.departAt = now + serviceTime(server, server.work);
+            ++server.epoch;
+            scheduleDeparture(i);
+        } else {
+            server.spec = servers[i];
+        }
+    }
+    servers_.resize(servers.size());
+    for (std::size_t i = surviving; i < servers.size(); ++i) {
+        servers_[i] = Server{};
+        servers_[i].spec = servers[i];
+    }
+
+    dispatch(now);
+}
+
+void
+QueueingSystem::stall(Seconds now, Seconds until)
+{
+    if (until <= now)
+        return;
+    for (std::size_t i = 0; i < servers_.size(); ++i) {
+        Server &server = servers_[i];
+        if (!server.busy)
+            continue;
+        // The stall contributes no progress: push the departure back
+        // and do not count the paused span as busy execution.
+        chargePartialProgress(server, now);
+        server.busySince = until;
+        server.departAt = until + serviceTime(server, server.work);
+        ++server.epoch;
+        scheduleDeparture(i);
+    }
+}
+
+void
+QueueingSystem::submit(const Request &request)
+{
+    InFlight work;
+    work.request = request;
+    work.remainInsn = request.computeInsn;
+    work.remainStall = request.memStall;
+
+    const std::size_t idle = pickIdleServer();
+    if (idle != static_cast<std::size_t>(-1)) {
+        startService(idle, work, request.arrival);
+        return;
+    }
+    if (queue_.size() >= maxQueue_) {
+        ++dropped_;
+        return;
+    }
+    queue_.push_back(work);
+}
+
+void
+QueueingSystem::setCompletionCallback(CompletionCallback callback)
+{
+    onComplete_ = std::move(callback);
+}
+
+std::size_t
+QueueingSystem::inService() const
+{
+    std::size_t count = 0;
+    for (const auto &server : servers_)
+        count += server.busy ? 1 : 0;
+    return count;
+}
+
+std::vector<ServerUsage>
+QueueingSystem::harvestUsage(Seconds now)
+{
+    std::vector<ServerUsage> out;
+    out.reserve(servers_.size());
+    for (auto &server : servers_) {
+        if (server.busy) {
+            // Convert the executed span into progress: the remaining
+            // work shrinks and the accounting window restarts at
+            // `now`. The in-flight departure event stays valid
+            // because the speed is unchanged (serviceTime(remaining)
+            // == departAt - now afterwards).
+            chargePartialProgress(server, now);
+            server.busySince = now;
+        }
+        out.push_back({server.spec.core, server.busyAccum,
+                       server.insnAccum});
+        server.busyAccum = 0.0;
+        server.insnAccum = 0.0;
+    }
+    return out;
+}
+
+void
+QueueingSystem::reset()
+{
+    for (auto &server : servers_) {
+        server.busy = false;
+        ++server.epoch;
+        server.busyAccum = 0.0;
+        server.insnAccum = 0.0;
+    }
+    queue_.clear();
+    dropped_ = 0;
+}
+
+void
+QueueingSystem::startService(std::size_t idx, InFlight work, Seconds now)
+{
+    Server &server = servers_[idx];
+    HIPSTER_ASSERT(!server.busy, "startService on busy server");
+    server.busy = true;
+    if (work.started == 0.0 && work.remainInsn == work.request.computeInsn)
+        work.started = now;
+    server.work = work;
+    server.busySince = now;
+    server.departAt = now + serviceTime(server, server.work);
+    ++server.epoch;
+    scheduleDeparture(idx);
+}
+
+void
+QueueingSystem::scheduleDeparture(std::size_t idx)
+{
+    Server &server = servers_[idx];
+    const std::uint64_t epoch = server.epoch;
+    const Seconds when = server.departAt;
+    events_.schedule(when, [this, idx, epoch](Seconds now) {
+        onDeparture(idx, epoch, now);
+    });
+}
+
+void
+QueueingSystem::onDeparture(std::size_t idx, std::uint64_t epoch,
+                            Seconds now)
+{
+    if (idx >= servers_.size())
+        return; // server removed since scheduling
+    Server &server = servers_[idx];
+    if (!server.busy || server.epoch != epoch)
+        return; // stale event
+
+    // Account the final service span.
+    server.busyAccum += std::max(0.0, now - server.busySince);
+    server.insnAccum += server.work.remainInsn;
+    server.busy = false;
+    ++server.epoch;
+
+    if (onComplete_) {
+        CompletedRequest done;
+        done.arrival = server.work.request.arrival;
+        done.started = server.work.started;
+        done.completed = now;
+        done.userId = server.work.request.userId;
+        onComplete_(done);
+    }
+
+    if (!queue_.empty()) {
+        InFlight next = queue_.front();
+        queue_.pop_front();
+        if (next.started == 0.0 &&
+            next.remainInsn == next.request.computeInsn) {
+            next.started = now;
+        }
+        startService(idx, next, now);
+    }
+}
+
+void
+QueueingSystem::chargePartialProgress(Server &server, Seconds now)
+{
+    HIPSTER_ASSERT(server.busy, "chargePartialProgress on idle server");
+    const Seconds span = std::max(0.0, now - server.busySince);
+    const Seconds total = serviceTime(server, server.work);
+    const double frac =
+        total > 0.0 ? std::min(1.0, span / total) : 1.0;
+    server.busyAccum += span;
+    server.insnAccum += server.work.remainInsn * frac;
+    server.work.remainInsn *= (1.0 - frac);
+    server.work.remainStall *= (1.0 - frac);
+}
+
+std::size_t
+QueueingSystem::pickIdleServer() const
+{
+    std::size_t best = static_cast<std::size_t>(-1);
+    Ips best_rate = -1.0;
+    for (std::size_t i = 0; i < servers_.size(); ++i) {
+        if (!servers_[i].busy &&
+            servers_[i].spec.instructionRate > best_rate) {
+            best = i;
+            best_rate = servers_[i].spec.instructionRate;
+        }
+    }
+    return best;
+}
+
+void
+QueueingSystem::dispatch(Seconds now)
+{
+    while (!queue_.empty()) {
+        const std::size_t idle = pickIdleServer();
+        if (idle == static_cast<std::size_t>(-1))
+            break;
+        InFlight next = queue_.front();
+        queue_.pop_front();
+        if (next.started == 0.0 &&
+            next.remainInsn == next.request.computeInsn) {
+            next.started = now;
+        }
+        startService(idle, next, now);
+    }
+}
+
+} // namespace hipster

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Heterogeneous multi-server FCFS queueing system — the substrate on
+ * which the latency-critical services (Memcached, Web-Search) are
+ * simulated.
+ *
+ * Requests carry a two-component service demand: compute instructions
+ * (scale with core speed = IPC x frequency) and memory-stall time
+ * (does not scale with frequency, but inflates under shared-resource
+ * contention). Servers model cores; the server set and speeds can be
+ * reconfigured mid-simulation (core migrations and DVFS changes), and
+ * in-flight requests are rescheduled accordingly — including
+ * migration of partially executed requests back to the queue when
+ * their core is taken away, which is what makes core transitions
+ * "far more costly than DVFS changes" (Kasture et al., cited in
+ * Section 2 of the paper).
+ */
+
+#ifndef HIPSTER_SIM_QUEUEING_HH
+#define HIPSTER_SIM_QUEUEING_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "common/units.hh"
+#include "sim/event_queue.hh"
+
+namespace hipster
+{
+
+/** A request's service demand and identity. */
+struct Request
+{
+    /** Absolute arrival (submission) time. */
+    Seconds arrival = 0.0;
+
+    /** Compute portion: instructions to retire. */
+    Instructions computeInsn = 0.0;
+
+    /** Memory-stall portion: seconds, frequency-independent. */
+    Seconds memStall = 0.0;
+
+    /** Closed-loop user issuing the request (0 for open loop). */
+    std::uint64_t userId = 0;
+};
+
+/** A finished request with its timing. */
+struct CompletedRequest
+{
+    Seconds arrival = 0.0;
+    Seconds started = 0.0;
+    Seconds completed = 0.0;
+    std::uint64_t userId = 0;
+
+    /** Sojourn time (queueing + service). */
+    Seconds latency() const { return completed - arrival; }
+};
+
+/** One simulated server (a core allocated to the LC workload). */
+struct ServerSpec
+{
+    /** Effective instruction retirement rate for this app (IPS). */
+    Ips instructionRate = 0.0;
+
+    /** Multiplier on the memory-stall portion (>= 1 under
+     * contention). */
+    double stallScale = 1.0;
+
+    /** Platform core backing this server (perf-counter attribution). */
+    CoreId core = 0;
+};
+
+/** Per-interval accounting for one server. */
+struct ServerUsage
+{
+    CoreId core = 0;
+    Seconds busyTime = 0.0;
+    Instructions instructions = 0.0;
+};
+
+/**
+ * The queueing system. Drives departures through an external
+ * EventQueue supplied by the owner, so arrival sources and the
+ * service network share one clock.
+ */
+class QueueingSystem
+{
+  public:
+    using CompletionCallback =
+        std::function<void(const CompletedRequest &)>;
+
+    /**
+     * @param events    Shared event queue (not owned).
+     * @param max_queue Waiting-room bound; arrivals beyond it are
+     *                  dropped (counted), modelling request timeouts
+     *                  under extreme overload.
+     */
+    explicit QueueingSystem(
+        EventQueue &events,
+        std::size_t max_queue = std::numeric_limits<std::size_t>::max());
+
+    /**
+     * Replace the server set at time `now`. In-flight requests on
+     * surviving servers are rescaled to the new speed; requests on
+     * removed servers return to the *front* of the queue (their
+     * arrival stamps are preserved, so their eventual latency
+     * includes the disruption). Newly added idle servers immediately
+     * pull waiting work.
+     */
+    void configure(const std::vector<ServerSpec> &servers, Seconds now);
+
+    /**
+     * Freeze all servers until `until` (actuation stall: core
+     * migration or DVFS transition latency). In-flight completions
+     * are pushed back by the stall.
+     */
+    void stall(Seconds now, Seconds until);
+
+    /**
+     * Submit a request at time `request.arrival`. Must be invoked
+     * when simulated time reaches the arrival (i.e. from an event
+     * scheduled on the shared EventQueue at `request.arrival`);
+     * submitting future arrivals eagerly corrupts FCFS timing.
+     */
+    void submit(const Request &request);
+
+    /** Invoked for every completed request. */
+    void setCompletionCallback(CompletionCallback callback);
+
+    /** Number of requests waiting (not in service). */
+    std::size_t queueLength() const { return queue_.size(); }
+
+    /** Number of requests currently in service. */
+    std::size_t inService() const;
+
+    /** Total arrivals dropped due to the waiting-room bound. */
+    std::uint64_t dropped() const { return dropped_; }
+
+    /** Number of configured servers. */
+    std::size_t serverCount() const { return servers_.size(); }
+
+    /**
+     * Snapshot and reset per-interval usage accounting. `now` is the
+     * interval end; busy periods extending past `now` are charged up
+     * to `now` only.
+     */
+    std::vector<ServerUsage> harvestUsage(Seconds now);
+
+    /** Drain everything (fresh start, e.g. between experiments). */
+    void reset();
+
+  private:
+    struct InFlight
+    {
+        Request request;
+        Seconds started = 0.0;       ///< first time it entered service
+        Instructions remainInsn = 0.0;
+        Seconds remainStall = 0.0;
+    };
+
+    struct Server
+    {
+        ServerSpec spec;
+        bool busy = false;
+        InFlight work;
+        Seconds departAt = 0.0;
+        std::uint64_t epoch = 0;     ///< invalidates stale departures
+        Seconds busySince = 0.0;
+        Seconds busyAccum = 0.0;
+        Instructions insnAccum = 0.0;
+    };
+
+    /** Service time of remaining work on a given server. */
+    static Seconds serviceTime(const Server &server, const InFlight &work);
+
+    /** Put a request into service on an idle server. */
+    void startService(std::size_t idx, InFlight work, Seconds now);
+
+    /** Schedule (or reschedule) the departure event for a server. */
+    void scheduleDeparture(std::size_t idx);
+
+    /** Handle a departure event for a server at a given epoch. */
+    void onDeparture(std::size_t idx, std::uint64_t epoch, Seconds now);
+
+    /** Account the executed portion when service is interrupted. */
+    void chargePartialProgress(Server &server, Seconds now);
+
+    /** Fastest idle server, or SIZE_MAX when all busy. */
+    std::size_t pickIdleServer() const;
+
+    /** Dispatch queued work to any idle servers. */
+    void dispatch(Seconds now);
+
+    EventQueue &events_;
+    std::vector<Server> servers_;
+    std::deque<InFlight> queue_;
+    std::size_t maxQueue_;
+    std::uint64_t dropped_ = 0;
+    CompletionCallback onComplete_;
+};
+
+} // namespace hipster
+
+#endif // HIPSTER_SIM_QUEUEING_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Factory definitions of the paper's two latency-critical workloads
+ * (Table 1), calibrated so the simulated substrate reproduces the
+ * evaluation's anchor behaviours:
+ *
+ *  - Memcached: 36 000 RPS max load, 10 ms p95 target, open-loop
+ *    Twitter-caching style traffic;
+ *  - Web-Search: 44 QPS max load, 500 ms p90 target, closed-loop
+ *    users with 2 s think time over a Zipfian document set.
+ *
+ * "Max load" is the load two big cores at the highest DVFS can serve
+ * while meeting the tail target (the paper's definition). The
+ * calibration tests in tests/workloads assert these anchors.
+ */
+
+#ifndef HIPSTER_WORKLOADS_APPS_HH
+#define HIPSTER_WORKLOADS_APPS_HH
+
+#include "workloads/latency_app.hh"
+
+namespace hipster
+{
+
+/** Contention sensitivity used by the colocation model per LC app. */
+struct LcContentionTraits
+{
+    /** How strongly batch memory pressure on the same cluster
+     * inflates the LC memory-stall portion. */
+    double stallSensitivity = 0.3;
+
+    /** Memory pressure this LC app itself exerts per busy core. */
+    double memPressure = 0.3;
+};
+
+/** Parameters + contention traits for an LC workload. */
+struct LcWorkloadDef
+{
+    LcAppParams params;
+    LcContentionTraits traits;
+};
+
+/**
+ * Memcached (in-memory key-value store, Twitter caching workload,
+ * 1.3 GB dataset). Short, moderately variable requests; fairly
+ * memory-bound, so it benefits little from the big cores' clock and
+ * runs acceptably on the small cluster until ~60-65% load
+ * (Figure 2a).
+ */
+LcWorkloadDef memcachedWorkload();
+
+/**
+ * Web-Search (Elasticsearch over English Wikipedia, Zipfian query
+ * popularity). Long, heavy-tailed queries; compute-hungry enough
+ * that the small cluster saturates near 50% load (Figure 2b).
+ */
+LcWorkloadDef webSearchWorkload();
+
+/** Look up one of the two workloads by name ("memcached" /
+ * "websearch"); throws FatalError otherwise. */
+LcWorkloadDef lcWorkloadByName(const std::string &name);
+
+} // namespace hipster
+
+#endif // HIPSTER_WORKLOADS_APPS_HH

@@ -1,0 +1,134 @@
+#include "workloads/batch.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace hipster
+{
+
+const std::vector<BatchKernel> &
+SpecCatalog::all()
+{
+    // IPC values are representative of A57-class cores at max DVFS;
+    // memIntensity places each program on the compute<->memory axis
+    // consistent with published SPEC CPU2006 characterizations
+    // (calculix/povray compute-bound; lbm/libquantum memory-bound).
+    static const std::vector<BatchKernel> kernels = {
+        {"povray",     1.70, 0.90, 0.05},
+        {"namd",       1.60, 0.85, 0.10},
+        {"gromacs",    1.50, 0.80, 0.15},
+        {"tonto",      1.40, 0.75, 0.20},
+        {"sjeng",      1.10, 0.60, 0.25},
+        {"calculix",   1.80, 0.95, 0.05},
+        {"cactusADM",  0.90, 0.55, 0.55},
+        {"lbm",        0.50, 0.38, 0.90},
+        {"astar",      0.80, 0.50, 0.50},
+        {"soplex",     0.70, 0.48, 0.60},
+        {"libquantum", 0.55, 0.42, 0.85},
+        {"zeusmp",     0.75, 0.50, 0.55},
+    };
+    return kernels;
+}
+
+const BatchKernel &
+SpecCatalog::byName(const std::string &name)
+{
+    for (const auto &kernel : all()) {
+        if (kernel.name == name)
+            return kernel;
+    }
+    fatal("SpecCatalog: unknown batch program '", name, "'");
+}
+
+BatchWorkload::BatchWorkload(std::vector<BatchKernel> mix)
+    : mix_(std::move(mix))
+{
+    if (mix_.empty())
+        fatal("BatchWorkload requires a non-empty kernel mix");
+    for (const auto &kernel : mix_) {
+        if (kernel.ipcBig <= 0.0 || kernel.ipcSmall <= 0.0)
+            fatal("BatchWorkload kernel '", kernel.name,
+                  "' needs positive IPC");
+        if (kernel.memIntensity < 0.0 || kernel.memIntensity > 1.0)
+            fatal("BatchWorkload kernel '", kernel.name,
+                  "' memIntensity must lie in [0, 1]");
+    }
+}
+
+std::vector<ClusterPressure>
+BatchWorkload::pressureOn(const Platform &platform,
+                          const std::vector<CoreId> &cores) const
+{
+    std::vector<ClusterPressure> pressure(platform.clusters().size());
+    if (suspended_)
+        return pressure;
+    for (std::size_t i = 0; i < cores.size(); ++i) {
+        const BatchKernel &kernel = mix_[i % mix_.size()];
+        pressure[platform.clusterOf(cores[i])].batch +=
+            kernel.memIntensity;
+    }
+    return pressure;
+}
+
+Ips
+BatchWorkload::kernelIps(const BatchKernel &kernel, CoreType type,
+                         GHz frequency, GHz max_freq)
+{
+    const double ipc =
+        type == CoreType::Big ? kernel.ipcBig : kernel.ipcSmall;
+    // Memory-bound fraction does not speed up with the clock: blend
+    // the actual frequency with the reference (max) frequency.
+    const GHz effective = kernel.memIntensity * max_freq +
+                          (1.0 - kernel.memIntensity) * frequency;
+    return ipc * effective * 1e9;
+}
+
+BatchIntervalStats
+BatchWorkload::runInterval(Platform &platform,
+                           const std::vector<CoreId> &cores,
+                           const ContentionModel &contention,
+                           std::vector<ClusterPressure> pressure,
+                           Seconds dt)
+{
+    BatchIntervalStats stats;
+    stats.perJob.assign(cores.size(), 0.0);
+    if (suspended_ || cores.empty() || dt <= 0.0)
+        return stats;
+
+    for (std::size_t i = 0; i < cores.size(); ++i) {
+        const CoreId core = cores[i];
+        const BatchKernel &kernel = mix_[i % mix_.size()];
+        const ClusterId cluster = platform.clusterOf(core);
+        const CoreType type = platform.coreType(core);
+        const GHz freq = platform.coreFrequency(core);
+        const GHz max_freq =
+            platform.cluster(type).spec().maxFrequency();
+        const double factor = contention.batchIpcFactor(
+            pressure, cluster, kernel.memIntensity);
+        const Ips rate = kernelIps(kernel, type, freq, max_freq) * factor;
+        const Instructions retired = rate * dt;
+        stats.perJob[i] = retired;
+        totalRetired_ += retired;
+        if (type == CoreType::Big) {
+            stats.bigIps += rate;
+        } else {
+            stats.smallIps += rate;
+        }
+        platform.perfCounters().record(core, retired, freq * 1e9 * dt,
+                                       1.0);
+        ++stats.jobsRunning;
+    }
+    return stats;
+}
+
+Ips
+maxClusterIps(const Platform &platform, CoreType type)
+{
+    if (platform.coreCount(type) == 0)
+        return 0.0;
+    const auto &spec = platform.cluster(type).spec();
+    return spec.coreCount * spec.microbenchIpc * spec.maxFrequency() * 1e9;
+}
+
+} // namespace hipster

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Batch (throughput-oriented) workloads: a catalog of synthetic
+ * kernels standing in for the SPEC CPU2006 programs the paper
+ * collocates with Web-Search (Figure 11), and the BatchWorkload
+ * runtime that executes them on the cores the LC workload does not
+ * use.
+ *
+ * Each kernel is parameterised along the compute <-> memory-bound
+ * axis: memory-bound kernels gain little from big cores or high DVFS
+ * (lbm, libquantum), compute-bound kernels gain a lot (calculix,
+ * povray). HipsterCo observes them exactly as the paper does:
+ * through aggregate per-cluster IPS from the perf counters.
+ */
+
+#ifndef HIPSTER_WORKLOADS_BATCH_HH
+#define HIPSTER_WORKLOADS_BATCH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+#include "platform/platform.hh"
+#include "workloads/contention.hh"
+
+namespace hipster
+{
+
+/** Static characteristics of one batch program. */
+struct BatchKernel
+{
+    std::string name;
+
+    /** IPC on a big core at the big cluster's max frequency. */
+    double ipcBig = 1.0;
+
+    /** IPC on a small core at the small cluster's max frequency. */
+    double ipcSmall = 0.6;
+
+    /**
+     * Memory-boundedness in [0, 1]: fraction of execution limited by
+     * memory rather than the core clock. 0 = pure compute (IPS
+     * scales linearly with frequency), 1 = pure memory (IPS
+     * insensitive to DVFS).
+     */
+    double memIntensity = 0.3;
+};
+
+/**
+ * The 12 SPEC CPU2006 programs of Figure 11 with plausible
+ * big.LITTLE characteristics (calculix most compute-bound, lbm and
+ * libquantum most memory-bound).
+ */
+class SpecCatalog
+{
+  public:
+    /** All programs, in the paper's Figure 11 order. */
+    static const std::vector<BatchKernel> &all();
+
+    /** Look up a program by name; throws FatalError when unknown. */
+    static const BatchKernel &byName(const std::string &name);
+};
+
+/** Per-interval batch execution report. */
+struct BatchIntervalStats
+{
+    /** Aggregate IPS retired on big-cluster cores (paper: BIPS). */
+    Ips bigIps = 0.0;
+
+    /** Aggregate IPS retired on small-cluster cores (paper: SIPS). */
+    Ips smallIps = 0.0;
+
+    /** Instructions retired this interval, per running job. */
+    std::vector<Instructions> perJob;
+
+    /** Number of jobs that actually ran. */
+    std::size_t jobsRunning = 0;
+
+    Ips totalIps() const { return bigIps + smallIps; }
+};
+
+/**
+ * Runtime for a mix of batch jobs. The scheduler assigns one job per
+ * spare core each interval (the paper runs as many batch programs as
+ * there are cores unused by the LC workload) and supports suspending
+ * the whole mix (the paper throttles batch jobs with SIGSTOP /
+ * SIGCONT).
+ */
+class BatchWorkload
+{
+  public:
+    /**
+     * @param mix Kernels to draw from; job i on the k-th spare core
+     *            runs mix[k % mix.size()].
+     */
+    explicit BatchWorkload(std::vector<BatchKernel> mix);
+
+    const std::vector<BatchKernel> &mix() const { return mix_; }
+
+    /** Suspend/resume all batch execution (SIGSTOP / SIGCONT). */
+    void setSuspended(bool suspended) { suspended_ = suspended; }
+    bool suspended() const { return suspended_; }
+
+    /**
+     * Memory pressure the mix would exert per cluster if assigned to
+     * `cores` (used by the runner to couple with the LC app before
+     * executing the interval).
+     */
+    std::vector<ClusterPressure>
+    pressureOn(const Platform &platform,
+               const std::vector<CoreId> &cores) const;
+
+    /**
+     * Execute one interval of length `dt` on the given spare cores,
+     * under the given contention snapshot. Also deposits per-core
+     * instruction counts into the platform's perf-counter bank.
+     */
+    BatchIntervalStats runInterval(Platform &platform,
+                                   const std::vector<CoreId> &cores,
+                                   const ContentionModel &contention,
+                                   std::vector<ClusterPressure> pressure,
+                                   Seconds dt);
+
+    /**
+     * IPS of one kernel on a given core type at a given frequency
+     * with no contention. `max_freq` is that core type's maximum
+     * frequency (the IPC reference point).
+     */
+    static Ips kernelIps(const BatchKernel &kernel, CoreType type,
+                         GHz frequency, GHz max_freq);
+
+    /** Cumulative instructions retired by the mix so far. */
+    Instructions totalRetired() const { return totalRetired_; }
+
+  private:
+    std::vector<BatchKernel> mix_;
+    bool suspended_ = false;
+    Instructions totalRetired_ = 0.0;
+};
+
+/**
+ * Maximum aggregate IPS of each cluster at the highest DVFS, on the
+ * characterization microbenchmark — the denominator of the paper's
+ * Throughput Reward (Algorithm 1 line 13: maxIPS(B) + maxIPS(S)).
+ */
+Ips maxClusterIps(const Platform &platform, CoreType type);
+
+} // namespace hipster
+
+#endif // HIPSTER_WORKLOADS_BATCH_HH

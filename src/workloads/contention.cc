@@ -1,0 +1,53 @@
+#include "workloads/contention.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace hipster
+{
+
+ContentionModel::ContentionModel(ContentionParams params)
+    : params_(params)
+{
+    if (params_.lcSameCluster < 0.0 || params_.lcCrossCluster < 0.0 ||
+        params_.batchSameCluster < 0.0 || params_.batchCrossCluster < 0.0) {
+        fatal("ContentionModel coefficients must be non-negative");
+    }
+}
+
+double
+ContentionModel::lcStallScale(const std::vector<ClusterPressure> &pressure,
+                              ClusterId cluster, double sensitivity) const
+{
+    HIPSTER_ASSERT(cluster < pressure.size(), "cluster out of range");
+    double same = pressure[cluster].batch;
+    double cross = 0.0;
+    for (std::size_t i = 0; i < pressure.size(); ++i) {
+        if (i != cluster)
+            cross += pressure[i].batch;
+    }
+    const double inflation = sensitivity * (params_.lcSameCluster * same +
+                                            params_.lcCrossCluster * cross);
+    return 1.0 + std::max(0.0, inflation);
+}
+
+double
+ContentionModel::batchIpcFactor(
+    const std::vector<ClusterPressure> &pressure, ClusterId cluster,
+    double self) const
+{
+    HIPSTER_ASSERT(cluster < pressure.size(), "cluster out of range");
+    const double same = std::max(
+        0.0, pressure[cluster].batch - self + pressure[cluster].lc);
+    double cross = 0.0;
+    for (std::size_t i = 0; i < pressure.size(); ++i) {
+        if (i != cluster)
+            cross += pressure[i].batch + pressure[i].lc;
+    }
+    const double loss = params_.batchSameCluster * same +
+                        params_.batchCrossCluster * cross;
+    return 1.0 / (1.0 + std::max(0.0, loss));
+}
+
+} // namespace hipster

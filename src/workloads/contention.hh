@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Shared-resource contention model for collocated execution
+ * (HipsterCo). The paper (Section 3.5) observes that collocating
+ * latency-critical and batch workloads degrades QoS at higher loads
+ * due to shared-resource contention; this model reproduces that
+ * coupling in both directions:
+ *
+ *  - batch memory pressure on a cluster inflates the LC app's
+ *    memory-stall time (shared L2 + DRAM bandwidth);
+ *  - LC activity and other batch jobs reduce each batch job's
+ *    effective IPC.
+ */
+
+#ifndef HIPSTER_WORKLOADS_CONTENTION_HH
+#define HIPSTER_WORKLOADS_CONTENTION_HH
+
+#include <vector>
+
+#include "common/units.hh"
+
+namespace hipster
+{
+
+/**
+ * Per-cluster pressure snapshot. Pressures are dimensionless sums of
+ * the memory intensities of the co-runners, weighted by how busy
+ * they are.
+ */
+struct ClusterPressure
+{
+    /** Sum of memory intensities of batch jobs pinned to the
+     * cluster. */
+    double batch = 0.0;
+
+    /** Memory pressure exerted by the LC app's cores on the cluster
+     * (utilization-weighted). */
+    double lc = 0.0;
+};
+
+/** Tunable coefficients of the contention model. */
+struct ContentionParams
+{
+    /** LC stall inflation per unit of same-cluster batch pressure. */
+    double lcSameCluster = 1.0;
+
+    /** LC stall inflation per unit of total (cross-cluster, shared
+     * DRAM) batch pressure. */
+    double lcCrossCluster = 0.25;
+
+    /** Batch IPC loss per unit of same-cluster co-runner pressure. */
+    double batchSameCluster = 0.30;
+
+    /** Batch IPC loss per unit of cross-cluster pressure. */
+    double batchCrossCluster = 0.10;
+};
+
+/**
+ * Pure functions mapping pressure snapshots to slowdown factors.
+ */
+class ContentionModel
+{
+  public:
+    ContentionModel() = default;
+    explicit ContentionModel(ContentionParams params);
+
+    const ContentionParams &params() const { return params_; }
+
+    /**
+     * Multiplier (>= 1) applied to the LC app's memory-stall time on
+     * `cluster`, given all clusters' pressures and the app's
+     * sensitivity (LcContentionTraits::stallSensitivity).
+     */
+    double lcStallScale(const std::vector<ClusterPressure> &pressure,
+                        ClusterId cluster, double sensitivity) const;
+
+    /**
+     * Multiplier (<= 1) applied to a batch job's IPC on `cluster`.
+     * `self` is the job's own memory intensity, which is excluded
+     * from the same-cluster pressure it suffers from.
+     */
+    double batchIpcFactor(const std::vector<ClusterPressure> &pressure,
+                          ClusterId cluster, double self) const;
+
+  private:
+    ContentionParams params_;
+};
+
+} // namespace hipster
+
+#endif // HIPSTER_WORKLOADS_CONTENTION_HH

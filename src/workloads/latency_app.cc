@@ -1,0 +1,207 @@
+#include "workloads/latency_app.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace hipster
+{
+
+namespace
+{
+
+/** Pack a closed-loop user index and its epoch into Request::userId. */
+std::uint64_t
+packUser(std::size_t user, std::uint64_t epoch)
+{
+    return (epoch << 32) | static_cast<std::uint64_t>(user & 0xffffffffULL);
+}
+
+std::size_t
+unpackUserIndex(std::uint64_t packed)
+{
+    return static_cast<std::size_t>(packed & 0xffffffffULL);
+}
+
+std::uint64_t
+unpackUserEpoch(std::uint64_t packed)
+{
+    return packed >> 32;
+}
+
+} // namespace
+
+LatencyCriticalApp::LatencyCriticalApp(LcAppParams params,
+                                       std::uint64_t seed)
+    : params_(std::move(params)),
+      model_(params_.demand),
+      demandRng_(seed),
+      arrivalRng_(Rng(seed).fork()),
+      system_(events_, params_.maxQueue)
+{
+    if (params_.maxLoad <= 0.0)
+        fatal("LatencyCriticalApp '", params_.name,
+              "': maxLoad must be positive");
+    if (params_.loadScale <= 0.0 || params_.loadScale > 1.0)
+        fatal("LatencyCriticalApp '", params_.name,
+              "': loadScale must lie in (0, 1]");
+    if (params_.qosTargetMs <= 0.0)
+        fatal("LatencyCriticalApp '", params_.name,
+              "': qosTargetMs must be positive");
+    if (params_.tailPercentile <= 0.0 || params_.tailPercentile >= 100.0)
+        fatal("LatencyCriticalApp '", params_.name,
+              "': tailPercentile must lie in (0, 100)");
+
+    system_.setCompletionCallback([this](const CompletedRequest &done) {
+        intervalLatencies_.add(done.latency());
+        ++intervalCompleted_;
+        if (params_.mode == ArrivalMode::ClosedLoop) {
+            const std::size_t user = unpackUserIndex(done.userId);
+            const std::uint64_t epoch = unpackUserEpoch(done.userId);
+            if (user < userEpoch_.size() && userEpoch_[user] == epoch &&
+                user < activeUsers_) {
+                scheduleUserThink(user, done.completed);
+            }
+        }
+    });
+}
+
+void
+LatencyCriticalApp::configure(const std::vector<ServerSpec> &servers,
+                              Seconds now, Seconds stall)
+{
+    if (servers.empty())
+        fatal("LatencyCriticalApp '", params_.name,
+              "': cannot run with zero servers");
+    system_.configure(servers, now);
+    if (stall > 0.0)
+        system_.stall(now, now + stall);
+    configured_ = true;
+}
+
+LcIntervalStats
+LatencyCriticalApp::runInterval(Seconds t0, Seconds t1,
+                                Fraction offered_load)
+{
+    HIPSTER_ASSERT(configured_, "runInterval before configure");
+    HIPSTER_ASSERT(t1 > t0, "empty interval");
+    HIPSTER_ASSERT(offered_load >= 0.0, "negative load");
+
+    intervalLatencies_.clear();
+    intervalCompleted_ = 0;
+
+    const Rate sim_rate = offered_load * params_.maxLoad * params_.loadScale;
+    if (params_.mode == ArrivalMode::OpenLoop) {
+        seedOpenLoopArrivals(t0, t1, sim_rate);
+    } else {
+        const double max_users =
+            params_.maxLoad * params_.loadScale *
+            (params_.thinkTime + params_.nominalResponse);
+        const auto target = static_cast<std::size_t>(
+            std::llround(offered_load * max_users));
+        adjustUserPopulation(target, t0);
+    }
+
+    events_.runUntil(t1);
+
+    LcIntervalStats stats;
+    stats.begin = t0;
+    stats.end = t1;
+    stats.offeredLoad = offered_load;
+    stats.offeredRate = offered_load * params_.maxLoad;
+    stats.completed = intervalCompleted_;
+    const Seconds dt = t1 - t0;
+    stats.throughput =
+        static_cast<Rate>(intervalCompleted_) / dt / params_.loadScale;
+    stats.tailLatency =
+        toMillis(intervalLatencies_.percentile(params_.tailPercentile));
+    stats.meanLatency = toMillis(intervalLatencies_.mean());
+    stats.p50Latency = toMillis(intervalLatencies_.percentile(50.0));
+    stats.p99Latency = toMillis(intervalLatencies_.percentile(99.0));
+    const std::uint64_t dropped_total = system_.dropped();
+    stats.dropped = dropped_total - lastDroppedTotal_;
+    lastDroppedTotal_ = dropped_total;
+    stats.queueDepth = system_.queueLength();
+    stats.usage = system_.harvestUsage(t1);
+
+    Seconds busy = 0.0;
+    for (const auto &use : stats.usage)
+        busy += use.busyTime;
+    stats.utilization =
+        stats.usage.empty() ? 0.0 : busy / (dt * stats.usage.size());
+    return stats;
+}
+
+void
+LatencyCriticalApp::reset()
+{
+    events_.clear();
+    system_.reset();
+    intervalLatencies_.clear();
+    intervalCompleted_ = 0;
+    lastDroppedTotal_ = 0;
+    activeUsers_ = 0;
+    userEpoch_.clear();
+}
+
+void
+LatencyCriticalApp::seedOpenLoopArrivals(Seconds t0, Seconds t1,
+                                         Rate sim_rate)
+{
+    if (sim_rate <= 0.0)
+        return;
+    // Self-perpetuating arrival chain confined to [t0, t1): each
+    // arrival samples a request, submits it, and schedules the next.
+    const Seconds first = t0 + arrivalRng_.exponential(sim_rate);
+    if (first >= t1)
+        return;
+    auto arrive = std::make_shared<std::function<void(Seconds)>>();
+    *arrive = [this, sim_rate, t1, arrive](Seconds now) {
+        Request request = model_.sample(demandRng_, now);
+        system_.submit(request);
+        const Seconds next = now + arrivalRng_.exponential(sim_rate);
+        if (next < t1)
+            events_.schedule(next, *arrive);
+    };
+    events_.schedule(first, *arrive);
+}
+
+void
+LatencyCriticalApp::adjustUserPopulation(std::size_t target, Seconds now)
+{
+    if (target > userEpoch_.size())
+        userEpoch_.resize(target, 0);
+    if (target > activeUsers_) {
+        // New users start with a think phase (they just "arrived").
+        for (std::size_t u = activeUsers_; u < target; ++u) {
+            ++userEpoch_[u];
+            scheduleUserThink(u, now);
+        }
+    } else if (target < activeUsers_) {
+        // Departing users: bump their epoch so any pending think
+        // events or completions do not resurrect them.
+        for (std::size_t u = target; u < activeUsers_; ++u)
+            ++userEpoch_[u];
+    }
+    activeUsers_ = target;
+}
+
+void
+LatencyCriticalApp::scheduleUserThink(std::size_t user, Seconds now)
+{
+    const std::uint64_t epoch = userEpoch_[user];
+    const Seconds when =
+        now + arrivalRng_.exponential(1.0 / params_.thinkTime);
+    events_.schedule(when, [this, user, epoch](Seconds fire) {
+        if (user >= userEpoch_.size() || userEpoch_[user] != epoch ||
+            user >= activeUsers_) {
+            return; // user departed meanwhile
+        }
+        Request request =
+            model_.sample(demandRng_, fire, packUser(user, epoch));
+        system_.submit(request);
+    });
+}
+
+} // namespace hipster

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * LatencyCriticalApp: the simulated interactive service. Combines a
+ * ServiceModel, an arrival source (open-loop Poisson for Memcached,
+ * closed-loop users with think time for Web-Search), and the
+ * heterogeneous multi-server QueueingSystem. Stepped one monitoring
+ * interval at a time by the experiment runner, it reports exactly
+ * what the paper's QoS Monitor reads from the application logfile:
+ * throughput and tail latency.
+ */
+
+#ifndef HIPSTER_WORKLOADS_LATENCY_APP_HH
+#define HIPSTER_WORKLOADS_LATENCY_APP_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "common/units.hh"
+#include "sim/event_queue.hh"
+#include "sim/queueing.hh"
+#include "workloads/service_model.hh"
+
+namespace hipster
+{
+
+/** Arrival process flavours. */
+enum class ArrivalMode
+{
+    /** Open loop: Poisson arrivals at the offered rate
+     * (Memcached-style key-value traffic). */
+    OpenLoop,
+
+    /** Closed loop: a population of users with exponential think
+     * time (the paper's Faban driver for Web-Search uses a 2 s think
+     * time, Table 1). */
+    ClosedLoop,
+};
+
+/** Complete description of a latency-critical application. */
+struct LcAppParams
+{
+    std::string name;
+
+    /** Demand + core-speed model. */
+    ServiceDemandParams demand;
+
+    /**
+     * Maximum load in *reported* requests/queries per second: the
+     * load at which two big cores at max DVFS just meet the tail
+     * target (paper Table 1: 36 000 RPS Memcached, 44 QPS
+     * Web-Search).
+     */
+    Rate maxLoad = 0.0;
+
+    /**
+     * Internal simulation scale: the DES simulates
+     * maxLoad * loadScale arrivals per second at 100% load, and
+     * reported throughput is descaled by 1/loadScale. Scaling down
+     * Memcached's 36 kRPS keeps full diurnal runs fast while
+     * preserving utilization (demand is calibrated against the
+     * scaled rate). 1.0 = no scaling.
+     */
+    double loadScale = 1.0;
+
+    /** Tail-latency percentile monitored for QoS (95.0, 90.0, ...). */
+    double tailPercentile = 95.0;
+
+    /** Tail-latency target (the QoS target), in milliseconds. */
+    Millis qosTargetMs = 0.0;
+
+    /** Arrival process flavour. */
+    ArrivalMode mode = ArrivalMode::OpenLoop;
+
+    /** Mean think time for closed-loop mode (seconds). */
+    Seconds thinkTime = 2.0;
+
+    /**
+     * Nominal response time used to size the closed-loop user
+     * population: users(100%) = maxLoad*loadScale*(think+nominal).
+     */
+    Seconds nominalResponse = 0.25;
+
+    /** Waiting-room bound (requests); beyond it arrivals drop. */
+    std::size_t maxQueue = 200000;
+};
+
+/** What the QoS monitor reads at the end of each interval. */
+struct LcIntervalStats
+{
+    Seconds begin = 0.0;
+    Seconds end = 0.0;
+
+    /** Offered load as a fraction of max capacity. */
+    Fraction offeredLoad = 0.0;
+
+    /** Offered arrival rate (reported scale, RPS/QPS). */
+    Rate offeredRate = 0.0;
+
+    /** Completed requests in the interval (internal scale). */
+    std::uint64_t completed = 0;
+
+    /** Achieved throughput (reported scale). */
+    Rate throughput = 0.0;
+
+    /** Tail latency at the app's QoS percentile (ms). */
+    Millis tailLatency = 0.0;
+
+    Millis meanLatency = 0.0;
+    Millis p50Latency = 0.0;
+    Millis p99Latency = 0.0;
+
+    /** Arrivals dropped (waiting room full) this interval. */
+    std::uint64_t dropped = 0;
+
+    /** Queue length at the interval boundary. */
+    std::size_t queueDepth = 0;
+
+    /** Per-server (core) busy time and instructions. */
+    std::vector<ServerUsage> usage;
+
+    /** Mean busy fraction across allocated servers. */
+    Fraction utilization = 0.0;
+};
+
+/**
+ * The simulated service. Owns its event queue, queueing system, and
+ * RNG streams; the runner reconfigures servers between intervals and
+ * steps it.
+ */
+class LatencyCriticalApp
+{
+  public:
+    LatencyCriticalApp(LcAppParams params, std::uint64_t seed);
+
+    const LcAppParams &params() const { return params_; }
+    const ServiceModel &serviceModel() const { return model_; }
+
+    /** QoS target in ms (convenience). */
+    Millis qosTarget() const { return params_.qosTargetMs; }
+
+    /**
+     * Replace the server (core) set at time `now`, optionally
+     * freezing execution until `now + stall` to model actuation
+     * latency. Safe to call with an identical set (no-op besides the
+     * stall).
+     */
+    void configure(const std::vector<ServerSpec> &servers, Seconds now,
+                   Seconds stall = 0.0);
+
+    /**
+     * Simulate the interval [t0, t1) at `offered_load` fraction of
+     * max capacity and return the monitor-visible statistics.
+     */
+    LcIntervalStats runInterval(Seconds t0, Seconds t1,
+                                Fraction offered_load);
+
+    /** Reset all queues, users and statistics (fresh experiment). */
+    void reset();
+
+    /** Closed-loop population currently active (0 in open loop). */
+    std::size_t activeUsers() const { return activeUsers_; }
+
+  private:
+    void seedOpenLoopArrivals(Seconds t0, Seconds t1, Rate sim_rate);
+    void adjustUserPopulation(std::size_t target, Seconds now);
+    void scheduleUserThink(std::size_t user, Seconds now);
+
+    LcAppParams params_;
+    ServiceModel model_;
+    Rng demandRng_;
+    Rng arrivalRng_;
+    EventQueue events_;
+    QueueingSystem system_;
+
+    /** Latencies (seconds) completed in the current interval. */
+    SampleStats intervalLatencies_;
+    std::uint64_t intervalCompleted_ = 0;
+    std::uint64_t lastDroppedTotal_ = 0;
+
+    // Closed-loop user state.
+    std::size_t activeUsers_ = 0;
+    std::vector<std::uint64_t> userEpoch_;
+
+    bool configured_ = false;
+};
+
+} // namespace hipster
+
+#endif // HIPSTER_WORKLOADS_LATENCY_APP_HH

@@ -1,0 +1,69 @@
+#include "workloads/service_model.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace hipster
+{
+
+ServiceModel::ServiceModel(ServiceDemandParams params)
+    : params_(std::move(params))
+{
+    if (params_.meanComputeInsn < 0.0 || params_.meanMemStall < 0.0)
+        fatal("ServiceModel: negative mean demand");
+    if (params_.meanComputeInsn == 0.0 && params_.meanMemStall == 0.0)
+        fatal("ServiceModel: request demand cannot be entirely zero");
+    if (params_.ipcBig <= 0.0 || params_.ipcSmall <= 0.0)
+        fatal("ServiceModel: IPC must be positive");
+    if (params_.zipfRanks > 0) {
+        zipf_.emplace(params_.zipfRanks, params_.zipfAlpha);
+        double norm = 0.0;
+        for (std::size_t r = 1; r <= params_.zipfRanks; ++r) {
+            norm += zipf_->pmf(r) *
+                    std::pow(static_cast<double>(r), params_.zipfExponent);
+        }
+        zipfNorm_ = norm;
+        HIPSTER_ASSERT(zipfNorm_ > 0.0, "zipf normalization failed");
+    }
+}
+
+Request
+ServiceModel::sample(Rng &rng, Seconds arrival,
+                     std::uint64_t user_id) const
+{
+    double multiplier = 1.0;
+    if (zipf_) {
+        const std::size_t rank = zipf_->sample(rng);
+        multiplier = std::pow(static_cast<double>(rank),
+                              params_.zipfExponent) /
+                     zipfNorm_;
+    }
+    Request request;
+    request.arrival = arrival;
+    request.userId = user_id;
+    request.computeInsn =
+        params_.meanComputeInsn *
+        rng.lognormalMeanCv(1.0, params_.cvCompute) * multiplier;
+    request.memStall = params_.meanMemStall *
+                       rng.lognormalMeanCv(1.0, params_.cvMemStall) *
+                       multiplier;
+    return request;
+}
+
+Ips
+ServiceModel::instructionRate(CoreType type, GHz frequency) const
+{
+    const double ipc =
+        type == CoreType::Big ? params_.ipcBig : params_.ipcSmall;
+    return ipc * frequency * 1e9;
+}
+
+Seconds
+ServiceModel::meanServiceTime(CoreType type, GHz frequency) const
+{
+    return params_.meanComputeInsn / instructionRate(type, frequency) +
+           params_.meanMemStall;
+}
+
+} // namespace hipster

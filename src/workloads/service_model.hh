@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Service-demand model for latency-critical applications: how much
+ * work one request costs, and how fast a given core type executes it.
+ *
+ * A request's demand has a compute part (instructions; scales with
+ * core IPC x frequency) and a memory-stall part (seconds; does not
+ * scale with frequency but inflates under cache/bandwidth
+ * contention). Heavy-tailed variation comes from a lognormal factor
+ * plus an optional Zipf popularity multiplier (Web-Search serves a
+ * Zipfian document distribution in the paper's setup, Table 1).
+ */
+
+#ifndef HIPSTER_WORKLOADS_SERVICE_MODEL_HH
+#define HIPSTER_WORKLOADS_SERVICE_MODEL_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/random.hh"
+#include "common/units.hh"
+#include "platform/types.hh"
+#include "sim/queueing.hh"
+
+namespace hipster
+{
+
+/** Tunable description of one LC application's per-request demand. */
+struct ServiceDemandParams
+{
+    /** Mean compute instructions per request. */
+    Instructions meanComputeInsn = 0.0;
+
+    /** Coefficient of variation of the lognormal compute factor. */
+    double cvCompute = 0.5;
+
+    /** Mean per-request memory stall (seconds). */
+    Seconds meanMemStall = 0.0;
+
+    /** CV of the lognormal stall factor. */
+    double cvMemStall = 0.5;
+
+    /** Zipf popularity ranks (0 disables the Zipf multiplier). */
+    std::size_t zipfRanks = 0;
+
+    /** Zipf skew alpha. */
+    double zipfAlpha = 0.9;
+
+    /**
+     * Demand multiplier exponent: a rank-r item costs ~ r^exponent
+     * (normalized to unit mean). Positive values make unpopular
+     * items expensive — deep postings-list traversals in search.
+     */
+    double zipfExponent = 0.3;
+
+    /** Effective IPC of this app on a big core. */
+    double ipcBig = 1.0;
+
+    /** Effective IPC of this app on a small core. */
+    double ipcSmall = 0.6;
+};
+
+/**
+ * Samples request demands and converts (core type, frequency,
+ * contention) into queueing-server speeds.
+ */
+class ServiceModel
+{
+  public:
+    explicit ServiceModel(ServiceDemandParams params);
+
+    const ServiceDemandParams &params() const { return params_; }
+
+    /** Sample the demand of one request. */
+    Request sample(Rng &rng, Seconds arrival,
+                   std::uint64_t user_id = 0) const;
+
+    /** Instruction rate of a core running this app. */
+    Ips instructionRate(CoreType type, GHz frequency) const;
+
+    /**
+     * Mean service time of a request on the given core at the given
+     * frequency with no contention — the capacity-planning figure
+     * used by calibration and the oracle.
+     */
+    Seconds meanServiceTime(CoreType type, GHz frequency) const;
+
+  private:
+    ServiceDemandParams params_;
+    std::optional<ZipfSampler> zipf_;
+    double zipfNorm_ = 1.0; ///< E[rank^exponent], for unit-mean scaling
+};
+
+} // namespace hipster
+
+#endif // HIPSTER_WORKLOADS_SERVICE_MODEL_HH

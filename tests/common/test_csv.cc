@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tests for the CSV writer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/csv.hh"
+#include "common/logging.hh"
+
+namespace hipster
+{
+namespace
+{
+
+TEST(Csv, HeaderAndRows)
+{
+    std::ostringstream out;
+    CsvWriter csv(out);
+    csv.header({"a", "b"});
+    csv.row({"1", "2"});
+    csv.add(3).add("x").endRow();
+    EXPECT_EQ(out.str(), "a,b\n1,2\n3,x\n");
+    EXPECT_EQ(csv.rowsWritten(), 2u);
+}
+
+TEST(Csv, QuotesFieldsWithCommas)
+{
+    std::ostringstream out;
+    CsvWriter csv(out);
+    csv.row({"hello, world", "plain"});
+    EXPECT_EQ(out.str(), "\"hello, world\",plain\n");
+}
+
+TEST(Csv, EscapesEmbeddedQuotes)
+{
+    std::ostringstream out;
+    CsvWriter csv(out);
+    csv.row({"say \"hi\""});
+    EXPECT_EQ(out.str(), "\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Csv, QuotesNewlines)
+{
+    std::ostringstream out;
+    CsvWriter csv(out);
+    csv.row({"line1\nline2"});
+    EXPECT_EQ(out.str(), "\"line1\nline2\"\n");
+}
+
+TEST(Csv, NumericFormatting)
+{
+    std::ostringstream out;
+    CsvWriter csv(out);
+    csv.add(1.5).add(42).endRow();
+    EXPECT_EQ(out.str(), "1.5,42\n");
+}
+
+TEST(Csv, UnopenablePathThrows)
+{
+    EXPECT_THROW(CsvWriter("/nonexistent-dir/x/y.csv"), FatalError);
+}
+
+TEST(Csv, FileRoundTrip)
+{
+    const std::string path = ::testing::TempDir() + "/hipster_csv_test.csv";
+    {
+        CsvWriter csv(path);
+        csv.header({"t", "v"});
+        csv.row({"0", "1.0"});
+    }
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    EXPECT_EQ(buffer.str(), "t,v\n0,1.0\n");
+}
+
+} // namespace
+} // namespace hipster

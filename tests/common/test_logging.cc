@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Tests for the logging / error-reporting facility.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace hipster
+{
+namespace
+{
+
+TEST(Logging, FatalThrowsWithMessage)
+{
+    try {
+        fatal("bad value: ", 42);
+        FAIL() << "fatal() must throw";
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "bad value: 42");
+    }
+}
+
+TEST(Logging, FatalConcatenatesMixedTypes)
+{
+    try {
+        fatal("x=", 1.5, " y=", "z");
+        FAIL() << "fatal() must throw";
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "x=1.5 y=z");
+    }
+}
+
+TEST(Logging, LevelRoundTrips)
+{
+    const LogLevel before = logLevel();
+    setLogLevel(LogLevel::Quiet);
+    EXPECT_EQ(logLevel(), LogLevel::Quiet);
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    setLogLevel(before);
+}
+
+TEST(Logging, WarnAndInformDoNotThrow)
+{
+    const LogLevel before = logLevel();
+    setLogLevel(LogLevel::Quiet);
+    EXPECT_NO_THROW(warn("warning ", 1));
+    EXPECT_NO_THROW(inform("info ", 2));
+    setLogLevel(before);
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    EXPECT_NO_THROW(HIPSTER_ASSERT(1 + 1 == 2, "math works"));
+}
+
+TEST(LoggingDeath, AssertAbortsOnFalse)
+{
+    EXPECT_DEATH(HIPSTER_ASSERT(false, "must fail with value ", 7),
+                 "must fail with value 7");
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(HIPSTER_PANIC("internal corruption at ", 3),
+                 "internal corruption at 3");
+}
+
+} // namespace
+} // namespace hipster

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Unit + property tests for the RNG and distribution samplers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/random.hh"
+
+namespace hipster
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        equal += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(9);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(11);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniform(-3.0, 5.0);
+        ASSERT_GE(v, -3.0);
+        ASSERT_LT(v, 5.0);
+    }
+}
+
+TEST(Rng, UniformIntCoversRangeWithoutBias)
+{
+    Rng rng(13);
+    std::vector<int> counts(6, 0);
+    const int n = 60000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.uniformInt(0, 5)];
+    for (int c : counts)
+        EXPECT_NEAR(c, n / 6.0, n / 6.0 * 0.1);
+}
+
+TEST(Rng, UniformIntSingleton)
+{
+    Rng rng(15);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(rng.uniformInt(42, 42), 42u);
+}
+
+TEST(Rng, BernoulliMatchesProbability)
+{
+    Rng rng(17);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate)
+{
+    Rng rng(19);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(4.0);
+    EXPECT_NEAR(sum / n, 0.25, 0.005);
+}
+
+TEST(Rng, ExponentialIsPositive)
+{
+    Rng rng(21);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_GT(rng.exponential(0.1), 0.0);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(23);
+    double sum = 0.0, sq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.normal();
+        sum += v;
+        sq += v * v;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.01);
+    EXPECT_NEAR(sq / n, 1.0, 0.02);
+}
+
+TEST(Rng, NormalShiftScale)
+{
+    Rng rng(25);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.normal(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, LognormalMeanCvMatchesRequestedMoments)
+{
+    Rng rng(27);
+    const double mean = 5.0, cv = 1.5;
+    double sum = 0.0, sq = 0.0;
+    const int n = 400000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.lognormalMeanCv(mean, cv);
+        sum += v;
+        sq += v * v;
+    }
+    const double m = sum / n;
+    const double var = sq / n - m * m;
+    EXPECT_NEAR(m, mean, mean * 0.02);
+    EXPECT_NEAR(std::sqrt(var) / m, cv, cv * 0.05);
+}
+
+TEST(Rng, LognormalZeroCvIsDeterministic)
+{
+    Rng rng(29);
+    EXPECT_DOUBLE_EQ(rng.lognormalMeanCv(3.0, 0.0), 3.0);
+}
+
+TEST(Rng, ForkDecorrelates)
+{
+    Rng parent(31);
+    Rng child = parent.fork();
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        equal += parent.next() == child.next() ? 1 : 0;
+    EXPECT_LT(equal, 4);
+}
+
+TEST(Zipf, PmfSumsToOne)
+{
+    ZipfSampler zipf(100, 0.9);
+    double sum = 0.0;
+    for (std::size_t r = 1; r <= 100; ++r)
+        sum += zipf.pmf(r);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Zipf, RankOneIsMostPopular)
+{
+    ZipfSampler zipf(1000, 1.0);
+    EXPECT_GT(zipf.pmf(1), zipf.pmf(2));
+    EXPECT_GT(zipf.pmf(2), zipf.pmf(100));
+}
+
+TEST(Zipf, AlphaZeroIsUniform)
+{
+    ZipfSampler zipf(10, 0.0);
+    for (std::size_t r = 1; r <= 10; ++r)
+        EXPECT_NEAR(zipf.pmf(r), 0.1, 1e-9);
+}
+
+TEST(Zipf, SampleFrequenciesFollowPmf)
+{
+    ZipfSampler zipf(50, 0.8);
+    Rng rng(33);
+    std::vector<int> counts(51, 0);
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        ++counts[zipf.sample(rng)];
+    for (std::size_t r = 1; r <= 5; ++r) {
+        EXPECT_NEAR(counts[r] / static_cast<double>(n), zipf.pmf(r),
+                    0.01);
+    }
+}
+
+TEST(Zipf, SampleWithinRange)
+{
+    ZipfSampler zipf(7, 1.2);
+    Rng rng(35);
+    for (int i = 0; i < 1000; ++i) {
+        const std::size_t r = zipf.sample(rng);
+        ASSERT_GE(r, 1u);
+        ASSERT_LE(r, 7u);
+    }
+}
+
+TEST(Zipf, RejectsEmptyAndNegative)
+{
+    EXPECT_THROW(ZipfSampler(0, 1.0), FatalError);
+    EXPECT_THROW(ZipfSampler(10, -0.5), FatalError);
+}
+
+} // namespace
+} // namespace hipster

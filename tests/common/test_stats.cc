@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Tests for SampleStats, OnlineStats and Histogram.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/stats.hh"
+
+namespace hipster
+{
+namespace
+{
+
+TEST(SampleStats, EmptyReturnsZeros)
+{
+    SampleStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.percentile(95.0), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(SampleStats, SingleValue)
+{
+    SampleStats s;
+    s.add(42.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0.0), 42.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100.0), 42.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(SampleStats, KnownPercentiles)
+{
+    SampleStats s;
+    for (int i = 1; i <= 100; ++i)
+        s.add(i);
+    EXPECT_NEAR(s.percentile(50.0), 50.5, 1e-9);
+    EXPECT_NEAR(s.percentile(95.0), 95.05, 1e-9);
+    EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100.0), 100.0);
+}
+
+TEST(SampleStats, PercentileInterpolates)
+{
+    SampleStats s;
+    s.add(10.0);
+    s.add(20.0);
+    EXPECT_NEAR(s.percentile(50.0), 15.0, 1e-9);
+    EXPECT_NEAR(s.percentile(25.0), 12.5, 1e-9);
+}
+
+TEST(SampleStats, OrderInsensitive)
+{
+    SampleStats a, b;
+    const std::vector<double> values{5, 1, 9, 3, 7};
+    for (double v : values)
+        a.add(v);
+    for (auto it = values.rbegin(); it != values.rend(); ++it)
+        b.add(*it);
+    EXPECT_DOUBLE_EQ(a.percentile(50.0), b.percentile(50.0));
+    EXPECT_DOUBLE_EQ(a.min(), b.min());
+    EXPECT_DOUBLE_EQ(a.max(), b.max());
+}
+
+TEST(SampleStats, QueriesInterleavedWithAdds)
+{
+    SampleStats s;
+    s.add(1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 1.0);
+    s.add(5.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+    s.add(3.0);
+    EXPECT_NEAR(s.percentile(50.0), 3.0, 1e-9);
+}
+
+TEST(SampleStats, StddevMatchesFormula)
+{
+    SampleStats s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-9);
+}
+
+TEST(SampleStats, ClearResets)
+{
+    SampleStats s;
+    s.add(1.0);
+    s.clear();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(SampleStats, RejectsOutOfRangePercentile)
+{
+    SampleStats s;
+    s.add(1.0);
+    EXPECT_DEATH(s.percentile(101.0), "percentile");
+}
+
+TEST(OnlineStats, MatchesSampleStatsMoments)
+{
+    SampleStats exact;
+    OnlineStats online;
+    Rng rng(5);
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.normal(3.0, 2.0);
+        exact.add(v);
+        online.add(v);
+    }
+    EXPECT_NEAR(online.mean(), exact.mean(), 1e-9);
+    EXPECT_NEAR(online.stddev(), exact.stddev(), 1e-6);
+    EXPECT_DOUBLE_EQ(online.min(), exact.min());
+    EXPECT_DOUBLE_EQ(online.max(), exact.max());
+}
+
+TEST(OnlineStats, MergeEqualsSequential)
+{
+    OnlineStats a, b, all;
+    Rng rng(6);
+    for (int i = 0; i < 5000; ++i) {
+        const double v = rng.uniform(0, 10);
+        (i % 2 ? a : b).add(v);
+        all.add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+}
+
+TEST(OnlineStats, MergeWithEmpty)
+{
+    OnlineStats a, empty;
+    a.add(1.0);
+    a.add(2.0);
+    const double mean = a.mean();
+    a.merge(empty);
+    EXPECT_DOUBLE_EQ(a.mean(), mean);
+    empty.merge(a);
+    EXPECT_DOUBLE_EQ(empty.mean(), mean);
+}
+
+TEST(Histogram, CountsBucketsAndOverflow)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(-1.0);
+    h.add(0.5);
+    h.add(9.9);
+    h.add(10.0);
+    h.add(25.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(9), 1u);
+    EXPECT_EQ(h.count(), 5u);
+}
+
+TEST(Histogram, BucketEdges)
+{
+    Histogram h(2.0, 4.0, 4);
+    EXPECT_DOUBLE_EQ(h.bucketLo(0), 2.0);
+    EXPECT_DOUBLE_EQ(h.bucketHi(0), 2.5);
+    EXPECT_DOUBLE_EQ(h.bucketLo(3), 3.5);
+    EXPECT_DOUBLE_EQ(h.bucketHi(3), 4.0);
+}
+
+TEST(Histogram, ApproximatePercentile)
+{
+    Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 1000; ++i)
+        h.add(i % 100 + 0.5);
+    EXPECT_NEAR(h.percentile(50.0), 50.0, 2.0);
+    EXPECT_NEAR(h.percentile(95.0), 95.0, 2.0);
+}
+
+TEST(Histogram, RejectsBadConstruction)
+{
+    EXPECT_THROW(Histogram(0.0, 0.0, 10), FatalError);
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), FatalError);
+    EXPECT_THROW(Histogram(5.0, 1.0, 3), FatalError);
+}
+
+TEST(Histogram, ClearResets)
+{
+    Histogram h(0.0, 1.0, 2);
+    h.add(0.25);
+    h.add(2.0);
+    h.clear();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_EQ(h.bucket(0), 0u);
+}
+
+} // namespace
+} // namespace hipster

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Tests for the ASCII table formatter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace hipster
+{
+namespace
+{
+
+TEST(TextTable, RendersAlignedColumns)
+{
+    TextTable table({"name", "value"});
+    table.newRow().cell("alpha").cell(1.5);
+    table.newRow().cell("b").cell(22.25, 2);
+    const std::string s = table.str();
+    EXPECT_NE(s.find("| name  | value |"), std::string::npos);
+    EXPECT_NE(s.find("| alpha | 1.50  |"), std::string::npos);
+    EXPECT_NE(s.find("| b     | 22.25 |"), std::string::npos);
+}
+
+TEST(TextTable, PercentCell)
+{
+    TextTable table({"p"});
+    table.newRow().percentCell(0.183);
+    EXPECT_NE(table.str().find("18.3%"), std::string::npos);
+}
+
+TEST(TextTable, IntegerCell)
+{
+    TextTable table({"n"});
+    table.newRow().cell(static_cast<long long>(12345));
+    EXPECT_NE(table.str().find("12345"), std::string::npos);
+}
+
+TEST(TextTable, MissingCellsRenderEmpty)
+{
+    TextTable table({"a", "b"});
+    table.newRow().cell("only");
+    const std::string s = table.str();
+    EXPECT_NE(s.find("| only |"), std::string::npos);
+}
+
+TEST(TextTable, RowCountTracksRows)
+{
+    TextTable table({"x"});
+    EXPECT_EQ(table.rows(), 0u);
+    table.newRow().cell("1");
+    table.newRow().cell("2");
+    EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(TextTable, RejectsEmptyHeaders)
+{
+    EXPECT_THROW(TextTable({}), FatalError);
+}
+
+TEST(TextTableDeath, RejectsTooManyCells)
+{
+    TextTable table({"a"});
+    table.newRow().cell("1");
+    EXPECT_DEATH(table.cell("2"), "more cells");
+}
+
+TEST(Format, FixedAndPercent)
+{
+    EXPECT_EQ(formatFixed(1.2345, 2), "1.23");
+    EXPECT_EQ(formatFixed(-0.5, 1), "-0.5");
+    EXPECT_EQ(formatPercent(0.5), "50.0%");
+    EXPECT_EQ(formatPercent(1.0, 0), "100%");
+}
+
+} // namespace
+} // namespace hipster

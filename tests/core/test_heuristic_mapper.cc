@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the Section 3.3 heuristic state machine: climbing in the
+ * danger zone, descending in the safe zone, holding between, clamps
+ * and re-entry positioning.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "core/heuristic_mapper.hh"
+#include "platform/config_space.hh"
+#include "platform/platform.hh"
+
+namespace hipster
+{
+namespace
+{
+
+class MapperTest : public ::testing::Test
+{
+  protected:
+    MapperTest()
+        : platform(Platform::junoR1()),
+          ladder(ConfigSpace::orderForHeuristic(
+              platform, ConfigSpace::paperStates(platform)))
+    {}
+
+    Platform platform;
+    std::vector<CoreConfig> ladder;
+    ZoneParams zones{0.80, 0.30};
+};
+
+TEST_F(MapperTest, StartsAtTopByDefault)
+{
+    HeuristicMapper mapper(ladder, zones);
+    EXPECT_EQ(mapper.index(), ladder.size() - 1);
+    HeuristicMapper bottom(ladder, zones, /*start_at_top=*/false);
+    EXPECT_EQ(bottom.index(), 0u);
+}
+
+TEST_F(MapperTest, DangerZoneClimbs)
+{
+    HeuristicMapper mapper(ladder, zones, false);
+    // tail at 90% of target: inside the danger zone.
+    mapper.step(9.0, 10.0);
+    EXPECT_EQ(mapper.index(), 1u);
+    EXPECT_EQ(mapper.lastMove(), 1);
+}
+
+TEST_F(MapperTest, OutrightViolationClimbs)
+{
+    HeuristicMapper mapper(ladder, zones, false);
+    mapper.step(25.0, 10.0);
+    EXPECT_EQ(mapper.index(), 1u);
+}
+
+TEST_F(MapperTest, SafeZoneDescends)
+{
+    HeuristicMapper mapper(ladder, zones); // top
+    mapper.step(1.0, 10.0);                // 10% of target
+    EXPECT_EQ(mapper.index(), ladder.size() - 2);
+    EXPECT_EQ(mapper.lastMove(), -1);
+}
+
+TEST_F(MapperTest, HoldZoneHolds)
+{
+    HeuristicMapper mapper(ladder, zones, false);
+    mapper.moveTo(5);
+    // 50% of target: between safe (30%) and danger (80%).
+    mapper.step(5.0, 10.0);
+    EXPECT_EQ(mapper.index(), 5u);
+    EXPECT_EQ(mapper.lastMove(), 0);
+}
+
+TEST_F(MapperTest, ClampsAtLadderEnds)
+{
+    HeuristicMapper mapper(ladder, zones, false);
+    mapper.step(0.1, 10.0); // safe at the bottom: stay
+    EXPECT_EQ(mapper.index(), 0u);
+    mapper.moveTo(ladder.size() - 1);
+    mapper.step(99.0, 10.0); // danger at the top: stay
+    EXPECT_EQ(mapper.index(), ladder.size() - 1);
+}
+
+TEST_F(MapperTest, ConsecutiveClimbsReachTop)
+{
+    HeuristicMapper mapper(ladder, zones, false);
+    for (std::size_t i = 0; i < ladder.size() + 3; ++i)
+        mapper.step(20.0, 10.0);
+    EXPECT_EQ(mapper.index(), ladder.size() - 1);
+}
+
+TEST_F(MapperTest, OscillatesAcrossZoneBoundary)
+{
+    // The pathology the paper attributes to heuristic-only managers:
+    // alternate safe/danger readings cause rung flapping.
+    HeuristicMapper mapper(ladder, zones, false);
+    mapper.moveTo(6);
+    int moves = 0;
+    for (int i = 0; i < 10; ++i) {
+        mapper.step(i % 2 ? 1.0 : 9.5, 10.0);
+        moves += mapper.lastMove() != 0 ? 1 : 0;
+    }
+    EXPECT_GE(moves, 8);
+}
+
+TEST_F(MapperTest, MoveToNearestExactMatch)
+{
+    HeuristicMapper mapper(ladder, zones);
+    mapper.moveToNearest(ladder[4]);
+    EXPECT_EQ(mapper.index(), 4u);
+}
+
+TEST_F(MapperTest, MoveToNearestApproximateMatch)
+{
+    HeuristicMapper mapper(ladder, zones);
+    // A config outside the ladder: 1B0S at 0.9 — nearest by core
+    // counts should have 1 big core or be close in shape.
+    mapper.moveToNearest(CoreConfig{1, 0, 0.9, 0.65});
+    const CoreConfig &chosen = ladder[mapper.index()];
+    EXPECT_LE(chosen.nBig, 2u);
+    // Not the far ends of the ladder.
+    EXPECT_GT(mapper.index(), 0u);
+}
+
+TEST_F(MapperTest, ResetReturnsToStart)
+{
+    HeuristicMapper mapper(ladder, zones);
+    mapper.step(1.0, 10.0);
+    mapper.reset();
+    EXPECT_EQ(mapper.index(), ladder.size() - 1);
+}
+
+TEST_F(MapperTest, RejectsBadZonesAndEmptyLadder)
+{
+    EXPECT_THROW(HeuristicMapper({}, zones), FatalError);
+    EXPECT_THROW(HeuristicMapper(ladder, ZoneParams{1.2, 0.3}),
+                 FatalError);
+    EXPECT_THROW(HeuristicMapper(ladder, ZoneParams{0.5, 0.6}),
+                 FatalError);
+}
+
+} // namespace
+} // namespace hipster

@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Tests for the baseline policies (Static, Octopus-Man, heuristic-
+ * only) and the HipsterPolicy's phase machinery, table updates and
+ * variant behaviours.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "core/baselines.hh"
+#include "core/hipster_policy.hh"
+
+namespace hipster
+{
+namespace
+{
+
+IntervalMetrics
+metricsWith(Millis tail, Fraction load, Seconds end, Watts power = 2.0)
+{
+    IntervalMetrics m;
+    m.begin = end - 1.0;
+    m.end = end;
+    m.offeredLoad = load;
+    m.tailLatency = tail;
+    m.qosTarget = 10.0;
+    m.power = power;
+    m.energy = power;
+    return m;
+}
+
+class PolicyTest : public ::testing::Test
+{
+  protected:
+    PolicyTest() : platform(Platform::junoR1()) {}
+    Platform platform;
+};
+
+// --- StaticPolicy ---
+
+TEST_F(PolicyTest, StaticAllBigPinsBothDecisions)
+{
+    auto policy = StaticPolicy::allBig(platform);
+    const Decision first = policy.initialDecision();
+    EXPECT_EQ(first.config.label(), "2B-1.15");
+    const Decision later = policy.decide(metricsWith(50.0, 0.9, 1.0));
+    EXPECT_EQ(later.config, first.config);
+    EXPECT_FALSE(later.runBatch);
+}
+
+TEST_F(PolicyTest, StaticAllSmallUsesWholeSmallCluster)
+{
+    auto policy = StaticPolicy::allSmall(platform);
+    EXPECT_EQ(policy.initialDecision().config.label(), "4S-0.65");
+}
+
+TEST_F(PolicyTest, StaticCollocatedRunsBatchAtMaxSpareDvfs)
+{
+    auto policy =
+        StaticPolicy::allBig(platform, PolicyVariant::Collocated);
+    const Decision d = policy.initialDecision();
+    EXPECT_TRUE(d.runBatch);
+    ASSERT_TRUE(d.spareSmallFreq.has_value());
+    EXPECT_DOUBLE_EQ(*d.spareSmallFreq, 0.65);
+}
+
+TEST_F(PolicyTest, StaticRejectsUnrealizableConfig)
+{
+    EXPECT_THROW(StaticPolicy(platform, CoreConfig{3, 0, 1.15, 0.65}),
+                 FatalError);
+}
+
+// --- Octopus-Man ---
+
+TEST_F(PolicyTest, OctopusManNeverMixesAndNeverScalesDvfs)
+{
+    OctopusManPolicy policy(platform, {});
+    Decision d = policy.initialDecision();
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_TRUE(d.config.singleCoreType()) << d.config.label();
+        if (d.config.nBig > 0)
+            EXPECT_DOUBLE_EQ(d.config.bigFreq, 1.15);
+        if (d.config.nSmall > 0)
+            EXPECT_DOUBLE_EQ(d.config.smallFreq, 0.65);
+        // Alternate safe/danger to force movement over the ladder.
+        d = policy.decide(metricsWith(i % 2 ? 1.0 : 9.5, 0.5, i + 1.0));
+    }
+}
+
+TEST_F(PolicyTest, OctopusManClimbsOnViolation)
+{
+    OctopusManPolicy policy(platform, {});
+    // Start at the top; descend twice, then violate.
+    Decision d = policy.initialDecision();
+    d = policy.decide(metricsWith(1.0, 0.2, 1.0));
+    d = policy.decide(metricsWith(1.0, 0.2, 2.0));
+    const CoreConfig before = d.config;
+    d = policy.decide(metricsWith(30.0, 0.8, 3.0));
+    EXPECT_GT(ConfigSpace::peakIps(platform, d.config),
+              ConfigSpace::peakIps(platform, before));
+}
+
+TEST_F(PolicyTest, OctopusManResetRestoresTop)
+{
+    OctopusManPolicy policy(platform, {});
+    policy.initialDecision();
+    policy.decide(metricsWith(1.0, 0.2, 1.0));
+    policy.reset();
+    EXPECT_EQ(policy.initialDecision().config.label(), "2B-1.15");
+}
+
+// --- Heuristic-only ---
+
+TEST_F(PolicyTest, HeuristicOnlyExploresMixedConfigsAndDvfs)
+{
+    HeuristicOnlyPolicy policy(platform, ZoneParams{0.8, 0.3});
+    Decision d = policy.initialDecision();
+    bool saw_mixed = false, saw_low_dvfs = false;
+    for (int i = 0; i < 12; ++i) {
+        d = policy.decide(metricsWith(1.0, 0.2, i + 1.0)); // descend
+        saw_mixed |= !d.config.singleCoreType();
+        saw_low_dvfs |= d.config.nBig > 0 && d.config.bigFreq < 1.15;
+    }
+    EXPECT_TRUE(saw_mixed);
+    EXPECT_TRUE(saw_low_dvfs);
+}
+
+TEST_F(PolicyTest, HeuristicOnlyInteractiveParksSpareClusterLow)
+{
+    HeuristicOnlyPolicy policy(platform, ZoneParams{0.8, 0.3});
+    Decision d = policy.initialDecision();
+    // Walk to the bottom of the ladder (small cores only).
+    for (int i = 0; i < 20; ++i)
+        d = policy.decide(metricsWith(0.5, 0.05, i + 1.0));
+    EXPECT_EQ(d.config.nBig, 0u);
+    ASSERT_TRUE(d.spareBigFreq.has_value());
+    EXPECT_DOUBLE_EQ(*d.spareBigFreq, 0.60); // lowest big OPP
+}
+
+// --- HipsterPolicy ---
+
+TEST_F(PolicyTest, HipsterStartsInLearningAtMostCapable)
+{
+    HipsterPolicy policy(platform, {});
+    EXPECT_EQ(policy.phase(), HipsterPhase::Learning);
+    const Decision d = policy.initialDecision();
+    // Bootstrap at the heuristic's top rung (most capable state).
+    EXPECT_EQ(d.config.label(), "2B2S-1.15");
+}
+
+TEST_F(PolicyTest, HipsterSwitchesToExploitationAfterLearningPhase)
+{
+    HipsterParams params;
+    params.learningPhase = 10.0;
+    HipsterPolicy policy(platform, params);
+    policy.initialDecision();
+    for (int i = 0; i < 9; ++i) {
+        policy.decide(metricsWith(5.0, 0.5, i + 1.0));
+        EXPECT_EQ(policy.phase(), HipsterPhase::Learning);
+    }
+    policy.decide(metricsWith(5.0, 0.5, 10.0));
+    EXPECT_EQ(policy.phase(), HipsterPhase::Exploitation);
+}
+
+TEST_F(PolicyTest, HipsterUpdatesTableEveryInterval)
+{
+    HipsterPolicy policy(platform, {});
+    policy.initialDecision();
+    for (int i = 0; i < 5; ++i)
+        policy.decide(metricsWith(5.0, 0.5, i + 1.0));
+    EXPECT_EQ(policy.qtable().totalUpdates(), 5u);
+}
+
+TEST_F(PolicyTest, HipsterExploitsLearnedGoodAction)
+{
+    HipsterParams params;
+    params.learningPhase = 40.0;
+    params.bucketPercent = 10.0;
+    params.stochasticReward = false;
+    HipsterPolicy policy(platform, params);
+
+    // During learning, feed a constant 35% load where the heuristic
+    // descends to some frugal rung; tail always safely below target.
+    Decision d = policy.initialDecision();
+    for (int i = 0; i < 40; ++i)
+        d = policy.decide(metricsWith(4.0, 0.35, i + 1.0));
+    EXPECT_EQ(policy.phase(), HipsterPhase::Exploitation);
+    // In exploitation at the same bucket, the action must be a
+    // learned (visited) one, not the cold-table fallback.
+    const int bucket = policy.quantizer().bucket(0.35);
+    EXPECT_TRUE(policy.qtable().visited(bucket));
+    const Decision expl = policy.decide(metricsWith(4.0, 0.35, 41.0));
+    const std::size_t chosen = [&] {
+        for (std::size_t i = 0; i < policy.actions().size(); ++i) {
+            if (policy.actions()[i] == expl.config)
+                return i;
+        }
+        return std::size_t(9999);
+    }();
+    EXPECT_EQ(chosen, policy.qtable().bestAction(bucket));
+}
+
+TEST_F(PolicyTest, HipsterFallsBackToHeuristicOnUnseenBucket)
+{
+    HipsterParams params;
+    params.learningPhase = 5.0;
+    params.bucketPercent = 10.0;
+    HipsterPolicy policy(platform, params);
+    Decision d = policy.initialDecision();
+    for (int i = 0; i < 6; ++i)
+        d = policy.decide(metricsWith(4.0, 0.35, i + 1.0));
+    EXPECT_EQ(policy.phase(), HipsterPhase::Exploitation);
+    // A never-seen load bucket (95%): the policy must not trust the
+    // all-zero row; a violation there must climb, not jump randomly.
+    const Decision fallback = policy.decide(metricsWith(20.0, 0.95, 7.0));
+    EXPECT_FALSE(fallback.config.empty());
+}
+
+TEST_F(PolicyTest, HipsterRelearnsOnQosCollapse)
+{
+    HipsterParams params;
+    params.learningPhase = 5.0;
+    params.guaranteeWindow = 20;
+    params.relearnThreshold = 0.8;
+    HipsterPolicy policy(platform, params);
+    policy.initialDecision();
+    for (int i = 0; i < 6; ++i)
+        policy.decide(metricsWith(4.0, 0.5, i + 1.0));
+    EXPECT_EQ(policy.phase(), HipsterPhase::Exploitation);
+    // Sustained violations: the watchdog must re-enter learning.
+    for (int i = 6; i < 40; ++i)
+        policy.decide(metricsWith(25.0, 0.5, i + 1.0));
+    EXPECT_GE(policy.relearnCount(), 1u);
+}
+
+TEST_F(PolicyTest, HipsterInParksSpareClusterAtMinDvfs)
+{
+    HipsterParams params; // Interactive
+    HipsterPolicy policy(platform, params);
+    Decision d = policy.initialDecision();
+    for (int i = 0; i < 20; ++i)
+        d = policy.decide(metricsWith(0.5, 0.05, i + 1.0));
+    ASSERT_EQ(d.config.nBig, 0u);
+    ASSERT_TRUE(d.spareBigFreq.has_value());
+    EXPECT_DOUBLE_EQ(*d.spareBigFreq, 0.60);
+    EXPECT_FALSE(d.runBatch);
+}
+
+TEST_F(PolicyTest, HipsterCoBoostsSpareClusterAndRunsBatch)
+{
+    HipsterParams params;
+    params.variant = PolicyVariant::Collocated;
+    HipsterPolicy policy(platform, params);
+    Decision d = policy.initialDecision();
+    for (int i = 0; i < 20; ++i)
+        d = policy.decide(metricsWith(0.5, 0.05, i + 1.0));
+    ASSERT_EQ(d.config.nBig, 0u);
+    ASSERT_TRUE(d.spareBigFreq.has_value());
+    // Algorithm 2 lines 10-11: other core type at highest DVFS.
+    EXPECT_DOUBLE_EQ(*d.spareBigFreq, 1.15);
+    EXPECT_TRUE(d.runBatch);
+    EXPECT_EQ(policy.name(), "HipsterCo");
+}
+
+TEST_F(PolicyTest, HipsterResetForgetsEverything)
+{
+    HipsterParams params;
+    params.learningPhase = 2.0;
+    HipsterPolicy policy(platform, params);
+    policy.initialDecision();
+    for (int i = 0; i < 5; ++i)
+        policy.decide(metricsWith(5.0, 0.5, i + 1.0));
+    policy.reset();
+    EXPECT_EQ(policy.phase(), HipsterPhase::Learning);
+    EXPECT_EQ(policy.qtable().totalUpdates(), 0u);
+    EXPECT_EQ(policy.relearnCount(), 0u);
+}
+
+TEST_F(PolicyTest, HipsterNamesFollowVariant)
+{
+    HipsterPolicy in(platform, {});
+    EXPECT_EQ(in.name(), "HipsterIn");
+}
+
+TEST_F(PolicyTest, HipsterRejectsBadParams)
+{
+    HipsterParams params;
+    params.relearnThreshold = 1.5;
+    EXPECT_THROW(HipsterPolicy(platform, params), FatalError);
+    params = HipsterParams{};
+    params.learningPhase = -1.0;
+    EXPECT_THROW(HipsterPolicy(platform, params), FatalError);
+}
+
+TEST_F(PolicyTest, HipsterRejectsUnrealizableAction)
+{
+    EXPECT_THROW(
+        HipsterPolicy(platform, {}, {CoreConfig{3, 0, 1.15, 0.65}}),
+        FatalError);
+}
+
+} // namespace
+} // namespace hipster

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Parameterized property tests for the policy layer: every policy,
+ * fed arbitrary (including adversarial) metric streams, must only
+ * ever emit realizable decisions; Hipster's table must converge on
+ * synthetic MDPs; zone sweeps must preserve the heuristic's safety
+ * invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/baselines.hh"
+#include "core/hipster_policy.hh"
+#include "platform/config_space.hh"
+
+namespace hipster
+{
+namespace
+{
+
+IntervalMetrics
+metricsWith(Millis tail, Fraction load, Seconds end)
+{
+    IntervalMetrics m;
+    m.begin = end - 1.0;
+    m.end = end;
+    m.offeredLoad = load;
+    m.tailLatency = tail;
+    m.qosTarget = 10.0;
+    m.power = 2.0;
+    m.energy = 2.0;
+    return m;
+}
+
+/** Policy factories under test. */
+using PolicyFactory =
+    std::unique_ptr<TaskPolicy> (*)(const Platform &);
+
+std::unique_ptr<TaskPolicy>
+makeStaticBig(const Platform &platform)
+{
+    return std::make_unique<StaticPolicy>(StaticPolicy::allBig(platform));
+}
+
+std::unique_ptr<TaskPolicy>
+makeOctopus(const Platform &platform)
+{
+    return std::make_unique<OctopusManPolicy>(platform,
+                                              OctopusManParams{});
+}
+
+std::unique_ptr<TaskPolicy>
+makeHeuristic(const Platform &platform)
+{
+    return std::make_unique<HeuristicOnlyPolicy>(platform,
+                                                 ZoneParams{0.8, 0.3});
+}
+
+std::unique_ptr<TaskPolicy>
+makeHipsterIn(const Platform &platform)
+{
+    HipsterParams params;
+    params.learningPhase = 20.0;
+    return std::make_unique<HipsterPolicy>(platform, params);
+}
+
+std::unique_ptr<TaskPolicy>
+makeHipsterCo(const Platform &platform)
+{
+    HipsterParams params;
+    params.variant = PolicyVariant::Collocated;
+    params.learningPhase = 20.0;
+    return std::make_unique<HipsterPolicy>(platform, params);
+}
+
+struct PolicyCase
+{
+    const char *name;
+    PolicyFactory factory;
+
+    friend std::ostream &
+    operator<<(std::ostream &os, const PolicyCase &c)
+    {
+        return os << c.name;
+    }
+};
+
+class PolicyProperties : public ::testing::TestWithParam<PolicyCase>
+{
+  protected:
+    PolicyProperties() : platform(Platform::junoR1()) {}
+    Platform platform;
+};
+
+TEST_P(PolicyProperties, DecisionsAlwaysRealizable)
+{
+    auto policy = GetParam().factory(platform);
+    Decision d = policy->initialDecision();
+    Rng rng(7);
+    for (int i = 0; i < 300; ++i) {
+        ASSERT_TRUE(platform.isValidConfig(d.config))
+            << GetParam().name << " step " << i << ": "
+            << d.config.label();
+        // Adversarial stream: random loads and latencies including
+        // extreme violations and zero-latency idle intervals.
+        const Millis tail = rng.bernoulli(0.2)
+                                ? 0.0
+                                : rng.uniform(0.0, 40.0);
+        const Fraction load = rng.uniform(0.0, 1.2);
+        d = policy->decide(metricsWith(tail, load, i + 1.0));
+    }
+}
+
+TEST_P(PolicyProperties, SpareFrequenciesOnlyForSpareClusters)
+{
+    auto policy = GetParam().factory(platform);
+    Decision d = policy->initialDecision();
+    Rng rng(9);
+    for (int i = 0; i < 200; ++i) {
+        if (d.spareBigFreq)
+            EXPECT_EQ(d.config.nBig, 0u) << GetParam().name;
+        if (d.spareSmallFreq)
+            EXPECT_EQ(d.config.nSmall, 0u) << GetParam().name;
+        d = policy->decide(
+            metricsWith(rng.uniform(0.0, 30.0), rng.uniform(), i + 1.0));
+    }
+}
+
+TEST_P(PolicyProperties, ResetRestoresInitialBehaviour)
+{
+    auto policy = GetParam().factory(platform);
+    const Decision first = policy->initialDecision();
+    Rng rng(11);
+    for (int i = 0; i < 50; ++i) {
+        policy->decide(
+            metricsWith(rng.uniform(0.0, 30.0), rng.uniform(), i + 1.0));
+    }
+    policy->reset();
+    const Decision after = policy->initialDecision();
+    EXPECT_EQ(after.config, first.config) << GetParam().name;
+}
+
+TEST_P(PolicyProperties, SustainedViolationEndsAtMostCapableConfig)
+{
+    auto policy = GetParam().factory(platform);
+    if (std::string(GetParam().name) == "static-big")
+        GTEST_SKIP() << "static never moves";
+    Decision d = policy->initialDecision();
+    // Hammer with violations at max load for long enough for any
+    // ladder to climb out.
+    for (int i = 0; i < 100; ++i)
+        d = policy->decide(metricsWith(50.0, 1.0, i + 1.0));
+    // Must end at (or near) the top of its capability range: at
+    // least the equivalent of the full big cluster.
+    const Ips ips = ConfigSpace::peakIps(platform, d.config);
+    const Ips two_big =
+        ConfigSpace::peakIps(platform, {2, 0, 1.15, 0.65});
+    EXPECT_GE(ips, two_big * 0.99) << GetParam().name << " ended at "
+                                   << d.config.label();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicyProperties,
+    ::testing::Values(PolicyCase{"static-big", &makeStaticBig},
+                      PolicyCase{"octopus-man", &makeOctopus},
+                      PolicyCase{"heuristic", &makeHeuristic},
+                      PolicyCase{"hipster-in", &makeHipsterIn},
+                      PolicyCase{"hipster-co", &makeHipsterCo}),
+    [](const auto &info) {
+        std::string name = info.param.name;
+        for (char &c : name) {
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });
+
+/**
+ * Zone-parameter sweep for the heuristic mapper: for any valid
+ * (danger, safe) pair, a monotone latency staircase must drive the
+ * index monotonically.
+ */
+class ZoneSweep
+    : public ::testing::TestWithParam<std::pair<double, double>>
+{
+};
+
+TEST_P(ZoneSweep, MonotoneLatencyMovesMonotonically)
+{
+    const auto [danger, safe] = GetParam();
+    Platform platform(Platform::junoR1());
+    HeuristicMapper mapper(
+        ConfigSpace::orderForHeuristic(
+            platform, ConfigSpace::paperStates(platform)),
+        ZoneParams{danger, safe}, /*start_at_top=*/false);
+
+    // Rising latencies: index must never decrease.
+    std::size_t prev = mapper.index();
+    for (double frac = 0.0; frac <= 2.0; frac += 0.1) {
+        mapper.step(10.0 * frac, 10.0);
+        ASSERT_GE(mapper.index(), prev);
+        prev = mapper.index();
+    }
+    // Sustained violation: saturate at the top of the ladder.
+    for (int i = 0; i < 20; ++i)
+        mapper.step(20.0, 10.0);
+    prev = mapper.index();
+    EXPECT_EQ(prev, mapper.ladder().size() - 1);
+    // Falling latencies (all at or below the danger boundary): index
+    // must never increase, and deep-safe readings must drain it to
+    // the bottom.
+    for (double frac = danger; frac >= 0.0; frac -= 0.05) {
+        mapper.step(10.0 * frac, 10.0);
+        ASSERT_LE(mapper.index(), prev);
+        prev = mapper.index();
+    }
+    for (int i = 0; i < 20; ++i)
+        mapper.step(0.0, 10.0);
+    EXPECT_EQ(mapper.index(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zones, ZoneSweep,
+    ::testing::Values(std::make_pair(0.9, 0.1), std::make_pair(0.8, 0.3),
+                      std::make_pair(0.8, 0.5), std::make_pair(0.7, 0.2),
+                      std::make_pair(0.95, 0.6),
+                      std::make_pair(0.5, 0.1)));
+
+/**
+ * Q-table convergence on a synthetic two-state MDP, across an
+ * alpha/gamma grid: with a deterministic reward structure the greedy
+ * action must settle on the truly better arm in every state.
+ */
+class QConvergence
+    : public ::testing::TestWithParam<std::tuple<double, double>>
+{
+};
+
+TEST_P(QConvergence, GreedySettlesOnBetterArm)
+{
+    const auto [alpha, gamma] = GetParam();
+    QTable table(2, 2);
+    // Arm 1 is better in state 0 (+2 vs +1); arm 0 is better in
+    // state 1 (+3 vs 0). Transition: the state toggles each step.
+    int w = 0;
+    for (int step = 0; step < 2000; ++step) {
+        for (std::size_t c = 0; c < 2; ++c) {
+            const double reward =
+                w == 0 ? (c == 1 ? 2.0 : 1.0) : (c == 0 ? 3.0 : 0.0);
+            table.update(w, c, reward, 1 - w, alpha, gamma);
+        }
+        w = 1 - w;
+    }
+    EXPECT_EQ(table.bestAction(0), 1u)
+        << "alpha=" << alpha << " gamma=" << gamma;
+    EXPECT_EQ(table.bestAction(1), 0u)
+        << "alpha=" << alpha << " gamma=" << gamma;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlphaGammaGrid, QConvergence,
+    ::testing::Combine(::testing::Values(0.1, 0.3, 0.6, 0.9),
+                       ::testing::Values(0.0, 0.5, 0.9, 0.99)));
+
+} // namespace
+} // namespace hipster

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests for the R(w, c) lookup table and its Q-learning update.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "core/qtable.hh"
+
+namespace hipster
+{
+namespace
+{
+
+TEST(QTable, StartsAtZero)
+{
+    QTable table(10, 5);
+    for (int w = 0; w < 10; ++w) {
+        for (std::size_t c = 0; c < 5; ++c) {
+            EXPECT_DOUBLE_EQ(table.value(w, c), 0.0);
+            EXPECT_EQ(table.visits(w, c), 0u);
+        }
+        EXPECT_FALSE(table.visited(w));
+    }
+}
+
+TEST(QTable, UpdateMovesTowardTarget)
+{
+    QTable table(4, 3);
+    // Terminal-ish update: next-state max is 0, so the target is the
+    // reward itself; alpha=0.5 moves halfway.
+    table.update(1, 2, 10.0, 0, 0.5, 0.9);
+    EXPECT_DOUBLE_EQ(table.value(1, 2), 5.0);
+    table.update(1, 2, 10.0, 0, 0.5, 0.9);
+    EXPECT_DOUBLE_EQ(table.value(1, 2), 7.5);
+    EXPECT_EQ(table.visits(1, 2), 2u);
+    EXPECT_TRUE(table.visited(1));
+}
+
+TEST(QTable, UpdateBootstrapsFromNextState)
+{
+    QTable table(2, 2);
+    // Seed the next state's value.
+    table.update(1, 0, 10.0, 1, 1.0, 0.0); // R(1,0) = 10
+    // Now an update from state 0 should include gamma*max_d R(1,d).
+    table.update(0, 0, 1.0, 1, 1.0, 0.9);
+    EXPECT_DOUBLE_EQ(table.value(0, 0), 1.0 + 0.9 * 10.0);
+}
+
+TEST(QTable, AlphaOneJumpsToTarget)
+{
+    QTable table(2, 2);
+    table.update(0, 1, 3.0, 1, 1.0, 0.9);
+    EXPECT_DOUBLE_EQ(table.value(0, 1), 3.0);
+}
+
+TEST(QTable, ConvergesToConstantReward)
+{
+    QTable table(1, 1);
+    // Self-loop with constant reward r: fixed point is r/(1-gamma).
+    const double r = 2.0, gamma = 0.9;
+    for (int i = 0; i < 500; ++i)
+        table.update(0, 0, r, 0, 0.6, gamma);
+    EXPECT_NEAR(table.value(0, 0), r / (1.0 - gamma), 0.01);
+}
+
+TEST(QTable, BestActionIsArgmax)
+{
+    QTable table(3, 4);
+    table.update(2, 1, 5.0, 0, 1.0, 0.0);
+    table.update(2, 3, 9.0, 0, 1.0, 0.0);
+    table.update(2, 0, -2.0, 0, 1.0, 0.0);
+    EXPECT_EQ(table.bestAction(2), 3u);
+    EXPECT_DOUBLE_EQ(table.maxValue(2), 9.0);
+}
+
+TEST(QTable, BestActionTiesPickFirst)
+{
+    QTable table(1, 3);
+    EXPECT_EQ(table.bestAction(0), 0u);
+    table.update(0, 1, 4.0, 0, 1.0, 0.0);
+    table.update(0, 2, 4.0, 0, 1.0, 0.0);
+    EXPECT_EQ(table.bestAction(0), 1u);
+}
+
+TEST(QTable, NegativeRewardsLowerValue)
+{
+    QTable table(1, 2);
+    table.update(0, 0, -3.0, 0, 1.0, 0.0);
+    EXPECT_LT(table.value(0, 0), 0.0);
+    EXPECT_EQ(table.bestAction(0), 1u); // untouched action wins
+}
+
+TEST(QTable, ClearResetsEverything)
+{
+    QTable table(2, 2);
+    table.update(0, 0, 5.0, 1, 1.0, 0.5);
+    table.clear();
+    EXPECT_DOUBLE_EQ(table.value(0, 0), 0.0);
+    EXPECT_EQ(table.visits(0, 0), 0u);
+    EXPECT_EQ(table.totalUpdates(), 0u);
+    EXPECT_FALSE(table.visited(0));
+}
+
+TEST(QTable, RejectsDegenerateShapes)
+{
+    EXPECT_THROW(QTable(0, 3), FatalError);
+    EXPECT_THROW(QTable(3, 0), FatalError);
+}
+
+TEST(QTableDeath, BoundsChecked)
+{
+    QTable table(2, 2);
+    EXPECT_DEATH(table.value(2, 0), "bucket");
+    EXPECT_DEATH(table.value(0, 5), "action");
+    EXPECT_DEATH(table.update(0, 0, 1.0, 0, 1.5, 0.9), "alpha");
+    EXPECT_DEATH(table.update(0, 0, 1.0, 0, 0.5, 1.0), "gamma");
+}
+
+} // namespace
+} // namespace hipster

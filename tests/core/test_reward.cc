@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Tests for the Algorithm 1 reward mechanism: QoS reward, stochastic
+ * danger-zone penalty, power reward (HipsterIn) and throughput
+ * reward (HipsterCo).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "core/reward.hh"
+
+namespace hipster
+{
+namespace
+{
+
+RewardInputs
+baseInputs()
+{
+    RewardInputs in;
+    in.qosTarget = 10.0;
+    in.power = 2.0;
+    in.tdp = 3.0;
+    in.batchPresent = false;
+    in.maxIpsSum = 7.5e9;
+    return in;
+}
+
+TEST(Reward, SafeZoneGivesPositiveQosComponent)
+{
+    RewardCalculator calc(0.8);
+    RewardInputs in = baseInputs();
+    in.qosCurr = 4.0; // 0.4 of target, below danger (0.8)
+    const RewardBreakdown b = calc.evaluate(in);
+    EXPECT_NEAR(b.qosComponent, 0.4 + 1.0, 1e-9);
+    EXPECT_DOUBLE_EQ(b.stochasticPenalty, 0.0);
+}
+
+TEST(Reward, CloserToTargetScoresHigherBelowDanger)
+{
+    // Line 7 prefers configurations that approach (without crossing)
+    // the target — the frugality pressure.
+    RewardCalculator calc(0.8);
+    RewardInputs near = baseInputs(), far = baseInputs();
+    near.qosCurr = 7.0;
+    far.qosCurr = 2.0;
+    EXPECT_GT(calc.evaluate(near).qosComponent,
+              calc.evaluate(far).qosComponent);
+}
+
+TEST(Reward, DangerZoneAppliesStochasticPenalty)
+{
+    RewardCalculator calc(0.8, /*seed=*/1);
+    RewardInputs in = baseInputs();
+    in.qosCurr = 9.0; // between 0.8*target and target
+    bool saw_nonzero = false;
+    for (int i = 0; i < 50; ++i) {
+        const RewardBreakdown b = calc.evaluate(in);
+        EXPECT_NEAR(b.qosComponent, 0.9 + 1.0, 1e-9);
+        EXPECT_GE(b.stochasticPenalty, 0.0);
+        EXPECT_LT(b.stochasticPenalty, 1.0);
+        saw_nonzero |= b.stochasticPenalty > 0.0;
+    }
+    EXPECT_TRUE(saw_nonzero);
+}
+
+TEST(Reward, ViolationGivesNegativeScaledByTardiness)
+{
+    RewardCalculator calc(0.8);
+    RewardInputs mild = baseInputs(), severe = baseInputs();
+    mild.qosCurr = 12.0;   // ratio 1.2
+    severe.qosCurr = 30.0; // ratio 3.0
+    const RewardBreakdown mb = calc.evaluate(mild);
+    const RewardBreakdown sb = calc.evaluate(severe);
+    EXPECT_NEAR(mb.qosComponent, -1.2 - 1.0, 1e-9);
+    EXPECT_NEAR(sb.qosComponent, -3.0 - 1.0, 1e-9);
+    EXPECT_LT(sb.total(), mb.total());
+}
+
+TEST(Reward, PowerRewardPrefersLowPower)
+{
+    RewardCalculator calc(0.8);
+    RewardInputs frugal = baseInputs(), hungry = baseInputs();
+    frugal.qosCurr = hungry.qosCurr = 4.0;
+    frugal.power = 1.5;
+    hungry.power = 3.0;
+    EXPECT_GT(calc.evaluate(frugal).efficiencyComponent,
+              calc.evaluate(hungry).efficiencyComponent);
+    // TDP/Power exactly (Algorithm 1 line 5).
+    EXPECT_NEAR(calc.evaluate(frugal).efficiencyComponent, 3.0 / 1.5,
+                1e-9);
+}
+
+TEST(Reward, ThroughputRewardWhenBatchPresent)
+{
+    RewardCalculator calc(0.8);
+    RewardInputs in = baseInputs();
+    in.qosCurr = 4.0;
+    in.batchPresent = true;
+    in.batchBigIps = 3.0e9;
+    in.batchSmallIps = 1.5e9;
+    const RewardBreakdown b = calc.evaluate(in);
+    // (BIPS + SIPS) / (maxIPS(B) + maxIPS(S)), Algorithm 1 line 13.
+    EXPECT_NEAR(b.efficiencyComponent, 4.5e9 / 7.5e9, 1e-9);
+}
+
+TEST(Reward, ThroughputRewardBoundedByOne)
+{
+    RewardCalculator calc(0.8);
+    RewardInputs in = baseInputs();
+    in.qosCurr = 1.0;
+    in.batchPresent = true;
+    in.batchBigIps = 4.26e9;
+    in.batchSmallIps = 3.24e9;
+    EXPECT_LE(calc.evaluate(in).efficiencyComponent, 1.0 + 1e-9);
+}
+
+TEST(Reward, ViolationStillAddsEfficiencyTerm)
+{
+    // Algorithm 1 applies lines 12-15 regardless of the QoS branch.
+    RewardCalculator calc(0.8);
+    RewardInputs in = baseInputs();
+    in.qosCurr = 20.0;
+    const RewardBreakdown b = calc.evaluate(in);
+    EXPECT_NEAR(b.total(), (-2.0 - 1.0) + (3.0 / 2.0), 1e-9);
+}
+
+TEST(Reward, ZeroLatencyIdleIntervalIsSafe)
+{
+    RewardCalculator calc(0.8);
+    RewardInputs in = baseInputs();
+    in.qosCurr = 0.0; // no completions
+    const RewardBreakdown b = calc.evaluate(in);
+    EXPECT_NEAR(b.qosComponent, 1.0, 1e-9);
+}
+
+TEST(Reward, TotalComposesComponents)
+{
+    RewardBreakdown b;
+    b.qosComponent = 1.4;
+    b.stochasticPenalty = 0.3;
+    b.efficiencyComponent = 1.5;
+    EXPECT_NEAR(b.total(), 2.6, 1e-9);
+}
+
+TEST(Reward, DeterministicForSeed)
+{
+    RewardCalculator a(0.8, 7), b(0.8, 7);
+    RewardInputs in = baseInputs();
+    in.qosCurr = 9.0; // stochastic zone
+    for (int i = 0; i < 20; ++i)
+        EXPECT_DOUBLE_EQ(a(in), b(in));
+}
+
+TEST(Reward, RejectsBadDangerParameter)
+{
+    EXPECT_THROW(RewardCalculator(0.0), FatalError);
+    EXPECT_THROW(RewardCalculator(1.0), FatalError);
+}
+
+TEST(RewardDeath, RequiresPositiveTargetAndPower)
+{
+    RewardCalculator calc(0.8);
+    RewardInputs in = baseInputs();
+    in.qosTarget = 0.0;
+    EXPECT_DEATH(calc.evaluate(in), "target");
+    in = baseInputs();
+    in.power = 0.0;
+    EXPECT_DEATH(calc.evaluate(in), "power");
+}
+
+} // namespace
+} // namespace hipster

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Integration tests for the experiment runner: full closed-loop runs
+ * wiring platform + app + load trace + policy, collocation, energy
+ * accounting and determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/baselines.hh"
+#include "core/hipster_policy.hh"
+#include "experiments/oracle.hh"
+#include "experiments/runner.hh"
+#include "experiments/scenario.hh"
+
+namespace hipster
+{
+namespace
+{
+
+TEST(Runner, StaticRunProducesFullSeries)
+{
+    ExperimentRunner runner(Platform::junoR1(), memcachedWorkload(),
+                            std::make_shared<ConstantTrace>(0.5), 1);
+    StaticPolicy policy = StaticPolicy::allBig(runner.platform());
+    const auto result = runner.run(policy, 30.0);
+    EXPECT_EQ(result.series.size(), 30u);
+    EXPECT_EQ(result.policyName, "Static(all-big)");
+    EXPECT_EQ(result.workloadName, "memcached");
+    EXPECT_EQ(result.migrations, 0u);
+    for (const auto &m : result.series) {
+        EXPECT_EQ(m.config.label(), "2B-1.15");
+        EXPECT_GT(m.power, 0.0);
+        EXPECT_FALSE(m.batchPresent);
+    }
+}
+
+TEST(Runner, EnergyEqualsSumOfIntervalEnergies)
+{
+    ExperimentRunner runner(Platform::junoR1(), memcachedWorkload(),
+                            std::make_shared<ConstantTrace>(0.4), 2);
+    StaticPolicy policy = StaticPolicy::allBig(runner.platform());
+    const auto result = runner.run(policy, 20.0);
+    double total = 0.0;
+    for (const auto &m : result.series)
+        total += m.energy;
+    EXPECT_NEAR(result.summary.energy, total, 1e-6);
+    EXPECT_NEAR(runner.platform().energyMeter().totalEnergy(), total,
+                1e-6);
+}
+
+TEST(Runner, ObserverSeesEveryInterval)
+{
+    ExperimentRunner runner(Platform::junoR1(), memcachedWorkload(),
+                            std::make_shared<ConstantTrace>(0.3), 3);
+    StaticPolicy policy = StaticPolicy::allSmall(runner.platform());
+    std::size_t seen = 0;
+    runner.run(policy, 10.0,
+               [&](const IntervalMetrics &) { ++seen; });
+    EXPECT_EQ(seen, 10u);
+}
+
+TEST(Runner, DeterministicAcrossIdenticalRuns)
+{
+    auto run_once = [] {
+        ExperimentRunner runner(Platform::junoR1(), memcachedWorkload(),
+                                diurnalTrace(60.0, 9), 42);
+        OctopusManPolicy policy(runner.platform(), {});
+        return runner.run(policy, 60.0);
+    };
+    const auto a = run_once();
+    const auto b = run_once();
+    ASSERT_EQ(a.series.size(), b.series.size());
+    for (std::size_t i = 0; i < a.series.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a.series[i].tailLatency,
+                         b.series[i].tailLatency);
+        EXPECT_EQ(a.series[i].config, b.series[i].config);
+    }
+    EXPECT_DOUBLE_EQ(a.summary.energy, b.summary.energy);
+}
+
+TEST(Runner, StaticSmallViolatesAtHighLoadMemcached)
+{
+    ExperimentRunner runner(Platform::junoR1(), memcachedWorkload(),
+                            std::make_shared<ConstantTrace>(0.9), 4);
+    StaticPolicy policy = StaticPolicy::allSmall(runner.platform());
+    const auto result = runner.run(policy, 30.0);
+    EXPECT_LT(result.summary.qosGuarantee, 0.2);
+    EXPECT_GT(result.summary.qosTardiness, 1.0);
+}
+
+TEST(Runner, DynamicPolicyActuatesPlatform)
+{
+    ExperimentRunner runner(Platform::junoR1(), memcachedWorkload(),
+                            diurnalTrace(120.0, 5), 5);
+    OctopusManPolicy policy(runner.platform(), {});
+    const auto result = runner.run(policy, 120.0);
+    EXPECT_GT(result.migrations, 0u);
+    // Octopus-Man pins every cluster at max DVFS: no transitions
+    // after the boot interval.
+    bool saw_small_only = false;
+    for (const auto &m : result.series)
+        saw_small_only |= m.config.nBig == 0;
+    EXPECT_TRUE(saw_small_only);
+}
+
+TEST(Runner, CollocationProducesBatchIps)
+{
+    ExperimentRunner runner(Platform::junoR1(), webSearchWorkload(),
+                            std::make_shared<ConstantTrace>(0.3), 6);
+    runner.setBatch(std::make_shared<BatchWorkload>(
+        std::vector<BatchKernel>{SpecCatalog::byName("calculix")}));
+    StaticPolicy policy =
+        StaticPolicy::allBig(runner.platform(), PolicyVariant::Collocated);
+    const auto result = runner.run(policy, 20.0);
+    for (const auto &m : result.series) {
+        EXPECT_TRUE(m.batchPresent);
+        EXPECT_TRUE(m.ipsValid);
+        // LC on big cluster => batch on the 4 small cores.
+        EXPECT_GT(m.batchSmallIps, 0.0);
+        EXPECT_DOUBLE_EQ(m.batchBigIps, 0.0);
+    }
+    EXPECT_GT(result.summary.meanBatchIps, 0.0);
+}
+
+TEST(Runner, CollocationDegradesLcTail)
+{
+    // The Section 3.5 observation: collocation inflates the LC tail.
+    auto run_with = [](bool with_batch) {
+        ExperimentRunner runner(Platform::junoR1(), webSearchWorkload(),
+                                std::make_shared<ConstantTrace>(0.6), 7);
+        if (with_batch) {
+            runner.setBatch(std::make_shared<BatchWorkload>(
+                std::vector<BatchKernel>{SpecCatalog::byName("lbm")}));
+        }
+        StaticPolicy policy = StaticPolicy::allBig(
+            runner.platform(), with_batch ? PolicyVariant::Collocated
+                                          : PolicyVariant::Interactive);
+        return runner.run(policy, 30.0);
+    };
+    const auto solo = run_with(false);
+    const auto collocated = run_with(true);
+    double solo_tail = 0.0, co_tail = 0.0;
+    for (std::size_t i = 5; i < 30; ++i) {
+        solo_tail += solo.series[i].tailLatency;
+        co_tail += collocated.series[i].tailLatency;
+    }
+    EXPECT_GT(co_tail, solo_tail * 1.05);
+}
+
+TEST(Runner, InteractiveVariantKeepsBatchSuspended)
+{
+    ExperimentRunner runner(Platform::junoR1(), memcachedWorkload(),
+                            std::make_shared<ConstantTrace>(0.4), 8);
+    auto batch = std::make_shared<BatchWorkload>(
+        std::vector<BatchKernel>{SpecCatalog::byName("povray")});
+    runner.setBatch(batch);
+    StaticPolicy policy = StaticPolicy::allBig(runner.platform());
+    const auto result = runner.run(policy, 10.0);
+    for (const auto &m : result.series)
+        EXPECT_FALSE(m.batchPresent);
+    EXPECT_DOUBLE_EQ(batch->totalRetired(), 0.0);
+}
+
+TEST(Runner, HipsterInFullLoopImprovesOverOctopusMan)
+{
+    // Condensed Table 3 check on a short diurnal: HipsterIn must
+    // deliver a higher QoS guarantee than Octopus-Man.
+    auto run_policy = [](const std::string &name) {
+        ExperimentRunner runner = makeDiurnalRunner("memcached", 400.0, 11);
+        HipsterParams params = tunedHipsterParams("memcached");
+        params.learningPhase = 150.0;
+        auto policy = makePolicy(name, runner.platform(), params);
+        return runner.run(*policy, 400.0);
+    };
+    const auto hipster = run_policy("hipster-in");
+    const auto octopus = run_policy("octopus-man");
+    EXPECT_GT(hipster.summary.qosGuarantee,
+              octopus.summary.qosGuarantee);
+}
+
+TEST(Runner, RejectsBadConstruction)
+{
+    EXPECT_THROW(ExperimentRunner(Platform::junoR1(),
+                                  memcachedWorkload(), nullptr, 1),
+                 FatalError);
+    RunnerOptions options;
+    options.interval = 0.0;
+    EXPECT_THROW(ExperimentRunner(Platform::junoR1(),
+                                  memcachedWorkload(),
+                                  std::make_shared<ConstantTrace>(0.5),
+                                  1, options),
+                 FatalError);
+}
+
+TEST(Scenario, FactoriesAndDefaults)
+{
+    Platform platform(Platform::junoR1());
+    for (const auto &name : tablePolicyNames())
+        EXPECT_NO_THROW(makePolicy(name, platform));
+    EXPECT_THROW(makePolicy("nonexistent", platform), FatalError);
+    EXPECT_DOUBLE_EQ(diurnalDurationFor("memcached"), 1440.0);
+    EXPECT_DOUBLE_EQ(diurnalDurationFor("websearch"), 1080.0);
+    EXPECT_DOUBLE_EQ(tunedHipsterParams("memcached").bucketPercent, 8.0);
+    const auto trace = diurnalTrace(600.0);
+    EXPECT_GT(trace->at(300.0), 0.0);
+    const auto ramp = rampTrace50to100();
+    EXPECT_DOUBLE_EQ(ramp->at(0.0), 0.50);
+    EXPECT_DOUBLE_EQ(ramp->at(300.0), 1.00);
+}
+
+TEST(Oracle, FeasibleSetShrinksWithLoad)
+{
+    HetCmpOracle oracle(Platform::junoR1(), memcachedWorkload(),
+                        {2.0, 8.0, 0.9, 1.0, 3});
+    Platform platform(Platform::junoR1());
+    const auto states = ConfigSpace::paperStates(platform);
+    const auto low = oracle.bestConfig(0.2, states);
+    const auto high = oracle.bestConfig(0.95, states);
+    ASSERT_TRUE(low.best.has_value());
+    ASSERT_TRUE(high.best.has_value());
+    // Low load is served by a cheaper configuration.
+    EXPECT_LT(low.best->power, high.best->power);
+    // High load needs big cores.
+    EXPECT_GT(high.best->config.nBig, 0u);
+}
+
+TEST(Oracle, InfeasibleLoadYieldsEmptyBest)
+{
+    HetCmpOracle oracle(Platform::junoR1(), memcachedWorkload(),
+                        {2.0, 8.0, 0.9, 1.0, 3});
+    // Only a 1-small-core candidate, at 80% load: hopeless.
+    const auto entry = oracle.bestConfig(
+        0.8, {CoreConfig{0, 1, 0.60, 0.65}});
+    EXPECT_FALSE(entry.best.has_value());
+}
+
+} // namespace
+} // namespace hipster

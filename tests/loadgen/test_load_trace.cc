@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Tests for the load traces: constants, ramps, piecewise curves, the
+ * diurnal synthesizer, spikes and noise.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "loadgen/load_trace.hh"
+
+namespace hipster
+{
+namespace
+{
+
+TEST(ConstantTrace, AlwaysSameLevel)
+{
+    ConstantTrace trace(0.42);
+    EXPECT_DOUBLE_EQ(trace.at(0.0), 0.42);
+    EXPECT_DOUBLE_EQ(trace.at(1e6), 0.42);
+    EXPECT_THROW(ConstantTrace(-0.1), FatalError);
+}
+
+TEST(RampTrace, LinearBetweenEndpoints)
+{
+    // The Figure 8 stimulus: 50% -> 100% over 175 s starting at t=5.
+    RampTrace ramp(0.5, 1.0, 5.0, 175.0);
+    EXPECT_DOUBLE_EQ(ramp.at(0.0), 0.5);
+    EXPECT_DOUBLE_EQ(ramp.at(5.0), 0.5);
+    EXPECT_NEAR(ramp.at(92.5), 0.75, 1e-9);
+    EXPECT_DOUBLE_EQ(ramp.at(180.0), 1.0);
+    EXPECT_DOUBLE_EQ(ramp.at(1000.0), 1.0);
+}
+
+TEST(RampTrace, DownwardRampWorks)
+{
+    RampTrace ramp(0.8, 0.2, 0.0, 100.0);
+    EXPECT_NEAR(ramp.at(50.0), 0.5, 1e-9);
+    EXPECT_GT(ramp.at(10.0), ramp.at(90.0));
+}
+
+TEST(RampTrace, RejectsBadArguments)
+{
+    EXPECT_THROW(RampTrace(0.5, 1.0, 0.0, 0.0), FatalError);
+    EXPECT_THROW(RampTrace(-0.5, 1.0, 0.0, 10.0), FatalError);
+}
+
+TEST(PiecewiseTrace, InterpolatesBreakpoints)
+{
+    PiecewiseTrace trace({{0.0, 0.1}, {10.0, 0.5}, {20.0, 0.3}});
+    EXPECT_DOUBLE_EQ(trace.at(-5.0), 0.1);
+    EXPECT_NEAR(trace.at(5.0), 0.3, 1e-9);
+    EXPECT_DOUBLE_EQ(trace.at(10.0), 0.5);
+    EXPECT_NEAR(trace.at(15.0), 0.4, 1e-9);
+    EXPECT_DOUBLE_EQ(trace.at(100.0), 0.3);
+    EXPECT_DOUBLE_EQ(trace.duration(), 20.0);
+}
+
+TEST(PiecewiseTrace, RejectsUnsortedOrNegative)
+{
+    EXPECT_THROW(PiecewiseTrace({}), FatalError);
+    EXPECT_THROW(PiecewiseTrace({{5.0, 0.1}, {5.0, 0.2}}), FatalError);
+    EXPECT_THROW(PiecewiseTrace({{0.0, -0.1}}), FatalError);
+}
+
+TEST(DiurnalTrace, StaysWithinRange)
+{
+    DiurnalTrace trace(1440.0, 0.05, 0.95);
+    for (Seconds t = 0.0; t < 1440.0; t += 7.0) {
+        const Fraction load = trace.at(t);
+        ASSERT_GE(load, 0.05 - 1e-9) << t;
+        ASSERT_LE(load, 0.95 + 1e-9) << t;
+    }
+}
+
+TEST(DiurnalTrace, HasLargeSwing)
+{
+    // Figure 1: load varies between ~5% and ~80+% of capacity.
+    DiurnalTrace trace(1440.0, 0.05, 0.95);
+    Fraction lo = 1.0, hi = 0.0;
+    for (Seconds t = 0.0; t < 1440.0; t += 1.0) {
+        lo = std::min(lo, trace.at(t));
+        hi = std::max(hi, trace.at(t));
+    }
+    EXPECT_LT(lo, 0.15);
+    EXPECT_GT(hi, 0.80);
+}
+
+TEST(DiurnalTrace, PeriodicAcrossDays)
+{
+    DiurnalTrace trace(100.0, 0.1, 0.9);
+    for (Seconds t = 0.0; t < 100.0; t += 13.0)
+        EXPECT_NEAR(trace.at(t), trace.at(t + 100.0), 1e-9);
+}
+
+TEST(DiurnalTrace, TwoHumps)
+{
+    // The derivative changes sign at least 3 times over a day
+    // (up-down-up-down): morning and evening peaks.
+    DiurnalTrace trace(1000.0, 0.05, 0.95);
+    int sign_changes = 0;
+    double prev_delta = 0.0;
+    for (Seconds t = 1.0; t < 1000.0; t += 1.0) {
+        const double delta = trace.at(t) - trace.at(t - 1.0);
+        if (delta * prev_delta < -1e-12)
+            ++sign_changes;
+        if (std::abs(delta) > 1e-12)
+            prev_delta = delta;
+    }
+    EXPECT_GE(sign_changes, 3);
+}
+
+TEST(DiurnalTrace, RejectsBadRange)
+{
+    EXPECT_THROW(DiurnalTrace(0.0, 0.1, 0.9), FatalError);
+    EXPECT_THROW(DiurnalTrace(100.0, 0.9, 0.1), FatalError);
+    EXPECT_THROW(DiurnalTrace(100.0, 0.1, 0.9, 1.5), FatalError);
+}
+
+TEST(SpikeTrace, AddsDecayingSpike)
+{
+    auto base = std::make_shared<ConstantTrace>(0.3);
+    SpikeTrace spike(base, 10.0, 5.0, 0.4);
+    EXPECT_DOUBLE_EQ(spike.at(5.0), 0.3);
+    EXPECT_NEAR(spike.at(10.0), 0.7, 1e-9);
+    EXPECT_LT(spike.at(20.0), 0.4);
+    EXPECT_GT(spike.at(20.0), 0.3);
+}
+
+TEST(SpikeTrace, RejectsNullInner)
+{
+    EXPECT_THROW(SpikeTrace(nullptr, 0.0, 1.0, 0.1), FatalError);
+}
+
+TEST(NoisyTrace, DeterministicPerSeed)
+{
+    auto base = std::make_shared<ConstantTrace>(0.5);
+    NoisyTrace a(base, 0.1, 1.0, 77);
+    NoisyTrace b(base, 0.1, 1.0, 77);
+    for (Seconds t = 0.0; t < 50.0; t += 1.0)
+        EXPECT_DOUBLE_EQ(a.at(t), b.at(t));
+}
+
+TEST(NoisyTrace, DifferentSeedsDiffer)
+{
+    auto base = std::make_shared<ConstantTrace>(0.5);
+    NoisyTrace a(base, 0.1, 1.0, 1);
+    NoisyTrace b(base, 0.1, 1.0, 2);
+    int differ = 0;
+    for (Seconds t = 0.0; t < 50.0; t += 1.0)
+        differ += a.at(t) != b.at(t) ? 1 : 0;
+    EXPECT_GT(differ, 40);
+}
+
+TEST(NoisyTrace, ConstantWithinOneInterval)
+{
+    auto base = std::make_shared<ConstantTrace>(0.5);
+    NoisyTrace trace(base, 0.2, 1.0, 5);
+    EXPECT_DOUBLE_EQ(trace.at(3.1), trace.at(3.9));
+    // Typically different across intervals.
+    EXPECT_NE(trace.at(3.5), trace.at(4.5));
+}
+
+TEST(NoisyTrace, MeanApproximatelyPreserved)
+{
+    auto base = std::make_shared<ConstantTrace>(0.5);
+    NoisyTrace trace(base, 0.05, 1.0, 9);
+    double sum = 0.0;
+    const int n = 2000;
+    for (int k = 0; k < n; ++k)
+        sum += trace.at(k + 0.5);
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(NoisyTrace, ClampsToCapAndZero)
+{
+    auto base = std::make_shared<ConstantTrace>(1.0);
+    NoisyTrace trace(base, 3.0, 1.0, 13, /*cap=*/1.1);
+    for (int k = 0; k < 500; ++k) {
+        const Fraction load = trace.at(k + 0.5);
+        ASSERT_GE(load, 0.0);
+        ASSERT_LE(load, 1.1);
+    }
+}
+
+TEST(NoisyTrace, ZeroSigmaIsTransparent)
+{
+    auto base = std::make_shared<ConstantTrace>(0.33);
+    NoisyTrace trace(base, 0.0, 1.0, 1);
+    EXPECT_DOUBLE_EQ(trace.at(12.3), 0.33);
+}
+
+} // namespace
+} // namespace hipster

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for load bucketing, the QoS-guarantee window and run
+ * summaries.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "monitor/metrics.hh"
+#include "monitor/qos_monitor.hh"
+
+namespace hipster
+{
+namespace
+{
+
+TEST(LoadBucketQuantizer, FivePercentBuckets)
+{
+    LoadBucketQuantizer q(5.0);
+    EXPECT_EQ(q.bucketCount(), 20);
+    EXPECT_EQ(q.bucket(0.0), 0);
+    EXPECT_EQ(q.bucket(0.049), 0);
+    EXPECT_EQ(q.bucket(0.05), 1);
+    EXPECT_EQ(q.bucket(0.51), 10);
+    EXPECT_EQ(q.bucket(0.999), 19);
+    EXPECT_EQ(q.bucket(1.0), 19);  // clamped
+    EXPECT_EQ(q.bucket(1.25), 19); // overload clamps to top
+}
+
+TEST(LoadBucketQuantizer, OddWidthsCeilBucketCount)
+{
+    LoadBucketQuantizer q(3.0);
+    EXPECT_EQ(q.bucketCount(), 34);
+    LoadBucketQuantizer q9(9.0);
+    EXPECT_EQ(q9.bucketCount(), 12);
+}
+
+TEST(LoadBucketQuantizer, BucketCenters)
+{
+    LoadBucketQuantizer q(10.0);
+    EXPECT_NEAR(q.bucketCenter(0), 0.05, 1e-9);
+    EXPECT_NEAR(q.bucketCenter(9), 0.95, 1e-9);
+}
+
+TEST(LoadBucketQuantizer, NegativeLoadClampsToZero)
+{
+    LoadBucketQuantizer q(5.0);
+    EXPECT_EQ(q.bucket(-0.3), 0);
+}
+
+TEST(LoadBucketQuantizer, RejectsBadWidth)
+{
+    EXPECT_THROW(LoadBucketQuantizer(0.0), FatalError);
+    EXPECT_THROW(LoadBucketQuantizer(150.0), FatalError);
+}
+
+TEST(QosGuaranteeWindow, TracksFractionMet)
+{
+    QosGuaranteeWindow window(4);
+    EXPECT_DOUBLE_EQ(window.guarantee(), 1.0); // optimistic start
+    window.add(true);
+    window.add(false);
+    EXPECT_DOUBLE_EQ(window.guarantee(), 0.5);
+    window.add(true);
+    window.add(true);
+    EXPECT_DOUBLE_EQ(window.guarantee(), 0.75);
+}
+
+TEST(QosGuaranteeWindow, SlidesOldSamplesOut)
+{
+    QosGuaranteeWindow window(2);
+    window.add(false);
+    window.add(false);
+    EXPECT_DOUBLE_EQ(window.guarantee(), 0.0);
+    window.add(true);
+    window.add(true);
+    EXPECT_DOUBLE_EQ(window.guarantee(), 1.0);
+}
+
+TEST(QosGuaranteeWindow, ClearResets)
+{
+    QosGuaranteeWindow window(10);
+    window.add(false);
+    window.clear();
+    EXPECT_EQ(window.size(), 0u);
+    EXPECT_DOUBLE_EQ(window.guarantee(), 1.0);
+}
+
+TEST(QosGuaranteeWindow, RejectsZeroWindow)
+{
+    EXPECT_THROW(QosGuaranteeWindow(0), FatalError);
+}
+
+IntervalMetrics
+metric(Millis tail, Millis target, Watts power = 2.0,
+       std::uint32_t migrations = 0)
+{
+    IntervalMetrics m;
+    m.begin = 0.0;
+    m.end = 1.0;
+    m.tailLatency = tail;
+    m.qosTarget = target;
+    m.power = power;
+    m.energy = power * 1.0;
+    m.migrations = migrations;
+    m.throughput = 100.0;
+    return m;
+}
+
+TEST(IntervalMetrics, QosRatioAndViolation)
+{
+    EXPECT_FALSE(metric(8.0, 10.0).qosViolated());
+    EXPECT_TRUE(metric(12.0, 10.0).qosViolated());
+    EXPECT_NEAR(metric(12.0, 10.0).qosRatio(), 1.2, 1e-9);
+}
+
+TEST(RunSummary, EmptySeries)
+{
+    const RunSummary s = RunSummary::fromSeries({});
+    EXPECT_EQ(s.intervals, 0u);
+    EXPECT_DOUBLE_EQ(s.qosGuarantee, 0.0);
+}
+
+TEST(RunSummary, GuaranteeAndTardiness)
+{
+    std::vector<IntervalMetrics> series = {
+        metric(5.0, 10.0),  // met
+        metric(15.0, 10.0), // violated, ratio 1.5
+        metric(25.0, 10.0), // violated, ratio 2.5
+        metric(9.0, 10.0),  // met
+    };
+    const RunSummary s = RunSummary::fromSeries(series);
+    EXPECT_EQ(s.intervals, 4u);
+    EXPECT_DOUBLE_EQ(s.qosGuarantee, 0.5);
+    // Tardiness averages only the violating samples: (1.5+2.5)/2.
+    EXPECT_NEAR(s.qosTardiness, 2.0, 1e-9);
+}
+
+TEST(RunSummary, TardinessZeroWhenAllMet)
+{
+    const RunSummary s =
+        RunSummary::fromSeries({metric(1.0, 10.0), metric(2.0, 10.0)});
+    EXPECT_DOUBLE_EQ(s.qosTardiness, 0.0);
+    EXPECT_DOUBLE_EQ(s.qosGuarantee, 1.0);
+}
+
+TEST(RunSummary, EnergyAndPowerAggregation)
+{
+    const RunSummary s = RunSummary::fromSeries(
+        {metric(1.0, 10.0, 2.0), metric(1.0, 10.0, 4.0)});
+    EXPECT_DOUBLE_EQ(s.energy, 6.0);
+    EXPECT_DOUBLE_EQ(s.meanPower, 3.0);
+}
+
+TEST(RunSummary, EnergyReduction)
+{
+    RunSummary base, ours;
+    base.energy = 100.0;
+    ours.energy = 85.0;
+    EXPECT_NEAR(ours.energyReductionVs(base), 0.15, 1e-9);
+    RunSummary zero;
+    EXPECT_DOUBLE_EQ(ours.energyReductionVs(zero), 0.0);
+}
+
+TEST(RunSummary, MigrationAndBatchAggregation)
+{
+    auto a = metric(1.0, 10.0, 2.0, 3);
+    auto b = metric(1.0, 10.0, 2.0, 2);
+    b.batchPresent = true;
+    b.batchBigIps = 1e9;
+    b.batchSmallIps = 5e8;
+    const RunSummary s = RunSummary::fromSeries({a, b});
+    EXPECT_EQ(s.migrations, 5u);
+    // Batch IPS averaged over the batch-present intervals only.
+    EXPECT_DOUBLE_EQ(s.meanBatchIps, 1.5e9);
+}
+
+} // namespace
+} // namespace hipster

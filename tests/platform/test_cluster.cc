@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for ClusterSpec validation and Cluster runtime state.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "platform/cluster.hh"
+
+namespace hipster
+{
+namespace
+{
+
+ClusterSpec
+bigSpec()
+{
+    ClusterSpec spec;
+    spec.name = "Cortex-A57";
+    spec.type = CoreType::Big;
+    spec.coreCount = 2;
+    spec.microbenchIpc = 1.86;
+    spec.opps = {{0.60, 0.82}, {0.90, 0.95}, {1.15, 1.09}};
+    return spec;
+}
+
+TEST(ClusterSpec, FrequencyBounds)
+{
+    const ClusterSpec spec = bigSpec();
+    EXPECT_DOUBLE_EQ(spec.minFrequency(), 0.60);
+    EXPECT_DOUBLE_EQ(spec.maxFrequency(), 1.15);
+}
+
+TEST(ClusterSpec, OppLookup)
+{
+    const ClusterSpec spec = bigSpec();
+    EXPECT_EQ(spec.oppIndex(0.90), 1u);
+    EXPECT_DOUBLE_EQ(spec.voltageAt(1.15), 1.09);
+    EXPECT_THROW(spec.oppIndex(0.75), FatalError);
+}
+
+TEST(ClusterSpec, ValidationRejectsBadSpecs)
+{
+    ClusterSpec spec = bigSpec();
+    spec.coreCount = 0;
+    EXPECT_THROW(spec.validate(), FatalError);
+
+    spec = bigSpec();
+    spec.opps.clear();
+    EXPECT_THROW(spec.validate(), FatalError);
+
+    spec = bigSpec();
+    spec.microbenchIpc = 0.0;
+    EXPECT_THROW(spec.validate(), FatalError);
+
+    spec = bigSpec();
+    spec.opps = {{0.90, 0.95}, {0.60, 0.82}}; // unsorted
+    EXPECT_THROW(spec.validate(), FatalError);
+
+    spec = bigSpec();
+    spec.opps = {{0.60, 0.95}, {0.90, 0.82}}; // voltage decreasing
+    EXPECT_THROW(spec.validate(), FatalError);
+
+    spec = bigSpec();
+    spec.opps = {{0.0, 0.8}};
+    EXPECT_THROW(spec.validate(), FatalError);
+}
+
+TEST(Cluster, BootsAtHighestOpp)
+{
+    Cluster cluster(0, bigSpec());
+    EXPECT_DOUBLE_EQ(cluster.frequency(), 1.15);
+    EXPECT_DOUBLE_EQ(cluster.voltage(), 1.09);
+}
+
+TEST(Cluster, SetFrequencyReportsChange)
+{
+    Cluster cluster(0, bigSpec());
+    EXPECT_TRUE(cluster.setFrequency(0.60));
+    EXPECT_DOUBLE_EQ(cluster.frequency(), 0.60);
+    EXPECT_FALSE(cluster.setFrequency(0.60)); // no-op
+    EXPECT_TRUE(cluster.setFrequency(0.90));
+}
+
+TEST(Cluster, SetFrequencyRejectsUnknownOpp)
+{
+    Cluster cluster(0, bigSpec());
+    EXPECT_THROW(cluster.setFrequency(1.0), FatalError);
+}
+
+TEST(Cluster, SingleOppClusterIsFixed)
+{
+    ClusterSpec spec;
+    spec.name = "Cortex-A53";
+    spec.type = CoreType::Small;
+    spec.coreCount = 4;
+    spec.microbenchIpc = 1.27;
+    spec.opps = {{0.65, 0.82}};
+    Cluster cluster(1, spec);
+    EXPECT_DOUBLE_EQ(cluster.frequency(), 0.65);
+    EXPECT_FALSE(cluster.setFrequency(0.65));
+}
+
+} // namespace
+} // namespace hipster

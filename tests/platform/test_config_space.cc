@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for configuration-space enumeration, the paper's 13 states,
+ * the heuristic ordering and the Octopus-Man subset.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "platform/config_space.hh"
+
+namespace hipster
+{
+namespace
+{
+
+class ConfigSpaceTest : public ::testing::Test
+{
+  protected:
+    ConfigSpaceTest() : platform(Platform::junoR1()) {}
+    Platform platform;
+};
+
+TEST_F(ConfigSpaceTest, EnumerateCoversJunoSpace)
+{
+    const auto configs = ConfigSpace::enumerate(platform);
+    // nBig=0: nSmall 1..4 -> 4 configs (small cluster has 1 OPP).
+    // nBig=1,2: nSmall 0..4, 3 big OPPs -> 2*5*3 = 30.
+    EXPECT_EQ(configs.size(), 34u);
+    for (const auto &config : configs) {
+        EXPECT_TRUE(platform.isValidConfig(config)) << config.label();
+        EXPECT_FALSE(config.empty());
+    }
+}
+
+TEST_F(ConfigSpaceTest, EnumerateHasNoDuplicates)
+{
+    const auto configs = ConfigSpace::enumerate(platform);
+    std::set<std::string> labels;
+    for (const auto &config : configs)
+        labels.insert(config.label());
+    EXPECT_EQ(labels.size(), configs.size());
+}
+
+TEST_F(ConfigSpaceTest, PaperStatesAreThe13OfFigure2c)
+{
+    const auto states = ConfigSpace::paperStates(platform);
+    ASSERT_EQ(states.size(), 13u);
+    EXPECT_EQ(states.front().label(), "1S-0.65");
+    EXPECT_EQ(states.back().label(), "2B-1.15");
+    for (const auto &config : states)
+        EXPECT_TRUE(platform.isValidConfig(config)) << config.label();
+}
+
+TEST_F(ConfigSpaceTest, PeakIpsMatchesTable2)
+{
+    // 2B at 1.15 GHz: Table 2's 4260 MIPS.
+    EXPECT_NEAR(ConfigSpace::peakIps(platform, {2, 0, 1.15, 0.65}),
+                4260e6, 4260e6 * 0.02);
+    // 4S at 0.65 GHz: Table 2's 3298 MIPS.
+    EXPECT_NEAR(ConfigSpace::peakIps(platform, {0, 4, 1.15, 0.65}),
+                3298e6, 3298e6 * 0.02);
+}
+
+TEST_F(ConfigSpaceTest, PeakIpsAdditiveOverClusters)
+{
+    const Ips mixed = ConfigSpace::peakIps(platform, {1, 2, 0.9, 0.65});
+    const Ips big = ConfigSpace::peakIps(platform, {1, 0, 0.9, 0.65});
+    const Ips small = ConfigSpace::peakIps(platform, {0, 2, 0.9, 0.65});
+    EXPECT_NEAR(mixed, big + small, 1.0);
+}
+
+TEST_F(ConfigSpaceTest, FullLoadPowerMatchesTable2Anchors)
+{
+    EXPECT_NEAR(ConfigSpace::fullLoadPower(platform, {2, 0, 1.15, 0.65}),
+                2.30, 2.30 * 0.08);
+    EXPECT_NEAR(ConfigSpace::fullLoadPower(platform, {0, 4, 0.60, 0.65}),
+                1.43, 1.43 * 0.08);
+}
+
+TEST_F(ConfigSpaceTest, HeuristicOrderIsMonotoneInPeakIps)
+{
+    const auto ordered = ConfigSpace::orderForHeuristic(
+        platform, ConfigSpace::enumerate(platform));
+    for (std::size_t i = 1; i < ordered.size(); ++i) {
+        const Ips prev = ConfigSpace::peakIps(platform, ordered[i - 1]);
+        const Ips curr = ConfigSpace::peakIps(platform, ordered[i]);
+        EXPECT_LE(prev, curr * (1.0 + 1e-6))
+            << ordered[i - 1].label() << " vs " << ordered[i].label();
+    }
+}
+
+TEST_F(ConfigSpaceTest, HeuristicOrderEndsAtMostCapable)
+{
+    const auto ordered = ConfigSpace::orderForHeuristic(
+        platform, ConfigSpace::paperStates(platform));
+    ASSERT_FALSE(ordered.empty());
+    // The most capable paper state is 2B2S-1.15 by raw IPS.
+    EXPECT_EQ(ordered.back().label(), "2B2S-1.15");
+    EXPECT_EQ(ordered.front().label(), "1S-0.65");
+}
+
+TEST_F(ConfigSpaceTest, ParetoPruneKeepsCheapestPerIpsLevel)
+{
+    const auto pruned = ConfigSpace::paretoPrune(
+        platform, ConfigSpace::enumerate(platform));
+    EXPECT_LT(pruned.size(), 34u);
+    EXPECT_GE(pruned.size(), 8u);
+    // Still monotone in IPS.
+    for (std::size_t i = 1; i < pruned.size(); ++i) {
+        EXPECT_LT(ConfigSpace::peakIps(platform, pruned[i - 1]),
+                  ConfigSpace::peakIps(platform, pruned[i]) *
+                      (1.0 + 1e-6));
+    }
+}
+
+TEST_F(ConfigSpaceTest, OctopusManStatesAreSingleClusterMaxDvfs)
+{
+    const auto states = ConfigSpace::octopusManStates(platform);
+    ASSERT_EQ(states.size(), 6u); // 1S..4S, 1B..2B
+    for (const auto &config : states) {
+        EXPECT_TRUE(config.singleCoreType()) << config.label();
+        if (config.nBig > 0) {
+            EXPECT_DOUBLE_EQ(config.bigFreq, 1.15);
+        } else {
+            EXPECT_DOUBLE_EQ(config.smallFreq, 0.65);
+        }
+    }
+    // Ordered least -> most capable: ends with 2B at max DVFS.
+    EXPECT_EQ(states.back().label(), "2B-1.15");
+}
+
+} // namespace
+} // namespace hipster

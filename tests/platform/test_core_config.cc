@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for CoreConfig labels, parsing, ordering and hashing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/logging.hh"
+#include "platform/core_config.hh"
+
+namespace hipster
+{
+namespace
+{
+
+TEST(CoreConfig, LabelMatchesPaperFormat)
+{
+    EXPECT_EQ((CoreConfig{2, 2, 0.90, 0.65}).label(), "2B2S-0.90");
+    EXPECT_EQ((CoreConfig{0, 4, 0.0, 0.65}).label(), "4S-0.65");
+    EXPECT_EQ((CoreConfig{2, 0, 1.15, 0.65}).label(), "2B-1.15");
+    EXPECT_EQ((CoreConfig{1, 3, 0.60, 0.65}).label(), "1B3S-0.60");
+}
+
+TEST(CoreConfig, ParseRoundTripsAllPaperStates)
+{
+    const char *labels[] = {
+        "1S-0.65",   "2S-0.65",   "3S-0.65",  "2B-0.60",  "1B3S-0.60",
+        "4S-0.65",   "2B2S-0.60", "1B3S-0.90", "2B-0.90", "2B2S-0.90",
+        "1B3S-1.15", "2B2S-1.15", "2B-1.15",
+    };
+    for (const char *label : labels) {
+        const CoreConfig config = parseCoreConfig(label, 0.65);
+        EXPECT_EQ(config.label(), label) << label;
+    }
+}
+
+TEST(CoreConfig, ParsePopulatesFields)
+{
+    const CoreConfig config = parseCoreConfig("1B3S-0.90", 0.65);
+    EXPECT_EQ(config.nBig, 1u);
+    EXPECT_EQ(config.nSmall, 3u);
+    EXPECT_DOUBLE_EQ(config.bigFreq, 0.90);
+    EXPECT_DOUBLE_EQ(config.smallFreq, 0.65);
+}
+
+TEST(CoreConfig, ParseSmallOnlyTakesFrequencyAsSmall)
+{
+    const CoreConfig config = parseCoreConfig("3S-0.65", 0.65);
+    EXPECT_EQ(config.nBig, 0u);
+    EXPECT_DOUBLE_EQ(config.smallFreq, 0.65);
+}
+
+TEST(CoreConfig, ParseRejectsMalformedLabels)
+{
+    EXPECT_THROW(parseCoreConfig("", 0.65), FatalError);
+    EXPECT_THROW(parseCoreConfig("2X-0.6", 0.65), FatalError);
+    EXPECT_THROW(parseCoreConfig("2B", 0.65), FatalError);
+    EXPECT_THROW(parseCoreConfig("B-0.6", 0.65), FatalError);
+    EXPECT_THROW(parseCoreConfig("-0.6", 0.65), FatalError);
+    EXPECT_THROW(parseCoreConfig("2B-0", 0.65), FatalError);
+}
+
+TEST(CoreConfig, Helpers)
+{
+    const CoreConfig mixed{1, 3, 0.9, 0.65};
+    EXPECT_EQ(mixed.totalCores(), 4u);
+    EXPECT_FALSE(mixed.singleCoreType());
+    EXPECT_FALSE(mixed.empty());
+
+    const CoreConfig big_only{2, 0, 1.15, 0.65};
+    EXPECT_TRUE(big_only.singleCoreType());
+
+    const CoreConfig none{0, 0, 0.0, 0.0};
+    EXPECT_TRUE(none.empty());
+}
+
+TEST(CoreConfig, EqualityAndOrdering)
+{
+    const CoreConfig a{1, 2, 0.9, 0.65};
+    const CoreConfig b{1, 2, 0.9, 0.65};
+    const CoreConfig c{2, 2, 0.9, 0.65};
+    EXPECT_TRUE(a == b);
+    EXPECT_FALSE(a == c);
+    EXPECT_TRUE(a < c);
+    EXPECT_FALSE(c < a);
+}
+
+TEST(CoreConfig, HashDistinguishesConfigs)
+{
+    CoreConfigHash hash;
+    std::unordered_set<std::size_t> seen;
+    for (std::uint32_t nb = 0; nb <= 2; ++nb) {
+        for (std::uint32_t ns = 0; ns <= 4; ++ns) {
+            for (GHz f : {0.60, 0.90, 1.15}) {
+                if (nb + ns == 0)
+                    continue;
+                seen.insert(hash(CoreConfig{nb, ns, f, 0.65}));
+            }
+        }
+    }
+    // All 42 combinations should hash distinctly (tiny space).
+    EXPECT_EQ(seen.size(), 42u);
+}
+
+TEST(CoreConfig, HashEqualForEqualConfigs)
+{
+    CoreConfigHash hash;
+    EXPECT_EQ(hash(CoreConfig{1, 1, 0.9, 0.65}),
+              hash(CoreConfig{1, 1, 0.9, 0.65}));
+}
+
+} // namespace
+} // namespace hipster

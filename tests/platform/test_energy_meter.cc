@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Tests for the energy meter (Juno energy-register model).
+ */
+
+#include <gtest/gtest.h>
+
+#include "platform/energy_meter.hh"
+
+namespace hipster
+{
+namespace
+{
+
+TEST(EnergyMeter, AccumulatesPerDomain)
+{
+    EnergyMeter meter(2);
+    meter.accumulate({1.0, 2.0}, 0.5, 10.0);
+    EXPECT_DOUBLE_EQ(meter.clusterEnergy(0), 10.0);
+    EXPECT_DOUBLE_EQ(meter.clusterEnergy(1), 20.0);
+    EXPECT_DOUBLE_EQ(meter.restEnergy(), 5.0);
+    EXPECT_DOUBLE_EQ(meter.totalEnergy(), 35.0);
+    EXPECT_DOUBLE_EQ(meter.elapsed(), 10.0);
+}
+
+TEST(EnergyMeter, MeanPower)
+{
+    EnergyMeter meter(1);
+    meter.accumulate({2.0}, 1.0, 5.0);
+    meter.accumulate({4.0}, 1.0, 5.0);
+    EXPECT_DOUBLE_EQ(meter.meanPower(), 4.0);
+}
+
+TEST(EnergyMeter, MeanPowerZeroWhenEmpty)
+{
+    EnergyMeter meter(1);
+    EXPECT_DOUBLE_EQ(meter.meanPower(), 0.0);
+}
+
+TEST(EnergyMeter, ResetClearsEverything)
+{
+    EnergyMeter meter(2);
+    meter.accumulate({1.0, 1.0}, 1.0, 1.0);
+    meter.reset();
+    EXPECT_DOUBLE_EQ(meter.totalEnergy(), 0.0);
+    EXPECT_DOUBLE_EQ(meter.elapsed(), 0.0);
+}
+
+TEST(EnergyMeterDeath, RejectsSizeMismatch)
+{
+    EnergyMeter meter(2);
+    EXPECT_DEATH(meter.accumulate({1.0}, 0.5, 1.0), "size mismatch");
+}
+
+TEST(EnergyMeterDeath, RejectsNegativeDuration)
+{
+    EnergyMeter meter(1);
+    EXPECT_DEATH(meter.accumulate({1.0}, 0.5, -1.0), "negative");
+}
+
+TEST(EnergyMeterDeath, RejectsOutOfRangeDomain)
+{
+    EnergyMeter meter(1);
+    EXPECT_DEATH(meter.clusterEnergy(3), "out of range");
+}
+
+} // namespace
+} // namespace hipster

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests for the perf-counter bank, including the Juno idle-state
+ * erratum emulation and the paper's cpuidle workaround (Sec. 3.7).
+ */
+
+#include <gtest/gtest.h>
+
+#include "platform/perf_counters.hh"
+
+namespace hipster
+{
+namespace
+{
+
+TEST(CpuIdleControl, DefaultsEnabledWithPaperLatency)
+{
+    CpuIdleControl cpuidle;
+    EXPECT_TRUE(cpuidle.enabled());
+    EXPECT_DOUBLE_EQ(cpuidle.idleLatency(), 3500e-6);
+}
+
+TEST(CpuIdleControl, EntersIdleOnlyBeyondLatency)
+{
+    CpuIdleControl cpuidle;
+    EXPECT_FALSE(cpuidle.wouldEnterIdle(1000e-6));
+    EXPECT_TRUE(cpuidle.wouldEnterIdle(5000e-6));
+}
+
+TEST(CpuIdleControl, DisabledNeverIdles)
+{
+    CpuIdleControl cpuidle;
+    cpuidle.setEnabled(false);
+    EXPECT_FALSE(cpuidle.wouldEnterIdle(1.0));
+}
+
+TEST(PerfCounterBank, RecordsAndReads)
+{
+    PerfCounterBank bank(4, /*emulate_errata=*/true);
+    bank.beginInterval();
+    bank.record(2, 1e9, 2e9, 0.5);
+    const auto counters = bank.read(2);
+    ASSERT_TRUE(counters.has_value());
+    EXPECT_DOUBLE_EQ(counters->instructions, 1e9);
+    EXPECT_DOUBLE_EQ(counters->cycles, 2e9);
+    EXPECT_DOUBLE_EQ(counters->utilization, 0.5);
+}
+
+TEST(PerfCounterBank, RecordAccumulatesWithinInterval)
+{
+    PerfCounterBank bank(1, false);
+    bank.beginInterval();
+    bank.record(0, 100, 200, 0.1);
+    bank.record(0, 50, 100, 0.2);
+    EXPECT_DOUBLE_EQ(bank.read(0)->instructions, 150);
+}
+
+TEST(PerfCounterBank, BeginIntervalClears)
+{
+    PerfCounterBank bank(1, false);
+    bank.beginInterval();
+    bank.record(0, 100, 200, 1.0);
+    bank.beginInterval();
+    EXPECT_DOUBLE_EQ(bank.read(0)->instructions, 0);
+}
+
+TEST(PerfCounterBank, IdleCorePoisonsWholeBank)
+{
+    // The erratum: any core entering an idle state garbles *all*
+    // cores' readings for the interval.
+    PerfCounterBank bank(4, /*emulate_errata=*/true);
+    CpuIdleControl cpuidle; // enabled
+    bank.beginInterval();
+    bank.record(0, 1e9, 1e9, 1.0);
+    bank.noteIdle(3, /*idle_time=*/0.5, cpuidle);
+    EXPECT_TRUE(bank.poisoned());
+    EXPECT_FALSE(bank.read(0).has_value());
+    EXPECT_FALSE(bank.read(3).has_value());
+}
+
+TEST(PerfCounterBank, DisablingCpuIdlePreventsPoisoning)
+{
+    // The paper's workaround: disable cpuidle so cores never enter
+    // idle states and perf stays trustworthy.
+    PerfCounterBank bank(4, /*emulate_errata=*/true);
+    CpuIdleControl cpuidle;
+    cpuidle.setEnabled(false);
+    bank.beginInterval();
+    bank.record(1, 5e8, 1e9, 1.0);
+    bank.noteIdle(3, /*idle_time=*/0.9, cpuidle);
+    EXPECT_FALSE(bank.poisoned());
+    ASSERT_TRUE(bank.read(1).has_value());
+    EXPECT_DOUBLE_EQ(bank.read(1)->instructions, 5e8);
+}
+
+TEST(PerfCounterBank, ShortIdleDoesNotPoison)
+{
+    PerfCounterBank bank(2, true);
+    CpuIdleControl cpuidle; // 3500us threshold
+    bank.beginInterval();
+    bank.noteIdle(0, 1e-3, cpuidle);
+    EXPECT_FALSE(bank.poisoned());
+}
+
+TEST(PerfCounterBank, ErrataEmulationCanBeDisabled)
+{
+    PerfCounterBank bank(2, /*emulate_errata=*/false);
+    CpuIdleControl cpuidle;
+    bank.beginInterval();
+    bank.noteIdle(0, 1.0, cpuidle);
+    EXPECT_FALSE(bank.poisoned());
+    EXPECT_TRUE(bank.read(0).has_value());
+}
+
+TEST(PerfCounterBank, RawReadReturnsGarbageWhenPoisoned)
+{
+    PerfCounterBank bank(2, true);
+    CpuIdleControl cpuidle;
+    bank.beginInterval();
+    bank.record(0, 100.0, 100.0, 1.0);
+    bank.noteIdle(1, 1.0, cpuidle);
+    // Raw reads "succeed" but produce implausible values — this is
+    // what a naive consumer of perf would observe on the Juno.
+    const CoreCounters garbage = bank.readRaw(0);
+    EXPECT_NE(garbage.instructions, 100.0);
+}
+
+TEST(PerfCounterBank, PoisonClearsAtNextInterval)
+{
+    PerfCounterBank bank(2, true);
+    CpuIdleControl cpuidle;
+    bank.beginInterval();
+    bank.noteIdle(0, 1.0, cpuidle);
+    EXPECT_TRUE(bank.poisoned());
+    bank.beginInterval();
+    EXPECT_FALSE(bank.poisoned());
+}
+
+TEST(PerfCounterBankDeath, RejectsOutOfRangeCore)
+{
+    PerfCounterBank bank(2, false);
+    bank.beginInterval();
+    EXPECT_DEATH(bank.record(5, 1, 1, 1), "out of range");
+}
+
+} // namespace
+} // namespace hipster

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests for the Platform runtime: topology, configuration actuation,
+ * core sets, actuation costs and energy accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "platform/platform.hh"
+
+namespace hipster
+{
+namespace
+{
+
+class JunoPlatform : public ::testing::Test
+{
+  protected:
+    JunoPlatform() : platform(Platform::junoR1()) {}
+    Platform platform;
+};
+
+TEST_F(JunoPlatform, Topology)
+{
+    EXPECT_EQ(platform.totalCores(), 6u);
+    EXPECT_EQ(platform.coreCount(CoreType::Big), 2u);
+    EXPECT_EQ(platform.coreCount(CoreType::Small), 4u);
+    // Cluster-major numbering: big cores first.
+    EXPECT_EQ(platform.coreType(0), CoreType::Big);
+    EXPECT_EQ(platform.coreType(1), CoreType::Big);
+    for (CoreId core = 2; core < 6; ++core)
+        EXPECT_EQ(platform.coreType(core), CoreType::Small);
+    EXPECT_EQ(platform.clusterOf(0), 0u);
+    EXPECT_EQ(platform.clusterOf(5), 1u);
+}
+
+TEST_F(JunoPlatform, CoresOfType)
+{
+    const auto big = platform.coresOf(CoreType::Big);
+    ASSERT_EQ(big.size(), 2u);
+    EXPECT_EQ(big[0], 0u);
+    const auto small = platform.coresOf(CoreType::Small);
+    ASSERT_EQ(small.size(), 4u);
+    EXPECT_EQ(small[0], 2u);
+}
+
+TEST_F(JunoPlatform, BootConfigIsAllBigMaxDvfs)
+{
+    EXPECT_EQ(platform.currentConfig().nBig, 2u);
+    EXPECT_EQ(platform.currentConfig().nSmall, 0u);
+    EXPECT_DOUBLE_EQ(platform.currentConfig().bigFreq, 1.15);
+}
+
+TEST_F(JunoPlatform, ValidConfigChecks)
+{
+    EXPECT_TRUE(platform.isValidConfig({2, 2, 0.90, 0.65}));
+    EXPECT_TRUE(platform.isValidConfig({0, 4, 0.60, 0.65}));
+    EXPECT_FALSE(platform.isValidConfig({3, 0, 1.15, 0.65})); // >2 big
+    EXPECT_FALSE(platform.isValidConfig({0, 5, 0.60, 0.65})); // >4 small
+    EXPECT_FALSE(platform.isValidConfig({2, 0, 1.00, 0.65})); // bad OPP
+    EXPECT_FALSE(platform.isValidConfig({0, 2, 0.60, 0.70})); // bad OPP
+    EXPECT_FALSE(platform.isValidConfig({0, 0, 0.60, 0.65})); // empty
+}
+
+TEST_F(JunoPlatform, ApplyConfigPinsLcCores)
+{
+    platform.applyConfig({1, 3, 0.90, 0.65});
+    const auto &lc = platform.lcCores();
+    ASSERT_EQ(lc.size(), 4u);
+    EXPECT_EQ(lc[0], 0u); // first big core
+    EXPECT_EQ(lc[1], 2u); // first three small cores
+    EXPECT_EQ(lc[2], 3u);
+    EXPECT_EQ(lc[3], 4u);
+    const auto &spare = platform.spareCores();
+    ASSERT_EQ(spare.size(), 2u);
+    EXPECT_EQ(spare[0], 1u);
+    EXPECT_EQ(spare[1], 5u);
+}
+
+TEST_F(JunoPlatform, ApplyConfigSetsClusterFrequencies)
+{
+    platform.applyConfig({2, 2, 0.60, 0.65});
+    EXPECT_DOUBLE_EQ(platform.cluster(CoreType::Big).frequency(), 0.60);
+    EXPECT_DOUBLE_EQ(platform.coreFrequency(0), 0.60);
+    EXPECT_DOUBLE_EQ(platform.coreFrequency(5), 0.65);
+}
+
+TEST_F(JunoPlatform, ActuationCountsMigrationsAndDvfs)
+{
+    platform.applyConfig({2, 0, 1.15, 0.65}); // boot state, no-op
+    auto result = platform.applyConfig({2, 0, 1.15, 0.65});
+    EXPECT_EQ(result.migratedCores, 0u);
+    EXPECT_EQ(result.dvfsTransitions, 0u);
+    EXPECT_FALSE(result.changedAnything());
+    EXPECT_DOUBLE_EQ(result.latency, 0.0);
+
+    result = platform.applyConfig({2, 2, 0.90, 0.65});
+    EXPECT_EQ(result.migratedCores, 2u); // two small cores joined
+    EXPECT_EQ(result.dvfsTransitions, 1u); // big 1.15 -> 0.90
+    EXPECT_GT(result.latency, 0.0);
+
+    result = platform.applyConfig({0, 4, 0.90, 0.65});
+    EXPECT_EQ(result.migratedCores, 4u); // -2 big, +2 small
+}
+
+TEST_F(JunoPlatform, MigrationCostsDominateDvfs)
+{
+    const ActuationCosts costs = platform.spec().costs;
+    EXPECT_GT(costs.coreMigration, 10 * costs.dvfsTransition);
+}
+
+TEST_F(JunoPlatform, CumulativeCountersTrack)
+{
+    const auto migrations_before = platform.totalMigrations();
+    // Boot state is 2B: each switch moves 2 big out/in and 4 small
+    // in/out = 6 migrations per transition.
+    platform.applyConfig({0, 4, 1.15, 0.65});
+    platform.applyConfig({2, 0, 1.15, 0.65});
+    EXPECT_EQ(platform.totalMigrations(), migrations_before + 12);
+}
+
+TEST_F(JunoPlatform, ApplyInvalidConfigThrows)
+{
+    EXPECT_THROW(platform.applyConfig({3, 0, 1.15, 0.65}), FatalError);
+}
+
+TEST_F(JunoPlatform, SetClusterFrequencyDirect)
+{
+    EXPECT_TRUE(platform.setClusterFrequency(CoreType::Big, 0.60));
+    EXPECT_FALSE(platform.setClusterFrequency(CoreType::Big, 0.60));
+    EXPECT_DOUBLE_EQ(platform.cluster(CoreType::Big).frequency(), 0.60);
+}
+
+TEST_F(JunoPlatform, AccountEnergyFlowsIntoMeter)
+{
+    platform.energyMeter().reset();
+    std::vector<ClusterActivity> activity = {{2, 1.0}, {0, 0.0}};
+    const Watts power = platform.accountEnergy(activity, 2.0);
+    EXPECT_GT(power, 0.0);
+    EXPECT_NEAR(platform.energyMeter().totalEnergy(), power * 2.0, 1e-9);
+    EXPECT_DOUBLE_EQ(platform.energyMeter().elapsed(), 2.0);
+}
+
+TEST(PlatformSpecValidation, RejectsTwoClustersOfSameType)
+{
+    PlatformSpec spec = Platform::junoR1();
+    spec.clusters.push_back(spec.clusters[0]);
+    spec.power.push_back(spec.power[0]);
+    EXPECT_THROW(Platform{spec}, FatalError);
+}
+
+TEST(PlatformSpecValidation, RejectsPowerParamMismatch)
+{
+    PlatformSpec spec = Platform::junoR1();
+    spec.power.pop_back();
+    EXPECT_THROW(Platform{spec}, FatalError);
+}
+
+TEST(PlatformCustom, SmallOnlyPlatformWorks)
+{
+    PlatformSpec spec = Platform::junoR1();
+    spec.clusters.erase(spec.clusters.begin());
+    spec.power.erase(spec.power.begin());
+    Platform platform(spec);
+    EXPECT_EQ(platform.coreCount(CoreType::Big), 0u);
+    EXPECT_EQ(platform.currentConfig().nSmall, 4u);
+    EXPECT_THROW(platform.cluster(CoreType::Big), FatalError);
+}
+
+} // namespace
+} // namespace hipster

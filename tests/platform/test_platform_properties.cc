@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Parameterized property tests over the platform layer: every
+ * enumerable configuration must be applicable, actuation must be
+ * reversible and idempotent, and the power model must be monotone in
+ * utilization and frequency for every configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "platform/config_space.hh"
+#include "platform/platform.hh"
+
+namespace hipster
+{
+namespace
+{
+
+/** All 34 Juno configurations, as test parameters. */
+std::vector<CoreConfig>
+allJunoConfigs()
+{
+    Platform platform(Platform::junoR1());
+    return ConfigSpace::enumerate(platform);
+}
+
+class ConfigProperties : public ::testing::TestWithParam<CoreConfig>
+{
+  protected:
+    ConfigProperties() : platform(Platform::junoR1()) {}
+    Platform platform;
+};
+
+TEST_P(ConfigProperties, ApplyThenReadBack)
+{
+    const CoreConfig config = GetParam();
+    ASSERT_TRUE(platform.isValidConfig(config)) << config.label();
+    platform.applyConfig(config);
+    EXPECT_EQ(platform.currentConfig(), config);
+    EXPECT_EQ(platform.lcCores().size(), config.totalCores());
+    EXPECT_EQ(platform.lcCores().size() + platform.spareCores().size(),
+              platform.totalCores());
+}
+
+TEST_P(ConfigProperties, ApplyIsIdempotent)
+{
+    const CoreConfig config = GetParam();
+    platform.applyConfig(config);
+    const ActuationResult again = platform.applyConfig(config);
+    EXPECT_FALSE(again.changedAnything()) << config.label();
+    EXPECT_DOUBLE_EQ(again.latency, 0.0);
+}
+
+TEST_P(ConfigProperties, LcCoresMatchRequestedTypes)
+{
+    const CoreConfig config = GetParam();
+    platform.applyConfig(config);
+    std::uint32_t big = 0, small = 0;
+    for (CoreId core : platform.lcCores()) {
+        if (platform.coreType(core) == CoreType::Big) {
+            ++big;
+        } else {
+            ++small;
+        }
+    }
+    EXPECT_EQ(big, config.nBig) << config.label();
+    EXPECT_EQ(small, config.nSmall) << config.label();
+}
+
+TEST_P(ConfigProperties, ClusterFrequenciesProgrammed)
+{
+    const CoreConfig config = GetParam();
+    platform.applyConfig(config);
+    if (config.nBig > 0) {
+        EXPECT_DOUBLE_EQ(platform.cluster(CoreType::Big).frequency(),
+                         config.bigFreq);
+    }
+    if (config.nSmall > 0) {
+        EXPECT_DOUBLE_EQ(platform.cluster(CoreType::Small).frequency(),
+                         config.smallFreq);
+    }
+}
+
+TEST_P(ConfigProperties, LabelRoundTrips)
+{
+    const CoreConfig config = GetParam();
+    const CoreConfig parsed =
+        parseCoreConfig(config.label(), config.smallFreq);
+    // label() omits the small frequency when big cores are present,
+    // so compare through the platform realizability + label again.
+    EXPECT_EQ(parsed.label(), config.label());
+    EXPECT_EQ(parsed.nBig, config.nBig);
+    EXPECT_EQ(parsed.nSmall, config.nSmall);
+}
+
+TEST_P(ConfigProperties, FullLoadPowerWithinTdp)
+{
+    const CoreConfig config = GetParam();
+    const Watts power = ConfigSpace::fullLoadPower(platform, config);
+    EXPECT_GT(power, platform.powerModel().restOfSystem());
+    EXPECT_LE(power, platform.tdp() + 1e-9) << config.label();
+}
+
+TEST_P(ConfigProperties, PowerMonotoneInUtilization)
+{
+    const CoreConfig config = GetParam();
+    platform.applyConfig(config);
+    const auto &model = platform.powerModel();
+    for (const auto &cluster : platform.clusters()) {
+        const std::uint32_t active =
+            cluster.spec().type == CoreType::Big ? config.nBig
+                                                 : config.nSmall;
+        if (active == 0)
+            continue;
+        Watts prev = -1.0;
+        for (double util : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+            const Watts p =
+                model.clusterPower(cluster, {active, util});
+            EXPECT_GT(p, prev) << config.label() << " util " << util;
+            prev = p;
+        }
+    }
+}
+
+TEST_P(ConfigProperties, MoreCoresNeverCheaperAtFullLoad)
+{
+    const CoreConfig config = GetParam();
+    // Adding one small core (when possible) cannot reduce full-load
+    // power.
+    if (config.nSmall < 4) {
+        CoreConfig bigger = config;
+        bigger.nSmall += 1;
+        if (bigger.nSmall > 0 && bigger.smallFreq == 0.0)
+            bigger.smallFreq = 0.65;
+        EXPECT_GE(ConfigSpace::fullLoadPower(Platform(Platform::junoR1()),
+                                             bigger) +
+                      1e-9,
+                  ConfigSpace::fullLoadPower(
+                      Platform(Platform::junoR1()), config))
+            << config.label();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllJunoConfigs, ConfigProperties,
+                         ::testing::ValuesIn(allJunoConfigs()),
+                         [](const auto &info) {
+                             std::string name = info.param.fullLabel();
+                             for (char &c : name) {
+                                 if (!std::isalnum(
+                                         static_cast<unsigned char>(c)))
+                                     c = '_';
+                             }
+                             return name;
+                         });
+
+/** DVFS sweep: big-cluster OPP transitions in both directions. */
+class DvfsSweep : public ::testing::TestWithParam<std::pair<GHz, GHz>>
+{
+};
+
+TEST_P(DvfsSweep, TransitionCountsAndLatency)
+{
+    Platform platform(Platform::junoR1());
+    const auto [from, to] = GetParam();
+    platform.applyConfig({2, 0, from, 0.65});
+    const auto result = platform.applyConfig({2, 0, to, 0.65});
+    if (from == to) {
+        EXPECT_EQ(result.dvfsTransitions, 0u);
+    } else {
+        EXPECT_EQ(result.dvfsTransitions, 1u);
+        EXPECT_EQ(result.migratedCores, 0u);
+        EXPECT_NEAR(result.latency,
+                    platform.spec().costs.dvfsTransition, 1e-12);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, DvfsSweep,
+    ::testing::Values(std::make_pair(0.60, 0.60),
+                      std::make_pair(0.60, 0.90),
+                      std::make_pair(0.60, 1.15),
+                      std::make_pair(0.90, 0.60),
+                      std::make_pair(0.90, 1.15),
+                      std::make_pair(1.15, 0.60),
+                      std::make_pair(1.15, 0.90)));
+
+} // namespace
+} // namespace hipster

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Power-model tests, including the Table 2 calibration anchors: the
+ * simulated Juno must reproduce the measured power of the big/small
+ * clusters and single cores within a few percent, and the derived
+ * power-efficiency relations the paper reports in Section 4.1.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "platform/config_space.hh"
+#include "platform/platform.hh"
+#include "platform/power_model.hh"
+
+namespace hipster
+{
+namespace
+{
+
+class JunoPower : public ::testing::Test
+{
+  protected:
+    JunoPower() : platform(Platform::junoR1()) {}
+
+    /** System power with n cores of `type` at 100% and the other
+     * cluster power-gated. */
+    Watts
+    systemPowerWith(CoreType type, std::uint32_t n, GHz freq)
+    {
+        const auto &cluster = platform.cluster(type);
+        const auto &model = platform.powerModel();
+        const Opp opp{freq, cluster.spec().voltageAt(freq)};
+        return model.restOfSystem() +
+               model.clusterPower(cluster.spec(),
+                                  model.params(cluster.id()), opp,
+                                  {n, 1.0});
+    }
+
+    Platform platform;
+};
+
+// --- Table 2 anchors (absolute power, +/- 8%). ---
+
+TEST_F(JunoPower, Table2BigClusterFullLoad)
+{
+    EXPECT_NEAR(systemPowerWith(CoreType::Big, 2, 1.15), 2.30,
+                2.30 * 0.08);
+}
+
+TEST_F(JunoPower, Table2OneBigCoreFullLoad)
+{
+    EXPECT_NEAR(systemPowerWith(CoreType::Big, 1, 1.15), 1.62,
+                1.62 * 0.08);
+}
+
+TEST_F(JunoPower, Table2SmallClusterFullLoad)
+{
+    EXPECT_NEAR(systemPowerWith(CoreType::Small, 4, 0.65), 1.43,
+                1.43 * 0.08);
+}
+
+TEST_F(JunoPower, Table2OneSmallCoreFullLoad)
+{
+    EXPECT_NEAR(systemPowerWith(CoreType::Small, 1, 0.65), 0.95,
+                0.95 * 0.08);
+}
+
+// --- Derived Section 4.1 relations. ---
+
+TEST_F(JunoPower, BigCoreMorePowerEfficientThanSmallAtSystemLevel)
+{
+    // "a single big core is 52% more power-efficient than a single
+    // small core, in terms of IPS per watt" (system power).
+    const double big_eff =
+        2138e6 / systemPowerWith(CoreType::Big, 1, 1.15);
+    const double small_eff =
+        826e6 / systemPowerWith(CoreType::Small, 1, 0.65);
+    EXPECT_NEAR(big_eff / small_eff, 1.52, 0.15);
+}
+
+TEST_F(JunoPower, SmallClusterMorePowerEfficientThanBigCluster)
+{
+    // "a small cluster is 25% more power-efficient than a big
+    // cluster" at full utilization.
+    const double big_eff =
+        4260e6 / systemPowerWith(CoreType::Big, 2, 1.15);
+    const double small_eff =
+        3298e6 / systemPowerWith(CoreType::Small, 4, 0.65);
+    EXPECT_NEAR(small_eff / big_eff, 1.25, 0.12);
+}
+
+// --- Structural properties. ---
+
+TEST_F(JunoPower, PowerGatedClusterDrawsNothing)
+{
+    const auto &model = platform.powerModel();
+    const auto &big = platform.cluster(CoreType::Big);
+    EXPECT_DOUBLE_EQ(model.clusterPower(big, {0, 0.0}), 0.0);
+}
+
+TEST_F(JunoPower, PowerIncreasesWithUtilization)
+{
+    const auto &model = platform.powerModel();
+    const auto &big = platform.cluster(CoreType::Big);
+    const Watts idle = model.clusterPower(big, {2, 0.0});
+    const Watts half = model.clusterPower(big, {2, 0.5});
+    const Watts full = model.clusterPower(big, {2, 1.0});
+    EXPECT_LT(idle, half);
+    EXPECT_LT(half, full);
+    EXPECT_GT(idle, 0.0); // static power remains
+}
+
+TEST_F(JunoPower, PowerIncreasesWithFrequency)
+{
+    const auto &model = platform.powerModel();
+    const auto &spec = platform.cluster(CoreType::Big).spec();
+    const auto &params = model.params(platform.cluster(CoreType::Big).id());
+    Watts prev = 0.0;
+    for (const auto &opp : spec.opps) {
+        const Watts p = model.clusterPower(spec, params, opp, {2, 1.0});
+        EXPECT_GT(p, prev);
+        prev = p;
+    }
+}
+
+TEST_F(JunoPower, TdpIsMaxConfiguration)
+{
+    const Watts tdp = platform.tdp();
+    // TDP = rest + both clusters at max OPP and full utilization.
+    const Watts expect = systemPowerWith(CoreType::Big, 2, 1.15) +
+                         systemPowerWith(CoreType::Small, 4, 0.65) -
+                         platform.powerModel().restOfSystem();
+    EXPECT_NEAR(tdp, expect, 1e-9);
+    // Rest + 1.54 W big cluster + 0.67 W small cluster ~= 2.97 W.
+    EXPECT_GT(tdp, 2.7);
+    EXPECT_LT(tdp, 3.3);
+}
+
+TEST_F(JunoPower, SystemPowerAddsRestOfSystem)
+{
+    const auto &model = platform.powerModel();
+    std::vector<ClusterActivity> idle_all = {{0, 0.0}, {0, 0.0}};
+    EXPECT_DOUBLE_EQ(model.systemPower(platform.clusters(), idle_all),
+                     model.restOfSystem());
+}
+
+TEST(PowerModelValidation, RejectsBadParameters)
+{
+    ClusterPowerParams params;
+    params.core.dynCoeff = -1.0;
+    EXPECT_THROW(PowerModel({params}, 0.5), FatalError);
+
+    params = ClusterPowerParams{};
+    params.core.idleActivity = 1.5;
+    EXPECT_THROW(PowerModel({params}, 0.5), FatalError);
+
+    EXPECT_THROW(PowerModel({}, 0.5), FatalError);
+    EXPECT_THROW(PowerModel({ClusterPowerParams{}}, -0.1), FatalError);
+}
+
+} // namespace
+} // namespace hipster

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for the discrete-event queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace hipster
+{
+namespace
+{
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(3.0, [&](Seconds) { order.push_back(3); });
+    q.schedule(1.0, [&](Seconds) { order.push_back(1); });
+    q.schedule(2.0, [&](Seconds) { order.push_back(2); });
+    q.runUntil(10.0);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SimultaneousEventsFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(1.0, [&, i](Seconds) { order.push_back(i); });
+    q.runUntil(1.0);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundaryInclusive)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1.0, [&](Seconds) { ++fired; });
+    q.schedule(2.0, [&](Seconds) { ++fired; });
+    q.schedule(2.0001, [&](Seconds) { ++fired; });
+    EXPECT_EQ(q.runUntil(2.0), 2u);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, HandlerReceivesTimestamp)
+{
+    EventQueue q;
+    Seconds seen = -1.0;
+    q.schedule(4.5, [&](Seconds now) { seen = now; });
+    q.runUntil(5.0);
+    EXPECT_DOUBLE_EQ(seen, 4.5);
+}
+
+TEST(EventQueue, HandlersMayScheduleMoreEvents)
+{
+    EventQueue q;
+    int count = 0;
+    std::function<void(Seconds)> chain = [&](Seconds now) {
+        ++count;
+        if (count < 10)
+            q.schedule(now + 1.0, chain);
+    };
+    q.schedule(0.0, chain);
+    q.runUntil(100.0);
+    EXPECT_EQ(count, 10);
+}
+
+TEST(EventQueue, ChainedEventsBeyondHorizonStayPending)
+{
+    EventQueue q;
+    int count = 0;
+    std::function<void(Seconds)> chain = [&](Seconds now) {
+        ++count;
+        q.schedule(now + 1.0, chain);
+    };
+    q.schedule(0.0, chain);
+    q.runUntil(4.5);
+    EXPECT_EQ(count, 5); // t=0,1,2,3,4
+    EXPECT_EQ(q.size(), 1u);
+    q.runUntil(6.0);
+    EXPECT_EQ(count, 7);
+}
+
+TEST(EventQueue, NextTimeAndEmpty)
+{
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    q.schedule(7.0, [](Seconds) {});
+    EXPECT_FALSE(q.empty());
+    EXPECT_DOUBLE_EQ(q.nextTime(), 7.0);
+}
+
+TEST(EventQueue, ClearDropsPending)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1.0, [&](Seconds) { ++fired; });
+    q.clear();
+    q.runUntil(10.0);
+    EXPECT_EQ(fired, 0);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, ProcessedCounts)
+{
+    EventQueue q;
+    for (int i = 0; i < 3; ++i)
+        q.schedule(i, [](Seconds) {});
+    q.runUntil(10.0);
+    EXPECT_EQ(q.processed(), 3u);
+}
+
+TEST(EventQueueDeath, RunOneOnEmptyPanics)
+{
+    EventQueue q;
+    EXPECT_DEATH(q.runOne(), "empty");
+}
+
+} // namespace
+} // namespace hipster

@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Tests for the heterogeneous multi-server queueing system: service
+ * timing, FCFS dispatch, reconfiguration (migration/DVFS), stalls,
+ * drops and usage accounting. Includes an M/M/1-style property
+ * check against queueing theory.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.hh"
+#include "sim/queueing.hh"
+
+namespace hipster
+{
+namespace
+{
+
+Request
+makeRequest(Seconds arrival, Instructions insn, Seconds stall = 0.0)
+{
+    Request r;
+    r.arrival = arrival;
+    r.computeInsn = insn;
+    r.memStall = stall;
+    return r;
+}
+
+class QueueingTest : public ::testing::Test
+{
+  protected:
+    QueueingTest() : system(events) {}
+
+    std::vector<CompletedRequest> completed;
+
+    void
+    captureCompletions()
+    {
+        system.setCompletionCallback(
+            [this](const CompletedRequest &done) {
+                completed.push_back(done);
+            });
+    }
+
+    EventQueue events;
+    QueueingSystem system;
+};
+
+TEST_F(QueueingTest, SingleRequestServiceTime)
+{
+    captureCompletions();
+    system.configure({{1e9, 1.0, 0}}, 0.0);
+    system.submit(makeRequest(0.0, 5e8)); // 0.5 s of compute
+    events.runUntil(10.0);
+    ASSERT_EQ(completed.size(), 1u);
+    EXPECT_NEAR(completed[0].latency(), 0.5, 1e-9);
+    EXPECT_NEAR(completed[0].completed, 0.5, 1e-9);
+}
+
+TEST_F(QueueingTest, MemStallAddsUnscaledTime)
+{
+    captureCompletions();
+    system.configure({{1e9, 1.0, 0}}, 0.0);
+    system.submit(makeRequest(0.0, 1e8, 0.2)); // 0.1s compute + 0.2s
+    events.runUntil(10.0);
+    ASSERT_EQ(completed.size(), 1u);
+    EXPECT_NEAR(completed[0].latency(), 0.3, 1e-9);
+}
+
+TEST_F(QueueingTest, StallScaleInflatesMemoryPortion)
+{
+    captureCompletions();
+    system.configure({{1e9, 2.0, 0}}, 0.0);
+    system.submit(makeRequest(0.0, 1e8, 0.2));
+    events.runUntil(10.0);
+    ASSERT_EQ(completed.size(), 1u);
+    EXPECT_NEAR(completed[0].latency(), 0.1 + 0.4, 1e-9);
+}
+
+TEST_F(QueueingTest, FcfsQueueingDelay)
+{
+    captureCompletions();
+    system.configure({{1e9, 1.0, 0}}, 0.0);
+    system.submit(makeRequest(0.0, 1e9)); // 1 s
+    system.submit(makeRequest(0.1, 1e9)); // waits until 1.0
+    events.runUntil(10.0);
+    ASSERT_EQ(completed.size(), 2u);
+    EXPECT_NEAR(completed[1].started, 1.0, 1e-9);
+    EXPECT_NEAR(completed[1].latency(), 1.9, 1e-9);
+}
+
+TEST_F(QueueingTest, FastestIdleServerPicked)
+{
+    captureCompletions();
+    // Server 0 slow, server 1 fast.
+    system.configure({{1e8, 1.0, 0}, {1e9, 1.0, 1}}, 0.0);
+    system.submit(makeRequest(0.0, 1e8));
+    events.runUntil(10.0);
+    ASSERT_EQ(completed.size(), 1u);
+    // Served by the fast server: 0.1 s, not 1.0 s.
+    EXPECT_NEAR(completed[0].latency(), 0.1, 1e-9);
+}
+
+TEST_F(QueueingTest, TwoServersServeInParallel)
+{
+    captureCompletions();
+    system.configure({{1e9, 1.0, 0}, {1e9, 1.0, 1}}, 0.0);
+    system.submit(makeRequest(0.0, 1e9));
+    system.submit(makeRequest(0.0, 1e9));
+    events.runUntil(10.0);
+    ASSERT_EQ(completed.size(), 2u);
+    EXPECT_NEAR(completed[0].latency(), 1.0, 1e-9);
+    EXPECT_NEAR(completed[1].latency(), 1.0, 1e-9);
+}
+
+TEST_F(QueueingTest, DvfsSlowdownStretchesInFlightRequest)
+{
+    captureCompletions();
+    system.configure({{1e9, 1.0, 0}}, 0.0);
+    system.submit(makeRequest(0.0, 1e9)); // 1 s at full speed
+    events.runUntil(0.5);                 // half done
+    system.configure({{5e8, 1.0, 0}}, 0.5); // half speed
+    events.runUntil(10.0);
+    ASSERT_EQ(completed.size(), 1u);
+    // Remaining 5e8 instructions at 5e8 IPS = 1 s more.
+    EXPECT_NEAR(completed[0].latency(), 1.5, 1e-9);
+}
+
+TEST_F(QueueingTest, DvfsSpeedupShortensInFlightRequest)
+{
+    captureCompletions();
+    system.configure({{5e8, 1.0, 0}}, 0.0);
+    system.submit(makeRequest(0.0, 1e9)); // 2 s at half speed
+    events.runUntil(1.0);                 // half done
+    system.configure({{1e9, 1.0, 0}}, 1.0);
+    events.runUntil(10.0);
+    ASSERT_EQ(completed.size(), 1u);
+    EXPECT_NEAR(completed[0].latency(), 1.5, 1e-9);
+}
+
+TEST_F(QueueingTest, RemovedServerRequeuesWorkAtFront)
+{
+    captureCompletions();
+    system.configure({{1e9, 1.0, 0}, {1e9, 1.0, 1}}, 0.0);
+    system.submit(makeRequest(0.0, 1e9)); // server 0 (or fastest)
+    system.submit(makeRequest(0.0, 1e9)); // server 1
+    system.submit(makeRequest(0.0, 1e9)); // queued
+    events.runUntil(0.5);
+    // Shrink to one server: the displaced in-flight request must
+    // resume before the queued one.
+    system.configure({{1e9, 1.0, 0}}, 0.5);
+    events.runUntil(20.0);
+    ASSERT_EQ(completed.size(), 3u);
+    // All three eventually complete; total work is 3 s on 1 server
+    // after 0.5 s of 2 servers. Last completion ~= 0.5 + 2.0 s.
+    EXPECT_NEAR(completed.back().completed, 2.5, 1e-6);
+}
+
+TEST_F(QueueingTest, MigrationPreservesArrivalStamps)
+{
+    captureCompletions();
+    // Server 1 is faster, so the request lands there — and server 1
+    // is the one removed by the shrink.
+    system.configure({{1e9, 1.0, 0}, {2e9, 1.0, 1}}, 0.0);
+    system.submit(makeRequest(0.25, 1e9)); // 0.5 s on server 1
+    events.runUntil(0.5);                  // half done
+    system.configure({{1e9, 1.0, 0}}, 0.5);
+    events.runUntil(10.0);
+    ASSERT_EQ(completed.size(), 1u);
+    EXPECT_NEAR(completed[0].arrival, 0.25, 1e-9);
+    // Remaining 5e8 insn now runs on the slower server: finishes at
+    // 0.5 + 0.5 = 1.0, latency 0.75 s (0.5 s undisturbed).
+    EXPECT_NEAR(completed[0].latency(), 0.75, 1e-9);
+}
+
+TEST_F(QueueingTest, StallPushesCompletionsBack)
+{
+    captureCompletions();
+    system.configure({{1e9, 1.0, 0}}, 0.0);
+    system.submit(makeRequest(0.0, 1e9)); // would finish at 1.0
+    events.runUntil(0.5);
+    system.stall(0.5, 0.51); // 10 ms migration pause
+    events.runUntil(10.0);
+    ASSERT_EQ(completed.size(), 1u);
+    EXPECT_NEAR(completed[0].latency(), 1.01, 1e-6);
+}
+
+TEST_F(QueueingTest, DropsWhenWaitingRoomFull)
+{
+    EventQueue q;
+    QueueingSystem bounded(q, /*max_queue=*/2);
+    bounded.configure({{1e9, 1.0, 0}}, 0.0);
+    bounded.submit(makeRequest(0.0, 1e9)); // in service
+    bounded.submit(makeRequest(0.0, 1e9)); // queued 1
+    bounded.submit(makeRequest(0.0, 1e9)); // queued 2
+    bounded.submit(makeRequest(0.0, 1e9)); // dropped
+    EXPECT_EQ(bounded.dropped(), 1u);
+    EXPECT_EQ(bounded.queueLength(), 2u);
+}
+
+TEST_F(QueueingTest, UsageAccountsBusyTimeAndInstructions)
+{
+    captureCompletions();
+    system.configure({{1e9, 1.0, 0}, {1e9, 1.0, 7}}, 0.0);
+    system.submit(makeRequest(0.0, 5e8)); // 0.5 s on fastest idle
+    events.runUntil(1.0);
+    auto usage = system.harvestUsage(1.0);
+    ASSERT_EQ(usage.size(), 2u);
+    const double total_busy = usage[0].busyTime + usage[1].busyTime;
+    const double total_insn =
+        usage[0].instructions + usage[1].instructions;
+    EXPECT_NEAR(total_busy, 0.5, 1e-9);
+    EXPECT_NEAR(total_insn, 5e8, 1.0);
+    // Core ids flow through for perf-counter attribution.
+    EXPECT_EQ(usage[1].core, 7u);
+}
+
+TEST_F(QueueingTest, HarvestSplitsBusyAcrossIntervals)
+{
+    captureCompletions();
+    system.configure({{1e9, 1.0, 0}}, 0.0);
+    system.submit(makeRequest(0.0, 2e9)); // 2 s request
+    events.runUntil(1.0);
+    auto first = system.harvestUsage(1.0);
+    EXPECT_NEAR(first[0].busyTime, 1.0, 1e-9);
+    events.runUntil(3.0);
+    auto second = system.harvestUsage(3.0);
+    EXPECT_NEAR(second[0].busyTime, 1.0, 1e-9);
+    const double insn = first[0].instructions + second[0].instructions;
+    EXPECT_NEAR(insn, 2e9, 1e3);
+}
+
+TEST_F(QueueingTest, ResetDrainsEverything)
+{
+    captureCompletions();
+    system.configure({{1e9, 1.0, 0}}, 0.0);
+    system.submit(makeRequest(0.0, 1e9));
+    system.submit(makeRequest(0.0, 1e9));
+    system.reset();
+    events.runUntil(10.0);
+    EXPECT_TRUE(completed.empty());
+    EXPECT_EQ(system.queueLength(), 0u);
+    EXPECT_EQ(system.inService(), 0u);
+}
+
+/**
+ * Property check against M/M/1 theory: with Poisson arrivals (rate
+ * lambda) and exponential service (rate mu) on one server, the mean
+ * sojourn time is 1/(mu - lambda).
+ */
+TEST_F(QueueingTest, MM1MeanSojournMatchesTheory)
+{
+    captureCompletions();
+    const double mu = 1000.0;     // services/sec
+    const double lambda = 700.0;  // arrivals/sec (rho = 0.7)
+    system.configure({{1e9, 1.0, 0}}, 0.0);
+
+    Rng rng(99);
+    Seconds t = 0.0;
+    const Seconds horizon = 400.0;
+    while (true) {
+        t += rng.exponential(lambda);
+        if (t >= horizon)
+            break;
+        const double service = rng.exponential(mu);
+        // Arrivals must enter the system at their arrival time.
+        const Request request = makeRequest(t, service * 1e9);
+        events.schedule(t, [this, request](Seconds) {
+            system.submit(request);
+        });
+    }
+    events.runUntil(horizon + 10.0);
+
+    ASSERT_GT(completed.size(), 100000u);
+    double sum = 0.0;
+    for (const auto &done : completed)
+        sum += done.latency();
+    const double mean = sum / completed.size();
+    const double theory = 1.0 / (mu - lambda);
+    EXPECT_NEAR(mean, theory, theory * 0.05);
+}
+
+} // namespace
+} // namespace hipster

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Property-based tests for the queueing system, parameterized over
+ * server topologies and offered loads: conservation of requests,
+ * latency lower bounds, FCFS start ordering, and work conservation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/random.hh"
+#include "sim/queueing.hh"
+
+namespace hipster
+{
+namespace
+{
+
+struct QueueScenario
+{
+    std::vector<double> serverRatesGips; ///< per-server rate in GIPS
+    double offeredRate;                  ///< arrivals per second
+    double meanDemandGi;                 ///< mean demand, Giga-insn
+    double cv;                           ///< demand variability
+
+    friend std::ostream &
+    operator<<(std::ostream &os, const QueueScenario &s)
+    {
+        os << s.serverRatesGips.size() << "srv_rate" << s.offeredRate
+           << "_cv" << s.cv;
+        return os;
+    }
+};
+
+class QueueingProperties
+    : public ::testing::TestWithParam<QueueScenario>
+{
+  protected:
+    struct Outcome
+    {
+        std::vector<CompletedRequest> completed;
+        std::uint64_t submitted = 0;
+        std::uint64_t dropped = 0;
+        std::size_t queued = 0;
+        std::size_t inService = 0;
+        double busyTime = 0.0;
+        double fastestRate = 0.0;
+    };
+
+    Outcome
+    runScenario(const QueueScenario &s, Seconds horizon)
+    {
+        EventQueue events;
+        QueueingSystem system(events, /*max_queue=*/5000);
+        Outcome out;
+
+        std::vector<ServerSpec> servers;
+        CoreId core = 0;
+        for (double gips : s.serverRatesGips) {
+            servers.push_back({gips * 1e9, 1.0, core++});
+            out.fastestRate = std::max(out.fastestRate, gips * 1e9);
+        }
+        system.configure(servers, 0.0);
+        system.setCompletionCallback(
+            [&](const CompletedRequest &done) {
+                out.completed.push_back(done);
+            });
+
+        Rng rng(1234);
+        Seconds t = 0.0;
+        while (true) {
+            t += rng.exponential(s.offeredRate);
+            if (t >= horizon)
+                break;
+            Request request;
+            request.arrival = t;
+            request.computeInsn =
+                s.meanDemandGi * 1e9 * rng.lognormalMeanCv(1.0, s.cv);
+            ++out.submitted;
+            events.schedule(t, [&system, request](Seconds) {
+                system.submit(request);
+            });
+        }
+        events.runUntil(horizon);
+        const auto usage = system.harvestUsage(horizon);
+        for (const auto &use : usage)
+            out.busyTime += use.busyTime;
+        out.dropped = system.dropped();
+        out.queued = system.queueLength();
+        out.inService = system.inService();
+        return out;
+    }
+};
+
+TEST_P(QueueingProperties, RequestsAreConserved)
+{
+    const auto out = runScenario(GetParam(), 50.0);
+    // Every submitted request is completed, queued, in service or
+    // dropped — none vanish, none duplicate.
+    EXPECT_EQ(out.submitted, out.completed.size() + out.queued +
+                                 out.inService + out.dropped);
+}
+
+TEST_P(QueueingProperties, LatencyNeverBelowFastestServiceTime)
+{
+    const auto out = runScenario(GetParam(), 50.0);
+    for (const auto &done : out.completed) {
+        ASSERT_GE(done.completed, done.arrival);
+        ASSERT_GE(done.started + 1e-12, done.arrival);
+        // A request cannot finish faster than the fastest server
+        // could possibly execute the *smallest* demand — trivially,
+        // latency is positive and at least service on the fastest
+        // server would take > 0.
+        ASSERT_GT(done.latency(), 0.0);
+    }
+}
+
+TEST_P(QueueingProperties, StartsFollowArrivalOrder)
+{
+    const auto out = runScenario(GetParam(), 50.0);
+    // FCFS: requests enter service in arrival order. Sort completions
+    // by arrival and check started times are non-decreasing.
+    auto sorted = out.completed;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const CompletedRequest &a, const CompletedRequest &b) {
+                  return a.arrival < b.arrival;
+              });
+    for (std::size_t i = 1; i < sorted.size(); ++i)
+        ASSERT_GE(sorted[i].started + 1e-9, sorted[i - 1].started);
+}
+
+TEST_P(QueueingProperties, BusyTimeBoundedByCapacity)
+{
+    const QueueScenario &s = GetParam();
+    const auto out = runScenario(s, 50.0);
+    // Total busy time cannot exceed servers x horizon.
+    EXPECT_LE(out.busyTime,
+              50.0 * s.serverRatesGips.size() + 1e-6);
+}
+
+TEST_P(QueueingProperties, UnderloadedSystemCompletesNearlyEverything)
+{
+    const QueueScenario &s = GetParam();
+    // Only meaningful when offered work fits comfortably.
+    double capacity_gips = 0.0;
+    for (double gips : s.serverRatesGips)
+        capacity_gips += gips;
+    const double offered_gips = s.offeredRate * s.meanDemandGi;
+    if (offered_gips > 0.6 * capacity_gips)
+        GTEST_SKIP() << "not an underload scenario";
+    const auto out = runScenario(s, 50.0);
+    EXPECT_EQ(out.dropped, 0u);
+    EXPECT_GT(out.completed.size(), out.submitted * 9 / 10);
+}
+
+TEST_P(QueueingProperties, OverloadSheddingKicksIn)
+{
+    QueueScenario s = GetParam();
+    // Push the same topology to 3x its capacity: the bounded waiting
+    // room must eventually drop and the queue must sit at its cap.
+    double capacity_gips = 0.0;
+    for (double gips : s.serverRatesGips)
+        capacity_gips += gips;
+    s.offeredRate = 3.0 * capacity_gips / s.meanDemandGi;
+    const auto out = runScenario(s, 50.0);
+    EXPECT_GT(out.dropped, 0u);
+    // The waiting room sits at (or within a departure of) its cap.
+    EXPECT_GE(out.queued, 4990u);
+    EXPECT_LE(out.queued, 5000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, QueueingProperties,
+    ::testing::Values(
+        // one fast server, moderate load, low variance
+        QueueScenario{{2.0}, 300.0, 0.004, 0.3},
+        // one slow server, high utilization, heavy tail
+        QueueScenario{{0.5}, 100.0, 0.004, 2.0},
+        // homogeneous pair
+        QueueScenario{{1.0, 1.0}, 400.0, 0.003, 1.0},
+        // heterogeneous big.LITTLE-like mix
+        QueueScenario{{2.1, 2.1, 0.4, 0.4, 0.4, 0.4}, 900.0, 0.004,
+                      1.5},
+        // many tiny servers
+        QueueScenario{{0.3, 0.3, 0.3, 0.3, 0.3, 0.3, 0.3, 0.3}, 350.0,
+                      0.004, 0.8}));
+
+/**
+ * Utilization law check: for an M/G/c queue below saturation, the
+ * measured busy fraction approximates offered work / capacity.
+ */
+class UtilizationLaw : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(UtilizationLaw, BusyFractionMatchesOfferedLoad)
+{
+    const double rho = GetParam();
+    EventQueue events;
+    QueueingSystem system(events);
+    const double rate_ips = 1e9;
+    system.configure({{rate_ips, 1.0, 0}, {rate_ips, 1.0, 1}}, 0.0);
+    system.setCompletionCallback([](const CompletedRequest &) {});
+
+    // Offered work = rho * 2 servers.
+    const double mean_demand = 2e6; // 2 ms at 1 GIPS
+    const double lambda = rho * 2.0 * rate_ips / mean_demand;
+    Rng rng(77);
+    Seconds t = 0.0;
+    const Seconds horizon = 200.0;
+    while ((t += rng.exponential(lambda)) < horizon) {
+        Request request;
+        request.arrival = t;
+        request.computeInsn = mean_demand * rng.lognormalMeanCv(1.0, 1.0);
+        events.schedule(t, [&system, request](Seconds) {
+            system.submit(request);
+        });
+    }
+    events.runUntil(horizon);
+    double busy = 0.0;
+    for (const auto &use : system.harvestUsage(horizon))
+        busy += use.busyTime;
+    const double measured = busy / (2.0 * horizon);
+    EXPECT_NEAR(measured, rho, 0.03) << "rho=" << rho;
+}
+
+INSTANTIATE_TEST_SUITE_P(LoadSweep, UtilizationLaw,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.85));
+
+} // namespace
+} // namespace hipster

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Tests for the batch workload catalog, execution and the
+ * contention model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "workloads/batch.hh"
+#include "workloads/contention.hh"
+
+namespace hipster
+{
+namespace
+{
+
+TEST(SpecCatalog, HasTheTwelveFigure11Programs)
+{
+    const auto &all = SpecCatalog::all();
+    ASSERT_EQ(all.size(), 12u);
+    EXPECT_EQ(all.front().name, "povray");
+    EXPECT_EQ(all.back().name, "zeusmp");
+}
+
+TEST(SpecCatalog, LookupByName)
+{
+    EXPECT_DOUBLE_EQ(SpecCatalog::byName("lbm").memIntensity, 0.90);
+    EXPECT_THROW(SpecCatalog::byName("gcc"), FatalError);
+}
+
+TEST(SpecCatalog, CalculixMostComputeBoundLbmMostMemoryBound)
+{
+    const auto &calculix = SpecCatalog::byName("calculix");
+    const auto &lbm = SpecCatalog::byName("lbm");
+    for (const auto &kernel : SpecCatalog::all()) {
+        EXPECT_LE(kernel.memIntensity, lbm.memIntensity);
+        EXPECT_LE(calculix.memIntensity, kernel.memIntensity);
+    }
+    EXPECT_GT(calculix.ipcBig, lbm.ipcBig);
+}
+
+TEST(BatchKernelIps, ComputeBoundScalesWithFrequency)
+{
+    BatchKernel kernel{"compute", 2.0, 1.0, 0.0};
+    const Ips full = BatchWorkload::kernelIps(kernel, CoreType::Big,
+                                              1.15, 1.15);
+    const Ips half = BatchWorkload::kernelIps(kernel, CoreType::Big,
+                                              0.575, 1.15);
+    EXPECT_NEAR(half, full / 2.0, 1.0);
+}
+
+TEST(BatchKernelIps, MemoryBoundInsensitiveToFrequency)
+{
+    BatchKernel kernel{"membound", 0.5, 0.4, 1.0};
+    const Ips full = BatchWorkload::kernelIps(kernel, CoreType::Big,
+                                              1.15, 1.15);
+    const Ips low = BatchWorkload::kernelIps(kernel, CoreType::Big,
+                                             0.60, 1.15);
+    EXPECT_NEAR(low, full, 1.0);
+}
+
+TEST(BatchKernelIps, SmallCoreUsesSmallIpc)
+{
+    BatchKernel kernel{"k", 2.0, 0.8, 0.0};
+    EXPECT_NEAR(BatchWorkload::kernelIps(kernel, CoreType::Small, 0.65,
+                                         0.65),
+                0.8 * 0.65e9, 1.0);
+}
+
+class BatchRun : public ::testing::Test
+{
+  protected:
+    BatchRun() : platform(Platform::junoR1()) {}
+    Platform platform;
+    ContentionModel contention;
+};
+
+TEST_F(BatchRun, RunIntervalRetiresInstructions)
+{
+    BatchWorkload batch({SpecCatalog::byName("povray")});
+    platform.applyConfig({2, 0, 1.15, 0.65}); // LC on big, 4 small spare
+    platform.perfCounters().beginInterval();
+    std::vector<ClusterPressure> pressure(2);
+    const auto stats = batch.runInterval(
+        platform, platform.spareCores(), contention, pressure, 1.0);
+    EXPECT_EQ(stats.jobsRunning, 4u);
+    EXPECT_GT(stats.smallIps, 0.0);
+    EXPECT_DOUBLE_EQ(stats.bigIps, 0.0);
+    EXPECT_GT(batch.totalRetired(), 0.0);
+}
+
+TEST_F(BatchRun, SuspendedBatchDoesNothing)
+{
+    BatchWorkload batch({SpecCatalog::byName("povray")});
+    batch.setSuspended(true);
+    platform.applyConfig({2, 0, 1.15, 0.65});
+    std::vector<ClusterPressure> pressure(2);
+    const auto stats = batch.runInterval(
+        platform, platform.spareCores(), contention, pressure, 1.0);
+    EXPECT_EQ(stats.jobsRunning, 0u);
+    EXPECT_DOUBLE_EQ(stats.totalIps(), 0.0);
+}
+
+TEST_F(BatchRun, BigCoresYieldMoreIpsForComputeBound)
+{
+    BatchWorkload batch({SpecCatalog::byName("calculix")});
+    std::vector<ClusterPressure> pressure(2);
+    // LC on small cluster: batch gets the big cores.
+    platform.applyConfig({0, 4, 1.15, 0.65});
+    platform.perfCounters().beginInterval();
+    const auto on_big = batch.runInterval(
+        platform, platform.spareCores(), contention, pressure, 1.0);
+    // LC on big cluster: batch gets the small cores.
+    platform.applyConfig({2, 0, 1.15, 0.65});
+    platform.perfCounters().beginInterval();
+    const auto on_small = batch.runInterval(
+        platform, platform.spareCores(), contention, pressure, 1.0);
+    // Per-core: 2 big cores beat 4 small cores for calculix
+    // (paper: big can be ~2.6x more powerful).
+    EXPECT_GT(on_big.bigIps / 2.0, on_small.smallIps / 4.0 * 2.0);
+}
+
+TEST_F(BatchRun, PressureOnAccumulatesPerCluster)
+{
+    BatchWorkload batch({SpecCatalog::byName("lbm")}); // mem 0.9
+    platform.applyConfig({2, 0, 1.15, 0.65});
+    const auto pressure =
+        batch.pressureOn(platform, platform.spareCores());
+    ASSERT_EQ(pressure.size(), 2u);
+    EXPECT_DOUBLE_EQ(pressure[0].batch, 0.0);       // big cluster
+    EXPECT_NEAR(pressure[1].batch, 4 * 0.9, 1e-9);  // small cluster
+}
+
+TEST_F(BatchRun, SuspendedExertsNoPressure)
+{
+    BatchWorkload batch({SpecCatalog::byName("lbm")});
+    batch.setSuspended(true);
+    platform.applyConfig({2, 0, 1.15, 0.65});
+    const auto pressure =
+        batch.pressureOn(platform, platform.spareCores());
+    EXPECT_DOUBLE_EQ(pressure[1].batch, 0.0);
+}
+
+TEST_F(BatchRun, MixRoundRobinsAcrossCores)
+{
+    BatchWorkload batch(
+        {SpecCatalog::byName("povray"), SpecCatalog::byName("lbm")});
+    platform.applyConfig({2, 0, 1.15, 0.65});
+    std::vector<ClusterPressure> pressure(2);
+    const auto stats = batch.runInterval(
+        platform, platform.spareCores(), contention, pressure, 1.0);
+    ASSERT_EQ(stats.perJob.size(), 4u);
+    // povray (compute) and lbm (memory) alternate; their retired
+    // instruction counts differ strongly.
+    EXPECT_GT(stats.perJob[0], stats.perJob[1] * 1.5);
+}
+
+TEST(BatchValidation, RejectsEmptyAndBadKernels)
+{
+    EXPECT_THROW(BatchWorkload({}), FatalError);
+    EXPECT_THROW(BatchWorkload({BatchKernel{"x", 0.0, 0.5, 0.1}}),
+                 FatalError);
+    EXPECT_THROW(BatchWorkload({BatchKernel{"x", 1.0, 0.5, 1.5}}),
+                 FatalError);
+}
+
+TEST(MaxClusterIps, MatchesTable2)
+{
+    Platform platform(Platform::junoR1());
+    EXPECT_NEAR(maxClusterIps(platform, CoreType::Big), 4260e6,
+                4260e6 * 0.02);
+    EXPECT_NEAR(maxClusterIps(platform, CoreType::Small), 3298e6,
+                3298e6 * 0.02);
+}
+
+// --- Contention model. ---
+
+TEST(Contention, NoPressureNoInflation)
+{
+    ContentionModel model;
+    std::vector<ClusterPressure> pressure(2);
+    EXPECT_DOUBLE_EQ(model.lcStallScale(pressure, 0, 0.4), 1.0);
+    EXPECT_DOUBLE_EQ(model.batchIpcFactor(pressure, 0, 0.5), 1.0);
+}
+
+TEST(Contention, SameClusterPressureDominatesCross)
+{
+    ContentionModel model;
+    std::vector<ClusterPressure> same(2), cross(2);
+    same[0].batch = 1.0;
+    cross[1].batch = 1.0;
+    EXPECT_GT(model.lcStallScale(same, 0, 0.4),
+              model.lcStallScale(cross, 0, 0.4));
+}
+
+TEST(Contention, LcInflationScalesWithSensitivity)
+{
+    ContentionModel model;
+    std::vector<ClusterPressure> pressure(2);
+    pressure[0].batch = 2.0;
+    const double sensitive = model.lcStallScale(pressure, 0, 0.5);
+    const double robust = model.lcStallScale(pressure, 0, 0.1);
+    EXPECT_GT(sensitive, robust);
+    EXPECT_GT(robust, 1.0);
+}
+
+TEST(Contention, BatchFactorExcludesSelf)
+{
+    ContentionModel model;
+    std::vector<ClusterPressure> pressure(2);
+    pressure[0].batch = 0.9; // only this job
+    // A job suffering only from itself sees no same-cluster pressure.
+    EXPECT_DOUBLE_EQ(model.batchIpcFactor(pressure, 0, 0.9), 1.0);
+}
+
+TEST(Contention, LcActivityDegradesBatch)
+{
+    ContentionModel model;
+    std::vector<ClusterPressure> pressure(2);
+    pressure[0].lc = 0.5;
+    EXPECT_LT(model.batchIpcFactor(pressure, 0, 0.0), 1.0);
+}
+
+TEST(Contention, FactorBoundedBelowOne)
+{
+    ContentionModel model;
+    std::vector<ClusterPressure> pressure(1);
+    pressure[0].batch = 100.0;
+    pressure[0].lc = 100.0;
+    const double factor = model.batchIpcFactor(pressure, 0, 0.0);
+    EXPECT_GT(factor, 0.0);
+    EXPECT_LT(factor, 0.2);
+}
+
+TEST(Contention, RejectsNegativeCoefficients)
+{
+    ContentionParams params;
+    params.lcSameCluster = -1.0;
+    EXPECT_THROW(ContentionModel{params}, FatalError);
+}
+
+} // namespace
+} // namespace hipster

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Calibration tests: the simulated Memcached and Web-Search must
+ * reproduce the paper's Table 1 / Figure 2 anchor behaviours on the
+ * simulated Juno R1:
+ *
+ *  - max load (100%) is served within the tail target by 2 big cores
+ *    at the highest DVFS, and violated slightly above it;
+ *  - the small cluster covers low load but saturates around 63%
+ *    (Memcached) / ~50% (Web-Search);
+ *  - mixed big+small configurations win the intermediate range on
+ *    power (the HetCMP argument of Section 2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "experiments/oracle.hh"
+#include "workloads/apps.hh"
+
+namespace hipster
+{
+namespace
+{
+
+class Calibration : public ::testing::Test
+{
+  protected:
+    ConfigMeasurement
+    probe(const LcWorkloadDef &def, const std::string &config,
+          Fraction load)
+    {
+        OracleOptions options;
+        options.warmup = 4.0;
+        options.measure = 16.0;
+        HetCmpOracle oracle(Platform::junoR1(), def, options);
+        return oracle.measure(load, parseCoreConfig(config, 0.65));
+    }
+};
+
+// --- Memcached (Table 1: 36 kRPS max, 10 ms p95). ---
+
+TEST_F(Calibration, MemcachedMaxLoadMetOnTwoBigCores)
+{
+    const auto m = probe(memcachedWorkload(), "2B-1.15", 1.0);
+    EXPECT_TRUE(m.feasible);
+    EXPECT_LT(m.tailLatency, 10.0);
+    // Throughput is reported in paper units.
+    EXPECT_NEAR(m.throughput, 36000.0, 36000.0 * 0.05);
+}
+
+TEST_F(Calibration, MemcachedOverloadViolatesOnTwoBigCores)
+{
+    const auto m = probe(memcachedWorkload(), "2B-1.15", 1.12);
+    EXPECT_FALSE(m.feasible);
+}
+
+TEST_F(Calibration, MemcachedSmallClusterCoversSixtyPercent)
+{
+    EXPECT_TRUE(probe(memcachedWorkload(), "4S-0.65", 0.55).feasible);
+}
+
+TEST_F(Calibration, MemcachedSmallClusterSaturatesAboveSeventyPercent)
+{
+    EXPECT_FALSE(probe(memcachedWorkload(), "4S-0.65", 0.72).feasible);
+}
+
+TEST_F(Calibration, MemcachedMixedConfigWinsIntermediateLoad)
+{
+    // At ~80% load the mixed 2B2S at low DVFS meets QoS with less
+    // power than 2B at max DVFS (Figure 2a's core argument).
+    const auto mixed = probe(memcachedWorkload(), "2B2S-0.60", 0.80);
+    const auto big = probe(memcachedWorkload(), "2B-1.15", 0.80);
+    ASSERT_TRUE(mixed.feasible);
+    ASSERT_TRUE(big.feasible);
+    EXPECT_LT(mixed.power, big.power);
+}
+
+TEST_F(Calibration, MemcachedSmallSavesPowerAtLowLoad)
+{
+    const auto small = probe(memcachedWorkload(), "2S-0.65", 0.20);
+    const auto big = probe(memcachedWorkload(), "2B-1.15", 0.20);
+    ASSERT_TRUE(small.feasible);
+    EXPECT_LT(small.power, big.power * 0.85);
+}
+
+// --- Web-Search (Table 1: 44 QPS max, 500 ms p90, 2 s think). ---
+
+TEST_F(Calibration, WebSearchMaxLoadMetOnTwoBigCores)
+{
+    const auto m = probe(webSearchWorkload(), "2B-1.15", 1.0);
+    EXPECT_TRUE(m.feasible);
+    EXPECT_LT(m.tailLatency, 500.0);
+    // Closed loop: achieved QPS within ~15% of the nominal 44.
+    EXPECT_NEAR(m.throughput, 44.0, 44.0 * 0.15);
+}
+
+TEST_F(Calibration, WebSearchSmallClusterCoversLowLoad)
+{
+    EXPECT_TRUE(probe(webSearchWorkload(), "4S-0.65", 0.33).feasible);
+}
+
+TEST_F(Calibration, WebSearchSmallClusterSaturatesNearHalfLoad)
+{
+    EXPECT_FALSE(probe(webSearchWorkload(), "4S-0.65", 0.60).feasible);
+}
+
+TEST_F(Calibration, WebSearchNeedsBigCoresEarlierThanMemcached)
+{
+    // The paper's Figure 2 contrast: Web-Search leaves the small
+    // cluster around 50% load, Memcached around 65%.
+    const auto ws = probe(webSearchWorkload(), "4S-0.65", 0.58);
+    const auto mc = probe(memcachedWorkload(), "4S-0.65", 0.58);
+    EXPECT_FALSE(ws.feasible);
+    EXPECT_TRUE(mc.feasible);
+}
+
+TEST_F(Calibration, WebSearchMixedConfigWinsIntermediateLoad)
+{
+    const auto mixed = probe(webSearchWorkload(), "2B2S-0.60", 0.69);
+    const auto big = probe(webSearchWorkload(), "2B-1.15", 0.69);
+    ASSERT_TRUE(mixed.feasible);
+    ASSERT_TRUE(big.feasible);
+    EXPECT_LT(mixed.power, big.power);
+}
+
+TEST_F(Calibration, WorkloadLookupByName)
+{
+    EXPECT_EQ(lcWorkloadByName("memcached").params.name, "memcached");
+    EXPECT_EQ(lcWorkloadByName("websearch").params.name, "websearch");
+    EXPECT_EQ(lcWorkloadByName("web-search").params.name, "websearch");
+    EXPECT_THROW(lcWorkloadByName("mysql"), FatalError);
+}
+
+TEST_F(Calibration, Table1TargetsEncoded)
+{
+    const auto mc = memcachedWorkload().params;
+    EXPECT_DOUBLE_EQ(mc.maxLoad, 36000.0);
+    EXPECT_DOUBLE_EQ(mc.qosTargetMs, 10.0);
+    EXPECT_DOUBLE_EQ(mc.tailPercentile, 95.0);
+    EXPECT_EQ(mc.mode, ArrivalMode::OpenLoop);
+
+    const auto ws = webSearchWorkload().params;
+    EXPECT_DOUBLE_EQ(ws.maxLoad, 44.0);
+    EXPECT_DOUBLE_EQ(ws.qosTargetMs, 500.0);
+    EXPECT_DOUBLE_EQ(ws.tailPercentile, 90.0);
+    EXPECT_EQ(ws.mode, ArrivalMode::ClosedLoop);
+    EXPECT_DOUBLE_EQ(ws.thinkTime, 2.0);
+}
+
+} // namespace
+} // namespace hipster

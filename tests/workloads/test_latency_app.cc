@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Tests for the latency-critical application simulator: open and
+ * closed loops, interval statistics, reconfiguration, drops, and
+ * determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "workloads/apps.hh"
+#include "workloads/latency_app.hh"
+
+namespace hipster
+{
+namespace
+{
+
+LcAppParams
+tinyOpenLoopApp()
+{
+    LcAppParams p;
+    p.name = "tiny";
+    p.maxLoad = 1000.0;
+    p.loadScale = 1.0;
+    p.tailPercentile = 95.0;
+    p.qosTargetMs = 10.0;
+    p.mode = ArrivalMode::OpenLoop;
+    p.demand.meanComputeInsn = 1e6; // 1 ms at 1e9 IPS
+    p.demand.cvCompute = 0.5;
+    p.demand.meanMemStall = 0.0;
+    p.demand.cvMemStall = 0.0;
+    p.demand.ipcBig = 1.0;
+    p.demand.ipcSmall = 0.5;
+    return p;
+}
+
+std::vector<ServerSpec>
+servers(std::initializer_list<Ips> rates)
+{
+    std::vector<ServerSpec> out;
+    CoreId core = 0;
+    for (Ips rate : rates)
+        out.push_back({rate, 1.0, core++});
+    return out;
+}
+
+TEST(LatencyApp, ThroughputTracksOfferedLoad)
+{
+    LatencyCriticalApp app(tinyOpenLoopApp(), 1);
+    app.configure(servers({1e9, 1e9}), 0.0);
+    LcIntervalStats stats;
+    double completed = 0.0;
+    for (int k = 0; k < 20; ++k) {
+        stats = app.runInterval(k, k + 1, 0.5);
+        completed += stats.completed;
+    }
+    // Offered 500 RPS for 20 s at utilization ~0.25: all served.
+    EXPECT_NEAR(completed / 20.0, 500.0, 25.0);
+    EXPECT_NEAR(stats.throughput, 500.0, 75.0);
+}
+
+TEST(LatencyApp, TailLatencyLowAtLowLoad)
+{
+    LatencyCriticalApp app(tinyOpenLoopApp(), 2);
+    app.configure(servers({1e9, 1e9}), 0.0);
+    const auto stats = app.runInterval(0.0, 5.0, 0.1);
+    // Nearly no queueing: tail close to the service tail (~2-3 ms).
+    EXPECT_GT(stats.tailLatency, 0.5);
+    EXPECT_LT(stats.tailLatency, 6.0);
+}
+
+TEST(LatencyApp, OverloadGrowsQueueAndTail)
+{
+    LatencyCriticalApp app(tinyOpenLoopApp(), 3);
+    app.configure(servers({1e9}), 0.0); // capacity ~1000 RPS
+    LcIntervalStats last;
+    for (int k = 0; k < 10; ++k)
+        last = app.runInterval(k, k + 1, 1.5); // 1500 RPS offered
+    EXPECT_GT(last.queueDepth, 100u);
+    EXPECT_GT(last.tailLatency, 100.0); // way past 10 ms target
+}
+
+TEST(LatencyApp, UtilizationScalesWithLoad)
+{
+    LatencyCriticalApp app(tinyOpenLoopApp(), 4);
+    app.configure(servers({1e9, 1e9}), 0.0);
+    const auto low = app.runInterval(0.0, 5.0, 0.2);
+    app.reset();
+    app.configure(servers({1e9, 1e9}), 0.0);
+    const auto high = app.runInterval(0.0, 5.0, 0.9);
+    EXPECT_NEAR(low.utilization, 0.1, 0.05);
+    EXPECT_NEAR(high.utilization, 0.45, 0.1);
+    EXPECT_LT(low.utilization, high.utilization);
+}
+
+TEST(LatencyApp, ZeroLoadProducesNothing)
+{
+    LatencyCriticalApp app(tinyOpenLoopApp(), 5);
+    app.configure(servers({1e9}), 0.0);
+    const auto stats = app.runInterval(0.0, 1.0, 0.0);
+    EXPECT_EQ(stats.completed, 0u);
+    EXPECT_DOUBLE_EQ(stats.tailLatency, 0.0);
+    EXPECT_DOUBLE_EQ(stats.utilization, 0.0);
+}
+
+TEST(LatencyApp, DeterministicForSameSeed)
+{
+    LatencyCriticalApp a(tinyOpenLoopApp(), 42), b(tinyOpenLoopApp(), 42);
+    a.configure(servers({1e9}), 0.0);
+    b.configure(servers({1e9}), 0.0);
+    for (int k = 0; k < 5; ++k) {
+        const auto sa = a.runInterval(k, k + 1, 0.6);
+        const auto sb = b.runInterval(k, k + 1, 0.6);
+        EXPECT_EQ(sa.completed, sb.completed);
+        EXPECT_DOUBLE_EQ(sa.tailLatency, sb.tailLatency);
+    }
+}
+
+TEST(LatencyApp, DifferentSeedsDiffer)
+{
+    LatencyCriticalApp a(tinyOpenLoopApp(), 1), b(tinyOpenLoopApp(), 2);
+    a.configure(servers({1e9}), 0.0);
+    b.configure(servers({1e9}), 0.0);
+    const auto sa = a.runInterval(0, 1, 0.6);
+    const auto sb = b.runInterval(0, 1, 0.6);
+    EXPECT_NE(sa.completed, sb.completed);
+}
+
+TEST(LatencyApp, ReconfigureMidRunKeepsServing)
+{
+    LatencyCriticalApp app(tinyOpenLoopApp(), 6);
+    app.configure(servers({1e9, 1e9}), 0.0);
+    app.runInterval(0, 1, 0.8);
+    app.configure(servers({5e8}), 1.0, /*stall=*/2e-3);
+    const auto stats = app.runInterval(1, 2, 0.3);
+    EXPECT_GT(stats.completed, 0u);
+    ASSERT_EQ(stats.usage.size(), 1u);
+}
+
+TEST(LatencyApp, LoadScaleDescalesThroughput)
+{
+    LcAppParams p = tinyOpenLoopApp();
+    p.loadScale = 0.1; // simulate 100 RPS at full load
+    LatencyCriticalApp app(p, 7);
+    app.configure(servers({1e9}), 0.0);
+    double completed = 0.0;
+    LcIntervalStats stats;
+    for (int k = 0; k < 20; ++k) {
+        stats = app.runInterval(k, k + 1, 0.5);
+        completed += stats.completed;
+    }
+    // Internally ~50 arrivals/s; reported throughput ~500 RPS.
+    EXPECT_NEAR(completed / 20.0, 50.0, 10.0);
+    EXPECT_NEAR(stats.throughput, 500.0, 120.0);
+    EXPECT_NEAR(stats.offeredRate, 500.0, 1e-9);
+}
+
+TEST(LatencyApp, ClosedLoopThroughputSaturates)
+{
+    LcAppParams p = tinyOpenLoopApp();
+    p.mode = ArrivalMode::ClosedLoop;
+    p.thinkTime = 0.1;
+    p.nominalResponse = 0.001;
+    p.maxLoad = 100.0; // ~10.1 users at full load
+    LatencyCriticalApp app(p, 8);
+    // One slow server: capacity 100/s for 1 ms requests.
+    app.configure(servers({1e9}), 0.0);
+    LcIntervalStats stats;
+    for (int k = 0; k < 10; ++k)
+        stats = app.runInterval(k, k + 1, 1.0);
+    // Closed loop self-limits near users/(think+service).
+    EXPECT_GT(stats.throughput, 60.0);
+    EXPECT_LT(stats.throughput, 120.0);
+    EXPECT_GT(app.activeUsers(), 0u);
+}
+
+TEST(LatencyApp, ClosedLoopUserPopulationFollowsLoad)
+{
+    LcAppParams p = tinyOpenLoopApp();
+    p.mode = ArrivalMode::ClosedLoop;
+    p.thinkTime = 1.0;
+    p.nominalResponse = 0.0;
+    p.maxLoad = 50.0;
+    LatencyCriticalApp app(p, 9);
+    app.configure(servers({1e9}), 0.0);
+    app.runInterval(0, 1, 1.0);
+    EXPECT_EQ(app.activeUsers(), 50u);
+    app.runInterval(1, 2, 0.5);
+    EXPECT_EQ(app.activeUsers(), 25u);
+    app.runInterval(2, 3, 0.0);
+    EXPECT_EQ(app.activeUsers(), 0u);
+}
+
+TEST(LatencyApp, ClosedLoopShrinkDoesNotResurrectUsers)
+{
+    LcAppParams p = tinyOpenLoopApp();
+    p.mode = ArrivalMode::ClosedLoop;
+    p.thinkTime = 0.05;
+    p.nominalResponse = 0.0;
+    p.maxLoad = 100.0;
+    LatencyCriticalApp app(p, 10);
+    app.configure(servers({1e9}), 0.0);
+    app.runInterval(0, 1, 1.0);
+    // Drop to zero users: no completions should trickle long after.
+    app.runInterval(1, 2, 0.0);
+    const auto stats = app.runInterval(2, 3, 0.0);
+    EXPECT_EQ(stats.completed, 0u);
+}
+
+TEST(LatencyApp, DropsCountedUnderExtremeOverload)
+{
+    LcAppParams p = tinyOpenLoopApp();
+    p.maxQueue = 50;
+    LatencyCriticalApp app(p, 11);
+    app.configure(servers({1e8}), 0.0); // 10x too slow
+    LcIntervalStats stats;
+    std::uint64_t drops = 0;
+    for (int k = 0; k < 5; ++k) {
+        stats = app.runInterval(k, k + 1, 1.0);
+        drops += stats.dropped;
+    }
+    EXPECT_GT(drops, 0u);
+}
+
+TEST(LatencyApp, RunBeforeConfigurePanics)
+{
+    LatencyCriticalApp app(tinyOpenLoopApp(), 12);
+    EXPECT_DEATH(app.runInterval(0, 1, 0.5), "configure");
+}
+
+TEST(LatencyApp, RejectsInvalidParams)
+{
+    LcAppParams p = tinyOpenLoopApp();
+    p.maxLoad = 0.0;
+    EXPECT_THROW(LatencyCriticalApp(p, 1), FatalError);
+
+    p = tinyOpenLoopApp();
+    p.loadScale = 0.0;
+    EXPECT_THROW(LatencyCriticalApp(p, 1), FatalError);
+
+    p = tinyOpenLoopApp();
+    p.qosTargetMs = -5.0;
+    EXPECT_THROW(LatencyCriticalApp(p, 1), FatalError);
+
+    p = tinyOpenLoopApp();
+    p.tailPercentile = 100.0;
+    EXPECT_THROW(LatencyCriticalApp(p, 1), FatalError);
+}
+
+TEST(LatencyApp, ConfigureRejectsEmptyServerSet)
+{
+    LatencyCriticalApp app(tinyOpenLoopApp(), 13);
+    EXPECT_THROW(app.configure({}, 0.0), FatalError);
+}
+
+} // namespace
+} // namespace hipster

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for the service-demand model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "workloads/service_model.hh"
+
+namespace hipster
+{
+namespace
+{
+
+ServiceDemandParams
+baseParams()
+{
+    ServiceDemandParams p;
+    p.meanComputeInsn = 1e6;
+    p.cvCompute = 0.5;
+    p.meanMemStall = 1e-3;
+    p.cvMemStall = 0.5;
+    p.ipcBig = 1.0;
+    p.ipcSmall = 0.5;
+    return p;
+}
+
+TEST(ServiceModel, SampleMeansMatchParameters)
+{
+    ServiceModel model(baseParams());
+    Rng rng(1);
+    double insn = 0.0, stall = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const Request r = model.sample(rng, 0.0);
+        insn += r.computeInsn;
+        stall += r.memStall;
+    }
+    EXPECT_NEAR(insn / n, 1e6, 1e6 * 0.02);
+    EXPECT_NEAR(stall / n, 1e-3, 1e-3 * 0.02);
+}
+
+TEST(ServiceModel, ZipfMultiplierPreservesMeanDemand)
+{
+    ServiceDemandParams p = baseParams();
+    p.zipfRanks = 1000;
+    p.zipfAlpha = 0.9;
+    p.zipfExponent = 0.3;
+    ServiceModel model(p);
+    Rng rng(2);
+    double insn = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        insn += model.sample(rng, 0.0).computeInsn;
+    // The multiplier is normalized to unit mean.
+    EXPECT_NEAR(insn / n, 1e6, 1e6 * 0.03);
+}
+
+TEST(ServiceModel, ZipfAddsVariance)
+{
+    ServiceDemandParams p = baseParams();
+    p.cvCompute = 0.0;
+    ServiceModel plain(p);
+    p.zipfRanks = 1000;
+    p.zipfExponent = 0.5;
+    ServiceModel zipfy(p);
+    Rng rng1(3), rng2(3);
+    double lo = 1e18, hi = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double v = zipfy.sample(rng2, 0.0).computeInsn;
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+        // Without Zipf and zero CV, demand is deterministic.
+        EXPECT_DOUBLE_EQ(plain.sample(rng1, 0.0).computeInsn, 1e6);
+    }
+    EXPECT_LT(lo, hi * 0.5); // spread from popularity skew
+}
+
+TEST(ServiceModel, InstructionRateScalesWithTypeAndFrequency)
+{
+    ServiceModel model(baseParams());
+    EXPECT_DOUBLE_EQ(model.instructionRate(CoreType::Big, 1.0), 1e9);
+    EXPECT_DOUBLE_EQ(model.instructionRate(CoreType::Big, 2.0), 2e9);
+    EXPECT_DOUBLE_EQ(model.instructionRate(CoreType::Small, 1.0), 5e8);
+}
+
+TEST(ServiceModel, MeanServiceTimeComposesComputeAndStall)
+{
+    ServiceModel model(baseParams());
+    // 1e6 insn at 1e9 IPS = 1 ms, plus 1 ms stall = 2 ms.
+    EXPECT_NEAR(model.meanServiceTime(CoreType::Big, 1.0), 2e-3, 1e-12);
+    // Small core at the same frequency: 2 ms compute + 1 ms stall.
+    EXPECT_NEAR(model.meanServiceTime(CoreType::Small, 1.0), 3e-3, 1e-12);
+}
+
+TEST(ServiceModel, StallPortionDoesNotScaleWithFrequency)
+{
+    ServiceModel model(baseParams());
+    const Seconds fast = model.meanServiceTime(CoreType::Big, 2.0);
+    const Seconds slow = model.meanServiceTime(CoreType::Big, 1.0);
+    // Compute halves (1 ms -> 0.5 ms); stall stays at 1 ms.
+    EXPECT_NEAR(slow - fast, 0.5e-3, 1e-12);
+}
+
+TEST(ServiceModel, UserIdFlowsThrough)
+{
+    ServiceModel model(baseParams());
+    Rng rng(4);
+    EXPECT_EQ(model.sample(rng, 1.0, 77).userId, 77u);
+    EXPECT_DOUBLE_EQ(model.sample(rng, 2.5, 0).arrival, 2.5);
+}
+
+TEST(ServiceModel, RejectsInvalidParams)
+{
+    ServiceDemandParams p = baseParams();
+    p.meanComputeInsn = 0.0;
+    p.meanMemStall = 0.0;
+    EXPECT_THROW(ServiceModel{p}, FatalError);
+
+    p = baseParams();
+    p.ipcBig = 0.0;
+    EXPECT_THROW(ServiceModel{p}, FatalError);
+
+    p = baseParams();
+    p.meanComputeInsn = -1.0;
+    EXPECT_THROW(ServiceModel{p}, FatalError);
+}
+
+} // namespace
+} // namespace hipster

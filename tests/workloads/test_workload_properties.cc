@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Parameterized property tests over the workload models: tail
+ * latency must be monotone in offered load for any fixed
+ * configuration, monotone (non-increasing) in capacity for any fixed
+ * load, and the batch kernels must respect the compute/memory-bound
+ * frequency-scaling contract across the whole SPEC catalog.
+ */
+
+#include <gtest/gtest.h>
+
+#include "experiments/oracle.hh"
+#include "workloads/apps.hh"
+#include "workloads/batch.hh"
+
+namespace hipster
+{
+namespace
+{
+
+/** (workload, config) pairs swept for monotonicity. */
+struct MonotoneCase
+{
+    const char *workload;
+    const char *config;
+
+    friend std::ostream &
+    operator<<(std::ostream &os, const MonotoneCase &c)
+    {
+        return os << c.workload << "_" << c.config;
+    }
+};
+
+class TailMonotonicity : public ::testing::TestWithParam<MonotoneCase>
+{
+  protected:
+    Millis
+    tailAt(Fraction load) const
+    {
+        OracleOptions options;
+        options.warmup = 4.0;
+        options.measure = 12.0;
+        HetCmpOracle oracle(Platform::junoR1(),
+                            lcWorkloadByName(GetParam().workload),
+                            options);
+        return oracle
+            .measure(load, parseCoreConfig(GetParam().config, 0.65))
+            .tailLatency;
+    }
+};
+
+TEST_P(TailMonotonicity, TailRisesWithLoad)
+{
+    // Sample a coarse load staircase; the tail at the top must
+    // clearly exceed the tail at the bottom (intermediate noise is
+    // tolerated, the overall trend must hold).
+    const Millis low = tailAt(0.15);
+    const Millis mid = tailAt(0.50);
+    const Millis high = tailAt(0.85);
+    EXPECT_GT(high, low) << "tail must grow from 15% to 85% load";
+    EXPECT_GT(mid + high, 2.0 * low);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, TailMonotonicity,
+    ::testing::Values(MonotoneCase{"memcached", "2B-1.15"},
+                      MonotoneCase{"memcached", "2B2S-0.60"},
+                      MonotoneCase{"memcached", "2B-0.60"},
+                      MonotoneCase{"websearch", "2B-1.15"},
+                      MonotoneCase{"websearch", "2B2S-0.90"}),
+    [](const auto &info) {
+        std::string name = std::string(info.param.workload) + "_" +
+                           info.param.config;
+        for (char &c : name) {
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });
+
+/** Capacity monotonicity: bigger configs never raise the tail much. */
+class CapacityMonotonicity
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(CapacityMonotonicity, MoreCapacityNeverMuchWorse)
+{
+    const char *workload = GetParam();
+    OracleOptions options;
+    options.warmup = 4.0;
+    options.measure = 12.0;
+    HetCmpOracle oracle(Platform::junoR1(), lcWorkloadByName(workload),
+                        options);
+    // A strict capability chain at a mid load.
+    const Fraction load = 0.45;
+    const char *chain[] = {"2S-0.65", "4S-0.65", "2B-0.90", "2B2S-1.15"};
+    Millis prev = 1e18;
+    for (const char *label : chain) {
+        const Millis tail =
+            oracle.measure(load, parseCoreConfig(label, 0.65))
+                .tailLatency;
+        // Allow 25% noise headroom, but the staircase must descend.
+        EXPECT_LT(tail, prev * 1.25) << label;
+        prev = std::min(prev, tail);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, CapacityMonotonicity,
+                         ::testing::Values("memcached", "websearch"));
+
+/** Batch kernel contract across the whole SPEC catalog. */
+class SpecKernelContract : public ::testing::TestWithParam<BatchKernel>
+{
+};
+
+TEST_P(SpecKernelContract, IpsPositiveEverywhere)
+{
+    const BatchKernel &kernel = GetParam();
+    for (GHz freq : {0.60, 0.90, 1.15}) {
+        EXPECT_GT(BatchWorkload::kernelIps(kernel, CoreType::Big, freq,
+                                           1.15),
+                  0.0);
+    }
+    EXPECT_GT(BatchWorkload::kernelIps(kernel, CoreType::Small, 0.65,
+                                       0.65),
+              0.0);
+}
+
+TEST_P(SpecKernelContract, FrequencySensitivityMatchesMemIntensity)
+{
+    const BatchKernel &kernel = GetParam();
+    const Ips full =
+        BatchWorkload::kernelIps(kernel, CoreType::Big, 1.15, 1.15);
+    const Ips low =
+        BatchWorkload::kernelIps(kernel, CoreType::Big, 0.60, 1.15);
+    // Expected speed ratio from the blend model.
+    const double expected =
+        (kernel.memIntensity * 1.15 +
+         (1.0 - kernel.memIntensity) * 0.60) /
+        1.15;
+    EXPECT_NEAR(low / full, expected, 1e-9) << kernel.name;
+    // Memory-bound kernels lose less from the downclock.
+    if (kernel.memIntensity > 0.8)
+        EXPECT_GT(low / full, 0.9);
+    if (kernel.memIntensity < 0.1)
+        EXPECT_LT(low / full, 0.6);
+}
+
+TEST_P(SpecKernelContract, BigCoreBeatsSmallCore)
+{
+    const BatchKernel &kernel = GetParam();
+    const Ips big =
+        BatchWorkload::kernelIps(kernel, CoreType::Big, 1.15, 1.15);
+    const Ips small =
+        BatchWorkload::kernelIps(kernel, CoreType::Small, 0.65, 0.65);
+    EXPECT_GT(big, small) << kernel.name;
+}
+
+TEST_P(SpecKernelContract, ContentionOnlyEverSlowsDown)
+{
+    const BatchKernel &kernel = GetParam();
+    ContentionModel contention;
+    std::vector<ClusterPressure> pressure(2);
+    pressure[0].batch = 2.0;
+    pressure[0].lc = 0.5;
+    pressure[1].batch = 1.0;
+    for (ClusterId cluster : {0u, 1u}) {
+        const double factor = contention.batchIpcFactor(
+            pressure, cluster, kernel.memIntensity);
+        EXPECT_GT(factor, 0.0) << kernel.name;
+        EXPECT_LE(factor, 1.0) << kernel.name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Catalog, SpecKernelContract,
+                         ::testing::ValuesIn(SpecCatalog::all()),
+                         [](const auto &info) {
+                             return info.param.name;
+                         });
+
+/** Load-scale invariance: the reported throughput of a scaled-down
+ * replica matches the unscaled one within noise. */
+class LoadScaleInvariance : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(LoadScaleInvariance, ReportedThroughputIndependentOfScale)
+{
+    const double scale = GetParam();
+    LcAppParams params;
+    params.name = "scaletest";
+    params.maxLoad = 2000.0;
+    params.loadScale = scale;
+    params.qosTargetMs = 50.0;
+    params.tailPercentile = 95.0;
+    params.demand.meanComputeInsn = 1e6;
+    params.demand.cvCompute = 0.5;
+    params.demand.ipcBig = 1.0;
+    params.demand.ipcSmall = 0.5;
+
+    LatencyCriticalApp app(params, 3);
+    app.configure({{2e9, 1.0, 0}, {2e9, 1.0, 1}}, 0.0);
+    double completed_rate = 0.0;
+    const int intervals = 30;
+    for (int k = 0; k < intervals; ++k) {
+        const auto stats = app.runInterval(k, k + 1, 0.5);
+        completed_rate += stats.throughput;
+    }
+    completed_rate /= intervals;
+    // Offered (reported) is 1000 RPS regardless of the scale.
+    EXPECT_NEAR(completed_rate, 1000.0, 1000.0 * 0.10)
+        << "scale=" << scale;
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, LoadScaleInvariance,
+                         ::testing::Values(1.0, 0.5, 0.2, 0.1));
+
+} // namespace
+} // namespace hipster

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * hipster_sim — command-line driver for the Hipster simulator.
+ *
+ * Runs any built-in policy against any built-in workload and load
+ * trace on the simulated Juno R1, printing per-interval series
+ * (optional) and the run summary.
+ *
+ *   hipster_sim --workload memcached --policy hipster-in
+ *   hipster_sim --workload websearch --policy octopus-man \
+ *               --trace ramp --duration 400 --csv out.csv
+ *   hipster_sim --workload websearch --policy hipster-co \
+ *               --batch calculix,lbm --series
+ *
+ * Options:
+ *   --workload memcached|websearch      (default memcached)
+ *   --policy   static-big|static-small|heuristic|octopus-man|
+ *              hipster-in|hipster-co    (default hipster-in)
+ *   --trace    diurnal|ramp|constant:<frac>|spike (default diurnal)
+ *   --duration <seconds>                (default: workload diurnal)
+ *   --seed     <n>                      (default 1)
+ *   --bucket   <percent>                (Hipster bucket width)
+ *   --learning <seconds>                (Hipster learning phase)
+ *   --batch    <prog>[,<prog>...]       (collocate batch kernels)
+ *   --series                            (print every interval)
+ *   --csv      <path>                   (dump the interval series)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/csv.hh"
+#include "common/table.hh"
+#include "experiments/runner.hh"
+#include "experiments/scenario.hh"
+#include "workloads/batch.hh"
+
+namespace
+{
+
+using namespace hipster;
+
+struct CliOptions
+{
+    std::string workload = "memcached";
+    std::string policy = "hipster-in";
+    std::string trace = "diurnal";
+    Seconds duration = 0.0;
+    std::uint64_t seed = 1;
+    double bucket = 0.0;
+    Seconds learning = -1.0;
+    std::vector<std::string> batch;
+    bool series = false;
+    std::string csvPath;
+};
+
+[[noreturn]] void
+usage(const char *argv0, int code)
+{
+    std::printf(
+        "usage: %s [--workload memcached|websearch]\n"
+        "          [--policy static-big|static-small|heuristic|"
+        "octopus-man|hipster-in|hipster-co]\n"
+        "          [--trace diurnal|ramp|constant:<frac>|spike]\n"
+        "          [--duration <s>] [--seed <n>] [--bucket <pct>]\n"
+        "          [--learning <s>] [--batch p1,p2,...] [--series]\n"
+        "          [--csv <path>]\n",
+        argv0);
+    std::exit(code);
+}
+
+CliOptions
+parse(int argc, char **argv)
+{
+    CliOptions options;
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage(argv[0], 1);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--workload") {
+            options.workload = need(i);
+        } else if (arg == "--policy") {
+            options.policy = need(i);
+        } else if (arg == "--trace") {
+            options.trace = need(i);
+        } else if (arg == "--duration") {
+            options.duration = std::atof(need(i));
+        } else if (arg == "--seed") {
+            options.seed = std::strtoull(need(i), nullptr, 10);
+        } else if (arg == "--bucket") {
+            options.bucket = std::atof(need(i));
+        } else if (arg == "--learning") {
+            options.learning = std::atof(need(i));
+        } else if (arg == "--batch") {
+            std::string list = need(i);
+            std::size_t pos = 0;
+            while (pos != std::string::npos) {
+                const std::size_t comma = list.find(',', pos);
+                options.batch.push_back(
+                    list.substr(pos, comma == std::string::npos
+                                         ? std::string::npos
+                                         : comma - pos));
+                pos = comma == std::string::npos ? comma : comma + 1;
+            }
+        } else if (arg == "--series") {
+            options.series = true;
+        } else if (arg == "--csv") {
+            options.csvPath = need(i);
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0], 0);
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            usage(argv[0], 1);
+        }
+    }
+    return options;
+}
+
+std::shared_ptr<const LoadTrace>
+makeTrace(const CliOptions &options, Seconds duration)
+{
+    if (options.trace == "diurnal")
+        return diurnalTrace(duration, options.seed + 100);
+    if (options.trace == "ramp")
+        return rampTrace50to100();
+    if (options.trace == "spike") {
+        auto day =
+            std::make_shared<DiurnalTrace>(duration, 0.05, 0.80);
+        return std::make_shared<SpikeTrace>(day, duration * 0.7,
+                                            duration * 0.05, 0.40);
+    }
+    if (options.trace.rfind("constant:", 0) == 0) {
+        const double level =
+            std::atof(options.trace.c_str() + std::strlen("constant:"));
+        return std::make_shared<ConstantTrace>(level);
+    }
+    fatal("unknown trace '", options.trace, "'");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliOptions options = parse(argc, argv);
+    try {
+        const Seconds duration =
+            options.duration > 0.0 ? options.duration
+                                   : diurnalDurationFor(options.workload);
+        const auto trace = makeTrace(options, duration);
+
+        ExperimentRunner runner(Platform::junoR1(),
+                                lcWorkloadByName(options.workload),
+                                trace, options.seed);
+        if (!options.batch.empty()) {
+            std::vector<BatchKernel> mix;
+            for (const auto &name : options.batch)
+                mix.push_back(SpecCatalog::byName(name));
+            runner.setBatch(std::make_shared<BatchWorkload>(mix));
+        }
+
+        HipsterParams params = tunedHipsterParams(options.workload);
+        if (options.bucket > 0.0)
+            params.bucketPercent = options.bucket;
+        if (options.learning >= 0.0)
+            params.learningPhase = options.learning;
+        if (options.policy == "hipster-co")
+            params.variant = PolicyVariant::Collocated;
+        auto policy =
+            makePolicy(options.policy, runner.platform(), params);
+
+        std::unique_ptr<CsvWriter> csv;
+        if (!options.csvPath.empty()) {
+            csv = std::make_unique<CsvWriter>(options.csvPath);
+            csv->header({"time_s", "load_pct", "tail_ms", "target_ms",
+                         "throughput", "power_w", "config",
+                         "batch_gips"});
+        }
+        if (options.series) {
+            std::printf("%8s %7s %10s %10s %10s %8s %-10s\n", "t(s)",
+                        "load%", "tail(ms)", "thr", "power(W)",
+                        "batchG", "config");
+        }
+
+        const ExperimentResult result = runner.run(
+            *policy, duration, [&](const IntervalMetrics &m) {
+                if (csv) {
+                    csv->add(m.begin)
+                        .add(m.offeredLoad * 100.0)
+                        .add(m.tailLatency)
+                        .add(m.qosTarget)
+                        .add(m.throughput)
+                        .add(m.power)
+                        .add(m.config.label())
+                        .add((m.batchBigIps + m.batchSmallIps) / 1e9)
+                        .endRow();
+                }
+                if (options.series) {
+                    std::printf(
+                        "%8.0f %6.1f%% %10.2f %10.0f %10.2f %8.2f "
+                        "%-10s%s\n",
+                        m.begin, m.offeredLoad * 100.0, m.tailLatency,
+                        m.throughput, m.power,
+                        (m.batchBigIps + m.batchSmallIps) / 1e9,
+                        m.config.label().c_str(),
+                        m.qosViolated() ? "  <-- QoS violation" : "");
+                }
+            });
+
+        const RunSummary &s = result.summary;
+        std::printf("\n=== %s / %s / %s, %.0f s, seed %llu ===\n",
+                    result.workloadName.c_str(),
+                    result.policyName.c_str(), options.trace.c_str(),
+                    duration,
+                    static_cast<unsigned long long>(options.seed));
+        std::printf("QoS guarantee:   %.1f%%\n", s.qosGuarantee * 100.0);
+        std::printf("QoS tardiness:   %.2f\n", s.qosTardiness);
+        std::printf("energy:          %.0f J (mean power %.2f W)\n",
+                    s.energy, s.meanPower);
+        std::printf("mean throughput: %.0f\n", s.meanThroughput);
+        if (!options.batch.empty())
+            std::printf("mean batch IPS:  %.2f GIPS\n",
+                        s.meanBatchIps / 1e9);
+        std::printf("migrations:      %llu, DVFS transitions: %llu\n",
+                    static_cast<unsigned long long>(result.migrations),
+                    static_cast<unsigned long long>(
+                        result.dvfsTransitions));
+        std::printf("dropped:         %llu\n",
+                    static_cast<unsigned long long>(s.dropped));
+        return 0;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}
