@@ -5,9 +5,9 @@
  * spare cores — clocked up — to the batch work.
  *
  * Usage:
- *   ./build/examples/colocation_demo [batch-program ...]
+ *   ./build/examples/example_colocation_demo [batch-program ...]
  * e.g.
- *   ./build/examples/colocation_demo calculix lbm povray
+ *   ./build/examples/example_colocation_demo calculix lbm povray
  */
 
 #include <cstdio>

@@ -8,7 +8,7 @@
  * run HipsterIn on it.
  *
  * Usage:
- *   ./build/examples/custom_platform
+ *   ./build/examples/example_custom_platform
  */
 
 #include <cstdio>

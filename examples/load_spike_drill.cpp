@@ -6,7 +6,7 @@
  * manager reconfigures through them, interval by interval.
  *
  * Usage:
- *   ./build/examples/load_spike_drill
+ *   ./build/examples/example_load_spike_drill
  */
 
 #include <cstdio>

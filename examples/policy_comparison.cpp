@@ -5,7 +5,7 @@
  * on a chosen workload and prints QoS/energy side by side.
  *
  * Usage:
- *   ./build/examples/policy_comparison [memcached|websearch] [seconds]
+ *   ./build/examples/example_policy_comparison [memcached|websearch] [seconds]
  */
 
 #include <cstdio>

@@ -9,7 +9,7 @@
  *
  * Build & run:
  *   cmake -B build -G Ninja && cmake --build build
- *   ./build/examples/quickstart
+ *   ./build/examples/example_quickstart
  */
 
 #include <cstdio>
@@ -68,7 +68,7 @@ main()
     std::printf("core migrations: %llu, DVFS transitions: %llu\n",
                 static_cast<unsigned long long>(result.migrations),
                 static_cast<unsigned long long>(result.dvfsTransitions));
-    std::printf("\nTry: ./build/examples/policy_comparison for the "
+    std::printf("\nTry: ./build/examples/example_policy_comparison for the "
                 "full baseline lineup.\n");
     return 0;
 }

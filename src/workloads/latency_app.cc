@@ -156,15 +156,20 @@ LatencyCriticalApp::seedOpenLoopArrivals(Seconds t0, Seconds t1,
     const Seconds first = t0 + arrivalRng_.exponential(sim_rate);
     if (first >= t1)
         return;
-    auto arrive = std::make_shared<std::function<void(Seconds)>>();
-    *arrive = [this, sim_rate, t1, arrive](Seconds now) {
+    scheduleOpenLoopArrival(first, t1, sim_rate);
+}
+
+void
+LatencyCriticalApp::scheduleOpenLoopArrival(Seconds when, Seconds t1,
+                                            Rate sim_rate)
+{
+    events_.schedule(when, [this, t1, sim_rate](Seconds now) {
         Request request = model_.sample(demandRng_, now);
         system_.submit(request);
         const Seconds next = now + arrivalRng_.exponential(sim_rate);
         if (next < t1)
-            events_.schedule(next, *arrive);
-    };
-    events_.schedule(first, *arrive);
+            scheduleOpenLoopArrival(next, t1, sim_rate);
+    });
 }
 
 void

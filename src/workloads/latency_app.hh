@@ -165,6 +165,7 @@ class LatencyCriticalApp
 
   private:
     void seedOpenLoopArrivals(Seconds t0, Seconds t1, Rate sim_rate);
+    void scheduleOpenLoopArrival(Seconds when, Seconds t1, Rate sim_rate);
     void adjustUserPopulation(std::size_t target, Seconds now);
     void scheduleUserThink(std::size_t user, Seconds now);
 

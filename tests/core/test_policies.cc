@@ -79,10 +79,12 @@ TEST_F(PolicyTest, OctopusManNeverMixesAndNeverScalesDvfs)
     Decision d = policy.initialDecision();
     for (int i = 0; i < 50; ++i) {
         EXPECT_TRUE(d.config.singleCoreType()) << d.config.label();
-        if (d.config.nBig > 0)
+        if (d.config.nBig > 0) {
             EXPECT_DOUBLE_EQ(d.config.bigFreq, 1.15);
-        if (d.config.nSmall > 0)
+        }
+        if (d.config.nSmall > 0) {
             EXPECT_DOUBLE_EQ(d.config.smallFreq, 0.65);
+        }
         // Alternate safe/danger to force movement over the ladder.
         d = policy.decide(metricsWith(i % 2 ? 1.0 : 9.5, 0.5, i + 1.0));
     }

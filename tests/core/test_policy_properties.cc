@@ -119,10 +119,12 @@ TEST_P(PolicyProperties, SpareFrequenciesOnlyForSpareClusters)
     Decision d = policy->initialDecision();
     Rng rng(9);
     for (int i = 0; i < 200; ++i) {
-        if (d.spareBigFreq)
+        if (d.spareBigFreq) {
             EXPECT_EQ(d.config.nBig, 0u) << GetParam().name;
-        if (d.spareSmallFreq)
+        }
+        if (d.spareSmallFreq) {
             EXPECT_EQ(d.config.nSmall, 0u) << GetParam().name;
+        }
         d = policy->decide(
             metricsWith(rng.uniform(0.0, 30.0), rng.uniform(), i + 1.0));
     }

@@ -141,10 +141,12 @@ TEST_P(SpecKernelContract, FrequencySensitivityMatchesMemIntensity)
         1.15;
     EXPECT_NEAR(low / full, expected, 1e-9) << kernel.name;
     // Memory-bound kernels lose less from the downclock.
-    if (kernel.memIntensity > 0.8)
+    if (kernel.memIntensity > 0.8) {
         EXPECT_GT(low / full, 0.9);
-    if (kernel.memIntensity < 0.1)
+    }
+    if (kernel.memIntensity < 0.1) {
         EXPECT_LT(low / full, 0.6);
+    }
 }
 
 TEST_P(SpecKernelContract, BigCoreBeatsSmallCore)
