@@ -4,15 +4,20 @@
  * cold table from the start). Section 3.1 argues the hybrid avoids
  * the unacceptable QoS violations a pure learner incurs while the
  * table is still cold; this bench quantifies that on our substrate.
+ *
+ * The 2 workloads x 2 variants x --seeds grid runs in parallel
+ * through SweepEngine with a custom job runner toggling the
+ * heuristic bootstrap; rows report seed means ± 95% CI.
  */
 
 #include <cstdio>
 #include <iostream>
+#include <map>
+#include <vector>
 
 #include "bench/bench_util.hh"
 #include "core/hipster_policy.hh"
-#include "experiments/runner.hh"
-#include "experiments/scenario.hh"
+#include "experiments/sweep.hh"
 
 using namespace hipster;
 
@@ -23,52 +28,69 @@ main(int argc, char **argv)
     bench::banner("Ablation: hybrid vs pure RL",
                   "QoS during and after the learning window");
 
-    auto csv = bench::maybeCsv(options);
-    if (csv) {
-        csv->header({"workload", "variant", "qos_learning_pct",
-                     "qos_overall_pct", "energy_j"});
+    const Seconds learning =
+        ScenarioDefaults::learningPhase * options.durationScale;
+
+    SweepSpec spec = bench::sweepSpec(options);
+    spec.workloads = {"memcached", "websearch"};
+    spec.policies = {"hybrid", "pure-rl"};
+    spec.jobRunner = [&](const SweepJob &job) {
+        const Seconds duration =
+            diurnalDurationFor(job.workload) * options.durationScale;
+        ExperimentRunner runner(
+            Platform::junoR1(), lcWorkloadByName(job.workload),
+            diurnalTrace(duration, job.seed + 100), job.seed);
+        HipsterParams params = tunedHipsterParams(job.workload);
+        params.learningPhase = learning;
+        params.useHeuristicBootstrap = job.policy == "hybrid";
+        HipsterPolicy policy(runner.platform(), params);
+        return runner.run(policy, duration);
+    };
+    const auto results = bench::runSweep(spec, options);
+
+    // QoS over the learning window only, per cell across seeds.
+    std::map<std::size_t, std::vector<double>> early_by_cell;
+    for (const auto &run : results.runs) {
+        std::size_t early_met = 0, early_n = 0;
+        for (const auto &m : run.result.series) {
+            if (m.begin < learning) {
+                ++early_n;
+                early_met += m.qosViolated() ? 0 : 1;
+            }
+        }
+        early_by_cell[run.job.cell].push_back(
+            early_n ? 100.0 * early_met / early_n : 0.0);
     }
 
-    TextTable table({"workload", "variant", "QoS (first 500 s)",
-                     "QoS (overall)", "energy (J)"});
-    for (const char *workload : {"memcached", "websearch"}) {
-        const Seconds duration =
-            diurnalDurationFor(workload) * options.durationScale;
-        const Seconds learning =
-            ScenarioDefaults::learningPhase * options.durationScale;
-        for (bool hybrid : {true, false}) {
-            ExperimentRunner runner =
-                makeDiurnalRunner(workload, duration, 1);
-            HipsterParams params = tunedHipsterParams(workload);
-            params.learningPhase = learning;
-            params.useHeuristicBootstrap = hybrid;
-            HipsterPolicy policy(runner.platform(), params);
-            const auto result = runner.run(policy, duration);
+    auto csv = bench::maybeCsv(options);
+    if (csv) {
+        csv->header({"workload", "variant", "runs", "qos_learning_pct",
+                     "qos_overall_pct", "qos_overall_ci95_pct",
+                     "energy_j"});
+    }
 
-            std::size_t early_met = 0, early_n = 0;
-            for (const auto &m : result.series) {
-                if (m.begin < learning) {
-                    ++early_n;
-                    early_met += m.qosViolated() ? 0 : 1;
-                }
-            }
-            const double early_qos =
-                early_n ? 100.0 * early_met / early_n : 0.0;
-            const char *variant = hybrid ? "hybrid" : "pure-RL";
-            table.newRow()
-                .cell(workload)
-                .cell(variant)
-                .cell(formatFixed(early_qos, 1) + "%")
-                .percentCell(result.summary.qosGuarantee)
-                .cell(result.summary.energy, 0);
-            if (csv) {
-                csv->add(workload)
-                    .add(variant)
-                    .add(early_qos)
-                    .add(result.summary.qosGuarantee * 100.0)
-                    .add(result.summary.energy)
-                    .endRow();
-            }
+    std::printf("%zu seeds per cell (jobs=%zu):\n\n", options.seeds,
+                options.jobs);
+    TextTable table({"workload", "variant", "QoS (learning win.)",
+                     "QoS (overall)", "energy (J)"});
+    for (std::size_t c = 0; c < results.cells.size(); ++c) {
+        const AggregateSummary &cell = results.cells[c];
+        const Estimate early = Estimate::of(early_by_cell[c]);
+        table.newRow()
+            .cell(cell.workload)
+            .cell(cell.policy)
+            .cell(formatMeanCi(early, 1) + "%")
+            .cell(formatMeanCi(cell.qosGuarantee, 1, 100.0) + "%")
+            .cell(formatMeanCi(cell.energy, 0));
+        if (csv) {
+            csv->add(cell.workload)
+                .add(cell.policy)
+                .add(cell.runs)
+                .add(early.mean)
+                .add(cell.qosGuarantee.mean * 100.0)
+                .add(cell.qosGuarantee.ci95 * 100.0)
+                .add(cell.energy.mean)
+                .endRow();
         }
     }
     table.print(std::cout);

@@ -5,6 +5,10 @@
  * sensitivity of the service doubles (as if a noisy neighbour
  * appeared) — and we compare Hipster with and without the
  * QoS-guarantee watchdog that re-enters the learning phase.
+ *
+ * The watchdog on/off pair runs --seeds repetitions in parallel
+ * through SweepEngine with a custom two-phase job runner; rows
+ * report post-shift seed means ± 95% CI.
  */
 
 #include <cstdio>
@@ -12,8 +16,7 @@
 
 #include "bench/bench_util.hh"
 #include "core/hipster_policy.hh"
-#include "experiments/runner.hh"
-#include "experiments/scenario.hh"
+#include "experiments/sweep.hh"
 
 using namespace hipster;
 
@@ -31,13 +34,16 @@ shiftedWorkload()
     return def;
 }
 
-RunSummary
+/**
+ * Phase 1 (normal demand) trains the table; phase 2 (inflated
+ * demand) stresses it. We emulate the shift by running two runners
+ * back-to-back, transplanting nothing: the second run reuses the
+ * same policy object, which is the point. Returns the phase-2
+ * result.
+ */
+ExperimentResult
 runPhase2(bool with_watchdog, Seconds phase, std::uint64_t seed)
 {
-    // Phase 1 (normal demand) trains the table; phase 2 (inflated
-    // demand) stresses it. We emulate the shift by running two
-    // runners back-to-back, transplanting nothing: the second run
-    // reuses the same policy object, which is the point.
     Platform platform(Platform::junoR1());
     HipsterParams params = tunedHipsterParams("memcached");
     params.learningPhase = 300.0;
@@ -46,15 +52,15 @@ runPhase2(bool with_watchdog, Seconds phase, std::uint64_t seed)
     HipsterPolicy policy(platform, params);
 
     ExperimentRunner normal(Platform::junoR1(), memcachedWorkload(),
-                            diurnalTrace(phase, 31), seed);
+                            diurnalTrace(phase, seed + 100), seed);
     normal.run(policy, phase);
 
     ExperimentRunner shifted(Platform::junoR1(), shiftedWorkload(),
-                             diurnalTrace(phase, 32), seed + 1);
+                             diurnalTrace(phase, seed + 200),
+                             seed + 1);
     // Continue with the trained policy: decide() keeps being called
     // with the new workload's metrics.
-    const auto result = shifted.run(policy, phase);
-    return result.summary;
+    return shifted.run(policy, phase);
 }
 
 } // namespace
@@ -69,30 +75,50 @@ main(int argc, char **argv)
 
     const Seconds phase = 700.0 * options.durationScale;
 
-    const RunSummary with = runPhase2(true, phase, 5);
-    const RunSummary without = runPhase2(false, phase, 5);
+    SweepSpec spec = bench::sweepSpec(options);
+    spec.workloads = {"memcached"};
+    spec.policies = {"watchdog-on", "watchdog-off"};
+    spec.keepSeries = false; // only summaries are reported
+    spec.jobRunner = [&](const SweepJob &job) {
+        return runPhase2(job.policy == "watchdog-on", phase, job.seed);
+    };
+    const auto results = bench::runSweep(spec, options);
+
+    const AggregateSummary *with =
+        results.find("watchdog-on", "memcached");
+    const AggregateSummary *without =
+        results.find("watchdog-off", "memcached");
 
     auto csv = bench::maybeCsv(options);
     if (csv) {
-        csv->header({"watchdog", "qos_pct", "tardiness", "energy_j"});
-        csv->add("on").add(with.qosGuarantee * 100.0)
-            .add(with.qosTardiness).add(with.energy).endRow();
-        csv->add("off").add(without.qosGuarantee * 100.0)
-            .add(without.qosTardiness).add(without.energy).endRow();
+        csv->header({"watchdog", "runs", "qos_pct", "qos_ci95_pct",
+                     "tardiness", "energy_j"});
+        csv->add("on").add(with->runs)
+            .add(with->qosGuarantee.mean * 100.0)
+            .add(with->qosGuarantee.ci95 * 100.0)
+            .add(with->qosTardiness.mean).add(with->energy.mean)
+            .endRow();
+        csv->add("off").add(without->runs)
+            .add(without->qosGuarantee.mean * 100.0)
+            .add(without->qosGuarantee.ci95 * 100.0)
+            .add(without->qosTardiness.mean).add(without->energy.mean)
+            .endRow();
     }
 
+    std::printf("%zu seeds per cell (jobs=%zu):\n\n", options.seeds,
+                options.jobs);
     TextTable table({"watchdog", "QoS after shift", "tardiness",
                      "energy (J)"});
     table.newRow()
         .cell("on (Algorithm 2 l.18)")
-        .percentCell(with.qosGuarantee)
-        .cell(with.qosTardiness, 2)
-        .cell(with.energy, 0);
+        .cell(formatMeanCi(with->qosGuarantee, 1, 100.0) + "%")
+        .cell(formatMeanCi(with->qosTardiness, 2))
+        .cell(formatMeanCi(with->energy, 0));
     table.newRow()
         .cell("off")
-        .percentCell(without.qosGuarantee)
-        .cell(without.qosTardiness, 2)
-        .cell(without.energy, 0);
+        .cell(formatMeanCi(without->qosGuarantee, 1, 100.0) + "%")
+        .cell(formatMeanCi(without->qosTardiness, 2))
+        .cell(formatMeanCi(without->energy, 0));
     table.print(std::cout);
 
     std::printf("\nExpected: with the watchdog, a QoS collapse after the "

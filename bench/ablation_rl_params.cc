@@ -2,36 +2,42 @@
  * @file
  * Ablation: sweep of the Q-learning hyper-parameters around the
  * paper's defaults (alpha = 0.6, gamma = 0.9), plus the stochastic
- * danger-zone reward on/off (Algorithm 1 line 9).
+ * danger-zone reward on/off (Algorithm 1 line 9) and a migration-
+ * penalty sweep.
+ *
+ * Both grids run through SweepEngine (each hyper-parameter point is
+ * a sweep cell, --seeds repetitions each, in parallel); rows report
+ * seed means ± 95% CI.
  */
 
 #include <cstdio>
 #include <iostream>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "bench/bench_util.hh"
 #include "core/hipster_policy.hh"
-#include "experiments/runner.hh"
-#include "experiments/scenario.hh"
+#include "experiments/sweep.hh"
 
 using namespace hipster;
 
 namespace
 {
 
-RunSummary
-runWith(const char *workload, Seconds duration, double alpha,
-        double gamma, bool stochastic)
+/** One hyper-parameter point of the grid. */
+struct RlPoint
 {
-    ExperimentRunner runner = makeDiurnalRunner(workload, duration, 1);
-    HipsterParams params = tunedHipsterParams(workload);
-    params.alpha = alpha;
-    params.gamma = gamma;
-    params.stochasticReward = stochastic;
-    params.learningPhase = std::min<Seconds>(
-        ScenarioDefaults::learningPhase, duration * 0.4);
-    HipsterPolicy policy(runner.platform(), params);
-    return runner.run(policy, duration).summary;
-}
+    double alpha = 0.6;
+    double gamma = 0.9;
+    bool stochastic = true;
+    double migrationPenalty = -1.0; ///< < 0 = workload default
+};
+
+/** Labelled grid: the label names the sweep cell, the point carries
+ * the actual values (no string round-trip). */
+using RlGrid = std::vector<std::pair<std::string, RlPoint>>;
 
 } // namespace
 
@@ -43,70 +49,119 @@ main(int argc, char **argv)
                   "alpha/gamma sweep + stochastic reward toggle "
                   "(Web-Search diurnal)");
 
-    const char *workload = "websearch";
-    const Seconds duration =
-        diurnalDurationFor(workload) * options.durationScale;
+    // The alpha/gamma grid + the paper defaults with the stochastic
+    // danger-zone penalty disabled.
+    RlGrid points;
+    for (double alpha : {0.2, 0.6, 0.9})
+        for (double gamma : {0.0, 0.5, 0.9})
+            points.emplace_back("a" + formatFixed(alpha, 1) + "-g" +
+                                    formatFixed(gamma, 1),
+                                RlPoint{alpha, gamma, true, -1.0});
+    points.emplace_back("a0.6-g0.9-plain",
+                        RlPoint{0.6, 0.9, false, -1.0});
+
+    // Every cell runs a HipsterIn policy; the label only selects the
+    // parameter point.
+    const auto runGrid = [&](const std::string &workload,
+                             const RlGrid &grid, Seconds learning) {
+        SweepSpec spec = bench::sweepSpec(options);
+        spec.workloads = {workload};
+        spec.keepSeries = false; // only summaries are reported
+        spec.policies.clear();
+        std::map<std::string, RlPoint> byLabel;
+        for (const auto &[label, point] : grid) {
+            spec.policies.push_back(label);
+            byLabel.emplace(label, point);
+        }
+        const double scale = options.durationScale;
+        spec.jobRunner = [scale, learning,
+                          byLabel](const SweepJob &job) {
+            const RlPoint &p = byLabel.at(job.policy);
+            const Seconds duration =
+                diurnalDurationFor(job.workload) * scale;
+            ExperimentRunner runner(
+                Platform::junoR1(), lcWorkloadByName(job.workload),
+                diurnalTrace(duration, job.seed + 100), job.seed);
+            HipsterParams params = tunedHipsterParams(job.workload);
+            params.learningPhase = learning;
+            params.alpha = p.alpha;
+            params.gamma = p.gamma;
+            params.stochasticReward = p.stochastic;
+            if (p.migrationPenalty >= 0.0)
+                params.migrationPenalty = p.migrationPenalty;
+            HipsterPolicy policy(runner.platform(), params);
+            return runner.run(policy, duration);
+        };
+        return bench::runSweep(spec, options);
+    };
+
+    const Seconds ws_duration =
+        diurnalDurationFor("websearch") * options.durationScale;
+    const auto grid =
+        runGrid("websearch", points,
+                std::min<Seconds>(ScenarioDefaults::learningPhase,
+                                  ws_duration * 0.4));
 
     auto csv = bench::maybeCsv(options);
     if (csv) {
-        csv->header({"alpha", "gamma", "stochastic", "qos_pct",
-                     "energy_j"});
+        csv->header({"cell", "runs", "qos_pct", "qos_ci95_pct",
+                     "energy_j", "energy_ci95_j", "migrations"});
     }
 
-    TextTable table({"alpha", "gamma", "stochastic", "QoS", "energy "
-                     "(J)"});
-    for (double alpha : {0.2, 0.6, 0.9}) {
-        for (double gamma : {0.0, 0.5, 0.9}) {
-            const RunSummary s =
-                runWith(workload, duration, alpha, gamma, true);
-            table.newRow()
-                .cell(alpha, 1)
-                .cell(gamma, 1)
-                .cell("on")
-                .percentCell(s.qosGuarantee)
-                .cell(s.energy, 0);
-            if (csv) {
-                csv->add(alpha).add(gamma).add(1)
-                    .add(s.qosGuarantee * 100.0).add(s.energy).endRow();
-            }
+    std::printf("%zu seeds per cell (jobs=%zu):\n\n", options.seeds,
+                options.jobs);
+    TextTable table({"alpha", "gamma", "stochastic", "QoS",
+                     "energy (J)"});
+    for (const auto &[label, p] : points) {
+        const AggregateSummary *cell =
+            grid.find(label, "websearch");
+        table.newRow()
+            .cell(p.alpha, 1)
+            .cell(p.gamma, 1)
+            .cell(p.stochastic ? "on" : "off")
+            .cell(formatMeanCi(cell->qosGuarantee, 1, 100.0) + "%")
+            .cell(formatMeanCi(cell->energy, 0));
+        if (csv) {
+            csv->add(label)
+                .add(cell->runs)
+                .add(cell->qosGuarantee.mean * 100.0)
+                .add(cell->qosGuarantee.ci95 * 100.0)
+                .add(cell->energy.mean)
+                .add(cell->energy.ci95)
+                .add(cell->migrations.mean)
+                .endRow();
         }
-    }
-    // Paper defaults without the stochastic danger-zone penalty.
-    const RunSummary plain = runWith(workload, duration, 0.6, 0.9, false);
-    table.newRow()
-        .cell(0.6, 1)
-        .cell(0.9, 1)
-        .cell("off")
-        .percentCell(plain.qosGuarantee)
-        .cell(plain.energy, 0);
-    if (csv) {
-        csv->add(0.6).add(0.9).add(0)
-            .add(plain.qosGuarantee * 100.0).add(plain.energy).endRow();
     }
     table.print(std::cout);
 
     // Migration-penalty ablation (our extension over the pure greedy
     // Algorithm 2 line 7): how the churn damping affects migrations.
     std::printf("\nMigration-penalty ablation (memcached):\n");
+    RlGrid mig_points;
+    for (double penalty : {0.0, 0.5, 2.0})
+        mig_points.emplace_back("mig" + formatFixed(penalty, 1),
+                                RlPoint{0.6, 0.9, true, penalty});
+    const auto mig_grid = runGrid("memcached", mig_points,
+                                  ScenarioDefaults::learningPhase *
+                                      options.durationScale);
     TextTable mig({"penalty", "QoS", "energy (J)", "migrations"});
-    const Seconds mc_duration =
-        diurnalDurationFor("memcached") * options.durationScale;
-    for (double penalty : {0.0, 0.5, 2.0}) {
-        ExperimentRunner runner =
-            makeDiurnalRunner("memcached", mc_duration, 1);
-        HipsterParams params = tunedHipsterParams("memcached");
-        params.migrationPenalty = penalty;
-        HipsterPolicy policy(runner.platform(), params);
-        const auto result = runner.run(policy, mc_duration);
+    for (const auto &[label, p] : mig_points) {
+        const AggregateSummary *cell =
+            mig_grid.find(label, "memcached");
         mig.newRow()
-            .cell(penalty, 1)
-            .percentCell(result.summary.qosGuarantee)
-            .cell(result.summary.energy, 0)
-            .cell(static_cast<long long>(result.migrations));
+            .cell(p.migrationPenalty, 1)
+            .cell(formatMeanCi(cell->qosGuarantee, 1, 100.0) + "%")
+            .cell(formatMeanCi(cell->energy, 0))
+            .cell(formatMeanCi(cell->migrations, 1));
         if (csv) {
-            csv->add(penalty).add(-1).add(-1)
-                .add(result.summary.qosGuarantee * 100.0)
-                .add(result.summary.energy).endRow();
+            csv->add(label)
+                .add(cell->runs)
+                .add(cell->qosGuarantee.mean * 100.0)
+                .add(cell->qosGuarantee.ci95 * 100.0)
+                .add(cell->energy.mean)
+                .add(cell->energy.ci95)
+                .add(cell->migrations.mean)
+                .endRow();
         }
     }
     mig.print(std::cout);

@@ -1,14 +1,18 @@
 /**
  * @file
  * Shared helpers for the figure/table bench binaries: banner
- * printing, optional CSV dumping (--csv <path>), and common
- * formatting.
+ * printing, optional CSV dumping (--csv <path>), common formatting,
+ * and the sweep plumbing the multi-run benches share (--seeds /
+ * --jobs route every policy x workload x seed combination through
+ * SweepEngine instead of hand-rolled serial loops).
  */
 
 #ifndef HIPSTER_BENCH_BENCH_UTIL_HH
 #define HIPSTER_BENCH_BENCH_UTIL_HH
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <optional>
 #include <string>
@@ -16,6 +20,8 @@
 #include "common/csv.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "common/thread_pool.hh"
+#include "experiments/sweep.hh"
 
 namespace hipster::bench
 {
@@ -29,22 +35,64 @@ struct BenchOptions
     /** Scale factor for run durations from --quick (0.25) to smoke-
      * test a bench, default 1.0. */
     double durationScale = 1.0;
+
+    /** Seeds per experiment cell from --seeds <n>; multi-run benches
+     * sweep this many repetitions and report mean ± 95% CI. */
+    std::size_t seeds = 3;
+
+    /** Worker threads for the sweep from --jobs <n> (default: all
+     * hardware threads). Aggregates are identical for any value. */
+    std::size_t jobs = ThreadPool::defaultJobs();
+
+    /** Master seed the per-run seeds derive from (--master-seed). */
+    std::uint64_t masterSeed = 1;
 };
 
 inline BenchOptions
 parseArgs(int argc, char **argv)
 {
     BenchOptions options;
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "missing argument for %s\n", argv[i]);
+            std::exit(1);
+        }
+        return argv[++i];
+    };
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--csv" && i + 1 < argc) {
-            options.csvPath = argv[++i];
+        if (arg == "--csv") {
+            options.csvPath = need(i);
         } else if (arg == "--quick") {
             options.durationScale = 0.25;
+        } else if (arg == "--seeds") {
+            options.seeds = std::strtoull(need(i), nullptr, 10);
+        } else if (arg == "--jobs") {
+            options.jobs = std::strtoull(need(i), nullptr, 10);
+        } else if (arg == "--master-seed") {
+            options.masterSeed = std::strtoull(need(i), nullptr, 10);
         } else if (arg == "--help" || arg == "-h") {
-            std::printf("usage: %s [--csv <path>] [--quick]\n", argv[0]);
+            std::printf("usage: %s [--csv <path>] [--quick] "
+                        "[--seeds <n>] [--jobs <n>] "
+                        "[--master-seed <n>]\n",
+                        argv[0]);
             std::exit(0);
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            std::exit(1);
         }
+    }
+    // Validate here: the bench mains have no FatalError handler, so
+    // garbage must not reach SweepEngine/ThreadPool as an exception.
+    if (options.seeds == 0 || options.seeds > SweepSpec::kMaxSeeds) {
+        std::fprintf(stderr, "--seeds must be in [1, %zu]\n",
+                     SweepSpec::kMaxSeeds);
+        std::exit(1);
+    }
+    if (options.jobs == 0 || options.jobs > ThreadPool::kMaxThreads) {
+        std::fprintf(stderr, "--jobs must be in [1, %zu]\n",
+                     ThreadPool::kMaxThreads);
+        std::exit(1);
     }
     return options;
 }
@@ -66,6 +114,24 @@ banner(const std::string &id, const std::string &what)
     std::printf("%s — %s\n", id.c_str(), what.c_str());
     std::printf("Reproduction on the simulated ARM Juno R1 substrate.\n");
     std::printf("=====================================================\n\n");
+}
+
+/** A SweepSpec pre-filled from the common bench options. */
+inline SweepSpec
+sweepSpec(const BenchOptions &options)
+{
+    SweepSpec spec;
+    spec.seeds = options.seeds;
+    spec.masterSeed = options.masterSeed;
+    spec.durationScale = options.durationScale;
+    return spec;
+}
+
+/** Run a spec with the bench's --jobs setting. */
+inline SweepResults
+runSweep(const SweepSpec &spec, const BenchOptions &options)
+{
+    return SweepEngine(spec).run(options.jobs);
 }
 
 } // namespace hipster::bench

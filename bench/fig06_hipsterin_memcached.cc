@@ -6,61 +6,36 @@
  * claims to check: after the learning phase the core-mapping
  * oscillation drops (~8%) and the QoS guarantee improves (~24%)
  * versus the learning phase.
+ *
+ * Runs --seeds repetitions in parallel through SweepEngine; the time
+ * series comes from the representative (first-seed) run, the
+ * learning/exploitation contrast and the overall summary are
+ * mean ± 95% CI across seeds.
  */
 
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "bench/bench_util.hh"
 #include "core/hipster_policy.hh"
-#include "experiments/runner.hh"
-#include "experiments/scenario.hh"
+#include "experiments/sweep.hh"
 
 using namespace hipster;
 
-int
-main(int argc, char **argv)
+namespace
 {
-    const auto options = bench::parseArgs(argc, argv);
-    bench::banner("Figure 6", "HipsterIn on Memcached (diurnal)");
 
-    const Seconds duration =
-        ScenarioDefaults::memcachedDiurnal * options.durationScale;
-    const Seconds learning =
-        ScenarioDefaults::learningPhase * options.durationScale;
+/** Per-phase QoS / core-mapping-oscillation contrast of one run. */
+struct PhaseContrast
+{
+    double learnQos = 0.0, explQos = 0.0;
+    double learnOsc = 0.0, explOsc = 0.0;
+};
 
-    ExperimentRunner runner = makeDiurnalRunner("memcached", duration, 1);
-    HipsterParams params = tunedHipsterParams("memcached");
-    params.learningPhase = learning;
-    HipsterPolicy policy(runner.platform(), params);
-    const auto result = runner.run(policy, duration);
-
-    auto csv = bench::maybeCsv(options);
-    if (csv) {
-        csv->header({"time_s", "tail_ms", "rps", "config", "phase"});
-        for (const auto &m : result.series) {
-            csv->add(m.begin)
-                .add(m.tailLatency)
-                .add(m.throughput)
-                .add(m.config.label())
-                .add(m.begin < learning ? "learning" : "exploitation")
-                .endRow();
-        }
-    }
-
-    TextTable table({"t(s)", "phase", "tail(ms)", "RPS", "config"});
-    for (std::size_t k = 0; k < result.series.size(); k += 60) {
-        const auto &m = result.series[k];
-        table.newRow()
-            .cell(static_cast<long long>(m.begin))
-            .cell(m.begin < learning ? "learn" : "exploit")
-            .cell(m.tailLatency, 2)
-            .cell(m.throughput, 0)
-            .cell(m.config.label());
-    }
-    table.print(std::cout);
-
-    // Learning-vs-exploitation contrast.
+PhaseContrast
+contrastOf(const ExperimentResult &result, Seconds learning)
+{
     std::size_t learn_n = 0, learn_met = 0, learn_changes = 0;
     std::size_t expl_n = 0, expl_met = 0, expl_changes = 0;
     for (std::size_t k = 0; k < result.series.size(); ++k) {
@@ -81,28 +56,92 @@ main(int argc, char **argv)
             expl_changes += changed ? 1 : 0;
         }
     }
-    const double learn_qos =
-        learn_n ? 100.0 * learn_met / learn_n : 0.0;
-    const double expl_qos = expl_n ? 100.0 * expl_met / expl_n : 0.0;
-    const double learn_osc =
-        learn_n ? 100.0 * learn_changes / learn_n : 0.0;
-    const double expl_osc =
-        expl_n ? 100.0 * expl_changes / expl_n : 0.0;
+    PhaseContrast c;
+    c.learnQos = learn_n ? 100.0 * learn_met / learn_n : 0.0;
+    c.explQos = expl_n ? 100.0 * expl_met / expl_n : 0.0;
+    c.learnOsc = learn_n ? 100.0 * learn_changes / learn_n : 0.0;
+    c.explOsc = expl_n ? 100.0 * expl_changes / expl_n : 0.0;
+    return c;
+}
 
-    std::printf("\nLearning phase:      QoS %.1f%%, core-mapping changes "
-                "in %.1f%% of intervals\n",
-                learn_qos, learn_osc);
-    std::printf("Exploitation phase:  QoS %.1f%%, core-mapping changes "
-                "in %.1f%% of intervals\n",
-                expl_qos, expl_osc);
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto options = bench::parseArgs(argc, argv);
+    bench::banner("Figure 6", "HipsterIn on Memcached (diurnal)");
+
+    const Seconds learning =
+        ScenarioDefaults::learningPhase * options.durationScale;
+
+    SweepSpec spec = bench::sweepSpec(options);
+    spec.workloads = {"memcached"};
+    spec.policies = {"hipster-in"};
+    const auto results = bench::runSweep(spec, options);
+
+    const ExperimentResult *rep =
+        results.representative("hipster-in", "memcached");
+    const AggregateSummary *agg =
+        results.find("hipster-in", "memcached");
+
+    auto csv = bench::maybeCsv(options);
+    if (csv) {
+        csv->header({"time_s", "tail_ms", "rps", "config", "phase"});
+        for (const auto &m : rep->series) {
+            csv->add(m.begin)
+                .add(m.tailLatency)
+                .add(m.throughput)
+                .add(m.config.label())
+                .add(m.begin < learning ? "learning" : "exploitation")
+                .endRow();
+        }
+    }
+
+    TextTable table({"t(s)", "phase", "tail(ms)", "RPS", "config"});
+    for (std::size_t k = 0; k < rep->series.size(); k += 60) {
+        const auto &m = rep->series[k];
+        table.newRow()
+            .cell(static_cast<long long>(m.begin))
+            .cell(m.begin < learning ? "learn" : "exploit")
+            .cell(m.tailLatency, 2)
+            .cell(m.throughput, 0)
+            .cell(m.config.label());
+    }
+    table.print(std::cout);
+
+    // Learning-vs-exploitation contrast, aggregated across seeds.
+    std::vector<double> learn_qos, expl_qos, learn_osc, expl_osc;
+    for (const auto &run : results.runs) {
+        const PhaseContrast c = contrastOf(run.result, learning);
+        learn_qos.push_back(c.learnQos);
+        expl_qos.push_back(c.explQos);
+        learn_osc.push_back(c.learnOsc);
+        expl_osc.push_back(c.explOsc);
+    }
+    const Estimate lq = Estimate::of(learn_qos);
+    const Estimate eq = Estimate::of(expl_qos);
+    const Estimate lo = Estimate::of(learn_osc);
+    const Estimate eo = Estimate::of(expl_osc);
+
+    std::printf("\n%zu seeds (jobs=%zu):\n", options.seeds,
+                options.jobs);
+    std::printf("Learning phase:      QoS %s%%, core-mapping changes "
+                "in %s%% of intervals\n",
+                formatMeanCi(lq, 1).c_str(),
+                formatMeanCi(lo, 1).c_str());
+    std::printf("Exploitation phase:  QoS %s%%, core-mapping changes "
+                "in %s%% of intervals\n",
+                formatMeanCi(eq, 1).c_str(),
+                formatMeanCi(eo, 1).c_str());
     std::printf("Paper: oscillation reduced (by ~8%%) and QoS improved "
                 "(by ~24%%) after learning.\n");
     std::printf("Measured: oscillation %+.1f%%, QoS %+.1f%% "
-                "(exploitation vs learning).\n",
-                expl_osc - learn_osc, expl_qos - learn_qos);
-    std::printf("Overall: QoS %.1f%%, energy %.0f J, migrations %llu\n",
-                result.summary.qosGuarantee * 100.0,
-                result.summary.energy,
-                static_cast<unsigned long long>(result.migrations));
+                "(exploitation vs learning, seed means).\n",
+                eo.mean - lo.mean, eq.mean - lq.mean);
+    std::printf("Overall: QoS %s%%, energy %s J, migrations %s\n",
+                formatMeanCi(agg->qosGuarantee, 1, 100.0).c_str(),
+                formatMeanCi(agg->energy, 0).c_str(),
+                formatMeanCi(agg->migrations, 1).c_str());
     return 0;
 }

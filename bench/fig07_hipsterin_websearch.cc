@@ -4,16 +4,16 @@
  * Paper claims to check here (Section 4.2.3): HipsterIn performs
  * ~4.7x fewer task migrations than Octopus-Man on Web-Search while
  * improving QoS (up to 16%) and reducing energy (~13.5%).
+ *
+ * Both policies run --seeds repetitions in parallel through
+ * SweepEngine; the comparison uses the per-cell seed means.
  */
 
 #include <cstdio>
 #include <iostream>
 
 #include "bench/bench_util.hh"
-#include "core/baselines.hh"
-#include "core/hipster_policy.hh"
-#include "experiments/runner.hh"
-#include "experiments/scenario.hh"
+#include "experiments/sweep.hh"
 
 using namespace hipster;
 
@@ -23,27 +23,28 @@ main(int argc, char **argv)
     const auto options = bench::parseArgs(argc, argv);
     bench::banner("Figure 7", "HipsterIn on Web-Search (diurnal)");
 
-    const Seconds duration =
-        ScenarioDefaults::webSearchDiurnal * options.durationScale;
     const Seconds learning =
         ScenarioDefaults::learningPhase * options.durationScale;
 
-    // HipsterIn run.
-    ExperimentRunner runner = makeDiurnalRunner("websearch", duration, 1);
-    HipsterParams params = tunedHipsterParams("websearch");
-    params.learningPhase = learning;
-    HipsterPolicy policy(runner.platform(), params);
-    const auto hipster = runner.run(policy, duration);
+    SweepSpec spec = bench::sweepSpec(options);
+    spec.workloads = {"websearch"};
+    spec.policies = {"hipster-in", "octopus-man"};
+    // Only the representative series feeds the table/CSV; summaries
+    // cover the rest.
+    spec.keepSeries = false;
+    const auto results = bench::runSweep(spec, options);
 
-    // Octopus-Man run for the migration/energy comparison.
-    ExperimentRunner runner2 = makeDiurnalRunner("websearch", duration, 1);
-    OctopusManPolicy octopus(runner2.platform(), {});
-    const auto baseline = runner2.run(octopus, duration);
+    const ExperimentResult *rep =
+        results.representative("hipster-in", "websearch");
+    const AggregateSummary *hipster =
+        results.find("hipster-in", "websearch");
+    const AggregateSummary *octopus =
+        results.find("octopus-man", "websearch");
 
     auto csv = bench::maybeCsv(options);
     if (csv) {
         csv->header({"time_s", "tail_ms", "qps", "config", "phase"});
-        for (const auto &m : hipster.series) {
+        for (const auto &m : rep->series) {
             csv->add(m.begin)
                 .add(m.tailLatency)
                 .add(m.throughput)
@@ -54,8 +55,8 @@ main(int argc, char **argv)
     }
 
     TextTable table({"t(s)", "phase", "tail(ms)", "QPS", "config"});
-    for (std::size_t k = 0; k < hipster.series.size(); k += 45) {
-        const auto &m = hipster.series[k];
+    for (std::size_t k = 0; k < rep->series.size(); k += 45) {
+        const auto &m = rep->series[k];
         table.newRow()
             .cell(static_cast<long long>(m.begin))
             .cell(m.begin < learning ? "learn" : "exploit")
@@ -66,26 +67,28 @@ main(int argc, char **argv)
     table.print(std::cout);
 
     const double migration_ratio =
-        hipster.migrations > 0
-            ? static_cast<double>(baseline.migrations) /
-                  hipster.migrations
+        hipster->migrations.mean > 0.0
+            ? octopus->migrations.mean / hipster->migrations.mean
             : 0.0;
-    const double qos_gain = (hipster.summary.qosGuarantee -
-                             baseline.summary.qosGuarantee) *
-                            100.0;
+    const double qos_gain =
+        (hipster->qosGuarantee.mean - octopus->qosGuarantee.mean) *
+        100.0;
     const double energy_cut =
-        1.0 - hipster.summary.energy / baseline.summary.energy;
+        1.0 - hipster->energy.mean / octopus->energy.mean;
 
-    std::printf("\n              %-12s %-12s\n", "HipsterIn",
+    std::printf("\n%zu seeds (jobs=%zu), mean ± 95%% CI:\n",
+                options.seeds, options.jobs);
+    std::printf("              %-18s %-18s\n", "HipsterIn",
                 "Octopus-Man");
-    std::printf("QoS guarantee %-12.1f %-12.1f\n",
-                hipster.summary.qosGuarantee * 100.0,
-                baseline.summary.qosGuarantee * 100.0);
-    std::printf("migrations    %-12llu %-12llu\n",
-                static_cast<unsigned long long>(hipster.migrations),
-                static_cast<unsigned long long>(baseline.migrations));
-    std::printf("energy (J)    %-12.0f %-12.0f\n",
-                hipster.summary.energy, baseline.summary.energy);
+    std::printf("QoS guarantee %-18s %-18s\n",
+                formatMeanCi(hipster->qosGuarantee, 1, 100.0).c_str(),
+                formatMeanCi(octopus->qosGuarantee, 1, 100.0).c_str());
+    std::printf("migrations    %-18s %-18s\n",
+                formatMeanCi(hipster->migrations, 1).c_str(),
+                formatMeanCi(octopus->migrations, 1).c_str());
+    std::printf("energy (J)    %-18s %-18s\n",
+                formatMeanCi(hipster->energy, 0).c_str(),
+                formatMeanCi(octopus->energy, 0).c_str());
     std::printf("\nPaper: ~4.7x fewer migrations, QoS up to +16%%, "
                 "energy -13.5%% vs Octopus-Man.\n");
     std::printf("Measured: %.1fx fewer migrations, QoS %+.1f%%, energy "

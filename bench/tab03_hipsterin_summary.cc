@@ -9,15 +9,17 @@
  * energy but violate QoS more; HipsterIn delivers the best QoS of
  * the dynamic policies (99.4% / 96.5% in the paper) with double-
  * digit energy savings.
+ *
+ * All 5 policies x 2 workloads x --seeds repetitions run in parallel
+ * through SweepEngine; cells report seed means (± 95% CI), and the
+ * energy reduction compares mean energies against static all-big.
  */
 
 #include <cstdio>
 #include <iostream>
-#include <map>
 
 #include "bench/bench_util.hh"
-#include "experiments/runner.hh"
-#include "experiments/scenario.hh"
+#include "experiments/sweep.hh"
 
 using namespace hipster;
 
@@ -29,58 +31,58 @@ main(int argc, char **argv)
                   "QoS guarantee / tardiness / energy reduction, "
                   "5 policies x 2 workloads");
 
+    SweepSpec spec = bench::sweepSpec(options);
+    spec.workloads = {"memcached", "websearch"};
+    spec.policies = tablePolicyNames();
+    spec.keepSeries = false; // only summaries are reported
+    const auto results = bench::runSweep(spec, options);
+
     auto csv = bench::maybeCsv(options);
     if (csv) {
-        csv->header({"policy", "workload", "qos_guarantee_pct",
+        csv->header({"policy", "workload", "runs",
+                     "qos_guarantee_pct", "qos_guarantee_ci95_pct",
                      "qos_tardiness", "energy_reduction_pct"});
     }
 
-    std::map<std::string, std::map<std::string, RunSummary>> results;
-    std::map<std::string, std::string> display;
+    const AggregateSummary *mc_base =
+        results.find("static-big", "memcached");
+    const AggregateSummary *ws_base =
+        results.find("static-big", "websearch");
 
-    for (const char *workload : {"memcached", "websearch"}) {
-        const Seconds duration =
-            diurnalDurationFor(workload) * options.durationScale;
-        for (const auto &policy_name : tablePolicyNames()) {
-            ExperimentRunner runner =
-                makeDiurnalRunner(workload, duration, 1);
-            HipsterParams params = tunedHipsterParams(workload);
-            params.learningPhase =
-                ScenarioDefaults::learningPhase * options.durationScale;
-            auto policy =
-                makePolicy(policy_name, runner.platform(), params);
-            const auto result = runner.run(*policy, duration);
-            results[policy_name][workload] = result.summary;
-            display[policy_name] = result.policyName;
-        }
-    }
-
+    std::printf("%zu seeds per cell (jobs=%zu), mean ± 95%% CI:\n\n",
+                options.seeds, options.jobs);
     TextTable table({"Policy", "QoS guar. MC", "QoS guar. WS",
                      "Tardiness MC", "Tardiness WS", "Energy red. MC",
                      "Energy red. WS"});
-    const RunSummary &mc_base = results["static-big"]["memcached"];
-    const RunSummary &ws_base = results["static-big"]["websearch"];
     for (const auto &policy_name : tablePolicyNames()) {
-        const RunSummary &mc = results[policy_name]["memcached"];
-        const RunSummary &ws = results[policy_name]["websearch"];
+        const AggregateSummary *mc =
+            results.find(policy_name, "memcached");
+        const AggregateSummary *ws =
+            results.find(policy_name, "websearch");
+        const double mc_red = 1.0 - mc->energy.mean / mc_base->energy.mean;
+        const double ws_red = 1.0 - ws->energy.mean / ws_base->energy.mean;
         table.newRow()
-            .cell(display[policy_name])
-            .percentCell(mc.qosGuarantee)
-            .percentCell(ws.qosGuarantee)
-            .cell(mc.qosTardiness, 1)
-            .cell(ws.qosTardiness, 1)
-            .percentCell(mc.energyReductionVs(mc_base))
-            .percentCell(ws.energyReductionVs(ws_base));
+            .cell(mc->policyDisplay)
+            .cell(formatMeanCi(mc->qosGuarantee, 1, 100.0) + "%")
+            .cell(formatMeanCi(ws->qosGuarantee, 1, 100.0) + "%")
+            .cell(formatMeanCi(mc->qosTardiness, 1))
+            .cell(formatMeanCi(ws->qosTardiness, 1))
+            .percentCell(mc_red)
+            .percentCell(ws_red);
         if (csv) {
             for (const char *workload : {"memcached", "websearch"}) {
-                const RunSummary &s = results[policy_name][workload];
-                const RunSummary &base = workload[0] == 'm' ? mc_base
-                                                            : ws_base;
-                csv->add(display[policy_name])
+                const AggregateSummary *cell =
+                    results.find(policy_name, workload);
+                const AggregateSummary *base =
+                    workload[0] == 'm' ? mc_base : ws_base;
+                csv->add(cell->policyDisplay)
                     .add(workload)
-                    .add(s.qosGuarantee * 100.0)
-                    .add(s.qosTardiness)
-                    .add(s.energyReductionVs(base) * 100.0)
+                    .add(cell->runs)
+                    .add(cell->qosGuarantee.mean * 100.0)
+                    .add(cell->qosGuarantee.ci95 * 100.0)
+                    .add(cell->qosTardiness.mean)
+                    .add((1.0 - cell->energy.mean / base->energy.mean) *
+                         100.0)
                     .endRow();
             }
         }

@@ -6,6 +6,15 @@
 namespace hipster
 {
 
+std::uint64_t
+splitMix64(std::uint64_t x)
+{
+    std::uint64_t z = x + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
 namespace
 {
 
@@ -13,11 +22,9 @@ namespace
 std::uint64_t
 splitmix64(std::uint64_t &x)
 {
+    const std::uint64_t v = x;
     x += 0x9e3779b97f4a7c15ULL;
-    std::uint64_t z = x;
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    return z ^ (z >> 31);
+    return splitMix64(v);
 }
 
 std::uint64_t

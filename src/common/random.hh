@@ -20,6 +20,15 @@ namespace hipster
 {
 
 /**
+ * SplitMix64 finalizer: a stateless 64-bit mix with excellent
+ * avalanche behaviour. Used to expand seeds into generator state and
+ * to derive independent per-run seeds from a master seed (the sweep
+ * engine), so derived streams are decorrelated and independent of
+ * execution order.
+ */
+std::uint64_t splitMix64(std::uint64_t x);
+
+/**
  * xoshiro256++ pseudo-random generator.
  *
  * Satisfies the essentials of UniformRandomBitGenerator so it can be

@@ -10,6 +10,25 @@
 namespace hipster
 {
 
+namespace
+{
+
+/**
+ * Visible width of a UTF-8 string: code points, not bytes. Cells
+ * containing multi-byte glyphs (the "±" of mean-±-CI reports) would
+ * otherwise be over-counted and break the column alignment.
+ */
+std::size_t
+displayWidth(const std::string &text)
+{
+    std::size_t width = 0;
+    for (unsigned char c : text)
+        width += (c & 0xC0) != 0x80; // skip UTF-8 continuation bytes
+    return width;
+}
+
+} // namespace
+
 std::string
 formatFixed(double value, int precision)
 {
@@ -80,10 +99,10 @@ TextTable::print(std::ostream &out) const
 {
     std::vector<std::size_t> widths(headers_.size());
     for (std::size_t c = 0; c < headers_.size(); ++c)
-        widths[c] = headers_[c].size();
+        widths[c] = displayWidth(headers_[c]);
     for (const auto &row : rows_)
         for (std::size_t c = 0; c < row.size(); ++c)
-            widths[c] = std::max(widths[c], row[c].size());
+            widths[c] = std::max(widths[c], displayWidth(row[c]));
 
     auto rule = [&] {
         out << '+';
@@ -95,7 +114,8 @@ TextTable::print(std::ostream &out) const
         out << '|';
         for (std::size_t c = 0; c < widths.size(); ++c) {
             const std::string &text = c < cells.size() ? cells[c] : "";
-            out << ' ' << text << std::string(widths[c] - text.size(), ' ')
+            out << ' ' << text
+                << std::string(widths[c] - displayWidth(text), ' ')
                 << " |";
         }
         out << '\n';

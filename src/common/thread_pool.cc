@@ -1,0 +1,57 @@
+#include "common/thread_pool.hh"
+
+namespace hipster
+{
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    if (threads == 0)
+        threads = 1;
+    if (threads > kMaxThreads)
+        fatal("ThreadPool: unreasonable thread count ", threads,
+              " (max ", kMaxThreads, ")");
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock,
+                       [this] { return stopping_ || !queue_.empty(); });
+            // Drain the queue even when stopping: submitted futures
+            // must always complete.
+            if (queue_.empty())
+                return;
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        // packaged_task captures any exception into the future.
+        task();
+    }
+}
+
+std::size_t
+ThreadPool::defaultJobs()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : n;
+}
+
+} // namespace hipster

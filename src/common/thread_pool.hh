@@ -1,0 +1,103 @@
+/**
+ * @file
+ * A fixed-size thread pool for embarrassingly parallel experiment
+ * work (the sweep engine's seed/policy fan-out). Deliberately simple:
+ * one FIFO queue, no work stealing, futures for results and exception
+ * propagation. Determinism is the caller's job — submit work whose
+ * output does not depend on execution order (every sweep job carries
+ * its own pre-derived seed), and reduce results in submission order.
+ */
+
+#ifndef HIPSTER_COMMON_THREAD_POOL_HH
+#define HIPSTER_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace hipster
+{
+
+/**
+ * Fixed pool of worker threads draining one FIFO task queue.
+ *
+ * Destruction is graceful: no new tasks are accepted, every task
+ * already queued still runs, and all workers are joined — so futures
+ * obtained from submit() are always eventually satisfied and the
+ * destructor cannot deadlock with a worker.
+ */
+class ThreadPool
+{
+  public:
+    /** Hard ceiling on the worker count: far above any sensible
+     * fan-out, low enough to reject garbage (e.g. a -1 wrapped to
+     * 2^64-1 by a CLI parser) before std::thread creation fails. */
+    static constexpr std::size_t kMaxThreads = 512;
+
+    /**
+     * @param threads Worker count; 0 is clamped to 1. Throws
+     *                FatalError above kMaxThreads.
+     */
+    explicit ThreadPool(std::size_t threads);
+
+    /** Drains the queue, then joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    std::size_t size() const { return workers_.size(); }
+
+    /**
+     * Enqueue a callable; returns a future for its result. An
+     * exception thrown by the task is captured and rethrown from
+     * future::get(). Throws FatalError once shutdown has begun.
+     */
+    template <typename F>
+    auto
+    submit(F &&fn) -> std::future<std::invoke_result_t<F>>
+    {
+        using Result = std::invoke_result_t<F>;
+        // std::function requires copyable callables; packaged_task is
+        // move-only, so hold it behind a shared_ptr.
+        auto task = std::make_shared<std::packaged_task<Result()>>(
+            std::forward<F>(fn));
+        std::future<Result> future = task->get_future();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (stopping_)
+                fatal("ThreadPool: submit() after shutdown");
+            queue_.emplace_back([task] { (*task)(); });
+        }
+        wake_.notify_one();
+        return future;
+    }
+
+    /**
+     * Sensible default worker count for --jobs style flags:
+     * hardware_concurrency, or 1 when it is unknown.
+     */
+    static std::size_t defaultJobs();
+
+  private:
+    void workerLoop();
+
+    mutable std::mutex mutex_;
+    std::condition_variable wake_;
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    bool stopping_ = false;
+};
+
+} // namespace hipster
+
+#endif // HIPSTER_COMMON_THREAD_POOL_HH

@@ -1,5 +1,9 @@
 #include "experiments/scenario.hh"
 
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
 #include "common/logging.hh"
 
 namespace hipster
@@ -20,6 +24,46 @@ rampTrace50to100()
 {
     return std::make_shared<RampTrace>(0.50, 1.00, /*t0=*/5.0,
                                        /*length=*/175.0);
+}
+
+std::shared_ptr<const LoadTrace>
+makeTraceByName(const std::string &name, Seconds duration,
+                std::uint64_t seed)
+{
+    if (name == "diurnal")
+        return diurnalTrace(duration, seed);
+    if (name == "ramp")
+        return rampTrace50to100();
+    if (name == "spike") {
+        auto day = std::make_shared<DiurnalTrace>(duration, 0.05, 0.80);
+        return std::make_shared<SpikeTrace>(day, duration * 0.7,
+                                            duration * 0.05, 0.40);
+    }
+    if (name.rfind("constant:", 0) == 0) {
+        const double level =
+            std::atof(name.c_str() + std::strlen("constant:"));
+        return std::make_shared<ConstantTrace>(level);
+    }
+    fatal("unknown trace '", name, "'");
+}
+
+bool
+isTraceName(const std::string &name)
+{
+    // Keep in sync with makeTraceByName above.
+    return name == "diurnal" || name == "ramp" || name == "spike" ||
+           name.rfind("constant:", 0) == 0;
+}
+
+bool
+isPolicyName(const std::string &name)
+{
+    // Keep in sync with makePolicy below (includes the alias).
+    static const std::vector<std::string> names = {
+        "static-big", "static-small", "octopus-man", "heuristic",
+        "hipster-in", "hipster-co",   "hipster",
+    };
+    return std::find(names.begin(), names.end(), name) != names.end();
 }
 
 Seconds
@@ -64,7 +108,7 @@ makePolicy(const std::string &name, const Platform &platform,
         return std::make_unique<HeuristicOnlyPolicy>(
             platform, hipster_params.zones, hipster_params.variant);
     }
-    if (name == "hipster-in") {
+    if (name == "hipster-in" || name == "hipster") {
         HipsterParams params = hipster_params;
         params.variant = PolicyVariant::Interactive;
         return std::make_unique<HipsterPolicy>(platform, params);

@@ -47,6 +47,22 @@ diurnalTrace(Seconds duration, std::uint64_t seed = 11,
 /** The Figure 8 stimulus: 50% -> 100% over 175 s. */
 std::shared_ptr<const LoadTrace> rampTrace50to100();
 
+/**
+ * Load-trace factory keyed on the names the CLIs and the sweep
+ * engine use: "diurnal", "ramp", "spike", "constant:<frac>". The
+ * seed only perturbs the stochastic traces (diurnal noise). Throws
+ * FatalError on unknown names.
+ */
+std::shared_ptr<const LoadTrace> makeTraceByName(const std::string &name,
+                                                 Seconds duration,
+                                                 std::uint64_t seed);
+
+/** Whether makeTraceByName() accepts the name (fail-fast checks). */
+bool isTraceName(const std::string &name);
+
+/** Whether makePolicy() accepts the name (fail-fast checks). */
+bool isPolicyName(const std::string &name);
+
 /** Diurnal run length appropriate for a workload name. */
 Seconds diurnalDurationFor(const std::string &workload);
 
@@ -60,7 +76,8 @@ HipsterParams tunedHipsterParams(const std::string &workload);
 /**
  * Policy factory keyed on the names used in Table 3:
  * "static-big", "static-small", "octopus-man", "heuristic",
- * "hipster-in", "hipster-co". Throws FatalError on unknown names.
+ * "hipster-in", "hipster-co" ("hipster" is accepted as an alias for
+ * "hipster-in"). Throws FatalError on unknown names.
  */
 std::unique_ptr<TaskPolicy>
 makePolicy(const std::string &name, const Platform &platform,

@@ -1,0 +1,383 @@
+#include "experiments/sweep.hh"
+
+#include <cmath>
+#include <future>
+#include <ostream>
+
+#include "common/random.hh"
+#include "common/table.hh"
+#include "common/thread_pool.hh"
+
+namespace hipster
+{
+
+namespace
+{
+
+/** Golden-ratio increment separating the cell and repetition streams
+ * fed into the SplitMix64 finalizer. */
+constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+
+std::vector<double>
+collect(const std::vector<const RunSummary *> &summaries,
+        double (*get)(const RunSummary &))
+{
+    std::vector<double> xs;
+    xs.reserve(summaries.size());
+    for (const RunSummary *s : summaries)
+        xs.push_back(get(*s));
+    return xs;
+}
+
+} // namespace
+
+std::string
+formatMeanCi(const Estimate &e, int precision, double scale)
+{
+    if (e.n < 2)
+        return formatFixed(e.mean * scale, precision);
+    return formatFixed(e.mean * scale, precision) + " ±" +
+           formatFixed(e.ci95 * scale, precision);
+}
+
+double
+tCritical95(std::size_t df)
+{
+    // Two-sided 95% (upper 97.5% point) of Student's t.
+    static const double table[] = {
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306,
+        2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120,
+        2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060,  2.056, 2.052, 2.048, 2.045, 2.042,
+    };
+    if (df == 0)
+        return 0.0;
+    if (df <= sizeof(table) / sizeof(table[0]))
+        return table[df - 1];
+    return 1.960;
+}
+
+Estimate
+Estimate::of(const std::vector<double> &samples)
+{
+    Estimate e;
+    e.n = samples.size();
+    if (e.n == 0)
+        return e;
+    double sum = 0.0;
+    for (double x : samples)
+        sum += x;
+    e.mean = sum / static_cast<double>(e.n);
+    if (e.n < 2)
+        return e;
+    double m2 = 0.0;
+    for (double x : samples)
+        m2 += (x - e.mean) * (x - e.mean);
+    e.stddev = std::sqrt(m2 / static_cast<double>(e.n - 1));
+    e.ci95 = tCritical95(e.n - 1) * e.stddev /
+             std::sqrt(static_cast<double>(e.n));
+    return e;
+}
+
+SweepEngine::SweepEngine(SweepSpec spec) : spec_(std::move(spec))
+{
+    if (spec_.workloads.empty())
+        fatal("SweepSpec: no workloads");
+    if (spec_.traces.empty())
+        fatal("SweepSpec: no traces");
+    if (spec_.policies.empty())
+        fatal("SweepSpec: no policies");
+    if (spec_.seeds == 0)
+        fatal("SweepSpec: seeds must be >= 1");
+    if (spec_.seeds > SweepSpec::kMaxSeeds)
+        fatal("SweepSpec: unreasonable seed count ", spec_.seeds,
+              " (max ", SweepSpec::kMaxSeeds, ")");
+    if (spec_.durationScale <= 0.0)
+        fatal("SweepSpec: durationScale must be > 0");
+    // Fail fast on typo'd names: a bad cell at the tail of a long
+    // campaign must not surface only after hours of good runs. A
+    // custom jobRunner interprets the names itself (ablations use
+    // synthetic labels), so only the default wiring is checked.
+    if (!spec_.jobRunner) {
+        for (const auto &workload : spec_.workloads)
+            lcWorkloadByName(workload); // throws on unknown names
+        for (const auto &trace : spec_.traces) {
+            if (!isTraceName(trace))
+                fatal("SweepSpec: unknown trace '", trace, "'");
+        }
+        for (const auto &policy : spec_.policies) {
+            if (!isPolicyName(policy))
+                fatal("SweepSpec: unknown policy '", policy, "'");
+        }
+    }
+}
+
+std::uint64_t
+SweepEngine::seedForRun(std::uint64_t masterSeed, std::size_t seedIndex)
+{
+    // Two finalizer rounds keyed by the repetition index: fixed at
+    // expansion time, independent of scheduling, and — deliberately —
+    // independent of the cell, so every cell reuses the same seed
+    // set and cross-cell comparisons are paired (common random
+    // numbers).
+    const std::uint64_t x = splitMix64(
+        masterSeed + kGolden * (static_cast<std::uint64_t>(seedIndex) + 1));
+    return splitMix64(x + kGolden);
+}
+
+std::vector<SweepJob>
+SweepEngine::expandJobs() const
+{
+    std::vector<SweepJob> jobs;
+    jobs.reserve(spec_.workloads.size() * spec_.traces.size() *
+                 spec_.policies.size() * spec_.seeds);
+    std::size_t cell = 0;
+    for (const auto &workload : spec_.workloads) {
+        for (const auto &trace : spec_.traces) {
+            for (const auto &policy : spec_.policies) {
+                for (std::size_t s = 0; s < spec_.seeds; ++s) {
+                    SweepJob job;
+                    job.index = jobs.size();
+                    job.cell = cell;
+                    job.workload = workload;
+                    job.trace = trace;
+                    job.policy = policy;
+                    job.seedIndex = s;
+                    job.seed = seedForRun(spec_.masterSeed, s);
+                    jobs.push_back(std::move(job));
+                }
+                ++cell;
+            }
+        }
+    }
+    return jobs;
+}
+
+ExperimentResult
+SweepEngine::runJob(const SweepJob &job) const
+{
+    if (spec_.jobRunner)
+        return spec_.jobRunner(job);
+
+    const Seconds base = spec_.duration > 0.0
+                             ? spec_.duration
+                             : diurnalDurationFor(job.workload);
+    const Seconds duration = base * spec_.durationScale;
+
+    // The trace stream is forked off the run seed (same offset the
+    // hipster_sim CLI uses) so repetitions see independent noise.
+    const auto trace =
+        makeTraceByName(job.trace, duration, job.seed + 100);
+    ExperimentRunner runner(Platform::junoR1(),
+                            lcWorkloadByName(job.workload), trace,
+                            job.seed, spec_.runner);
+
+    HipsterParams params = tunedHipsterParams(job.workload);
+    params.learningPhase =
+        spec_.learningPhase >= 0.0
+            ? spec_.learningPhase
+            : ScenarioDefaults::learningPhase * spec_.durationScale;
+    if (spec_.bucketPercent > 0.0)
+        params.bucketPercent = spec_.bucketPercent;
+    if (spec_.tuneHipster)
+        spec_.tuneHipster(job, params);
+
+    const auto policy = makePolicy(job.policy, runner.platform(), params);
+    return runner.run(*policy, duration);
+}
+
+SweepResults
+SweepEngine::run(std::size_t jobs,
+                 const std::function<void(const SweepRun &)> &onRun) const
+{
+    const std::vector<SweepJob> jobList = expandJobs();
+
+    SweepResults results;
+    results.runs.resize(jobList.size());
+
+    // Free the per-interval series at the end of the job itself (not
+    // at collection time): with many in-flight jobs the completed-
+    // but-uncollected results would otherwise hold every series in
+    // future state and peak memory would match keepSeries=true.
+    const auto executeJob = [this](const SweepJob &job) {
+        ExperimentResult result = runJob(job);
+        if (!spec_.keepSeries && job.seedIndex != 0) {
+            result.series.clear();
+            result.series.shrink_to_fit();
+        }
+        return result;
+    };
+
+    if (jobs <= 1) {
+        for (std::size_t i = 0; i < jobList.size(); ++i) {
+            results.runs[i] =
+                SweepRun{jobList[i], executeJob(jobList[i])};
+            if (onRun)
+                onRun(results.runs[i]);
+        }
+    } else {
+        ThreadPool pool(jobs);
+        std::vector<std::future<ExperimentResult>> futures;
+        futures.reserve(jobList.size());
+        for (const SweepJob &job : jobList)
+            futures.push_back(pool.submit(
+                [&executeJob, &job] { return executeJob(job); }));
+        // Collect by job index: results land in expansion order no
+        // matter which worker finished first, and onRun observes the
+        // same deterministic sequence as the sequential path.
+        for (std::size_t i = 0; i < jobList.size(); ++i) {
+            results.runs[i] = SweepRun{jobList[i], futures[i].get()};
+            if (onRun)
+                onRun(results.runs[i]);
+        }
+    }
+
+    // Reduce each cell in expansion order.
+    const std::size_t cellCount =
+        spec_.workloads.size() * spec_.traces.size() *
+        spec_.policies.size();
+    results.cells.resize(cellCount);
+    std::vector<std::vector<const RunSummary *>> perCell(cellCount);
+    for (const SweepRun &run : results.runs) {
+        AggregateSummary &cell = results.cells[run.job.cell];
+        if (cell.runs == 0) {
+            cell.workload = run.job.workload;
+            cell.trace = run.job.trace;
+            cell.policy = run.job.policy;
+            cell.policyDisplay = run.result.policyName;
+        }
+        ++cell.runs;
+        perCell[run.job.cell].push_back(&run.result.summary);
+    }
+    for (std::size_t c = 0; c < cellCount; ++c) {
+        AggregateSummary &cell = results.cells[c];
+        const auto &summaries = perCell[c];
+        cell.qosGuarantee = Estimate::of(collect(
+            summaries, [](const RunSummary &s) { return s.qosGuarantee; }));
+        cell.qosTardiness = Estimate::of(collect(
+            summaries, [](const RunSummary &s) { return s.qosTardiness; }));
+        cell.energy = Estimate::of(collect(
+            summaries, [](const RunSummary &s) { return s.energy; }));
+        cell.meanPower = Estimate::of(collect(
+            summaries, [](const RunSummary &s) { return s.meanPower; }));
+        cell.meanThroughput = Estimate::of(
+            collect(summaries, [](const RunSummary &s) {
+                return s.meanThroughput;
+            }));
+        cell.migrations = Estimate::of(
+            collect(summaries, [](const RunSummary &s) {
+                return static_cast<double>(s.migrations);
+            }));
+        cell.dvfsTransitions = Estimate::of(
+            collect(summaries, [](const RunSummary &s) {
+                return static_cast<double>(s.dvfsTransitions);
+            }));
+    }
+    return results;
+}
+
+const AggregateSummary *
+SweepResults::find(const std::string &policy, const std::string &workload,
+                   const std::string &trace) const
+{
+    for (const AggregateSummary &cell : cells) {
+        if (cell.policy == policy && cell.workload == workload &&
+            (trace.empty() || cell.trace == trace))
+            return &cell;
+    }
+    return nullptr;
+}
+
+const ExperimentResult *
+SweepResults::representative(const std::string &policy,
+                             const std::string &workload,
+                             const std::string &trace) const
+{
+    for (const SweepRun &run : runs) {
+        if (run.job.seedIndex == 0 && run.job.policy == policy &&
+            run.job.workload == workload &&
+            (trace.empty() || run.job.trace == trace))
+            return &run.result;
+    }
+    return nullptr;
+}
+
+void
+writeRunsCsv(CsvWriter &csv, const SweepResults &results)
+{
+    csv.header({"workload", "trace", "policy", "seed_index", "seed",
+                "qos_guarantee_pct", "qos_tardiness", "energy_j",
+                "mean_power_w", "mean_throughput", "migrations",
+                "dvfs_transitions", "dropped"});
+    for (const SweepRun &run : results.runs) {
+        const RunSummary &s = run.result.summary;
+        csv.add(run.job.workload)
+            .add(run.job.trace)
+            .add(run.job.policy)
+            .add(run.job.seedIndex)
+            .add(run.job.seed)
+            .add(s.qosGuarantee * 100.0)
+            .add(s.qosTardiness)
+            .add(s.energy)
+            .add(s.meanPower)
+            .add(s.meanThroughput)
+            .add(s.migrations)
+            .add(s.dvfsTransitions)
+            .add(s.dropped)
+            .endRow();
+    }
+}
+
+void
+writeAggregateCsv(CsvWriter &csv, const SweepResults &results)
+{
+    csv.header({"workload", "trace", "policy", "runs",
+                "qos_guarantee_mean_pct", "qos_guarantee_ci95_pct",
+                "qos_tardiness_mean", "qos_tardiness_ci95",
+                "energy_mean_j", "energy_stddev_j", "energy_ci95_j",
+                "mean_power_w", "mean_throughput", "migrations_mean",
+                "migrations_ci95", "dvfs_transitions_mean"});
+    for (const AggregateSummary &cell : results.cells) {
+        csv.add(cell.workload)
+            .add(cell.trace)
+            .add(cell.policy)
+            .add(cell.runs)
+            .add(cell.qosGuarantee.mean * 100.0)
+            .add(cell.qosGuarantee.ci95 * 100.0)
+            .add(cell.qosTardiness.mean)
+            .add(cell.qosTardiness.ci95)
+            .add(cell.energy.mean)
+            .add(cell.energy.stddev)
+            .add(cell.energy.ci95)
+            .add(cell.meanPower.mean)
+            .add(cell.meanThroughput.mean)
+            .add(cell.migrations.mean)
+            .add(cell.migrations.ci95)
+            .add(cell.dvfsTransitions.mean)
+            .endRow();
+    }
+}
+
+void
+printAggregateTable(std::ostream &out, const SweepResults &results)
+{
+    TextTable table({"workload", "trace", "policy", "runs",
+                     "QoS guar. (%)", "tardiness", "energy (J)",
+                     "power (W)", "migrations"});
+    for (const AggregateSummary &cell : results.cells) {
+        table.newRow()
+            .cell(cell.workload)
+            .cell(cell.trace)
+            .cell(cell.policyDisplay.empty() ? cell.policy
+                                             : cell.policyDisplay)
+            .cell(static_cast<long long>(cell.runs))
+            .cell(formatMeanCi(cell.qosGuarantee, 1, 100.0))
+            .cell(formatMeanCi(cell.qosTardiness, 2))
+            .cell(formatMeanCi(cell.energy, 0))
+            .cell(formatMeanCi(cell.meanPower, 2))
+            .cell(formatMeanCi(cell.migrations, 1));
+    }
+    table.print(out);
+}
+
+} // namespace hipster

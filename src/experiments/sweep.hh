@@ -1,0 +1,251 @@
+/**
+ * @file
+ * SweepEngine: parallel multi-seed experiment campaigns with
+ * deterministic aggregation.
+ *
+ * A declarative SweepSpec (workloads x traces x policies x N seeds)
+ * is expanded into independent jobs; each job's seed is derived from
+ * the master seed with the SplitMix64 finalizer, so the seed — and
+ * therefore the run's result — depends only on the job's position in
+ * the expansion, never on thread count or execution order. Jobs fan
+ * out over a common/ThreadPool, results are collected by job index,
+ * and every (workload, trace, policy) cell is reduced in that fixed
+ * order into an AggregateSummary (mean / stddev / 95% confidence
+ * interval for the Table 3 metrics). `jobs=1` and `jobs=N` are
+ * bitwise-identical.
+ */
+
+#ifndef HIPSTER_EXPERIMENTS_SWEEP_HH
+#define HIPSTER_EXPERIMENTS_SWEEP_HH
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/csv.hh"
+#include "experiments/runner.hh"
+#include "experiments/scenario.hh"
+
+namespace hipster
+{
+
+/** One unit of sweep work: a fully resolved run. */
+struct SweepJob
+{
+    /** Position in the expansion (also the reduction order). */
+    std::size_t index = 0;
+
+    /** Index of the (workload, trace, policy) cell this run feeds. */
+    std::size_t cell = 0;
+
+    std::string workload;
+    std::string trace;
+    std::string policy;
+
+    /** Which repetition within the cell (0 .. seeds-1). */
+    std::size_t seedIndex = 0;
+
+    /** Run seed derived via SplitMix64 from the master seed. */
+    std::uint64_t seed = 0;
+};
+
+/** Declarative description of a sweep campaign. */
+struct SweepSpec
+{
+    std::vector<std::string> workloads = {"memcached"};
+    std::vector<std::string> traces = {"diurnal"};
+    std::vector<std::string> policies = {"hipster-in"};
+
+    /** Hard ceiling on repetitions per cell: far above any real
+     * campaign, low enough to reject a "-1" wrapped to 2^64-1 by a
+     * CLI parser before job expansion tries to allocate. */
+    static constexpr std::size_t kMaxSeeds = 1000000;
+
+    /** Repetitions per cell with independently derived seeds. */
+    std::size_t seeds = 1;
+
+    /** Master seed all per-run seeds derive from. */
+    std::uint64_t masterSeed = 1;
+
+    /** Run length; 0 = the workload's diurnal default. */
+    Seconds duration = 0.0;
+
+    /** Scale factor applied to duration and the default learning
+     * phase (the bench binaries' --quick). */
+    double durationScale = 1.0;
+
+    /** Hipster learning phase; < 0 = scaled scenario default. */
+    Seconds learningPhase = -1.0;
+
+    /** Hipster bucket width override; 0 = tuned per workload. */
+    double bucketPercent = 0.0;
+
+    /** Options forwarded to every ExperimentRunner. */
+    RunnerOptions runner;
+
+    /**
+     * Keep the full interval series of every run. When false, only
+     * the representative (seedIndex 0) series of each cell survives
+     * — campaigns with many seeds otherwise hold every per-interval
+     * record in memory although the aggregates and CSV reporters
+     * read only the summaries. Series are dropped as each job
+     * finishes, so the run() observer also sees empty series for
+     * non-representative runs.
+     */
+    bool keepSeries = true;
+
+    /** Hook: adjust the HipsterParams of one job (ablations). Runs
+     * concurrently — must not touch shared mutable state. */
+    std::function<void(const SweepJob &, HipsterParams &)> tuneHipster;
+
+    /**
+     * Hook: replace the default job execution entirely (custom
+     * multi-phase runs, collocation setups). The engine still owns
+     * expansion, seed derivation, scheduling and aggregation. Runs
+     * concurrently — must not touch shared mutable state.
+     */
+    std::function<ExperimentResult(const SweepJob &)> jobRunner;
+};
+
+/**
+ * Mean / spread / 95% confidence half-width of one metric over the
+ * repetitions of a cell (Student-t interval; see tCritical95()).
+ */
+struct Estimate
+{
+    std::size_t n = 0;
+    double mean = 0.0;
+    double stddev = 0.0; ///< unbiased sample stddev (0 when n < 2)
+    double ci95 = 0.0;   ///< half-width of the 95% CI (0 when n < 2)
+
+    double lo() const { return mean - ci95; }
+    double hi() const { return mean + ci95; }
+
+    /** Reduce a sample vector (order-sensitive: callers pass samples
+     * in job-index order so aggregates are bitwise-reproducible). */
+    static Estimate of(const std::vector<double> &samples);
+};
+
+/**
+ * Two-sided 95% Student-t critical value for `df` degrees of
+ * freedom (exact table for df <= 30, 1.96 asymptote beyond).
+ */
+double tCritical95(std::size_t df);
+
+/**
+ * "mean ±ci" cell text (just the mean when n < 2), with an optional
+ * scale factor applied to both (e.g. 100 for fractions-as-percent).
+ */
+std::string formatMeanCi(const Estimate &e, int precision,
+                         double scale = 1.0);
+
+/** Reduced statistics of one (workload, trace, policy) cell. */
+struct AggregateSummary
+{
+    std::string workload;
+    std::string trace;
+    std::string policy;
+
+    /** Human-readable policy name from the runs (e.g. "HipsterIn"). */
+    std::string policyDisplay;
+
+    /** Runs reduced into this cell. */
+    std::size_t runs = 0;
+
+    Estimate qosGuarantee;
+    Estimate qosTardiness;
+    Estimate energy;
+    Estimate meanPower;
+    Estimate meanThroughput;
+    Estimate migrations;
+    Estimate dvfsTransitions;
+};
+
+/** One completed run with the job that produced it. */
+struct SweepRun
+{
+    SweepJob job;
+    ExperimentResult result;
+};
+
+/** Everything a sweep produced, in deterministic order. */
+struct SweepResults
+{
+    /** All runs, sorted by job index. */
+    std::vector<SweepRun> runs;
+
+    /** One aggregate per cell, in cell order. */
+    std::vector<AggregateSummary> cells;
+
+    /**
+     * Cell lookup; empty trace matches the first trace swept.
+     * Returns nullptr when absent.
+     */
+    const AggregateSummary *find(const std::string &policy,
+                                 const std::string &workload,
+                                 const std::string &trace = "") const;
+
+    /**
+     * The representative run of a cell (seedIndex 0) for series
+     * dumps. Returns nullptr when absent.
+     */
+    const ExperimentResult *
+    representative(const std::string &policy, const std::string &workload,
+                   const std::string &trace = "") const;
+};
+
+/** Expands, schedules and reduces sweep campaigns. */
+class SweepEngine
+{
+  public:
+    explicit SweepEngine(SweepSpec spec);
+
+    const SweepSpec &spec() const { return spec_; }
+
+    /** All jobs in expansion order (workload-major, then trace, then
+     * policy, then seed index), each with its derived seed. */
+    std::vector<SweepJob> expandJobs() const;
+
+    /**
+     * Per-run seed derivation: a pure function of the master seed
+     * and the repetition index alone. Every cell runs the same seed
+     * set (common random numbers), so cross-policy deltas at equal
+     * seedIndex are paired — the same trace noise and service-time
+     * draws hit both arms of an A/B comparison.
+     */
+    static std::uint64_t seedForRun(std::uint64_t masterSeed,
+                                    std::size_t seedIndex);
+
+    /**
+     * Execute one job with the default scenario wiring (fresh
+     * platform + diurnal runner + factory policy), or the spec's
+     * jobRunner hook when set. Thread-safe.
+     */
+    ExperimentResult runJob(const SweepJob &job) const;
+
+    /**
+     * Run the whole campaign across `jobs` worker threads (<= 1 runs
+     * inline) and reduce. `onRun`, when given, is invoked once per
+     * run, serialized in job-index order.
+     */
+    SweepResults
+    run(std::size_t jobs = 1,
+        const std::function<void(const SweepRun &)> &onRun = {}) const;
+
+  private:
+    SweepSpec spec_;
+};
+
+/** Per-run CSV: one row per (cell, seed) run. */
+void writeRunsCsv(CsvWriter &csv, const SweepResults &results);
+
+/** Aggregate CSV: one row per cell with mean/stddev/ci95 columns. */
+void writeAggregateCsv(CsvWriter &csv, const SweepResults &results);
+
+/** ASCII aggregate report: one row per cell, "mean ± ci" cells. */
+void printAggregateTable(std::ostream &out, const SweepResults &results);
+
+} // namespace hipster
+
+#endif // HIPSTER_EXPERIMENTS_SWEEP_HH

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "common/logging.hh"
 #include "common/table.hh"
 
@@ -65,6 +67,28 @@ TEST(TextTableDeath, RejectsTooManyCells)
     TextTable table({"a"});
     table.newRow().cell("1");
     EXPECT_DEATH(table.cell("2"), "more cells");
+}
+
+TEST(TextTable, MultiByteCellsStayAligned)
+{
+    // The mean-±-CI reports put multi-byte UTF-8 glyphs in cells;
+    // padding must go by display width, not bytes, or the column
+    // borders drift.
+    TextTable table({"metric", "value"});
+    table.newRow().cell("qos").cell("96.4 \u00b15.1%");
+    table.newRow().cell("energy").cell("497");
+    std::istringstream lines(table.str());
+    std::string line;
+    std::size_t expected = 0;
+    while (std::getline(lines, line)) {
+        std::size_t width = 0;
+        for (unsigned char c : line)
+            width += (c & 0xC0) != 0x80;
+        if (expected == 0)
+            expected = width;
+        EXPECT_EQ(width, expected) << line;
+        EXPECT_EQ(line.back(), line.front() == '+' ? '+' : '|');
+    }
 }
 
 TEST(Format, FixedAndPercent)

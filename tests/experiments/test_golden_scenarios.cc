@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Golden regression tests for the experiments layer: a short
+ * compressed-diurnal Memcached scenario (240 s day, 90 s learning
+ * phase, seed 1234) run for each policy family, with the RunSummary
+ * fields asserted against committed golden values.
+ *
+ * The goldens were produced by this exact wiring (equivalent to
+ * `hipster_sim --workload memcached --policy <p> --duration 240
+ * --seed 1234 --learning 90`). Runs are bitwise-deterministic on a
+ * given platform, so drift here means the experiments layer changed
+ * behaviour. Tolerances are explicit per metric: continuous metrics
+ * get a few percent to absorb cross-platform floating-point
+ * differences; discrete counters (migrations) are looser because a
+ * single flipped decision shifts them in steps; structural facts
+ * (interval count, drops, orderings between policies) are exact.
+ */
+
+#include <gtest/gtest.h>
+
+#include "experiments/runner.hh"
+#include "experiments/scenario.hh"
+
+namespace hipster
+{
+namespace
+{
+
+constexpr Seconds kDuration = 240.0;
+constexpr Seconds kLearning = 90.0;
+constexpr std::uint64_t kSeed = 1234;
+
+/** Committed golden values for one policy. */
+struct Golden
+{
+    const char *policy;
+    const char *displayName;
+    double qosGuarantee; ///< tolerance ±0.03 (absolute)
+    double qosTardiness; ///< tolerance ±0.60 (absolute)
+    double energy;       ///< tolerance ±5% (relative)
+    double meanPower;    ///< tolerance ±5% (relative)
+    double migrations;   ///< tolerance ±30% (relative), exact when 0
+};
+
+/** Goldens for the 240 s compressed-diurnal Memcached scenario. */
+const Golden kGoldens[] = {
+    // policy        display              QoS    tard  E(J) P(W)  migr
+    {"hipster",      "HipsterIn",         0.979, 1.81, 333, 1.39, 86},
+    {"heuristic",    "Hipster-Heuristic", 0.988, 2.30, 372, 1.55, 90},
+    {"octopus-man",  "Octopus-Man",       0.883, 4.02, 330, 1.38, 354},
+    {"static-big",   "Static(all-big)",   1.000, 0.00, 417, 1.74, 0},
+};
+
+ExperimentResult
+runScenario(const std::string &policyName)
+{
+    ExperimentRunner runner(Platform::junoR1(), memcachedWorkload(),
+                            diurnalTrace(kDuration, kSeed + 100),
+                            kSeed);
+    HipsterParams params = tunedHipsterParams("memcached");
+    params.learningPhase = kLearning;
+    const auto policy =
+        makePolicy(policyName, runner.platform(), params);
+    return runner.run(*policy, kDuration);
+}
+
+class GoldenScenario : public ::testing::TestWithParam<Golden>
+{
+};
+
+TEST_P(GoldenScenario, SummaryMatchesCommittedGolden)
+{
+    const Golden &golden = GetParam();
+    const ExperimentResult result = runScenario(golden.policy);
+    const RunSummary &s = result.summary;
+
+    EXPECT_EQ(result.policyName, golden.displayName);
+    EXPECT_EQ(result.workloadName, "memcached");
+    EXPECT_EQ(s.intervals, static_cast<std::size_t>(kDuration));
+    EXPECT_EQ(result.series.size(), static_cast<std::size_t>(kDuration));
+    EXPECT_EQ(s.dropped, 0u);
+
+    EXPECT_NEAR(s.qosGuarantee, golden.qosGuarantee, 0.03);
+    EXPECT_NEAR(s.qosTardiness, golden.qosTardiness, 0.60);
+    EXPECT_NEAR(s.energy, golden.energy, golden.energy * 0.05);
+    EXPECT_NEAR(s.meanPower, golden.meanPower,
+                golden.meanPower * 0.05);
+    if (golden.migrations == 0.0) {
+        EXPECT_EQ(s.migrations, 0u);
+    } else {
+        EXPECT_NEAR(static_cast<double>(s.migrations),
+                    golden.migrations, golden.migrations * 0.30);
+    }
+    // Energy must equal the integral of the series.
+    double total = 0.0;
+    for (const auto &m : result.series)
+        total += m.energy;
+    EXPECT_NEAR(s.energy, total, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, GoldenScenario, ::testing::ValuesIn(kGoldens),
+    [](const ::testing::TestParamInfo<Golden> &info) {
+        std::string name = info.param.policy;
+        for (auto &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+TEST(GoldenScenarioCross, PolicyOrderingsHold)
+{
+    // Structural facts of the scenario that must survive any
+    // re-calibration: the static all-big baseline spends the most
+    // energy and never migrates; Octopus-Man migrates far more than
+    // HipsterIn; HipsterIn beats Octopus-Man on QoS.
+    const auto hipster = runScenario("hipster");
+    const auto octopus = runScenario("octopus-man");
+    const auto staticBig = runScenario("static-big");
+
+    EXPECT_GT(staticBig.summary.energy, hipster.summary.energy);
+    EXPECT_GT(staticBig.summary.energy, octopus.summary.energy);
+    EXPECT_EQ(staticBig.migrations, 0u);
+    EXPECT_GT(octopus.migrations, hipster.migrations * 2);
+    EXPECT_GT(hipster.summary.qosGuarantee,
+              octopus.summary.qosGuarantee);
+}
+
+} // namespace
+} // namespace hipster

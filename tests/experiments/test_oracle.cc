@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Unit tests for experiments/oracle: steady-state measurement of
+ * (load, configuration) pairs, the least-power-among-feasible
+ * selection rule of Section 2, and the per-load state machine of
+ * Figure 2c.
+ */
+
+#include <gtest/gtest.h>
+
+#include "experiments/oracle.hh"
+#include "experiments/scenario.hh"
+#include "platform/config_space.hh"
+
+namespace hipster
+{
+namespace
+{
+
+OracleOptions
+quickOptions()
+{
+    OracleOptions options;
+    options.warmup = 2.0;
+    options.measure = 8.0;
+    options.qosFractionRequired = 0.9;
+    options.interval = 1.0;
+    options.seed = 3;
+    return options;
+}
+
+TEST(OracleMeasure, ReportsConsistentDerivedFields)
+{
+    HetCmpOracle oracle(Platform::junoR1(), memcachedWorkload(),
+                        quickOptions());
+    const CoreConfig big{2, 0, 1.15, 0.65};
+    const auto m = oracle.measure(0.4, big);
+    EXPECT_EQ(m.config, big);
+    EXPECT_DOUBLE_EQ(m.load, 0.4);
+    EXPECT_GT(m.power, 0.0);
+    EXPECT_GT(m.throughput, 0.0);
+    EXPECT_NEAR(m.throughputPerWatt, m.throughput / m.power, 1e-9);
+    EXPECT_GE(m.qosFraction, 0.0);
+    EXPECT_LE(m.qosFraction, 1.0);
+    EXPECT_EQ(m.feasible, m.qosFraction >= 0.9);
+}
+
+TEST(OracleMeasure, DeterministicForEqualSeeds)
+{
+    HetCmpOracle a(Platform::junoR1(), memcachedWorkload(),
+                   quickOptions());
+    HetCmpOracle b(Platform::junoR1(), memcachedWorkload(),
+                   quickOptions());
+    const CoreConfig config{1, 1, 0.90, 0.65};
+    const auto ma = a.measure(0.5, config);
+    const auto mb = b.measure(0.5, config);
+    EXPECT_EQ(ma.tailLatency, mb.tailLatency);
+    EXPECT_EQ(ma.power, mb.power);
+    EXPECT_EQ(ma.throughput, mb.throughput);
+    EXPECT_EQ(ma.qosFraction, mb.qosFraction);
+}
+
+TEST(OracleMeasure, BigConfigDrawsMorePowerAtEqualLoad)
+{
+    HetCmpOracle oracle(Platform::junoR1(), memcachedWorkload(),
+                        quickOptions());
+    const auto small = oracle.measure(0.2, CoreConfig{0, 2, 0.60, 0.65});
+    const auto big = oracle.measure(0.2, CoreConfig{2, 0, 1.15, 0.65});
+    EXPECT_GT(big.power, small.power);
+}
+
+TEST(OracleBestConfig, PicksLeastPowerAmongFeasible)
+{
+    HetCmpOracle oracle(Platform::junoR1(), memcachedWorkload(),
+                        quickOptions());
+    Platform platform(Platform::junoR1());
+    const auto states = ConfigSpace::paperStates(platform);
+    const auto entry = oracle.bestConfig(0.3, states);
+    ASSERT_TRUE(entry.best.has_value());
+    EXPECT_TRUE(entry.best->feasible);
+    // No other feasible candidate may beat the winner on power.
+    for (const auto &config : states) {
+        const auto m = oracle.measure(0.3, config);
+        if (m.feasible) {
+            EXPECT_GE(m.power, entry.best->power);
+        }
+    }
+}
+
+TEST(OracleBestConfig, InfeasibleLoadYieldsEmptyBest)
+{
+    HetCmpOracle oracle(Platform::junoR1(), memcachedWorkload(),
+                        quickOptions());
+    // Only a 1-small-core candidate, at 80% load: hopeless.
+    const auto entry =
+        oracle.bestConfig(0.8, {CoreConfig{0, 1, 0.60, 0.65}});
+    EXPECT_FALSE(entry.best.has_value());
+    EXPECT_DOUBLE_EQ(entry.load, 0.8);
+}
+
+TEST(OracleStateMachine, OneEntryPerLoadWithRisingDemand)
+{
+    HetCmpOracle oracle(Platform::junoR1(), memcachedWorkload(),
+                        quickOptions());
+    Platform platform(Platform::junoR1());
+    const auto states = ConfigSpace::paperStates(platform);
+    const std::vector<Fraction> loads = {0.2, 0.5, 0.9};
+    const auto machine = oracle.stateMachine(loads, states);
+    ASSERT_EQ(machine.size(), loads.size());
+    for (std::size_t i = 0; i < machine.size(); ++i) {
+        EXPECT_DOUBLE_EQ(machine[i].load, loads[i]);
+        ASSERT_TRUE(machine[i].best.has_value());
+    }
+    // The Figure 2c shape: serving 90% load costs more power than
+    // serving 20%.
+    EXPECT_GT(machine.back().best->power,
+              machine.front().best->power);
+}
+
+} // namespace
+} // namespace hipster

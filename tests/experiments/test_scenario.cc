@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Unit tests for experiments/scenario: the diurnal/ramp trace
+ * factories, the name-keyed trace factory the CLIs share, tuned
+ * parameter selection, the policy factory (incl. aliases) and the
+ * canned diurnal runner.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/hipster_policy.hh"
+#include "experiments/scenario.hh"
+
+namespace hipster
+{
+namespace
+{
+
+TEST(ScenarioTraces, DiurnalStaysWithinConfiguredBand)
+{
+    const auto trace = diurnalTrace(1440.0, 11, 0.05, 0.95);
+    double lo = 1.0, hi = 0.0;
+    for (double t = 0.0; t < 1440.0; t += 10.0) {
+        const double v = trace->at(t);
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+        EXPECT_GE(v, 0.0);
+        // The noisy wrapper caps at 1.05 x the envelope.
+        EXPECT_LE(v, 1.05);
+    }
+    // The compressed day visits both the trough and the peak region.
+    EXPECT_LT(lo, 0.20);
+    EXPECT_GT(hi, 0.75);
+}
+
+TEST(ScenarioTraces, DiurnalSeedControlsNoiseDeterministically)
+{
+    const auto a = diurnalTrace(600.0, 7);
+    const auto b = diurnalTrace(600.0, 7);
+    const auto c = diurnalTrace(600.0, 8);
+    double diff_ab = 0.0, diff_ac = 0.0;
+    for (double t = 0.0; t < 600.0; t += 1.0) {
+        diff_ab += std::abs(a->at(t) - b->at(t));
+        diff_ac += std::abs(a->at(t) - c->at(t));
+    }
+    EXPECT_EQ(diff_ab, 0.0);
+    EXPECT_GT(diff_ac, 0.0);
+}
+
+TEST(ScenarioTraces, RampMatchesFigure8Stimulus)
+{
+    const auto ramp = rampTrace50to100();
+    EXPECT_DOUBLE_EQ(ramp->at(0.0), 0.50);
+    EXPECT_DOUBLE_EQ(ramp->at(300.0), 1.00);
+    // Monotone non-decreasing through the ramp window.
+    double prev = 0.0;
+    for (double t = 0.0; t <= 200.0; t += 5.0) {
+        EXPECT_GE(ramp->at(t), prev);
+        prev = ramp->at(t);
+    }
+}
+
+TEST(ScenarioTraces, FactoryByNameCoversEveryCliName)
+{
+    EXPECT_GT(makeTraceByName("diurnal", 600.0, 3)->at(100.0), 0.0);
+    EXPECT_DOUBLE_EQ(makeTraceByName("ramp", 600.0, 3)->at(0.0), 0.50);
+    const auto constant = makeTraceByName("constant:0.42", 600.0, 3);
+    EXPECT_DOUBLE_EQ(constant->at(0.0), 0.42);
+    EXPECT_DOUBLE_EQ(constant->at(599.0), 0.42);
+    const auto spike = makeTraceByName("spike", 600.0, 3);
+    // The spike adds load at 70% of the duration.
+    EXPECT_GT(spike->at(0.7 * 600.0 + 1.0), spike->at(0.5 * 600.0));
+    EXPECT_THROW(makeTraceByName("sawtooth", 600.0, 3), FatalError);
+    EXPECT_TRUE(isTraceName("diurnal"));
+    EXPECT_TRUE(isTraceName("constant:0.3"));
+    EXPECT_FALSE(isTraceName("sawtooth"));
+}
+
+TEST(ScenarioDefaultsTest, DurationsAndTunedParams)
+{
+    EXPECT_DOUBLE_EQ(diurnalDurationFor("memcached"),
+                     ScenarioDefaults::memcachedDiurnal);
+    EXPECT_DOUBLE_EQ(diurnalDurationFor("websearch"),
+                     ScenarioDefaults::webSearchDiurnal);
+    EXPECT_DOUBLE_EQ(tunedHipsterParams("memcached").bucketPercent, 8.0);
+    EXPECT_DOUBLE_EQ(tunedHipsterParams("websearch").bucketPercent, 5.0);
+    EXPECT_DOUBLE_EQ(tunedHipsterParams("memcached").learningPhase,
+                     ScenarioDefaults::learningPhase);
+}
+
+TEST(ScenarioPolicies, FactoryBuildsEveryTableRow)
+{
+    Platform platform(Platform::junoR1());
+    for (const auto &name : tablePolicyNames()) {
+        const auto policy = makePolicy(name, platform);
+        ASSERT_NE(policy, nullptr);
+        EXPECT_FALSE(policy->name().empty());
+    }
+    EXPECT_THROW(makePolicy("nonexistent", platform), FatalError);
+    for (const auto &name : tablePolicyNames())
+        EXPECT_TRUE(isPolicyName(name));
+    EXPECT_TRUE(isPolicyName("hipster"));
+    EXPECT_FALSE(isPolicyName("nonexistent"));
+}
+
+TEST(ScenarioPolicies, HipsterAliasMatchesHipsterIn)
+{
+    Platform platform(Platform::junoR1());
+    const auto alias = makePolicy("hipster", platform);
+    const auto canonical = makePolicy("hipster-in", platform);
+    EXPECT_EQ(alias->name(), canonical->name());
+}
+
+TEST(ScenarioPolicies, VariantPropagatesThroughFactory)
+{
+    Platform platform(Platform::junoR1());
+    HipsterParams params;
+    params.variant = PolicyVariant::Collocated;
+    // hipster-in forces the interactive variant regardless.
+    const auto in = makePolicy("hipster-in", platform, params);
+    const auto co = makePolicy("hipster-co", platform, params);
+    EXPECT_NE(in->name(), co->name());
+}
+
+TEST(ScenarioRunner, DiurnalRunnerRunsTheNamedWorkload)
+{
+    ExperimentRunner runner = makeDiurnalRunner("memcached", 30.0, 4);
+    EXPECT_EQ(runner.workload().params.name, "memcached");
+    StaticPolicy policy = StaticPolicy::allBig(runner.platform());
+    const auto result = runner.run(policy, 30.0);
+    EXPECT_EQ(result.series.size(), 30u);
+    EXPECT_EQ(result.workloadName, "memcached");
+}
+
+} // namespace
+} // namespace hipster

@@ -1,0 +1,397 @@
+/**
+ * @file
+ * Tests for the sweep engine: deterministic seed derivation and job
+ * expansion, bitwise-identical runs for equal seeds, jobs=1 vs
+ * jobs=N aggregate identity, the Student-t confidence-interval math
+ * behind AggregateSummary, and the CSV/table reporters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "experiments/sweep.hh"
+
+namespace hipster
+{
+namespace
+{
+
+/** Field-by-field equality of two interval series (exact doubles). */
+void
+expectBitwiseEqualSeries(const std::vector<IntervalMetrics> &a,
+                         const std::vector<IntervalMetrics> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        SCOPED_TRACE("interval " + std::to_string(i));
+        EXPECT_EQ(a[i].begin, b[i].begin);
+        EXPECT_EQ(a[i].end, b[i].end);
+        EXPECT_EQ(a[i].offeredLoad, b[i].offeredLoad);
+        EXPECT_EQ(a[i].offeredRate, b[i].offeredRate);
+        EXPECT_EQ(a[i].loadBucket, b[i].loadBucket);
+        EXPECT_EQ(a[i].tailLatency, b[i].tailLatency);
+        EXPECT_EQ(a[i].qosTarget, b[i].qosTarget);
+        EXPECT_EQ(a[i].throughput, b[i].throughput);
+        EXPECT_EQ(a[i].power, b[i].power);
+        EXPECT_EQ(a[i].energy, b[i].energy);
+        EXPECT_EQ(a[i].batchBigIps, b[i].batchBigIps);
+        EXPECT_EQ(a[i].batchSmallIps, b[i].batchSmallIps);
+        EXPECT_EQ(a[i].batchPresent, b[i].batchPresent);
+        EXPECT_EQ(a[i].ipsValid, b[i].ipsValid);
+        EXPECT_EQ(a[i].config, b[i].config);
+        EXPECT_EQ(a[i].migrations, b[i].migrations);
+        EXPECT_EQ(a[i].dvfsTransitions, b[i].dvfsTransitions);
+        EXPECT_EQ(a[i].lcUtilization, b[i].lcUtilization);
+        EXPECT_EQ(a[i].dropped, b[i].dropped);
+    }
+}
+
+void
+expectEqualEstimates(const Estimate &a, const Estimate &b)
+{
+    EXPECT_EQ(a.n, b.n);
+    EXPECT_EQ(a.mean, b.mean);
+    EXPECT_EQ(a.stddev, b.stddev);
+    EXPECT_EQ(a.ci95, b.ci95);
+}
+
+SweepSpec
+shortSpec()
+{
+    SweepSpec spec;
+    spec.workloads = {"memcached"};
+    spec.traces = {"diurnal"};
+    spec.policies = {"octopus-man", "hipster-in"};
+    spec.seeds = 3;
+    spec.masterSeed = 17;
+    spec.duration = 60.0;
+    spec.learningPhase = 20.0;
+    return spec;
+}
+
+TEST(SweepSeeds, DerivationIsAPureFunction)
+{
+    EXPECT_EQ(SweepEngine::seedForRun(1, 0),
+              SweepEngine::seedForRun(1, 0));
+    EXPECT_NE(SweepEngine::seedForRun(1, 0),
+              SweepEngine::seedForRun(1, 1));
+    EXPECT_NE(SweepEngine::seedForRun(1, 0),
+              SweepEngine::seedForRun(2, 0));
+}
+
+TEST(SweepSeeds, DistinctAcrossRepetitions)
+{
+    std::set<std::uint64_t> seen;
+    for (std::size_t s = 0; s < 4096; ++s)
+        seen.insert(SweepEngine::seedForRun(99, s));
+    EXPECT_EQ(seen.size(), 4096u);
+}
+
+TEST(SweepSeeds, CellsSharePairedSeedSets)
+{
+    // Common random numbers: at equal seedIndex, every cell of a
+    // sweep runs the same seed, so A/B policy comparisons are
+    // paired rather than absorbing cross-arm seed variance.
+    SweepSpec spec;
+    spec.workloads = {"memcached", "websearch"};
+    spec.policies = {"static-big", "octopus-man"};
+    spec.seeds = 3;
+    const auto jobs = SweepEngine(spec).expandJobs();
+    for (const SweepJob &job : jobs)
+        EXPECT_EQ(job.seed,
+                  SweepEngine::seedForRun(spec.masterSeed,
+                                          job.seedIndex));
+}
+
+TEST(SweepExpansion, WorkloadMajorOrderWithDerivedSeeds)
+{
+    SweepSpec spec;
+    spec.workloads = {"memcached", "websearch"};
+    spec.traces = {"diurnal"};
+    spec.policies = {"static-big", "octopus-man"};
+    spec.seeds = 2;
+    spec.masterSeed = 5;
+    const auto jobs = SweepEngine(spec).expandJobs();
+    ASSERT_EQ(jobs.size(), 8u);
+    // First cell: memcached/diurnal/static-big, seeds 0 and 1.
+    EXPECT_EQ(jobs[0].workload, "memcached");
+    EXPECT_EQ(jobs[0].policy, "static-big");
+    EXPECT_EQ(jobs[0].cell, 0u);
+    EXPECT_EQ(jobs[1].cell, 0u);
+    EXPECT_EQ(jobs[1].seedIndex, 1u);
+    EXPECT_EQ(jobs[2].policy, "octopus-man");
+    EXPECT_EQ(jobs[4].workload, "websearch");
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(jobs[i].index, i);
+        EXPECT_EQ(jobs[i].seed,
+                  SweepEngine::seedForRun(5, jobs[i].seedIndex));
+    }
+    // Expansion is reproducible.
+    const auto again = SweepEngine(spec).expandJobs();
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        EXPECT_EQ(jobs[i].seed, again[i].seed);
+}
+
+TEST(SweepDeterminism, SameSeedBitwiseIdenticalSeries)
+{
+    const SweepSpec spec = shortSpec();
+    SweepEngine engine(spec);
+    const auto jobs = engine.expandJobs();
+    // Re-run the same job (a full HipsterIn closed loop) twice: the
+    // interval series must match field-for-field.
+    const auto a = engine.runJob(jobs[4]);
+    const auto b = engine.runJob(jobs[4]);
+    expectBitwiseEqualSeries(a.series, b.series);
+    EXPECT_EQ(a.summary.energy, b.summary.energy);
+    EXPECT_EQ(a.summary.qosGuarantee, b.summary.qosGuarantee);
+    EXPECT_EQ(a.migrations, b.migrations);
+}
+
+TEST(SweepDeterminism, DifferentSeedsProduceDifferentSeries)
+{
+    const SweepSpec spec = shortSpec();
+    SweepEngine engine(spec);
+    const auto jobs = engine.expandJobs();
+    ASSERT_EQ(jobs[0].cell, jobs[1].cell);
+    const auto a = engine.runJob(jobs[0]);
+    const auto b = engine.runJob(jobs[1]);
+    // Identical runs would defeat the point of multi-seed sweeps.
+    double diff = 0.0;
+    for (std::size_t i = 0; i < a.series.size(); ++i)
+        diff += std::abs(a.series[i].tailLatency -
+                         b.series[i].tailLatency);
+    EXPECT_GT(diff, 0.0);
+}
+
+TEST(SweepDeterminism, SequentialAndParallelAggregatesIdentical)
+{
+    const SweepSpec spec = shortSpec();
+    SweepEngine engine(spec);
+    const auto serial = engine.run(1);
+    const auto parallel = engine.run(4);
+
+    ASSERT_EQ(serial.runs.size(), parallel.runs.size());
+    for (std::size_t i = 0; i < serial.runs.size(); ++i) {
+        EXPECT_EQ(serial.runs[i].job.seed, parallel.runs[i].job.seed);
+        EXPECT_EQ(serial.runs[i].result.summary.energy,
+                  parallel.runs[i].result.summary.energy);
+    }
+    ASSERT_EQ(serial.cells.size(), parallel.cells.size());
+    for (std::size_t c = 0; c < serial.cells.size(); ++c) {
+        SCOPED_TRACE("cell " + std::to_string(c));
+        expectEqualEstimates(serial.cells[c].qosGuarantee,
+                             parallel.cells[c].qosGuarantee);
+        expectEqualEstimates(serial.cells[c].qosTardiness,
+                             parallel.cells[c].qosTardiness);
+        expectEqualEstimates(serial.cells[c].energy,
+                             parallel.cells[c].energy);
+        expectEqualEstimates(serial.cells[c].migrations,
+                             parallel.cells[c].migrations);
+    }
+}
+
+TEST(SweepDeterminism, OnRunObservesJobsInExpansionOrder)
+{
+    const SweepSpec spec = shortSpec();
+    SweepEngine engine(spec);
+    std::vector<std::size_t> order;
+    engine.run(4, [&](const SweepRun &run) {
+        order.push_back(run.job.index);
+    });
+    ASSERT_EQ(order.size(), 6u);
+    for (std::size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(SweepAggregation, CellStatsMatchManualReduction)
+{
+    const SweepSpec spec = shortSpec();
+    const auto results = SweepEngine(spec).run(2);
+    ASSERT_EQ(results.cells.size(), 2u);
+    for (const auto &cell : results.cells) {
+        std::vector<double> qos;
+        for (const auto &run : results.runs) {
+            if (results.cells[run.job.cell].policy == cell.policy)
+                qos.push_back(run.result.summary.qosGuarantee);
+        }
+        const Estimate manual = Estimate::of(qos);
+        EXPECT_EQ(cell.qosGuarantee.mean, manual.mean);
+        EXPECT_EQ(cell.qosGuarantee.ci95, manual.ci95);
+        EXPECT_EQ(cell.runs, spec.seeds);
+    }
+}
+
+TEST(SweepLookups, FindAndRepresentative)
+{
+    const auto results = SweepEngine(shortSpec()).run(2);
+    const auto *cell = results.find("hipster-in", "memcached");
+    ASSERT_NE(cell, nullptr);
+    EXPECT_EQ(cell->policyDisplay, "HipsterIn");
+    EXPECT_EQ(results.find("hipster-in", "memcached", "diurnal"), cell);
+    EXPECT_EQ(results.find("nope", "memcached"), nullptr);
+    const auto *rep = results.representative("octopus-man", "memcached");
+    ASSERT_NE(rep, nullptr);
+    EXPECT_EQ(rep->policyName, "Octopus-Man");
+    EXPECT_EQ(rep->series.size(), 60u);
+    EXPECT_EQ(results.representative("octopus-man", "websearch"),
+              nullptr);
+}
+
+TEST(SweepCi, EstimateMatchesHandComputedStudentT)
+{
+    const Estimate e = Estimate::of({1.0, 2.0, 3.0, 4.0, 5.0});
+    EXPECT_EQ(e.n, 5u);
+    EXPECT_DOUBLE_EQ(e.mean, 3.0);
+    EXPECT_DOUBLE_EQ(e.stddev, std::sqrt(2.5));
+    // t(0.975, df=4) = 2.776; half-width = t * s / sqrt(n).
+    EXPECT_NEAR(e.ci95, 2.776 * std::sqrt(2.5) / std::sqrt(5.0), 1e-9);
+    EXPECT_DOUBLE_EQ(e.lo(), e.mean - e.ci95);
+    EXPECT_DOUBLE_EQ(e.hi(), e.mean + e.ci95);
+}
+
+TEST(SweepCi, DegenerateSampleSizes)
+{
+    const Estimate none = Estimate::of({});
+    EXPECT_EQ(none.n, 0u);
+    EXPECT_EQ(none.mean, 0.0);
+    EXPECT_EQ(none.ci95, 0.0);
+    const Estimate one = Estimate::of({42.0});
+    EXPECT_EQ(one.n, 1u);
+    EXPECT_DOUBLE_EQ(one.mean, 42.0);
+    EXPECT_EQ(one.stddev, 0.0);
+    EXPECT_EQ(one.ci95, 0.0);
+    const Estimate constant = Estimate::of({2.0, 2.0, 2.0});
+    EXPECT_DOUBLE_EQ(constant.mean, 2.0);
+    EXPECT_DOUBLE_EQ(constant.ci95, 0.0);
+}
+
+TEST(SweepCi, TCriticalValues)
+{
+    EXPECT_DOUBLE_EQ(tCritical95(1), 12.706);
+    EXPECT_DOUBLE_EQ(tCritical95(4), 2.776);
+    EXPECT_DOUBLE_EQ(tCritical95(30), 2.042);
+    EXPECT_DOUBLE_EQ(tCritical95(1000), 1.960);
+    EXPECT_EQ(tCritical95(0), 0.0);
+    // Monotone non-increasing in df.
+    for (std::size_t df = 1; df < 40; ++df)
+        EXPECT_GE(tCritical95(df), tCritical95(df + 1));
+}
+
+TEST(SweepReporters, CsvAndTableShapes)
+{
+    const auto results = SweepEngine(shortSpec()).run(2);
+
+    std::ostringstream runsOut;
+    CsvWriter runsCsv(runsOut);
+    writeRunsCsv(runsCsv, results);
+    EXPECT_EQ(runsCsv.rowsWritten(), results.runs.size());
+    EXPECT_NE(runsOut.str().find("qos_guarantee_pct"),
+              std::string::npos);
+
+    std::ostringstream aggOut;
+    CsvWriter aggCsv(aggOut);
+    writeAggregateCsv(aggCsv, results);
+    EXPECT_EQ(aggCsv.rowsWritten(), results.cells.size());
+    EXPECT_NE(aggOut.str().find("energy_ci95_j"), std::string::npos);
+
+    std::ostringstream tableOut;
+    printAggregateTable(tableOut, results);
+    EXPECT_NE(tableOut.str().find("HipsterIn"), std::string::npos);
+    EXPECT_NE(tableOut.str().find("Octopus-Man"), std::string::npos);
+}
+
+TEST(SweepSpecValidation, RejectsEmptyAndZero)
+{
+    SweepSpec spec = shortSpec();
+    spec.policies.clear();
+    EXPECT_THROW(SweepEngine{spec}, FatalError);
+    spec = shortSpec();
+    spec.workloads.clear();
+    EXPECT_THROW(SweepEngine{spec}, FatalError);
+    spec = shortSpec();
+    spec.traces.clear();
+    EXPECT_THROW(SweepEngine{spec}, FatalError);
+    spec = shortSpec();
+    spec.seeds = 0;
+    EXPECT_THROW(SweepEngine{spec}, FatalError);
+    spec = shortSpec();
+    spec.durationScale = 0.0;
+    EXPECT_THROW(SweepEngine{spec}, FatalError);
+}
+
+TEST(SweepSpecValidation, FailsFastOnTypoedNames)
+{
+    // A bad name at the tail of a campaign must be rejected at
+    // construction, not after every earlier cell has run.
+    SweepSpec spec = shortSpec();
+    spec.policies.push_back("typo");
+    EXPECT_THROW(SweepEngine{spec}, FatalError);
+    spec = shortSpec();
+    spec.workloads.push_back("typo");
+    EXPECT_THROW(SweepEngine{spec}, FatalError);
+    spec = shortSpec();
+    spec.traces.push_back("typo");
+    EXPECT_THROW(SweepEngine{spec}, FatalError);
+    // Synthetic labels are legal with a custom jobRunner (ablations).
+    spec = shortSpec();
+    spec.policies = {"my-custom-arm"};
+    spec.jobRunner = [](const SweepJob &) { return ExperimentResult{}; };
+    EXPECT_NO_THROW(SweepEngine{spec});
+}
+
+TEST(SweepMemory, KeepSeriesFalseDropsNonRepresentativeSeries)
+{
+    SweepSpec spec = shortSpec();
+    spec.keepSeries = false;
+    const auto results = SweepEngine(spec).run(2);
+    for (const auto &run : results.runs) {
+        if (run.job.seedIndex == 0) {
+            EXPECT_EQ(run.result.series.size(), 60u);
+        } else {
+            EXPECT_TRUE(run.result.series.empty());
+        }
+        // Summaries survive regardless.
+        EXPECT_EQ(run.result.summary.intervals, 60u);
+    }
+    // Aggregates are unaffected by dropping the series.
+    spec.keepSeries = true;
+    const auto kept = SweepEngine(spec).run(2);
+    for (std::size_t c = 0; c < results.cells.size(); ++c)
+        expectEqualEstimates(results.cells[c].energy,
+                             kept.cells[c].energy);
+}
+
+TEST(SweepHooks, TuneHipsterAndJobRunnerAreHonoured)
+{
+    SweepSpec spec = shortSpec();
+    spec.policies = {"hipster-in"};
+    spec.seeds = 1;
+    std::size_t tuned = 0;
+    spec.tuneHipster = [&tuned](const SweepJob &, HipsterParams &p) {
+        ++tuned;
+        p.learningPhase = 5.0;
+    };
+    SweepEngine engine(spec);
+    engine.run(1);
+    EXPECT_EQ(tuned, 1u);
+
+    spec.tuneHipster = nullptr;
+    spec.jobRunner = [](const SweepJob &job) {
+        ExperimentResult result;
+        result.policyName = "custom:" + job.policy;
+        result.workloadName = job.workload;
+        result.summary.qosGuarantee = 0.5;
+        result.summary.intervals = 1;
+        return result;
+    };
+    const auto results = SweepEngine(spec).run(2);
+    ASSERT_EQ(results.runs.size(), 1u);
+    EXPECT_EQ(results.runs[0].result.policyName, "custom:hipster-in");
+    EXPECT_DOUBLE_EQ(results.cells[0].qosGuarantee.mean, 0.5);
+}
+
+} // namespace
+} // namespace hipster

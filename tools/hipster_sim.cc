@@ -124,27 +124,6 @@ parse(int argc, char **argv)
     return options;
 }
 
-std::shared_ptr<const LoadTrace>
-makeTrace(const CliOptions &options, Seconds duration)
-{
-    if (options.trace == "diurnal")
-        return diurnalTrace(duration, options.seed + 100);
-    if (options.trace == "ramp")
-        return rampTrace50to100();
-    if (options.trace == "spike") {
-        auto day =
-            std::make_shared<DiurnalTrace>(duration, 0.05, 0.80);
-        return std::make_shared<SpikeTrace>(day, duration * 0.7,
-                                            duration * 0.05, 0.40);
-    }
-    if (options.trace.rfind("constant:", 0) == 0) {
-        const double level =
-            std::atof(options.trace.c_str() + std::strlen("constant:"));
-        return std::make_shared<ConstantTrace>(level);
-    }
-    fatal("unknown trace '", options.trace, "'");
-}
-
 } // namespace
 
 int
@@ -155,7 +134,8 @@ main(int argc, char **argv)
         const Seconds duration =
             options.duration > 0.0 ? options.duration
                                    : diurnalDurationFor(options.workload);
-        const auto trace = makeTrace(options, duration);
+        const auto trace =
+            makeTraceByName(options.trace, duration, options.seed + 100);
 
         ExperimentRunner runner(Platform::junoR1(),
                                 lcWorkloadByName(options.workload),

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * hipster_sweep — parallel multi-seed sweep campaigns over the
+ * built-in policies, workloads and load traces, with deterministic
+ * aggregation (mean / stddev / 95% CI per cell). The aggregates are
+ * bitwise-identical for any --jobs value: per-run seeds are derived
+ * from the master seed at expansion time and cells are reduced in a
+ * fixed order.
+ *
+ *   hipster_sweep --policy hipster --seeds 8 --jobs 4
+ *   hipster_sweep --policy all --workload memcached,websearch \
+ *                 --seeds 5 --agg-csv table3.csv
+ *   hipster_sweep --policy hipster-in,octopus-man --trace diurnal \
+ *                 --seeds 10 --csv runs.csv
+ *
+ * Options:
+ *   --policy   <p1,p2,...>|all  policies to sweep (default hipster-in;
+ *                               "all" = the Table 3 list)
+ *   --workload <w1,w2,...>      memcached|websearch (default memcached)
+ *   --trace    <t1,t2,...>      diurnal|ramp|constant:<frac>|spike
+ *                               (default diurnal)
+ *   --seeds    <n>              repetitions per cell (default 5)
+ *   --jobs     <n>              worker threads (default: hardware)
+ *   --master-seed <n>           seed all run seeds derive from (default 1)
+ *   --duration <seconds>        run length (default: workload diurnal)
+ *   --scale    <f>              duration scale factor (default 1.0)
+ *   --learning <seconds>        Hipster learning phase override
+ *   --bucket   <percent>        Hipster bucket width override
+ *   --csv      <path>           per-run CSV dump
+ *   --agg-csv  <path>           per-cell aggregate CSV dump
+ *   --quiet                     suppress per-run progress lines
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/csv.hh"
+#include "common/thread_pool.hh"
+#include "experiments/sweep.hh"
+
+namespace
+{
+
+using namespace hipster;
+
+struct CliOptions
+{
+    SweepSpec spec;
+    std::size_t jobs = ThreadPool::defaultJobs();
+    std::string csvPath;
+    std::string aggCsvPath;
+    bool quiet = false;
+};
+
+[[noreturn]] void
+usage(const char *argv0, int code)
+{
+    std::printf(
+        "usage: %s [--policy <p1,p2,...>|all] [--workload <w1,...>]\n"
+        "          [--trace <t1,...>] [--seeds <n>] [--jobs <n>]\n"
+        "          [--master-seed <n>] [--duration <s>] [--scale <f>]\n"
+        "          [--learning <s>] [--bucket <pct>]\n"
+        "          [--csv <path>] [--agg-csv <path>] [--quiet]\n",
+        argv0);
+    std::exit(code);
+}
+
+std::vector<std::string>
+splitList(const std::string &list)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+        const std::size_t comma = list.find(',', pos);
+        if (comma == std::string::npos) {
+            out.push_back(list.substr(pos));
+            break;
+        }
+        out.push_back(list.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+CliOptions
+parse(int argc, char **argv)
+{
+    CliOptions options;
+    options.spec.seeds = 5;
+    // The CLI only reports summaries/aggregates; don't hold every
+    // run's interval series for large campaigns.
+    options.spec.keepSeries = false;
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage(argv[0], 1);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--policy") {
+            const std::string value = need(i);
+            options.spec.policies =
+                value == "all" ? tablePolicyNames() : splitList(value);
+        } else if (arg == "--workload") {
+            options.spec.workloads = splitList(need(i));
+        } else if (arg == "--trace") {
+            options.spec.traces = splitList(need(i));
+        } else if (arg == "--seeds") {
+            options.spec.seeds = std::strtoull(need(i), nullptr, 10);
+        } else if (arg == "--jobs") {
+            options.jobs = std::strtoull(need(i), nullptr, 10);
+        } else if (arg == "--master-seed") {
+            options.spec.masterSeed =
+                std::strtoull(need(i), nullptr, 10);
+        } else if (arg == "--duration") {
+            options.spec.duration = std::atof(need(i));
+        } else if (arg == "--scale") {
+            options.spec.durationScale = std::atof(need(i));
+        } else if (arg == "--learning") {
+            options.spec.learningPhase = std::atof(need(i));
+        } else if (arg == "--bucket") {
+            options.spec.bucketPercent = std::atof(need(i));
+        } else if (arg == "--csv") {
+            options.csvPath = need(i);
+        } else if (arg == "--agg-csv") {
+            options.aggCsvPath = need(i);
+        } else if (arg == "--quiet") {
+            options.quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0], 0);
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            usage(argv[0], 1);
+        }
+    }
+    return options;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliOptions options = parse(argc, argv);
+    try {
+        SweepEngine engine(options.spec);
+        const std::size_t total = engine.expandJobs().size();
+        std::printf("sweep: %zu runs (%zu workloads x %zu traces x %zu "
+                    "policies x %zu seeds), %zu jobs\n",
+                    total, options.spec.workloads.size(),
+                    options.spec.traces.size(),
+                    options.spec.policies.size(), options.spec.seeds,
+                    options.jobs);
+
+        std::size_t done = 0;
+        const auto results = engine.run(
+            options.jobs, [&](const SweepRun &run) {
+                ++done;
+                if (options.quiet)
+                    return;
+                std::printf(
+                    "  [%3zu/%zu] %s/%s/%s seed[%zu]=%llu  "
+                    "QoS %.1f%%  energy %.0f J\n",
+                    done, total, run.job.workload.c_str(),
+                    run.job.trace.c_str(), run.job.policy.c_str(),
+                    run.job.seedIndex,
+                    static_cast<unsigned long long>(run.job.seed),
+                    run.result.summary.qosGuarantee * 100.0,
+                    run.result.summary.energy);
+            });
+
+        std::printf("\n");
+        printAggregateTable(std::cout, results);
+
+        if (!options.csvPath.empty()) {
+            CsvWriter csv(options.csvPath);
+            writeRunsCsv(csv, results);
+        }
+        if (!options.aggCsvPath.empty()) {
+            CsvWriter csv(options.aggCsvPath);
+            writeAggregateCsv(csv, results);
+        }
+        return 0;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}
