@@ -16,12 +16,14 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/csv.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "common/thread_pool.hh"
 #include "experiments/sweep.hh"
+#include "loadgen/trace_registry.hh"
 
 namespace hipster::bench
 {
@@ -46,10 +48,29 @@ struct BenchOptions
 
     /** Master seed the per-run seeds derive from (--master-seed). */
     std::uint64_t masterSeed = 1;
+
+    /** Trace-spec override from --trace <list> (empty = the bench's
+     * own stimulus). Any registered registry spec is accepted, so a
+     * figure can be re-run against e.g. mmpp or flashcrowd load. */
+    std::vector<std::string> traces;
+};
+
+/**
+ * Whether a bench honours --trace overrides. Only benches that run
+ * the SweepEngine's default job wiring do; the ablations and the
+ * hand-rolled single-run figures drive a fixed stimulus and must
+ * reject the flag rather than silently ignore it (the results would
+ * otherwise be mislabeled with the requested trace).
+ */
+enum class TraceOverride
+{
+    Rejected, ///< fixed stimulus; --trace is an error
+    Supported ///< default sweep wiring; --trace reroutes the load
 };
 
 inline BenchOptions
-parseArgs(int argc, char **argv)
+parseArgs(int argc, char **argv,
+          TraceOverride trace_override = TraceOverride::Rejected)
 {
     BenchOptions options;
     auto need = [&](int &i) -> const char * {
@@ -71,11 +92,28 @@ parseArgs(int argc, char **argv)
             options.jobs = std::strtoull(need(i), nullptr, 10);
         } else if (arg == "--master-seed") {
             options.masterSeed = std::strtoull(need(i), nullptr, 10);
+        } else if (arg == "--trace" || arg == "--traces") {
+            if (trace_override == TraceOverride::Rejected) {
+                std::fprintf(stderr,
+                             "%s: this bench drives a fixed stimulus "
+                             "and does not honour --trace\n",
+                             arg.c_str());
+                std::exit(1);
+            }
+            options.traces = splitTraceList(need(i));
+        } else if (arg == "--list-traces") {
+            std::fputs(
+                TraceRegistry::instance().catalogText().c_str(),
+                stdout);
+            std::exit(0);
         } else if (arg == "--help" || arg == "-h") {
             std::printf("usage: %s [--csv <path>] [--quick] "
                         "[--seeds <n>] [--jobs <n>] "
-                        "[--master-seed <n>]\n",
-                        argv[0]);
+                        "[--master-seed <n>]%s [--list-traces]\n",
+                        argv[0],
+                        trace_override == TraceOverride::Supported
+                            ? " [--trace <spec,...>]"
+                            : "");
             std::exit(0);
         } else {
             std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
@@ -94,7 +132,35 @@ parseArgs(int argc, char **argv)
                      ThreadPool::kMaxThreads);
         std::exit(1);
     }
+    // One spec only: the figure benches report a single stimulus
+    // (their lookups, contrast loops and banners all assume it); a
+    // multi-trace campaign belongs in hipster_sweep.
+    if (options.traces.size() > 1) {
+        std::fprintf(stderr,
+                     "--trace: benches take a single trace spec (got "
+                     "%zu); use hipster_sweep for multi-trace "
+                     "campaigns\n",
+                     options.traces.size());
+        std::exit(1);
+    }
+    for (const std::string &trace : options.traces) {
+        try {
+            validateTraceSpec(trace);
+        } catch (const FatalError &e) {
+            std::fprintf(stderr, "--trace: %s\n", e.what());
+            std::exit(1);
+        }
+    }
     return options;
+}
+
+/** The stimulus name to print in banners: the --trace override when
+ * given, else the bench's default. */
+inline std::string
+traceLabel(const BenchOptions &options,
+           const std::string &default_label = "diurnal")
+{
+    return options.traces.empty() ? default_label : options.traces[0];
 }
 
 /** Open the CSV writer when requested. */
@@ -124,14 +190,24 @@ sweepSpec(const BenchOptions &options)
     spec.seeds = options.seeds;
     spec.masterSeed = options.masterSeed;
     spec.durationScale = options.durationScale;
+    if (!options.traces.empty())
+        spec.traces = options.traces;
     return spec;
 }
 
-/** Run a spec with the bench's --jobs setting. */
+/** Run a spec with the bench's --jobs setting. The bench mains have
+ * no FatalError handler, so engine-level validation failures (e.g. a
+ * --trace splice that doesn't fit this bench's run length) must exit
+ * cleanly instead of reaching std::terminate. */
 inline SweepResults
 runSweep(const SweepSpec &spec, const BenchOptions &options)
 {
-    return SweepEngine(spec).run(options.jobs);
+    try {
+        return SweepEngine(spec).run(options.jobs);
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        std::exit(1);
+    }
 }
 
 } // namespace hipster::bench

@@ -69,8 +69,10 @@ contrastOf(const ExperimentResult &result, Seconds learning)
 int
 main(int argc, char **argv)
 {
-    const auto options = bench::parseArgs(argc, argv);
-    bench::banner("Figure 6", "HipsterIn on Memcached (diurnal)");
+    const auto options = bench::parseArgs(argc, argv,
+                                         bench::TraceOverride::Supported);
+    bench::banner("Figure 6", "HipsterIn on Memcached (" +
+                             bench::traceLabel(options) + ")");
 
     const Seconds learning =
         ScenarioDefaults::learningPhase * options.durationScale;

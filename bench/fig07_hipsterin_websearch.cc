@@ -20,8 +20,10 @@ using namespace hipster;
 int
 main(int argc, char **argv)
 {
-    const auto options = bench::parseArgs(argc, argv);
-    bench::banner("Figure 7", "HipsterIn on Web-Search (diurnal)");
+    const auto options = bench::parseArgs(argc, argv,
+                                         bench::TraceOverride::Supported);
+    bench::banner("Figure 7", "HipsterIn on Web-Search (" +
+                             bench::traceLabel(options) + ")");
 
     const Seconds learning =
         ScenarioDefaults::learningPhase * options.durationScale;

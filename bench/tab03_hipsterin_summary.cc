@@ -26,10 +26,12 @@ using namespace hipster;
 int
 main(int argc, char **argv)
 {
-    const auto options = bench::parseArgs(argc, argv);
+    const auto options = bench::parseArgs(argc, argv,
+                                         bench::TraceOverride::Supported);
     bench::banner("Table 3",
                   "QoS guarantee / tardiness / energy reduction, "
-                  "5 policies x 2 workloads");
+                  "5 policies x 2 workloads (" +
+                      bench::traceLabel(options) + ")");
 
     SweepSpec spec = bench::sweepSpec(options);
     spec.workloads = {"memcached", "websearch"};

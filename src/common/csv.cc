@@ -1,5 +1,8 @@
 #include "common/csv.hh"
 
+#include <algorithm>
+#include <cstdlib>
+
 #include "common/logging.hh"
 
 namespace hipster
@@ -52,8 +55,10 @@ CsvWriter::writeFields(const std::vector<std::string> &fields)
 std::string
 CsvWriter::escape(const std::string &field)
 {
+    // '\r' must be quoted too: the reader treats an unquoted CR as
+    // CRLF line-ending noise and would drop it on the way back in.
     const bool needs_quoting =
-        field.find_first_of(",\"\n") != std::string::npos;
+        field.find_first_of(",\"\n\r") != std::string::npos;
     if (!needs_quoting)
         return field;
     std::string out = "\"";
@@ -64,6 +69,153 @@ CsvWriter::escape(const std::string &field)
     }
     out += '"';
     return out;
+}
+
+CsvReader::CsvReader(const std::string &path)
+    : name_(path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("CsvReader: cannot open '", path, "' for reading");
+    parse(in);
+}
+
+CsvReader::CsvReader(std::istream &in, const std::string &name)
+    : name_(name)
+{
+    parse(in);
+}
+
+void
+CsvReader::parse(std::istream &in)
+{
+    // RFC 4180 state machine over the whole stream: quoted fields may
+    // contain commas, escaped quotes ("") and newlines.
+    std::vector<std::vector<std::string>> records;
+    std::vector<std::string> fields;
+    std::string field;
+    bool in_quotes = false;
+    bool field_was_quoted = false;
+    bool any_char = false;
+
+    const auto endField = [&] {
+        fields.push_back(std::move(field));
+        field.clear();
+        field_was_quoted = false;
+    };
+    const auto endRecord = [&] {
+        endField();
+        records.push_back(std::move(fields));
+        fields.clear();
+        any_char = false;
+    };
+
+    char c;
+    while (in.get(c)) {
+        if (in_quotes) {
+            if (c == '"') {
+                if (in.peek() == '"') {
+                    in.get(c);
+                    field += '"';
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                field += c;
+            }
+            any_char = true;
+            continue;
+        }
+        switch (c) {
+        case '"':
+            if (!field.empty() || field_was_quoted)
+                fatal("CsvReader: '", name_, "': stray quote inside "
+                      "an unquoted field (record ",
+                      records.size() + 1, ")");
+            in_quotes = true;
+            field_was_quoted = true;
+            any_char = true;
+            break;
+        case ',':
+            endField();
+            any_char = true;
+            break;
+        case '\r':
+            // Tolerate CRLF line endings only. A stray CR (mid-field
+            // or classic-Mac CR-only endings) must not be silently
+            // deleted — that would alter cell values.
+            if (in.peek() != '\n')
+                fatal("CsvReader: '", name_, "': stray carriage "
+                      "return (record ", records.size() + 1,
+                      "); only LF or CRLF line endings are supported");
+            break;
+        case '\n':
+            if (any_char || !fields.empty())
+                endRecord();
+            break;
+        default:
+            field += c;
+            any_char = true;
+            break;
+        }
+    }
+    if (in_quotes)
+        fatal("CsvReader: '", name_, "': unterminated quoted field");
+    if (any_char || !fields.empty())
+        endRecord(); // final record without trailing newline
+
+    if (records.empty())
+        fatal("CsvReader: '", name_, "': empty file (no header row)");
+    header_ = std::move(records.front());
+    rows_.assign(std::make_move_iterator(records.begin() + 1),
+                 std::make_move_iterator(records.end()));
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        if (rows_[r].size() != header_.size())
+            fatal("CsvReader: '", name_, "': row ", r + 1, " has ",
+                  rows_[r].size(), " fields, header has ",
+                  header_.size());
+    }
+}
+
+std::size_t
+CsvReader::columnIndex(const std::string &column) const
+{
+    const auto it = std::find(header_.begin(), header_.end(), column);
+    if (it == header_.end())
+        fatal("CsvReader: '", name_, "': no column named '", column,
+              "'");
+    return static_cast<std::size_t>(it - header_.begin());
+}
+
+const std::vector<std::string> &
+CsvReader::row(std::size_t r) const
+{
+    if (r >= rows_.size())
+        fatal("CsvReader: '", name_, "': row ", r, " out of range (",
+              rows_.size(), " rows)");
+    return rows_[r];
+}
+
+const std::string &
+CsvReader::cell(std::size_t r, std::size_t c) const
+{
+    const auto &fields = row(r);
+    if (c >= fields.size())
+        fatal("CsvReader: '", name_, "': column ", c,
+              " out of range in row ", r);
+    return fields[c];
+}
+
+double
+CsvReader::number(std::size_t r, std::size_t c) const
+{
+    const std::string &text = cell(r, c);
+    char *end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0')
+        fatal("CsvReader: '", name_, "': cell (", r, ",", c, ") = '",
+              text, "' is not a number");
+    return value;
 }
 
 } // namespace hipster

@@ -1,13 +1,17 @@
 /**
  * @file
- * Small CSV writer used by bench binaries to dump figure/table data
- * series alongside the human-readable stdout reports.
+ * Small CSV writer/reader pair: bench binaries dump figure/table data
+ * series alongside the human-readable stdout reports, and the trace
+ * replay subsystem loads recorded load curves back in. Both sides
+ * speak RFC 4180 quoting, so a file written by CsvWriter always
+ * parses back with CsvReader.
  */
 
 #ifndef HIPSTER_COMMON_CSV_HH
 #define HIPSTER_COMMON_CSV_HH
 
 #include <fstream>
+#include <iosfwd>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -60,6 +64,49 @@ class CsvWriter
     std::ostream *out_;
     std::vector<std::string> row_;
     std::size_t rowsWritten_ = 0;
+};
+
+/**
+ * Parses a whole CSV file (or stream) eagerly: the first row is the
+ * header, every following row is data. Fails fast with FatalError on
+ * unreadable files, missing headers, unterminated quotes and ragged
+ * rows (a data row whose field count differs from the header's), so
+ * malformed input never silently truncates an experiment.
+ */
+class CsvReader
+{
+  public:
+    /** Read and parse an entire file; FatalError when unopenable. */
+    explicit CsvReader(const std::string &path);
+
+    /** Parse from a stream; `name` labels error messages. */
+    explicit CsvReader(std::istream &in,
+                       const std::string &name = "<stream>");
+
+    /** Header fields, in file order. */
+    const std::vector<std::string> &columns() const { return header_; }
+
+    /** Index of a named column; FatalError when absent. */
+    std::size_t columnIndex(const std::string &column) const;
+
+    /** Number of data rows (the header is not counted). */
+    std::size_t rows() const { return rows_.size(); }
+
+    /** One data row's fields (unescaped). */
+    const std::vector<std::string> &row(std::size_t r) const;
+
+    /** A cell as text. */
+    const std::string &cell(std::size_t r, std::size_t c) const;
+
+    /** A cell parsed as a double; FatalError on non-numeric text. */
+    double number(std::size_t r, std::size_t c) const;
+
+  private:
+    void parse(std::istream &in);
+
+    std::string name_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
 };
 
 } // namespace hipster

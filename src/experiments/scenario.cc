@@ -1,10 +1,10 @@
 #include "experiments/scenario.hh"
 
 #include <algorithm>
-#include <cstdlib>
-#include <cstring>
 
 #include "common/logging.hh"
+#include "loadgen/trace_families.hh"
+#include "loadgen/trace_registry.hh"
 
 namespace hipster
 {
@@ -13,10 +13,7 @@ std::shared_ptr<const LoadTrace>
 diurnalTrace(Seconds duration, std::uint64_t seed, Fraction low,
              Fraction high)
 {
-    auto day = std::make_shared<DiurnalTrace>(duration, low, high);
-    return std::make_shared<NoisyTrace>(day, /*sigma=*/0.04,
-                                        /*interval=*/1.0, seed,
-                                        /*cap=*/1.05);
+    return makeNoisyDiurnal(duration, seed, low, high);
 }
 
 std::shared_ptr<const LoadTrace>
@@ -30,29 +27,13 @@ std::shared_ptr<const LoadTrace>
 makeTraceByName(const std::string &name, Seconds duration,
                 std::uint64_t seed)
 {
-    if (name == "diurnal")
-        return diurnalTrace(duration, seed);
-    if (name == "ramp")
-        return rampTrace50to100();
-    if (name == "spike") {
-        auto day = std::make_shared<DiurnalTrace>(duration, 0.05, 0.80);
-        return std::make_shared<SpikeTrace>(day, duration * 0.7,
-                                            duration * 0.05, 0.40);
-    }
-    if (name.rfind("constant:", 0) == 0) {
-        const double level =
-            std::atof(name.c_str() + std::strlen("constant:"));
-        return std::make_shared<ConstantTrace>(level);
-    }
-    fatal("unknown trace '", name, "'");
+    return makeTrace(name, duration, seed);
 }
 
 bool
 isTraceName(const std::string &name)
 {
-    // Keep in sync with makeTraceByName above.
-    return name == "diurnal" || name == "ramp" || name == "spike" ||
-           name.rfind("constant:", 0) == 0;
+    return isTraceSpec(name);
 }
 
 bool

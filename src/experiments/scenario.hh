@@ -48,16 +48,20 @@ diurnalTrace(Seconds duration, std::uint64_t seed = 11,
 std::shared_ptr<const LoadTrace> rampTrace50to100();
 
 /**
- * Load-trace factory keyed on the names the CLIs and the sweep
- * engine use: "diurnal", "ramp", "spike", "constant:<frac>". The
- * seed only perturbs the stochastic traces (diurnal noise). Throws
- * FatalError on unknown names.
+ * Load-trace factory keyed on the spec grammar of the loadgen
+ * TraceRegistry (see loadgen/trace_registry.hh): every registered
+ * family ("diurnal", "ramp", "spike", "constant:<frac>", "mmpp:...",
+ * "flashcrowd:...", "sine:...", "replay:<csv>") plus the transform
+ * combinators ("|scale:...", "|clip:...", ...) and '+' splicing. The
+ * seed only perturbs the stochastic stages. Throws FatalError on
+ * unknown or malformed specs, enumerating the registered specs.
  */
 std::shared_ptr<const LoadTrace> makeTraceByName(const std::string &name,
                                                  Seconds duration,
                                                  std::uint64_t seed);
 
-/** Whether makeTraceByName() accepts the name (fail-fast checks). */
+/** Whether makeTraceByName() accepts the spec (fail-fast checks).
+ * Alias for loadgen isTraceSpec(). */
 bool isTraceName(const std::string &name);
 
 /** Whether makePolicy() accepts the name (fail-fast checks). */

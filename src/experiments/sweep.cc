@@ -1,5 +1,6 @@
 #include "experiments/sweep.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <future>
 #include <ostream>
@@ -7,6 +8,7 @@
 #include "common/random.hh"
 #include "common/table.hh"
 #include "common/thread_pool.hh"
+#include "loadgen/trace_registry.hh"
 
 namespace hipster
 {
@@ -101,9 +103,24 @@ SweepEngine::SweepEngine(SweepSpec spec) : spec_(std::move(spec))
     if (!spec_.jobRunner) {
         for (const auto &workload : spec_.workloads)
             lcWorkloadByName(workload); // throws on unknown names
+        // Validate every trace against the actual run duration(s) it
+        // will pair with: splice lengths that don't fit the run must
+        // fail here, not after hours of good cells. Durations are
+        // deduplicated so a replay CSV is not parsed once per
+        // workload. Throws with the full catalog on unknown names.
+        std::vector<Seconds> durations;
+        for (const auto &workload : spec_.workloads) {
+            const Seconds base = spec_.duration > 0.0
+                                     ? spec_.duration
+                                     : diurnalDurationFor(workload);
+            const Seconds scaled = base * spec_.durationScale;
+            if (std::find(durations.begin(), durations.end(), scaled) ==
+                durations.end())
+                durations.push_back(scaled);
+        }
         for (const auto &trace : spec_.traces) {
-            if (!isTraceName(trace))
-                fatal("SweepSpec: unknown trace '", trace, "'");
+            for (const Seconds scaled : durations)
+                validateTraceSpec(trace, scaled);
         }
         for (const auto &policy : spec_.policies) {
             if (!isPolicyName(policy))

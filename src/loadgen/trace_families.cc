@@ -1,0 +1,414 @@
+#include "loadgen/trace_families.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <mutex>
+
+#include "common/csv.hh"
+#include "common/logging.hh"
+
+namespace hipster
+{
+
+namespace
+{
+
+/** Hard ceiling on precomputed MMPP sojourns: generous for any real
+ * horizon/switch combination, low enough to reject a degenerate
+ * switch mean before the timeline allocation explodes. */
+constexpr std::size_t kMaxMmppSegments = 1 << 20;
+
+std::string
+formatFullPrecision(double x)
+{
+    // 17 significant digits: enough for strtod() to reproduce the
+    // exact double, so CSV dumps replay bit-for-bit.
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", x);
+    return buf;
+}
+
+} // namespace
+
+MmppTrace::MmppTrace(Fraction lo, Fraction hi, Seconds switch_mean,
+                     std::uint64_t seed, Seconds horizon)
+    : lo_(lo), hi_(hi), horizon_(horizon)
+{
+    if (lo < 0.0 || hi < lo)
+        fatal("MmppTrace: need 0 <= lo <= hi");
+    if (switch_mean <= 0.0)
+        fatal("MmppTrace: switch mean must be positive");
+    if (horizon <= 0.0)
+        fatal("MmppTrace: horizon must be positive");
+    // Precompute the alternating state timeline over one horizon;
+    // at() wraps beyond it so the trace is defined for all t.
+    Rng rng(splitMix64(seed + 0x6d6d7070ULL)); // "mmpp"
+    bool high = rng.bernoulli(0.5);
+    Seconds t = 0.0;
+    while (t < horizon_) {
+        starts_.push_back(t);
+        highState_.push_back(high);
+        // Floor each sojourn so a tiny exponential draw cannot stall
+        // the sweep; the floor is far below any control interval.
+        const Seconds sojourn =
+            std::max(rng.exponential(1.0 / switch_mean),
+                     1e-4 * switch_mean);
+        t += sojourn;
+        high = !high;
+        if (starts_.size() > kMaxMmppSegments)
+            fatal("MmppTrace: switch mean ", switch_mean,
+                  " too small for horizon ", horizon_);
+    }
+}
+
+Fraction
+MmppTrace::at(Seconds t) const
+{
+    double wrapped = std::fmod(std::max(0.0, t), horizon_);
+    auto hi = std::upper_bound(starts_.begin(), starts_.end(), wrapped);
+    const std::size_t idx =
+        static_cast<std::size_t>(hi - starts_.begin()) - 1;
+    return highState_[idx] ? hi_ : lo_;
+}
+
+FlashCrowdTrace::FlashCrowdTrace(Fraction base, Fraction peak,
+                                 Seconds t0, Seconds rise, Seconds hold,
+                                 Seconds decay)
+    : base_(base), peak_(peak), t0_(t0), rise_(rise), hold_(hold),
+      decay_(decay > 0.0 ? decay : rise)
+{
+    if (base < 0.0 || peak < base)
+        fatal("FlashCrowdTrace: need 0 <= base <= peak");
+    if (rise <= 0.0)
+        fatal("FlashCrowdTrace: rise must be positive");
+    if (hold < 0.0)
+        fatal("FlashCrowdTrace: negative hold");
+    if (t0 < 0.0)
+        fatal("FlashCrowdTrace: negative t0");
+}
+
+Fraction
+FlashCrowdTrace::at(Seconds t) const
+{
+    if (t <= t0_)
+        return base_;
+    if (t < t0_ + rise_)
+        return base_ + (peak_ - base_) * (t - t0_) / rise_;
+    const Seconds plateau_end = t0_ + rise_ + hold_;
+    if (t <= plateau_end)
+        return peak_;
+    return base_ +
+           (peak_ - base_) * std::exp(-(t - plateau_end) / decay_);
+}
+
+Seconds
+FlashCrowdTrace::duration() const
+{
+    // Through the plateau plus a few decay constants: where the
+    // aftermath has essentially settled back to the base load.
+    return t0_ + rise_ + hold_ + 5.0 * decay_;
+}
+
+SineTrace::SineTrace(Fraction mean, Fraction amp, Seconds period,
+                     double phase)
+    : mean_(mean), amp_(amp), period_(period), phase_(phase)
+{
+    if (mean < 0.0)
+        fatal("SineTrace: negative mean");
+    if (amp < 0.0)
+        fatal("SineTrace: negative amplitude");
+    if (period <= 0.0)
+        fatal("SineTrace: period must be positive");
+}
+
+Fraction
+SineTrace::at(Seconds t) const
+{
+    const double value =
+        mean_ + amp_ * std::sin(2.0 * M_PI * t / period_ + phase_);
+    return std::max(0.0, value);
+}
+
+ReplayTrace::ReplayTrace(
+    std::vector<std::pair<Seconds, Fraction>> samples)
+    : sampleCount_(samples.size()), curve_(std::move(samples))
+{
+}
+
+namespace
+{
+
+/** Parsed-file cache for replay traces: a sweep builds the trace
+ * once per run, and re-parsing a long recorded CSV for every job
+ * (and again for fail-fast validation) is pure waste — the parsed
+ * trace is immutable and seed-invariant. Entries are invalidated
+ * when the file's size or mtime changes; files whose mtime is within
+ * the last ~2 s are never cached at all, so a rewrite inside one
+ * mtime tick (coarse-granularity filesystems) cannot serve stale
+ * samples, and a rewrite racing the parse is caught by re-statting
+ * before insertion. */
+struct ReplayCacheEntry
+{
+    std::uintmax_t size = 0;
+    std::filesystem::file_time_type mtime;
+    std::shared_ptr<const ReplayTrace> trace;
+};
+
+std::mutex replayCacheMutex;
+std::map<std::string, ReplayCacheEntry> replayCache;
+
+struct ReplayFileStamp
+{
+    bool ok = false;
+    std::uintmax_t size = 0;
+    std::filesystem::file_time_type mtime;
+
+    bool
+    operator==(const ReplayFileStamp &other) const
+    {
+        return ok && other.ok && size == other.size &&
+               mtime == other.mtime;
+    }
+};
+
+ReplayFileStamp
+statReplayFile(const std::string &path)
+{
+    ReplayFileStamp stamp;
+    std::error_code size_ec, mtime_ec;
+    stamp.size = std::filesystem::file_size(path, size_ec);
+    stamp.mtime = std::filesystem::last_write_time(path, mtime_ec);
+    stamp.ok = !size_ec && !mtime_ec;
+    return stamp;
+}
+
+bool
+settledLongEnoughToCache(const ReplayFileStamp &stamp)
+{
+    using clock = std::filesystem::file_time_type::clock;
+    return stamp.ok &&
+           clock::now() - stamp.mtime > std::chrono::seconds(2);
+}
+
+} // namespace
+
+std::shared_ptr<const ReplayTrace>
+ReplayTrace::fromCsv(const std::string &path)
+{
+    const ReplayFileStamp before = statReplayFile(path);
+    if (settledLongEnoughToCache(before)) {
+        std::lock_guard<std::mutex> lock(replayCacheMutex);
+        const auto it = replayCache.find(path);
+        if (it != replayCache.end() &&
+            it->second.size == before.size &&
+            it->second.mtime == before.mtime)
+            return it->second.trace;
+    }
+
+    CsvReader reader(path);
+    const std::size_t time_col = reader.columnIndex("time_s");
+    const std::size_t load_col = reader.columnIndex("load");
+    if (reader.rows() == 0)
+        fatal("ReplayTrace: '", path, "' has no data rows");
+    std::vector<std::pair<Seconds, Fraction>> samples;
+    samples.reserve(reader.rows());
+    for (std::size_t r = 0; r < reader.rows(); ++r) {
+        const Seconds t = reader.number(r, time_col);
+        const Fraction load = reader.number(r, load_col);
+        if (!std::isfinite(t) || !std::isfinite(load))
+            fatal("ReplayTrace: non-finite sample in '", path,
+                  "' row ", r + 1);
+        if (!samples.empty() && t <= samples.back().first)
+            fatal("ReplayTrace: time_s must be strictly increasing in '",
+                  path, "' (row ", r + 1, ")");
+        if (load < 0.0)
+            fatal("ReplayTrace: negative load in '", path, "' row ",
+                  r + 1);
+        samples.emplace_back(t, load);
+    }
+    auto trace = std::make_shared<ReplayTrace>(std::move(samples));
+    // Cache only when the file was stable across the parse and has
+    // not been touched recently (see the cache comment above).
+    const ReplayFileStamp after = statReplayFile(path);
+    if (after == before && settledLongEnoughToCache(after)) {
+        std::lock_guard<std::mutex> lock(replayCacheMutex);
+        replayCache[path] =
+            ReplayCacheEntry{after.size, after.mtime, trace};
+    }
+    return trace;
+}
+
+Fraction
+ReplayTrace::at(Seconds t) const
+{
+    return curve_.at(t);
+}
+
+void
+writeTraceCsv(const std::string &path, const LoadTrace &trace,
+              Seconds step, Seconds length)
+{
+    if (step <= 0.0)
+        fatal("writeTraceCsv: step must be positive");
+    if (length <= 0.0)
+        fatal("writeTraceCsv: length must be positive");
+    CsvWriter csv(path);
+    csv.header({"time_s", "load"});
+    // Integer step count: accumulating `t += step` drifts for long
+    // traces or small steps and would drop the final sample.
+    const auto samples =
+        static_cast<std::size_t>(length / step + 1e-9) + 1;
+    for (std::size_t i = 0; i < samples; ++i) {
+        const Seconds t = static_cast<double>(i) * step;
+        csv.add(formatFullPrecision(t))
+            .add(formatFullPrecision(trace.at(t)))
+            .endRow();
+    }
+}
+
+ScaleTrace::ScaleTrace(std::shared_ptr<const LoadTrace> inner,
+                       double factor)
+    : inner_(std::move(inner)), factor_(factor)
+{
+    if (!inner_)
+        fatal("ScaleTrace: inner trace is null");
+    if (factor < 0.0)
+        fatal("ScaleTrace: negative factor");
+}
+
+Fraction
+ScaleTrace::at(Seconds t) const
+{
+    return inner_->at(t) * factor_;
+}
+
+OffsetTrace::OffsetTrace(std::shared_ptr<const LoadTrace> inner,
+                         double delta)
+    : inner_(std::move(inner)), delta_(delta)
+{
+    if (!inner_)
+        fatal("OffsetTrace: inner trace is null");
+}
+
+Fraction
+OffsetTrace::at(Seconds t) const
+{
+    return std::max(0.0, inner_->at(t) + delta_);
+}
+
+ClipTrace::ClipTrace(std::shared_ptr<const LoadTrace> inner, Fraction lo,
+                     Fraction hi)
+    : inner_(std::move(inner)), lo_(lo), hi_(hi)
+{
+    if (!inner_)
+        fatal("ClipTrace: inner trace is null");
+    if (lo < 0.0 || hi < lo)
+        fatal("ClipTrace: need 0 <= lo <= hi");
+}
+
+Fraction
+ClipTrace::at(Seconds t) const
+{
+    return std::clamp(inner_->at(t), lo_, hi_);
+}
+
+JitterTrace::JitterTrace(std::shared_ptr<const LoadTrace> inner,
+                         double sigma, Seconds interval,
+                         std::uint64_t seed, Fraction cap)
+    : inner_(std::move(inner)), sigma_(sigma), interval_(interval),
+      seed_(seed), cap_(cap)
+{
+    if (!inner_)
+        fatal("JitterTrace: inner trace is null");
+    if (sigma < 0.0)
+        fatal("JitterTrace: negative sigma");
+    if (interval <= 0.0)
+        fatal("JitterTrace: interval must be positive");
+}
+
+Fraction
+JitterTrace::at(Seconds t) const
+{
+    const Fraction base = inner_->at(t);
+    if (sigma_ == 0.0)
+        return std::clamp(base, 0.0, cap_);
+    // Keyed on the interval index (same scheme as NoisyTrace) so the
+    // trace is a pure function of time for a fixed seed.
+    const auto bucket = static_cast<std::uint64_t>(
+        std::floor(std::max(0.0, t) / interval_));
+    Rng rng(seed_ ^ (bucket * 0x9e3779b97f4a7c15ULL + 0x7654321ULL));
+    return std::clamp(base + rng.normal(0.0, sigma_), 0.0, cap_);
+}
+
+RepeatTrace::RepeatTrace(std::shared_ptr<const LoadTrace> inner,
+                         Seconds period)
+    : inner_(std::move(inner)), period_(period)
+{
+    if (!inner_)
+        fatal("RepeatTrace: inner trace is null");
+    if (period <= 0.0)
+        fatal("RepeatTrace: period must be positive");
+}
+
+Fraction
+RepeatTrace::at(Seconds t) const
+{
+    double wrapped = std::fmod(t, period_);
+    if (wrapped < 0.0)
+        wrapped += period_;
+    return inner_->at(wrapped);
+}
+
+SpliceTrace::SpliceTrace(std::vector<Segment> segments)
+    : segments_(std::move(segments))
+{
+    if (segments_.empty())
+        fatal("SpliceTrace: needs at least one segment");
+    for (std::size_t i = 0; i < segments_.size(); ++i) {
+        if (!segments_[i].trace)
+            fatal("SpliceTrace: segment ", i, " trace is null");
+        if (segments_[i].length < 0.0)
+            fatal("SpliceTrace: segment ", i, " has negative length");
+        if (segments_[i].length == 0.0 && i + 1 != segments_.size())
+            fatal("SpliceTrace: only the last segment may be "
+                  "open-ended");
+    }
+}
+
+Fraction
+SpliceTrace::at(Seconds t) const
+{
+    Seconds local = std::max(0.0, t);
+    for (std::size_t i = 0; i + 1 < segments_.size(); ++i) {
+        if (local < segments_[i].length)
+            return segments_[i].trace->at(local);
+        local -= segments_[i].length;
+    }
+    return segments_.back().trace->at(local);
+}
+
+Seconds
+SpliceTrace::duration() const
+{
+    Seconds total = 0.0;
+    for (const Segment &seg : segments_)
+        total += seg.length > 0.0 ? seg.length
+                                  : seg.trace->duration();
+    return total;
+}
+
+std::shared_ptr<const LoadTrace>
+makeNoisyDiurnal(Seconds duration, std::uint64_t seed, Fraction low,
+                 Fraction high)
+{
+    auto day = std::make_shared<DiurnalTrace>(duration, low, high);
+    return std::make_shared<NoisyTrace>(day, /*sigma=*/0.04,
+                                        /*interval=*/1.0, seed,
+                                        /*cap=*/1.05);
+}
+
+} // namespace hipster

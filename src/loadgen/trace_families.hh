@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Extended load-trace families and transform combinators for the
+ * trace-synthesis subsystem: bursty MMPP load, flash crowds,
+ * sinusoidal/periodic load, CSV replay of recorded traces, and the
+ * wrappers (scale, offset, clip, additive jitter, repeat, splice)
+ * that perturb or concatenate any base trace. Every family keeps the
+ * LoadTrace contract: `at()` is a pure function of time (and the
+ * construction seed), finite and non-negative.
+ */
+
+#ifndef HIPSTER_LOADGEN_TRACE_FAMILIES_HH
+#define HIPSTER_LOADGEN_TRACE_FAMILIES_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "loadgen/load_trace.hh"
+
+namespace hipster
+{
+
+/**
+ * Two-state Markov-modulated load ("MMPP-style" burstiness): the
+ * level alternates between `lo` and `hi` with exponentially
+ * distributed sojourn times of mean `switchMean` seconds. The state
+ * timeline is precomputed from the seed over `horizon` seconds and
+ * wraps periodically beyond it, so `at()` is a pure O(log n)
+ * function of time.
+ */
+class MmppTrace : public LoadTrace
+{
+  public:
+    MmppTrace(Fraction lo, Fraction hi, Seconds switch_mean,
+              std::uint64_t seed, Seconds horizon);
+    Fraction at(Seconds t) const override;
+    Seconds duration() const override { return horizon_; }
+
+    /** Number of precomputed state sojourns (testing aid). */
+    std::size_t segments() const { return starts_.size(); }
+
+  private:
+    Fraction lo_, hi_;
+    Seconds horizon_;
+    std::vector<Seconds> starts_;  ///< sojourn start times, sorted
+    std::vector<bool> highState_;  ///< state of each sojourn
+};
+
+/**
+ * Flash crowd: steady `base` load until `t0`, a linear surge to
+ * `peak` over `rise` seconds, a plateau of `hold` seconds, then an
+ * exponential decay back towards `base` with time constant `decay`
+ * (defaults to `rise`). Models the "sudden load spikes" of Section 2
+ * with an explicit build-up and aftermath.
+ */
+class FlashCrowdTrace : public LoadTrace
+{
+  public:
+    FlashCrowdTrace(Fraction base, Fraction peak, Seconds t0,
+                    Seconds rise, Seconds hold, Seconds decay = 0.0);
+    Fraction at(Seconds t) const override;
+    Seconds duration() const override;
+
+  private:
+    Fraction base_, peak_;
+    Seconds t0_, rise_, hold_, decay_;
+};
+
+/** Sinusoidal load: mean + amp * sin(2*pi*(t/period) + phase),
+ * clamped to >= 0. A smooth periodic stimulus between the diurnal
+ * day and a constant. */
+class SineTrace : public LoadTrace
+{
+  public:
+    SineTrace(Fraction mean, Fraction amp, Seconds period,
+              double phase = 0.0);
+    Fraction at(Seconds t) const override;
+    Seconds duration() const override { return period_; }
+
+  private:
+    Fraction mean_, amp_;
+    Seconds period_;
+    double phase_;
+};
+
+/**
+ * Replays a recorded trace from (time_s, load) samples with linear
+ * interpolation between them (constant before the first and after
+ * the last sample). `fromCsv` loads the samples from a CSV file
+ * written by `writeTraceCsv` (or any file with `time_s` and `load`
+ * columns), failing fast on malformed input.
+ */
+class ReplayTrace : public LoadTrace
+{
+  public:
+    explicit ReplayTrace(std::vector<std::pair<Seconds, Fraction>> samples);
+
+    /** Load samples from a CSV file; FatalError on unreadable files,
+     * missing columns, non-numeric cells or unsorted times.
+     * Successfully parsed files are cached (keyed on path + size +
+     * mtime), so a sweep building the trace once per run parses the
+     * file only once; rewriting the file invalidates the entry. */
+    static std::shared_ptr<const ReplayTrace>
+    fromCsv(const std::string &path);
+
+    Fraction at(Seconds t) const override;
+    Seconds duration() const override { return curve_.duration(); }
+
+    std::size_t samples() const { return sampleCount_; }
+
+  private:
+    std::size_t sampleCount_; ///< declared first: curve_ consumes the vector
+    PiecewiseTrace curve_;
+};
+
+/**
+ * Samples `trace` every `step` seconds over [0, length] and writes
+ * the samples as a `time_s,load` CSV to `path` with full double
+ * precision (17 significant digits), so `replay:<path>` reproduces
+ * the sampled values bit-for-bit.
+ */
+void writeTraceCsv(const std::string &path, const LoadTrace &trace,
+                   Seconds step, Seconds length);
+
+/** Multiplies an inner trace by a constant factor >= 0. */
+class ScaleTrace : public LoadTrace
+{
+  public:
+    ScaleTrace(std::shared_ptr<const LoadTrace> inner, double factor);
+    Fraction at(Seconds t) const override;
+    Seconds duration() const override { return inner_->duration(); }
+
+  private:
+    std::shared_ptr<const LoadTrace> inner_;
+    double factor_;
+};
+
+/** Adds a constant offset to an inner trace, clamping at 0 so the
+ * non-negativity invariant survives negative offsets. */
+class OffsetTrace : public LoadTrace
+{
+  public:
+    OffsetTrace(std::shared_ptr<const LoadTrace> inner, double delta);
+    Fraction at(Seconds t) const override;
+    Seconds duration() const override { return inner_->duration(); }
+
+  private:
+    std::shared_ptr<const LoadTrace> inner_;
+    double delta_;
+};
+
+/** Clamps an inner trace into [lo, hi]. */
+class ClipTrace : public LoadTrace
+{
+  public:
+    ClipTrace(std::shared_ptr<const LoadTrace> inner, Fraction lo,
+              Fraction hi);
+    Fraction at(Seconds t) const override;
+    Seconds duration() const override { return inner_->duration(); }
+
+  private:
+    std::shared_ptr<const LoadTrace> inner_;
+    Fraction lo_, hi_;
+};
+
+/**
+ * Additive per-interval Gaussian jitter: inner + N(0, sigma) drawn
+ * once per `interval`, clamped to [0, cap]. The additive counterpart
+ * of the multiplicative NoisyTrace; deterministic for a given seed
+ * (noise is keyed on the interval index).
+ */
+class JitterTrace : public LoadTrace
+{
+  public:
+    JitterTrace(std::shared_ptr<const LoadTrace> inner, double sigma,
+                Seconds interval, std::uint64_t seed,
+                Fraction cap = 1.2);
+    Fraction at(Seconds t) const override;
+    Seconds duration() const override { return inner_->duration(); }
+
+  private:
+    std::shared_ptr<const LoadTrace> inner_;
+    double sigma_;
+    Seconds interval_;
+    std::uint64_t seed_;
+    Fraction cap_;
+};
+
+/** Repeats the first `period` seconds of an inner trace forever
+ * (time is wrapped modulo the period). */
+class RepeatTrace : public LoadTrace
+{
+  public:
+    RepeatTrace(std::shared_ptr<const LoadTrace> inner, Seconds period);
+    Fraction at(Seconds t) const override;
+    Seconds duration() const override { return period_; }
+
+  private:
+    std::shared_ptr<const LoadTrace> inner_;
+    Seconds period_;
+};
+
+/**
+ * Concatenates traces in time: segment k plays for its length with a
+ * local clock starting at 0. The final segment may be open-ended
+ * (length 0) and then plays for the rest of time.
+ */
+class SpliceTrace : public LoadTrace
+{
+  public:
+    struct Segment
+    {
+        std::shared_ptr<const LoadTrace> trace;
+        Seconds length = 0.0; ///< 0 = open-ended (last segment only)
+    };
+
+    explicit SpliceTrace(std::vector<Segment> segments);
+    Fraction at(Seconds t) const override;
+    Seconds duration() const override;
+
+  private:
+    std::vector<Segment> segments_;
+};
+
+/**
+ * The evaluation's standard noisy diurnal composition (a DiurnalTrace
+ * wrapped in mild multiplicative per-second noise), shared by the
+ * scenario helpers and the "diurnal" registry entry so both build
+ * bit-identical traces from the same seed.
+ */
+std::shared_ptr<const LoadTrace>
+makeNoisyDiurnal(Seconds duration, std::uint64_t seed,
+                 Fraction low = 0.05, Fraction high = 0.95);
+
+} // namespace hipster
+
+#endif // HIPSTER_LOADGEN_TRACE_FAMILIES_HH

@@ -1,0 +1,645 @@
+#include "loadgen/trace_registry.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "loadgen/trace_families.hh"
+
+namespace hipster
+{
+
+namespace
+{
+
+/** Stream separation constant for per-stage seed derivation. */
+constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+
+/** Placeholder horizon when a caller passes no positive duration. */
+constexpr Seconds kFallbackDuration = 600.0;
+
+double
+parseNumber(const std::string &text, const std::string &spec,
+            const std::string &what)
+{
+    char *end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (text.empty() || end == text.c_str() || *end != '\0')
+        fatal("trace spec '", spec, "': ", what, " '", text,
+              "' is not a number");
+    // strtod happily parses "nan"/"inf"; a non-finite argument would
+    // poison at()'s finite-and-non-negative invariant downstream.
+    if (!std::isfinite(value))
+        fatal("trace spec '", spec, "': ", what, " '", text,
+              "' must be finite");
+    return value;
+}
+
+/** Comma-split an argument string ("" -> no args). */
+std::vector<std::string>
+splitArgs(const std::string &text)
+{
+    std::vector<std::string> args;
+    if (text.empty())
+        return args;
+    std::size_t pos = 0;
+    while (true) {
+        const std::size_t comma = text.find(',', pos);
+        if (comma == std::string::npos) {
+            args.push_back(text.substr(pos));
+            return args;
+        }
+        args.push_back(text.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+}
+
+/** Numeric args with per-family defaults: args[i] overrides
+ * defaults[i]; an empty arg slot keeps the default. */
+std::vector<double>
+numericArgs(const std::vector<std::string> &args,
+            const std::vector<double> &defaults, const std::string &spec)
+{
+    std::vector<double> values = defaults;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i].empty())
+            continue;
+        values[i] = parseNumber(args[i], spec,
+                                "argument " + std::to_string(i + 1));
+    }
+    return values;
+}
+
+/** The family-name token starting at `pos` ([a-z0-9_-]*), or "" when
+ * the text there cannot start a family head. */
+std::string
+headToken(const std::string &text, std::size_t pos)
+{
+    std::size_t end = pos;
+    while (end < text.size() &&
+           (std::islower(static_cast<unsigned char>(text[end])) ||
+            std::isdigit(static_cast<unsigned char>(text[end])) ||
+            text[end] == '_' || text[end] == '-'))
+        ++end;
+    return text.substr(pos, end - pos);
+}
+
+/** Whether the family heading the segment at `start` takes its
+ * argument text verbatim (replay paths). */
+bool
+segmentTakesRawArgs(const std::string &text, std::size_t start,
+                    const TraceRegistry &registry)
+{
+    const std::string head = headToken(text, start);
+    for (const TraceFamilyInfo &family : registry.families()) {
+        if (family.name == head)
+            return family.rawArgs;
+    }
+    return false;
+}
+
+/** Whether text[start, end) finishes with an '@<number>' length
+ * suffix — the only unambiguous way to end a raw-path segment. */
+bool
+endsWithLengthSuffix(const std::string &text, std::size_t start,
+                     std::size_t end)
+{
+    const std::size_t at = text.rfind('@', end == 0 ? 0 : end - 1);
+    if (at == std::string::npos || at < start || at + 1 >= end)
+        return false;
+    const std::string suffix = text.substr(at + 1, end - at - 1);
+    char *parse_end = nullptr;
+    std::strtod(suffix.c_str(), &parse_end);
+    return parse_end != suffix.c_str() && *parse_end == '\0';
+}
+
+/** Split `text` on `sep`, but only where the following text starts a
+ * registered family (so separators inside arguments survive). A
+ * segment whose family takes a raw path (replay) swallows separators
+ * too — a file named `day+ramp.csv` stays one segment — unless an
+ * explicit '@<seconds>' length has already terminated the path. */
+std::vector<std::string>
+splitOnFamilyBoundary(const std::string &text, char sep,
+                      const TraceRegistry &registry)
+{
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        if (text[i] != sep || i + 1 >= text.size())
+            continue;
+        const std::string head = headToken(text, i + 1);
+        if (head.empty() || !registry.hasFamily(head))
+            continue;
+        if (segmentTakesRawArgs(text, start, registry) &&
+            !endsWithLengthSuffix(text, start, i))
+            continue;
+        parts.push_back(text.substr(start, i - start));
+        start = i + 1;
+    }
+    parts.push_back(text.substr(start));
+    return parts;
+}
+
+struct Segment
+{
+    std::string pipeline;
+    Seconds length = 0.0; ///< 0 = no explicit '@' length
+};
+
+/** Split a segment string into its pipeline and optional '@<len>'
+ * suffix. Only a fully numeric suffix counts, so '@' inside replay
+ * paths survives. */
+Segment
+parseSegment(const std::string &text, const std::string &spec)
+{
+    Segment segment;
+    segment.pipeline = text;
+    const std::size_t at = text.rfind('@');
+    if (at == std::string::npos || at + 1 == text.size())
+        return segment;
+    const std::string suffix = text.substr(at + 1);
+    char *end = nullptr;
+    const double length = std::strtod(suffix.c_str(), &end);
+    if (end == suffix.c_str() || *end != '\0')
+        return segment; // not a length suffix; leave intact
+    if (!(length > 0.0) || !std::isfinite(length))
+        fatal("trace spec '", spec, "': segment length '", suffix,
+              "' must be a positive finite number");
+    segment.pipeline = text.substr(0, at);
+    segment.length = length;
+    return segment;
+}
+
+} // namespace
+
+TraceRegistry &
+TraceRegistry::instance()
+{
+    static TraceRegistry registry = [] {
+        TraceRegistry r;
+        r.registerBuiltins();
+        return r;
+    }();
+    return registry;
+}
+
+void
+TraceRegistry::registerFamily(TraceFamilyInfo info, Factory factory)
+{
+    if (hasFamily(info.name))
+        fatal("TraceRegistry: family '", info.name,
+              "' already registered");
+    if (!factory)
+        fatal("TraceRegistry: null factory for '", info.name, "'");
+    families_.push_back(std::move(info));
+    factories_.push_back(std::move(factory));
+}
+
+void
+TraceRegistry::registerTransform(TraceTransformInfo info,
+                                 Transform transform)
+{
+    if (hasTransform(info.name))
+        fatal("TraceRegistry: transform '", info.name,
+              "' already registered");
+    if (!transform)
+        fatal("TraceRegistry: null transform for '", info.name, "'");
+    transforms_.push_back(std::move(info));
+    transformFns_.push_back(std::move(transform));
+}
+
+bool
+TraceRegistry::hasFamily(const std::string &name) const
+{
+    return std::any_of(families_.begin(), families_.end(),
+                       [&](const TraceFamilyInfo &f) {
+                           return f.name == name;
+                       });
+}
+
+bool
+TraceRegistry::hasTransform(const std::string &name) const
+{
+    return std::any_of(transforms_.begin(), transforms_.end(),
+                       [&](const TraceTransformInfo &t) {
+                           return t.name == name;
+                       });
+}
+
+std::string
+TraceRegistry::knownSpecsSummary() const
+{
+    std::string out = "registered trace specs:";
+    for (const TraceFamilyInfo &f : families_)
+        out += "\n  " + f.signature + " — " + f.summary;
+    out += "\ntransforms (append with '|', e.g. diurnal|scale:0.8):";
+    for (const TraceTransformInfo &t : transforms_)
+        out += "\n  " + t.signature + " — " + t.summary;
+    out += "\nsplice segments with '+' and '@<seconds>' lengths, "
+           "e.g. constant:0.3@120+ramp";
+    return out;
+}
+
+std::string
+TraceRegistry::catalogText() const
+{
+    return knownSpecsSummary() + "\n";
+}
+
+std::shared_ptr<const LoadTrace>
+TraceRegistry::makePipeline(const std::string &pipeline,
+                            const std::string &spec, Seconds duration,
+                            std::uint64_t seed) const
+{
+    if (pipeline.empty())
+        fatal("trace spec '", spec, "': empty pipeline segment");
+
+    // Stage 0 is the base family, later stages are transforms.
+    std::vector<std::string> stages;
+    std::size_t pos = 0;
+    while (true) {
+        const std::size_t bar = pipeline.find('|', pos);
+        if (bar == std::string::npos) {
+            stages.push_back(pipeline.substr(pos));
+            break;
+        }
+        stages.push_back(pipeline.substr(pos, bar - pos));
+        pos = bar + 1;
+    }
+
+    const auto splitStage =
+        [&](const std::string &stage) -> std::pair<std::string, std::string> {
+        const std::size_t colon = stage.find(':');
+        if (colon == std::string::npos)
+            return {stage, ""};
+        return {stage.substr(0, colon), stage.substr(colon + 1)};
+    };
+
+    const auto [familyName, familyArgText] = splitStage(stages[0]);
+    const auto family_it = std::find_if(
+        families_.begin(), families_.end(),
+        [&, name = familyName](const TraceFamilyInfo &f) {
+            return f.name == name;
+        });
+    if (family_it == families_.end())
+        fatal("unknown trace family '", familyName, "' in spec '", spec,
+              "'; ", knownSpecsSummary());
+    const TraceFamilyInfo &family = *family_it;
+
+    std::vector<std::string> familyArgs;
+    if (family.rawArgs) {
+        if (!familyArgText.empty())
+            familyArgs.push_back(familyArgText);
+    } else {
+        familyArgs = splitArgs(familyArgText);
+    }
+    if (familyArgs.size() < family.minArgs ||
+        familyArgs.size() > family.maxArgs)
+        fatal("trace spec '", spec, "': '", familyName, "' takes ",
+              family.minArgs == family.maxArgs
+                  ? std::to_string(family.minArgs)
+                  : std::to_string(family.minArgs) + ".." +
+                        std::to_string(family.maxArgs),
+              " argument(s), got ", familyArgs.size(), "; usage: ",
+              family.signature);
+
+    const Seconds span = duration > 0.0 ? duration : kFallbackDuration;
+    const std::size_t familyIndex =
+        static_cast<std::size_t>(family_it - families_.begin());
+    auto trace = factories_[familyIndex](familyArgs, span, seed);
+
+    for (std::size_t i = 1; i < stages.size(); ++i) {
+        const auto [transformName, argText] = splitStage(stages[i]);
+        const auto it = std::find_if(
+            transforms_.begin(), transforms_.end(),
+            [&, name = transformName](const TraceTransformInfo &t) {
+                return t.name == name;
+            });
+        if (it == transforms_.end()) {
+            if (hasFamily(transformName))
+                fatal("trace spec '", spec, "': '", transformName,
+                      "' is a base family and can only start a "
+                      "pipeline; to concatenate traces use '+'");
+            fatal("unknown trace transform '", transformName,
+                  "' in spec '", spec, "'; ", knownSpecsSummary());
+        }
+        const TraceTransformInfo &info = *it;
+        const auto args = splitArgs(argText);
+        if (args.size() < info.minArgs || args.size() > info.maxArgs)
+            fatal("trace spec '", spec, "': '", transformName,
+                  "' takes ",
+                  info.minArgs == info.maxArgs
+                      ? std::to_string(info.minArgs)
+                      : std::to_string(info.minArgs) + ".." +
+                            std::to_string(info.maxArgs),
+                  " argument(s), got ", args.size(), "; usage: ",
+                  info.signature);
+        // Each stochastic stage gets its own decorrelated stream so
+        // stacked noise stages never reuse the base seed.
+        const std::uint64_t stage_seed =
+            splitMix64(seed + kGolden * static_cast<std::uint64_t>(i));
+        const std::size_t idx =
+            static_cast<std::size_t>(it - transforms_.begin());
+        trace = transformFns_[idx](std::move(trace), args, stage_seed);
+    }
+    return trace;
+}
+
+std::shared_ptr<const LoadTrace>
+TraceRegistry::make(const std::string &spec, Seconds duration,
+                    std::uint64_t seed) const
+{
+    if (spec.empty())
+        fatal("empty trace spec; ", knownSpecsSummary());
+
+    const std::vector<std::string> parts =
+        splitOnFamilyBoundary(spec, '+', *this);
+    if (parts.size() == 1) {
+        const Segment segment = parseSegment(parts[0], spec);
+        const Seconds span =
+            segment.length > 0.0 ? segment.length : duration;
+        return makePipeline(segment.pipeline, spec, span, seed);
+    }
+
+    // Splice: every segment needs a length; the last may omit it and
+    // takes the rest of the run.
+    std::vector<Segment> segments;
+    Seconds explicit_total = 0.0;
+    for (const std::string &part : parts) {
+        segments.push_back(parseSegment(part, spec));
+        explicit_total += segments.back().length;
+    }
+    for (std::size_t i = 0; i + 1 < segments.size(); ++i) {
+        if (segments[i].length <= 0.0)
+            fatal("trace spec '", spec, "': splice segment ", i + 1,
+                  " needs an '@<seconds>' length (only the last "
+                  "segment may omit it)");
+    }
+
+    const Seconds span = duration > 0.0 ? duration : kFallbackDuration;
+    // Every segment must start inside the run: a splice whose tail
+    // never plays would silently report first-segment results under
+    // the full spec's label. (A lone segment's '@<len>' can exceed
+    // the run — that deliberately views a longer trace's prefix.)
+    Seconds segment_start = 0.0;
+    for (std::size_t i = 0; i + 1 < segments.size(); ++i) {
+        segment_start += segments[i].length;
+        if (segment_start >= span)
+            fatal("trace spec '", spec, "': splice segment ", i + 2,
+                  " would start at ", segment_start,
+                  " s, beyond the ", span,
+                  " s run — it would never play");
+    }
+    std::vector<SpliceTrace::Segment> built;
+    for (std::size_t i = 0; i < segments.size(); ++i) {
+        Seconds length = segments[i].length;
+        if (length <= 0.0) {
+            // Open-ended tail: takes the rest of the run (positive —
+            // the reachability check above guarantees the last
+            // segment starts inside the span).
+            length = span - explicit_total;
+        }
+        // Per-segment seed streams keep spliced stochastic segments
+        // independent of each other.
+        const std::uint64_t segment_seed = splitMix64(
+            seed + kGolden * static_cast<std::uint64_t>(i + 1));
+        built.push_back(SpliceTrace::Segment{
+            makePipeline(segments[i].pipeline, spec, length,
+                         segment_seed),
+            i + 1 == segments.size() && segments[i].length <= 0.0
+                ? 0.0
+                : length});
+    }
+    return std::make_shared<SpliceTrace>(std::move(built));
+}
+
+void
+TraceRegistry::registerBuiltins()
+{
+    registerFamily(
+        {"constant", "constant:<level>",
+         "fixed offered load (fraction of max capacity)", "constant:0.5",
+         false, 1, 1, false},
+        [](const std::vector<std::string> &args, Seconds,
+           std::uint64_t) -> std::shared_ptr<const LoadTrace> {
+            const auto v = numericArgs(args, {0.0}, "constant");
+            return std::make_shared<ConstantTrace>(v[0]);
+        });
+
+    registerFamily(
+        {"ramp", "ramp[:from,to,t0,length]",
+         "linear ramp (defaults: the Figure 8 50%->100% over 175 s)",
+         "ramp", false, 0, 4, false},
+        [](const std::vector<std::string> &args, Seconds,
+           std::uint64_t) -> std::shared_ptr<const LoadTrace> {
+            const auto v =
+                numericArgs(args, {0.50, 1.00, 5.0, 175.0}, "ramp");
+            return std::make_shared<RampTrace>(v[0], v[1], v[2], v[3]);
+        });
+
+    registerFamily(
+        {"diurnal", "diurnal[:low,high]",
+         "compressed Figure 1 day with mild per-second noise",
+         "diurnal", true, 0, 2, false},
+        [](const std::vector<std::string> &args, Seconds duration,
+           std::uint64_t seed) -> std::shared_ptr<const LoadTrace> {
+            const auto v = numericArgs(args, {0.05, 0.95}, "diurnal");
+            return makeNoisyDiurnal(duration, seed, v[0], v[1]);
+        });
+
+    registerFamily(
+        {"spike", "spike[:t0_frac,width_frac,height]",
+         "diurnal day plus a decaying load spike (Section 2)", "spike",
+         false, 0, 3, false},
+        [](const std::vector<std::string> &args, Seconds duration,
+           std::uint64_t) -> std::shared_ptr<const LoadTrace> {
+            const auto v =
+                numericArgs(args, {0.7, 0.05, 0.40}, "spike");
+            auto day =
+                std::make_shared<DiurnalTrace>(duration, 0.05, 0.80);
+            return std::make_shared<SpikeTrace>(day, duration * v[0],
+                                                duration * v[1], v[2]);
+        });
+
+    registerFamily(
+        {"sine", "sine[:mean,amp,period,phase]",
+         "sinusoidal load, clamped at 0 (defaults: 0.5±0.35, 4 "
+         "cycles per run)",
+         "sine:0.5,0.3,240", false, 0, 4, false},
+        [](const std::vector<std::string> &args, Seconds duration,
+           std::uint64_t) -> std::shared_ptr<const LoadTrace> {
+            const auto v = numericArgs(
+                args, {0.5, 0.35, duration / 4.0, 0.0}, "sine");
+            return std::make_shared<SineTrace>(v[0], v[1], v[2], v[3]);
+        });
+
+    registerFamily(
+        {"mmpp", "mmpp[:lo,hi,switch]",
+         "two-state Markov-modulated load with exponential sojourns "
+         "(bursty)",
+         "mmpp:0.2,0.9,45", true, 0, 3, false},
+        [](const std::vector<std::string> &args, Seconds duration,
+           std::uint64_t seed) -> std::shared_ptr<const LoadTrace> {
+            const auto v =
+                numericArgs(args, {0.15, 0.85, 45.0}, "mmpp");
+            return std::make_shared<MmppTrace>(v[0], v[1], v[2], seed,
+                                               duration);
+        });
+
+    registerFamily(
+        {"flashcrowd", "flashcrowd[:base,peak,t0,rise,hold,decay]",
+         "steady load, sudden surge to a plateau, exponential "
+         "aftermath",
+         "flashcrowd:0.2,0.9,120,30,60", false, 0, 6, false},
+        [](const std::vector<std::string> &args, Seconds duration,
+           std::uint64_t) -> std::shared_ptr<const LoadTrace> {
+            const auto v = numericArgs(args,
+                                       {0.2, 0.95, duration * 0.3,
+                                        duration * 0.05,
+                                        duration * 0.15, 0.0},
+                                       "flashcrowd");
+            return std::make_shared<FlashCrowdTrace>(v[0], v[1], v[2],
+                                                     v[3], v[4], v[5]);
+        });
+
+    registerFamily(
+        {"replay", "replay:<csv-path>",
+         "replay a recorded trace (CSV with time_s and load columns)",
+         "", false, 1, 1, true},
+        [](const std::vector<std::string> &args, Seconds,
+           std::uint64_t) -> std::shared_ptr<const LoadTrace> {
+            return ReplayTrace::fromCsv(args[0]);
+        });
+
+    registerTransform(
+        {"scale", "scale:<factor>", "multiply the load by a constant",
+         false, 1, 1},
+        [](std::shared_ptr<const LoadTrace> inner,
+           const std::vector<std::string> &args, std::uint64_t) {
+            const auto v = numericArgs(args, {1.0}, "scale");
+            return std::static_pointer_cast<const LoadTrace>(
+                std::make_shared<ScaleTrace>(std::move(inner), v[0]));
+        });
+
+    registerTransform(
+        {"offset", "offset:<delta>",
+         "add a constant (clamped at 0)", false, 1, 1},
+        [](std::shared_ptr<const LoadTrace> inner,
+           const std::vector<std::string> &args, std::uint64_t) {
+            const auto v = numericArgs(args, {0.0}, "offset");
+            return std::static_pointer_cast<const LoadTrace>(
+                std::make_shared<OffsetTrace>(std::move(inner), v[0]));
+        });
+
+    registerTransform(
+        {"clip", "clip:<lo,hi>", "clamp the load into [lo, hi]", false,
+         2, 2},
+        [](std::shared_ptr<const LoadTrace> inner,
+           const std::vector<std::string> &args, std::uint64_t) {
+            const auto v = numericArgs(args, {0.0, 1.0}, "clip");
+            return std::static_pointer_cast<const LoadTrace>(
+                std::make_shared<ClipTrace>(std::move(inner), v[0],
+                                            v[1]));
+        });
+
+    registerTransform(
+        {"noise", "noise:<sigma[,interval,cap]>",
+         "multiplicative per-interval Gaussian noise", true, 1, 3},
+        [](std::shared_ptr<const LoadTrace> inner,
+           const std::vector<std::string> &args, std::uint64_t seed) {
+            const auto v = numericArgs(args, {0.05, 1.0, 1.2}, "noise");
+            return std::static_pointer_cast<const LoadTrace>(
+                std::make_shared<NoisyTrace>(std::move(inner), v[0],
+                                             v[1], seed, v[2]));
+        });
+
+    registerTransform(
+        {"jitter", "jitter:<sigma[,interval,cap]>",
+         "additive per-interval Gaussian jitter", true, 1, 3},
+        [](std::shared_ptr<const LoadTrace> inner,
+           const std::vector<std::string> &args, std::uint64_t seed) {
+            const auto v =
+                numericArgs(args, {0.05, 1.0, 1.2}, "jitter");
+            return std::static_pointer_cast<const LoadTrace>(
+                std::make_shared<JitterTrace>(std::move(inner), v[0],
+                                              v[1], seed, v[2]));
+        });
+
+    registerTransform(
+        {"repeat", "repeat:<period>",
+         "loop the first <period> seconds forever", false, 1, 1},
+        [](std::shared_ptr<const LoadTrace> inner,
+           const std::vector<std::string> &args, std::uint64_t) {
+            const auto v = numericArgs(args, {60.0}, "repeat");
+            return std::static_pointer_cast<const LoadTrace>(
+                std::make_shared<RepeatTrace>(std::move(inner), v[0]));
+        });
+}
+
+std::shared_ptr<const LoadTrace>
+makeTrace(const std::string &spec, Seconds duration, std::uint64_t seed)
+{
+    return TraceRegistry::instance().make(spec, duration, seed);
+}
+
+void
+validateTraceSpec(const std::string &spec, Seconds duration)
+{
+    // Construct and discard: cheap for every synthetic family and
+    // deliberately I/O-checking for replay, so a missing file fails
+    // before a campaign starts.
+    makeTrace(spec, duration > 0.0 ? duration : kFallbackDuration,
+              /*seed=*/0);
+}
+
+bool
+isTraceSpec(const std::string &spec)
+{
+    try {
+        validateTraceSpec(spec);
+        return true;
+    } catch (const FatalError &) {
+        return false;
+    }
+}
+
+std::vector<std::string>
+splitTraceList(const std::string &list)
+{
+    const TraceRegistry &registry = TraceRegistry::instance();
+    std::vector<std::string> specs;
+    std::size_t start = 0;
+    // The start of the '+'-segment a position sits in, so the raw-
+    // path comma rule below agrees with the splice splitter: a comma
+    // after "replay:a.csv@10+diurnal" separates normally, while one
+    // inside an unterminated replay path is swallowed.
+    const auto activeSegmentStart = [&](std::size_t spec_start,
+                                        std::size_t pos) {
+        const auto parts = splitOnFamilyBoundary(
+            list.substr(spec_start, pos - spec_start), '+', registry);
+        return spec_start + (pos - spec_start) - parts.back().size();
+    };
+    for (std::size_t i = 0; i <= list.size(); ++i) {
+        const bool hard_break = i == list.size() || list[i] == ';';
+        bool family_comma = false;
+        if (!hard_break && list[i] == ',' &&
+            registry.hasFamily(headToken(list, i + 1))) {
+            // Swallow the comma only inside a raw replay path that
+            // no '@<seconds>' length has terminated yet (file names
+            // may contain commas; ';' always separates).
+            const std::size_t seg = activeSegmentStart(start, i);
+            family_comma = !segmentTakesRawArgs(list, seg, registry) ||
+                           endsWithLengthSuffix(list, seg, i);
+        }
+        if (!hard_break && !family_comma)
+            continue;
+        specs.push_back(list.substr(start, i - start));
+        start = i + 1;
+    }
+    return specs;
+}
+
+} // namespace hipster

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Trace-synthesis registry: every load-trace family the CLIs, sweep
+ * engine and bench binaries can name, plus a small composable spec
+ * grammar for building perturbed or concatenated traces from a
+ * string:
+ *
+ *   spec      := segment ('+' segment)*          (splice in time)
+ *   segment   := pipeline ['@' <seconds>]        (segment length)
+ *   pipeline  := family ('|' transform)*         (wrap combinators)
+ *   family    := name [':' arg (',' arg)*]       (e.g. mmpp:0.2,0.9,45)
+ *   transform := name ':' arg (',' arg)*         (e.g. scale:0.8)
+ *
+ * Examples:
+ *   mmpp:0.2,0.9,45
+ *   flashcrowd:0.2,0.95,120,30,60
+ *   sine:0.5,0.3,240|noise:0.05
+ *   diurnal|clip:0.1,0.8
+ *   constant:0.3@120+ramp@200+constant:0.9
+ *   replay:traces/day1.csv
+ *
+ * The registry is the single source of truth consulted by
+ * experiments/scenario's makeTraceByName, the sweep engine's
+ * fail-fast validation, both CLIs and the bench binaries, so a newly
+ * registered family is immediately sweepable everywhere.
+ */
+
+#ifndef HIPSTER_LOADGEN_TRACE_REGISTRY_HH
+#define HIPSTER_LOADGEN_TRACE_REGISTRY_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "loadgen/load_trace.hh"
+
+namespace hipster
+{
+
+/** Catalog entry describing one registered base trace family. */
+struct TraceFamilyInfo
+{
+    std::string name;      ///< grammar head, e.g. "mmpp"
+    std::string signature; ///< e.g. "mmpp[:lo,hi,switch]"
+    std::string summary;   ///< one-line description for --list-traces
+    std::string example;   ///< canonical example spec ("" = needs a file)
+    bool stochastic = false; ///< uses the seed (varies across seeds)
+    std::size_t minArgs = 0;
+    std::size_t maxArgs = 0;
+    bool rawArgs = false; ///< pass the arg string verbatim (paths)
+};
+
+/** Catalog entry describing one registered transform combinator. */
+struct TraceTransformInfo
+{
+    std::string name;
+    std::string signature;
+    std::string summary;
+    bool stochastic = false;
+    std::size_t minArgs = 0;
+    std::size_t maxArgs = 0;
+};
+
+/**
+ * Name-keyed factory for load traces. A singleton holds the built-in
+ * families; custom families can be registered at startup and become
+ * available to every consumer (CLIs, sweeps, benches) at once.
+ */
+class TraceRegistry
+{
+  public:
+    /** Builds a base trace from its (already split) argument list.
+     * `duration` is the run length the trace should span; `seed`
+     * feeds the stochastic families. */
+    using Factory = std::function<std::shared_ptr<const LoadTrace>(
+        const std::vector<std::string> &args, Seconds duration,
+        std::uint64_t seed)>;
+
+    /** Wraps an inner trace with a transform combinator. */
+    using Transform = std::function<std::shared_ptr<const LoadTrace>(
+        std::shared_ptr<const LoadTrace> inner,
+        const std::vector<std::string> &args, std::uint64_t seed)>;
+
+    /** The process-wide registry with the built-ins installed. */
+    static TraceRegistry &instance();
+
+    /** Register a family; FatalError on duplicate names. */
+    void registerFamily(TraceFamilyInfo info, Factory factory);
+
+    /** Register a transform; FatalError on duplicate names. */
+    void registerTransform(TraceTransformInfo info, Transform transform);
+
+    bool hasFamily(const std::string &name) const;
+    bool hasTransform(const std::string &name) const;
+
+    /** All registered families, in registration order. */
+    const std::vector<TraceFamilyInfo> &families() const
+    {
+        return families_;
+    }
+
+    /** All registered transforms, in registration order. */
+    const std::vector<TraceTransformInfo> &transforms() const
+    {
+        return transforms_;
+    }
+
+    /**
+     * Build a trace from a full spec string (see the grammar above).
+     * Stochastic stages derive their noise from `seed`; a fixed
+     * (spec, duration, seed) triple always builds a bit-identical
+     * trace. Throws FatalError on malformed specs, enumerating the
+     * registered families when the head is unknown.
+     */
+    std::shared_ptr<const LoadTrace> make(const std::string &spec,
+                                          Seconds duration,
+                                          std::uint64_t seed) const;
+
+    /** Human-readable catalog of every family and transform. */
+    std::string catalogText() const;
+
+    /** One-line enumeration used in unknown-name errors. */
+    std::string knownSpecsSummary() const;
+
+  private:
+    TraceRegistry() = default;
+    void registerBuiltins();
+
+    std::shared_ptr<const LoadTrace>
+    makePipeline(const std::string &pipeline, const std::string &spec,
+                 Seconds duration, std::uint64_t seed) const;
+
+    std::vector<TraceFamilyInfo> families_;
+    std::vector<Factory> factories_;
+    std::vector<TraceTransformInfo> transforms_;
+    std::vector<Transform> transformFns_;
+};
+
+/** Build a trace from a spec via the global registry. */
+std::shared_ptr<const LoadTrace> makeTrace(const std::string &spec,
+                                           Seconds duration,
+                                           std::uint64_t seed);
+
+/**
+ * Fail-fast spec validation: parses the spec and constructs the
+ * trace, throwing the same FatalError `makeTrace` would (including
+ * missing/malformed replay files), so campaigns reject bad cells
+ * before any runs start. Pass the actual run `duration` when known —
+ * splice lengths are checked against it (a spec whose segments
+ * exceed the run would otherwise only fail once jobs launch);
+ * `duration <= 0` falls back to a placeholder.
+ */
+void validateTraceSpec(const std::string &spec, Seconds duration = 0.0);
+
+/** Non-throwing validateTraceSpec(). */
+bool isTraceSpec(const std::string &spec);
+
+/**
+ * Splits a CLI trace list into specs. `;` always separates; a `,`
+ * separates only when the text after it starts a new registered
+ * family (so `mmpp:0.2,0.9,45,ramp` yields the mmpp spec and
+ * `ramp`, keeping in-spec argument commas intact).
+ */
+std::vector<std::string> splitTraceList(const std::string &list);
+
+} // namespace hipster
+
+#endif // HIPSTER_LOADGEN_TRACE_REGISTRY_HH

@@ -1,10 +1,12 @@
 /**
  * @file
- * Tests for the CSV writer.
+ * Tests for the CSV writer and reader, including the guarantee that
+ * anything CsvWriter emits parses back identically with CsvReader.
  */
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
 #include "common/csv.hh"
@@ -75,6 +77,103 @@ TEST(Csv, FileRoundTrip)
     std::stringstream buffer;
     buffer << in.rdbuf();
     EXPECT_EQ(buffer.str(), "t,v\n0,1.0\n");
+}
+
+TEST(CsvReaderTest, ParsesHeaderAndRows)
+{
+    std::istringstream in("t,v\n0,1.5\n1,2.5\n");
+    CsvReader reader(in);
+    ASSERT_EQ(reader.columns(), (std::vector<std::string>{"t", "v"}));
+    ASSERT_EQ(reader.rows(), 2u);
+    EXPECT_EQ(reader.columnIndex("t"), 0u);
+    EXPECT_EQ(reader.columnIndex("v"), 1u);
+    EXPECT_EQ(reader.cell(0, 1), "1.5");
+    EXPECT_DOUBLE_EQ(reader.number(1, 1), 2.5);
+    EXPECT_THROW(reader.columnIndex("nope"), FatalError);
+    EXPECT_THROW(reader.row(2), FatalError);
+    EXPECT_THROW(reader.cell(0, 5), FatalError);
+}
+
+TEST(CsvReaderTest, UnquotesRfc4180Fields)
+{
+    std::istringstream in(
+        "a,b\n\"hello, world\",\"say \"\"hi\"\"\"\n\"line1\nline2\",x\n");
+    CsvReader reader(in);
+    ASSERT_EQ(reader.rows(), 2u);
+    EXPECT_EQ(reader.cell(0, 0), "hello, world");
+    EXPECT_EQ(reader.cell(0, 1), "say \"hi\"");
+    EXPECT_EQ(reader.cell(1, 0), "line1\nline2");
+}
+
+TEST(CsvReaderTest, WriterOutputAlwaysParsesBack)
+{
+    // The writer/reader contract: any fields, however awkward, make
+    // the round trip unchanged.
+    const std::vector<std::string> nasty = {
+        "plain", "with,comma", "with \"quotes\"", "multi\nline",
+        "carriage\rreturn", ""};
+    std::ostringstream out;
+    CsvWriter writer(out);
+    writer.header({"c0", "c1", "c2", "c3", "c4", "c5"});
+    writer.row(nasty);
+    std::istringstream in(out.str());
+    CsvReader reader(in);
+    ASSERT_EQ(reader.rows(), 1u);
+    for (std::size_t c = 0; c < nasty.size(); ++c)
+        EXPECT_EQ(reader.cell(0, c), nasty[c]) << c;
+}
+
+TEST(CsvReaderTest, ToleratesCrlfAndMissingFinalNewline)
+{
+    std::istringstream in("t,v\r\n0,1\r\n1,2");
+    CsvReader reader(in);
+    ASSERT_EQ(reader.rows(), 2u);
+    EXPECT_DOUBLE_EQ(reader.number(1, 1), 2.0);
+}
+
+TEST(CsvReaderTest, MalformedInputFailsFast)
+{
+    {
+        std::istringstream in("");
+        EXPECT_THROW(CsvReader{in}, FatalError); // no header at all
+    }
+    {
+        std::istringstream in("a,b\n1\n"); // ragged row
+        EXPECT_THROW(CsvReader{in}, FatalError);
+    }
+    {
+        std::istringstream in("a,b\n\"unterminated,1\n");
+        EXPECT_THROW(CsvReader{in}, FatalError);
+    }
+    {
+        std::istringstream in("a,b\nx\"y,1\n"); // stray quote
+        EXPECT_THROW(CsvReader{in}, FatalError);
+    }
+    {
+        std::istringstream in("a,b\n1\r2,3\n"); // CR mid-field
+        EXPECT_THROW(CsvReader{in}, FatalError);
+    }
+    {
+        std::istringstream in("a,b\r1,2\r"); // CR-only line endings
+        EXPECT_THROW(CsvReader{in}, FatalError);
+    }
+    EXPECT_THROW(CsvReader("/nonexistent-dir/x/y.csv"), FatalError);
+}
+
+TEST(CsvReaderTest, NumberRejectsNonNumericCells)
+{
+    std::istringstream in("a\nbanana\n42\n");
+    CsvReader reader(in);
+    EXPECT_THROW(reader.number(0, 0), FatalError);
+    EXPECT_DOUBLE_EQ(reader.number(1, 0), 42.0);
+}
+
+TEST(CsvReaderTest, HeaderOnlyFileHasZeroRows)
+{
+    std::istringstream in("a,b\n");
+    CsvReader reader(in);
+    EXPECT_EQ(reader.rows(), 0u);
+    EXPECT_EQ(reader.columns().size(), 2u);
 }
 
 } // namespace

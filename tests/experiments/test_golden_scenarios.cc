@@ -18,6 +18,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <string>
+
 #include "experiments/runner.hh"
 #include "experiments/scenario.hh"
 
@@ -107,6 +110,124 @@ INSTANTIATE_TEST_SUITE_P(
                 c = '_';
         return name;
     });
+
+/**
+ * Committed goldens for the new trace families: the same 240 s
+ * Memcached scenario driven by mmpp (bursty) and flashcrowd load,
+ * under the hipster policy and the static all-big baseline
+ * (equivalent to `hipster_sim --workload memcached --policy <p>
+ * --trace <spec> --duration 240 --seed 1234 --learning 90`).
+ * Tolerances are explicit per row: tardiness varies much more on the
+ * flash crowd (the surge lands mid-exploitation), so its band is
+ * proportionally wider.
+ */
+struct TraceGolden
+{
+    const char *trace;
+    const char *policy;
+    double qosGuarantee; ///< tolerance ±qosTol (absolute)
+    double qosTol;
+    double qosTardiness; ///< tolerance ±tardTol (absolute)
+    double tardTol;
+    double energy;     ///< tolerance ±5% (relative)
+    double meanPower;  ///< tolerance ±5% (relative)
+    double migrations; ///< tolerance ±30% (relative), exact when 0
+};
+
+const TraceGolden kTraceGoldens[] = {
+    // trace                            policy        QoS   ±     tard  ±     E(J) P(W)  migr
+    {"mmpp:0.2,0.9,45",                 "hipster",    0.938, 0.04, 5.64, 1.70, 386, 1.61, 106},
+    {"mmpp:0.2,0.9,45",                 "static-big", 1.000, 0.01, 0.00, 0.10, 438, 1.82, 0},
+    {"flashcrowd:0.2,0.9,120,30,60",    "hipster",    0.821, 0.05, 44.7, 10.0, 358, 1.49, 96},
+    {"flashcrowd:0.2,0.9,120,30,60",    "static-big", 1.000, 0.01, 0.00, 0.10, 424, 1.77, 0},
+};
+
+ExperimentResult
+runTraceScenario(const std::string &traceSpec,
+                 const std::string &policyName)
+{
+    ExperimentRunner runner(
+        Platform::junoR1(), memcachedWorkload(),
+        makeTraceByName(traceSpec, kDuration, kSeed + 100), kSeed);
+    HipsterParams params = tunedHipsterParams("memcached");
+    params.learningPhase = kLearning;
+    const auto policy =
+        makePolicy(policyName, runner.platform(), params);
+    return runner.run(*policy, kDuration);
+}
+
+class GoldenTraceScenario
+    : public ::testing::TestWithParam<TraceGolden>
+{
+};
+
+TEST_P(GoldenTraceScenario, SummaryMatchesCommittedGolden)
+{
+    const TraceGolden &golden = GetParam();
+    const ExperimentResult result =
+        runTraceScenario(golden.trace, golden.policy);
+    const RunSummary &s = result.summary;
+
+    EXPECT_EQ(result.workloadName, "memcached");
+    EXPECT_EQ(s.intervals, static_cast<std::size_t>(kDuration));
+    EXPECT_EQ(s.dropped, 0u);
+
+    EXPECT_NEAR(s.qosGuarantee, golden.qosGuarantee, golden.qosTol);
+    EXPECT_NEAR(s.qosTardiness, golden.qosTardiness, golden.tardTol);
+    EXPECT_NEAR(s.energy, golden.energy, golden.energy * 0.05);
+    EXPECT_NEAR(s.meanPower, golden.meanPower,
+                golden.meanPower * 0.05);
+    if (golden.migrations == 0.0) {
+        EXPECT_EQ(s.migrations, 0u);
+    } else {
+        EXPECT_NEAR(static_cast<double>(s.migrations),
+                    golden.migrations, golden.migrations * 0.30);
+    }
+    // Energy must equal the integral of the series.
+    double total = 0.0;
+    for (const auto &m : result.series)
+        total += m.energy;
+    EXPECT_NEAR(s.energy, total, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NewFamilies, GoldenTraceScenario,
+    ::testing::ValuesIn(kTraceGoldens),
+    [](const ::testing::TestParamInfo<TraceGolden> &info) {
+        std::string name = info.param.trace;
+        name = name.substr(0, name.find(':'));
+        name += "_";
+        name += info.param.policy;
+        for (auto &c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });
+
+TEST(GoldenTraceScenarioCross, NewFamilyOrderingsHold)
+{
+    // Structural facts that must survive re-calibration: on both new
+    // stimuli the all-big baseline never migrates, meets QoS
+    // perfectly, and burns more energy than hipster; the flash crowd
+    // is the harder stimulus for hipster's QoS than steady
+    // burstiness.
+    const auto mmppH = runTraceScenario("mmpp:0.2,0.9,45", "hipster");
+    const auto mmppB =
+        runTraceScenario("mmpp:0.2,0.9,45", "static-big");
+    const auto crowdH =
+        runTraceScenario("flashcrowd:0.2,0.9,120,30,60", "hipster");
+    const auto crowdB =
+        runTraceScenario("flashcrowd:0.2,0.9,120,30,60", "static-big");
+
+    EXPECT_EQ(mmppB.migrations, 0u);
+    EXPECT_EQ(crowdB.migrations, 0u);
+    EXPECT_DOUBLE_EQ(mmppB.summary.qosGuarantee, 1.0);
+    EXPECT_DOUBLE_EQ(crowdB.summary.qosGuarantee, 1.0);
+    EXPECT_GT(mmppB.summary.energy, mmppH.summary.energy);
+    EXPECT_GT(crowdB.summary.energy, crowdH.summary.energy);
+    EXPECT_GT(mmppH.migrations, 0u);
+    EXPECT_GT(crowdH.migrations, 0u);
+}
 
 TEST(GoldenScenarioCross, PolicyOrderingsHold)
 {

@@ -78,6 +78,53 @@ TEST(ScenarioTraces, FactoryByNameCoversEveryCliName)
     EXPECT_FALSE(isTraceName("sawtooth"));
 }
 
+TEST(ScenarioTraces, FactoryConsultsTheRegistryForNewFamilies)
+{
+    // The scenario factory is the registry: every registered family
+    // and composed spec builds through it.
+    EXPECT_GT(makeTraceByName("mmpp:0.2,0.9,45", 600.0, 3)->at(10.0),
+              0.0);
+    EXPECT_GT(makeTraceByName("flashcrowd", 600.0, 3)->at(10.0), 0.0);
+    EXPECT_GT(makeTraceByName("sine:0.5,0.3,120", 600.0, 3)->at(10.0),
+              0.0);
+    EXPECT_DOUBLE_EQ(
+        makeTraceByName("constant:0.5|scale:0.5", 600.0, 3)->at(0.0),
+        0.25);
+    EXPECT_TRUE(isTraceName("mmpp"));
+    EXPECT_TRUE(isTraceName("diurnal|clip:0.1,0.8"));
+    EXPECT_FALSE(isTraceName("constant:banana"));
+}
+
+TEST(ScenarioTraces, UnknownNameErrorEnumeratesRegisteredSpecs)
+{
+    // Satellite of the registry refactor: the FatalError must list
+    // the registered specs instead of sending the user to the
+    // source.
+    try {
+        makeTraceByName("sawtooth", 600.0, 3);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("sawtooth"), std::string::npos);
+        EXPECT_NE(msg.find("registered trace specs"),
+                  std::string::npos);
+        EXPECT_NE(msg.find("diurnal"), std::string::npos);
+        EXPECT_NE(msg.find("mmpp"), std::string::npos);
+        EXPECT_NE(msg.find("flashcrowd"), std::string::npos);
+        EXPECT_NE(msg.find("replay:<csv-path>"), std::string::npos);
+    }
+}
+
+TEST(ScenarioTraces, DiurnalHelperMatchesRegistrySpec)
+{
+    // Golden scenarios depend on the helper and the registry staying
+    // bit-identical for equal seeds.
+    const auto helper = diurnalTrace(600.0, 42);
+    const auto registry = makeTraceByName("diurnal", 600.0, 42);
+    for (double t = 0.0; t < 600.0; t += 1.0)
+        ASSERT_EQ(helper->at(t), registry->at(t)) << t;
+}
+
 TEST(ScenarioDefaultsTest, DurationsAndTunedParams)
 {
     EXPECT_DOUBLE_EQ(diurnalDurationFor("memcached"),

@@ -322,6 +322,73 @@ TEST(SweepSpecValidation, RejectsEmptyAndZero)
     EXPECT_THROW(SweepEngine{spec}, FatalError);
 }
 
+TEST(SweepDeterminism, NewTraceFamiliesStayBitwiseReproducible)
+{
+    // The paired-seed determinism guarantee must extend to every
+    // registry family: jobs=1 and jobs=N reduce to identical
+    // aggregates on mmpp, flashcrowd and composed specs too.
+    SweepSpec spec;
+    spec.workloads = {"memcached"};
+    spec.traces = {"mmpp:0.2,0.9,30", "flashcrowd:0.2,0.9,30,10,15",
+                   "sine:0.5,0.3,40|noise:0.05"};
+    spec.policies = {"hipster-in"};
+    spec.seeds = 2;
+    spec.masterSeed = 23;
+    spec.duration = 50.0;
+    spec.learningPhase = 15.0;
+    SweepEngine engine(spec);
+    const auto serial = engine.run(1);
+    const auto parallel = engine.run(4);
+    ASSERT_EQ(serial.runs.size(), 6u);
+    ASSERT_EQ(serial.cells.size(), 3u);
+    for (std::size_t i = 0; i < serial.runs.size(); ++i) {
+        SCOPED_TRACE("run " + std::to_string(i));
+        expectBitwiseEqualSeries(serial.runs[i].result.series,
+                                 parallel.runs[i].result.series);
+    }
+    for (std::size_t c = 0; c < serial.cells.size(); ++c) {
+        SCOPED_TRACE("cell " + std::to_string(c));
+        expectEqualEstimates(serial.cells[c].qosGuarantee,
+                             parallel.cells[c].qosGuarantee);
+        expectEqualEstimates(serial.cells[c].energy,
+                             parallel.cells[c].energy);
+        expectEqualEstimates(serial.cells[c].migrations,
+                             parallel.cells[c].migrations);
+    }
+    // Different seeds genuinely vary on the stochastic families.
+    const auto &mmppRuns = serial.runs;
+    EXPECT_NE(mmppRuns[0].result.summary.energy,
+              mmppRuns[1].result.summary.energy);
+}
+
+TEST(SweepSpecValidation, AcceptsComposedRegistrySpecs)
+{
+    SweepSpec spec = shortSpec();
+    spec.traces = {"mmpp", "flashcrowd", "diurnal|clip:0.1,0.9",
+                   "constant:0.3@20+ramp"};
+    EXPECT_NO_THROW(SweepEngine{spec});
+    spec.traces = {"mmpp:0.2,banana,30"};
+    EXPECT_THROW(SweepEngine{spec}, FatalError);
+    spec.traces = {"replay:/nonexistent/file.csv"};
+    EXPECT_THROW(SweepEngine{spec}, FatalError);
+}
+
+TEST(SweepSpecValidation, SpliceLengthsCheckedAgainstTheRealDuration)
+{
+    // A splice that doesn't fit this campaign's run length must be
+    // rejected at construction — not after hours of good cells.
+    SweepSpec spec = shortSpec(); // duration 60 s
+    spec.traces = {"constant:0.3@120+ramp"};
+    EXPECT_THROW(SweepEngine{spec}, FatalError);
+    // All-explicit splices are held to the same reachability rule.
+    spec.traces = {"constant:0.3@120+ramp@100"};
+    EXPECT_THROW(SweepEngine{spec}, FatalError);
+    spec.duration = 400.0; // now the 120 s segment fits
+    EXPECT_NO_THROW(SweepEngine{spec});
+    spec.traces = {"constant:0.3@120+ramp"};
+    EXPECT_NO_THROW(SweepEngine{spec});
+}
+
 TEST(SweepSpecValidation, FailsFastOnTypoedNames)
 {
     // A bad name at the tail of a campaign must be rejected at

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Unit tests for the extended trace families (MMPP, flash crowd,
+ * sine, replay) and the transform combinators (scale, offset, clip,
+ * jitter, repeat, splice).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "loadgen/trace_families.hh"
+
+namespace hipster
+{
+namespace
+{
+
+TEST(MmppTrace, AlternatesBetweenTheTwoLevels)
+{
+    MmppTrace trace(0.2, 0.9, 30.0, /*seed=*/7, /*horizon=*/600.0);
+    bool saw_lo = false, saw_hi = false;
+    for (Seconds t = 0.0; t < 600.0; t += 1.0) {
+        const Fraction load = trace.at(t);
+        ASSERT_TRUE(load == 0.2 || load == 0.9) << "t=" << t;
+        saw_lo = saw_lo || load == 0.2;
+        saw_hi = saw_hi || load == 0.9;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+    // With mean sojourn 30 s over 600 s, expect a handful of
+    // precomputed state segments — neither one giant sojourn nor
+    // thousands of tiny ones.
+    EXPECT_GE(trace.segments(), 3u);
+    EXPECT_LE(trace.segments(), 200u);
+}
+
+TEST(MmppTrace, DeterministicPerSeedAndWrapsPeriodically)
+{
+    MmppTrace a(0.1, 0.8, 20.0, 42, 300.0);
+    MmppTrace b(0.1, 0.8, 20.0, 42, 300.0);
+    MmppTrace c(0.1, 0.8, 20.0, 43, 300.0);
+    int differ = 0;
+    for (Seconds t = 0.0; t < 300.0; t += 1.0) {
+        EXPECT_EQ(a.at(t), b.at(t));
+        EXPECT_EQ(a.at(t), a.at(t + 300.0)); // wraps at the horizon
+        differ += a.at(t) != c.at(t) ? 1 : 0;
+    }
+    EXPECT_GT(differ, 0);
+}
+
+TEST(MmppTrace, RejectsBadArguments)
+{
+    EXPECT_THROW(MmppTrace(-0.1, 0.8, 30.0, 1, 600.0), FatalError);
+    EXPECT_THROW(MmppTrace(0.9, 0.1, 30.0, 1, 600.0), FatalError);
+    EXPECT_THROW(MmppTrace(0.1, 0.9, 0.0, 1, 600.0), FatalError);
+    EXPECT_THROW(MmppTrace(0.1, 0.9, 30.0, 1, 0.0), FatalError);
+}
+
+TEST(FlashCrowdTrace, RisesHoldsAndDecays)
+{
+    // base 0.2 until t0=100, to 0.9 over 20 s, hold 50 s, decay.
+    FlashCrowdTrace trace(0.2, 0.9, 100.0, 20.0, 50.0);
+    EXPECT_DOUBLE_EQ(trace.at(0.0), 0.2);
+    EXPECT_DOUBLE_EQ(trace.at(100.0), 0.2);
+    EXPECT_NEAR(trace.at(110.0), 0.55, 1e-9); // mid-rise
+    EXPECT_DOUBLE_EQ(trace.at(125.0), 0.9);   // plateau
+    EXPECT_DOUBLE_EQ(trace.at(170.0), 0.9);   // plateau end
+    // Aftermath decays monotonically back towards the base.
+    EXPECT_GT(trace.at(180.0), trace.at(220.0));
+    EXPECT_GT(trace.at(220.0), 0.2);
+    EXPECT_NEAR(trace.at(1000.0), 0.2, 1e-9);
+    // Duration covers the surge and most of the aftermath.
+    EXPECT_GT(trace.duration(), 170.0);
+}
+
+TEST(FlashCrowdTrace, RejectsBadArguments)
+{
+    EXPECT_THROW(FlashCrowdTrace(-0.1, 0.9, 0.0, 10.0, 5.0),
+                 FatalError);
+    EXPECT_THROW(FlashCrowdTrace(0.9, 0.2, 0.0, 10.0, 5.0), FatalError);
+    EXPECT_THROW(FlashCrowdTrace(0.2, 0.9, 0.0, 0.0, 5.0), FatalError);
+    EXPECT_THROW(FlashCrowdTrace(0.2, 0.9, -1.0, 10.0, 5.0),
+                 FatalError);
+    EXPECT_THROW(FlashCrowdTrace(0.2, 0.9, 0.0, 10.0, -5.0),
+                 FatalError);
+}
+
+TEST(SineTrace, OscillatesAroundTheMean)
+{
+    SineTrace trace(0.5, 0.3, 100.0);
+    EXPECT_NEAR(trace.at(0.0), 0.5, 1e-9);
+    EXPECT_NEAR(trace.at(25.0), 0.8, 1e-9);
+    EXPECT_NEAR(trace.at(75.0), 0.2, 1e-9);
+    EXPECT_NEAR(trace.at(100.0), trace.at(0.0), 1e-9); // periodic
+    double mean = 0.0;
+    for (int k = 0; k < 100; ++k)
+        mean += trace.at(k);
+    EXPECT_NEAR(mean / 100.0, 0.5, 1e-6);
+}
+
+TEST(SineTrace, ClampsAtZeroWhenAmpExceedsMean)
+{
+    SineTrace trace(0.2, 0.5, 50.0);
+    for (Seconds t = 0.0; t < 50.0; t += 0.5)
+        ASSERT_GE(trace.at(t), 0.0) << t;
+    EXPECT_DOUBLE_EQ(trace.at(37.5), 0.0); // trough clamps
+}
+
+TEST(SineTrace, PhaseShiftsTheWave)
+{
+    SineTrace base(0.5, 0.3, 100.0);
+    SineTrace shifted(0.5, 0.3, 100.0, M_PI);
+    EXPECT_NEAR(base.at(25.0), shifted.at(75.0), 1e-9);
+    EXPECT_THROW(SineTrace(-0.1, 0.3, 100.0), FatalError);
+    EXPECT_THROW(SineTrace(0.5, -0.3, 100.0), FatalError);
+    EXPECT_THROW(SineTrace(0.5, 0.3, 0.0), FatalError);
+}
+
+TEST(ScaleTrace, MultipliesAndValidates)
+{
+    auto base = std::make_shared<ConstantTrace>(0.4);
+    ScaleTrace scaled(base, 1.5);
+    EXPECT_DOUBLE_EQ(scaled.at(10.0), 0.6);
+    EXPECT_THROW(ScaleTrace(base, -1.0), FatalError);
+    EXPECT_THROW(ScaleTrace(nullptr, 1.0), FatalError);
+}
+
+TEST(OffsetTrace, AddsAndClampsAtZero)
+{
+    auto base = std::make_shared<ConstantTrace>(0.4);
+    OffsetTrace up(base, 0.2);
+    OffsetTrace down(base, -0.6);
+    EXPECT_DOUBLE_EQ(up.at(0.0), 0.6);
+    EXPECT_DOUBLE_EQ(down.at(0.0), 0.0); // clamped, stays >= 0
+    EXPECT_THROW(OffsetTrace(nullptr, 0.1), FatalError);
+}
+
+TEST(ClipTrace, ClampsIntoRange)
+{
+    auto ramp = std::make_shared<RampTrace>(0.0, 1.0, 0.0, 100.0);
+    ClipTrace clipped(ramp, 0.2, 0.8);
+    EXPECT_DOUBLE_EQ(clipped.at(0.0), 0.2);
+    EXPECT_DOUBLE_EQ(clipped.at(50.0), 0.5);
+    EXPECT_DOUBLE_EQ(clipped.at(100.0), 0.8);
+    EXPECT_THROW(ClipTrace(ramp, 0.8, 0.2), FatalError);
+    EXPECT_THROW(ClipTrace(ramp, -0.1, 0.8), FatalError);
+    EXPECT_THROW(ClipTrace(nullptr, 0.0, 1.0), FatalError);
+}
+
+TEST(JitterTrace, DeterministicAdditiveNoiseWithinBounds)
+{
+    auto base = std::make_shared<ConstantTrace>(0.5);
+    JitterTrace a(base, 0.1, 1.0, 7);
+    JitterTrace b(base, 0.1, 1.0, 7);
+    JitterTrace c(base, 0.1, 1.0, 8);
+    int differ = 0;
+    for (Seconds t = 0.0; t < 100.0; t += 1.0) {
+        EXPECT_EQ(a.at(t), b.at(t));
+        ASSERT_GE(a.at(t), 0.0);
+        ASSERT_LE(a.at(t), 1.2);
+        differ += a.at(t) != c.at(t) ? 1 : 0;
+    }
+    EXPECT_GT(differ, 80);
+    // Constant within one interval, like NoisyTrace.
+    EXPECT_DOUBLE_EQ(a.at(3.1), a.at(3.9));
+}
+
+TEST(JitterTrace, MeanApproximatelyPreservedAndZeroSigmaTransparent)
+{
+    auto base = std::make_shared<ConstantTrace>(0.5);
+    JitterTrace trace(base, 0.05, 1.0, 9);
+    double sum = 0.0;
+    const int n = 2000;
+    for (int k = 0; k < n; ++k)
+        sum += trace.at(k + 0.5);
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+
+    JitterTrace silent(base, 0.0, 1.0, 1);
+    EXPECT_DOUBLE_EQ(silent.at(12.3), 0.5);
+    EXPECT_THROW(JitterTrace(base, -0.1, 1.0, 1), FatalError);
+    EXPECT_THROW(JitterTrace(base, 0.1, 0.0, 1), FatalError);
+    EXPECT_THROW(JitterTrace(nullptr, 0.1, 1.0, 1), FatalError);
+}
+
+TEST(RepeatTrace, WrapsTimeModuloThePeriod)
+{
+    auto ramp = std::make_shared<RampTrace>(0.0, 1.0, 0.0, 100.0);
+    RepeatTrace repeated(ramp, 50.0);
+    EXPECT_DOUBLE_EQ(repeated.at(10.0), ramp->at(10.0));
+    EXPECT_DOUBLE_EQ(repeated.at(60.0), ramp->at(10.0));
+    EXPECT_DOUBLE_EQ(repeated.at(510.0), ramp->at(10.0));
+    EXPECT_DOUBLE_EQ(repeated.duration(), 50.0);
+    EXPECT_THROW(RepeatTrace(ramp, 0.0), FatalError);
+    EXPECT_THROW(RepeatTrace(nullptr, 10.0), FatalError);
+}
+
+TEST(SpliceTrace, ConcatenatesWithLocalClocks)
+{
+    auto low = std::make_shared<ConstantTrace>(0.2);
+    auto ramp = std::make_shared<RampTrace>(0.2, 0.8, 0.0, 50.0);
+    auto high = std::make_shared<ConstantTrace>(0.8);
+    SpliceTrace splice({{low, 100.0}, {ramp, 50.0}, {high, 0.0}});
+    EXPECT_DOUBLE_EQ(splice.at(50.0), 0.2);
+    // Segment 2's clock starts at 0: t=125 is 25 s into the ramp.
+    EXPECT_NEAR(splice.at(125.0), 0.5, 1e-9);
+    EXPECT_DOUBLE_EQ(splice.at(200.0), 0.8);
+    EXPECT_DOUBLE_EQ(splice.at(10000.0), 0.8); // open-ended tail
+}
+
+TEST(SpliceTrace, ValidatesSegments)
+{
+    auto c = std::make_shared<ConstantTrace>(0.5);
+    EXPECT_THROW(SpliceTrace({}), FatalError);
+    EXPECT_THROW(SpliceTrace({{nullptr, 10.0}}), FatalError);
+    EXPECT_THROW(SpliceTrace({{c, -1.0}}), FatalError);
+    // Open-ended segment anywhere but last is rejected.
+    EXPECT_THROW(SpliceTrace({{c, 0.0}, {c, 10.0}}), FatalError);
+    EXPECT_NO_THROW(SpliceTrace({{c, 10.0}, {c, 0.0}}));
+}
+
+TEST(NoisyDiurnal, MatchesTheScenarioComposition)
+{
+    // makeNoisyDiurnal is the single source of truth behind both the
+    // scenario helper and the registry's "diurnal": the composition
+    // must stay a DiurnalTrace under mild multiplicative noise
+    // capped at 1.05.
+    const auto trace = makeNoisyDiurnal(600.0, 11);
+    DiurnalTrace clean(600.0, 0.05, 0.95);
+    double max_seen = 0.0;
+    for (Seconds t = 0.0; t < 600.0; t += 1.0) {
+        const Fraction load = trace->at(t);
+        ASSERT_GE(load, 0.0);
+        ASSERT_LE(load, 1.05);
+        // Noise is multiplicative around the clean curve.
+        EXPECT_NEAR(load, clean.at(t), clean.at(t) * 0.5 + 1e-9);
+        max_seen = std::max(max_seen, load);
+    }
+    EXPECT_GT(max_seen, 0.75);
+}
+
+} // namespace
+} // namespace hipster

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Property tests over the trace-synthesis subsystem: for every
+ * registered family (via its canonical example spec) and a matrix of
+ * transform-composed and spliced specs, `at()` must be finite,
+ * non-negative and a pure function of (spec, duration, seed);
+ * stochastic specs must differ across seeds and deterministic ones
+ * must not. Registry coverage is asserted dynamically, so a newly
+ * registered family without a property-tested example fails here.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "loadgen/trace_registry.hh"
+
+namespace hipster
+{
+namespace
+{
+
+constexpr Seconds kDuration = 400.0;
+constexpr std::uint64_t kSeed = 1234;
+
+/** One property-tested spec with its expected seed sensitivity. */
+struct SpecCase
+{
+    std::string spec;
+    bool stochastic;
+};
+
+std::vector<SpecCase>
+specCases()
+{
+    std::vector<SpecCase> cases;
+    // Every registered family's canonical example (replay has none —
+    // it needs a file on disk and is covered by test_trace_replay).
+    for (const TraceFamilyInfo &family :
+         TraceRegistry::instance().families()) {
+        if (!family.example.empty())
+            cases.push_back({family.example, family.stochastic});
+    }
+    // Bare family names exercise the argument defaults.
+    cases.push_back({"ramp", false});
+    cases.push_back({"mmpp", true});
+    cases.push_back({"flashcrowd", false});
+    cases.push_back({"sine", false});
+    // Each transform combinator over a base, and stacked pipelines.
+    cases.push_back({"diurnal|scale:0.5", true});
+    cases.push_back({"constant:0.6|scale:1.5", false});
+    cases.push_back({"sine:0.5,0.3,100|offset:-0.4", false});
+    cases.push_back({"ramp|offset:0.2", false});
+    cases.push_back({"mmpp:0.1,1.4,30|clip:0.2,0.9", true});
+    cases.push_back({"constant:0.5|noise:0.1", true});
+    cases.push_back({"constant:0.5|jitter:0.1", true});
+    cases.push_back({"flashcrowd|repeat:120", false});
+    cases.push_back({"diurnal|noise:0.05|clip:0.05,1.0", true});
+    cases.push_back({"sine:0.4,0.6,80|jitter:0.2,2,1.1|scale:0.9",
+                     true});
+    // Splices, including stochastic segments and open-ended tails.
+    cases.push_back({"constant:0.3@100+ramp:0.3,0.9,0,50@100+"
+                     "constant:0.9",
+                     false});
+    cases.push_back({"diurnal@200+mmpp:0.2,0.8,25", true});
+    cases.push_back({"flashcrowd:0.2,0.9,50,10,40@150+sine:0.5,0.2,90",
+                     false});
+    return cases;
+}
+
+std::vector<Seconds>
+samplePoints()
+{
+    std::vector<Seconds> points;
+    // Dense over the run, plus boundary and out-of-range probes.
+    for (Seconds t = 0.0; t <= kDuration; t += 3.7)
+        points.push_back(t);
+    points.push_back(-5.0);
+    points.push_back(kDuration * 2.5);
+    return points;
+}
+
+class TraceProperties : public ::testing::TestWithParam<SpecCase>
+{
+};
+
+TEST_P(TraceProperties, AtIsFiniteAndNonNegative)
+{
+    const auto trace = makeTrace(GetParam().spec, kDuration, kSeed);
+    for (Seconds t : samplePoints()) {
+        const Fraction load = trace->at(t);
+        ASSERT_TRUE(std::isfinite(load))
+            << GetParam().spec << " at t=" << t;
+        ASSERT_GE(load, 0.0) << GetParam().spec << " at t=" << t;
+    }
+}
+
+TEST_P(TraceProperties, DeterministicUnderAFixedSeed)
+{
+    const auto a = makeTrace(GetParam().spec, kDuration, kSeed);
+    const auto b = makeTrace(GetParam().spec, kDuration, kSeed);
+    for (Seconds t : samplePoints()) {
+        // Two instances agree bit-for-bit, and repeated sampling of
+        // one instance is a pure function of time.
+        ASSERT_EQ(a->at(t), b->at(t))
+            << GetParam().spec << " at t=" << t;
+        ASSERT_EQ(a->at(t), a->at(t))
+            << GetParam().spec << " at t=" << t;
+    }
+}
+
+TEST_P(TraceProperties, SeedSensitivityMatchesTheCatalog)
+{
+    const auto a = makeTrace(GetParam().spec, kDuration, kSeed);
+    const auto b = makeTrace(GetParam().spec, kDuration, kSeed + 1);
+    std::size_t differ = 0;
+    for (Seconds t : samplePoints())
+        differ += a->at(t) != b->at(t) ? 1 : 0;
+    if (GetParam().stochastic) {
+        EXPECT_GT(differ, 0u)
+            << GetParam().spec
+            << " is stochastic but identical across seeds";
+    } else {
+        EXPECT_EQ(differ, 0u)
+            << GetParam().spec
+            << " is deterministic but varied across seeds";
+    }
+}
+
+TEST_P(TraceProperties, ValidatesAndSurvivesRoundTripValidation)
+{
+    EXPECT_TRUE(isTraceSpec(GetParam().spec)) << GetParam().spec;
+    EXPECT_NO_THROW(validateTraceSpec(GetParam().spec));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSpecs, TraceProperties, ::testing::ValuesIn(specCases()),
+    [](const ::testing::TestParamInfo<SpecCase> &info) {
+        std::string name = info.param.spec;
+        for (auto &c : name) {
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name + "_" + std::to_string(info.index);
+    });
+
+TEST(TracePropertyCoverage, EveryRegisteredFamilyHasAPropertyCase)
+{
+    // A newly registered family must either carry a canonical
+    // example (picked up automatically above) or be replay-style
+    // file input, which test_trace_replay covers.
+    const auto cases = specCases();
+    for (const TraceFamilyInfo &family :
+         TraceRegistry::instance().families()) {
+        if (family.example.empty()) {
+            EXPECT_TRUE(family.rawArgs)
+                << family.name
+                << " has no example spec and is not file-based";
+            continue;
+        }
+        const bool covered = std::any_of(
+            cases.begin(), cases.end(), [&](const SpecCase &c) {
+                return c.spec == family.example;
+            });
+        EXPECT_TRUE(covered) << family.name;
+    }
+}
+
+TEST(TracePropertyCoverage, StochasticFlagsAgreeWithTheRegistry)
+{
+    // The per-case stochastic expectations for bare family specs
+    // must match the registry's own catalog flags.
+    const TraceRegistry &registry = TraceRegistry::instance();
+    for (const SpecCase &c : specCases()) {
+        const std::string head = c.spec.substr(
+            0, c.spec.find_first_of(":|@+"));
+        if (c.spec != head && c.spec != head + ":" &&
+            c.spec.find_first_of("|+") != std::string::npos)
+            continue; // composed specs mix stages; skip
+        for (const TraceFamilyInfo &family : registry.families()) {
+            if (family.name == head &&
+                c.spec.find('|') == std::string::npos &&
+                c.spec.find('+') == std::string::npos) {
+                EXPECT_EQ(c.stochastic, family.stochastic) << c.spec;
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace hipster

@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Tests for the trace registry and its spec grammar: family lookup
+ * and argument defaults, transform pipelines, '+' splicing with
+ * '@' lengths, spec-aware CLI list splitting, fail-fast validation,
+ * and the unknown-name error that enumerates every registered spec.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "common/logging.hh"
+#include "loadgen/trace_registry.hh"
+
+namespace hipster
+{
+namespace
+{
+
+constexpr Seconds kDuration = 400.0;
+
+TEST(TraceRegistryCatalog, BuiltinsAreRegistered)
+{
+    const TraceRegistry &registry = TraceRegistry::instance();
+    for (const char *name : {"constant", "ramp", "diurnal", "spike",
+                             "sine", "mmpp", "flashcrowd", "replay"})
+        EXPECT_TRUE(registry.hasFamily(name)) << name;
+    for (const char *name :
+         {"scale", "offset", "clip", "noise", "jitter", "repeat"})
+        EXPECT_TRUE(registry.hasTransform(name)) << name;
+    EXPECT_FALSE(registry.hasFamily("sawtooth"));
+    EXPECT_FALSE(registry.hasTransform("sawtooth"));
+    EXPECT_GE(registry.families().size(), 8u);
+    EXPECT_GE(registry.transforms().size(), 6u);
+}
+
+TEST(TraceRegistryCatalog, CatalogTextListsEverything)
+{
+    const std::string catalog =
+        TraceRegistry::instance().catalogText();
+    for (const TraceFamilyInfo &family :
+         TraceRegistry::instance().families())
+        EXPECT_NE(catalog.find(family.signature), std::string::npos)
+            << family.name;
+    for (const TraceTransformInfo &transform :
+         TraceRegistry::instance().transforms())
+        EXPECT_NE(catalog.find(transform.signature), std::string::npos)
+            << transform.name;
+}
+
+TEST(TraceRegistryErrors, UnknownFamilyEnumeratesRegisteredSpecs)
+{
+    // The whole point of the registry error: a typo tells the user
+    // what IS available instead of sending them to the source.
+    try {
+        makeTrace("sawtooth", kDuration, 1);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("unknown trace family 'sawtooth'"),
+                  std::string::npos)
+            << msg;
+        // Every registered family signature is enumerated.
+        for (const TraceFamilyInfo &family :
+             TraceRegistry::instance().families())
+            EXPECT_NE(msg.find(family.signature), std::string::npos)
+                << family.name << " missing from: " << msg;
+        EXPECT_NE(msg.find("mmpp"), std::string::npos);
+        EXPECT_NE(msg.find("flashcrowd"), std::string::npos);
+        EXPECT_NE(msg.find("transforms"), std::string::npos);
+    }
+}
+
+TEST(TraceRegistryErrors, UnknownTransformAndMisplacedFamily)
+{
+    EXPECT_THROW(makeTrace("diurnal|sawtooth:1", kDuration, 1),
+                 FatalError);
+    // A family used as a transform gets a targeted hint.
+    try {
+        makeTrace("diurnal|ramp", kDuration, 1);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("can only start"),
+                  std::string::npos);
+    }
+}
+
+TEST(TraceRegistryErrors, ArgumentCountAndTypeAreChecked)
+{
+    EXPECT_THROW(makeTrace("constant", kDuration, 1), FatalError);
+    EXPECT_THROW(makeTrace("constant:0.5,0.6", kDuration, 1),
+                 FatalError);
+    EXPECT_THROW(makeTrace("constant:abc", kDuration, 1), FatalError);
+    // Non-finite arguments would poison at()'s finite invariant.
+    EXPECT_THROW(makeTrace("constant:nan", kDuration, 1), FatalError);
+    EXPECT_THROW(makeTrace("sine:0.5,inf,100", kDuration, 1),
+                 FatalError);
+    EXPECT_THROW(makeTrace("constant:0.5@nan+ramp", kDuration, 1),
+                 FatalError);
+    EXPECT_THROW(makeTrace("mmpp:0.2,0.9,45,9,9", kDuration, 1),
+                 FatalError);
+    EXPECT_THROW(makeTrace("diurnal|clip:0.5", kDuration, 1),
+                 FatalError);
+    EXPECT_THROW(makeTrace("diurnal|scale:x", kDuration, 1),
+                 FatalError);
+    EXPECT_THROW(makeTrace("", kDuration, 1), FatalError);
+    EXPECT_THROW(makeTrace("|scale:2", kDuration, 1), FatalError);
+}
+
+TEST(TraceRegistrySpecs, DefaultsMatchTheLegacyFactories)
+{
+    // "ramp" must stay the Figure 8 stimulus.
+    const auto ramp = makeTrace("ramp", kDuration, 1);
+    EXPECT_DOUBLE_EQ(ramp->at(0.0), 0.50);
+    EXPECT_NEAR(ramp->at(92.5), 0.75, 1e-9);
+    EXPECT_DOUBLE_EQ(ramp->at(300.0), 1.00);
+    // "constant:<v>" is exact.
+    EXPECT_DOUBLE_EQ(makeTrace("constant:0.42", kDuration, 1)->at(9.0),
+                     0.42);
+    // "spike" adds load at 70% of the duration.
+    const auto spike = makeTrace("spike", kDuration, 1);
+    EXPECT_GT(spike->at(0.7 * kDuration + 1.0),
+              spike->at(0.5 * kDuration));
+}
+
+TEST(TraceRegistrySpecs, EmptyArgSlotsKeepDefaults)
+{
+    // "ramp:,,0,100" overrides only t0/length; from/to keep 0.5/1.0.
+    const auto ramp = makeTrace("ramp:,,0,100", kDuration, 1);
+    EXPECT_DOUBLE_EQ(ramp->at(0.0), 0.50);
+    EXPECT_NEAR(ramp->at(50.0), 0.75, 1e-9);
+    EXPECT_DOUBLE_EQ(ramp->at(100.0), 1.00);
+}
+
+TEST(TraceRegistrySpecs, PipelineAppliesTransformsInOrder)
+{
+    const auto scaled =
+        makeTrace("constant:0.4|scale:2|clip:0,0.7", kDuration, 1);
+    EXPECT_DOUBLE_EQ(scaled->at(0.0), 0.7); // 0.4*2 = 0.8, clipped
+    const auto reordered =
+        makeTrace("constant:0.4|clip:0,0.7|scale:2", kDuration, 1);
+    EXPECT_DOUBLE_EQ(reordered->at(0.0), 0.8); // clip first, then *2
+}
+
+TEST(TraceRegistrySpecs, SpliceSegmentsRunOnLocalClocks)
+{
+    const auto spliced = makeTrace(
+        "constant:0.3@100+ramp:0.3,0.9,0,50@100+constant:0.9",
+        kDuration, 1);
+    EXPECT_DOUBLE_EQ(spliced->at(50.0), 0.3);
+    EXPECT_NEAR(spliced->at(125.0), 0.6, 1e-9); // 25 s into the ramp
+    EXPECT_DOUBLE_EQ(spliced->at(250.0), 0.9);
+}
+
+TEST(TraceRegistrySpecs, SpliceValidation)
+{
+    // A middle segment without a length is rejected.
+    EXPECT_THROW(makeTrace("constant:0.3+ramp@100+constant:0.9",
+                           kDuration, 1),
+                 FatalError);
+    // Explicit lengths consuming the whole run leave no room for an
+    // open-ended tail.
+    EXPECT_THROW(
+        makeTrace("constant:0.3@400+constant:0.9", kDuration, 1),
+        FatalError);
+    // A segment the run never reaches is rejected even with an
+    // explicit length — the results would be mislabeled otherwise.
+    EXPECT_THROW(makeTrace("constant:0.3@120+ramp@100", 60.0, 1),
+                 FatalError);
+    // A lone segment's '@len' may exceed the run: it deliberately
+    // views the prefix of a longer trace.
+    EXPECT_NO_THROW(makeTrace("diurnal@1440", 60.0, 1));
+    // Zero/negative lengths are rejected.
+    EXPECT_THROW(makeTrace("constant:0.3@-5+ramp", kDuration, 1),
+                 FatalError);
+}
+
+TEST(TraceRegistrySpecs, StackedNoiseStagesAreDecorrelated)
+{
+    // Two noise stages must not reuse the same stream: if they did,
+    // "noise:0.1|noise:0.1" would square the same draws instead of
+    // mixing independent ones, and the two specs below would agree
+    // everywhere.
+    const auto once =
+        makeTrace("constant:0.5|noise:0.1", kDuration, 7);
+    const auto twice =
+        makeTrace("constant:0.5|noise:0.0|noise:0.1", kDuration, 7);
+    std::size_t differ = 0;
+    for (Seconds t = 0.0; t < 200.0; t += 1.0)
+        differ += once->at(t) != twice->at(t) ? 1 : 0;
+    EXPECT_GT(differ, 150u);
+}
+
+TEST(TraceRegistryValidation, IsTraceSpecAndValidate)
+{
+    EXPECT_TRUE(isTraceSpec("diurnal"));
+    EXPECT_TRUE(isTraceSpec("mmpp:0.2,0.9,45"));
+    EXPECT_TRUE(isTraceSpec("flashcrowd|repeat:100"));
+    EXPECT_FALSE(isTraceSpec("sawtooth"));
+    EXPECT_FALSE(isTraceSpec("constant:nope"));
+    EXPECT_FALSE(isTraceSpec(""));
+    // Replay validation is I/O-checking by design: a missing file
+    // fails before a campaign starts.
+    EXPECT_FALSE(isTraceSpec("replay:/nonexistent/trace.csv"));
+    EXPECT_THROW(validateTraceSpec("replay:/nonexistent/trace.csv"),
+                 FatalError);
+}
+
+TEST(TraceRegistryValidation, RegistrationRejectsDuplicatesAndNulls)
+{
+    TraceRegistry &registry = TraceRegistry::instance();
+    EXPECT_THROW(registry.registerFamily(
+                     {"constant", "constant:<level>", "dup", "", false,
+                      1, 1, false},
+                     nullptr),
+                 FatalError);
+    EXPECT_THROW(
+        registry.registerTransform(
+            {"scale", "scale:<factor>", "dup", false, 1, 1}, nullptr),
+        FatalError);
+}
+
+TEST(TraceRegistrySpecs, ReplayPathsSwallowSpliceSeparators)
+{
+    // A file called "day+ramp.csv" must parse as one replay spec —
+    // '+' only splices after an explicit '@<seconds>' length ends
+    // the raw path.
+    const std::string dir = ::testing::TempDir();
+    const std::string plus_path = dir + "hipster_day+ramp.csv";
+    {
+        std::ofstream out(plus_path);
+        out << "time_s,load\n0,0.4\n10,0.4\n";
+    }
+    const auto whole =
+        makeTrace("replay:" + plus_path, kDuration, 1);
+    EXPECT_DOUBLE_EQ(whole->at(5.0), 0.4);
+    // With an explicit length the same path still splices normally.
+    const auto spliced = makeTrace(
+        "replay:" + plus_path + "@50+constant:0.9", kDuration, 1);
+    EXPECT_DOUBLE_EQ(spliced->at(5.0), 0.4);
+    EXPECT_DOUBLE_EQ(spliced->at(60.0), 0.9);
+    std::remove(plus_path.c_str());
+}
+
+TEST(TraceListSplitting, ReplayPathsSwallowCommas)
+{
+    // File names may contain commas; only ';' ends a replay spec in
+    // a CLI list.
+    const auto specs =
+        splitTraceList("replay:a,diurnal.csv;constant:0.5");
+    ASSERT_EQ(specs.size(), 2u);
+    EXPECT_EQ(specs[0], "replay:a,diurnal.csv");
+    EXPECT_EQ(specs[1], "constant:0.5");
+}
+
+TEST(TraceListSplitting, CommaRuleFollowsTheActiveSpliceSegment)
+{
+    // Once an '@<seconds>' length ends the replay path, later
+    // segments obey the normal comma rule again.
+    const auto specs =
+        splitTraceList("replay:a.csv@10+diurnal,ramp");
+    ASSERT_EQ(specs.size(), 2u);
+    EXPECT_EQ(specs[0], "replay:a.csv@10+diurnal");
+    EXPECT_EQ(specs[1], "ramp");
+    // Without the length the whole thing is still one raw path.
+    const auto raw = splitTraceList("replay:a+b,c.csv");
+    ASSERT_EQ(raw.size(), 1u);
+    EXPECT_EQ(raw[0], "replay:a+b,c.csv");
+}
+
+TEST(TraceListSplitting, KeepsInSpecCommasIntact)
+{
+    // The classic footgun: mmpp's numeric arguments contain commas.
+    const auto specs =
+        splitTraceList("mmpp:0.2,0.9,45,flashcrowd,diurnal");
+    ASSERT_EQ(specs.size(), 3u);
+    EXPECT_EQ(specs[0], "mmpp:0.2,0.9,45");
+    EXPECT_EQ(specs[1], "flashcrowd");
+    EXPECT_EQ(specs[2], "diurnal");
+}
+
+TEST(TraceListSplitting, SemicolonAlwaysSeparates)
+{
+    const auto specs =
+        splitTraceList("sine:0.5,0.3,240|noise:0.05;constant:0.4");
+    ASSERT_EQ(specs.size(), 2u);
+    EXPECT_EQ(specs[0], "sine:0.5,0.3,240|noise:0.05");
+    EXPECT_EQ(specs[1], "constant:0.4");
+}
+
+TEST(TraceListSplitting, SingleSpecAndLegacyLists)
+{
+    const auto one = splitTraceList("diurnal");
+    ASSERT_EQ(one.size(), 1u);
+    EXPECT_EQ(one[0], "diurnal");
+    // The PR-2 era list syntax still works.
+    const auto legacy = splitTraceList("diurnal,ramp,constant:0.5");
+    ASSERT_EQ(legacy.size(), 3u);
+    EXPECT_EQ(legacy[0], "diurnal");
+    EXPECT_EQ(legacy[1], "ramp");
+    EXPECT_EQ(legacy[2], "constant:0.5");
+}
+
+TEST(TraceRegistryDiurnal, MatchesTheScenarioHelperBitForBit)
+{
+    // The registry's "diurnal" and the scenario helper must build
+    // identical traces from the same seed — the golden scenarios
+    // depend on it.
+    const auto via_registry = makeTrace("diurnal", 600.0, 77);
+    const auto lowhigh = makeTrace("diurnal:0.05,0.95", 600.0, 77);
+    for (Seconds t = 0.0; t < 600.0; t += 1.0) {
+        ASSERT_EQ(via_registry->at(t), lowhigh->at(t));
+    }
+}
+
+} // namespace
+} // namespace hipster

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * CSV replay tests: a synthesized trace written with writeTraceCsv
+ * (full double precision, common/csv) must reload via `replay:` with
+ * bit-for-bit identical samples; malformed files — missing, empty,
+ * wrong columns, non-numeric cells, unsorted times, negative loads —
+ * must fail fast with FatalError.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "common/logging.hh"
+#include "loadgen/trace_families.hh"
+#include "loadgen/trace_registry.hh"
+
+namespace hipster
+{
+namespace
+{
+
+/** A unique temp path per test, removed on teardown. */
+class ReplayRoundTrip : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        const auto *info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        path_ = ::testing::TempDir() + "hipster_replay_" +
+                info->name() + ".csv";
+        std::remove(path_.c_str());
+    }
+
+    void
+    TearDown() override
+    {
+        std::remove(path_.c_str());
+    }
+
+    void
+    writeRaw(const std::string &contents)
+    {
+        std::ofstream out(path_);
+        out << contents;
+    }
+
+    /** Age the file's mtime past the replay cache's freshness guard
+     * (recently written files are deliberately not cached). */
+    void
+    backdate()
+    {
+        namespace fs = std::filesystem;
+        fs::last_write_time(
+            path_, fs::file_time_type::clock::now() -
+                       std::chrono::seconds(10));
+    }
+
+    std::string path_;
+};
+
+TEST_F(ReplayRoundTrip, SampledTraceReplaysBitForBit)
+{
+    // Synthesize a trace with noise (so the samples are irregular
+    // doubles, the worst case for text round-trips), dump, reload.
+    const auto original =
+        makeTrace("diurnal|noise:0.05", 300.0, /*seed=*/99);
+    writeTraceCsv(path_, *original, /*step=*/1.0, /*length=*/300.0);
+
+    const auto replayed =
+        makeTrace("replay:" + path_, 300.0, /*seed=*/1);
+    for (Seconds t = 0.0; t <= 300.0; t += 1.0) {
+        // Exactly at the sample points the replay is bit-identical.
+        ASSERT_EQ(original->at(t), replayed->at(t)) << "t=" << t;
+    }
+    // Between samples the replay interpolates linearly; values stay
+    // within the bracketing samples.
+    for (Seconds t = 0.5; t < 300.0; t += 1.0) {
+        const Fraction lo = std::min(original->at(t - 0.5),
+                                     original->at(t + 0.5));
+        const Fraction hi = std::max(original->at(t - 0.5),
+                                     original->at(t + 0.5));
+        ASSERT_GE(replayed->at(t), lo - 1e-12) << "t=" << t;
+        ASSERT_LE(replayed->at(t), hi + 1e-12) << "t=" << t;
+    }
+}
+
+TEST_F(ReplayRoundTrip, ReplayIsSeedInvariant)
+{
+    writeTraceCsv(path_, ConstantTrace(0.35), 1.0, 10.0);
+    const auto a = makeTrace("replay:" + path_, 10.0, 1);
+    const auto b = makeTrace("replay:" + path_, 10.0, 999);
+    for (Seconds t = 0.0; t <= 10.0; t += 0.25)
+        ASSERT_EQ(a->at(t), b->at(t));
+}
+
+TEST_F(ReplayRoundTrip, ReplayedTraceComposesWithTransforms)
+{
+    writeTraceCsv(path_, ConstantTrace(0.4), 1.0, 10.0);
+    const auto scaled =
+        makeTrace("replay:" + path_ + "|scale:2", 10.0, 1);
+    EXPECT_DOUBLE_EQ(scaled->at(5.0), 0.8);
+}
+
+TEST_F(ReplayRoundTrip, DurationComesFromTheLastSample)
+{
+    writeTraceCsv(path_, ConstantTrace(0.4), 2.0, 50.0);
+    const auto trace = ReplayTrace::fromCsv(path_);
+    EXPECT_DOUBLE_EQ(trace->duration(), 50.0);
+    EXPECT_EQ(trace->samples(), 26u); // 0, 2, ..., 50
+    // Holds the edge values outside the recorded range.
+    EXPECT_DOUBLE_EQ(trace->at(-5.0), 0.4);
+    EXPECT_DOUBLE_EQ(trace->at(500.0), 0.4);
+}
+
+TEST_F(ReplayRoundTrip, RepeatedLoadsHitTheParseCache)
+{
+    writeTraceCsv(path_, ConstantTrace(0.4), 1.0, 10.0);
+    // Only files whose mtime has settled are cached (a file touched
+    // within the last mtime tick could be rewritten without the
+    // cache noticing); backdate to simulate a recorded trace.
+    backdate();
+    const auto first = ReplayTrace::fromCsv(path_);
+    const auto second = ReplayTrace::fromCsv(path_);
+    // Same underlying parse: the file is read once per content.
+    EXPECT_EQ(first.get(), second.get());
+}
+
+TEST_F(ReplayRoundTrip, FreshlyWrittenFilesAreNotCached)
+{
+    writeRaw("time_s,load\n0,0.5\n1,0.5\n");
+    const auto first = ReplayTrace::fromCsv(path_);
+    const auto second = ReplayTrace::fromCsv(path_);
+    // A just-written file is re-parsed every time — no stale risk.
+    EXPECT_NE(first.get(), second.get());
+    EXPECT_DOUBLE_EQ(second->at(0.5), 0.5);
+}
+
+TEST_F(ReplayRoundTrip, RewritingTheFileInvalidatesTheCache)
+{
+    writeRaw("time_s,load\n0,0.5\n1,0.5\n");
+    backdate();
+    const auto before = ReplayTrace::fromCsv(path_);
+    EXPECT_DOUBLE_EQ(before->at(0.5), 0.5);
+    writeRaw("time_s,load\n0,0.25\n1,0.25\n10,0.75\n");
+    backdate();
+    const auto after = ReplayTrace::fromCsv(path_);
+    EXPECT_DOUBLE_EQ(after->at(0.5), 0.25);
+    EXPECT_EQ(after->samples(), 3u);
+}
+
+TEST_F(ReplayRoundTrip, MissingFileFailsFast)
+{
+    EXPECT_THROW(ReplayTrace::fromCsv(path_ + ".nope"), FatalError);
+    EXPECT_FALSE(isTraceSpec("replay:" + path_ + ".nope"));
+}
+
+TEST_F(ReplayRoundTrip, EmptyFileFailsFast)
+{
+    writeRaw("");
+    EXPECT_THROW(ReplayTrace::fromCsv(path_), FatalError);
+}
+
+TEST_F(ReplayRoundTrip, HeaderOnlyFailsFast)
+{
+    writeRaw("time_s,load\n");
+    EXPECT_THROW(ReplayTrace::fromCsv(path_), FatalError);
+}
+
+TEST_F(ReplayRoundTrip, MissingColumnsFailFast)
+{
+    writeRaw("t,level\n0,0.5\n1,0.6\n");
+    EXPECT_THROW(ReplayTrace::fromCsv(path_), FatalError);
+}
+
+TEST_F(ReplayRoundTrip, NonNumericCellFailsFast)
+{
+    writeRaw("time_s,load\n0,0.5\n1,banana\n");
+    EXPECT_THROW(ReplayTrace::fromCsv(path_), FatalError);
+}
+
+TEST_F(ReplayRoundTrip, UnsortedTimesFailFast)
+{
+    writeRaw("time_s,load\n0,0.5\n2,0.6\n1,0.7\n");
+    EXPECT_THROW(ReplayTrace::fromCsv(path_), FatalError);
+    // Duplicate timestamps are equally rejected.
+    writeRaw("time_s,load\n0,0.5\n1,0.6\n1,0.7\n");
+    EXPECT_THROW(ReplayTrace::fromCsv(path_), FatalError);
+}
+
+TEST_F(ReplayRoundTrip, NegativeLoadFailsFast)
+{
+    writeRaw("time_s,load\n0,0.5\n1,-0.25\n");
+    EXPECT_THROW(ReplayTrace::fromCsv(path_), FatalError);
+}
+
+TEST_F(ReplayRoundTrip, RaggedRowFailsFast)
+{
+    writeRaw("time_s,load\n0,0.5\n1\n");
+    EXPECT_THROW(ReplayTrace::fromCsv(path_), FatalError);
+}
+
+TEST_F(ReplayRoundTrip, ExtraColumnsAreTolerated)
+{
+    // Real telemetry dumps carry more columns; replay only needs
+    // time_s and load, wherever they are.
+    writeRaw("power_w,time_s,rps,load\n3.1,0,900,0.5\n2.9,1,800,0.6\n");
+    const auto trace = ReplayTrace::fromCsv(path_);
+    EXPECT_DOUBLE_EQ(trace->at(0.0), 0.5);
+    EXPECT_DOUBLE_EQ(trace->at(1.0), 0.6);
+    EXPECT_DOUBLE_EQ(trace->at(0.5), 0.55);
+}
+
+TEST_F(ReplayRoundTrip, WriteTraceCsvValidatesArguments)
+{
+    const ConstantTrace trace(0.5);
+    EXPECT_THROW(writeTraceCsv(path_, trace, 0.0, 10.0), FatalError);
+    EXPECT_THROW(writeTraceCsv(path_, trace, 1.0, 0.0), FatalError);
+    EXPECT_THROW(writeTraceCsv("/nonexistent-dir/x.csv", trace, 1.0,
+                               10.0),
+                 FatalError);
+}
+
+} // namespace
+} // namespace hipster

@@ -16,7 +16,13 @@
  *   --workload memcached|websearch      (default memcached)
  *   --policy   static-big|static-small|heuristic|octopus-man|
  *              hipster-in|hipster-co    (default hipster-in)
- *   --trace    diurnal|ramp|constant:<frac>|spike (default diurnal)
+ *   --trace    any registry spec: diurnal, ramp, spike,
+ *              constant:<frac>, mmpp:<lo,hi,switch>,
+ *              flashcrowd:<base,peak,t0,rise,hold>,
+ *              sine:<mean,amp,period>, replay:<csv>, composed with
+ *              |scale/|offset/|clip/|noise/|jitter/|repeat and '+'
+ *              splicing (default diurnal)
+ *   --list-traces                       (print the catalog and exit)
  *   --duration <seconds>                (default: workload diurnal)
  *   --seed     <n>                      (default 1)
  *   --bucket   <percent>                (Hipster bucket width)
@@ -38,6 +44,7 @@
 #include "common/table.hh"
 #include "experiments/runner.hh"
 #include "experiments/scenario.hh"
+#include "loadgen/trace_registry.hh"
 #include "workloads/batch.hh"
 
 namespace
@@ -66,10 +73,12 @@ usage(const char *argv0, int code)
         "usage: %s [--workload memcached|websearch]\n"
         "          [--policy static-big|static-small|heuristic|"
         "octopus-man|hipster-in|hipster-co]\n"
-        "          [--trace diurnal|ramp|constant:<frac>|spike]\n"
+        "          [--trace <spec>] [--list-traces]\n"
         "          [--duration <s>] [--seed <n>] [--bucket <pct>]\n"
         "          [--learning <s>] [--batch p1,p2,...] [--series]\n"
-        "          [--csv <path>]\n",
+        "          [--csv <path>]\n"
+        "trace specs use the registry grammar (e.g. mmpp:0.2,0.9,45,\n"
+        "diurnal|clip:0.1,0.8); see --list-traces for the catalog\n",
         argv0);
     std::exit(code);
 }
@@ -91,6 +100,11 @@ parse(int argc, char **argv)
             options.policy = need(i);
         } else if (arg == "--trace") {
             options.trace = need(i);
+        } else if (arg == "--list-traces") {
+            std::fputs(
+                TraceRegistry::instance().catalogText().c_str(),
+                stdout);
+            std::exit(0);
         } else if (arg == "--duration") {
             options.duration = std::atof(need(i));
         } else if (arg == "--seed") {

@@ -17,8 +17,13 @@
  *   --policy   <p1,p2,...>|all  policies to sweep (default hipster-in;
  *                               "all" = the Table 3 list)
  *   --workload <w1,w2,...>      memcached|websearch (default memcached)
- *   --trace    <t1,t2,...>      diurnal|ramp|constant:<frac>|spike
- *                               (default diurnal)
+ *   --traces   <t1,t2,...>      trace specs from the registry grammar
+ *                               (diurnal, mmpp:0.2,0.9,45,
+ *                               flashcrowd:..., sine:..., replay:<csv>,
+ *                               with |-composed transforms; default
+ *                               diurnal; --trace is an alias; ';' also
+ *                               separates specs)
+ *   --list-traces               print the trace catalog and exit
  *   --seeds    <n>              repetitions per cell (default 5)
  *   --jobs     <n>              worker threads (default: hardware)
  *   --master-seed <n>           seed all run seeds derive from (default 1)
@@ -41,6 +46,7 @@
 #include "common/csv.hh"
 #include "common/thread_pool.hh"
 #include "experiments/sweep.hh"
+#include "loadgen/trace_registry.hh"
 
 namespace
 {
@@ -61,10 +67,11 @@ usage(const char *argv0, int code)
 {
     std::printf(
         "usage: %s [--policy <p1,p2,...>|all] [--workload <w1,...>]\n"
-        "          [--trace <t1,...>] [--seeds <n>] [--jobs <n>]\n"
-        "          [--master-seed <n>] [--duration <s>] [--scale <f>]\n"
-        "          [--learning <s>] [--bucket <pct>]\n"
-        "          [--csv <path>] [--agg-csv <path>] [--quiet]\n",
+        "          [--traces <t1,...>] [--list-traces] [--seeds <n>]\n"
+        "          [--jobs <n>] [--master-seed <n>] [--duration <s>]\n"
+        "          [--scale <f>] [--learning <s>] [--bucket <pct>]\n"
+        "          [--csv <path>] [--agg-csv <path>] [--quiet]\n"
+        "traces use the registry spec grammar; see --list-traces\n",
         argv0);
     std::exit(code);
 }
@@ -107,8 +114,15 @@ parse(int argc, char **argv)
                 value == "all" ? tablePolicyNames() : splitList(value);
         } else if (arg == "--workload") {
             options.spec.workloads = splitList(need(i));
-        } else if (arg == "--trace") {
-            options.spec.traces = splitList(need(i));
+        } else if (arg == "--trace" || arg == "--traces") {
+            // Spec-aware splitting: argument commas inside a spec
+            // (mmpp:0.2,0.9,45) survive, ';' always separates.
+            options.spec.traces = splitTraceList(need(i));
+        } else if (arg == "--list-traces") {
+            std::fputs(
+                TraceRegistry::instance().catalogText().c_str(),
+                stdout);
+            std::exit(0);
         } else if (arg == "--seeds") {
             options.spec.seeds = std::strtoull(need(i), nullptr, 10);
         } else if (arg == "--jobs") {
