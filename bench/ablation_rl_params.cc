@@ -5,20 +5,21 @@
  * danger-zone reward on/off (Algorithm 1 line 9) and a migration-
  * penalty sweep.
  *
- * Both grids run through SweepEngine (each hyper-parameter point is
- * a sweep cell, --seeds repetitions each, in parallel); rows report
- * seed means ± 95% CI.
+ * Every hyper-parameter point is an ordinary sweep cell named by a
+ * generated registry policy spec ("hipster-in:alpha=0.2,gamma=0.5",
+ * "hipster-in:stochastic=0", "hipster-in:migpen=2.0") running the
+ * engine's default wiring — the same strings `hipster_sweep
+ * --policies` accepts, no bespoke jobRunner plumbing. --seeds
+ * repetitions per cell, in parallel; rows report seed means ± 95% CI.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
-#include <map>
 #include <string>
-#include <utility>
 #include <vector>
 
 #include "bench/bench_util.hh"
-#include "core/hipster_policy.hh"
 #include "experiments/sweep.hh"
 
 using namespace hipster;
@@ -26,18 +27,16 @@ using namespace hipster;
 namespace
 {
 
-/** One hyper-parameter point of the grid. */
-struct RlPoint
+/** One grid point: the generated spec plus the values it encodes
+ * (kept alongside for row labelling — no string round-trip). */
+struct RlCell
 {
+    std::string spec;
     double alpha = 0.6;
     double gamma = 0.9;
     bool stochastic = true;
     double migrationPenalty = -1.0; ///< < 0 = workload default
 };
-
-/** Labelled grid: the label names the sweep cell, the point carries
- * the actual values (no string round-trip). */
-using RlGrid = std::vector<std::pair<std::string, RlPoint>>;
 
 } // namespace
 
@@ -51,47 +50,29 @@ main(int argc, char **argv)
 
     // The alpha/gamma grid + the paper defaults with the stochastic
     // danger-zone penalty disabled.
-    RlGrid points;
-    for (double alpha : {0.2, 0.6, 0.9})
-        for (double gamma : {0.0, 0.5, 0.9})
-            points.emplace_back("a" + formatFixed(alpha, 1) + "-g" +
-                                    formatFixed(gamma, 1),
-                                RlPoint{alpha, gamma, true, -1.0});
-    points.emplace_back("a0.6-g0.9-plain",
-                        RlPoint{0.6, 0.9, false, -1.0});
+    std::vector<RlCell> points;
+    for (double alpha : {0.2, 0.6, 0.9}) {
+        for (double gamma : {0.0, 0.5, 0.9}) {
+            points.push_back({"hipster-in:alpha=" +
+                                  formatFixed(alpha, 1) + ",gamma=" +
+                                  formatFixed(gamma, 1),
+                              alpha, gamma, true, -1.0});
+        }
+    }
+    points.push_back(
+        {"hipster-in:stochastic=0", 0.6, 0.9, false, -1.0});
 
-    // Every cell runs a HipsterIn policy; the label only selects the
-    // parameter point.
+    // Each cell is just a policy spec on the default sweep wiring.
     const auto runGrid = [&](const std::string &workload,
-                             const RlGrid &grid, Seconds learning) {
+                             const std::vector<RlCell> &grid,
+                             Seconds learning) {
         SweepSpec spec = bench::sweepSpec(options);
         spec.workloads = {workload};
         spec.keepSeries = false; // only summaries are reported
+        spec.learningPhase = learning;
         spec.policies.clear();
-        std::map<std::string, RlPoint> byLabel;
-        for (const auto &[label, point] : grid) {
-            spec.policies.push_back(label);
-            byLabel.emplace(label, point);
-        }
-        const double scale = options.durationScale;
-        spec.jobRunner = [scale, learning,
-                          byLabel](const SweepJob &job) {
-            const RlPoint &p = byLabel.at(job.policy);
-            const Seconds duration =
-                diurnalDurationFor(job.workload) * scale;
-            ExperimentRunner runner(
-                Platform::junoR1(), lcWorkloadByName(job.workload),
-                diurnalTrace(duration, job.seed + 100), job.seed);
-            HipsterParams params = tunedHipsterParams(job.workload);
-            params.learningPhase = learning;
-            params.alpha = p.alpha;
-            params.gamma = p.gamma;
-            params.stochasticReward = p.stochastic;
-            if (p.migrationPenalty >= 0.0)
-                params.migrationPenalty = p.migrationPenalty;
-            HipsterPolicy policy(runner.platform(), params);
-            return runner.run(policy, duration);
-        };
+        for (const RlCell &cell : grid)
+            spec.policies.push_back(cell.spec);
         return bench::runSweep(spec, options);
     };
 
@@ -112,17 +93,17 @@ main(int argc, char **argv)
                 options.jobs);
     TextTable table({"alpha", "gamma", "stochastic", "QoS",
                      "energy (J)"});
-    for (const auto &[label, p] : points) {
+    for (const RlCell &point : points) {
         const AggregateSummary *cell =
-            grid.find(label, "websearch");
+            grid.find(point.spec, "websearch");
         table.newRow()
-            .cell(p.alpha, 1)
-            .cell(p.gamma, 1)
-            .cell(p.stochastic ? "on" : "off")
+            .cell(point.alpha, 1)
+            .cell(point.gamma, 1)
+            .cell(point.stochastic ? "on" : "off")
             .cell(formatMeanCi(cell->qosGuarantee, 1, 100.0) + "%")
             .cell(formatMeanCi(cell->energy, 0));
         if (csv) {
-            csv->add(label)
+            csv->add(point.spec)
                 .add(cell->runs)
                 .add(cell->qosGuarantee.mean * 100.0)
                 .add(cell->qosGuarantee.ci95 * 100.0)
@@ -137,24 +118,26 @@ main(int argc, char **argv)
     // Migration-penalty ablation (our extension over the pure greedy
     // Algorithm 2 line 7): how the churn damping affects migrations.
     std::printf("\nMigration-penalty ablation (memcached):\n");
-    RlGrid mig_points;
-    for (double penalty : {0.0, 0.5, 2.0})
-        mig_points.emplace_back("mig" + formatFixed(penalty, 1),
-                                RlPoint{0.6, 0.9, true, penalty});
+    std::vector<RlCell> mig_points;
+    for (double penalty : {0.0, 0.5, 2.0}) {
+        mig_points.push_back({"hipster-in:migpen=" +
+                                  formatFixed(penalty, 1),
+                              0.6, 0.9, true, penalty});
+    }
     const auto mig_grid = runGrid("memcached", mig_points,
                                   ScenarioDefaults::learningPhase *
                                       options.durationScale);
     TextTable mig({"penalty", "QoS", "energy (J)", "migrations"});
-    for (const auto &[label, p] : mig_points) {
+    for (const RlCell &point : mig_points) {
         const AggregateSummary *cell =
-            mig_grid.find(label, "memcached");
+            mig_grid.find(point.spec, "memcached");
         mig.newRow()
-            .cell(p.migrationPenalty, 1)
+            .cell(point.migrationPenalty, 1)
             .cell(formatMeanCi(cell->qosGuarantee, 1, 100.0) + "%")
             .cell(formatMeanCi(cell->energy, 0))
             .cell(formatMeanCi(cell->migrations, 1));
         if (csv) {
-            csv->add(label)
+            csv->add(point.spec)
                 .add(cell->runs)
                 .add(cell->qosGuarantee.mean * 100.0)
                 .add(cell->qosGuarantee.ci95 * 100.0)

@@ -29,16 +29,23 @@ main(int argc, char **argv)
     const Seconds duration = 1500.0 * options.durationScale;
     const Seconds window = 100.0;
 
-    auto run = [&](const std::string &name) {
+    // The short learning phase is a registry spec override — the
+    // exact string a CLI user would pass — not bespoke struct
+    // plumbing (Octopus-Man has no learning phase, so its spec is
+    // bare).
+    const std::string hipsterSpec =
+        "hipster-in:learn=" +
+        formatFixed(ScenarioDefaults::shortLearningPhase, 0);
+
+    auto run = [&](const std::string &spec) {
         ExperimentRunner runner = makeDiurnalRunner("websearch",
                                                     duration, 7);
-        HipsterParams params = tunedHipsterParams("websearch");
-        params.learningPhase = ScenarioDefaults::shortLearningPhase;
-        auto policy = makePolicy(name, runner.platform(), params);
+        auto policy = makePolicy(spec, runner.platform(),
+                                 tunedHipsterParams("websearch"));
         return runner.run(*policy, duration);
     };
 
-    const auto hipster = run("hipster-in");
+    const auto hipster = run(hipsterSpec);
     const auto octopus = run("octopus-man");
 
     auto csv = bench::maybeCsv(options);

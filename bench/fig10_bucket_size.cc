@@ -5,31 +5,37 @@
  * mapping. The paper sweeps 3/6/9% for Web-Search and 2/3/4% for
  * Memcached and observes: small buckets save more energy but incur
  * more QoS violations; large buckets are safer but save less.
+ *
+ * Every bucket point is an ordinary sweep cell driven by a generated
+ * policy spec ("hipster-in:bucket=<pct>") — the same strings
+ * `hipster_sweep --policies` accepts — so there is no bespoke
+ * construction path; --seeds repetitions per cell report seed means.
  */
 
 #include <cstdio>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.hh"
-#include "core/baselines.hh"
-#include "core/hipster_policy.hh"
-#include "experiments/runner.hh"
-#include "experiments/scenario.hh"
+#include "experiments/sweep.hh"
 
 using namespace hipster;
 
 int
 main(int argc, char **argv)
 {
-    const auto options = bench::parseArgs(argc, argv);
+    const auto options =
+        bench::parseArgs(argc, argv, bench::TraceOverride::Supported);
     bench::banner("Figure 10",
                   "Bucket-size sweep: QoS violations and energy savings "
                   "vs static all-big");
 
     auto csv = bench::maybeCsv(options);
     if (csv) {
-        csv->header({"workload", "bucket_pct", "qos_violations_pct",
-                     "energy_reduction_pct"});
+        csv->header({"workload", "policy_spec", "bucket_pct",
+                     "qos_violations_pct", "energy_reduction_pct",
+                     "migrations"});
     }
 
     struct Sweep
@@ -45,53 +51,52 @@ main(int argc, char **argv)
     };
 
     for (const auto &sweep : sweeps) {
-        const Seconds duration =
-            diurnalDurationFor(sweep.workload) * options.durationScale;
-
-        // Baseline energy: static all-big.
-        ExperimentRunner base_runner =
-            makeDiurnalRunner(sweep.workload, duration, 1);
-        StaticPolicy static_big =
-            StaticPolicy::allBig(base_runner.platform());
-        const auto baseline = base_runner.run(static_big, duration);
-
-        std::printf("--- %s ---\n", sweep.workload);
-        TextTable table({"bucket", "QoS violations", "energy saving",
-                         "migrations"});
-        double prev_energy_saving = 1e9;
+        // One campaign per workload: the static all-big baseline and
+        // one parameterized HipsterIn spec per bucket width.
+        SweepSpec spec = bench::sweepSpec(options);
+        spec.workloads = {sweep.workload};
+        spec.keepSeries = false;
+        spec.policies = {"static-big"};
+        std::vector<std::string> bucketSpecs;
         for (double bucket : sweep.buckets) {
-            ExperimentRunner runner =
-                makeDiurnalRunner(sweep.workload, duration, 1);
-            HipsterParams params = tunedHipsterParams(sweep.workload);
-            params.bucketPercent = bucket;
-            params.learningPhase =
-                ScenarioDefaults::learningPhase * options.durationScale;
-            HipsterPolicy policy(runner.platform(), params);
-            const auto result = runner.run(policy, duration);
+            bucketSpecs.push_back("hipster-in:bucket=" +
+                                  formatFixed(bucket, 0));
+            spec.policies.push_back(bucketSpecs.back());
+        }
+        const auto results = bench::runSweep(spec, options);
 
+        const AggregateSummary *baseline =
+            results.find("static-big", sweep.workload);
+
+        std::printf("--- %s (%zu seeds per cell) ---\n", sweep.workload,
+                    options.seeds);
+        TextTable table({"spec", "QoS violations", "energy saving",
+                         "migrations"});
+        for (std::size_t i = 0; i < sweep.buckets.size(); ++i) {
+            const AggregateSummary *cell =
+                results.find(bucketSpecs[i], sweep.workload);
             const double violations =
-                (1.0 - result.summary.qosGuarantee) * 100.0;
+                (1.0 - cell->qosGuarantee.mean) * 100.0;
             const double saving =
-                result.summary.energyReductionVs(baseline.summary) *
-                100.0;
+                (baseline->energy.mean - cell->energy.mean) /
+                baseline->energy.mean * 100.0;
             table.newRow()
-                .cell(formatFixed(bucket, 0) + "%")
-                .percentCell((100.0 - result.summary.qosGuarantee *
-                                          100.0) /
-                                 100.0,
-                             1)
+                .cell(bucketSpecs[i])
+                .cell(formatFixed(violations, 1) + " ±" +
+                      formatFixed(cell->qosGuarantee.ci95 * 100.0, 1) +
+                      "%")
                 .cell(formatFixed(saving, 1) + "%")
-                .cell(static_cast<long long>(result.migrations));
+                .cell(formatMeanCi(cell->migrations, 1));
             if (csv) {
                 csv->add(sweep.workload)
-                    .add(bucket)
+                    .add(bucketSpecs[i])
+                    .add(sweep.buckets[i])
                     .add(violations)
                     .add(saving)
+                    .add(cell->migrations.mean)
                     .endRow();
             }
-            prev_energy_saving = saving;
         }
-        (void)prev_energy_saving;
         table.print(std::cout);
         std::printf("\n");
     }

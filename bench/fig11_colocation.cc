@@ -52,12 +52,11 @@ runOne(const BatchKernel &kernel, const std::string &policy_name,
         policy = std::make_unique<StaticPolicy>(StaticPolicy::allBig(
             runner.platform(), PolicyVariant::Collocated));
     } else {
-        HipsterParams hp = params;
+        // "octopus" is a registered registry alias for "octopus-man",
+        // so the name passes straight through.
         OctopusManParams op;
         op.variant = PolicyVariant::Collocated;
-        policy = makePolicy(policy_name == "octopus" ? "octopus-man"
-                                                     : "hipster-co",
-                            runner.platform(), hp, op);
+        policy = makePolicy(policy_name, runner.platform(), params, op);
     }
     const auto result = runner.run(*policy, duration);
     CoRunResult out;
@@ -96,7 +95,7 @@ main(int argc, char **argv)
     for (const auto &kernel : SpecCatalog::all()) {
         const CoRunResult st = runOne(kernel, "static", duration);
         const CoRunResult om = runOne(kernel, "octopus", duration);
-        const CoRunResult co = runOne(kernel, "hipster", duration);
+        const CoRunResult co = runOne(kernel, "hipster-co", duration);
 
         const double st_qos = std::max(st.summary.qosGuarantee, 1e-6);
         const double st_ips = std::max(st.batchIps, 1.0);

@@ -88,6 +88,9 @@ class OctopusManPolicy : public TaskPolicy
 
     const HeuristicMapper &mapper() const { return mapper_; }
 
+    /** The resolved tunables this instance runs with. */
+    const OctopusManParams &params() const { return params_; }
+
   private:
     Decision decorate(CoreConfig config) const;
 

@@ -112,6 +112,9 @@ class HipsterPolicy : public TaskPolicy
     /** Current phase. */
     HipsterPhase phase() const { return phase_; }
 
+    /** The resolved tunables this instance runs with. */
+    const HipsterParams &params() const { return params_; }
+
     /** The lookup table (tests/analysis). */
     const QTable &qtable() const { return qtable_; }
 

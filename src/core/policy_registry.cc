@@ -1,0 +1,535 @@
+#include "core/policy_registry.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace hipster
+{
+
+namespace
+{
+
+/** Compact numeric rendering for schema text ("5", "0.85"). */
+std::string
+formatValue(double value)
+{
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%g", value);
+    return buffer;
+}
+
+double
+parseNumber(const std::string &text, const std::string &spec,
+            const std::string &key)
+{
+    char *end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (text.empty() || end == text.c_str() || *end != '\0')
+        fatal("policy spec '", spec, "': value '", text, "' for '", key,
+              "' is not a number");
+    if (!std::isfinite(value))
+        fatal("policy spec '", spec, "': value '", text, "' for '", key,
+              "' must be finite");
+    return value;
+}
+
+/** The policy-name token starting at `pos` ([a-z0-9_-]*), or "" when
+ * the text there cannot start a policy head. */
+std::string
+headToken(const std::string &text, std::size_t pos)
+{
+    std::size_t end = pos;
+    while (end < text.size() &&
+           (std::islower(static_cast<unsigned char>(text[end])) ||
+            std::isdigit(static_cast<unsigned char>(text[end])) ||
+            text[end] == '_' || text[end] == '-'))
+        ++end;
+    return text.substr(pos, end - pos);
+}
+
+/** One schema line: "bucket=5 in [0.1, 50] — doc". */
+std::string
+paramLine(const PolicyParamInfo &param)
+{
+    std::string line = param.key + "=" + formatValue(param.defaultValue);
+    if (param.boolean)
+        line += " (0|1)";
+    else
+        line += " in [" + formatValue(param.minValue) + ", " +
+                formatValue(param.maxValue) + "]";
+    if (param.integer)
+        line += " (integer)";
+    return line + " — " + param.doc;
+}
+
+std::string
+schemaSummary(const PolicyInfo &info)
+{
+    if (info.params.empty())
+        return "'" + info.name + "' takes no parameters";
+    std::string out = "'" + info.name + "' parameters:";
+    for (const PolicyParamInfo &param : info.params)
+        out += "\n  " + paramLine(param);
+    return out;
+}
+
+/** HipsterParams with every spec override applied on top. */
+HipsterParams
+applyHipsterOverrides(HipsterParams params, const PolicyParamSet &set)
+{
+    params.bucketPercent = set.get("bucket", params.bucketPercent);
+    params.learningPhase = set.get("learn", params.learningPhase);
+    params.zones.danger = set.get("danger", params.zones.danger);
+    params.zones.safe = set.get("safe", params.zones.safe);
+    params.alpha = set.get("alpha", params.alpha);
+    params.gamma = set.get("gamma", params.gamma);
+    params.relearnThreshold =
+        set.get("relearn", params.relearnThreshold);
+    params.guaranteeWindow = static_cast<std::size_t>(set.get(
+        "window", static_cast<double>(params.guaranteeWindow)));
+    params.migrationPenalty = set.get("migpen", params.migrationPenalty);
+    params.useHeuristicBootstrap =
+        set.getBool("bootstrap", params.useHeuristicBootstrap);
+    params.stochasticReward =
+        set.getBool("stochastic", params.stochasticReward);
+    return params;
+}
+
+/** The tunables HipsterIn and HipsterCo share. */
+std::vector<PolicyParamInfo>
+hipsterSchema()
+{
+    return {
+        {"bucket", "load-bucket width in % of max load (Figure 10)",
+         5.0, 0.1, 50.0, false, false},
+        {"learn", "learning-phase duration in seconds (Figure 9)",
+         500.0, 0.0, 1e7, false, false},
+        {"danger", "danger zone starts at target x this (QoS_D)", 0.80,
+         0.01, 1.0, false, false},
+        {"safe", "safe zone ends at target x this (QoS_S)", 0.30, 0.0,
+         1.0, false, false},
+        {"alpha", "Q-learning rate (Algorithm 1)", 0.6, 0.0, 1.0,
+         false, false},
+        {"gamma", "discount factor (Algorithm 1)", 0.9, 0.0, 1.0,
+         false, false},
+        {"relearn",
+         "sliding-window QoS guarantee below which the manager "
+         "re-enters learning (Algorithm 2 line 18)",
+         0.80, 0.0, 1.0, false, false},
+        {"window", "sliding-window length in samples", 100.0, 1.0, 1e6,
+         true, false},
+        {"migpen",
+         "per-core migration discount on candidate actions (0 = pure "
+         "greedy Algorithm 2 line 7)",
+         0.5, 0.0, 1e3, false, false},
+        {"bootstrap",
+         "heuristic bootstrap during learning (0 = pure-RL ablation)",
+         1.0, 0.0, 1.0, false, true},
+        {"stochastic",
+         "stochastic danger-zone reward penalty (Algorithm 1 line 9)",
+         1.0, 0.0, 1.0, false, true},
+    };
+}
+
+/** The schema default of `key` in `info` (panics on a key the
+ * registration itself got wrong). */
+double
+schemaDefault(const PolicyInfo &info, const std::string &key)
+{
+    for (const PolicyParamInfo &param : info.params) {
+        if (param.key == key)
+            return param.defaultValue;
+    }
+    HIPSTER_PANIC("PolicyRegistry: cross-check references unknown "
+                  "key '",
+                  key, "' of '", info.name, "'");
+}
+
+/** Fail-fast zone sanity: the safe-zone end must sit below the
+ * danger-zone start. Unset keys resolve to the schema defaults of
+ * the policy under validation, so the fallbacks can never drift
+ * from the registered schema. */
+PolicyRegistry::CrossCheck
+zonesBelowCheck(std::string dangerKey, std::string safeKey)
+{
+    return [=](const PolicyInfo &info, const PolicyParamSet &set,
+               const std::string &spec) {
+        const double danger =
+            set.get(dangerKey, schemaDefault(info, dangerKey));
+        const double safe =
+            set.get(safeKey, schemaDefault(info, safeKey));
+        if (safe >= danger)
+            fatal("policy spec '", spec, "': ", safeKey, "=",
+                  formatValue(safe), " must be below ", dangerKey, "=",
+                  formatValue(danger));
+    };
+}
+
+} // namespace
+
+bool
+PolicyParamSet::isSet(const std::string &key) const
+{
+    return std::any_of(values_.begin(), values_.end(),
+                       [&](const auto &kv) { return kv.first == key; });
+}
+
+double
+PolicyParamSet::get(const std::string &key, double fallback) const
+{
+    for (const auto &kv : values_) {
+        if (kv.first == key)
+            return kv.second;
+    }
+    return fallback;
+}
+
+bool
+PolicyParamSet::getBool(const std::string &key, bool fallback) const
+{
+    return get(key, fallback ? 1.0 : 0.0) != 0.0;
+}
+
+void
+PolicyParamSet::set(const std::string &key, double value)
+{
+    values_.emplace_back(key, value);
+}
+
+PolicyRegistry &
+PolicyRegistry::instance()
+{
+    static PolicyRegistry registry = [] {
+        PolicyRegistry r;
+        r.registerBuiltins();
+        return r;
+    }();
+    return registry;
+}
+
+void
+PolicyRegistry::registerPolicy(PolicyInfo info, Factory factory,
+                               CrossCheck crossCheck)
+{
+    if (hasPolicy(info.name))
+        fatal("PolicyRegistry: policy '", info.name,
+              "' already registered");
+    for (const std::string &alias : info.aliases) {
+        if (hasPolicy(alias))
+            fatal("PolicyRegistry: alias '", alias,
+                  "' already registered");
+    }
+    if (!factory)
+        fatal("PolicyRegistry: null factory for '", info.name, "'");
+    policies_.push_back(std::move(info));
+    factories_.push_back(std::move(factory));
+    crossChecks_.push_back(std::move(crossCheck));
+}
+
+bool
+PolicyRegistry::hasPolicy(const std::string &name) const
+{
+    return findPolicy(name) != nullptr;
+}
+
+const PolicyInfo *
+PolicyRegistry::findPolicy(const std::string &name) const
+{
+    for (const PolicyInfo &policy : policies_) {
+        if (policy.name == name)
+            return &policy;
+        for (const std::string &alias : policy.aliases) {
+            if (alias == name)
+                return &policy;
+        }
+    }
+    return nullptr;
+}
+
+std::string
+PolicyRegistry::knownPoliciesSummary() const
+{
+    std::string out = "registered policies:";
+    for (const PolicyInfo &policy : policies_) {
+        out += "\n  " + policy.name;
+        for (const std::string &alias : policy.aliases)
+            out += " (alias: " + alias + ")";
+        if (!policy.params.empty()) {
+            out += " — keys:";
+            for (std::size_t i = 0; i < policy.params.size(); ++i)
+                out += (i == 0 ? " " : ", ") + policy.params[i].key;
+        }
+    }
+    out += "\nparameterize with ':key=value,...', e.g. "
+           "hipster-in:bucket=8,learn=600; see --list-policies";
+    return out;
+}
+
+std::string
+PolicyRegistry::catalogText() const
+{
+    std::string out = "registered policies "
+                      "(spec: name[:key=value,...]):\n";
+    for (const PolicyInfo &policy : policies_) {
+        out += "\n" + policy.name;
+        for (const std::string &alias : policy.aliases)
+            out += " (alias: " + alias + ")";
+        out += " — " + policy.display + ": " + policy.summary;
+        if (!policy.paperRef.empty())
+            out += " [" + policy.paperRef + "]";
+        out += "\n";
+        if (policy.params.empty()) {
+            out += "    (no parameters)\n";
+            continue;
+        }
+        for (const PolicyParamInfo &param : policy.params)
+            out += "    " + paramLine(param) + "\n";
+    }
+    out += "\nkey=value overrides apply on top of the workload-tuned "
+           "deployment defaults;\nthe defaults shown are the paper's "
+           "values.\n";
+    return out;
+}
+
+std::vector<std::string>
+PolicyRegistry::table3Names() const
+{
+    std::vector<std::string> names;
+    for (const PolicyInfo &policy : policies_) {
+        if (policy.table3)
+            names.push_back(policy.name);
+    }
+    return names;
+}
+
+const PolicyInfo &
+PolicyRegistry::parseSpec(const std::string &spec,
+                          PolicyParamSet &out) const
+{
+    if (spec.empty())
+        fatal("empty policy spec; ", knownPoliciesSummary());
+
+    const std::size_t colon = spec.find(':');
+    const std::string head =
+        colon == std::string::npos ? spec : spec.substr(0, colon);
+    const PolicyInfo *info = findPolicy(head);
+    if (info == nullptr)
+        fatal("unknown policy '", head, "' in spec '", spec, "'; ",
+              knownPoliciesSummary());
+
+    out = PolicyParamSet{};
+    if (colon == std::string::npos)
+        return *info;
+
+    const std::string argText = spec.substr(colon + 1);
+    if (argText.empty())
+        fatal("policy spec '", spec, "': empty parameter list after "
+              "':'; ", schemaSummary(*info));
+
+    std::size_t pos = 0;
+    while (pos <= argText.size()) {
+        const std::size_t comma = argText.find(',', pos);
+        const std::string pair =
+            argText.substr(pos, comma == std::string::npos
+                                    ? std::string::npos
+                                    : comma - pos);
+        pos = comma == std::string::npos ? argText.size() + 1
+                                         : comma + 1;
+
+        const std::size_t eq = pair.find('=');
+        if (eq == std::string::npos || eq == 0 ||
+            eq + 1 == pair.size())
+            fatal("policy spec '", spec, "': malformed override '",
+                  pair, "' (expected key=value); ",
+                  schemaSummary(*info));
+        const std::string key = pair.substr(0, eq);
+        const std::string valueText = pair.substr(eq + 1);
+
+        const auto param_it = std::find_if(
+            info->params.begin(), info->params.end(),
+            [&](const PolicyParamInfo &p) { return p.key == key; });
+        if (param_it == info->params.end())
+            fatal("policy spec '", spec, "': unknown key '", key,
+                  "' for '", info->name, "'; ", schemaSummary(*info));
+        if (out.isSet(key))
+            fatal("policy spec '", spec, "': duplicate key '", key,
+                  "'");
+
+        const double value = parseNumber(valueText, spec, key);
+        if (param_it->boolean && value != 0.0 && value != 1.0)
+            fatal("policy spec '", spec, "': '", key,
+                  "' is a flag and takes 0 or 1, got ", valueText);
+        if (param_it->integer && std::floor(value) != value)
+            fatal("policy spec '", spec, "': '", key,
+                  "' takes an integer, got ", valueText);
+        if (value < param_it->minValue || value > param_it->maxValue)
+            fatal("policy spec '", spec, "': ", key, "=", valueText,
+                  " is out of range; ", paramLine(*param_it));
+        out.set(key, value);
+    }
+
+    const std::size_t index =
+        static_cast<std::size_t>(info - policies_.data());
+    if (crossChecks_[index])
+        crossChecks_[index](*info, out, spec);
+    return *info;
+}
+
+std::unique_ptr<TaskPolicy>
+PolicyRegistry::make(const std::string &spec,
+                     const BuildContext &ctx) const
+{
+    PolicyParamSet params;
+    const PolicyInfo &info = parseSpec(spec, params);
+    const std::size_t index =
+        static_cast<std::size_t>(&info - policies_.data());
+    return factories_[index](ctx, params);
+}
+
+void
+PolicyRegistry::registerBuiltins()
+{
+    registerPolicy(
+        {"static-big", {}, "Static(all-big)",
+         "pin the LC workload to all big cores at the highest DVFS",
+         "Table 3 'Static Big'", true, {}},
+        [](const BuildContext &ctx, const PolicyParamSet &) {
+            return std::make_unique<StaticPolicy>(StaticPolicy::allBig(
+                ctx.platform, ctx.hipster.variant));
+        });
+
+    registerPolicy(
+        {"static-small", {}, "Static(all-small)",
+         "pin the LC workload to all small cores at the highest DVFS",
+         "Table 3 'Static Small'", true, {}},
+        [](const BuildContext &ctx, const PolicyParamSet &) {
+            return std::make_unique<StaticPolicy>(
+                StaticPolicy::allSmall(ctx.platform,
+                                       ctx.hipster.variant));
+        });
+
+    registerPolicy(
+        {"heuristic", {}, "Hipster-Heuristic",
+         "Hipster's feedback heuristic as a standalone manager (mixed "
+         "cores + DVFS ladder, no learning)",
+         "Section 3.3; Figure 5; Table 3", true,
+         {
+             {"danger", "danger zone starts at target x this (QoS_D)",
+              0.80, 0.01, 1.0, false, false},
+             {"safe", "safe zone ends at target x this (QoS_S)", 0.30,
+              0.0, 1.0, false, false},
+         }},
+        [](const BuildContext &ctx, const PolicyParamSet &set) {
+            ZoneParams zones = ctx.hipster.zones;
+            zones.danger = set.get("danger", zones.danger);
+            zones.safe = set.get("safe", zones.safe);
+            return std::make_unique<HeuristicOnlyPolicy>(
+                ctx.platform, zones, ctx.hipster.variant);
+        },
+        zonesBelowCheck("danger", "safe"));
+
+    registerPolicy(
+        {"octopus-man", {"octopus"}, "Octopus-Man",
+         "the HPCA'15 big-xor-small state machine at the highest DVFS "
+         "(prior-work baseline)",
+         "Petrucci et al., HPCA'15; Table 3", true,
+         {
+             {"up",
+              "climb threshold: danger zone starts at target x this "
+              "(QoS_D)",
+              0.80, 0.01, 1.0, false, false},
+             {"down",
+              "descend threshold: safe zone ends at target x this "
+              "(QoS_S)",
+              0.30, 0.0, 1.0, false, false},
+         }},
+        [](const BuildContext &ctx, const PolicyParamSet &set) {
+            OctopusManParams params = ctx.octopus;
+            params.variant = ctx.hipster.variant;
+            params.zones.danger = set.get("up", params.zones.danger);
+            params.zones.safe = set.get("down", params.zones.safe);
+            return std::make_unique<OctopusManPolicy>(ctx.platform,
+                                                      params);
+        },
+        zonesBelowCheck("up", "down"));
+
+    registerPolicy(
+        {"hipster-in", {"hipster"}, "HipsterIn",
+         "the paper's hybrid manager, interactive variant (heuristic "
+         "learning phase, then greedy exploitation of the power-reward "
+         "table)",
+         "Algorithm 2; Figures 6-10; Table 3", true, hipsterSchema()},
+        [](const BuildContext &ctx, const PolicyParamSet &set) {
+            HipsterParams params =
+                applyHipsterOverrides(ctx.hipster, set);
+            params.variant = PolicyVariant::Interactive;
+            return std::make_unique<HipsterPolicy>(ctx.platform,
+                                                   params);
+        },
+        zonesBelowCheck("danger", "safe"));
+
+    registerPolicy(
+        {"hipster-co", {}, "HipsterCo",
+         "the collocated variant: batch-throughput reward + "
+         "spare-cluster DVFS boost",
+         "Section 3.4; Figure 11", false, hipsterSchema()},
+        [](const BuildContext &ctx, const PolicyParamSet &set) {
+            HipsterParams params =
+                applyHipsterOverrides(ctx.hipster, set);
+            params.variant = PolicyVariant::Collocated;
+            return std::make_unique<HipsterPolicy>(ctx.platform,
+                                                   params);
+        },
+        zonesBelowCheck("danger", "safe"));
+}
+
+std::unique_ptr<TaskPolicy>
+makePolicyFromSpec(const std::string &spec,
+                   const PolicyRegistry::BuildContext &ctx)
+{
+    return PolicyRegistry::instance().make(spec, ctx);
+}
+
+void
+validatePolicySpec(const std::string &spec)
+{
+    PolicyParamSet params;
+    PolicyRegistry::instance().parseSpec(spec, params);
+}
+
+bool
+isPolicySpec(const std::string &spec)
+{
+    try {
+        validatePolicySpec(spec);
+        return true;
+    } catch (const FatalError &) {
+        return false;
+    }
+}
+
+std::vector<std::string>
+splitPolicyList(const std::string &list)
+{
+    const PolicyRegistry &registry = PolicyRegistry::instance();
+    std::vector<std::string> specs;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= list.size(); ++i) {
+        const bool hard_break = i == list.size() || list[i] == ';';
+        const bool policy_comma =
+            !hard_break && list[i] == ',' &&
+            registry.hasPolicy(headToken(list, i + 1));
+        if (!hard_break && !policy_comma)
+            continue;
+        specs.push_back(list.substr(start, i - start));
+        start = i + 1;
+    }
+    return specs;
+}
+
+} // namespace hipster

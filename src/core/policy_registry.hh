@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Policy registry: every task-manager family the CLIs, sweep engine
+ * and bench binaries can name, plus a small key=value spec grammar
+ * that makes the paper's tunables — bucket width (Fig. 10), learning
+ * phase (Fig. 9), RL constants (Alg. 1), Octopus-Man QoS thresholds —
+ * first-class sweep axes:
+ *
+ *   spec  := name [':' key '=' value (',' key '=' value)*]
+ *
+ * Examples:
+ *   hipster-in:bucket=8,learn=600
+ *   octopus-man:up=0.85,down=0.6
+ *   heuristic:danger=0.9,safe=0.2
+ *   hipster-co:alpha=0.2,gamma=0.5,stochastic=0
+ *
+ * Each registered policy declares a parameter schema (key, default,
+ * valid range, doc string); overrides validate fail-fast — an unknown
+ * key or out-of-range value enumerates the schema, an unknown policy
+ * enumerates the catalog — and apply on top of the caller's base
+ * parameters (workload-tuned defaults), so a bare name behaves
+ * exactly as before. The registry is the single source of truth
+ * consulted by experiments/scenario's makePolicy, the sweep engine's
+ * fail-fast validation, both CLIs and the bench binaries, so a newly
+ * registered policy is immediately sweepable everywhere.
+ */
+
+#ifndef HIPSTER_CORE_POLICY_REGISTRY_HH
+#define HIPSTER_CORE_POLICY_REGISTRY_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/baselines.hh"
+#include "core/hipster_policy.hh"
+#include "core/policy.hh"
+#include "platform/platform.hh"
+
+namespace hipster
+{
+
+/** Schema entry describing one tunable of a registered policy. */
+struct PolicyParamInfo
+{
+    std::string key; ///< override key, e.g. "bucket"
+    std::string doc; ///< one-line description for --list-policies
+
+    /** The paper's default (before any workload tuning). */
+    double defaultValue = 0.0;
+
+    /** Valid range, inclusive on both ends. */
+    double minValue = 0.0;
+    double maxValue = 0.0;
+
+    /** Value must be a non-negative integer (e.g. window sizes). */
+    bool integer = false;
+
+    /** Value must be 0 or 1. */
+    bool boolean = false;
+};
+
+/** Catalog entry describing one registered policy family. */
+struct PolicyInfo
+{
+    std::string name;                 ///< canonical spec head
+    std::vector<std::string> aliases; ///< alternate heads, e.g. "octopus"
+    std::string display;              ///< report name, e.g. "HipsterIn"
+    std::string summary;              ///< one-line description
+    std::string paperRef;             ///< e.g. "Table 3; Figures 6-7"
+
+    /** Whether the policy is a row of the paper's Table 3 (the
+     * catalog's registration order is the row order). */
+    bool table3 = false;
+
+    std::vector<PolicyParamInfo> params;
+};
+
+/**
+ * The parsed key=value overrides of one policy spec. Only explicitly
+ * written keys are present; factories fall back to their base
+ * parameters (workload-tuned defaults) for everything else.
+ */
+class PolicyParamSet
+{
+  public:
+    bool isSet(const std::string &key) const;
+
+    /** The override for `key`, or `fallback` when not set. */
+    double get(const std::string &key, double fallback) const;
+
+    bool getBool(const std::string &key, bool fallback) const;
+
+    /** Record an override (parser only; last write wins is a parse
+     * error upstream, so keys are unique). */
+    void set(const std::string &key, double value);
+
+  private:
+    std::vector<std::pair<std::string, double>> values_;
+};
+
+/**
+ * Name-keyed factory for task-manager policies. A singleton holds the
+ * built-ins; custom policies can be registered at startup and become
+ * available to every consumer (CLIs, sweeps, benches) at once.
+ */
+class PolicyRegistry
+{
+  public:
+    /** Everything a factory needs besides the parsed overrides: the
+     * managed platform and the caller's base tunables (typically the
+     * workload-tuned deployment defaults). */
+    struct BuildContext
+    {
+        const Platform &platform;
+        HipsterParams hipster;
+        OctopusManParams octopus;
+    };
+
+    /** Builds a policy from the context and the parsed overrides. */
+    using Factory = std::function<std::unique_ptr<TaskPolicy>(
+        const BuildContext &ctx, const PolicyParamSet &params)>;
+
+    /** Extra fail-fast validation across keys (e.g. safe < danger),
+     * run at parse time; unset keys resolve to the schema defaults
+     * of the policy being validated. */
+    using CrossCheck = std::function<void(const PolicyInfo &info,
+                                          const PolicyParamSet &params,
+                                          const std::string &spec)>;
+
+    /** The process-wide registry with the built-ins installed. */
+    static PolicyRegistry &instance();
+
+    /** Register a policy; FatalError on duplicate names/aliases or a
+     * null factory. */
+    void registerPolicy(PolicyInfo info, Factory factory,
+                        CrossCheck crossCheck = {});
+
+    /** Whether `name` heads a registered policy (canonical or
+     * alias; spec arguments are not accepted here). */
+    bool hasPolicy(const std::string &name) const;
+
+    /** All registered policies, in registration order. */
+    const std::vector<PolicyInfo> &policies() const
+    {
+        return policies_;
+    }
+
+    /** Catalog entry for a canonical name or alias; nullptr when
+     * unknown. */
+    const PolicyInfo *findPolicy(const std::string &name) const;
+
+    /**
+     * Parse and validate a spec against the schema without building
+     * anything: resolves the head (canonical or alias), checks every
+     * key, range and cross-key constraint. Throws FatalError with
+     * the catalog (unknown policy) or the policy's schema (unknown
+     * key / bad value).
+     */
+    const PolicyInfo &parseSpec(const std::string &spec,
+                                PolicyParamSet &out) const;
+
+    /**
+     * Build a fully parameterized policy from a spec string.
+     * Overrides apply on top of `ctx`'s base parameters, so a bare
+     * name reproduces the legacy factory exactly.
+     */
+    std::unique_ptr<TaskPolicy> make(const std::string &spec,
+                                     const BuildContext &ctx) const;
+
+    /** Human-readable catalog: every policy with aliases, paper
+     * reference and full parameter schema (for --list-policies). */
+    std::string catalogText() const;
+
+    /** Compact enumeration used in unknown-policy errors. */
+    std::string knownPoliciesSummary() const;
+
+    /** The Table 3 policy names, in registration (= row) order. */
+    std::vector<std::string> table3Names() const;
+
+  private:
+    PolicyRegistry() = default;
+    void registerBuiltins();
+
+    std::vector<PolicyInfo> policies_;
+    std::vector<Factory> factories_;
+    std::vector<CrossCheck> crossChecks_;
+};
+
+/** Build a policy from a spec via the global registry. */
+std::unique_ptr<TaskPolicy>
+makePolicyFromSpec(const std::string &spec,
+                   const PolicyRegistry::BuildContext &ctx);
+
+/**
+ * Fail-fast spec validation: parses the spec and checks every
+ * override against the schema, throwing the same FatalError
+ * PolicyRegistry::make would, so campaigns reject bad cells before
+ * any runs start. Needs no platform — nothing is constructed.
+ */
+void validatePolicySpec(const std::string &spec);
+
+/** Non-throwing validatePolicySpec(). */
+bool isPolicySpec(const std::string &spec);
+
+/**
+ * Splits a CLI policy list into specs. `;` always separates; a `,`
+ * separates only when the text after it heads a registered policy
+ * (so `hipster-in:bucket=5,learn=600,static-big` yields the
+ * parameterized hipster spec and `static-big`, keeping in-spec
+ * key=value commas intact).
+ */
+std::vector<std::string> splitPolicyList(const std::string &list);
+
+} // namespace hipster
+
+#endif // HIPSTER_CORE_POLICY_REGISTRY_HH

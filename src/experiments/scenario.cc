@@ -1,8 +1,7 @@
 #include "experiments/scenario.hh"
 
-#include <algorithm>
-
 #include "common/logging.hh"
+#include "core/policy_registry.hh"
 #include "loadgen/trace_families.hh"
 #include "loadgen/trace_registry.hh"
 
@@ -39,12 +38,7 @@ isTraceName(const std::string &name)
 bool
 isPolicyName(const std::string &name)
 {
-    // Keep in sync with makePolicy below (includes the alias).
-    static const std::vector<std::string> names = {
-        "static-big", "static-small", "octopus-man", "heuristic",
-        "hipster-in", "hipster-co",   "hipster",
-    };
-    return std::find(names.begin(), names.end(), name) != names.end();
+    return isPolicySpec(name);
 }
 
 Seconds
@@ -72,43 +66,16 @@ makePolicy(const std::string &name, const Platform &platform,
            const HipsterParams &hipster_params,
            const OctopusManParams &octopus_params)
 {
-    if (name == "static-big") {
-        return std::make_unique<StaticPolicy>(StaticPolicy::allBig(
-            platform, hipster_params.variant));
-    }
-    if (name == "static-small") {
-        return std::make_unique<StaticPolicy>(StaticPolicy::allSmall(
-            platform, hipster_params.variant));
-    }
-    if (name == "octopus-man") {
-        OctopusManParams params = octopus_params;
-        params.variant = hipster_params.variant;
-        return std::make_unique<OctopusManPolicy>(platform, params);
-    }
-    if (name == "heuristic") {
-        return std::make_unique<HeuristicOnlyPolicy>(
-            platform, hipster_params.zones, hipster_params.variant);
-    }
-    if (name == "hipster-in" || name == "hipster") {
-        HipsterParams params = hipster_params;
-        params.variant = PolicyVariant::Interactive;
-        return std::make_unique<HipsterPolicy>(platform, params);
-    }
-    if (name == "hipster-co") {
-        HipsterParams params = hipster_params;
-        params.variant = PolicyVariant::Collocated;
-        return std::make_unique<HipsterPolicy>(platform, params);
-    }
-    fatal("makePolicy: unknown policy '", name, "'");
+    return makePolicyFromSpec(
+        name, PolicyRegistry::BuildContext{platform, hipster_params,
+                                           octopus_params});
 }
 
 const std::vector<std::string> &
 tablePolicyNames()
 {
-    static const std::vector<std::string> names = {
-        "static-big", "static-small", "heuristic", "octopus-man",
-        "hipster-in",
-    };
+    static const std::vector<std::string> names =
+        PolicyRegistry::instance().table3Names();
     return names;
 }
 

@@ -64,7 +64,8 @@ std::shared_ptr<const LoadTrace> makeTraceByName(const std::string &name,
  * Alias for loadgen isTraceSpec(). */
 bool isTraceName(const std::string &name);
 
-/** Whether makePolicy() accepts the name (fail-fast checks). */
+/** Whether makePolicy() accepts the spec (fail-fast checks).
+ * Alias for the core PolicyRegistry's isPolicySpec(). */
 bool isPolicyName(const std::string &name);
 
 /** Diurnal run length appropriate for a workload name. */
@@ -78,17 +79,22 @@ Seconds diurnalDurationFor(const std::string &workload);
 HipsterParams tunedHipsterParams(const std::string &workload);
 
 /**
- * Policy factory keyed on the names used in Table 3:
- * "static-big", "static-small", "octopus-man", "heuristic",
- * "hipster-in", "hipster-co" ("hipster" is accepted as an alias for
- * "hipster-in"). Throws FatalError on unknown names.
+ * Policy factory keyed on the spec grammar of the core
+ * PolicyRegistry (see core/policy_registry.hh): every registered
+ * policy name and alias ("static-big", "static-small", "octopus-man"
+ * / "octopus", "heuristic", "hipster-in" / "hipster", "hipster-co"),
+ * optionally parameterized with ":key=value,..." overrides (e.g.
+ * "hipster-in:bucket=8,learn=600", "octopus-man:up=0.85,down=0.6")
+ * that apply on top of the passed-in base parameters. Throws
+ * FatalError on unknown or malformed specs, enumerating the catalog
+ * (unknown policy) or the policy's schema (unknown key / bad value).
  */
 std::unique_ptr<TaskPolicy>
 makePolicy(const std::string &name, const Platform &platform,
            const HipsterParams &hipster_params = {},
            const OctopusManParams &octopus_params = {});
 
-/** The Table 3 policy list, in row order. */
+/** The Table 3 policy list, in row order (registry-derived). */
 const std::vector<std::string> &tablePolicyNames();
 
 /**

@@ -8,6 +8,7 @@
 #include "common/random.hh"
 #include "common/table.hh"
 #include "common/thread_pool.hh"
+#include "core/policy_registry.hh"
 #include "loadgen/trace_registry.hh"
 
 namespace hipster
@@ -122,10 +123,11 @@ SweepEngine::SweepEngine(SweepSpec spec) : spec_(std::move(spec))
             for (const Seconds scaled : durations)
                 validateTraceSpec(trace, scaled);
         }
-        for (const auto &policy : spec_.policies) {
-            if (!isPolicyName(policy))
-                fatal("SweepSpec: unknown policy '", policy, "'");
-        }
+        // Policy specs validate against the registry schema, so a
+        // typo'd key or out-of-range value is rejected with the
+        // schema/catalog enumerated, before any job runs.
+        for (const auto &policy : spec_.policies)
+            validatePolicySpec(policy);
     }
 }
 
@@ -382,11 +384,18 @@ printAggregateTable(std::ostream &out, const SweepResults &results)
                      "QoS guar. (%)", "tardiness", "energy (J)",
                      "power (W)", "migrations"});
     for (const AggregateSummary &cell : results.cells) {
+        // Parameterized specs print verbatim: two cells of the same
+        // family (e.g. a bucket-width ablation) must stay
+        // distinguishable per row, which the display name alone
+        // ("HipsterIn") cannot do.
+        const bool parameterized =
+            cell.policy.find(':') != std::string::npos;
         table.newRow()
             .cell(cell.workload)
             .cell(cell.trace)
-            .cell(cell.policyDisplay.empty() ? cell.policy
-                                             : cell.policyDisplay)
+            .cell(!parameterized && !cell.policyDisplay.empty()
+                      ? cell.policyDisplay
+                      : cell.policy)
             .cell(static_cast<long long>(cell.runs))
             .cell(formatMeanCi(cell.qosGuarantee, 1, 100.0))
             .cell(formatMeanCi(cell.qosTardiness, 2))

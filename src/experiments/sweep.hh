@@ -54,7 +54,13 @@ struct SweepJob
 struct SweepSpec
 {
     std::vector<std::string> workloads = {"memcached"};
+
+    /** Trace specs (loadgen TraceRegistry grammar). */
     std::vector<std::string> traces = {"diurnal"};
+
+    /** Policy specs (core PolicyRegistry grammar): bare names or
+     * parameterized, e.g. "hipster-in:bucket=8". Each spec is its
+     * own sweep cell, so parameter ablations are ordinary axes. */
     std::vector<std::string> policies = {"hipster-in"};
 
     /** Hard ceiling on repetitions per cell: far above any real

@@ -1,0 +1,367 @@
+/**
+ * @file
+ * Tests for the policy registry and its key=value spec grammar:
+ * catalog and alias lookup, default round-trips, per-key overrides
+ * reaching the constructed policies, fail-fast validation (unknown
+ * policy enumerates the catalog, unknown key / out-of-range value
+ * enumerate the schema), cross-key zone checks, and the spec-aware
+ * CLI list splitting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "common/logging.hh"
+#include "core/policy_registry.hh"
+
+namespace hipster
+{
+namespace
+{
+
+PolicyRegistry::BuildContext
+defaultContext(const Platform &platform)
+{
+    return PolicyRegistry::BuildContext{platform, HipsterParams{},
+                                        OctopusManParams{}};
+}
+
+const HipsterParams &
+hipsterParamsOf(const TaskPolicy &policy)
+{
+    const auto *hipster = dynamic_cast<const HipsterPolicy *>(&policy);
+    EXPECT_NE(hipster, nullptr);
+    return hipster->params();
+}
+
+TEST(PolicyRegistryCatalog, BuiltinsAndAliasesAreRegistered)
+{
+    const PolicyRegistry &registry = PolicyRegistry::instance();
+    for (const char *name :
+         {"static-big", "static-small", "heuristic", "octopus-man",
+          "hipster-in", "hipster-co"})
+        EXPECT_TRUE(registry.hasPolicy(name)) << name;
+    // Aliases resolve to their canonical entries.
+    EXPECT_TRUE(registry.hasPolicy("hipster"));
+    EXPECT_TRUE(registry.hasPolicy("octopus"));
+    ASSERT_NE(registry.findPolicy("hipster"), nullptr);
+    EXPECT_EQ(registry.findPolicy("hipster")->name, "hipster-in");
+    ASSERT_NE(registry.findPolicy("octopus"), nullptr);
+    EXPECT_EQ(registry.findPolicy("octopus")->name, "octopus-man");
+    EXPECT_FALSE(registry.hasPolicy("nonexistent"));
+    EXPECT_GE(registry.policies().size(), 6u);
+}
+
+TEST(PolicyRegistryCatalog, TableThreeNamesKeepRowOrder)
+{
+    EXPECT_EQ(PolicyRegistry::instance().table3Names(),
+              (std::vector<std::string>{"static-big", "static-small",
+                                        "heuristic", "octopus-man",
+                                        "hipster-in"}));
+}
+
+TEST(PolicyRegistryCatalog, CatalogTextListsEverything)
+{
+    const PolicyRegistry &registry = PolicyRegistry::instance();
+    const std::string catalog = registry.catalogText();
+    for (const PolicyInfo &policy : registry.policies()) {
+        EXPECT_NE(catalog.find(policy.name), std::string::npos)
+            << policy.name;
+        EXPECT_NE(catalog.find(policy.display), std::string::npos)
+            << policy.display;
+        // Aliases print as aliases.
+        for (const std::string &alias : policy.aliases)
+            EXPECT_NE(catalog.find("(alias: " + alias + ")"),
+                      std::string::npos)
+                << alias;
+        for (const PolicyParamInfo &param : policy.params)
+            EXPECT_NE(catalog.find(param.key + "="), std::string::npos)
+                << policy.name << "." << param.key;
+    }
+    // Defaults and ranges are shown.
+    EXPECT_NE(catalog.find("bucket=5 in [0.1, 50]"), std::string::npos);
+    EXPECT_NE(catalog.find("up=0.8"), std::string::npos);
+}
+
+TEST(PolicyRegistryErrors, UnknownPolicyEnumeratesCatalog)
+{
+    Platform platform(Platform::junoR1());
+    try {
+        makePolicyFromSpec("nonexistent", defaultContext(platform));
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("unknown policy 'nonexistent'"),
+                  std::string::npos)
+            << msg;
+        for (const PolicyInfo &policy :
+             PolicyRegistry::instance().policies())
+            EXPECT_NE(msg.find(policy.name), std::string::npos)
+                << policy.name << " missing from: " << msg;
+        EXPECT_NE(msg.find("alias: octopus"), std::string::npos);
+    }
+}
+
+TEST(PolicyRegistryErrors, UnknownKeyEnumeratesTheSchema)
+{
+    try {
+        validatePolicySpec("hipster-in:bucket=5,nope=1");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("unknown key 'nope'"), std::string::npos)
+            << msg;
+        // The whole schema of the named policy is enumerated.
+        const PolicyInfo *info =
+            PolicyRegistry::instance().findPolicy("hipster-in");
+        ASSERT_NE(info, nullptr);
+        for (const PolicyParamInfo &param : info->params)
+            EXPECT_NE(msg.find(param.key + "="), std::string::npos)
+                << param.key << " missing from: " << msg;
+    }
+}
+
+TEST(PolicyRegistryErrors, OutOfRangeNamesKeyAndRange)
+{
+    try {
+        validatePolicySpec("hipster-in:bucket=999");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("bucket=999 is out of range"),
+                  std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("[0.1, 50]"), std::string::npos) << msg;
+    }
+    EXPECT_THROW(validatePolicySpec("octopus-man:up=1.5"), FatalError);
+    EXPECT_THROW(validatePolicySpec("hipster-in:alpha=-0.1"),
+                 FatalError);
+}
+
+TEST(PolicyRegistryErrors, MalformedSpecsAreRejected)
+{
+    EXPECT_THROW(validatePolicySpec(""), FatalError);
+    EXPECT_THROW(validatePolicySpec("hipster-in:"), FatalError);
+    EXPECT_THROW(validatePolicySpec("hipster-in:bucket"), FatalError);
+    EXPECT_THROW(validatePolicySpec("hipster-in:bucket="), FatalError);
+    EXPECT_THROW(validatePolicySpec("hipster-in:=5"), FatalError);
+    EXPECT_THROW(validatePolicySpec("hipster-in:bucket=abc"),
+                 FatalError);
+    EXPECT_THROW(validatePolicySpec("hipster-in:bucket=nan"),
+                 FatalError);
+    EXPECT_THROW(validatePolicySpec("hipster-in:bucket=5,bucket=6"),
+                 FatalError);
+    // A flag takes 0 or 1, a window an integer.
+    EXPECT_THROW(validatePolicySpec("hipster-in:stochastic=2"),
+                 FatalError);
+    EXPECT_THROW(validatePolicySpec("hipster-in:window=10.5"),
+                 FatalError);
+    // Parameters on a parameterless policy.
+    EXPECT_THROW(validatePolicySpec("static-big:bucket=5"),
+                 FatalError);
+}
+
+TEST(PolicyRegistryErrors, ZoneCrossChecksFailFast)
+{
+    // The safe-zone end must sit below the danger-zone start,
+    // resolving unset keys to their schema defaults.
+    EXPECT_THROW(validatePolicySpec("octopus-man:up=0.2"), FatalError);
+    EXPECT_THROW(validatePolicySpec("heuristic:safe=0.9"), FatalError);
+    EXPECT_THROW(validatePolicySpec("hipster-in:danger=0.2,safe=0.5"),
+                 FatalError);
+    EXPECT_NO_THROW(validatePolicySpec("octopus-man:up=0.85,down=0.6"));
+    EXPECT_NO_THROW(validatePolicySpec("heuristic:danger=0.9,safe=0.2"));
+}
+
+TEST(PolicyRegistrySpecs, BareNamesRoundTripTheDefaults)
+{
+    Platform platform(Platform::junoR1());
+    const auto ctx = defaultContext(platform);
+    const auto bare = PolicyRegistry::instance().make("hipster-in", ctx);
+    const auto explicit_spec = PolicyRegistry::instance().make(
+        "hipster-in:bucket=5,learn=500,danger=0.8,safe=0.3,alpha=0.6,"
+        "gamma=0.9,relearn=0.8,window=100,migpen=0.5,bootstrap=1,"
+        "stochastic=1",
+        ctx);
+    const HipsterParams &a = hipsterParamsOf(*bare);
+    const HipsterParams &b = hipsterParamsOf(*explicit_spec);
+    EXPECT_EQ(a.bucketPercent, b.bucketPercent);
+    EXPECT_EQ(a.learningPhase, b.learningPhase);
+    EXPECT_EQ(a.zones.danger, b.zones.danger);
+    EXPECT_EQ(a.zones.safe, b.zones.safe);
+    EXPECT_EQ(a.alpha, b.alpha);
+    EXPECT_EQ(a.gamma, b.gamma);
+    EXPECT_EQ(a.relearnThreshold, b.relearnThreshold);
+    EXPECT_EQ(a.guaranteeWindow, b.guaranteeWindow);
+    EXPECT_EQ(a.migrationPenalty, b.migrationPenalty);
+    EXPECT_EQ(a.useHeuristicBootstrap, b.useHeuristicBootstrap);
+    EXPECT_EQ(a.stochasticReward, b.stochasticReward);
+}
+
+TEST(PolicyRegistrySpecs, OverridesReachTheConstructedPolicy)
+{
+    Platform platform(Platform::junoR1());
+    const auto ctx = defaultContext(platform);
+    const auto policy = PolicyRegistry::instance().make(
+        "hipster-in:bucket=8,learn=600,alpha=0.2,gamma=0.5,"
+        "relearn=0.7,window=50,migpen=2,bootstrap=0,stochastic=0",
+        ctx);
+    const HipsterParams &params = hipsterParamsOf(*policy);
+    EXPECT_DOUBLE_EQ(params.bucketPercent, 8.0);
+    EXPECT_DOUBLE_EQ(params.learningPhase, 600.0);
+    EXPECT_DOUBLE_EQ(params.alpha, 0.2);
+    EXPECT_DOUBLE_EQ(params.gamma, 0.5);
+    EXPECT_DOUBLE_EQ(params.relearnThreshold, 0.7);
+    EXPECT_EQ(params.guaranteeWindow, 50u);
+    EXPECT_DOUBLE_EQ(params.migrationPenalty, 2.0);
+    EXPECT_FALSE(params.useHeuristicBootstrap);
+    EXPECT_FALSE(params.stochasticReward);
+    // The quantizer is actually built with the override.
+    const auto *hipster =
+        dynamic_cast<const HipsterPolicy *>(policy.get());
+    ASSERT_NE(hipster, nullptr);
+    EXPECT_DOUBLE_EQ(hipster->quantizer().bucketPercent(), 8.0);
+
+    const auto octopus = PolicyRegistry::instance().make(
+        "octopus-man:up=0.85,down=0.6", ctx);
+    const auto *om =
+        dynamic_cast<const OctopusManPolicy *>(octopus.get());
+    ASSERT_NE(om, nullptr);
+    EXPECT_DOUBLE_EQ(om->params().zones.danger, 0.85);
+    EXPECT_DOUBLE_EQ(om->params().zones.safe, 0.6);
+
+    const auto heuristic = PolicyRegistry::instance().make(
+        "heuristic:danger=0.9,safe=0.2", ctx);
+    const auto *ho =
+        dynamic_cast<const HeuristicOnlyPolicy *>(heuristic.get());
+    ASSERT_NE(ho, nullptr);
+    EXPECT_DOUBLE_EQ(ho->mapper().zones().danger, 0.9);
+    EXPECT_DOUBLE_EQ(ho->mapper().zones().safe, 0.2);
+}
+
+TEST(PolicyRegistrySpecs, OverridesWinOverBaseParams)
+{
+    Platform platform(Platform::junoR1());
+    auto ctx = defaultContext(platform);
+    ctx.hipster.bucketPercent = 8.0; // workload-tuned base
+    const auto tuned =
+        PolicyRegistry::instance().make("hipster-in", ctx);
+    EXPECT_DOUBLE_EQ(hipsterParamsOf(*tuned).bucketPercent, 8.0);
+    const auto overridden =
+        PolicyRegistry::instance().make("hipster-in:bucket=3", ctx);
+    EXPECT_DOUBLE_EQ(hipsterParamsOf(*overridden).bucketPercent, 3.0);
+    // Unset keys keep the caller's base, not the schema default.
+    EXPECT_DOUBLE_EQ(hipsterParamsOf(*overridden).alpha, 0.6);
+}
+
+TEST(PolicyRegistrySpecs, AliasesBuildTheCanonicalPolicy)
+{
+    Platform platform(Platform::junoR1());
+    const auto ctx = defaultContext(platform);
+    EXPECT_EQ(PolicyRegistry::instance().make("hipster", ctx)->name(),
+              "HipsterIn");
+    EXPECT_EQ(PolicyRegistry::instance().make("octopus", ctx)->name(),
+              "Octopus-Man");
+    // Aliases accept overrides like the canonical head.
+    const auto aliased = PolicyRegistry::instance().make(
+        "hipster:bucket=8", ctx);
+    EXPECT_DOUBLE_EQ(hipsterParamsOf(*aliased).bucketPercent, 8.0);
+}
+
+TEST(PolicyRegistrySpecs, VariantsAreForcedPerFamily)
+{
+    Platform platform(Platform::junoR1());
+    auto ctx = defaultContext(platform);
+    ctx.hipster.variant = PolicyVariant::Collocated;
+    // hipster-in forces the interactive variant regardless of base.
+    const auto in = PolicyRegistry::instance().make("hipster-in", ctx);
+    EXPECT_EQ(hipsterParamsOf(*in).variant,
+              PolicyVariant::Interactive);
+    const auto co = PolicyRegistry::instance().make("hipster-co", ctx);
+    EXPECT_EQ(hipsterParamsOf(*co).variant, PolicyVariant::Collocated);
+    // Octopus-Man inherits the caller's variant (Figure 11 wiring).
+    const auto om = PolicyRegistry::instance().make("octopus", ctx);
+    const auto *octopus =
+        dynamic_cast<const OctopusManPolicy *>(om.get());
+    ASSERT_NE(octopus, nullptr);
+    EXPECT_EQ(octopus->params().variant, PolicyVariant::Collocated);
+}
+
+TEST(PolicyRegistryValidation, IsPolicySpecAndValidate)
+{
+    EXPECT_TRUE(isPolicySpec("hipster-in"));
+    EXPECT_TRUE(isPolicySpec("hipster"));
+    EXPECT_TRUE(isPolicySpec("octopus"));
+    EXPECT_TRUE(isPolicySpec("hipster-in:bucket=8,learn=600"));
+    EXPECT_TRUE(isPolicySpec("octopus-man:up=0.85,down=0.6"));
+    EXPECT_FALSE(isPolicySpec("nonexistent"));
+    EXPECT_FALSE(isPolicySpec("hipster-in:bucket=999"));
+    EXPECT_FALSE(isPolicySpec("hipster-in:nope=1"));
+    EXPECT_FALSE(isPolicySpec(""));
+}
+
+TEST(PolicyRegistryValidation, RegistrationRejectsDuplicatesAndNulls)
+{
+    PolicyRegistry &registry = PolicyRegistry::instance();
+    EXPECT_THROW(
+        registry.registerPolicy({"hipster-in", {}, "Dup", "dup", "",
+                                 false, {}},
+                                nullptr),
+        FatalError);
+    // An alias clash is a registration error too.
+    EXPECT_THROW(registry.registerPolicy(
+                     {"brand-new", {"octopus"}, "New", "new", "",
+                      false, {}},
+                     [](const PolicyRegistry::BuildContext &,
+                        const PolicyParamSet &)
+                         -> std::unique_ptr<TaskPolicy> {
+                         return nullptr;
+                     }),
+                 FatalError);
+}
+
+TEST(PolicyListSplitting, SemicolonAlwaysSeparates)
+{
+    const auto specs = splitPolicyList(
+        "hipster-in:bucket=5;hipster-in:bucket=8");
+    ASSERT_EQ(specs.size(), 2u);
+    EXPECT_EQ(specs[0], "hipster-in:bucket=5");
+    EXPECT_EQ(specs[1], "hipster-in:bucket=8");
+}
+
+TEST(PolicyListSplitting, KeepsInSpecCommasIntact)
+{
+    // key=value commas survive; a comma splits only before a
+    // registered policy head (canonical or alias).
+    const auto specs = splitPolicyList(
+        "hipster-in:bucket=5,learn=600,octopus-man:up=0.9,down=0.2,"
+        "static-big");
+    ASSERT_EQ(specs.size(), 3u);
+    EXPECT_EQ(specs[0], "hipster-in:bucket=5,learn=600");
+    EXPECT_EQ(specs[1], "octopus-man:up=0.9,down=0.2");
+    EXPECT_EQ(specs[2], "static-big");
+}
+
+TEST(PolicyListSplitting, SingleSpecAndLegacyLists)
+{
+    const auto one = splitPolicyList("hipster-in");
+    ASSERT_EQ(one.size(), 1u);
+    EXPECT_EQ(one[0], "hipster-in");
+    // The PR-2 era comma list still works for bare names.
+    const auto legacy =
+        splitPolicyList("hipster-in,octopus-man,static-big");
+    ASSERT_EQ(legacy.size(), 3u);
+    EXPECT_EQ(legacy[0], "hipster-in");
+    EXPECT_EQ(legacy[1], "octopus-man");
+    EXPECT_EQ(legacy[2], "static-big");
+    // Aliases split too.
+    const auto aliased = splitPolicyList("hipster:bucket=8,octopus");
+    ASSERT_EQ(aliased.size(), 2u);
+    EXPECT_EQ(aliased[0], "hipster:bucket=8");
+    EXPECT_EQ(aliased[1], "octopus");
+}
+
+} // namespace
+} // namespace hipster

@@ -229,6 +229,45 @@ TEST(GoldenTraceScenarioCross, NewFamilyOrderingsHold)
     EXPECT_GT(crowdH.migrations, 0u);
 }
 
+/**
+ * The golden compressed-diurnal scenario pinned to an explicit
+ * parameterized registry spec: "hipster-in:bucket=8,learn=90" with
+ * *untuned* base parameters must reproduce the committed "hipster"
+ * golden bit for bit — the spec overrides, not the helper plumbing,
+ * carry the deployment tuning.
+ */
+TEST(GoldenParameterizedSpec, ExplicitSpecMatchesTheTunedGolden)
+{
+    const auto viaSpec = [] {
+        ExperimentRunner runner(Platform::junoR1(), memcachedWorkload(),
+                                diurnalTrace(kDuration, kSeed + 100),
+                                kSeed);
+        // Plain defaults: bucket 5, learn 500. The spec must win.
+        const auto policy =
+            makePolicy("hipster-in:bucket=8,learn=90",
+                       runner.platform(), HipsterParams{});
+        return runner.run(*policy, kDuration);
+    }();
+    const ExperimentResult viaTuning = runScenario("hipster");
+
+    EXPECT_EQ(viaSpec.policyName, "HipsterIn");
+    EXPECT_EQ(viaSpec.summary.qosGuarantee,
+              viaTuning.summary.qosGuarantee);
+    EXPECT_EQ(viaSpec.summary.qosTardiness,
+              viaTuning.summary.qosTardiness);
+    EXPECT_EQ(viaSpec.summary.energy, viaTuning.summary.energy);
+    EXPECT_EQ(viaSpec.summary.meanPower, viaTuning.summary.meanPower);
+    EXPECT_EQ(viaSpec.migrations, viaTuning.migrations);
+    EXPECT_EQ(viaSpec.dvfsTransitions, viaTuning.dvfsTransitions);
+
+    // And therefore the committed golden values hold for the spec.
+    const Golden &golden = kGoldens[0];
+    EXPECT_NEAR(viaSpec.summary.qosGuarantee, golden.qosGuarantee,
+                0.03);
+    EXPECT_NEAR(viaSpec.summary.energy, golden.energy,
+                golden.energy * 0.05);
+}
+
 TEST(GoldenScenarioCross, PolicyOrderingsHold)
 {
     // Structural facts of the scenario that must survive any

@@ -152,6 +152,41 @@ TEST(ScenarioPolicies, FactoryBuildsEveryTableRow)
     EXPECT_FALSE(isPolicyName("nonexistent"));
 }
 
+TEST(ScenarioPolicies, FactoryConsultsThePolicyRegistry)
+{
+    // The scenario factory is the registry: parameterized specs and
+    // aliases build through it, and fail-fast checks accept them.
+    Platform platform(Platform::junoR1());
+    const auto parameterized =
+        makePolicy("hipster-in:bucket=8,learn=600", platform);
+    ASSERT_NE(parameterized, nullptr);
+    EXPECT_EQ(parameterized->name(), "HipsterIn");
+    EXPECT_EQ(makePolicy("octopus", platform)->name(), "Octopus-Man");
+    EXPECT_TRUE(isPolicyName("hipster-in:bucket=8"));
+    EXPECT_TRUE(isPolicyName("octopus-man:up=0.85,down=0.6"));
+    EXPECT_FALSE(isPolicyName("hipster-in:bucket=999"));
+    EXPECT_FALSE(isPolicyName("hipster-in:nope=1"));
+}
+
+TEST(ScenarioPolicies, UnknownPolicyErrorEnumeratesCatalog)
+{
+    // Satellite of the registry refactor: the FatalError must list
+    // the registered policies instead of sending the user to the
+    // source.
+    Platform platform(Platform::junoR1());
+    try {
+        makePolicy("nonexistent", platform);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("nonexistent"), std::string::npos);
+        EXPECT_NE(msg.find("registered policies"), std::string::npos);
+        EXPECT_NE(msg.find("hipster-in"), std::string::npos);
+        EXPECT_NE(msg.find("octopus-man"), std::string::npos);
+        EXPECT_NE(msg.find("static-big"), std::string::npos);
+    }
+}
+
 TEST(ScenarioPolicies, HipsterAliasMatchesHipsterIn)
 {
     Platform platform(Platform::junoR1());

@@ -14,8 +14,13 @@
  *
  * Options:
  *   --workload memcached|websearch      (default memcached)
- *   --policy   static-big|static-small|heuristic|octopus-man|
- *              hipster-in|hipster-co    (default hipster-in)
+ *   --policy   any registry policy spec: static-big, static-small,
+ *              heuristic, octopus-man (alias octopus), hipster-in
+ *              (alias hipster), hipster-co, optionally parameterized
+ *              with key=value overrides, e.g.
+ *              hipster-in:bucket=8,learn=600 or
+ *              octopus-man:up=0.85,down=0.6 (default hipster-in)
+ *   --list-policies                     (print the catalog and exit)
  *   --trace    any registry spec: diurnal, ramp, spike,
  *              constant:<frac>, mmpp:<lo,hi,switch>,
  *              flashcrowd:<base,peak,t0,rise,hold>,
@@ -42,6 +47,7 @@
 
 #include "common/csv.hh"
 #include "common/table.hh"
+#include "core/policy_registry.hh"
 #include "experiments/runner.hh"
 #include "experiments/scenario.hh"
 #include "loadgen/trace_registry.hh"
@@ -71,12 +77,13 @@ usage(const char *argv0, int code)
 {
     std::printf(
         "usage: %s [--workload memcached|websearch]\n"
-        "          [--policy static-big|static-small|heuristic|"
-        "octopus-man|hipster-in|hipster-co]\n"
+        "          [--policy <spec>] [--list-policies]\n"
         "          [--trace <spec>] [--list-traces]\n"
         "          [--duration <s>] [--seed <n>] [--bucket <pct>]\n"
         "          [--learning <s>] [--batch p1,p2,...] [--series]\n"
         "          [--csv <path>]\n"
+        "policy specs use the registry grammar (e.g.\n"
+        "hipster-in:bucket=8,learn=600); see --list-policies\n"
         "trace specs use the registry grammar (e.g. mmpp:0.2,0.9,45,\n"
         "diurnal|clip:0.1,0.8); see --list-traces for the catalog\n",
         argv0);
@@ -98,6 +105,11 @@ parse(int argc, char **argv)
             options.workload = need(i);
         } else if (arg == "--policy") {
             options.policy = need(i);
+        } else if (arg == "--list-policies") {
+            std::fputs(
+                PolicyRegistry::instance().catalogText().c_str(),
+                stdout);
+            std::exit(0);
         } else if (arg == "--trace") {
             options.trace = need(i);
         } else if (arg == "--list-traces") {
@@ -166,8 +178,10 @@ main(int argc, char **argv)
             params.bucketPercent = options.bucket;
         if (options.learning >= 0.0)
             params.learningPhase = options.learning;
-        if (options.policy == "hipster-co")
-            params.variant = PolicyVariant::Collocated;
+        // Spec overrides (e.g. hipster-in:bucket=8) are applied by
+        // the registry factory on top of these base params, so the
+        // most specific setting wins; hipster-co's collocated
+        // variant is forced by its factory.
         auto policy =
             makePolicy(options.policy, runner.platform(), params);
 

@@ -10,12 +10,23 @@
  *   hipster_sweep --policy hipster --seeds 8 --jobs 4
  *   hipster_sweep --policy all --workload memcached,websearch \
  *                 --seeds 5 --agg-csv table3.csv
- *   hipster_sweep --policy hipster-in,octopus-man --trace diurnal \
- *                 --seeds 10 --csv runs.csv
+ *   hipster_sweep --policies "hipster-in:bucket=5;hipster-in:bucket=8" \
+ *                 --workload memcached --seeds 10 --csv runs.csv
  *
  * Options:
- *   --policy   <p1,p2,...>|all  policies to sweep (default hipster-in;
- *                               "all" = the Table 3 list)
+ *   --policy   <p1;p2;...>|all  policy specs to sweep (default
+ *                               hipster-in; "all" = the Table 3 list;
+ *                               --policies is an alias). Specs use
+ *                               the registry grammar — bare names or
+ *                               parameterized, e.g.
+ *                               hipster-in:bucket=8,learn=600 or
+ *                               octopus-man:up=0.85,down=0.6 — so
+ *                               parameter ablations are ordinary
+ *                               sweep axes. ';' always separates; ','
+ *                               separates only before a policy name,
+ *                               keeping key=value commas intact.
+ *   --list-policies             print the policy catalog (schemas,
+ *                               defaults, aliases) and exit
  *   --workload <w1,w2,...>      memcached|websearch (default memcached)
  *   --traces   <t1,t2,...>      trace specs from the registry grammar
  *                               (diurnal, mmpp:0.2,0.9,45,
@@ -45,6 +56,7 @@
 
 #include "common/csv.hh"
 #include "common/thread_pool.hh"
+#include "core/policy_registry.hh"
 #include "experiments/sweep.hh"
 #include "loadgen/trace_registry.hh"
 
@@ -66,11 +78,14 @@ struct CliOptions
 usage(const char *argv0, int code)
 {
     std::printf(
-        "usage: %s [--policy <p1,p2,...>|all] [--workload <w1,...>]\n"
+        "usage: %s [--policy <p1;p2;...>|all] [--list-policies]\n"
+        "          [--workload <w1,...>]\n"
         "          [--traces <t1,...>] [--list-traces] [--seeds <n>]\n"
         "          [--jobs <n>] [--master-seed <n>] [--duration <s>]\n"
         "          [--scale <f>] [--learning <s>] [--bucket <pct>]\n"
         "          [--csv <path>] [--agg-csv <path>] [--quiet]\n"
+        "policies use the registry spec grammar (e.g.\n"
+        "hipster-in:bucket=8,learn=600); see --list-policies\n"
         "traces use the registry spec grammar; see --list-traces\n",
         argv0);
     std::exit(code);
@@ -108,10 +123,19 @@ parse(int argc, char **argv)
     };
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--policy") {
+        if (arg == "--policy" || arg == "--policies") {
+            // Spec-aware splitting: key=value commas inside a spec
+            // (hipster-in:bucket=8,learn=600) survive, ';' always
+            // separates.
             const std::string value = need(i);
-            options.spec.policies =
-                value == "all" ? tablePolicyNames() : splitList(value);
+            options.spec.policies = value == "all"
+                                        ? tablePolicyNames()
+                                        : splitPolicyList(value);
+        } else if (arg == "--list-policies") {
+            std::fputs(
+                PolicyRegistry::instance().catalogText().c_str(),
+                stdout);
+            std::exit(0);
         } else if (arg == "--workload") {
             options.spec.workloads = splitList(need(i));
         } else if (arg == "--trace" || arg == "--traces") {
