@@ -6,17 +6,20 @@
  * table is still cold; this bench quantifies that on our substrate.
  *
  * The 2 workloads x 2 variants x --seeds grid runs in parallel
- * through SweepEngine with a custom job runner toggling the
- * heuristic bootstrap; rows report seed means ± 95% CI.
+ * through SweepEngine's default wiring: each variant is an ordinary
+ * registry policy spec ("hipster-in:learn=500" vs
+ * "hipster-in:bootstrap=0,learn=500" — the same strings
+ * `hipster_sweep --policies` accepts), no bespoke jobRunner
+ * plumbing; rows report seed means ± 95% CI.
  */
 
 #include <cstdio>
 #include <iostream>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.hh"
-#include "core/hipster_policy.hh"
 #include "experiments/sweep.hh"
 
 using namespace hipster;
@@ -24,29 +27,27 @@ using namespace hipster;
 int
 main(int argc, char **argv)
 {
-    const auto options = bench::parseArgs(argc, argv);
+    const auto options =
+        bench::parseArgs(argc, argv, bench::SweepOverrides::Supported);
     bench::banner("Ablation: hybrid vs pure RL",
                   "QoS during and after the learning window");
 
     const Seconds learning =
         ScenarioDefaults::learningPhase * options.durationScale;
+    const std::string learn_key =
+        ",learn=" + formatFixed(learning, 2);
 
     SweepSpec spec = bench::sweepSpec(options);
     spec.workloads = {"memcached", "websearch"};
-    spec.policies = {"hybrid", "pure-rl"};
-    spec.jobRunner = [&](const SweepJob &job) {
-        const Seconds duration =
-            diurnalDurationFor(job.workload) * options.durationScale;
-        ExperimentRunner runner(
-            Platform::junoR1(), lcWorkloadByName(job.workload),
-            diurnalTrace(duration, job.seed + 100), job.seed);
-        HipsterParams params = tunedHipsterParams(job.workload);
-        params.learningPhase = learning;
-        params.useHeuristicBootstrap = job.policy == "hybrid";
-        HipsterPolicy policy(runner.platform(), params);
-        return runner.run(policy, duration);
-    };
+    spec.policies = {"hipster-in:bootstrap=1" + learn_key,
+                     "hipster-in:bootstrap=0" + learn_key};
     const auto results = bench::runSweep(spec, options);
+
+    const auto variantLabel = [](const std::string &policy) {
+        return policy.find("bootstrap=0") != std::string::npos
+                   ? "pure-rl"
+                   : "hybrid";
+    };
 
     // QoS over the learning window only, per cell across seeds.
     std::map<std::size_t, std::vector<double>> early_by_cell;
@@ -78,13 +79,13 @@ main(int argc, char **argv)
         const Estimate early = Estimate::of(early_by_cell[c]);
         table.newRow()
             .cell(cell.workload)
-            .cell(cell.policy)
+            .cell(variantLabel(cell.policy))
             .cell(formatMeanCi(early, 1) + "%")
             .cell(formatMeanCi(cell.qosGuarantee, 1, 100.0) + "%")
             .cell(formatMeanCi(cell.energy, 0));
         if (csv) {
             csv->add(cell.workload)
-                .add(cell.policy)
+                .add(variantLabel(cell.policy))
                 .add(cell.runs)
                 .add(early.mean)
                 .add(cell.qosGuarantee.mean * 100.0)

@@ -7,10 +7,11 @@
  *
  * Every hyper-parameter point is an ordinary sweep cell named by a
  * generated registry policy spec ("hipster-in:alpha=0.2,gamma=0.5",
- * "hipster-in:stochastic=0", "hipster-in:migpen=2.0") running the
- * engine's default wiring — the same strings `hipster_sweep
- * --policies` accepts, no bespoke jobRunner plumbing. --seeds
- * repetitions per cell, in parallel; rows report seed means ± 95% CI.
+ * "hipster-in:stochastic=0,learn=200") running the engine's default
+ * wiring — the same strings `hipster_sweep --policies` accepts, no
+ * bespoke jobRunner plumbing; the learning phase rides in each spec
+ * too. --seeds repetitions per cell, in parallel; rows report seed
+ * means ± 95% CI.
  */
 
 #include <algorithm>
@@ -43,10 +44,22 @@ struct RlCell
 int
 main(int argc, char **argv)
 {
-    const auto options = bench::parseArgs(argc, argv);
+    const auto options =
+        bench::parseArgs(argc, argv, bench::SweepOverrides::Supported);
     bench::banner("Ablation: RL hyper-parameters",
                   "alpha/gamma sweep + stochastic reward toggle "
                   "(Web-Search diurnal)");
+
+    // The learning phase is part of each generated spec (the
+    // SweepSpec escape hatch is gone): shortened on Web-Search so
+    // the exploitation window dominates even under --quick.
+    const Seconds ws_duration =
+        diurnalDurationFor("websearch") * options.durationScale;
+    const Seconds ws_learning = std::min<Seconds>(
+        ScenarioDefaults::learningPhase, ws_duration * 0.4);
+    const auto learnKey = [](Seconds learning) {
+        return ",learn=" + formatFixed(learning, 2);
+    };
 
     // The alpha/gamma grid + the paper defaults with the stochastic
     // danger-zone penalty disabled.
@@ -55,33 +68,28 @@ main(int argc, char **argv)
         for (double gamma : {0.0, 0.5, 0.9}) {
             points.push_back({"hipster-in:alpha=" +
                                   formatFixed(alpha, 1) + ",gamma=" +
-                                  formatFixed(gamma, 1),
+                                  formatFixed(gamma, 1) +
+                                  learnKey(ws_learning),
                               alpha, gamma, true, -1.0});
         }
     }
-    points.push_back(
-        {"hipster-in:stochastic=0", 0.6, 0.9, false, -1.0});
+    points.push_back({"hipster-in:stochastic=0" +
+                          learnKey(ws_learning),
+                      0.6, 0.9, false, -1.0});
 
     // Each cell is just a policy spec on the default sweep wiring.
     const auto runGrid = [&](const std::string &workload,
-                             const std::vector<RlCell> &grid,
-                             Seconds learning) {
+                             const std::vector<RlCell> &grid) {
         SweepSpec spec = bench::sweepSpec(options);
         spec.workloads = {workload};
         spec.keepSeries = false; // only summaries are reported
-        spec.learningPhase = learning;
         spec.policies.clear();
         for (const RlCell &cell : grid)
             spec.policies.push_back(cell.spec);
         return bench::runSweep(spec, options);
     };
 
-    const Seconds ws_duration =
-        diurnalDurationFor("websearch") * options.durationScale;
-    const auto grid =
-        runGrid("websearch", points,
-                std::min<Seconds>(ScenarioDefaults::learningPhase,
-                                  ws_duration * 0.4));
+    const auto grid = runGrid("websearch", points);
 
     auto csv = bench::maybeCsv(options);
     if (csv) {
@@ -119,14 +127,15 @@ main(int argc, char **argv)
     // Algorithm 2 line 7): how the churn damping affects migrations.
     std::printf("\nMigration-penalty ablation (memcached):\n");
     std::vector<RlCell> mig_points;
+    const Seconds mc_learning =
+        ScenarioDefaults::learningPhase * options.durationScale;
     for (double penalty : {0.0, 0.5, 2.0}) {
         mig_points.push_back({"hipster-in:migpen=" +
-                                  formatFixed(penalty, 1),
+                                  formatFixed(penalty, 1) +
+                                  learnKey(mc_learning),
                               0.6, 0.9, true, penalty});
     }
-    const auto mig_grid = runGrid("memcached", mig_points,
-                                  ScenarioDefaults::learningPhase *
-                                      options.durationScale);
+    const auto mig_grid = runGrid("memcached", mig_points);
     TextTable mig({"penalty", "QoS", "energy (J)", "migrations"});
     for (const RlCell &point : mig_points) {
         const AggregateSummary *cell =

@@ -24,6 +24,7 @@
 #include "common/thread_pool.hh"
 #include "experiments/sweep.hh"
 #include "loadgen/trace_registry.hh"
+#include "platform/platform_registry.hh"
 
 namespace hipster::bench
 {
@@ -53,24 +54,30 @@ struct BenchOptions
      * own stimulus). Any registered registry spec is accepted, so a
      * figure can be re-run against e.g. mmpp or flashcrowd load. */
     std::vector<std::string> traces;
+
+    /** Platform-spec override from --platform <spec> (empty = the
+     * Juno R1). Any registered registry spec is accepted, so a
+     * figure can be re-run on e.g. juno:big=4,little=8 or hetero. */
+    std::string platform;
 };
 
 /**
- * Whether a bench honours --trace overrides. Only benches that run
- * the SweepEngine's default job wiring do; the ablations and the
- * hand-rolled single-run figures drive a fixed stimulus and must
- * reject the flag rather than silently ignore it (the results would
- * otherwise be mislabeled with the requested trace).
+ * Whether a bench honours the --trace / --platform overrides. Only
+ * benches that run the SweepEngine's default job wiring do;
+ * ablation_relearn and the hand-rolled single-run figures drive a
+ * fixed setup and must reject the flags rather than silently ignore
+ * them (the results would otherwise be mislabeled with the
+ * requested stimulus or board).
  */
-enum class TraceOverride
+enum class SweepOverrides
 {
-    Rejected, ///< fixed stimulus; --trace is an error
-    Supported ///< default sweep wiring; --trace reroutes the load
+    Rejected, ///< fixed setup; --trace / --platform are errors
+    Supported ///< default sweep wiring; the axes are reroutable
 };
 
 inline BenchOptions
 parseArgs(int argc, char **argv,
-          TraceOverride trace_override = TraceOverride::Rejected)
+          SweepOverrides overrides = SweepOverrides::Rejected)
 {
     BenchOptions options;
     auto need = [&](int &i) -> const char * {
@@ -93,7 +100,7 @@ parseArgs(int argc, char **argv,
         } else if (arg == "--master-seed") {
             options.masterSeed = std::strtoull(need(i), nullptr, 10);
         } else if (arg == "--trace" || arg == "--traces") {
-            if (trace_override == TraceOverride::Rejected) {
+            if (overrides == SweepOverrides::Rejected) {
                 std::fprintf(stderr,
                              "%s: this bench drives a fixed stimulus "
                              "and does not honour --trace\n",
@@ -101,6 +108,20 @@ parseArgs(int argc, char **argv,
                 std::exit(1);
             }
             options.traces = splitTraceList(need(i));
+        } else if (arg == "--platform") {
+            if (overrides == SweepOverrides::Rejected) {
+                std::fprintf(stderr,
+                             "--platform: this bench drives a fixed "
+                             "setup and does not honour platform "
+                             "overrides\n");
+                std::exit(1);
+            }
+            options.platform = need(i);
+        } else if (arg == "--list-platforms") {
+            std::fputs(
+                PlatformRegistry::instance().catalogText().c_str(),
+                stdout);
+            std::exit(0);
         } else if (arg == "--list-traces") {
             std::fputs(
                 TraceRegistry::instance().catalogText().c_str(),
@@ -109,10 +130,12 @@ parseArgs(int argc, char **argv,
         } else if (arg == "--help" || arg == "-h") {
             std::printf("usage: %s [--csv <path>] [--quick] "
                         "[--seeds <n>] [--jobs <n>] "
-                        "[--master-seed <n>]%s [--list-traces]\n",
+                        "[--master-seed <n>]%s [--list-traces] "
+                        "[--list-platforms]\n",
                         argv[0],
-                        trace_override == TraceOverride::Supported
-                            ? " [--trace <spec,...>]"
+                        overrides == SweepOverrides::Supported
+                            ? " [--trace <spec,...>] "
+                              "[--platform <spec>]"
                             : "");
             std::exit(0);
         } else {
@@ -148,6 +171,14 @@ parseArgs(int argc, char **argv,
             validateTraceSpec(trace);
         } catch (const FatalError &e) {
             std::fprintf(stderr, "--trace: %s\n", e.what());
+            std::exit(1);
+        }
+    }
+    if (!options.platform.empty()) {
+        try {
+            validatePlatformSpec(options.platform);
+        } catch (const FatalError &e) {
+            std::fprintf(stderr, "--platform: %s\n", e.what());
             std::exit(1);
         }
     }
@@ -192,6 +223,8 @@ sweepSpec(const BenchOptions &options)
     spec.durationScale = options.durationScale;
     if (!options.traces.empty())
         spec.traces = options.traces;
+    if (!options.platform.empty())
+        spec.platforms = {options.platform};
     return spec;
 }
 

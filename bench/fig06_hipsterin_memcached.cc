@@ -70,7 +70,7 @@ int
 main(int argc, char **argv)
 {
     const auto options = bench::parseArgs(argc, argv,
-                                         bench::TraceOverride::Supported);
+                                         bench::SweepOverrides::Supported);
     bench::banner("Figure 6", "HipsterIn on Memcached (" +
                              bench::traceLabel(options) + ")");
 

@@ -21,7 +21,7 @@ int
 main(int argc, char **argv)
 {
     const auto options = bench::parseArgs(argc, argv,
-                                         bench::TraceOverride::Supported);
+                                         bench::SweepOverrides::Supported);
     bench::banner("Figure 7", "HipsterIn on Web-Search (" +
                              bench::traceLabel(options) + ")");
 

@@ -26,7 +26,7 @@ int
 main(int argc, char **argv)
 {
     const auto options =
-        bench::parseArgs(argc, argv, bench::TraceOverride::Supported);
+        bench::parseArgs(argc, argv, bench::SweepOverrides::Supported);
     bench::banner("Figure 10",
                   "Bucket-size sweep: QoS violations and energy savings "
                   "vs static all-big");

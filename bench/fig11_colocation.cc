@@ -76,7 +76,7 @@ main(int argc, char **argv)
                   "energy vs static");
 
     const Seconds duration =
-        ScenarioDefaults::webSearchDiurnal * options.durationScale;
+        diurnalDurationFor("websearch") * options.durationScale;
 
     auto csv = bench::maybeCsv(options);
     if (csv) {

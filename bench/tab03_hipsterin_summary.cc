@@ -27,7 +27,7 @@ int
 main(int argc, char **argv)
 {
     const auto options = bench::parseArgs(argc, argv,
-                                         bench::TraceOverride::Supported);
+                                         bench::SweepOverrides::Supported);
     bench::banner("Table 3",
                   "QoS guarantee / tardiness / energy reduction, "
                   "5 policies x 2 workloads (" +

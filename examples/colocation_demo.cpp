@@ -39,7 +39,7 @@ main(int argc, char **argv)
                     kernel.memIntensity);
     std::printf("\n\n");
 
-    const Seconds day = ScenarioDefaults::webSearchDiurnal;
+    const Seconds day = diurnalDurationFor("websearch");
 
     auto run = [&](const char *policy_name) {
         ExperimentRunner runner = makeDiurnalRunner("websearch", day, 1);

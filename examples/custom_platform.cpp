@@ -19,6 +19,7 @@
 #include "experiments/runner.hh"
 #include "experiments/scenario.hh"
 #include "platform/config_space.hh"
+#include "platform/platform_registry.hh"
 
 namespace
 {
@@ -143,5 +144,17 @@ main()
                 "unmodified on a platform it has\nnever seen — only the "
                 "PlatformSpec and the (auto-derived) action space "
                 "changed.\n");
+
+    // The platform registry synthesizes comparable server-class
+    // parts from a one-line spec — no C++ assembly required, and the
+    // same string works as a sweep axis in hipster_sweep
+    // --platforms.
+    Platform fromSpec(makePlatformFromSpec(
+        "hetero:big=4,little=8,bigfreq=2.5,bigipc=2.2,littleipc=1.4"));
+    std::printf("\nregistry one-liner "
+                "'hetero:big=4,little=8,bigfreq=2.5' -> %s, %u cores, "
+                "TDP %.1f W\n",
+                fromSpec.name().c_str(), fromSpec.totalCores(),
+                fromSpec.tdp());
     return 0;
 }

@@ -2,10 +2,15 @@
  * @file
  * Policy comparison: runs the full Table 3 lineup — static all-big,
  * static all-small, Hipster's heuristic, Octopus-Man and HipsterIn —
- * on a chosen workload and prints QoS/energy side by side.
+ * on a chosen workload/platform spec and prints QoS/energy side by
+ * side. Each run is one declarative ExperimentSpec; any registry
+ * spec works for the workload and platform axes.
  *
  * Usage:
- *   ./build/examples/example_policy_comparison [memcached|websearch] [seconds]
+ *   ./build/examples/example_policy_comparison \
+ *       [workload-spec] [seconds] [platform-spec]
+ *   ./build/examples/example_policy_comparison \
+ *       memcached:qos=8ms 400 juno:big=4,little=8
  */
 
 #include <cstdio>
@@ -14,7 +19,7 @@
 #include <string>
 
 #include "common/table.hh"
-#include "experiments/runner.hh"
+#include "experiments/experiment_spec.hh"
 #include "experiments/scenario.hh"
 
 int
@@ -22,29 +27,42 @@ main(int argc, char **argv)
 {
     using namespace hipster;
 
-    const std::string workload = argc > 1 ? argv[1] : "memcached";
-    const Seconds duration =
-        argc > 2 ? std::atof(argv[2]) : diurnalDurationFor(workload);
-    if (duration <= 0.0) {
-        std::fprintf(stderr, "bad duration\n");
+    ExperimentSpec spec;
+    spec.workload = argc > 1 ? argv[1] : "memcached";
+    if (argc > 2) {
+        // An explicit duration must be a positive number: 0 means
+        // "diurnal default" to ExperimentSpec, so a typo'd argument
+        // would otherwise silently run the full day.
+        spec.duration = std::atof(argv[2]);
+        if (spec.duration <= 0.0) {
+            std::fprintf(stderr, "bad duration '%s'\n", argv[2]);
+            return 1;
+        }
+    }
+    spec.platform = argc > 3 ? argv[3] : "juno";
+    spec.seed = 1;
+    try {
+        spec.validate();
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
     }
+    const Seconds duration = spec.resolvedDuration();
 
-    std::printf("Comparing policies on %s over a %.0f s diurnal day\n\n",
-                workload.c_str(), duration);
+    std::printf("Comparing policies on %s / %s over a %.0f s diurnal "
+                "day\n\n",
+                spec.workload.c_str(), spec.platform.c_str(), duration);
 
     TextTable table({"policy", "QoS guarantee", "QoS tardiness",
                      "energy (J)", "vs static-big", "migrations"});
 
     RunSummary baseline;
     for (const auto &name : tablePolicyNames()) {
-        // A fresh runner per policy: identical seed, trace and
-        // platform, so the comparison is apples-to-apples.
-        ExperimentRunner runner = makeDiurnalRunner(workload, duration,
-                                                    /*seed=*/1);
-        HipsterParams params = tunedHipsterParams(workload);
-        auto policy = makePolicy(name, runner.platform(), params);
-        const ExperimentResult result = runner.run(*policy, duration);
+        // The same declarative spec per policy: identical seed,
+        // trace, workload and platform, so the comparison is
+        // apples-to-apples.
+        spec.policy = name;
+        const ExperimentResult result = spec.run();
 
         if (name == "static-big")
             baseline = result.summary;

@@ -34,7 +34,7 @@ main()
     const LcWorkloadDef workload = memcachedWorkload();
 
     // 3. A load trace: one compressed diurnal day (Figure 1 shape).
-    const Seconds day = ScenarioDefaults::memcachedDiurnal;
+    const Seconds day = diurnalDurationFor("memcached");
     auto trace = diurnalTrace(day, /*seed=*/11);
 
     // 4. The runner wires platform + workload + trace and steps the

@@ -1,0 +1,243 @@
+#include "common/spec_grammar.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace hipster
+{
+
+namespace
+{
+
+/** Unit label appended to rendered values ("" for plain numbers). */
+const char *
+unitSuffix(ParamUnit unit)
+{
+    switch (unit) {
+    case ParamUnit::TimeMs:
+        return "ms";
+    case ParamUnit::TimeSec:
+        return "s";
+    case ParamUnit::None:
+        break;
+    }
+    return "";
+}
+
+/** Multiplier converting a suffixed time value into `unit`. */
+double
+timeFactor(const std::string &suffix, ParamUnit unit)
+{
+    double to_seconds = 1.0;
+    if (suffix == "us")
+        to_seconds = 1e-6;
+    else if (suffix == "ms")
+        to_seconds = 1e-3;
+    return unit == ParamUnit::TimeMs ? to_seconds * 1e3 : to_seconds;
+}
+
+/**
+ * Parse one override value in the canonical unit of `param`. Plain
+ * numbers are taken as the canonical unit; time-typed parameters
+ * also accept us/ms/s suffixes.
+ */
+double
+parseValue(const std::string &kind, const std::string &spec,
+           const SpecParamInfo &param, const std::string &text)
+{
+    char *end = nullptr;
+    const double raw = std::strtod(text.c_str(), &end);
+    if (text.empty() || end == text.c_str())
+        fatal(kind, " spec '", spec, "': value '", text, "' for '",
+              param.key, "' is not a number");
+    const std::string suffix(end);
+    double value = raw;
+    if (!suffix.empty()) {
+        if (param.unit == ParamUnit::None ||
+            (suffix != "us" && suffix != "ms" && suffix != "s"))
+            fatal(kind, " spec '", spec, "': value '", text, "' for '",
+                  param.key, "' has an invalid suffix '", suffix,
+                  "'", param.unit == ParamUnit::None
+                           ? ""
+                           : " (us/ms/s accepted)");
+        value = raw * timeFactor(suffix, param.unit);
+    }
+    if (!std::isfinite(value))
+        fatal(kind, " spec '", spec, "': value '", text, "' for '",
+              param.key, "' must be finite");
+    return value;
+}
+
+} // namespace
+
+bool
+SpecParamSet::isSet(const std::string &key) const
+{
+    return std::any_of(values_.begin(), values_.end(),
+                       [&](const auto &kv) { return kv.first == key; });
+}
+
+double
+SpecParamSet::get(const std::string &key, double fallback) const
+{
+    for (const auto &kv : values_) {
+        if (kv.first == key)
+            return kv.second;
+    }
+    return fallback;
+}
+
+bool
+SpecParamSet::getBool(const std::string &key, bool fallback) const
+{
+    return get(key, fallback ? 1.0 : 0.0) != 0.0;
+}
+
+void
+SpecParamSet::set(const std::string &key, double value)
+{
+    values_.emplace_back(key, value);
+}
+
+std::string
+formatSpecValue(double value)
+{
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%g", value);
+    return buffer;
+}
+
+std::string
+specParamLine(const SpecParamInfo &param)
+{
+    const std::string unit = unitSuffix(param.unit);
+    std::string line =
+        param.key + "=" + formatSpecValue(param.defaultValue) + unit;
+    if (param.boolean)
+        line += " (0|1)";
+    else
+        line += " in [" + formatSpecValue(param.minValue) + unit +
+                ", " + formatSpecValue(param.maxValue) + unit + "]";
+    if (param.integer)
+        line += " (integer)";
+    if (!unit.empty())
+        line += " (us/ms/s suffixes accepted)";
+    return line + " — " + param.doc;
+}
+
+std::string
+specSchemaSummary(const std::string &name,
+                  const std::vector<SpecParamInfo> &params)
+{
+    if (params.empty())
+        return "'" + name + "' takes no parameters";
+    std::string out = "'" + name + "' parameters:";
+    for (const SpecParamInfo &param : params)
+        out += "\n  " + specParamLine(param);
+    return out;
+}
+
+std::string
+specHead(const std::string &spec)
+{
+    const std::size_t colon = spec.find(':');
+    return colon == std::string::npos ? spec : spec.substr(0, colon);
+}
+
+std::string
+specHeadToken(const std::string &text, std::size_t pos)
+{
+    std::size_t end = pos;
+    while (end < text.size() &&
+           (std::islower(static_cast<unsigned char>(text[end])) ||
+            std::isdigit(static_cast<unsigned char>(text[end])) ||
+            text[end] == '_' || text[end] == '-'))
+        ++end;
+    return text.substr(pos, end - pos);
+}
+
+void
+parseSpecParams(const std::string &kind, const std::string &spec,
+                const std::string &name,
+                const std::vector<SpecParamInfo> &schema,
+                SpecParamSet &out)
+{
+    out = SpecParamSet{};
+    const std::size_t colon = spec.find(':');
+    if (colon == std::string::npos)
+        return;
+
+    const std::string argText = spec.substr(colon + 1);
+    if (argText.empty())
+        fatal(kind, " spec '", spec, "': empty parameter list after "
+              "':'; ", specSchemaSummary(name, schema));
+
+    std::size_t pos = 0;
+    while (pos <= argText.size()) {
+        const std::size_t comma = argText.find(',', pos);
+        const std::string pair =
+            argText.substr(pos, comma == std::string::npos
+                                    ? std::string::npos
+                                    : comma - pos);
+        pos = comma == std::string::npos ? argText.size() + 1
+                                         : comma + 1;
+
+        const std::size_t eq = pair.find('=');
+        if (eq == std::string::npos || eq == 0 ||
+            eq + 1 == pair.size())
+            fatal(kind, " spec '", spec, "': malformed override '",
+                  pair, "' (expected key=value); ",
+                  specSchemaSummary(name, schema));
+        const std::string key = pair.substr(0, eq);
+        const std::string valueText = pair.substr(eq + 1);
+
+        const auto param_it = std::find_if(
+            schema.begin(), schema.end(),
+            [&](const SpecParamInfo &p) { return p.key == key; });
+        if (param_it == schema.end())
+            fatal(kind, " spec '", spec, "': unknown key '", key,
+                  "' for '", name, "'; ",
+                  specSchemaSummary(name, schema));
+        if (out.isSet(key))
+            fatal(kind, " spec '", spec, "': duplicate key '", key,
+                  "'");
+
+        const double value = parseValue(kind, spec, *param_it,
+                                        valueText);
+        if (param_it->boolean && value != 0.0 && value != 1.0)
+            fatal(kind, " spec '", spec, "': '", key,
+                  "' is a flag and takes 0 or 1, got ", valueText);
+        if (param_it->integer && std::floor(value) != value)
+            fatal(kind, " spec '", spec, "': '", key,
+                  "' takes an integer, got ", valueText);
+        if (value < param_it->minValue || value > param_it->maxValue)
+            fatal(kind, " spec '", spec, "': ", key, "=", valueText,
+                  " is out of range; ", specParamLine(*param_it));
+        out.set(key, value);
+    }
+}
+
+std::vector<std::string>
+splitSpecList(const std::string &list,
+              const std::function<bool(const std::string &)> &isHead)
+{
+    std::vector<std::string> specs;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= list.size(); ++i) {
+        const bool hard_break = i == list.size() || list[i] == ';';
+        const bool head_comma = !hard_break && list[i] == ',' &&
+                                isHead(specHeadToken(list, i + 1));
+        if (!hard_break && !head_comma)
+            continue;
+        specs.push_back(list.substr(start, i - start));
+        start = i + 1;
+    }
+    return specs;
+}
+
+} // namespace hipster

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Shared key=value spec-grammar machinery for the workload and
+ * platform registries:
+ *
+ *   spec := name [':' key '=' value (',' key '=' value)*]
+ *
+ * Each registry entry declares a parameter schema (key, default,
+ * valid range, doc string, optional unit); overrides validate
+ * fail-fast with errors that enumerate the schema. Values are plain
+ * numbers except for time-typed parameters, which also accept
+ * us/ms/s suffixes ("qos=300us", "think=1.5s") and normalize to the
+ * parameter's canonical unit.
+ *
+ * The policy and trace registries predate this helper and keep their
+ * own (grammar-compatible) parsers; new registries should build on
+ * this one.
+ */
+
+#ifndef HIPSTER_COMMON_SPEC_GRAMMAR_HH
+#define HIPSTER_COMMON_SPEC_GRAMMAR_HH
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hipster
+{
+
+/** Canonical unit a parameter value is normalized to. */
+enum class ParamUnit
+{
+    None,    ///< plain number, no suffix accepted
+    TimeMs,  ///< canonical milliseconds; accepts us/ms/s suffixes
+    TimeSec, ///< canonical seconds; accepts us/ms/s suffixes
+};
+
+/** Schema entry describing one tunable of a registered spec family. */
+struct SpecParamInfo
+{
+    std::string key; ///< override key, e.g. "qos"
+    std::string doc; ///< one-line description for the catalogs
+
+    /** Default in the canonical unit (the calibrated value). */
+    double defaultValue = 0.0;
+
+    /** Valid range in the canonical unit, inclusive on both ends. */
+    double minValue = 0.0;
+    double maxValue = 0.0;
+
+    /** Value must be an integer (e.g. core counts). */
+    bool integer = false;
+
+    /** Value must be 0 or 1. */
+    bool boolean = false;
+
+    /** Canonical unit (enables the us/ms/s suffixes). */
+    ParamUnit unit = ParamUnit::None;
+};
+
+/**
+ * The parsed key=value overrides of one spec. Only explicitly
+ * written keys are present; factories fall back to their base
+ * parameters for everything else. Values are stored in the
+ * parameter's canonical unit.
+ */
+class SpecParamSet
+{
+  public:
+    bool isSet(const std::string &key) const;
+
+    /** The override for `key`, or `fallback` when not set. */
+    double get(const std::string &key, double fallback) const;
+
+    bool getBool(const std::string &key, bool fallback) const;
+
+    /** Record an override (parser only; duplicate keys are a parse
+     * error upstream, so keys are unique). */
+    void set(const std::string &key, double value);
+
+    /** Whether any override is present. */
+    bool empty() const { return values_.empty(); }
+
+  private:
+    std::vector<std::pair<std::string, double>> values_;
+};
+
+/** Compact numeric rendering for schema/catalog text ("5", "0.85"). */
+std::string formatSpecValue(double value);
+
+/** One schema line: "qos=10ms in [0.05ms, 10000ms] — doc". */
+std::string specParamLine(const SpecParamInfo &param);
+
+/** "'<name>' parameters:" + one line per schema entry (or "takes no
+ * parameters"). Used by unknown-key and bad-value errors. */
+std::string specSchemaSummary(const std::string &name,
+                              const std::vector<SpecParamInfo> &params);
+
+/** The head of a spec: everything before the first ':'. */
+std::string specHead(const std::string &spec);
+
+/** The name token starting at `pos` ([a-z0-9_-]*), or "" when the
+ * text there cannot start a spec head (list splitting helper). */
+std::string specHeadToken(const std::string &text, std::size_t pos);
+
+/**
+ * Parse and validate the "key=value,..." tail of `spec` (everything
+ * after the first ':'; absent = no overrides) against `schema`.
+ * `kind` names the grammar in errors ("workload", "platform").
+ * Throws FatalError enumerating the schema on unknown keys,
+ * duplicates, malformed pairs and out-of-range values.
+ */
+void parseSpecParams(const std::string &kind, const std::string &spec,
+                     const std::string &name,
+                     const std::vector<SpecParamInfo> &schema,
+                     SpecParamSet &out);
+
+/**
+ * Splits a CLI spec list using `isHead` to recognize registered
+ * names. `;` always separates; a `,` separates only when the text
+ * after it heads a registered entry, keeping in-spec key=value
+ * commas intact (so "memcached:qos=300us,stall=0.5,websearch"
+ * yields the parameterized memcached spec and "websearch").
+ */
+std::vector<std::string>
+splitSpecList(const std::string &list,
+              const std::function<bool(const std::string &)> &isHead);
+
+} // namespace hipster
+
+#endif // HIPSTER_COMMON_SPEC_GRAMMAR_HH

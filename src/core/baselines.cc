@@ -136,7 +136,7 @@ HeuristicOnlyPolicy::HeuristicOnlyPolicy(const Platform &platform,
     : variant_(variant),
       mapper_(ladder.empty()
                   ? ConfigSpace::orderForHeuristic(
-                        platform, ConfigSpace::paperStates(platform))
+                        platform, ConfigSpace::defaultLadder(platform))
                   : std::move(ladder),
               zones, /*start_at_top=*/true)
 {

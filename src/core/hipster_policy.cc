@@ -28,7 +28,7 @@ std::vector<CoreConfig>
 defaultActions(const Platform &platform)
 {
     return ConfigSpace::orderForHeuristic(
-        platform, ConfigSpace::paperStates(platform));
+        platform, ConfigSpace::defaultLadder(platform));
 }
 
 } // namespace

@@ -1,0 +1,65 @@
+#include "experiments/experiment_spec.hh"
+
+#include "common/logging.hh"
+#include "core/policy_registry.hh"
+#include "experiments/scenario.hh"
+#include "loadgen/trace_registry.hh"
+#include "platform/platform_registry.hh"
+#include "workloads/workload_registry.hh"
+
+namespace hipster
+{
+
+void
+ExperimentSpec::validate() const
+{
+    validateWorkloadSpec(workload);
+    validatePlatformSpec(platform);
+    if (durationScale <= 0.0)
+        fatal("ExperimentSpec: durationScale must be > 0");
+    validateTraceSpec(trace, resolvedDuration());
+    validatePolicySpec(policy);
+}
+
+Seconds
+ExperimentSpec::resolvedDuration() const
+{
+    const Seconds base =
+        duration > 0.0 ? duration : diurnalDurationFor(workload);
+    return base * durationScale;
+}
+
+HipsterParams
+ExperimentSpec::baseHipsterParams() const
+{
+    HipsterParams params = tunedHipsterParams(workload);
+    params.learningPhase =
+        ScenarioDefaults::learningPhase * durationScale;
+    return params;
+}
+
+ExperimentRunner
+ExperimentSpec::makeRunner() const
+{
+    const Seconds length = resolvedDuration();
+    return ExperimentRunner(
+        makePlatformFromSpec(platform), makeWorkloadFromSpec(workload),
+        makeTraceByName(trace, length, seed + 100), seed, runner);
+}
+
+std::unique_ptr<TaskPolicy>
+ExperimentSpec::makePolicyFor(const Platform &platform_instance) const
+{
+    return makePolicy(policy, platform_instance, baseHipsterParams());
+}
+
+ExperimentResult
+ExperimentSpec::run(
+    const std::function<void(const IntervalMetrics &)> &observer) const
+{
+    ExperimentRunner experiment = makeRunner();
+    const auto task_policy = makePolicyFor(experiment.platform());
+    return experiment.run(*task_policy, resolvedDuration(), observer);
+}
+
+} // namespace hipster

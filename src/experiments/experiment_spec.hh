@@ -1,0 +1,100 @@
+/**
+ * @file
+ * ExperimentSpec: one fully declarative experiment — a workload spec
+ * x platform spec x trace spec x policy spec x duration x seed. The
+ * four axis strings use the registry grammars (workloads/
+ * workload_registry, platform/platform_registry, loadgen/
+ * trace_registry, core/policy_registry), so any scenario the
+ * registries can express is a one-line spec instead of a new C++
+ * entry point:
+ *
+ *   ExperimentSpec spec;
+ *   spec.workload = "memcached:qos=300us,stall=0.5";
+ *   spec.platform = "juno:big=4,little=8";
+ *   spec.trace    = "mmpp:0.2,0.9,45";
+ *   spec.policy   = "hipster-in:bucket=8";
+ *   auto result   = spec.run();
+ *
+ * The scenario helpers, both CLIs and the sweep engine's default job
+ * wiring all build runs through this struct; a given spec + seed is
+ * bitwise-reproducible.
+ */
+
+#ifndef HIPSTER_EXPERIMENTS_EXPERIMENT_SPEC_HH
+#define HIPSTER_EXPERIMENTS_EXPERIMENT_SPEC_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/hipster_policy.hh"
+#include "experiments/runner.hh"
+
+namespace hipster
+{
+
+/** Declarative description of one experiment run. */
+struct ExperimentSpec
+{
+    /** Workload spec (workloads/workload_registry grammar). */
+    std::string workload = "memcached";
+
+    /** Platform spec (platform/platform_registry grammar). */
+    std::string platform = "juno";
+
+    /** Trace spec (loadgen/trace_registry grammar). */
+    std::string trace = "diurnal";
+
+    /** Policy spec (core/policy_registry grammar). */
+    std::string policy = "hipster-in";
+
+    /** Run length; 0 = the workload's diurnal default. */
+    Seconds duration = 0.0;
+
+    /** Scale factor applied to the duration and the default learning
+     * phase (the bench binaries' --quick). */
+    double durationScale = 1.0;
+
+    /** Seed for all stochastic components; the trace stream is
+     * forked at seed + 100 so repetitions see independent noise. */
+    std::uint64_t seed = 1;
+
+    /** Options forwarded to the ExperimentRunner. */
+    RunnerOptions runner;
+
+    /**
+     * Fail-fast validation of all four axis specs (and the splice
+     * lengths of the trace against the resolved duration) without
+     * building anything, throwing the FatalError the corresponding
+     * registry would — campaigns reject bad cells before any runs
+     * start.
+     */
+    void validate() const;
+
+    /** The run length after defaulting and scaling. */
+    Seconds resolvedDuration() const;
+
+    /**
+     * The workload-tuned Hipster base parameters this spec's policy
+     * overrides apply on top of (deployment tuning per Section 3.2,
+     * learning phase scaled with durationScale).
+     */
+    HipsterParams baseHipsterParams() const;
+
+    /** Build the runner: fresh platform + workload + trace. */
+    ExperimentRunner makeRunner() const;
+
+    /** Build the policy for a platform (overrides on top of
+     * baseHipsterParams()). */
+    std::unique_ptr<TaskPolicy>
+    makePolicyFor(const Platform &platform_instance) const;
+
+    /** Build and run the whole experiment. */
+    ExperimentResult
+    run(const std::function<void(const IntervalMetrics &)> &observer =
+            {}) const;
+};
+
+} // namespace hipster
+
+#endif // HIPSTER_EXPERIMENTS_EXPERIMENT_SPEC_HH

@@ -4,6 +4,8 @@
 #include "core/policy_registry.hh"
 #include "loadgen/trace_families.hh"
 #include "loadgen/trace_registry.hh"
+#include "platform/platform_registry.hh"
+#include "workloads/workload_registry.hh"
 
 namespace hipster
 {
@@ -44,21 +46,37 @@ isPolicyName(const std::string &name)
 Seconds
 diurnalDurationFor(const std::string &workload)
 {
-    if (workload == "memcached")
-        return ScenarioDefaults::memcachedDiurnal;
-    return ScenarioDefaults::webSearchDiurnal;
+    SpecParamSet params;
+    return WorkloadRegistry::instance()
+        .parseSpec(workload, params)
+        .diurnalDuration;
 }
 
 HipsterParams
 tunedHipsterParams(const std::string &workload)
 {
-    HipsterParams params;
-    // Bucket widths from the Figure 10 sweep on our substrate:
+    // Bucket widths from the Figure 10 sweep on our substrate (e.g.
     // Memcached's open-loop noise needs coarser buckets to stay
-    // above the QoS floor; Web-Search tolerates finer control.
-    params.bucketPercent = workload == "memcached" ? 8.0 : 5.0;
+    // above the QoS floor) live in the workload catalog.
+    SpecParamSet set;
+    HipsterParams params;
+    params.bucketPercent = WorkloadRegistry::instance()
+                               .parseSpec(workload, set)
+                               .tunedBucketPercent;
     params.learningPhase = ScenarioDefaults::learningPhase;
     return params;
+}
+
+bool
+isWorkloadName(const std::string &name)
+{
+    return isWorkloadSpec(name);
+}
+
+bool
+isPlatformName(const std::string &name)
+{
+    return isPlatformSpec(name);
 }
 
 std::unique_ptr<TaskPolicy>
@@ -83,8 +101,11 @@ ExperimentRunner
 makeDiurnalRunner(const std::string &workload, Seconds duration,
                   std::uint64_t seed)
 {
-    return ExperimentRunner(Platform::junoR1(),
-                            lcWorkloadByName(workload),
+    // Registry-backed default wiring. The trace keeps the legacy
+    // seed (no +100 fork) so the figure benches reproduce their
+    // historical series.
+    return ExperimentRunner(makePlatformFromSpec("juno"),
+                            makeWorkloadFromSpec(workload),
                             diurnalTrace(duration, seed), seed);
 }
 

@@ -20,15 +20,11 @@
 namespace hipster
 {
 
-/** Standard run lengths used by the paper's figures. */
+/** Standard run lengths used by the paper's figures. Per-workload
+ * diurnal lengths live in the WorkloadRegistry catalog — resolve
+ * them with diurnalDurationFor(). */
 struct ScenarioDefaults
 {
-    /** Memcached diurnal run (Figures 5/6 span ~1440 s). */
-    static constexpr Seconds memcachedDiurnal = 1440.0;
-
-    /** Web-Search diurnal run (Figures 5/7 span ~1000 s). */
-    static constexpr Seconds webSearchDiurnal = 1080.0;
-
     /** Learning phase (Section 4.1). */
     static constexpr Seconds learningPhase = 500.0;
 
@@ -68,13 +64,27 @@ bool isTraceName(const std::string &name);
  * Alias for the core PolicyRegistry's isPolicySpec(). */
 bool isPolicyName(const std::string &name);
 
-/** Diurnal run length appropriate for a workload name. */
+/** Whether lcWorkloadByName() accepts the spec (fail-fast checks).
+ * Alias for the workloads WorkloadRegistry's isWorkloadSpec(). */
+bool isWorkloadName(const std::string &name);
+
+/** Whether makePlatformFromSpec() accepts the spec (fail-fast
+ * checks). Alias for the PlatformRegistry's isPlatformSpec(). */
+bool isPlatformName(const std::string &name);
+
+/**
+ * Diurnal run length appropriate for a workload spec, resolved
+ * through the WorkloadRegistry (aliases and parameterized specs
+ * included). Throws FatalError on unknown workloads, enumerating
+ * the catalog.
+ */
 Seconds diurnalDurationFor(const std::string &workload);
 
 /**
  * Hipster tunables chosen at "deployment stage" per workload
  * (Section 3.2: the bucket size is picked to maximize energy savings
- * subject to a QoS-guarantee floor; Figure 10 shows the sweep).
+ * subject to a QoS-guarantee floor; Figure 10 shows the sweep),
+ * resolved through the WorkloadRegistry like diurnalDurationFor().
  */
 HipsterParams tunedHipsterParams(const std::string &workload);
 

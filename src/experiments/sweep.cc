@@ -9,7 +9,10 @@
 #include "common/table.hh"
 #include "common/thread_pool.hh"
 #include "core/policy_registry.hh"
+#include "experiments/experiment_spec.hh"
 #include "loadgen/trace_registry.hh"
+#include "platform/platform_registry.hh"
+#include "workloads/workload_registry.hh"
 
 namespace hipster
 {
@@ -86,6 +89,8 @@ SweepEngine::SweepEngine(SweepSpec spec) : spec_(std::move(spec))
 {
     if (spec_.workloads.empty())
         fatal("SweepSpec: no workloads");
+    if (spec_.platforms.empty())
+        fatal("SweepSpec: no platforms");
     if (spec_.traces.empty())
         fatal("SweepSpec: no traces");
     if (spec_.policies.empty())
@@ -102,8 +107,13 @@ SweepEngine::SweepEngine(SweepSpec spec) : spec_(std::move(spec))
     // custom jobRunner interprets the names itself (ablations use
     // synthetic labels), so only the default wiring is checked.
     if (!spec_.jobRunner) {
+        // Workload and platform specs validate against the registry
+        // schemas, so a typo'd key or out-of-range value is rejected
+        // with the schema/catalog enumerated.
         for (const auto &workload : spec_.workloads)
-            lcWorkloadByName(workload); // throws on unknown names
+            validateWorkloadSpec(workload);
+        for (const auto &platform : spec_.platforms)
+            validatePlatformSpec(platform);
         // Validate every trace against the actual run duration(s) it
         // will pair with: splice lengths that don't fit the run must
         // fail here, not after hours of good cells. Durations are
@@ -148,24 +158,28 @@ std::vector<SweepJob>
 SweepEngine::expandJobs() const
 {
     std::vector<SweepJob> jobs;
-    jobs.reserve(spec_.workloads.size() * spec_.traces.size() *
-                 spec_.policies.size() * spec_.seeds);
+    jobs.reserve(spec_.workloads.size() * spec_.platforms.size() *
+                 spec_.traces.size() * spec_.policies.size() *
+                 spec_.seeds);
     std::size_t cell = 0;
     for (const auto &workload : spec_.workloads) {
-        for (const auto &trace : spec_.traces) {
-            for (const auto &policy : spec_.policies) {
-                for (std::size_t s = 0; s < spec_.seeds; ++s) {
-                    SweepJob job;
-                    job.index = jobs.size();
-                    job.cell = cell;
-                    job.workload = workload;
-                    job.trace = trace;
-                    job.policy = policy;
-                    job.seedIndex = s;
-                    job.seed = seedForRun(spec_.masterSeed, s);
-                    jobs.push_back(std::move(job));
+        for (const auto &platform : spec_.platforms) {
+            for (const auto &trace : spec_.traces) {
+                for (const auto &policy : spec_.policies) {
+                    for (std::size_t s = 0; s < spec_.seeds; ++s) {
+                        SweepJob job;
+                        job.index = jobs.size();
+                        job.cell = cell;
+                        job.workload = workload;
+                        job.platform = platform;
+                        job.trace = trace;
+                        job.policy = policy;
+                        job.seedIndex = s;
+                        job.seed = seedForRun(spec_.masterSeed, s);
+                        jobs.push_back(std::move(job));
+                    }
+                    ++cell;
                 }
-                ++cell;
             }
         }
     }
@@ -178,31 +192,19 @@ SweepEngine::runJob(const SweepJob &job) const
     if (spec_.jobRunner)
         return spec_.jobRunner(job);
 
-    const Seconds base = spec_.duration > 0.0
-                             ? spec_.duration
-                             : diurnalDurationFor(job.workload);
-    const Seconds duration = base * spec_.durationScale;
-
-    // The trace stream is forked off the run seed (same offset the
-    // hipster_sim CLI uses) so repetitions see independent noise.
-    const auto trace =
-        makeTraceByName(job.trace, duration, job.seed + 100);
-    ExperimentRunner runner(Platform::junoR1(),
-                            lcWorkloadByName(job.workload), trace,
-                            job.seed, spec_.runner);
-
-    HipsterParams params = tunedHipsterParams(job.workload);
-    params.learningPhase =
-        spec_.learningPhase >= 0.0
-            ? spec_.learningPhase
-            : ScenarioDefaults::learningPhase * spec_.durationScale;
-    if (spec_.bucketPercent > 0.0)
-        params.bucketPercent = spec_.bucketPercent;
-    if (spec_.tuneHipster)
-        spec_.tuneHipster(job, params);
-
-    const auto policy = makePolicy(job.policy, runner.platform(), params);
-    return runner.run(*policy, duration);
+    // One declarative ExperimentSpec per job: the same wiring the
+    // CLIs use, so a sweep cell and a single run are the same
+    // experiment.
+    ExperimentSpec experiment;
+    experiment.workload = job.workload;
+    experiment.platform = job.platform;
+    experiment.trace = job.trace;
+    experiment.policy = job.policy;
+    experiment.duration = spec_.duration;
+    experiment.durationScale = spec_.durationScale;
+    experiment.seed = job.seed;
+    experiment.runner = spec_.runner;
+    return experiment.run();
 }
 
 SweepResults
@@ -253,14 +255,15 @@ SweepEngine::run(std::size_t jobs,
 
     // Reduce each cell in expansion order.
     const std::size_t cellCount =
-        spec_.workloads.size() * spec_.traces.size() *
-        spec_.policies.size();
+        spec_.workloads.size() * spec_.platforms.size() *
+        spec_.traces.size() * spec_.policies.size();
     results.cells.resize(cellCount);
     std::vector<std::vector<const RunSummary *>> perCell(cellCount);
     for (const SweepRun &run : results.runs) {
         AggregateSummary &cell = results.cells[run.job.cell];
         if (cell.runs == 0) {
             cell.workload = run.job.workload;
+            cell.platform = run.job.platform;
             cell.trace = run.job.trace;
             cell.policy = run.job.policy;
             cell.policyDisplay = run.result.policyName;
@@ -297,11 +300,13 @@ SweepEngine::run(std::size_t jobs,
 
 const AggregateSummary *
 SweepResults::find(const std::string &policy, const std::string &workload,
-                   const std::string &trace) const
+                   const std::string &trace,
+                   const std::string &platform) const
 {
     for (const AggregateSummary &cell : cells) {
         if (cell.policy == policy && cell.workload == workload &&
-            (trace.empty() || cell.trace == trace))
+            (trace.empty() || cell.trace == trace) &&
+            (platform.empty() || cell.platform == platform))
             return &cell;
     }
     return nullptr;
@@ -310,12 +315,14 @@ SweepResults::find(const std::string &policy, const std::string &workload,
 const ExperimentResult *
 SweepResults::representative(const std::string &policy,
                              const std::string &workload,
-                             const std::string &trace) const
+                             const std::string &trace,
+                             const std::string &platform) const
 {
     for (const SweepRun &run : runs) {
         if (run.job.seedIndex == 0 && run.job.policy == policy &&
             run.job.workload == workload &&
-            (trace.empty() || run.job.trace == trace))
+            (trace.empty() || run.job.trace == trace) &&
+            (platform.empty() || run.job.platform == platform))
             return &run.result;
     }
     return nullptr;
@@ -324,13 +331,15 @@ SweepResults::representative(const std::string &policy,
 void
 writeRunsCsv(CsvWriter &csv, const SweepResults &results)
 {
-    csv.header({"workload", "trace", "policy", "seed_index", "seed",
-                "qos_guarantee_pct", "qos_tardiness", "energy_j",
-                "mean_power_w", "mean_throughput", "migrations",
-                "dvfs_transitions", "dropped"});
+    csv.header({"workload", "platform", "trace", "policy",
+                "seed_index", "seed", "qos_guarantee_pct",
+                "qos_tardiness", "energy_j", "mean_power_w",
+                "mean_throughput", "migrations", "dvfs_transitions",
+                "dropped"});
     for (const SweepRun &run : results.runs) {
         const RunSummary &s = run.result.summary;
         csv.add(run.job.workload)
+            .add(run.job.platform)
             .add(run.job.trace)
             .add(run.job.policy)
             .add(run.job.seedIndex)
@@ -350,7 +359,7 @@ writeRunsCsv(CsvWriter &csv, const SweepResults &results)
 void
 writeAggregateCsv(CsvWriter &csv, const SweepResults &results)
 {
-    csv.header({"workload", "trace", "policy", "runs",
+    csv.header({"workload", "platform", "trace", "policy", "runs",
                 "qos_guarantee_mean_pct", "qos_guarantee_ci95_pct",
                 "qos_tardiness_mean", "qos_tardiness_ci95",
                 "energy_mean_j", "energy_stddev_j", "energy_ci95_j",
@@ -358,6 +367,7 @@ writeAggregateCsv(CsvWriter &csv, const SweepResults &results)
                 "migrations_ci95", "dvfs_transitions_mean"});
     for (const AggregateSummary &cell : results.cells) {
         csv.add(cell.workload)
+            .add(cell.platform)
             .add(cell.trace)
             .add(cell.policy)
             .add(cell.runs)
@@ -380,7 +390,7 @@ writeAggregateCsv(CsvWriter &csv, const SweepResults &results)
 void
 printAggregateTable(std::ostream &out, const SweepResults &results)
 {
-    TextTable table({"workload", "trace", "policy", "runs",
+    TextTable table({"workload", "platform", "trace", "policy", "runs",
                      "QoS guar. (%)", "tardiness", "energy (J)",
                      "power (W)", "migrations"});
     for (const AggregateSummary &cell : results.cells) {
@@ -392,6 +402,7 @@ printAggregateTable(std::ostream &out, const SweepResults &results)
             cell.policy.find(':') != std::string::npos;
         table.newRow()
             .cell(cell.workload)
+            .cell(cell.platform)
             .cell(cell.trace)
             .cell(!parameterized && !cell.policyDisplay.empty()
                       ? cell.policyDisplay

@@ -3,13 +3,15 @@
  * SweepEngine: parallel multi-seed experiment campaigns with
  * deterministic aggregation.
  *
- * A declarative SweepSpec (workloads x traces x policies x N seeds)
- * is expanded into independent jobs; each job's seed is derived from
- * the master seed with the SplitMix64 finalizer, so the seed — and
- * therefore the run's result — depends only on the job's position in
- * the expansion, never on thread count or execution order. Jobs fan
- * out over a common/ThreadPool, results are collected by job index,
- * and every (workload, trace, policy) cell is reduced in that fixed
+ * A declarative SweepSpec (workloads x platforms x traces x policies
+ * x N seeds — every axis a registry spec string) is expanded into
+ * independent jobs; each job's seed is derived from the master seed
+ * with the SplitMix64 finalizer, so the seed — and therefore the
+ * run's result — depends only on the job's position in the
+ * expansion, never on thread count or execution order. Jobs fan out
+ * over a common/ThreadPool, each running one ExperimentSpec through
+ * the default wiring; results are collected by job index, and every
+ * (workload, platform, trace, policy) cell is reduced in that fixed
  * order into an AggregateSummary (mean / stddev / 95% confidence
  * interval for the Table 3 metrics). `jobs=1` and `jobs=N` are
  * bitwise-identical.
@@ -36,10 +38,12 @@ struct SweepJob
     /** Position in the expansion (also the reduction order). */
     std::size_t index = 0;
 
-    /** Index of the (workload, trace, policy) cell this run feeds. */
+    /** Index of the (workload, platform, trace, policy) cell this
+     * run feeds. */
     std::size_t cell = 0;
 
     std::string workload;
+    std::string platform;
     std::string trace;
     std::string policy;
 
@@ -53,7 +57,15 @@ struct SweepJob
 /** Declarative description of a sweep campaign. */
 struct SweepSpec
 {
+    /** Workload specs (workloads WorkloadRegistry grammar): bare
+     * names or parameterized, e.g. "memcached:qos=300us". */
     std::vector<std::string> workloads = {"memcached"};
+
+    /** Platform specs (platform PlatformRegistry grammar): bare
+     * names or parameterized, e.g. "juno:big=4,little=8". Each spec
+     * is its own sweep cell, so board-shape studies are ordinary
+     * axes. */
+    std::vector<std::string> platforms = {"juno"};
 
     /** Trace specs (loadgen TraceRegistry grammar). */
     std::vector<std::string> traces = {"diurnal"};
@@ -81,12 +93,6 @@ struct SweepSpec
      * phase (the bench binaries' --quick). */
     double durationScale = 1.0;
 
-    /** Hipster learning phase; < 0 = scaled scenario default. */
-    Seconds learningPhase = -1.0;
-
-    /** Hipster bucket width override; 0 = tuned per workload. */
-    double bucketPercent = 0.0;
-
     /** Options forwarded to every ExperimentRunner. */
     RunnerOptions runner;
 
@@ -100,10 +106,6 @@ struct SweepSpec
      * non-representative runs.
      */
     bool keepSeries = true;
-
-    /** Hook: adjust the HipsterParams of one job (ablations). Runs
-     * concurrently — must not touch shared mutable state. */
-    std::function<void(const SweepJob &, HipsterParams &)> tuneHipster;
 
     /**
      * Hook: replace the default job execution entirely (custom
@@ -146,10 +148,12 @@ double tCritical95(std::size_t df);
 std::string formatMeanCi(const Estimate &e, int precision,
                          double scale = 1.0);
 
-/** Reduced statistics of one (workload, trace, policy) cell. */
+/** Reduced statistics of one (workload, platform, trace, policy)
+ * cell. */
 struct AggregateSummary
 {
     std::string workload;
+    std::string platform;
     std::string trace;
     std::string policy;
 
@@ -185,12 +189,13 @@ struct SweepResults
     std::vector<AggregateSummary> cells;
 
     /**
-     * Cell lookup; empty trace matches the first trace swept.
-     * Returns nullptr when absent.
+     * Cell lookup; an empty trace/platform matches the first
+     * trace/platform swept. Returns nullptr when absent.
      */
     const AggregateSummary *find(const std::string &policy,
                                  const std::string &workload,
-                                 const std::string &trace = "") const;
+                                 const std::string &trace = "",
+                                 const std::string &platform = "") const;
 
     /**
      * The representative run of a cell (seedIndex 0) for series
@@ -198,7 +203,8 @@ struct SweepResults
      */
     const ExperimentResult *
     representative(const std::string &policy, const std::string &workload,
-                   const std::string &trace = "") const;
+                   const std::string &trace = "",
+                   const std::string &platform = "") const;
 };
 
 /** Expands, schedules and reduces sweep campaigns. */
@@ -209,8 +215,9 @@ class SweepEngine
 
     const SweepSpec &spec() const { return spec_; }
 
-    /** All jobs in expansion order (workload-major, then trace, then
-     * policy, then seed index), each with its derived seed. */
+    /** All jobs in expansion order (workload-major, then platform,
+     * then trace, then policy, then seed index), each with its
+     * derived seed. */
     std::vector<SweepJob> expandJobs() const;
 
     /**
@@ -224,9 +231,9 @@ class SweepEngine
                                     std::size_t seedIndex);
 
     /**
-     * Execute one job with the default scenario wiring (fresh
-     * platform + diurnal runner + factory policy), or the spec's
-     * jobRunner hook when set. Thread-safe.
+     * Execute one job with the default ExperimentSpec wiring (fresh
+     * registry-built platform + workload + trace + factory policy),
+     * or the spec's jobRunner hook when set. Thread-safe.
      */
     ExperimentResult runJob(const SweepJob &job) const;
 

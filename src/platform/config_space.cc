@@ -52,21 +52,32 @@ ConfigSpace::enumerate(const Platform &platform)
     return out;
 }
 
+namespace
+{
+
+/** Figure 2c's y-axis, bottom to top. */
+constexpr const char *kPaperStateLabels[] = {
+    "1S-0.65",   "2S-0.65",   "3S-0.65",  "2B-0.60",  "1B3S-0.60",
+    "4S-0.65",   "2B2S-0.60", "1B3S-0.90", "2B-0.90", "2B2S-0.90",
+    "1B3S-1.15", "2B2S-1.15", "2B-1.15",
+};
+
+GHz
+smallMinFrequency(const Platform &platform)
+{
+    return platform.coreCount(CoreType::Small) > 0
+               ? platform.cluster(CoreType::Small).spec().minFrequency()
+               : 0.0;
+}
+
+} // namespace
+
 std::vector<CoreConfig>
 ConfigSpace::paperStates(const Platform &platform)
 {
-    const GHz small_freq =
-        platform.coreCount(CoreType::Small) > 0
-            ? platform.cluster(CoreType::Small).spec().minFrequency()
-            : 0.0;
-    // Figure 2c's y-axis, bottom to top.
-    const char *labels[] = {
-        "1S-0.65",   "2S-0.65",   "3S-0.65",  "2B-0.60",  "1B3S-0.60",
-        "4S-0.65",   "2B2S-0.60", "1B3S-0.90", "2B-0.90", "2B2S-0.90",
-        "1B3S-1.15", "2B2S-1.15", "2B-1.15",
-    };
+    const GHz small_freq = smallMinFrequency(platform);
     std::vector<CoreConfig> out;
-    for (const char *label : labels) {
+    for (const char *label : kPaperStateLabels) {
         CoreConfig config = parseCoreConfig(label, small_freq);
         if (!platform.isValidConfig(config))
             fatal("paperStates: ", label, " is not realizable on ",
@@ -154,6 +165,26 @@ ConfigSpace::paretoPrune(const Platform &platform,
         out.push_back(config);
     }
     return out;
+}
+
+std::vector<CoreConfig>
+ConfigSpace::defaultLadder(const Platform &platform)
+{
+    // The canonical Figure 2c subset needs the Juno's exact OPPs and
+    // at least its 2+4 core counts; widened junos still realize it.
+    // Anything else gets an automatically derived ladder, like the
+    // paper's deployment stage would characterize a new board.
+    const GHz small_freq = smallMinFrequency(platform);
+    const bool paper_realizable = std::all_of(
+        std::begin(kPaperStateLabels), std::end(kPaperStateLabels),
+        [&](const char *label) {
+            return platform.isValidConfig(
+                parseCoreConfig(label, small_freq));
+        });
+    if (paper_realizable)
+        return paperStates(platform);
+    return paretoPrune(platform, enumerate(platform),
+                       /*ips_epsilon=*/0.10);
 }
 
 std::vector<CoreConfig>

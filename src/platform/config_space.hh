@@ -79,6 +79,16 @@ class ConfigSpace
                 double ips_epsilon = 0.02);
 
     /**
+     * The default action ladder of a platform: the paper's canonical
+     * Figure 2c states when the platform realizes them (the Juno R1
+     * and any juno:big=...,little=... widening), otherwise a
+     * Pareto-pruned automatic derivation from the full enumeration —
+     * so every registered platform works with every policy out of
+     * the box.
+     */
+    static std::vector<CoreConfig> defaultLadder(const Platform &platform);
+
+    /**
      * The baseline policy's configuration subset (Octopus-Man):
      * exclusively big or exclusively small cores, always at the
      * highest DVFS.

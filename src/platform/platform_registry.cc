@@ -1,0 +1,309 @@
+#include "platform/platform_registry.hh"
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace hipster
+{
+
+namespace
+{
+
+/**
+ * An evenly spaced OPP ladder from `floor x top` to `top` GHz with
+ * linearly interpolated voltages — the shape of real cpufreq tables
+ * when no measured table exists for a made-up part. `steps == 1`
+ * yields a fixed-frequency cluster at `top` (like the Juno A53s).
+ */
+std::vector<Opp>
+syntheticOpps(double top, std::size_t steps, double floor,
+              double v_lo, double v_hi)
+{
+    std::vector<Opp> opps;
+    for (std::size_t i = 0; i < steps; ++i) {
+        const double t =
+            steps == 1 ? 1.0
+                       : static_cast<double>(i) /
+                             static_cast<double>(steps - 1);
+        const double frac = floor + (1.0 - floor) * t;
+        opps.push_back({top * frac, v_lo + (v_hi - v_lo) * t});
+    }
+    return opps;
+}
+
+} // namespace
+
+PlatformRegistry &
+PlatformRegistry::instance()
+{
+    static PlatformRegistry registry = [] {
+        PlatformRegistry r;
+        r.registerBuiltins();
+        return r;
+    }();
+    return registry;
+}
+
+void
+PlatformRegistry::registerPlatform(PlatformInfo info, Factory factory)
+{
+    if (hasPlatform(info.name))
+        fatal("PlatformRegistry: platform '", info.name,
+              "' already registered");
+    for (const std::string &alias : info.aliases) {
+        if (hasPlatform(alias))
+            fatal("PlatformRegistry: alias '", alias,
+                  "' already registered");
+    }
+    if (!factory)
+        fatal("PlatformRegistry: null factory for '", info.name, "'");
+    platforms_.push_back(std::move(info));
+    factories_.push_back(std::move(factory));
+}
+
+bool
+PlatformRegistry::hasPlatform(const std::string &name) const
+{
+    return findPlatform(name) != nullptr;
+}
+
+const PlatformInfo *
+PlatformRegistry::findPlatform(const std::string &name) const
+{
+    for (const PlatformInfo &platform : platforms_) {
+        if (platform.name == name)
+            return &platform;
+        for (const std::string &alias : platform.aliases) {
+            if (alias == name)
+                return &platform;
+        }
+    }
+    return nullptr;
+}
+
+std::string
+PlatformRegistry::knownPlatformsSummary() const
+{
+    std::string out = "registered platforms:";
+    for (const PlatformInfo &platform : platforms_) {
+        out += "\n  " + platform.name;
+        for (const std::string &alias : platform.aliases)
+            out += " (alias: " + alias + ")";
+        if (!platform.params.empty()) {
+            out += " — keys:";
+            for (std::size_t i = 0; i < platform.params.size(); ++i)
+                out += (i == 0 ? " " : ", ") + platform.params[i].key;
+        }
+    }
+    out += "\nparameterize with ':key=value,...', e.g. "
+           "juno:big=4,little=8; see --list-platforms";
+    return out;
+}
+
+std::string
+PlatformRegistry::catalogText() const
+{
+    std::string out = "registered platforms "
+                      "(spec: name[:key=value,...]):\n";
+    for (const PlatformInfo &platform : platforms_) {
+        out += "\n" + platform.name;
+        for (const std::string &alias : platform.aliases)
+            out += " (alias: " + alias + ")";
+        out += " — " + platform.display + ": " + platform.summary;
+        if (!platform.paperRef.empty())
+            out += " [" + platform.paperRef + "]";
+        out += "\n";
+        if (platform.params.empty()) {
+            out += "    (no parameters)\n";
+            continue;
+        }
+        for (const SpecParamInfo &param : platform.params)
+            out += "    " + specParamLine(param) + "\n";
+    }
+    out += "\na bare name reproduces the calibrated board exactly; "
+           "the produced\ndescription is a pure function of the spec, "
+           "so platform-axis sweeps stay\nbitwise-reproducible.\n";
+    return out;
+}
+
+const PlatformInfo &
+PlatformRegistry::parseSpec(const std::string &spec,
+                            SpecParamSet &out) const
+{
+    if (spec.empty())
+        fatal("empty platform spec; ", knownPlatformsSummary());
+
+    const std::string head = specHead(spec);
+    const PlatformInfo *info = findPlatform(head);
+    if (info == nullptr)
+        fatal("unknown platform '", head, "' in spec '", spec, "'; ",
+              knownPlatformsSummary());
+
+    parseSpecParams("platform", spec, info->name, info->params, out);
+    return *info;
+}
+
+PlatformSpec
+PlatformRegistry::make(const std::string &spec) const
+{
+    SpecParamSet params;
+    const PlatformInfo &info = parseSpec(spec, params);
+    const std::size_t index =
+        static_cast<std::size_t>(&info - platforms_.data());
+    PlatformSpec built = factories_[index](params);
+    built.validate();
+    return built;
+}
+
+void
+PlatformRegistry::registerBuiltins()
+{
+    {
+        PlatformInfo info;
+        info.name = "juno";
+        info.aliases = {"juno-r1"};
+        info.display = "ARM Juno R1";
+        info.summary =
+            "the paper's evaluation board: Cortex-A57 big cluster "
+            "(three OPPs) + Cortex-A53 small cluster (fixed clock), "
+            "power calibrated to Table 2";
+        info.paperRef = "Section 4.1; Table 2";
+        info.params = {
+            {"big", "big (Cortex-A57) core count", 2.0, 1.0, 64.0,
+             true, false, ParamUnit::None},
+            {"little", "small (Cortex-A53) core count", 4.0, 1.0,
+             256.0, true, false, ParamUnit::None},
+            {"rest", "rest-of-system power in watts", 0.76, 0.0,
+             1000.0, false, false, ParamUnit::None},
+        };
+        registerPlatform(info, [](const SpecParamSet &set) {
+            PlatformSpec spec = Platform::junoR1();
+            spec.clusters[0].coreCount = static_cast<std::uint32_t>(
+                set.get("big", spec.clusters[0].coreCount));
+            spec.clusters[1].coreCount = static_cast<std::uint32_t>(
+                set.get("little", spec.clusters[1].coreCount));
+            spec.restOfSystem = set.get("rest", spec.restOfSystem);
+            return spec;
+        });
+    }
+
+    {
+        PlatformInfo info;
+        info.name = "hetero";
+        info.aliases = {"server"};
+        info.display = "Hetero server";
+        info.summary =
+            "parameterized server-class big.LITTLE part: core "
+            "counts, top frequencies, OPP ladder depth and IPCs are "
+            "all spec keys; the heuristic ladder is derived "
+            "automatically (no Figure 2c to copy from)";
+        info.paperRef = "";
+        info.params = {
+            {"big", "big core count", 4.0, 1.0, 64.0, true, false,
+             ParamUnit::None},
+            {"little", "small core count", 8.0, 1.0, 256.0, true,
+             false, ParamUnit::None},
+            {"bigfreq", "top big-cluster frequency in GHz", 2.5, 0.5,
+             5.0, false, false, ParamUnit::None},
+            {"littlefreq", "top small-cluster frequency in GHz", 1.2,
+             0.2, 3.0, false, false, ParamUnit::None},
+            {"bigopps", "big-cluster OPP ladder depth", 4.0, 1.0,
+             8.0, true, false, ParamUnit::None},
+            {"littleopps", "small-cluster OPP ladder depth", 2.0,
+             1.0, 8.0, true, false, ParamUnit::None},
+            {"bigipc", "big-core microbenchmark IPC", 2.2, 0.1, 10.0,
+             false, false, ParamUnit::None},
+            {"littleipc", "small-core microbenchmark IPC", 1.4, 0.1,
+             10.0, false, false, ParamUnit::None},
+            {"rest", "rest-of-system power in watts", 1.5, 0.0,
+             1000.0, false, false, ParamUnit::None},
+        };
+        registerPlatform(info, [](const SpecParamSet &set) {
+            PlatformSpec spec;
+            const auto big_count = static_cast<std::uint32_t>(
+                set.get("big", 4.0));
+            const auto little_count = static_cast<std::uint32_t>(
+                set.get("little", 8.0));
+            spec.name = "Hetero server " + std::to_string(big_count) +
+                        "B+" + std::to_string(little_count) + "S";
+
+            ClusterSpec big;
+            big.name = "BigCore";
+            big.type = CoreType::Big;
+            big.coreCount = big_count;
+            big.microbenchIpc = set.get("bigipc", 2.2);
+            big.l2Bytes = 4ULL << 20;
+            big.opps = syntheticOpps(
+                set.get("bigfreq", 2.5),
+                static_cast<std::size_t>(set.get("bigopps", 4.0)),
+                /*floor=*/0.4, /*v_lo=*/0.80, /*v_hi=*/1.12);
+
+            ClusterSpec small;
+            small.name = "SmallCore";
+            small.type = CoreType::Small;
+            small.coreCount = little_count;
+            small.microbenchIpc = set.get("littleipc", 1.4);
+            small.l2Bytes = 2ULL << 20;
+            small.opps = syntheticOpps(
+                set.get("littlefreq", 1.2),
+                static_cast<std::size_t>(set.get("littleopps", 2.0)),
+                /*floor=*/0.67, /*v_lo=*/0.78, /*v_hi=*/0.88);
+
+            spec.clusters = {big, small};
+
+            ClusterPowerParams big_power;
+            big_power.core.refVoltage = 1.12;
+            big_power.core.staticAtRef = 0.35;
+            big_power.core.dynCoeff = 0.50;
+            big_power.uncoreAtRef = 0.40;
+
+            ClusterPowerParams small_power;
+            small_power.core.refVoltage = 0.88;
+            small_power.core.staticAtRef = 0.08;
+            small_power.core.dynCoeff = 0.22;
+            small_power.uncoreAtRef = 0.10;
+
+            spec.power = {big_power, small_power};
+            spec.restOfSystem = set.get("rest", 1.5);
+            // No Juno perf-counter idle erratum on a made-up server
+            // part (Section 3.7 is board-specific).
+            spec.emulatePerfErrata = false;
+            return spec;
+        });
+    }
+}
+
+PlatformSpec
+makePlatformFromSpec(const std::string &spec)
+{
+    return PlatformRegistry::instance().make(spec);
+}
+
+void
+validatePlatformSpec(const std::string &spec)
+{
+    makePlatformFromSpec(spec); // builds + PlatformSpec::validate()
+}
+
+bool
+isPlatformSpec(const std::string &spec)
+{
+    try {
+        validatePlatformSpec(spec);
+        return true;
+    } catch (const FatalError &) {
+        return false;
+    }
+}
+
+std::vector<std::string>
+splitPlatformList(const std::string &list)
+{
+    const PlatformRegistry &registry = PlatformRegistry::instance();
+    return splitSpecList(list, [&](const std::string &head) {
+        return registry.hasPlatform(head);
+    });
+}
+
+} // namespace hipster

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Platform registry: every hardware platform the CLIs, sweep engine
+ * and bench binaries can name, plus a key=value spec grammar that
+ * makes the board shape — core counts, frequencies, IPCs, power —
+ * a first-class sweep axis:
+ *
+ *   spec := name [':' key '=' value (',' key '=' value)*]
+ *
+ * Examples:
+ *   juno
+ *   juno:big=4,little=8
+ *   hetero:big=16,little=32,bigfreq=2.8
+ *
+ * Each registered platform declares a parameter schema (key,
+ * default, valid range, doc string); overrides validate fail-fast —
+ * an unknown key or out-of-range value enumerates the schema, an
+ * unknown platform enumerates the catalog — and a bare name
+ * reproduces the calibrated board exactly (the default `juno` is
+ * bit-identical to Platform::junoR1()). The produced PlatformSpec is
+ * a pure function of the spec string, so sweep campaigns over the
+ * platform axis stay bitwise-reproducible.
+ */
+
+#ifndef HIPSTER_PLATFORM_PLATFORM_REGISTRY_HH
+#define HIPSTER_PLATFORM_PLATFORM_REGISTRY_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/spec_grammar.hh"
+#include "platform/platform.hh"
+
+namespace hipster
+{
+
+/** Catalog entry describing one registered platform family. */
+struct PlatformInfo
+{
+    std::string name;                 ///< canonical spec head
+    std::vector<std::string> aliases; ///< alternate heads
+    std::string display;              ///< report name, e.g. "Juno R1"
+    std::string summary;              ///< one-line description
+    std::string paperRef;             ///< e.g. "Section 4.1; Table 2"
+
+    std::vector<SpecParamInfo> params;
+};
+
+/**
+ * Name-keyed factory for platform descriptions. A singleton holds
+ * the built-ins (the paper's Juno R1 plus a parameterized
+ * server-class part); custom platforms can be registered at startup
+ * and become available to every consumer (CLIs, sweeps, benches) at
+ * once.
+ */
+class PlatformRegistry
+{
+  public:
+    /** Builds a platform description from the parsed overrides. */
+    using Factory =
+        std::function<PlatformSpec(const SpecParamSet &params)>;
+
+    /** The process-wide registry with the built-ins installed. */
+    static PlatformRegistry &instance();
+
+    /** Register a platform; FatalError on duplicate names/aliases or
+     * a null factory. */
+    void registerPlatform(PlatformInfo info, Factory factory);
+
+    /** Whether `name` heads a registered platform (canonical or
+     * alias; spec arguments are not accepted here). */
+    bool hasPlatform(const std::string &name) const;
+
+    /** All registered platforms, in registration order. */
+    const std::vector<PlatformInfo> &platforms() const
+    {
+        return platforms_;
+    }
+
+    /** Catalog entry for a canonical name or alias; nullptr when
+     * unknown. */
+    const PlatformInfo *findPlatform(const std::string &name) const;
+
+    /**
+     * Parse and validate a spec against the schema without building
+     * anything: resolves the head (canonical or alias) and checks
+     * every key and range. Throws FatalError with the catalog
+     * (unknown platform) or the platform's schema (unknown key / bad
+     * value).
+     */
+    const PlatformInfo &parseSpec(const std::string &spec,
+                                  SpecParamSet &out) const;
+
+    /** Build a fully parameterized platform description from a spec
+     * string (PlatformSpec::validate() has already passed). */
+    PlatformSpec make(const std::string &spec) const;
+
+    /** Human-readable catalog: every platform with aliases and full
+     * parameter schema (--list-platforms). */
+    std::string catalogText() const;
+
+    /** Compact enumeration used in unknown-platform errors. */
+    std::string knownPlatformsSummary() const;
+
+  private:
+    PlatformRegistry() = default;
+    void registerBuiltins();
+
+    std::vector<PlatformInfo> platforms_;
+    std::vector<Factory> factories_;
+};
+
+/** Build a platform description from a spec via the global registry. */
+PlatformSpec makePlatformFromSpec(const std::string &spec);
+
+/**
+ * Fail-fast spec validation: parses the spec, builds the description
+ * and runs PlatformSpec::validate(), throwing the same FatalError
+ * PlatformRegistry::make would, so campaigns reject bad cells before
+ * any runs start.
+ */
+void validatePlatformSpec(const std::string &spec);
+
+/** Non-throwing validatePlatformSpec(). */
+bool isPlatformSpec(const std::string &spec);
+
+/**
+ * Splits a CLI platform list into specs. `;` always separates; a `,`
+ * separates only when the text after it heads a registered platform
+ * (so `juno:big=4,little=8,hetero` yields the parameterized juno
+ * spec and `hetero`).
+ */
+std::vector<std::string> splitPlatformList(const std::string &list);
+
+} // namespace hipster
+
+#endif // HIPSTER_PLATFORM_PLATFORM_REGISTRY_HH

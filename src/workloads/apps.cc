@@ -1,6 +1,6 @@
 #include "workloads/apps.hh"
 
-#include "common/logging.hh"
+#include "workloads/workload_registry.hh"
 
 namespace hipster
 {
@@ -79,12 +79,7 @@ webSearchWorkload()
 LcWorkloadDef
 lcWorkloadByName(const std::string &name)
 {
-    if (name == "memcached")
-        return memcachedWorkload();
-    if (name == "websearch" || name == "web-search")
-        return webSearchWorkload();
-    fatal("unknown latency-critical workload '", name,
-          "' (expected 'memcached' or 'websearch')");
+    return makeWorkloadFromSpec(name);
 }
 
 } // namespace hipster

@@ -56,8 +56,16 @@ LcWorkloadDef memcachedWorkload();
  */
 LcWorkloadDef webSearchWorkload();
 
-/** Look up one of the two workloads by name ("memcached" /
- * "websearch"); throws FatalError otherwise. */
+/**
+ * Workload factory keyed on the spec grammar of the
+ * WorkloadRegistry (see workloads/workload_registry.hh): every
+ * registered workload name and alias ("memcached" / "mc",
+ * "websearch" / "web-search", "synthetic" / "syn"), optionally
+ * parameterized with ":key=value,..." overrides (e.g.
+ * "memcached:qos=300us,stall=0.5"). Throws FatalError on unknown or
+ * malformed specs, enumerating the catalog (unknown workload) or
+ * the workload's schema (unknown key / bad value).
+ */
 LcWorkloadDef lcWorkloadByName(const std::string &name);
 
 } // namespace hipster

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the unified ExperimentSpec: fail-fast validation across
+ * all four axis grammars, duration defaulting/scaling through the
+ * workload registry, and run() wiring equivalence with manual
+ * construction (bitwise, same seeds).
+ */
+
+#include <gtest/gtest.h>
+
+#include "experiments/experiment_spec.hh"
+#include "experiments/scenario.hh"
+#include "platform/platform_registry.hh"
+#include "workloads/workload_registry.hh"
+
+namespace hipster
+{
+namespace
+{
+
+TEST(ExperimentSpec, DefaultsValidate)
+{
+    ExperimentSpec spec;
+    EXPECT_NO_THROW(spec.validate());
+    EXPECT_DOUBLE_EQ(spec.resolvedDuration(),
+                     diurnalDurationFor("memcached"));
+}
+
+TEST(ExperimentSpec, ValidateCoversEveryAxis)
+{
+    ExperimentSpec spec;
+    spec.workload = "typo";
+    EXPECT_THROW(spec.validate(), FatalError);
+    spec = ExperimentSpec{};
+    spec.workload = "memcached:qos=banana";
+    EXPECT_THROW(spec.validate(), FatalError);
+    spec = ExperimentSpec{};
+    spec.platform = "typo";
+    EXPECT_THROW(spec.validate(), FatalError);
+    spec = ExperimentSpec{};
+    spec.platform = "juno:big=0";
+    EXPECT_THROW(spec.validate(), FatalError);
+    spec = ExperimentSpec{};
+    spec.trace = "typo";
+    EXPECT_THROW(spec.validate(), FatalError);
+    spec = ExperimentSpec{};
+    spec.policy = "hipster-in:nope=1";
+    EXPECT_THROW(spec.validate(), FatalError);
+    spec = ExperimentSpec{};
+    spec.durationScale = 0.0;
+    EXPECT_THROW(spec.validate(), FatalError);
+    // Splice lengths are checked against the resolved duration.
+    spec = ExperimentSpec{};
+    spec.duration = 60.0;
+    spec.trace = "constant:0.3@120+ramp";
+    EXPECT_THROW(spec.validate(), FatalError);
+    spec.duration = 400.0;
+    EXPECT_NO_THROW(spec.validate());
+}
+
+TEST(ExperimentSpec, DurationDefaultsToTheWorkloadDiurnal)
+{
+    ExperimentSpec spec;
+    spec.workload = "websearch";
+    EXPECT_DOUBLE_EQ(spec.resolvedDuration(), 1080.0);
+    // Parameterized specs and aliases resolve through the registry.
+    spec.workload = "web-search";
+    EXPECT_DOUBLE_EQ(spec.resolvedDuration(), 1080.0);
+    spec.workload = "memcached:qos=8ms";
+    EXPECT_DOUBLE_EQ(spec.resolvedDuration(), 1440.0);
+    spec.duration = 100.0;
+    spec.durationScale = 0.5;
+    EXPECT_DOUBLE_EQ(spec.resolvedDuration(), 50.0);
+}
+
+TEST(ExperimentSpec, ScaleAppliesToTheDefaultLearningPhase)
+{
+    ExperimentSpec spec;
+    EXPECT_DOUBLE_EQ(spec.baseHipsterParams().learningPhase,
+                     ScenarioDefaults::learningPhase);
+    EXPECT_DOUBLE_EQ(spec.baseHipsterParams().bucketPercent, 8.0);
+    spec.durationScale = 0.25;
+    EXPECT_DOUBLE_EQ(spec.baseHipsterParams().learningPhase,
+                     ScenarioDefaults::learningPhase * 0.25);
+    spec.workload = "websearch";
+    EXPECT_DOUBLE_EQ(spec.baseHipsterParams().bucketPercent, 5.0);
+}
+
+TEST(ExperimentSpec, RunMatchesManualConstructionBitwise)
+{
+    ExperimentSpec spec;
+    spec.workload = "memcached";
+    spec.platform = "juno";
+    spec.trace = "diurnal";
+    spec.policy = "static-big";
+    spec.duration = 40.0;
+    spec.seed = 7;
+    const ExperimentResult viaSpec = spec.run();
+
+    ExperimentRunner runner(Platform::junoR1(), memcachedWorkload(),
+                            makeTraceByName("diurnal", 40.0, 7 + 100),
+                            7);
+    const auto policy =
+        makePolicy("static-big", runner.platform(),
+                   tunedHipsterParams("memcached"));
+    const ExperimentResult manual = runner.run(*policy, 40.0);
+
+    EXPECT_EQ(viaSpec.policyName, manual.policyName);
+    EXPECT_EQ(viaSpec.workloadName, manual.workloadName);
+    EXPECT_EQ(viaSpec.summary.qosGuarantee,
+              manual.summary.qosGuarantee);
+    EXPECT_EQ(viaSpec.summary.energy, manual.summary.energy);
+    EXPECT_EQ(viaSpec.summary.meanPower, manual.summary.meanPower);
+    EXPECT_EQ(viaSpec.migrations, manual.migrations);
+    ASSERT_EQ(viaSpec.series.size(), manual.series.size());
+    for (std::size_t i = 0; i < viaSpec.series.size(); ++i)
+        ASSERT_EQ(viaSpec.series[i].energy, manual.series[i].energy);
+}
+
+TEST(ExperimentSpec, RunsOnEveryRegisteredPlatformFamily)
+{
+    for (const PlatformInfo &info :
+         PlatformRegistry::instance().platforms()) {
+        SCOPED_TRACE(info.name);
+        ExperimentSpec spec;
+        spec.platform = info.name;
+        spec.policy = "hipster-in:learn=5";
+        spec.duration = 15.0;
+        const ExperimentResult result = spec.run();
+        EXPECT_EQ(result.series.size(), 15u);
+        EXPECT_GT(result.summary.meanPower, 0.0);
+    }
+}
+
+TEST(ExperimentSpec, ObserverSeesEveryInterval)
+{
+    ExperimentSpec spec;
+    spec.policy = "static-small";
+    spec.duration = 10.0;
+    std::size_t seen = 0;
+    spec.run([&](const IntervalMetrics &) { ++seen; });
+    EXPECT_EQ(seen, 10u);
+}
+
+} // namespace
+} // namespace hipster

@@ -21,6 +21,7 @@
 #include <cctype>
 #include <string>
 
+#include "experiments/experiment_spec.hh"
 #include "experiments/runner.hh"
 #include "experiments/scenario.hh"
 
@@ -266,6 +267,70 @@ TEST(GoldenParameterizedSpec, ExplicitSpecMatchesTheTunedGolden)
                 0.03);
     EXPECT_NEAR(viaSpec.summary.energy, golden.energy,
                 golden.energy * 0.05);
+}
+
+/**
+ * The golden scenario pinned to a parameterized workload x platform
+ * spec: the full ExperimentSpec wiring ("memcached:qos=8ms,stall=0.5"
+ * on "juno:big=4,little=8") must reproduce hand-constructed
+ * overrides bit for bit — the registries, not bespoke plumbing,
+ * carry every knob.
+ */
+TEST(GoldenParameterizedSpec, WorkloadPlatformSpecMatchesManualBitwise)
+{
+    const auto viaSpec = [] {
+        ExperimentSpec spec;
+        spec.workload = "memcached:qos=8ms,stall=0.5";
+        spec.platform = "juno:big=4,little=8";
+        spec.trace = "diurnal";
+        spec.policy = "hipster-in:learn=90";
+        spec.duration = kDuration;
+        spec.seed = kSeed;
+        return spec.run();
+    }();
+
+    const auto manual = [] {
+        PlatformSpec board = Platform::junoR1();
+        board.clusters[0].coreCount = 4;
+        board.clusters[1].coreCount = 8;
+        LcWorkloadDef def = memcachedWorkload();
+        def.params.qosTargetMs = 8.0;
+        def.traits.stallSensitivity = 0.5;
+        ExperimentRunner runner(board, def,
+                                diurnalTrace(kDuration, kSeed + 100),
+                                kSeed);
+        HipsterParams params = tunedHipsterParams("memcached");
+        params.learningPhase = 90.0;
+        const auto policy =
+            makePolicy("hipster-in", runner.platform(), params);
+        return runner.run(*policy, kDuration);
+    }();
+
+    EXPECT_EQ(viaSpec.policyName, "HipsterIn");
+    EXPECT_EQ(viaSpec.workloadName, "memcached");
+    EXPECT_EQ(viaSpec.summary.intervals,
+              static_cast<std::size_t>(kDuration));
+    EXPECT_EQ(viaSpec.summary.qosGuarantee,
+              manual.summary.qosGuarantee);
+    EXPECT_EQ(viaSpec.summary.qosTardiness,
+              manual.summary.qosTardiness);
+    EXPECT_EQ(viaSpec.summary.energy, manual.summary.energy);
+    EXPECT_EQ(viaSpec.summary.meanPower, manual.summary.meanPower);
+    EXPECT_EQ(viaSpec.migrations, manual.migrations);
+    EXPECT_EQ(viaSpec.dvfsTransitions, manual.dvfsTransitions);
+    ASSERT_EQ(viaSpec.series.size(), manual.series.size());
+    for (std::size_t i = 0; i < viaSpec.series.size(); ++i) {
+        ASSERT_EQ(viaSpec.series[i].energy, manual.series[i].energy);
+        ASSERT_EQ(viaSpec.series[i].tailLatency,
+                  manual.series[i].tailLatency);
+        ASSERT_EQ(viaSpec.series[i].config, manual.series[i].config);
+    }
+
+    // Structural facts of the widened-board scenario: the doubled
+    // big cluster gives static headroom the manager can exploit, so
+    // the run completes with positive energy and no drops.
+    EXPECT_EQ(viaSpec.summary.dropped, 0u);
+    EXPECT_GT(viaSpec.summary.energy, 0.0);
 }
 
 TEST(GoldenScenarioCross, PolicyOrderingsHold)

@@ -127,14 +127,52 @@ TEST(ScenarioTraces, DiurnalHelperMatchesRegistrySpec)
 
 TEST(ScenarioDefaultsTest, DurationsAndTunedParams)
 {
-    EXPECT_DOUBLE_EQ(diurnalDurationFor("memcached"),
-                     ScenarioDefaults::memcachedDiurnal);
-    EXPECT_DOUBLE_EQ(diurnalDurationFor("websearch"),
-                     ScenarioDefaults::webSearchDiurnal);
+    EXPECT_DOUBLE_EQ(diurnalDurationFor("memcached"), 1440.0);
+    EXPECT_DOUBLE_EQ(diurnalDurationFor("websearch"), 1080.0);
     EXPECT_DOUBLE_EQ(tunedHipsterParams("memcached").bucketPercent, 8.0);
     EXPECT_DOUBLE_EQ(tunedHipsterParams("websearch").bucketPercent, 5.0);
     EXPECT_DOUBLE_EQ(tunedHipsterParams("memcached").learningPhase,
                      ScenarioDefaults::learningPhase);
+}
+
+TEST(ScenarioDefaultsTest, ResolveThroughTheWorkloadRegistry)
+{
+    // Aliases and parameterized specs resolve like canonical names.
+    EXPECT_DOUBLE_EQ(diurnalDurationFor("web-search"), 1080.0);
+    EXPECT_DOUBLE_EQ(diurnalDurationFor("mc"), 1440.0);
+    EXPECT_DOUBLE_EQ(diurnalDurationFor("memcached:qos=8ms"), 1440.0);
+    EXPECT_GT(diurnalDurationFor("synthetic"), 0.0);
+    EXPECT_DOUBLE_EQ(tunedHipsterParams("web-search").bucketPercent,
+                     5.0);
+    EXPECT_DOUBLE_EQ(tunedHipsterParams("mc:stall=0.5").bucketPercent,
+                     8.0);
+
+    // Unknown names no longer fall back silently: the error
+    // enumerates the catalog.
+    try {
+        diurnalDurationFor("mysql");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("unknown workload 'mysql'"),
+                  std::string::npos);
+        EXPECT_NE(msg.find("registered workloads"), std::string::npos);
+        EXPECT_NE(msg.find("memcached"), std::string::npos);
+    }
+    EXPECT_THROW(tunedHipsterParams("mysql"), FatalError);
+    EXPECT_THROW(diurnalDurationFor("memcached:qos=banana"),
+                 FatalError);
+}
+
+TEST(ScenarioNames, WorkloadAndPlatformDelegates)
+{
+    EXPECT_TRUE(isWorkloadName("memcached"));
+    EXPECT_TRUE(isWorkloadName("websearch:tail=2.0"));
+    EXPECT_FALSE(isWorkloadName("mysql"));
+    EXPECT_TRUE(isPlatformName("juno"));
+    EXPECT_TRUE(isPlatformName("juno:big=4,little=8"));
+    EXPECT_TRUE(isPlatformName("hetero"));
+    EXPECT_FALSE(isPlatformName("odroid"));
 }
 
 TEST(ScenarioPolicies, FactoryBuildsEveryTableRow)

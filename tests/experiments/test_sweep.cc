@@ -68,7 +68,6 @@ shortSpec()
     spec.seeds = 3;
     spec.masterSeed = 17;
     spec.duration = 60.0;
-    spec.learningPhase = 20.0;
     return spec;
 }
 
@@ -116,8 +115,9 @@ TEST(SweepExpansion, WorkloadMajorOrderWithDerivedSeeds)
     spec.masterSeed = 5;
     const auto jobs = SweepEngine(spec).expandJobs();
     ASSERT_EQ(jobs.size(), 8u);
-    // First cell: memcached/diurnal/static-big, seeds 0 and 1.
+    // First cell: memcached/juno/diurnal/static-big, seeds 0 and 1.
     EXPECT_EQ(jobs[0].workload, "memcached");
+    EXPECT_EQ(jobs[0].platform, "juno");
     EXPECT_EQ(jobs[0].policy, "static-big");
     EXPECT_EQ(jobs[0].cell, 0u);
     EXPECT_EQ(jobs[1].cell, 0u);
@@ -312,6 +312,9 @@ TEST(SweepSpecValidation, RejectsEmptyAndZero)
     spec.workloads.clear();
     EXPECT_THROW(SweepEngine{spec}, FatalError);
     spec = shortSpec();
+    spec.platforms.clear();
+    EXPECT_THROW(SweepEngine{spec}, FatalError);
+    spec = shortSpec();
     spec.traces.clear();
     EXPECT_THROW(SweepEngine{spec}, FatalError);
     spec = shortSpec();
@@ -331,11 +334,10 @@ TEST(SweepDeterminism, NewTraceFamiliesStayBitwiseReproducible)
     spec.workloads = {"memcached"};
     spec.traces = {"mmpp:0.2,0.9,30", "flashcrowd:0.2,0.9,30,10,15",
                    "sine:0.5,0.3,40|noise:0.05"};
-    spec.policies = {"hipster-in"};
+    spec.policies = {"hipster-in:learn=15"};
     spec.seeds = 2;
     spec.masterSeed = 23;
     spec.duration = 50.0;
-    spec.learningPhase = 15.0;
     SweepEngine engine(spec);
     const auto serial = engine.run(1);
     const auto parallel = engine.run(4);
@@ -404,7 +406,6 @@ TEST(SweepDeterminism, MixedPolicySpecListsStayBitwiseReproducible)
     spec.seeds = 2;
     spec.masterSeed = 29;
     spec.duration = 50.0;
-    spec.learningPhase = 15.0;
     SweepEngine engine(spec);
     const auto serial = engine.run(1);
     const auto parallel = engine.run(4);
@@ -468,6 +469,15 @@ TEST(SweepSpecValidation, FailsFastOnTypoedNames)
     spec.workloads.push_back("typo");
     EXPECT_THROW(SweepEngine{spec}, FatalError);
     spec = shortSpec();
+    spec.platforms.push_back("typo");
+    EXPECT_THROW(SweepEngine{spec}, FatalError);
+    spec = shortSpec();
+    spec.platforms.push_back("juno:big=0");
+    EXPECT_THROW(SweepEngine{spec}, FatalError);
+    spec = shortSpec();
+    spec.workloads.push_back("memcached:qos=banana");
+    EXPECT_THROW(SweepEngine{spec}, FatalError);
+    spec = shortSpec();
     spec.traces.push_back("typo");
     EXPECT_THROW(SweepEngine{spec}, FatalError);
     // Synthetic labels are legal with a custom jobRunner (ablations).
@@ -499,21 +509,11 @@ TEST(SweepMemory, KeepSeriesFalseDropsNonRepresentativeSeries)
                              kept.cells[c].energy);
 }
 
-TEST(SweepHooks, TuneHipsterAndJobRunnerAreHonoured)
+TEST(SweepHooks, JobRunnerIsHonoured)
 {
     SweepSpec spec = shortSpec();
     spec.policies = {"hipster-in"};
     spec.seeds = 1;
-    std::size_t tuned = 0;
-    spec.tuneHipster = [&tuned](const SweepJob &, HipsterParams &p) {
-        ++tuned;
-        p.learningPhase = 5.0;
-    };
-    SweepEngine engine(spec);
-    engine.run(1);
-    EXPECT_EQ(tuned, 1u);
-
-    spec.tuneHipster = nullptr;
     spec.jobRunner = [](const SweepJob &job) {
         ExperimentResult result;
         result.policyName = "custom:" + job.policy;
@@ -526,6 +526,89 @@ TEST(SweepHooks, TuneHipsterAndJobRunnerAreHonoured)
     ASSERT_EQ(results.runs.size(), 1u);
     EXPECT_EQ(results.runs[0].result.policyName, "custom:hipster-in");
     EXPECT_DOUBLE_EQ(results.cells[0].qosGuarantee.mean, 0.5);
+}
+
+TEST(SweepDeterminism, PlatformAxisStaysBitwiseReproducible)
+{
+    // The jobs=1 vs jobs=N guarantee must hold when the platform is
+    // swept: each cell builds its own registry platform from a pure
+    // spec string, so board shape cannot leak across cells or
+    // threads.
+    SweepSpec spec;
+    spec.workloads = {"memcached"};
+    spec.platforms = {"juno", "juno:big=4,little=8",
+                      "hetero:big=2,little=4"};
+    spec.traces = {"diurnal"};
+    spec.policies = {"hipster-in:learn=15"};
+    spec.seeds = 2;
+    spec.masterSeed = 31;
+    spec.duration = 50.0;
+    SweepEngine engine(spec);
+    const auto serial = engine.run(1);
+    const auto parallel = engine.run(4);
+    ASSERT_EQ(serial.runs.size(), 6u);
+    ASSERT_EQ(serial.cells.size(), 3u);
+    for (std::size_t i = 0; i < serial.runs.size(); ++i) {
+        SCOPED_TRACE("run " + std::to_string(i));
+        expectBitwiseEqualSeries(serial.runs[i].result.series,
+                                 parallel.runs[i].result.series);
+    }
+    for (std::size_t c = 0; c < serial.cells.size(); ++c) {
+        SCOPED_TRACE("cell " + std::to_string(c));
+        expectEqualEstimates(serial.cells[c].qosGuarantee,
+                             parallel.cells[c].qosGuarantee);
+        expectEqualEstimates(serial.cells[c].energy,
+                             parallel.cells[c].energy);
+        expectEqualEstimates(serial.cells[c].migrations,
+                             parallel.cells[c].migrations);
+    }
+    // Each platform is its own aggregate row, addressable by spec.
+    const auto *stock = serial.find("hipster-in:learn=15", "memcached",
+                                    "diurnal", "juno");
+    const auto *wide = serial.find("hipster-in:learn=15", "memcached",
+                                   "diurnal", "juno:big=4,little=8");
+    ASSERT_NE(stock, nullptr);
+    ASSERT_NE(wide, nullptr);
+    EXPECT_NE(stock, wide);
+    EXPECT_EQ(stock->platform, "juno");
+    EXPECT_EQ(wide->platform, "juno:big=4,little=8");
+    // The board shape genuinely changes the physics: more cores at
+    // the same load cannot leave energy bit-identical.
+    EXPECT_NE(stock->energy.mean, wide->energy.mean);
+    // The platform column appears in the reporters.
+    std::ostringstream tableOut;
+    printAggregateTable(tableOut, serial);
+    EXPECT_NE(tableOut.str().find("juno:big=4,little=8"),
+              std::string::npos);
+    EXPECT_NE(tableOut.str().find("hetero:big=2,little=4"),
+              std::string::npos);
+    std::ostringstream aggOut;
+    CsvWriter aggCsv(aggOut);
+    writeAggregateCsv(aggCsv, serial);
+    EXPECT_NE(aggOut.str().find("platform"), std::string::npos);
+    EXPECT_NE(aggOut.str().find("hetero:big=2,little=4"),
+              std::string::npos);
+}
+
+TEST(SweepExpansion, PlatformAxisOrderAndParameterizedWorkloads)
+{
+    // Platforms expand between workloads and traces; workload specs
+    // are ordinary axis values too.
+    SweepSpec spec;
+    spec.workloads = {"memcached", "memcached:qos=8ms"};
+    spec.platforms = {"juno", "juno:big=4,little=8"};
+    spec.traces = {"diurnal"};
+    spec.policies = {"static-big"};
+    spec.seeds = 1;
+    const auto jobs = SweepEngine(spec).expandJobs();
+    ASSERT_EQ(jobs.size(), 4u);
+    EXPECT_EQ(jobs[0].workload, "memcached");
+    EXPECT_EQ(jobs[0].platform, "juno");
+    EXPECT_EQ(jobs[1].workload, "memcached");
+    EXPECT_EQ(jobs[1].platform, "juno:big=4,little=8");
+    EXPECT_EQ(jobs[2].workload, "memcached:qos=8ms");
+    EXPECT_EQ(jobs[2].platform, "juno");
+    EXPECT_EQ(jobs[3].cell, 3u);
 }
 
 } // namespace

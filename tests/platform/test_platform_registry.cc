@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Tests for the platform registry and its key=value spec grammar:
+ * the bare "juno" reproduces Platform::junoR1() exactly, aliases
+ * resolve, shape overrides apply (and still validate), the hetero
+ * server family constructs with derived OPP ladders, and malformed
+ * specs fail fast with the schema or catalog enumerated.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/logging.hh"
+#include "platform/config_space.hh"
+#include "platform/platform_registry.hh"
+
+namespace hipster
+{
+namespace
+{
+
+void
+expectSameSpec(const PlatformSpec &a, const PlatformSpec &b)
+{
+    EXPECT_EQ(a.name, b.name);
+    ASSERT_EQ(a.clusters.size(), b.clusters.size());
+    for (std::size_t i = 0; i < a.clusters.size(); ++i) {
+        SCOPED_TRACE("cluster " + std::to_string(i));
+        EXPECT_EQ(a.clusters[i].type, b.clusters[i].type);
+        EXPECT_EQ(a.clusters[i].coreCount, b.clusters[i].coreCount);
+        EXPECT_EQ(a.clusters[i].microbenchIpc,
+                  b.clusters[i].microbenchIpc);
+        EXPECT_EQ(a.clusters[i].l2Bytes, b.clusters[i].l2Bytes);
+        ASSERT_EQ(a.clusters[i].opps.size(), b.clusters[i].opps.size());
+        for (std::size_t k = 0; k < a.clusters[i].opps.size(); ++k) {
+            EXPECT_EQ(a.clusters[i].opps[k].frequency,
+                      b.clusters[i].opps[k].frequency);
+            EXPECT_EQ(a.clusters[i].opps[k].voltage,
+                      b.clusters[i].opps[k].voltage);
+        }
+    }
+    EXPECT_EQ(a.restOfSystem, b.restOfSystem);
+    EXPECT_EQ(a.emulatePerfErrata, b.emulatePerfErrata);
+}
+
+TEST(PlatformRegistry, BareJunoReproducesJunoR1Exactly)
+{
+    expectSameSpec(makePlatformFromSpec("juno"), Platform::junoR1());
+}
+
+TEST(PlatformRegistry, AliasesResolveToTheCanonicalPlatform)
+{
+    expectSameSpec(makePlatformFromSpec("juno-r1"),
+                   makePlatformFromSpec("juno"));
+    expectSameSpec(makePlatformFromSpec("server"),
+                   makePlatformFromSpec("hetero"));
+    const auto &registry = PlatformRegistry::instance();
+    EXPECT_EQ(registry.findPlatform("juno-r1"),
+              registry.findPlatform("juno"));
+    EXPECT_TRUE(registry.hasPlatform("server"));
+    EXPECT_FALSE(registry.hasPlatform("juno:big=4"));
+}
+
+TEST(PlatformRegistry, JunoShapeOverridesApply)
+{
+    const PlatformSpec wide =
+        makePlatformFromSpec("juno:big=4,little=8");
+    EXPECT_EQ(wide.clusters[0].coreCount, 4u);
+    EXPECT_EQ(wide.clusters[1].coreCount, 8u);
+    // Everything else keeps the Juno calibration.
+    const PlatformSpec base = Platform::junoR1();
+    EXPECT_EQ(wide.clusters[0].opps.size(),
+              base.clusters[0].opps.size());
+    EXPECT_EQ(wide.restOfSystem, base.restOfSystem);
+    EXPECT_EQ(wide.emulatePerfErrata, base.emulatePerfErrata);
+    // The widened board still builds and boots.
+    Platform platform(wide);
+    EXPECT_EQ(platform.totalCores(), 12u);
+    EXPECT_EQ(platform.coreCount(CoreType::Big), 4u);
+    // The canonical Figure 2c ladder is still realizable on a
+    // widened Juno (it needs at most 2B/4S at the Juno OPPs).
+    EXPECT_EQ(ConfigSpace::defaultLadder(platform).size(), 13u);
+}
+
+TEST(PlatformRegistry, HeteroServerConstructsWithDerivedLadder)
+{
+    const PlatformSpec spec = makePlatformFromSpec(
+        "hetero:big=2,little=4,bigfreq=2.0,bigopps=3");
+    EXPECT_EQ(spec.clusters[0].coreCount, 2u);
+    EXPECT_EQ(spec.clusters[1].coreCount, 4u);
+    ASSERT_EQ(spec.clusters[0].opps.size(), 3u);
+    // Ladder spans 40%..100% of the top frequency, ascending.
+    EXPECT_DOUBLE_EQ(spec.clusters[0].opps.front().frequency,
+                     2.0 * 0.4);
+    EXPECT_DOUBLE_EQ(spec.clusters[0].opps.back().frequency, 2.0);
+    EXPECT_FALSE(spec.emulatePerfErrata);
+
+    // A non-Juno shape cannot realize the paper states; the default
+    // ladder must fall back to the derived Pareto front and every
+    // rung must be realizable.
+    Platform platform(spec);
+    const auto ladder = ConfigSpace::defaultLadder(platform);
+    ASSERT_FALSE(ladder.empty());
+    for (const auto &config : ladder)
+        EXPECT_TRUE(platform.isValidConfig(config));
+}
+
+TEST(PlatformRegistry, ProducedSpecsAreAPureFunctionOfTheSpec)
+{
+    expectSameSpec(makePlatformFromSpec("hetero:big=16,little=32"),
+                   makePlatformFromSpec("hetero:big=16,little=32"));
+    expectSameSpec(makePlatformFromSpec("juno:big=4"),
+                   makePlatformFromSpec("juno:big=4"));
+}
+
+TEST(PlatformRegistry, RejectsUnknownKeysWithTheSchemaEnumerated)
+{
+    try {
+        makePlatformFromSpec("juno:cores=4");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("unknown key 'cores'"), std::string::npos);
+        EXPECT_NE(msg.find("'juno' parameters:"), std::string::npos);
+        EXPECT_NE(msg.find("big="), std::string::npos);
+        EXPECT_NE(msg.find("little="), std::string::npos);
+    }
+}
+
+TEST(PlatformRegistry, RejectsUnknownPlatformsWithTheCatalog)
+{
+    try {
+        makePlatformFromSpec("odroid");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("unknown platform 'odroid'"),
+                  std::string::npos);
+        EXPECT_NE(msg.find("registered platforms"), std::string::npos);
+        EXPECT_NE(msg.find("juno"), std::string::npos);
+        EXPECT_NE(msg.find("hetero"), std::string::npos);
+    }
+}
+
+TEST(PlatformRegistry, RejectsMalformedAndOutOfRangeValues)
+{
+    EXPECT_THROW(makePlatformFromSpec(""), FatalError);
+    EXPECT_THROW(makePlatformFromSpec("juno:"), FatalError);
+    EXPECT_THROW(makePlatformFromSpec("juno:big"), FatalError);
+    EXPECT_THROW(makePlatformFromSpec("juno:big=0"), FatalError);
+    EXPECT_THROW(makePlatformFromSpec("juno:big=2.5"), FatalError);
+    EXPECT_THROW(makePlatformFromSpec("juno:big=999"), FatalError);
+    EXPECT_THROW(makePlatformFromSpec("juno:big=2,big=4"), FatalError);
+    EXPECT_THROW(makePlatformFromSpec("hetero:bigfreq=99"),
+                 FatalError);
+    EXPECT_TRUE(isPlatformSpec("juno:big=4,little=8"));
+    EXPECT_TRUE(isPlatformSpec("hetero"));
+    EXPECT_FALSE(isPlatformSpec("juno:big=banana"));
+    EXPECT_FALSE(isPlatformSpec("odroid"));
+}
+
+TEST(PlatformRegistry, CatalogTextListsEverything)
+{
+    const std::string catalog =
+        PlatformRegistry::instance().catalogText();
+    EXPECT_NE(catalog.find("juno"), std::string::npos);
+    EXPECT_NE(catalog.find("hetero"), std::string::npos);
+    EXPECT_NE(catalog.find("alias: juno-r1"), std::string::npos);
+    EXPECT_NE(catalog.find("big="), std::string::npos);
+    EXPECT_NE(catalog.find("bigfreq="), std::string::npos);
+}
+
+TEST(PlatformRegistry, SplitPlatformListKeepsInSpecCommas)
+{
+    const auto specs =
+        splitPlatformList("juno:big=4,little=8,hetero;juno");
+    ASSERT_EQ(specs.size(), 3u);
+    EXPECT_EQ(specs[0], "juno:big=4,little=8");
+    EXPECT_EQ(specs[1], "hetero");
+    EXPECT_EQ(specs[2], "juno");
+}
+
+} // namespace
+} // namespace hipster

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Tests for the workload registry and its key=value spec grammar:
+ * bare names reproduce the calibrated Table 1 factories exactly,
+ * aliases resolve, overrides (including us/ms/s time suffixes)
+ * apply, and malformed specs fail fast with the schema or catalog
+ * enumerated.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/logging.hh"
+#include "workloads/workload_registry.hh"
+
+namespace hipster
+{
+namespace
+{
+
+void
+expectSameDef(const LcWorkloadDef &a, const LcWorkloadDef &b)
+{
+    EXPECT_EQ(a.params.name, b.params.name);
+    EXPECT_EQ(a.params.maxLoad, b.params.maxLoad);
+    EXPECT_EQ(a.params.loadScale, b.params.loadScale);
+    EXPECT_EQ(a.params.tailPercentile, b.params.tailPercentile);
+    EXPECT_EQ(a.params.qosTargetMs, b.params.qosTargetMs);
+    EXPECT_EQ(a.params.thinkTime, b.params.thinkTime);
+    EXPECT_EQ(a.params.demand.meanComputeInsn,
+              b.params.demand.meanComputeInsn);
+    EXPECT_EQ(a.params.demand.cvCompute, b.params.demand.cvCompute);
+    EXPECT_EQ(a.params.demand.meanMemStall,
+              b.params.demand.meanMemStall);
+    EXPECT_EQ(a.params.demand.zipfExponent,
+              b.params.demand.zipfExponent);
+    EXPECT_EQ(a.params.demand.ipcBig, b.params.demand.ipcBig);
+    EXPECT_EQ(a.params.demand.ipcSmall, b.params.demand.ipcSmall);
+    EXPECT_EQ(a.traits.stallSensitivity, b.traits.stallSensitivity);
+    EXPECT_EQ(a.traits.memPressure, b.traits.memPressure);
+}
+
+TEST(WorkloadRegistry, BareNamesReproduceTheCalibratedFactories)
+{
+    expectSameDef(makeWorkloadFromSpec("memcached"),
+                  memcachedWorkload());
+    expectSameDef(makeWorkloadFromSpec("websearch"),
+                  webSearchWorkload());
+}
+
+TEST(WorkloadRegistry, AliasesResolveToTheCanonicalWorkload)
+{
+    expectSameDef(makeWorkloadFromSpec("mc"), memcachedWorkload());
+    expectSameDef(makeWorkloadFromSpec("web-search"),
+                  webSearchWorkload());
+    expectSameDef(makeWorkloadFromSpec("syn"),
+                  makeWorkloadFromSpec("synthetic"));
+    const auto &registry = WorkloadRegistry::instance();
+    EXPECT_EQ(registry.findWorkload("mc"),
+              registry.findWorkload("memcached"));
+    EXPECT_TRUE(registry.hasWorkload("web-search"));
+    EXPECT_FALSE(registry.hasWorkload("memcached:qos=1"));
+}
+
+TEST(WorkloadRegistry, OverridesApplyOnTopOfTheCalibration)
+{
+    const LcWorkloadDef def =
+        makeWorkloadFromSpec("memcached:qos=8,stall=0.5");
+    EXPECT_DOUBLE_EQ(def.params.qosTargetMs, 8.0);
+    EXPECT_DOUBLE_EQ(def.traits.stallSensitivity, 0.5);
+    // Untouched keys keep the calibrated values.
+    const LcWorkloadDef base = memcachedWorkload();
+    EXPECT_EQ(def.params.maxLoad, base.params.maxLoad);
+    EXPECT_EQ(def.params.tailPercentile, base.params.tailPercentile);
+    EXPECT_EQ(def.traits.memPressure, base.traits.memPressure);
+}
+
+TEST(WorkloadRegistry, TimeValuesAcceptUnitSuffixes)
+{
+    // qos is canonically milliseconds: 300us = 0.3 ms.
+    EXPECT_DOUBLE_EQ(
+        makeWorkloadFromSpec("memcached:qos=300us").params.qosTargetMs,
+        0.3);
+    EXPECT_DOUBLE_EQ(
+        makeWorkloadFromSpec("memcached:qos=2ms").params.qosTargetMs,
+        2.0);
+    EXPECT_DOUBLE_EQ(
+        makeWorkloadFromSpec("websearch:qos=1s").params.qosTargetMs,
+        1000.0);
+    // think is canonically seconds.
+    EXPECT_DOUBLE_EQ(
+        makeWorkloadFromSpec("websearch:think=500ms").params.thinkTime,
+        0.5);
+    // Plain numbers stay in the canonical unit.
+    EXPECT_DOUBLE_EQ(
+        makeWorkloadFromSpec("websearch:think=1.5").params.thinkTime,
+        1.5);
+}
+
+TEST(WorkloadRegistry, TailMultiplierScalesTheZipfExponent)
+{
+    const double base = webSearchWorkload().params.demand.zipfExponent;
+    EXPECT_DOUBLE_EQ(makeWorkloadFromSpec("websearch:tail=2.0")
+                         .params.demand.zipfExponent,
+                     base * 2.0);
+}
+
+TEST(WorkloadRegistry, SyntheticFamilyIsFullyDeclarative)
+{
+    const LcWorkloadDef def = makeWorkloadFromSpec(
+        "synthetic:ipcbig=1.4,ipcsmall=0.6,insn=5e6,qos=20ms,"
+        "load=500,closed=1,think=1s,zipf=1000,zipfexp=0.2");
+    EXPECT_EQ(def.params.name, "synthetic");
+    EXPECT_DOUBLE_EQ(def.params.demand.ipcBig, 1.4);
+    EXPECT_DOUBLE_EQ(def.params.demand.ipcSmall, 0.6);
+    EXPECT_DOUBLE_EQ(def.params.demand.meanComputeInsn, 5e6);
+    EXPECT_DOUBLE_EQ(def.params.qosTargetMs, 20.0);
+    EXPECT_DOUBLE_EQ(def.params.maxLoad, 500.0);
+    EXPECT_EQ(def.params.mode, ArrivalMode::ClosedLoop);
+    EXPECT_DOUBLE_EQ(def.params.thinkTime, 1.0);
+    EXPECT_EQ(def.params.demand.zipfRanks, 1000u);
+    EXPECT_DOUBLE_EQ(def.params.demand.zipfExponent, 0.2);
+    // Defaults hold for unset keys.
+    EXPECT_EQ(makeWorkloadFromSpec("synthetic").params.mode,
+              ArrivalMode::OpenLoop);
+}
+
+TEST(WorkloadRegistry, RejectsUnknownKeysWithTheSchemaEnumerated)
+{
+    try {
+        makeWorkloadFromSpec("memcached:nope=1");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("unknown key 'nope'"), std::string::npos);
+        EXPECT_NE(msg.find("'memcached' parameters:"),
+                  std::string::npos);
+        EXPECT_NE(msg.find("qos="), std::string::npos);
+        EXPECT_NE(msg.find("stall="), std::string::npos);
+    }
+}
+
+TEST(WorkloadRegistry, RejectsUnknownWorkloadsWithTheCatalog)
+{
+    try {
+        makeWorkloadFromSpec("mysql:qos=1");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("unknown workload 'mysql'"),
+                  std::string::npos);
+        EXPECT_NE(msg.find("registered workloads"), std::string::npos);
+        EXPECT_NE(msg.find("memcached"), std::string::npos);
+        EXPECT_NE(msg.find("websearch"), std::string::npos);
+        EXPECT_NE(msg.find("synthetic"), std::string::npos);
+    }
+}
+
+TEST(WorkloadRegistry, RejectsMalformedAndOutOfRangeValues)
+{
+    EXPECT_THROW(makeWorkloadFromSpec(""), FatalError);
+    EXPECT_THROW(makeWorkloadFromSpec("memcached:"), FatalError);
+    EXPECT_THROW(makeWorkloadFromSpec("memcached:qos"), FatalError);
+    EXPECT_THROW(makeWorkloadFromSpec("memcached:qos="), FatalError);
+    EXPECT_THROW(makeWorkloadFromSpec("memcached:qos=banana"),
+                 FatalError);
+    EXPECT_THROW(makeWorkloadFromSpec("memcached:qos=1h"), FatalError);
+    EXPECT_THROW(makeWorkloadFromSpec("memcached:qos=0"), FatalError);
+    EXPECT_THROW(makeWorkloadFromSpec("memcached:stall=3"),
+                 FatalError);
+    EXPECT_THROW(makeWorkloadFromSpec("memcached:stall=1us"),
+                 FatalError); // suffix on a unitless key
+    EXPECT_THROW(makeWorkloadFromSpec("memcached:qos=1,qos=2"),
+                 FatalError); // duplicate key
+    EXPECT_THROW(makeWorkloadFromSpec("synthetic:zipf=0.5"),
+                 FatalError); // integer key
+    EXPECT_THROW(makeWorkloadFromSpec("synthetic:closed=2"),
+                 FatalError); // boolean key
+    EXPECT_TRUE(isWorkloadSpec("memcached:qos=300us,stall=0.5"));
+    EXPECT_FALSE(isWorkloadSpec("memcached:qos=banana"));
+    EXPECT_FALSE(isWorkloadSpec("mysql"));
+}
+
+TEST(WorkloadRegistry, CatalogTextListsEverything)
+{
+    const std::string catalog =
+        WorkloadRegistry::instance().catalogText();
+    EXPECT_NE(catalog.find("memcached"), std::string::npos);
+    EXPECT_NE(catalog.find("websearch"), std::string::npos);
+    EXPECT_NE(catalog.find("synthetic"), std::string::npos);
+    EXPECT_NE(catalog.find("alias: web-search"), std::string::npos);
+    EXPECT_NE(catalog.find("qos="), std::string::npos);
+    EXPECT_NE(catalog.find("tuned bucket"), std::string::npos);
+}
+
+TEST(WorkloadRegistry, SplitWorkloadListKeepsInSpecCommas)
+{
+    const auto specs = splitWorkloadList(
+        "memcached:qos=300us,stall=0.5,websearch;synthetic:insn=2e6");
+    ASSERT_EQ(specs.size(), 3u);
+    EXPECT_EQ(specs[0], "memcached:qos=300us,stall=0.5");
+    EXPECT_EQ(specs[1], "websearch");
+    EXPECT_EQ(specs[2], "synthetic:insn=2e6");
+    const auto bare = splitWorkloadList("memcached,websearch");
+    ASSERT_EQ(bare.size(), 2u);
+    EXPECT_EQ(bare[0], "memcached");
+    EXPECT_EQ(bare[1], "websearch");
+}
+
+TEST(WorkloadRegistry, LcWorkloadByNameIsARegistryDelegate)
+{
+    expectSameDef(lcWorkloadByName("memcached"), memcachedWorkload());
+    expectSameDef(lcWorkloadByName("memcached:qos=8"),
+                  makeWorkloadFromSpec("memcached:qos=8"));
+    EXPECT_THROW(lcWorkloadByName("mysql"), FatalError);
+}
+
+} // namespace
+} // namespace hipster

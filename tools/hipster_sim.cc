@@ -2,18 +2,28 @@
  * @file
  * hipster_sim — command-line driver for the Hipster simulator.
  *
- * Runs any built-in policy against any built-in workload and load
- * trace on the simulated Juno R1, printing per-interval series
- * (optional) and the run summary.
+ * Runs any registered policy against any registered workload,
+ * platform and load trace — one declarative ExperimentSpec —
+ * printing per-interval series (optional) and the run summary.
  *
  *   hipster_sim --workload memcached --policy hipster-in
+ *   hipster_sim --workload memcached:qos=300us,stall=0.5 \
+ *               --platform juno:big=4,little=8
  *   hipster_sim --workload websearch --policy octopus-man \
  *               --trace ramp --duration 400 --csv out.csv
  *   hipster_sim --workload websearch --policy hipster-co \
  *               --batch calculix,lbm --series
  *
  * Options:
- *   --workload memcached|websearch      (default memcached)
+ *   --workload any registry workload spec: memcached (alias mc),
+ *              websearch (alias web-search), synthetic (alias syn),
+ *              optionally parameterized with key=value overrides,
+ *              e.g. memcached:qos=300us,stall=0.5 (default memcached)
+ *   --list-workloads                    (print the catalog and exit)
+ *   --platform any registry platform spec: juno (alias juno-r1),
+ *              hetero (alias server), optionally parameterized, e.g.
+ *              juno:big=4,little=8 (default juno)
+ *   --list-platforms                    (print the catalog and exit)
  *   --policy   any registry policy spec: static-big, static-small,
  *              heuristic, octopus-man (alias octopus), hipster-in
  *              (alias hipster), hipster-co, optionally parameterized
@@ -48,10 +58,12 @@
 #include "common/csv.hh"
 #include "common/table.hh"
 #include "core/policy_registry.hh"
-#include "experiments/runner.hh"
+#include "experiments/experiment_spec.hh"
 #include "experiments/scenario.hh"
 #include "loadgen/trace_registry.hh"
+#include "platform/platform_registry.hh"
 #include "workloads/batch.hh"
+#include "workloads/workload_registry.hh"
 
 namespace
 {
@@ -61,6 +73,7 @@ using namespace hipster;
 struct CliOptions
 {
     std::string workload = "memcached";
+    std::string platform = "juno";
     std::string policy = "hipster-in";
     std::string trace = "diurnal";
     Seconds duration = 0.0;
@@ -76,16 +89,17 @@ struct CliOptions
 usage(const char *argv0, int code)
 {
     std::printf(
-        "usage: %s [--workload memcached|websearch]\n"
+        "usage: %s [--workload <spec>] [--list-workloads]\n"
+        "          [--platform <spec>] [--list-platforms]\n"
         "          [--policy <spec>] [--list-policies]\n"
         "          [--trace <spec>] [--list-traces]\n"
         "          [--duration <s>] [--seed <n>] [--bucket <pct>]\n"
         "          [--learning <s>] [--batch p1,p2,...] [--series]\n"
         "          [--csv <path>]\n"
-        "policy specs use the registry grammar (e.g.\n"
-        "hipster-in:bucket=8,learn=600); see --list-policies\n"
-        "trace specs use the registry grammar (e.g. mmpp:0.2,0.9,45,\n"
-        "diurnal|clip:0.1,0.8); see --list-traces for the catalog\n",
+        "all four axes use their registry spec grammars (e.g.\n"
+        "memcached:qos=300us,stall=0.5, juno:big=4,little=8,\n"
+        "mmpp:0.2,0.9,45, hipster-in:bucket=8,learn=600); see the\n"
+        "--list-* flags for the catalogs\n",
         argv0);
     std::exit(code);
 }
@@ -103,6 +117,18 @@ parse(int argc, char **argv)
         const std::string arg = argv[i];
         if (arg == "--workload") {
             options.workload = need(i);
+        } else if (arg == "--list-workloads") {
+            std::fputs(
+                WorkloadRegistry::instance().catalogText().c_str(),
+                stdout);
+            std::exit(0);
+        } else if (arg == "--platform") {
+            options.platform = need(i);
+        } else if (arg == "--list-platforms") {
+            std::fputs(
+                PlatformRegistry::instance().catalogText().c_str(),
+                stdout);
+            std::exit(0);
         } else if (arg == "--policy") {
             options.policy = need(i);
         } else if (arg == "--list-policies") {
@@ -157,15 +183,19 @@ main(int argc, char **argv)
 {
     const CliOptions options = parse(argc, argv);
     try {
-        const Seconds duration =
-            options.duration > 0.0 ? options.duration
-                                   : diurnalDurationFor(options.workload);
-        const auto trace =
-            makeTraceByName(options.trace, duration, options.seed + 100);
+        // One declarative spec carries all four axes; the runner,
+        // base tunables and duration all derive from it.
+        ExperimentSpec spec;
+        spec.workload = options.workload;
+        spec.platform = options.platform;
+        spec.trace = options.trace;
+        spec.policy = options.policy;
+        spec.duration = options.duration;
+        spec.seed = options.seed;
+        spec.validate();
 
-        ExperimentRunner runner(Platform::junoR1(),
-                                lcWorkloadByName(options.workload),
-                                trace, options.seed);
+        const Seconds duration = spec.resolvedDuration();
+        ExperimentRunner runner = spec.makeRunner();
         if (!options.batch.empty()) {
             std::vector<BatchKernel> mix;
             for (const auto &name : options.batch)
@@ -173,7 +203,7 @@ main(int argc, char **argv)
             runner.setBatch(std::make_shared<BatchWorkload>(mix));
         }
 
-        HipsterParams params = tunedHipsterParams(options.workload);
+        HipsterParams params = spec.baseHipsterParams();
         if (options.bucket > 0.0)
             params.bucketPercent = options.bucket;
         if (options.learning >= 0.0)
@@ -224,8 +254,9 @@ main(int argc, char **argv)
             });
 
         const RunSummary &s = result.summary;
-        std::printf("\n=== %s / %s / %s, %.0f s, seed %llu ===\n",
+        std::printf("\n=== %s / %s / %s / %s, %.0f s, seed %llu ===\n",
                     result.workloadName.c_str(),
+                    runner.platform().name().c_str(),
                     result.policyName.c_str(), options.trace.c_str(),
                     duration,
                     static_cast<unsigned long long>(options.seed));

@@ -1,50 +1,55 @@
 /**
  * @file
  * hipster_sweep — parallel multi-seed sweep campaigns over the
- * built-in policies, workloads and load traces, with deterministic
- * aggregation (mean / stddev / 95% CI per cell). The aggregates are
- * bitwise-identical for any --jobs value: per-run seeds are derived
- * from the master seed at expansion time and cells are reduced in a
- * fixed order.
+ * registered workloads, platforms, load traces and policies, with
+ * deterministic aggregation (mean / stddev / 95% CI per cell). The
+ * aggregates are bitwise-identical for any --jobs value: per-run
+ * seeds are derived from the master seed at expansion time and cells
+ * are reduced in a fixed order.
  *
  *   hipster_sweep --policy hipster --seeds 8 --jobs 4
- *   hipster_sweep --policy all --workload memcached,websearch \
+ *   hipster_sweep --policy all --workloads memcached,websearch \
  *                 --seeds 5 --agg-csv table3.csv
- *   hipster_sweep --policies "hipster-in:bucket=5;hipster-in:bucket=8" \
- *                 --workload memcached --seeds 10 --csv runs.csv
+ *   hipster_sweep --workloads memcached:qos=300us \
+ *                 --platforms "juno;juno:big=4,little=8" \
+ *                 --traces mmpp:0.2,0.9,45 \
+ *                 --policies hipster-in:bucket=8 --seeds 3 --jobs 4
+ *
+ * Every axis is a registry spec list; each spec is its own sweep
+ * cell, so parameter ablations along any axis are ordinary
+ * campaigns. Legacy tuning flags (--bucket/--learning) are gone:
+ * write policy specs instead (hipster-in:bucket=8,learn=600).
  *
  * Options:
  *   --policy   <p1;p2;...>|all  policy specs to sweep (default
  *                               hipster-in; "all" = the Table 3 list;
- *                               --policies is an alias). Specs use
- *                               the registry grammar — bare names or
- *                               parameterized, e.g.
- *                               hipster-in:bucket=8,learn=600 or
- *                               octopus-man:up=0.85,down=0.6 — so
- *                               parameter ablations are ordinary
- *                               sweep axes. ';' always separates; ','
- *                               separates only before a policy name,
- *                               keeping key=value commas intact.
- *   --list-policies             print the policy catalog (schemas,
- *                               defaults, aliases) and exit
- *   --workload <w1,w2,...>      memcached|websearch (default memcached)
- *   --traces   <t1,t2,...>      trace specs from the registry grammar
- *                               (diurnal, mmpp:0.2,0.9,45,
- *                               flashcrowd:..., sine:..., replay:<csv>,
- *                               with |-composed transforms; default
- *                               diurnal; --trace is an alias; ';' also
- *                               separates specs)
+ *                               --policies is an alias), e.g.
+ *                               hipster-in:bucket=8,learn=600
+ *   --list-policies             print the policy catalog and exit
+ *   --workload <w1,w2,...>      workload specs (default memcached;
+ *                               --workloads is an alias), e.g.
+ *                               memcached:qos=300us,stall=0.5
+ *   --list-workloads            print the workload catalog and exit
+ *   --platform <p1,p2,...>      platform specs (default juno;
+ *                               --platforms is an alias), e.g.
+ *                               juno:big=4,little=8 or hetero
+ *   --list-platforms            print the platform catalog and exit
+ *   --traces   <t1,t2,...>      trace specs (default diurnal;
+ *                               --trace is an alias), e.g.
+ *                               mmpp:0.2,0.9,45
  *   --list-traces               print the trace catalog and exit
  *   --seeds    <n>              repetitions per cell (default 5)
  *   --jobs     <n>              worker threads (default: hardware)
  *   --master-seed <n>           seed all run seeds derive from (default 1)
  *   --duration <seconds>        run length (default: workload diurnal)
  *   --scale    <f>              duration scale factor (default 1.0)
- *   --learning <seconds>        Hipster learning phase override
- *   --bucket   <percent>        Hipster bucket width override
  *   --csv      <path>           per-run CSV dump
  *   --agg-csv  <path>           per-cell aggregate CSV dump
  *   --quiet                     suppress per-run progress lines
+ *
+ * In every spec list, ';' always separates and ',' separates only
+ * before a registered name, so in-spec key=value/argument commas
+ * survive.
  */
 
 #include <cstdio>
@@ -59,6 +64,8 @@
 #include "core/policy_registry.hh"
 #include "experiments/sweep.hh"
 #include "loadgen/trace_registry.hh"
+#include "platform/platform_registry.hh"
+#include "workloads/workload_registry.hh"
 
 namespace
 {
@@ -79,33 +86,21 @@ usage(const char *argv0, int code)
 {
     std::printf(
         "usage: %s [--policy <p1;p2;...>|all] [--list-policies]\n"
-        "          [--workload <w1,...>]\n"
+        "          [--workload <w1,...>] [--list-workloads]\n"
+        "          [--platform <p1,...>] [--list-platforms]\n"
         "          [--traces <t1,...>] [--list-traces] [--seeds <n>]\n"
         "          [--jobs <n>] [--master-seed <n>] [--duration <s>]\n"
-        "          [--scale <f>] [--learning <s>] [--bucket <pct>]\n"
-        "          [--csv <path>] [--agg-csv <path>] [--quiet]\n"
-        "policies use the registry spec grammar (e.g.\n"
-        "hipster-in:bucket=8,learn=600); see --list-policies\n"
-        "traces use the registry spec grammar; see --list-traces\n",
+        "          [--scale <f>] [--csv <path>] [--agg-csv <path>]\n"
+        "          [--quiet]\n"
+        "every axis uses its registry spec grammar, e.g.\n"
+        "  --workloads memcached:qos=300us,stall=0.5\n"
+        "  --platforms juno:big=4,little=8\n"
+        "  --traces    mmpp:0.2,0.9,45\n"
+        "  --policies  hipster-in:bucket=8,learn=600\n"
+        "see --list-workloads / --list-platforms / --list-traces /\n"
+        "--list-policies for the catalogs\n",
         argv0);
     std::exit(code);
-}
-
-std::vector<std::string>
-splitList(const std::string &list)
-{
-    std::vector<std::string> out;
-    std::size_t pos = 0;
-    while (pos <= list.size()) {
-        const std::size_t comma = list.find(',', pos);
-        if (comma == std::string::npos) {
-            out.push_back(list.substr(pos));
-            break;
-        }
-        out.push_back(list.substr(pos, comma - pos));
-        pos = comma + 1;
-    }
-    return out;
 }
 
 CliOptions
@@ -136,8 +131,20 @@ parse(int argc, char **argv)
                 PolicyRegistry::instance().catalogText().c_str(),
                 stdout);
             std::exit(0);
-        } else if (arg == "--workload") {
-            options.spec.workloads = splitList(need(i));
+        } else if (arg == "--workload" || arg == "--workloads") {
+            options.spec.workloads = splitWorkloadList(need(i));
+        } else if (arg == "--list-workloads") {
+            std::fputs(
+                WorkloadRegistry::instance().catalogText().c_str(),
+                stdout);
+            std::exit(0);
+        } else if (arg == "--platform" || arg == "--platforms") {
+            options.spec.platforms = splitPlatformList(need(i));
+        } else if (arg == "--list-platforms") {
+            std::fputs(
+                PlatformRegistry::instance().catalogText().c_str(),
+                stdout);
+            std::exit(0);
         } else if (arg == "--trace" || arg == "--traces") {
             // Spec-aware splitting: argument commas inside a spec
             // (mmpp:0.2,0.9,45) survive, ';' always separates.
@@ -158,10 +165,6 @@ parse(int argc, char **argv)
             options.spec.duration = std::atof(need(i));
         } else if (arg == "--scale") {
             options.spec.durationScale = std::atof(need(i));
-        } else if (arg == "--learning") {
-            options.spec.learningPhase = std::atof(need(i));
-        } else if (arg == "--bucket") {
-            options.spec.bucketPercent = std::atof(need(i));
         } else if (arg == "--csv") {
             options.csvPath = need(i);
         } else if (arg == "--agg-csv") {
@@ -187,9 +190,10 @@ main(int argc, char **argv)
     try {
         SweepEngine engine(options.spec);
         const std::size_t total = engine.expandJobs().size();
-        std::printf("sweep: %zu runs (%zu workloads x %zu traces x %zu "
-                    "policies x %zu seeds), %zu jobs\n",
+        std::printf("sweep: %zu runs (%zu workloads x %zu platforms x "
+                    "%zu traces x %zu policies x %zu seeds), %zu jobs\n",
                     total, options.spec.workloads.size(),
+                    options.spec.platforms.size(),
                     options.spec.traces.size(),
                     options.spec.policies.size(), options.spec.seeds,
                     options.jobs);
@@ -201,11 +205,11 @@ main(int argc, char **argv)
                 if (options.quiet)
                     return;
                 std::printf(
-                    "  [%3zu/%zu] %s/%s/%s seed[%zu]=%llu  "
+                    "  [%3zu/%zu] %s/%s/%s/%s seed[%zu]=%llu  "
                     "QoS %.1f%%  energy %.0f J\n",
                     done, total, run.job.workload.c_str(),
-                    run.job.trace.c_str(), run.job.policy.c_str(),
-                    run.job.seedIndex,
+                    run.job.platform.c_str(), run.job.trace.c_str(),
+                    run.job.policy.c_str(), run.job.seedIndex,
                     static_cast<unsigned long long>(run.job.seed),
                     run.result.summary.qosGuarantee * 100.0,
                     run.result.summary.energy);
