@@ -1,0 +1,352 @@
+#include "workloads/workload_registry.hh"
+
+#include "common/logging.hh"
+
+namespace hipster
+{
+
+namespace
+{
+
+/** Overrides every LC workload shares (Table 1 deployment knobs +
+ * colocation traits). */
+std::vector<SpecParamInfo>
+commonSchema(double qos_ms, double pct, double load, double stall,
+             double pressure)
+{
+    return {
+        {"qos", "tail-latency QoS target (Table 1)", qos_ms, 0.05,
+         10000.0, false, false, ParamUnit::TimeMs},
+        {"pct", "monitored tail percentile (Table 1)", pct, 50.0,
+         99.9, false, false, ParamUnit::None},
+        {"load",
+         "max load in requests/s: the rate two big cores at top DVFS "
+         "serve within the tail target (Table 1)",
+         load, 1.0, 1e7, false, false, ParamUnit::None},
+        {"stall",
+         "contention sensitivity: how batch memory pressure inflates "
+         "the LC stall portion (Section 3.5)",
+         stall, 0.0, 2.0, false, false, ParamUnit::None},
+        {"pressure",
+         "memory pressure this workload exerts per busy core "
+         "(Section 3.5)",
+         pressure, 0.0, 2.0, false, false, ParamUnit::None},
+    };
+}
+
+/** Apply the shared overrides onto a calibrated definition. */
+void
+applyCommon(LcWorkloadDef &def, const SpecParamSet &set)
+{
+    def.params.qosTargetMs = set.get("qos", def.params.qosTargetMs);
+    def.params.tailPercentile =
+        set.get("pct", def.params.tailPercentile);
+    def.params.maxLoad = set.get("load", def.params.maxLoad);
+    def.traits.stallSensitivity =
+        set.get("stall", def.traits.stallSensitivity);
+    def.traits.memPressure =
+        set.get("pressure", def.traits.memPressure);
+}
+
+} // namespace
+
+WorkloadRegistry &
+WorkloadRegistry::instance()
+{
+    static WorkloadRegistry registry = [] {
+        WorkloadRegistry r;
+        r.registerBuiltins();
+        return r;
+    }();
+    return registry;
+}
+
+void
+WorkloadRegistry::registerWorkload(WorkloadInfo info, Factory factory)
+{
+    if (hasWorkload(info.name))
+        fatal("WorkloadRegistry: workload '", info.name,
+              "' already registered");
+    for (const std::string &alias : info.aliases) {
+        if (hasWorkload(alias))
+            fatal("WorkloadRegistry: alias '", alias,
+                  "' already registered");
+    }
+    if (!factory)
+        fatal("WorkloadRegistry: null factory for '", info.name, "'");
+    workloads_.push_back(std::move(info));
+    factories_.push_back(std::move(factory));
+}
+
+bool
+WorkloadRegistry::hasWorkload(const std::string &name) const
+{
+    return findWorkload(name) != nullptr;
+}
+
+const WorkloadInfo *
+WorkloadRegistry::findWorkload(const std::string &name) const
+{
+    for (const WorkloadInfo &workload : workloads_) {
+        if (workload.name == name)
+            return &workload;
+        for (const std::string &alias : workload.aliases) {
+            if (alias == name)
+                return &workload;
+        }
+    }
+    return nullptr;
+}
+
+std::string
+WorkloadRegistry::knownWorkloadsSummary() const
+{
+    std::string out = "registered workloads:";
+    for (const WorkloadInfo &workload : workloads_) {
+        out += "\n  " + workload.name;
+        for (const std::string &alias : workload.aliases)
+            out += " (alias: " + alias + ")";
+        if (!workload.params.empty()) {
+            out += " — keys:";
+            for (std::size_t i = 0; i < workload.params.size(); ++i)
+                out += (i == 0 ? " " : ", ") + workload.params[i].key;
+        }
+    }
+    out += "\nparameterize with ':key=value,...', e.g. "
+           "memcached:qos=300us,stall=0.5; see --list-workloads";
+    return out;
+}
+
+std::string
+WorkloadRegistry::catalogText() const
+{
+    std::string out = "registered workloads "
+                      "(spec: name[:key=value,...]):\n";
+    for (const WorkloadInfo &workload : workloads_) {
+        out += "\n" + workload.name;
+        for (const std::string &alias : workload.aliases)
+            out += " (alias: " + alias + ")";
+        out += " — " + workload.display + ": " + workload.summary;
+        if (!workload.paperRef.empty())
+            out += " [" + workload.paperRef + "]";
+        out += "\n    diurnal run " +
+               formatSpecValue(workload.diurnalDuration) +
+               " s, tuned bucket " +
+               formatSpecValue(workload.tunedBucketPercent) + "%\n";
+        if (workload.params.empty()) {
+            out += "    (no parameters)\n";
+            continue;
+        }
+        for (const SpecParamInfo &param : workload.params)
+            out += "    " + specParamLine(param) + "\n";
+    }
+    out += "\nkey=value overrides apply on top of the calibrated "
+           "Table 1 definitions;\ntime-typed keys accept us/ms/s "
+           "suffixes (qos=300us).\n";
+    return out;
+}
+
+const WorkloadInfo &
+WorkloadRegistry::parseSpec(const std::string &spec,
+                            SpecParamSet &out) const
+{
+    if (spec.empty())
+        fatal("empty workload spec; ", knownWorkloadsSummary());
+
+    const std::string head = specHead(spec);
+    const WorkloadInfo *info = findWorkload(head);
+    if (info == nullptr)
+        fatal("unknown workload '", head, "' in spec '", spec, "'; ",
+              knownWorkloadsSummary());
+
+    parseSpecParams("workload", spec, info->name, info->params, out);
+    return *info;
+}
+
+LcWorkloadDef
+WorkloadRegistry::make(const std::string &spec) const
+{
+    SpecParamSet params;
+    const WorkloadInfo &info = parseSpec(spec, params);
+    const std::size_t index =
+        static_cast<std::size_t>(&info - workloads_.data());
+    return factories_[index](params);
+}
+
+void
+WorkloadRegistry::registerBuiltins()
+{
+    {
+        WorkloadInfo info;
+        info.name = "memcached";
+        info.aliases = {"mc"};
+        info.display = "Memcached";
+        info.summary =
+            "in-memory key-value store, open-loop Twitter caching "
+            "traffic; memory-bound, small-core friendly at low load";
+        info.paperRef = "Table 1; Figure 2a";
+        info.diurnalDuration = 1440.0;
+        info.tunedBucketPercent = 8.0;
+        info.params = commonSchema(10.0, 95.0, 36000.0, 0.40, 0.35);
+        info.params.push_back(
+            {"cv",
+             "coefficient of variation of the compute demand "
+             "(multigets, hot keys)",
+             1.5, 0.0, 5.0, false, false, ParamUnit::None});
+        registerWorkload(info, [](const SpecParamSet &set) {
+            LcWorkloadDef def = memcachedWorkload();
+            applyCommon(def, set);
+            def.params.demand.cvCompute =
+                set.get("cv", def.params.demand.cvCompute);
+            return def;
+        });
+    }
+
+    {
+        WorkloadInfo info;
+        info.name = "websearch";
+        info.aliases = {"web-search"};
+        info.display = "Web-Search";
+        info.summary =
+            "Elasticsearch over Wikipedia, closed-loop users with "
+            "think time; compute-hungry with a Zipfian heavy tail";
+        info.paperRef = "Table 1; Figure 2b";
+        info.diurnalDuration = 1080.0;
+        info.tunedBucketPercent = 5.0;
+        info.params = commonSchema(500.0, 90.0, 44.0, 0.30, 0.30);
+        info.params.push_back(
+            {"think", "mean closed-loop user think time (Table 1)",
+             2.0, 0.01, 60.0, false, false, ParamUnit::TimeSec});
+        info.params.push_back(
+            {"tail",
+             "tail-heaviness multiplier on the Zipfian query-cost "
+             "exponent (1 = calibrated)",
+             1.0, 0.25, 4.0, false, false, ParamUnit::None});
+        registerWorkload(info, [](const SpecParamSet &set) {
+            LcWorkloadDef def = webSearchWorkload();
+            applyCommon(def, set);
+            def.params.thinkTime =
+                set.get("think", def.params.thinkTime);
+            def.params.demand.zipfExponent *= set.get("tail", 1.0);
+            return def;
+        });
+    }
+
+    {
+        WorkloadInfo info;
+        info.name = "synthetic";
+        info.aliases = {"syn"};
+        info.display = "Synthetic";
+        info.summary =
+            "fully declarative LC service: every demand/arrival knob "
+            "is a spec key (beyond-paper scenario axis)";
+        info.paperRef = "";
+        info.diurnalDuration = 1200.0;
+        info.tunedBucketPercent = 5.0;
+        info.params = commonSchema(50.0, 95.0, 1000.0, 0.30, 0.30);
+        info.params.push_back(
+            {"ipcbig", "effective IPC on a big core", 1.0, 0.05, 8.0,
+             false, false, ParamUnit::None});
+        info.params.push_back(
+            {"ipcsmall", "effective IPC on a small core", 0.4, 0.01,
+             8.0, false, false, ParamUnit::None});
+        info.params.push_back(
+            {"insn", "mean compute instructions per request", 1e6,
+             1e3, 1e10, false, false, ParamUnit::None});
+        info.params.push_back(
+            {"cv", "CV of the lognormal compute factor", 1.0, 0.0,
+             5.0, false, false, ParamUnit::None});
+        info.params.push_back(
+            {"memstall",
+             "mean per-request memory stall (frequency-insensitive)",
+             1e-3, 0.0, 1.0, false, false, ParamUnit::TimeSec});
+        info.params.push_back(
+            {"cvmem", "CV of the lognormal stall factor", 1.0, 0.0,
+             5.0, false, false, ParamUnit::None});
+        info.params.push_back(
+            {"zipf",
+             "Zipf popularity ranks (0 disables the multiplier)",
+             0.0, 0.0, 1e6, true, false, ParamUnit::None});
+        info.params.push_back(
+            {"zipfexp", "Zipf demand-multiplier exponent", 0.1, -1.0,
+             1.0, false, false, ParamUnit::None});
+        info.params.push_back(
+            {"closed",
+             "closed-loop users with think time instead of open-loop "
+             "Poisson arrivals",
+             0.0, 0.0, 1.0, false, true, ParamUnit::None});
+        info.params.push_back(
+            {"think", "mean think time in closed-loop mode", 2.0,
+             0.01, 60.0, false, false, ParamUnit::TimeSec});
+        info.params.push_back(
+            {"scale",
+             "internal simulation scale: the DES simulates "
+             "load x scale arrivals/s",
+             1.0, 1e-4, 1.0, false, false, ParamUnit::None});
+        registerWorkload(info, [](const SpecParamSet &set) {
+            LcWorkloadDef def;
+            LcAppParams &p = def.params;
+            p.name = "synthetic";
+            p.maxLoad = 1000.0;
+            p.loadScale = set.get("scale", 1.0);
+            p.qosTargetMs = 50.0;
+            p.tailPercentile = 95.0;
+            p.mode = set.getBool("closed", false)
+                         ? ArrivalMode::ClosedLoop
+                         : ArrivalMode::OpenLoop;
+            p.thinkTime = set.get("think", 2.0);
+            p.maxQueue = 100000;
+
+            ServiceDemandParams &d = p.demand;
+            d.ipcBig = set.get("ipcbig", 1.0);
+            d.ipcSmall = set.get("ipcsmall", 0.4);
+            d.meanComputeInsn = set.get("insn", 1e6);
+            d.cvCompute = set.get("cv", 1.0);
+            d.meanMemStall = set.get("memstall", 1e-3);
+            d.cvMemStall = set.get("cvmem", 1.0);
+            d.zipfRanks =
+                static_cast<std::size_t>(set.get("zipf", 0.0));
+            d.zipfExponent = set.get("zipfexp", 0.1);
+
+            def.traits.stallSensitivity = 0.30;
+            def.traits.memPressure = 0.30;
+            applyCommon(def, set);
+            return def;
+        });
+    }
+}
+
+LcWorkloadDef
+makeWorkloadFromSpec(const std::string &spec)
+{
+    return WorkloadRegistry::instance().make(spec);
+}
+
+void
+validateWorkloadSpec(const std::string &spec)
+{
+    SpecParamSet params;
+    WorkloadRegistry::instance().parseSpec(spec, params);
+}
+
+bool
+isWorkloadSpec(const std::string &spec)
+{
+    try {
+        validateWorkloadSpec(spec);
+        return true;
+    } catch (const FatalError &) {
+        return false;
+    }
+}
+
+std::vector<std::string>
+splitWorkloadList(const std::string &list)
+{
+    const WorkloadRegistry &registry = WorkloadRegistry::instance();
+    return splitSpecList(list, [&](const std::string &head) {
+        return registry.hasWorkload(head);
+    });
+}
+
+} // namespace hipster

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Workload registry: every latency-critical workload the CLIs, sweep
+ * engine and bench binaries can name, plus a key=value spec grammar
+ * that makes the Table 1 deployment knobs — QoS target, tail
+ * percentile, max load, contention traits — first-class sweep axes:
+ *
+ *   spec := name [':' key '=' value (',' key '=' value)*]
+ *
+ * Examples:
+ *   memcached:qos=300us,stall=0.5
+ *   websearch:tail=2.0
+ *   synthetic:ipcbig=1.4,insn=5e6,qos=20ms,closed=1
+ *
+ * Time-typed keys (qos, think, memstall) accept us/ms/s suffixes.
+ * Each registered workload declares a parameter schema (key,
+ * default, valid range, doc string); overrides validate fail-fast —
+ * an unknown key or out-of-range value enumerates the schema, an
+ * unknown workload enumerates the catalog — and apply on top of the
+ * calibrated Table 1 definition, so a bare name behaves exactly as
+ * before. The registry also owns the per-workload scenario defaults
+ * (diurnal run length, deployment-tuned Hipster bucket) that
+ * experiments/scenario resolves through it.
+ */
+
+#ifndef HIPSTER_WORKLOADS_WORKLOAD_REGISTRY_HH
+#define HIPSTER_WORKLOADS_WORKLOAD_REGISTRY_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/spec_grammar.hh"
+#include "common/units.hh"
+#include "workloads/apps.hh"
+
+namespace hipster
+{
+
+/** Catalog entry describing one registered LC workload family. */
+struct WorkloadInfo
+{
+    std::string name;                 ///< canonical spec head
+    std::vector<std::string> aliases; ///< alternate heads
+    std::string display;              ///< report name, e.g. "Memcached"
+    std::string summary;              ///< one-line description
+    std::string paperRef;             ///< e.g. "Table 1"
+
+    /** Diurnal run length for this workload (Section 4.1). */
+    Seconds diurnalDuration = 0.0;
+
+    /** Deployment-tuned Hipster bucket width (Figure 10 sweep). */
+    double tunedBucketPercent = 5.0;
+
+    std::vector<SpecParamInfo> params;
+};
+
+/**
+ * Name-keyed factory for LC workload definitions. A singleton holds
+ * the built-ins (the paper's Table 1 pair plus a fully declarative
+ * synthetic family); custom workloads can be registered at startup
+ * and become available to every consumer (CLIs, sweeps, benches) at
+ * once.
+ */
+class WorkloadRegistry
+{
+  public:
+    /** Builds a workload definition from the parsed overrides. */
+    using Factory =
+        std::function<LcWorkloadDef(const SpecParamSet &params)>;
+
+    /** The process-wide registry with the built-ins installed. */
+    static WorkloadRegistry &instance();
+
+    /** Register a workload; FatalError on duplicate names/aliases or
+     * a null factory. */
+    void registerWorkload(WorkloadInfo info, Factory factory);
+
+    /** Whether `name` heads a registered workload (canonical or
+     * alias; spec arguments are not accepted here). */
+    bool hasWorkload(const std::string &name) const;
+
+    /** All registered workloads, in registration order. */
+    const std::vector<WorkloadInfo> &workloads() const
+    {
+        return workloads_;
+    }
+
+    /** Catalog entry for a canonical name or alias; nullptr when
+     * unknown. */
+    const WorkloadInfo *findWorkload(const std::string &name) const;
+
+    /**
+     * Parse and validate a spec against the schema without building
+     * anything: resolves the head (canonical or alias) and checks
+     * every key and range. Throws FatalError with the catalog
+     * (unknown workload) or the workload's schema (unknown key / bad
+     * value).
+     */
+    const WorkloadInfo &parseSpec(const std::string &spec,
+                                  SpecParamSet &out) const;
+
+    /** Build a fully parameterized workload definition from a spec
+     * string. A bare name reproduces the calibrated factory
+     * exactly. */
+    LcWorkloadDef make(const std::string &spec) const;
+
+    /** Human-readable catalog: every workload with aliases, paper
+     * reference and full parameter schema (--list-workloads). */
+    std::string catalogText() const;
+
+    /** Compact enumeration used in unknown-workload errors. */
+    std::string knownWorkloadsSummary() const;
+
+  private:
+    WorkloadRegistry() = default;
+    void registerBuiltins();
+
+    std::vector<WorkloadInfo> workloads_;
+    std::vector<Factory> factories_;
+};
+
+/** Build a workload definition from a spec via the global registry. */
+LcWorkloadDef makeWorkloadFromSpec(const std::string &spec);
+
+/**
+ * Fail-fast spec validation: parses the spec and checks every
+ * override against the schema, throwing the same FatalError
+ * WorkloadRegistry::make would, so campaigns reject bad cells before
+ * any runs start.
+ */
+void validateWorkloadSpec(const std::string &spec);
+
+/** Non-throwing validateWorkloadSpec(). */
+bool isWorkloadSpec(const std::string &spec);
+
+/**
+ * Splits a CLI workload list into specs. `;` always separates; a `,`
+ * separates only when the text after it heads a registered workload
+ * (so `memcached:qos=300us,stall=0.5,websearch` yields the
+ * parameterized memcached spec and `websearch`).
+ */
+std::vector<std::string> splitWorkloadList(const std::string &list);
+
+} // namespace hipster
+
+#endif // HIPSTER_WORKLOADS_WORKLOAD_REGISTRY_HH
