@@ -1,0 +1,704 @@
+/**
+ * @file
+ * hipster_bench: the repo's canonical hot-loop performance harness.
+ * Runs a fixed multi-seed ExperimentSpec campaign (memcached +
+ * websearch on the Juno, diurnal + MMPP stimuli, the hipster policy)
+ * through SweepEngine and measures wall-clock time, simulated
+ * events/second, runs/second, and peak RSS, with warmup repetitions
+ * and median/IQR over the measured ones. Results land in a
+ * schema-versioned JSON (committed at the repo root as
+ * BENCH_hotloop.json) that CI diffs against: --baseline FILE fails
+ * the run when events/sec regressed beyond --threshold percent.
+ *
+ * No Google Benchmark dependency: timing is std::chrono, RSS is
+ * getrusage, and the JSON reader/writer below understand exactly the
+ * schema this tool emits (--validate / --selfcheck).
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+#include "experiments/sweep.hh"
+
+namespace
+{
+
+using namespace hipster;
+
+/** Bump when the JSON layout changes; readers accept 1..current. */
+constexpr int kSchemaVersion = 1;
+
+constexpr const char *kBenchmarkName = "hotloop_campaign";
+
+/** The canonical campaign axes (see docs/EXPERIMENTS.md). */
+const std::vector<std::string> kWorkloads = {"memcached", "websearch"};
+const std::vector<std::string> kPlatforms = {"juno"};
+const std::vector<std::string> kTraces = {"diurnal", "mmpp:0.2,0.9,45"};
+const std::vector<std::string> kPolicies = {"hipster"};
+constexpr std::uint64_t kMasterSeed = 42;
+
+struct Options
+{
+    Seconds duration = 240.0;
+    std::size_t seeds = 3;
+    std::size_t repetitions = 5;
+    std::size_t warmup = 1;
+    std::size_t jobs = 1;
+    std::string output = "BENCH_hotloop.json";
+    std::string baseline;
+    std::string validate;
+    double threshold = 15.0;
+    bool selfcheck = false;
+    bool quiet = false;
+};
+
+/** Median / interquartile range of one measured quantity. */
+struct Spread
+{
+    double median = 0.0;
+    double p25 = 0.0;
+    double p75 = 0.0;
+};
+
+[[noreturn]] void
+usage(const char *argv0, int code)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "\n"
+        "Canonical hot-loop performance campaign (see "
+        "docs/EXPERIMENTS.md).\n"
+        "\n"
+        "  --duration SECS[s]  simulated seconds per run (default "
+        "240s)\n"
+        "  --seeds N           seeds per campaign cell (default 3)\n"
+        "  --repetitions N     measured repetitions (default 5)\n"
+        "  --warmup N          unmeasured warmup repetitions (default "
+        "1)\n"
+        "  --jobs N            sweep worker threads (default 1)\n"
+        "  --output FILE       JSON output path (default "
+        "BENCH_hotloop.json)\n"
+        "  --baseline FILE     fail if events/sec regressed vs FILE\n"
+        "  --threshold PCT     regression tolerance for --baseline "
+        "(default 15)\n"
+        "  --validate FILE     schema-check an existing JSON and "
+        "exit\n"
+        "  --selfcheck         re-read and schema-check the JSON "
+        "just written\n"
+        "  --quiet             suppress progress output\n",
+        argv0);
+    std::exit(code);
+}
+
+Seconds
+parseDuration(const char *text)
+{
+    char *end = nullptr;
+    const double value = std::strtod(text, &end);
+    if (end == text || (*end != '\0' && std::strcmp(end, "s") != 0) ||
+        !std::isfinite(value) || value <= 0.0) {
+        std::fprintf(stderr,
+                     "--duration: expected a positive number of "
+                     "seconds (optionally 's'-suffixed), got '%s'\n",
+                     text);
+        std::exit(1);
+    }
+    return value;
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options options;
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "missing argument for %s\n", argv[i]);
+            std::exit(1);
+        }
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--duration") {
+            options.duration = parseDuration(need(i));
+        } else if (arg == "--seeds") {
+            options.seeds = std::strtoull(need(i), nullptr, 10);
+        } else if (arg == "--repetitions") {
+            options.repetitions = std::strtoull(need(i), nullptr, 10);
+        } else if (arg == "--warmup") {
+            options.warmup = std::strtoull(need(i), nullptr, 10);
+        } else if (arg == "--jobs") {
+            options.jobs = std::strtoull(need(i), nullptr, 10);
+        } else if (arg == "--output") {
+            options.output = need(i);
+        } else if (arg == "--baseline") {
+            options.baseline = need(i);
+        } else if (arg == "--threshold") {
+            options.threshold = std::strtod(need(i), nullptr);
+        } else if (arg == "--validate") {
+            options.validate = need(i);
+        } else if (arg == "--selfcheck") {
+            options.selfcheck = true;
+        } else if (arg == "--quiet") {
+            options.quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0], 0);
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            std::exit(1);
+        }
+    }
+    if (options.seeds == 0 || options.seeds > SweepSpec::kMaxSeeds) {
+        std::fprintf(stderr, "--seeds must be in [1, %zu]\n",
+                     SweepSpec::kMaxSeeds);
+        std::exit(1);
+    }
+    if (options.repetitions == 0 || options.repetitions > 1000) {
+        std::fprintf(stderr, "--repetitions must be in [1, 1000]\n");
+        std::exit(1);
+    }
+    if (options.warmup > 1000) {
+        std::fprintf(stderr, "--warmup must be at most 1000\n");
+        std::exit(1);
+    }
+    if (options.jobs == 0 || options.jobs > ThreadPool::kMaxThreads) {
+        std::fprintf(stderr, "--jobs must be in [1, %zu]\n",
+                     ThreadPool::kMaxThreads);
+        std::exit(1);
+    }
+    if (!std::isfinite(options.threshold) || options.threshold < 0.0) {
+        std::fprintf(stderr, "--threshold must be non-negative\n");
+        std::exit(1);
+    }
+    return options;
+}
+
+// --------------------------------------------------------------------
+// Minimal JSON reader: parses into a flat map of dotted paths. Only
+// what this tool's own schema needs — objects, arrays, strings,
+// finite numbers, booleans.
+
+struct FlatJson
+{
+    std::map<std::string, double> numbers;
+    std::map<std::string, std::string> strings;
+};
+
+class JsonParser
+{
+  public:
+    JsonParser(const std::string &text, FlatJson &out)
+        : text_(text), out_(out)
+    {
+    }
+
+    bool
+    parse()
+    {
+        skipSpace();
+        if (!parseValue(""))
+            return false;
+        skipSpace();
+        return pos_ == text_.size();
+    }
+
+    const std::string &error() const { return error_; }
+
+  private:
+    bool
+    fail(const std::string &what)
+    {
+        if (error_.empty()) {
+            error_ = what + " at byte " + std::to_string(pos_);
+        }
+        return false;
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        skipSpace();
+        if (pos_ >= text_.size() || text_[pos_] != c)
+            return fail(std::string("expected '") + c + "'");
+        ++pos_;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        skipSpace();
+        if (pos_ >= text_.size() || text_[pos_] != '"')
+            return fail("expected string");
+        ++pos_;
+        out.clear();
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_++];
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    return fail("dangling escape");
+                const char esc = text_[pos_++];
+                switch (esc) {
+                case '"':
+                case '\\':
+                case '/':
+                    c = esc;
+                    break;
+                case 'n':
+                    c = '\n';
+                    break;
+                case 't':
+                    c = '\t';
+                    break;
+                default:
+                    return fail("unsupported escape");
+                }
+            }
+            out.push_back(c);
+        }
+        if (pos_ >= text_.size())
+            return fail("unterminated string");
+        ++pos_; // closing quote
+        return true;
+    }
+
+    bool
+    parseValue(const std::string &path)
+    {
+        skipSpace();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        const char c = text_[pos_];
+        if (c == '{')
+            return parseObject(path);
+        if (c == '[')
+            return parseArray(path);
+        if (c == '"') {
+            std::string value;
+            if (!parseString(value))
+                return false;
+            out_.strings[path] = value;
+            return true;
+        }
+        if (text_.compare(pos_, 4, "true") == 0) {
+            pos_ += 4;
+            out_.numbers[path] = 1.0;
+            return true;
+        }
+        if (text_.compare(pos_, 5, "false") == 0) {
+            pos_ += 5;
+            out_.numbers[path] = 0.0;
+            return true;
+        }
+        if (text_.compare(pos_, 4, "null") == 0) {
+            pos_ += 4;
+            return true;
+        }
+        const char *start = text_.c_str() + pos_;
+        char *end = nullptr;
+        const double value = std::strtod(start, &end);
+        if (end == start)
+            return fail("expected a JSON value");
+        if (!std::isfinite(value))
+            return fail("non-finite number");
+        pos_ += static_cast<std::size_t>(end - start);
+        out_.numbers[path] = value;
+        return true;
+    }
+
+    bool
+    parseObject(const std::string &path)
+    {
+        if (!consume('{'))
+            return false;
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            std::string key;
+            if (!parseString(key))
+                return false;
+            if (!consume(':'))
+                return false;
+            const std::string sub =
+                path.empty() ? key : path + "." + key;
+            if (!parseValue(sub))
+                return false;
+            skipSpace();
+            if (pos_ < text_.size() && text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            return consume('}');
+        }
+    }
+
+    bool
+    parseArray(const std::string &path)
+    {
+        if (!consume('['))
+            return false;
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        std::size_t index = 0;
+        while (true) {
+            if (!parseValue(path + "[" + std::to_string(index++) + "]"))
+                return false;
+            skipSpace();
+            if (pos_ < text_.size() && text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            return consume(']');
+        }
+    }
+
+    const std::string &text_;
+    FlatJson &out_;
+    std::size_t pos_ = 0;
+    std::string error_;
+};
+
+bool
+loadJson(const std::string &path, FlatJson &out, std::string &error)
+{
+    std::ifstream in(path);
+    if (!in) {
+        error = "cannot open " + path;
+        return false;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+    JsonParser parser(text, out);
+    if (!parser.parse()) {
+        error = path + ": " + parser.error();
+        return false;
+    }
+    return true;
+}
+
+/**
+ * Schema check: every required key present, schema_version within
+ * the versions this reader understands, every number finite (the
+ * parser already rejects non-finite literals) and the medians
+ * positive.
+ */
+bool
+validateSchema(const FlatJson &json, std::string &error)
+{
+    const char *required_numbers[] = {
+        "schema_version",        "peak_rss_bytes",
+        "runs_per_repetition",   "events_per_repetition",
+        "campaign.duration_s",   "campaign.seeds",
+        "campaign.repetitions",  "campaign.warmup",
+        "campaign.jobs",         "wall_s.median",
+        "wall_s.p25",            "wall_s.p75",
+        "events_per_sec.median", "events_per_sec.p25",
+        "events_per_sec.p75",    "runs_per_sec.median",
+        "runs_per_sec.p25",      "runs_per_sec.p75",
+    };
+    for (const char *key : required_numbers) {
+        if (json.numbers.find(key) == json.numbers.end()) {
+            error = std::string("missing required number '") + key + "'";
+            return false;
+        }
+    }
+    if (json.strings.find("benchmark") == json.strings.end()) {
+        error = "missing required string 'benchmark'";
+        return false;
+    }
+    const double version = json.numbers.at("schema_version");
+    if (version != std::floor(version) || version < 1 ||
+        version > kSchemaVersion) {
+        error = "schema_version must be an integer in [1, " +
+                std::to_string(kSchemaVersion) + "]";
+        return false;
+    }
+    const char *positive[] = {"wall_s.median", "events_per_sec.median",
+                              "runs_per_sec.median"};
+    for (const char *key : positive) {
+        if (json.numbers.at(key) <= 0.0) {
+            error = std::string("'") + key + "' must be positive";
+            return false;
+        }
+    }
+    return true;
+}
+
+// --------------------------------------------------------------------
+// Measurement.
+
+double
+peakRssBytes()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    struct rusage usage;
+    if (getrusage(RUSAGE_SELF, &usage) != 0)
+        return 0.0;
+#if defined(__APPLE__)
+    return static_cast<double>(usage.ru_maxrss); // bytes
+#else
+    return static_cast<double>(usage.ru_maxrss) * 1024.0; // KiB
+#endif
+#else
+    return 0.0;
+#endif
+}
+
+SweepSpec
+campaignSpec(const Options &options)
+{
+    SweepSpec spec;
+    spec.workloads = kWorkloads;
+    spec.platforms = kPlatforms;
+    spec.traces = kTraces;
+    spec.policies = kPolicies;
+    spec.seeds = options.seeds;
+    spec.masterSeed = kMasterSeed;
+    spec.duration = options.duration;
+    spec.keepSeries = false; // summaries only: peak RSS stays honest
+    return spec;
+}
+
+Spread
+spreadOf(std::vector<double> samples)
+{
+    std::sort(samples.begin(), samples.end());
+    const auto at = [&](double q) {
+        // Nearest-rank on the sorted repetitions.
+        const std::size_t n = samples.size();
+        const auto rank = static_cast<std::size_t>(
+            std::ceil(q * static_cast<double>(n)));
+        return samples[std::min(rank > 0 ? rank - 1 : 0, n - 1)];
+    };
+    Spread spread;
+    spread.median = at(0.50);
+    spread.p25 = at(0.25);
+    spread.p75 = at(0.75);
+    return spread;
+}
+
+struct Measurement
+{
+    std::size_t runs = 0;
+    std::uint64_t events = 0;
+    Spread wall;
+    Spread eventsPerSec;
+    Spread runsPerSec;
+    double peakRss = 0.0;
+};
+
+Measurement
+measure(const Options &options)
+{
+    const SweepEngine engine(campaignSpec(options));
+    Measurement m;
+    std::vector<double> wall, eps, rps;
+
+    const std::size_t total = options.warmup + options.repetitions;
+    for (std::size_t rep = 0; rep < total; ++rep) {
+        const bool warm = rep < options.warmup;
+        const auto start = std::chrono::steady_clock::now();
+        const SweepResults results = engine.run(options.jobs);
+        const auto stop = std::chrono::steady_clock::now();
+        const double seconds =
+            std::chrono::duration<double>(stop - start).count();
+
+        std::uint64_t events = 0;
+        for (const SweepRun &run : results.runs)
+            events += run.result.simEvents;
+        if (!warm) {
+            m.runs = results.runs.size();
+            m.events = events;
+            wall.push_back(seconds);
+            eps.push_back(static_cast<double>(events) / seconds);
+            rps.push_back(static_cast<double>(results.runs.size()) /
+                          seconds);
+        }
+        if (!options.quiet) {
+            std::fprintf(stderr,
+                         "%s %zu/%zu: %zu runs, %.2fs wall, %.3g "
+                         "events/s\n",
+                         warm ? "warmup" : "rep",
+                         warm ? rep + 1 : rep - options.warmup + 1,
+                         warm ? options.warmup : options.repetitions,
+                         results.runs.size(), seconds,
+                         static_cast<double>(events) / seconds);
+        }
+    }
+
+    m.wall = spreadOf(wall);
+    m.eventsPerSec = spreadOf(eps);
+    m.runsPerSec = spreadOf(rps);
+    m.peakRss = peakRssBytes();
+    return m;
+}
+
+std::string
+jsonStringList(const std::vector<std::string> &items)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i)
+            out += ", ";
+        out += "\"" + items[i] + "\"";
+    }
+    return out + "]";
+}
+
+void
+writeJson(const Options &options, const Measurement &m)
+{
+    std::ofstream out(options.output);
+    if (!out)
+        fatal("hipster_bench: cannot write ", options.output);
+    char buffer[64];
+    const auto num = [&](double value) {
+        std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+        return std::string(buffer);
+    };
+    out << "{\n";
+    out << "  \"schema_version\": " << kSchemaVersion << ",\n";
+    out << "  \"benchmark\": \"" << kBenchmarkName << "\",\n";
+    out << "  \"campaign\": {\n";
+    out << "    \"workloads\": " << jsonStringList(kWorkloads) << ",\n";
+    out << "    \"platforms\": " << jsonStringList(kPlatforms) << ",\n";
+    out << "    \"traces\": " << jsonStringList(kTraces) << ",\n";
+    out << "    \"policies\": " << jsonStringList(kPolicies) << ",\n";
+    out << "    \"master_seed\": " << kMasterSeed << ",\n";
+    out << "    \"duration_s\": " << num(options.duration) << ",\n";
+    out << "    \"seeds\": " << options.seeds << ",\n";
+    out << "    \"repetitions\": " << options.repetitions << ",\n";
+    out << "    \"warmup\": " << options.warmup << ",\n";
+    out << "    \"jobs\": " << options.jobs << "\n";
+    out << "  },\n";
+    out << "  \"runs_per_repetition\": " << m.runs << ",\n";
+    out << "  \"events_per_repetition\": " << m.events << ",\n";
+    out << "  \"wall_s\": {\"median\": " << num(m.wall.median)
+        << ", \"p25\": " << num(m.wall.p25)
+        << ", \"p75\": " << num(m.wall.p75) << "},\n";
+    out << "  \"events_per_sec\": {\"median\": "
+        << num(m.eventsPerSec.median)
+        << ", \"p25\": " << num(m.eventsPerSec.p25)
+        << ", \"p75\": " << num(m.eventsPerSec.p75) << "},\n";
+    out << "  \"runs_per_sec\": {\"median\": " << num(m.runsPerSec.median)
+        << ", \"p25\": " << num(m.runsPerSec.p25)
+        << ", \"p75\": " << num(m.runsPerSec.p75) << "},\n";
+    out << "  \"peak_rss_bytes\": " << num(m.peakRss) << "\n";
+    out << "}\n";
+    if (!out)
+        fatal("hipster_bench: failed writing ", options.output);
+}
+
+int
+validateFile(const std::string &path, bool quiet)
+{
+    FlatJson json;
+    std::string error;
+    if (!loadJson(path, json, error) || !validateSchema(json, error)) {
+        std::fprintf(stderr, "hipster_bench: %s: invalid: %s\n",
+                     path.c_str(), error.c_str());
+        return 1;
+    }
+    if (!quiet)
+        std::fprintf(stderr, "hipster_bench: %s: schema OK\n",
+                     path.c_str());
+    return 0;
+}
+
+/** Compare current events/sec against a baseline JSON; 0 = OK. */
+int
+compareBaseline(const Options &options, const Measurement &m)
+{
+    FlatJson base;
+    std::string error;
+    if (!loadJson(options.baseline, base, error) ||
+        !validateSchema(base, error)) {
+        std::fprintf(stderr, "hipster_bench: baseline %s: %s\n",
+                     options.baseline.c_str(), error.c_str());
+        return 1;
+    }
+    const double base_eps = base.numbers.at("events_per_sec.median");
+    const double cur_eps = m.eventsPerSec.median;
+    const double change = (cur_eps - base_eps) / base_eps * 100.0;
+    std::fprintf(stderr,
+                 "hipster_bench: events/sec %.4g vs baseline %.4g "
+                 "(%+.1f%%), threshold -%.1f%%\n",
+                 cur_eps, base_eps, change, options.threshold);
+    if (change < -options.threshold) {
+        std::fprintf(stderr,
+                     "hipster_bench: FAIL — events/sec regressed "
+                     "beyond %.1f%%\n",
+                     options.threshold);
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options options = parseArgs(argc, argv);
+    if (!options.validate.empty())
+        return validateFile(options.validate, options.quiet);
+
+    Measurement m;
+    try {
+        m = measure(options);
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "hipster_bench: %s\n", e.what());
+        return 1;
+    }
+    writeJson(options, m);
+    if (!options.quiet) {
+        std::fprintf(stderr,
+                     "hipster_bench: %s — wall %.2fs (IQR %.2f–%.2f), "
+                     "%.3g events/s, %.0f MiB peak RSS\n",
+                     options.output.c_str(), m.wall.median, m.wall.p25,
+                     m.wall.p75, m.eventsPerSec.median,
+                     m.peakRss / (1024.0 * 1024.0));
+    }
+
+    if (options.selfcheck) {
+        const int rc = validateFile(options.output, options.quiet);
+        if (rc != 0)
+            return rc;
+    }
+    if (!options.baseline.empty())
+        return compareBaseline(options, m);
+    return 0;
+}

@@ -30,11 +30,10 @@ ExperimentRunner::setBatch(std::shared_ptr<BatchWorkload> batch)
     batch_ = std::move(batch);
 }
 
-std::vector<ServerSpec>
-ExperimentRunner::buildServers(
-    const std::vector<ClusterPressure> &pressure) const
+const std::vector<ServerSpec> &
+ExperimentRunner::buildServers(const std::vector<ClusterPressure> &pressure)
 {
-    std::vector<ServerSpec> servers;
+    serversScratch_.clear();
     const ServiceModel &model = app_->serviceModel();
     for (CoreId core : platform_->lcCores()) {
         ServerSpec server;
@@ -45,9 +44,9 @@ ExperimentRunner::buildServers(
         server.stallScale = contention_.lcStallScale(
             pressure, platform_->clusterOf(core),
             def_.traits.stallSensitivity);
-        servers.push_back(server);
+        serversScratch_.push_back(server);
     }
-    return servers;
+    return serversScratch_;
 }
 
 ExperimentResult
@@ -65,6 +64,7 @@ ExperimentRunner::run(
 
     const auto intervals = static_cast<std::size_t>(
         duration / options_.interval + 0.5);
+    result.series.reserve(intervals);
     IntervalMetrics last;
     for (std::size_t k = 0; k < intervals; ++k) {
         const Decision decision =
@@ -78,6 +78,7 @@ ExperimentRunner::run(
     result.summary = RunSummary::fromSeries(result.series);
     result.migrations = platform_->totalMigrations();
     result.dvfsTransitions = platform_->totalDvfsTransitions();
+    result.simEvents = app_->eventsProcessed();
     return result;
 }
 
@@ -115,7 +116,8 @@ ExperimentRunner::stepInterval(std::size_t k, const Decision &decision)
         platform_->cpuIdle().setEnabled(false);
 
     const std::vector<CoreId> &spare = platform_->spareCores();
-    std::vector<ClusterPressure> pressure(platform_->clusters().size());
+    std::vector<ClusterPressure> &pressure = pressureScratch_;
+    pressure.assign(platform_->clusters().size(), ClusterPressure{});
     if (batch_running)
         pressure = batch_->pressureOn(*platform_, spare);
     // LC pressure (utilization-weighted, lagged one interval).
@@ -156,9 +158,12 @@ ExperimentRunner::stepInterval(std::size_t k, const Decision &decision)
     // cores is allocated (LC) or running batch work; powered-but-idle
     // cores burn static power, which is what keeps the Figure 1
     // baseline above 60% of peak at low load.
-    std::vector<ClusterActivity> activity(platform_->clusters().size());
-    std::vector<Seconds> busy(platform_->clusters().size(), 0.0);
-    std::vector<std::uint32_t> allocated(platform_->clusters().size(), 0);
+    std::vector<ClusterActivity> &activity = activityScratch_;
+    std::vector<Seconds> &busy = busyScratch_;
+    std::vector<std::uint32_t> &allocated = allocatedScratch_;
+    activity.assign(platform_->clusters().size(), ClusterActivity{});
+    busy.assign(platform_->clusters().size(), 0.0);
+    allocated.assign(platform_->clusters().size(), 0);
     for (const auto &use : lc.usage) {
         busy[platform_->clusterOf(use.core)] += use.busyTime;
     }

@@ -19,6 +19,7 @@
 #include "core/policy.hh"
 #include "loadgen/load_trace.hh"
 #include "monitor/metrics.hh"
+#include "monitor/metrics_series.hh"
 #include "monitor/qos_monitor.hh"
 #include "platform/platform.hh"
 #include "workloads/apps.hh"
@@ -34,7 +35,7 @@ struct ExperimentResult
 {
     std::string policyName;
     std::string workloadName;
-    std::vector<IntervalMetrics> series;
+    MetricsSeries series;
     RunSummary summary;
 
     /** Total LC core migrations over the run. */
@@ -42,6 +43,9 @@ struct ExperimentResult
 
     /** Total cluster DVFS transitions over the run. */
     std::uint64_t dvfsTransitions = 0;
+
+    /** Simulation events processed by the LC app's event queue. */
+    std::uint64_t simEvents = 0;
 };
 
 /** Knobs of the experiment loop. */
@@ -103,9 +107,12 @@ class ExperimentRunner
   private:
     IntervalMetrics stepInterval(std::size_t k, const Decision &decision);
 
-    /** Build the LC server set for the current platform state. */
-    std::vector<ServerSpec>
-    buildServers(const std::vector<ClusterPressure> &pressure) const;
+    /**
+     * Build the LC server set for the current platform state into
+     * the reusable scratch buffer (valid until the next call).
+     */
+    const std::vector<ServerSpec> &
+    buildServers(const std::vector<ClusterPressure> &pressure);
 
     PlatformSpec spec_;
     LcWorkloadDef def_;
@@ -121,6 +128,14 @@ class ExperimentRunner
 
     /** LC utilization of the previous interval (pressure lag). */
     Fraction lastLcUtilization_ = 0.0;
+
+    // Per-interval scratch, preallocated once and reused so the
+    // interval loop stays allocation-free (see stepInterval).
+    std::vector<ServerSpec> serversScratch_;
+    std::vector<ClusterPressure> pressureScratch_;
+    std::vector<ClusterActivity> activityScratch_;
+    std::vector<Seconds> busyScratch_;
+    std::vector<std::uint32_t> allocatedScratch_;
 };
 
 } // namespace hipster

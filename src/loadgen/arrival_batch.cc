@@ -1,0 +1,20 @@
+#include "loadgen/arrival_batch.hh"
+
+namespace hipster
+{
+
+void
+drawPoissonArrivals(Rng &rng, Seconds t0, Seconds t1, Rate rate,
+                    std::vector<Seconds> &out)
+{
+    out.clear();
+    if (rate <= 0.0)
+        return;
+    Seconds t = t0 + rng.exponential(rate);
+    while (t < t1) {
+        out.push_back(t);
+        t += rng.exponential(rate);
+    }
+}
+
+} // namespace hipster

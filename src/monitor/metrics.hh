@@ -18,6 +18,8 @@
 namespace hipster
 {
 
+class MetricsSeries;
+
 /**
  * Everything the task managers can observe about one monitoring
  * interval. Produced by the QoSMonitor at the end of each interval;
@@ -130,6 +132,12 @@ struct RunSummary
 
     /** Build the summary from an interval series. */
     static RunSummary fromSeries(const std::vector<IntervalMetrics> &series);
+
+    /**
+     * Column-wise overload for the SoA container; bitwise-identical
+     * to the row-wise reduction above (see metrics_series.cc).
+     */
+    static RunSummary fromSeries(const MetricsSeries &series);
 
     /**
      * Energy reduction of this run relative to a baseline run

@@ -1,0 +1,180 @@
+#include "monitor/metrics_series.hh"
+
+namespace hipster
+{
+
+void
+MetricsSeries::reserve(std::size_t n)
+{
+    begin_.reserve(n);
+    end_.reserve(n);
+    offeredLoad_.reserve(n);
+    offeredRate_.reserve(n);
+    loadBucket_.reserve(n);
+    tailLatency_.reserve(n);
+    qosTarget_.reserve(n);
+    throughput_.reserve(n);
+    power_.reserve(n);
+    energy_.reserve(n);
+    batchBigIps_.reserve(n);
+    batchSmallIps_.reserve(n);
+    batchPresent_.reserve(n);
+    ipsValid_.reserve(n);
+    config_.reserve(n);
+    migrations_.reserve(n);
+    dvfsTransitions_.reserve(n);
+    lcUtilization_.reserve(n);
+    dropped_.reserve(n);
+}
+
+void
+MetricsSeries::push_back(const IntervalMetrics &m)
+{
+    begin_.push_back(m.begin);
+    end_.push_back(m.end);
+    offeredLoad_.push_back(m.offeredLoad);
+    offeredRate_.push_back(m.offeredRate);
+    loadBucket_.push_back(m.loadBucket);
+    tailLatency_.push_back(m.tailLatency);
+    qosTarget_.push_back(m.qosTarget);
+    throughput_.push_back(m.throughput);
+    power_.push_back(m.power);
+    energy_.push_back(m.energy);
+    batchBigIps_.push_back(m.batchBigIps);
+    batchSmallIps_.push_back(m.batchSmallIps);
+    batchPresent_.push_back(m.batchPresent ? 1 : 0);
+    ipsValid_.push_back(m.ipsValid ? 1 : 0);
+    config_.push_back(m.config);
+    migrations_.push_back(m.migrations);
+    dvfsTransitions_.push_back(m.dvfsTransitions);
+    lcUtilization_.push_back(m.lcUtilization);
+    dropped_.push_back(m.dropped);
+}
+
+void
+MetricsSeries::clear()
+{
+    begin_.clear();
+    end_.clear();
+    offeredLoad_.clear();
+    offeredRate_.clear();
+    loadBucket_.clear();
+    tailLatency_.clear();
+    qosTarget_.clear();
+    throughput_.clear();
+    power_.clear();
+    energy_.clear();
+    batchBigIps_.clear();
+    batchSmallIps_.clear();
+    batchPresent_.clear();
+    ipsValid_.clear();
+    config_.clear();
+    migrations_.clear();
+    dvfsTransitions_.clear();
+    lcUtilization_.clear();
+    dropped_.clear();
+}
+
+void
+MetricsSeries::shrink_to_fit()
+{
+    begin_.shrink_to_fit();
+    end_.shrink_to_fit();
+    offeredLoad_.shrink_to_fit();
+    offeredRate_.shrink_to_fit();
+    loadBucket_.shrink_to_fit();
+    tailLatency_.shrink_to_fit();
+    qosTarget_.shrink_to_fit();
+    throughput_.shrink_to_fit();
+    power_.shrink_to_fit();
+    energy_.shrink_to_fit();
+    batchBigIps_.shrink_to_fit();
+    batchSmallIps_.shrink_to_fit();
+    batchPresent_.shrink_to_fit();
+    ipsValid_.shrink_to_fit();
+    config_.shrink_to_fit();
+    migrations_.shrink_to_fit();
+    dvfsTransitions_.shrink_to_fit();
+    lcUtilization_.shrink_to_fit();
+    dropped_.shrink_to_fit();
+}
+
+IntervalMetrics
+MetricsSeries::operator[](std::size_t i) const
+{
+    IntervalMetrics m;
+    m.begin = begin_[i];
+    m.end = end_[i];
+    m.offeredLoad = offeredLoad_[i];
+    m.offeredRate = offeredRate_[i];
+    m.loadBucket = loadBucket_[i];
+    m.tailLatency = tailLatency_[i];
+    m.qosTarget = qosTarget_[i];
+    m.throughput = throughput_[i];
+    m.power = power_[i];
+    m.energy = energy_[i];
+    m.batchBigIps = batchBigIps_[i];
+    m.batchSmallIps = batchSmallIps_[i];
+    m.batchPresent = batchPresent_[i] != 0;
+    m.ipsValid = ipsValid_[i] != 0;
+    m.config = config_[i];
+    m.migrations = migrations_[i];
+    m.dvfsTransitions = dvfsTransitions_[i];
+    m.lcUtilization = lcUtilization_[i];
+    m.dropped = dropped_[i];
+    return m;
+}
+
+RunSummary
+RunSummary::fromSeries(const MetricsSeries &series)
+{
+    // Column-wise reduction. Each accumulator visits its column in
+    // index order, so every double sum sees exactly the operand
+    // sequence of the row-wise vector overload — bitwise-identical
+    // summaries (pinned by tests/experiments/test_golden_repin.cc).
+    RunSummary summary;
+    const std::size_t n = series.size();
+    summary.intervals = n;
+    if (n == 0)
+        return summary;
+
+    std::size_t met = 0;
+    std::size_t violated = 0;
+    double tardiness_sum = 0.0;
+    double power_sum = 0.0;
+    double throughput_sum = 0.0;
+    double batch_ips_sum = 0.0;
+    std::size_t batch_intervals = 0;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const Millis tail = series.tailLatency_[i];
+        const Millis target = series.qosTarget_[i];
+        if (tail > target) {
+            ++violated;
+            tardiness_sum += target > 0.0 ? tail / target : 0.0;
+        } else {
+            ++met;
+        }
+        summary.energy += series.energy_[i];
+        power_sum += series.power_[i];
+        throughput_sum += series.throughput_[i];
+        summary.migrations += series.migrations_[i];
+        summary.dvfsTransitions += series.dvfsTransitions_[i];
+        summary.dropped += series.dropped_[i];
+        if (series.batchPresent_[i]) {
+            batch_ips_sum +=
+                series.batchBigIps_[i] + series.batchSmallIps_[i];
+            ++batch_intervals;
+        }
+    }
+
+    summary.qosGuarantee = static_cast<double>(met) / n;
+    summary.qosTardiness = violated ? tardiness_sum / violated : 0.0;
+    summary.meanPower = power_sum / n;
+    summary.meanThroughput = throughput_sum / n;
+    summary.meanBatchIps =
+        batch_intervals ? batch_ips_sum / batch_intervals : 0.0;
+    return summary;
+}
+
+} // namespace hipster

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * MetricsSeries: structure-of-arrays storage for a run's interval
+ * metrics. A diurnal sweep holds hundreds of thousands of intervals
+ * across runs; storing each field in its own contiguous column keeps
+ * the per-interval append on the runner's hot loop cache-friendly
+ * and lets summaries and reporters stream one column at a time.
+ *
+ * The container intentionally mimics the std::vector surface the
+ * code already uses (push_back / size / operator[] / range-for), so
+ * consumers are oblivious to the layout change; operator[] gathers a
+ * full IntervalMetrics by value.
+ */
+
+#ifndef HIPSTER_MONITOR_METRICS_SERIES_HH
+#define HIPSTER_MONITOR_METRICS_SERIES_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <vector>
+
+#include "monitor/metrics.hh"
+
+namespace hipster
+{
+
+/** Column-major interval-metrics container. */
+class MetricsSeries
+{
+  public:
+    using value_type = IntervalMetrics;
+
+    /** Input iterator gathering rows on dereference. */
+    class const_iterator
+    {
+      public:
+        using iterator_category = std::input_iterator_tag;
+        using value_type = IntervalMetrics;
+        using difference_type = std::ptrdiff_t;
+        using pointer = const IntervalMetrics *;
+        using reference = IntervalMetrics;
+
+        const_iterator(const MetricsSeries *series, std::size_t index)
+            : series_(series), index_(index)
+        {
+        }
+
+        IntervalMetrics operator*() const { return (*series_)[index_]; }
+
+        const_iterator &
+        operator++()
+        {
+            ++index_;
+            return *this;
+        }
+
+        bool
+        operator==(const const_iterator &other) const
+        {
+            return index_ == other.index_;
+        }
+
+        bool
+        operator!=(const const_iterator &other) const
+        {
+            return index_ != other.index_;
+        }
+
+      private:
+        const MetricsSeries *series_;
+        std::size_t index_;
+    };
+
+    std::size_t size() const { return begin_.size(); }
+    bool empty() const { return begin_.empty(); }
+
+    void reserve(std::size_t n);
+    void push_back(const IntervalMetrics &m);
+    void clear();
+    void shrink_to_fit();
+
+    /** Gather row `i` into a full IntervalMetrics (by value). */
+    IntervalMetrics operator[](std::size_t i) const;
+
+    const_iterator begin() const { return const_iterator(this, 0); }
+    const_iterator end() const { return const_iterator(this, size()); }
+
+    // Column views for streaming consumers (summaries, reporters).
+    const std::vector<Millis> &tailLatencyColumn() const
+    {
+        return tailLatency_;
+    }
+    const std::vector<Joules> &energyColumn() const { return energy_; }
+    const std::vector<Watts> &powerColumn() const { return power_; }
+    const std::vector<Rate> &throughputColumn() const
+    {
+        return throughput_;
+    }
+
+  private:
+    friend struct RunSummary;
+
+    std::vector<Seconds> begin_;
+    std::vector<Seconds> end_;
+    std::vector<Fraction> offeredLoad_;
+    std::vector<Rate> offeredRate_;
+    std::vector<int> loadBucket_;
+    std::vector<Millis> tailLatency_;
+    std::vector<Millis> qosTarget_;
+    std::vector<Rate> throughput_;
+    std::vector<Watts> power_;
+    std::vector<Joules> energy_;
+    std::vector<Ips> batchBigIps_;
+    std::vector<Ips> batchSmallIps_;
+    std::vector<std::uint8_t> batchPresent_;
+    std::vector<std::uint8_t> ipsValid_;
+    std::vector<CoreConfig> config_;
+    std::vector<std::uint32_t> migrations_;
+    std::vector<std::uint32_t> dvfsTransitions_;
+    std::vector<Fraction> lcUtilization_;
+    std::vector<std::uint64_t> dropped_;
+};
+
+} // namespace hipster
+
+#endif // HIPSTER_MONITOR_METRICS_SERIES_HH

@@ -1,0 +1,164 @@
+#include "sim/calendar_queue.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace hipster
+{
+
+namespace
+{
+
+/** Initial geometry: small calendar, quarter-second days. */
+constexpr std::size_t kInitialBuckets = 16;
+constexpr double kInitialWidth = 0.25;
+
+/** Bounds keeping floor(when / width) castable to int64. */
+constexpr double kMinWidth = 1e-9;
+constexpr double kMaxVirtual = 4.0e18;
+
+} // namespace
+
+CalendarQueue::CalendarQueue()
+    : buckets_(kInitialBuckets), width_(kInitialWidth)
+{
+}
+
+std::int64_t
+CalendarQueue::virtualBucket(Seconds when) const
+{
+    const double q = std::floor(when / width_);
+    if (q >= kMaxVirtual)
+        return static_cast<std::int64_t>(kMaxVirtual);
+    if (q <= -kMaxVirtual)
+        return -static_cast<std::int64_t>(kMaxVirtual);
+    return static_cast<std::int64_t>(q);
+}
+
+std::size_t
+CalendarQueue::bucketIndex(std::int64_t vb) const
+{
+    const auto n = static_cast<std::int64_t>(buckets_.size());
+    return static_cast<std::size_t>(((vb % n) + n) % n);
+}
+
+void
+CalendarQueue::insert(Seconds when, std::uint64_t seq, Handler handler)
+{
+    HIPSTER_ASSERT(std::isfinite(when),
+                   "CalendarQueue: non-finite event time");
+    if (size_ + 1 > 2 * buckets_.size())
+        rebuild(2 * buckets_.size());
+
+    Event event;
+    event.when = when;
+    event.seq = seq;
+    event.vb = virtualBucket(when);
+    event.handler = std::move(handler);
+
+    // Keep the cursor at or below every stored event's virtual
+    // bucket, so the forward scan in locateMin() never skips one.
+    if (size_ == 0 || event.vb < cursor_)
+        cursor_ = event.vb;
+
+    std::vector<Event> &bucket = buckets_[bucketIndex(event.vb)];
+    const auto pos = std::upper_bound(bucket.begin(), bucket.end(),
+                                      event, laterThan);
+    bucket.insert(pos, std::move(event));
+    ++size_;
+}
+
+void
+CalendarQueue::locateMin() const
+{
+    HIPSTER_ASSERT(size_ > 0, "locateMin on empty calendar queue");
+    // Walk forward one day at a time. An event with vb == cursor_ can
+    // only live in bucket cursor_ % n, and vb < cursor_ is excluded
+    // by the insert/pop invariant, so a bucket whose earliest entry
+    // is from a later year can be skipped outright.
+    for (std::size_t lap = 0; lap < buckets_.size(); ++lap) {
+        const std::vector<Event> &bucket = buckets_[bucketIndex(cursor_)];
+        if (!bucket.empty() && bucket.back().vb <= cursor_)
+            return;
+        ++cursor_;
+    }
+    // Sparse year: jump straight to the earliest event. Each bucket
+    // is sorted, so the global minimum is the least of the backs.
+    const Event *min = nullptr;
+    for (const std::vector<Event> &bucket : buckets_) {
+        if (bucket.empty())
+            continue;
+        if (!min || laterThan(*min, bucket.back()))
+            min = &bucket.back();
+    }
+    HIPSTER_ASSERT(min != nullptr, "calendar queue lost its events");
+    cursor_ = min->vb;
+}
+
+Seconds
+CalendarQueue::minTime() const
+{
+    locateMin();
+    return buckets_[bucketIndex(cursor_)].back().when;
+}
+
+CalendarQueue::Popped
+CalendarQueue::popMin()
+{
+    locateMin();
+    std::vector<Event> &bucket = buckets_[bucketIndex(cursor_)];
+    Popped popped;
+    popped.when = bucket.back().when;
+    popped.handler = std::move(bucket.back().handler);
+    bucket.pop_back();
+    --size_;
+    if (buckets_.size() > kInitialBuckets && size_ < buckets_.size() / 4)
+        rebuild(buckets_.size() / 2);
+    return popped;
+}
+
+void
+CalendarQueue::rebuild(std::size_t buckets)
+{
+    std::vector<Event> events;
+    events.reserve(size_);
+    for (std::vector<Event> &bucket : buckets_) {
+        for (Event &event : bucket)
+            events.push_back(std::move(event));
+        bucket.clear();
+    }
+    buckets_.assign(std::max(buckets, kInitialBuckets), {});
+
+    if (!events.empty()) {
+        // Re-derive the day length from the live span: ~3x the mean
+        // inter-event gap, the classic calendar-queue sizing rule.
+        auto [lo, hi] = std::minmax_element(
+            events.begin(), events.end(),
+            [](const Event &a, const Event &b) { return a.when < b.when; });
+        const double span = hi->when - lo->when;
+        if (span > 0.0) {
+            width_ = std::max(3.0 * span /
+                                  static_cast<double>(events.size()),
+                              kMinWidth);
+        }
+        std::sort(events.begin(), events.end(), laterThan);
+        cursor_ = virtualBucket(events.back().when);
+        for (Event &event : events) {
+            event.vb = virtualBucket(event.when);
+            buckets_[bucketIndex(event.vb)].push_back(std::move(event));
+        }
+    }
+}
+
+void
+CalendarQueue::clear()
+{
+    buckets_.assign(kInitialBuckets, {});
+    width_ = kInitialWidth;
+    size_ = 0;
+    cursor_ = 0;
+}
+
+} // namespace hipster

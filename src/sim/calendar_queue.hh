@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Calendar queue (Brown 1988): a bucketed ladder of timestamped
+ * events with amortized O(1) insert and pop-min, replacing the
+ * binary heap on the simulator's hottest path. Events map to
+ * buckets by floor(when / width) modulo the bucket count ("day of
+ * year"); popping scans forward from a cursor day, and the bucket
+ * count/width adapt to the queue size and event-time span.
+ *
+ * Pop order is the same total order the time-ordered heap uses —
+ * (when, seq) ascending — so the two backends are interchangeable
+ * event-for-event; tests/sim/test_calendar_queue.cc pins that
+ * equivalence under randomized interleavings.
+ */
+
+#ifndef HIPSTER_SIM_CALENDAR_QUEUE_HH
+#define HIPSTER_SIM_CALENDAR_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace hipster
+{
+
+/**
+ * The bucketed ladder. Stores (when, seq, handler) events; `seq` is
+ * the insertion sequence number the owner assigns, which breaks
+ * same-timestamp ties FIFO exactly like the heap backend.
+ */
+class CalendarQueue
+{
+  public:
+    using Handler = std::function<void(Seconds)>;
+
+    CalendarQueue();
+
+    /** Insert an event; `seq` must be unique and increasing. */
+    void insert(Seconds when, std::uint64_t seq, Handler handler);
+
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
+
+    /**
+     * Timestamp of the earliest event. Must not be called empty.
+     * Advances the internal cursor (amortized work shared with the
+     * following popMin), which is logically const.
+     */
+    Seconds minTime() const;
+
+    /** An extracted event. */
+    struct Popped
+    {
+        Seconds when = 0.0;
+        Handler handler;
+    };
+
+    /** Remove and return the earliest event (FIFO on ties). Must not
+     * be called empty. */
+    Popped popMin();
+
+    /** Drop all events; bucket geometry resets to the initial one. */
+    void clear();
+
+    /** Current number of buckets (testing/tuning aid). */
+    std::size_t bucketCount() const { return buckets_.size(); }
+
+    /** Current bucket width in seconds (testing/tuning aid). */
+    double bucketWidth() const { return width_; }
+
+  private:
+    struct Event
+    {
+        Seconds when = 0.0;
+        std::uint64_t seq = 0;
+        std::int64_t vb = 0; ///< virtual bucket = floor(when / width)
+        Handler handler;
+    };
+
+    /** Strict (when, seq) order; buckets are kept sorted descending
+     * so the bucket's earliest event is at back(). */
+    static bool
+    laterThan(const Event &a, const Event &b)
+    {
+        if (a.when != b.when)
+            return a.when > b.when;
+        return a.seq > b.seq;
+    }
+
+    /** Virtual bucket of a timestamp under the current width. */
+    std::int64_t virtualBucket(Seconds when) const;
+
+    /** Physical bucket index of a virtual bucket. */
+    std::size_t bucketIndex(std::int64_t vb) const;
+
+    /**
+     * Advance the cursor to the bucket holding the earliest event.
+     * Scans at most one full "year" of buckets, then falls back to a
+     * direct search. Requires size_ > 0.
+     */
+    void locateMin() const;
+
+    /** Re-bucket everything into `buckets` buckets with a width
+     * derived from the current event-time span. */
+    void rebuild(std::size_t buckets);
+
+    std::vector<std::vector<Event>> buckets_;
+    std::size_t size_ = 0;
+    double width_;
+
+    /**
+     * Cursor day: the invariant is that no stored event has a
+     * virtual bucket below it. Mutable because locating the minimum
+     * advances it (amortization state, not observable ordering
+     * state).
+     */
+    mutable std::int64_t cursor_ = 0;
+};
+
+} // namespace hipster
+
+#endif // HIPSTER_SIM_CALENDAR_QUEUE_HH

@@ -5,27 +5,39 @@
 namespace hipster
 {
 
+EventQueue::EventQueue(Backend backend) : backend_(backend) {}
+
 void
 EventQueue::schedule(Seconds when, Handler handler)
 {
-    heap_.push(Entry{when, nextSeq_++, std::move(handler)});
+    if (backend_ == Backend::Calendar) {
+        calendar_.insert(when, nextSeq_++, std::move(handler));
+    } else {
+        heap_.push(Entry{when, nextSeq_++, std::move(handler)});
+    }
 }
 
 Seconds
 EventQueue::nextTime() const
 {
-    HIPSTER_ASSERT(!heap_.empty(), "nextTime on empty queue");
-    return heap_.top().when;
+    HIPSTER_ASSERT(!empty(), "nextTime on empty queue");
+    return backend_ == Backend::Calendar ? calendar_.minTime()
+                                         : heap_.top().when;
 }
 
 Seconds
 EventQueue::runOne()
 {
-    HIPSTER_ASSERT(!heap_.empty(), "runOne on empty queue");
+    HIPSTER_ASSERT(!empty(), "runOne on empty queue");
+    ++processed_;
+    if (backend_ == Backend::Calendar) {
+        CalendarQueue::Popped popped = calendar_.popMin();
+        popped.handler(popped.when);
+        return popped.when;
+    }
     // priority_queue::top returns const&; we must copy before pop.
     Entry entry = heap_.top();
     heap_.pop();
-    ++processed_;
     entry.handler(entry.when);
     return entry.when;
 }
@@ -34,7 +46,7 @@ std::size_t
 EventQueue::runUntil(Seconds until)
 {
     std::size_t count = 0;
-    while (!heap_.empty() && heap_.top().when <= until) {
+    while (!empty() && nextTime() <= until) {
         runOne();
         ++count;
     }
@@ -44,6 +56,7 @@ EventQueue::runUntil(Seconds until)
 void
 EventQueue::clear()
 {
+    calendar_.clear();
     while (!heap_.empty())
         heap_.pop();
 }

@@ -1,8 +1,12 @@
 /**
  * @file
- * Generic discrete-event simulation core: a time-ordered event queue
+ * Generic discrete-event simulation core: a timestamped event queue
  * with stable FIFO ordering among simultaneous events, and a small
- * simulation clock wrapper.
+ * simulation clock wrapper. Two interchangeable backends sit behind
+ * the one interface: the original time-ordered binary heap and the
+ * calendar queue (sim/calendar_queue), which is the default on the
+ * hot path. Both pop in the identical (when, seq) total order, so
+ * simulations are bitwise-independent of the backend choice.
  */
 
 #ifndef HIPSTER_SIM_EVENT_QUEUE_HH
@@ -14,28 +18,53 @@
 #include <vector>
 
 #include "common/units.hh"
+#include "sim/calendar_queue.hh"
 
 namespace hipster
 {
 
 /**
- * Min-heap of timestamped events. Events scheduled for the same time
- * fire in insertion order (a sequence number breaks ties), which
- * keeps simulations deterministic.
+ * Event queue facade. Events scheduled for the same time fire in
+ * insertion order (a sequence number breaks ties), which keeps
+ * simulations deterministic.
  */
 class EventQueue
 {
   public:
     using Handler = std::function<void(Seconds now)>;
 
+    /** Priority-queue implementation choice. */
+    enum class Backend
+    {
+        /** Binary min-heap: the O(log n) reference implementation. */
+        TimeOrdered,
+
+        /** Calendar queue: amortized O(1) insert/pop (the default). */
+        Calendar,
+    };
+
+    explicit EventQueue(Backend backend = Backend::Calendar);
+
+    Backend backend() const { return backend_; }
+
     /** Schedule `handler` to fire at absolute time `when`. */
     void schedule(Seconds when, Handler handler);
 
     /** True when no events are pending. */
-    bool empty() const { return heap_.empty(); }
+    bool
+    empty() const
+    {
+        return backend_ == Backend::Calendar ? calendar_.empty()
+                                             : heap_.empty();
+    }
 
     /** Number of pending events. */
-    std::size_t size() const { return heap_.size(); }
+    std::size_t
+    size() const
+    {
+        return backend_ == Backend::Calendar ? calendar_.size()
+                                             : heap_.size();
+    }
 
     /** Timestamp of the earliest pending event. */
     Seconds nextTime() const;
@@ -78,7 +107,9 @@ class EventQueue
         }
     };
 
+    Backend backend_;
     std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    CalendarQueue calendar_;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t processed_ = 0;
 };

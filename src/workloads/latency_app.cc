@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "loadgen/arrival_batch.hh"
 
 namespace hipster
 {
@@ -149,27 +150,19 @@ void
 LatencyCriticalApp::seedOpenLoopArrivals(Seconds t0, Seconds t1,
                                          Rate sim_rate)
 {
-    if (sim_rate <= 0.0)
-        return;
-    // Self-perpetuating arrival chain confined to [t0, t1): each
-    // arrival samples a request, submits it, and schedules the next.
-    const Seconds first = t0 + arrivalRng_.exponential(sim_rate);
-    if (first >= t1)
-        return;
-    scheduleOpenLoopArrival(first, t1, sim_rate);
-}
-
-void
-LatencyCriticalApp::scheduleOpenLoopArrival(Seconds when, Seconds t1,
-                                            Rate sim_rate)
-{
-    events_.schedule(when, [this, t1, sim_rate](Seconds now) {
-        Request request = model_.sample(demandRng_, now);
-        system_.submit(request);
-        const Seconds next = now + arrivalRng_.exponential(sim_rate);
-        if (next < t1)
-            scheduleOpenLoopArrival(next, t1, sim_rate);
-    });
+    // All of the interval's arrival times are drawn in one batch and
+    // pre-scheduled. The demand RNG is a separate stream sampled in
+    // timestamp order either way, so batching leaves both RNG
+    // sequences — and therefore every golden — untouched, while the
+    // single-pointer capture below stays inside std::function's
+    // small-buffer storage (no allocation per arrival).
+    drawPoissonArrivals(arrivalRng_, t0, t1, sim_rate, arrivalBatch_);
+    for (const Seconds when : arrivalBatch_) {
+        events_.schedule(when, [this](Seconds now) {
+            Request request = model_.sample(demandRng_, now);
+            system_.submit(request);
+        });
+    }
 }
 
 void

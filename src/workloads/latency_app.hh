@@ -163,9 +163,11 @@ class LatencyCriticalApp
     /** Closed-loop population currently active (0 in open loop). */
     std::size_t activeUsers() const { return activeUsers_; }
 
+    /** Simulation events processed so far (bench instrumentation). */
+    std::uint64_t eventsProcessed() const { return events_.processed(); }
+
   private:
     void seedOpenLoopArrivals(Seconds t0, Seconds t1, Rate sim_rate);
-    void scheduleOpenLoopArrival(Seconds when, Seconds t1, Rate sim_rate);
     void adjustUserPopulation(std::size_t target, Seconds now);
     void scheduleUserThink(std::size_t user, Seconds now);
 
@@ -180,6 +182,9 @@ class LatencyCriticalApp
     SampleStats intervalLatencies_;
     std::uint64_t intervalCompleted_ = 0;
     std::uint64_t lastDroppedTotal_ = 0;
+
+    /** Reusable scratch for batched open-loop arrival times. */
+    std::vector<Seconds> arrivalBatch_;
 
     // Closed-loop user state.
     std::size_t activeUsers_ = 0;

@@ -21,8 +21,7 @@ namespace
 
 /** Field-by-field equality of two interval series (exact doubles). */
 void
-expectBitwiseEqualSeries(const std::vector<IntervalMetrics> &a,
-                         const std::vector<IntervalMetrics> &b)
+expectBitwiseEqualSeries(const MetricsSeries &a, const MetricsSeries &b)
 {
     ASSERT_EQ(a.size(), b.size());
     for (std::size_t i = 0; i < a.size(); ++i) {

@@ -117,7 +117,8 @@ TEST(IntervalMetrics, QosRatioAndViolation)
 
 TEST(RunSummary, EmptySeries)
 {
-    const RunSummary s = RunSummary::fromSeries({});
+    const RunSummary s =
+        RunSummary::fromSeries(std::vector<IntervalMetrics>{});
     EXPECT_EQ(s.intervals, 0u);
     EXPECT_DOUBLE_EQ(s.qosGuarantee, 0.0);
 }

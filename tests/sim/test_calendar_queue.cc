@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Equivalence layer for the calendar-queue backend: randomized
+ * differential tests driving the calendar queue and the time-ordered
+ * heap through identical schedule/run/cancel interleavings and
+ * asserting event-for-event identical pop order — including FIFO
+ * tie-breaking among same-timestamp events — plus direct unit tests
+ * of the calendar geometry (growth, shrink, sparse years, rewinds).
+ *
+ * This is the determinism contract that lets the simulator switch
+ * backends without disturbing any golden: the two queues implement
+ * the same (when, seq) total order.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.hh"
+#include "sim/calendar_queue.hh"
+#include "sim/event_queue.hh"
+
+namespace hipster
+{
+namespace
+{
+
+/** One observed event execution: which event fired, and when. */
+using Fired = std::pair<std::uint64_t, Seconds>;
+
+/**
+ * Drives two EventQueue backends through the same operation stream.
+ * Every schedule targets both queues with the same (when, id), so
+ * the sequence numbers — and therefore the tie-breaking — must
+ * coincide.
+ */
+struct QueuePair
+{
+    EventQueue heap{EventQueue::Backend::TimeOrdered};
+    EventQueue calendar{EventQueue::Backend::Calendar};
+    std::vector<Fired> heapLog;
+    std::vector<Fired> calendarLog;
+    std::uint64_t nextId = 0;
+
+    void
+    schedule(Seconds when)
+    {
+        const std::uint64_t id = nextId++;
+        heap.schedule(when, [this, id](Seconds now) {
+            heapLog.emplace_back(id, now);
+        });
+        calendar.schedule(when, [this, id](Seconds now) {
+            calendarLog.emplace_back(id, now);
+        });
+    }
+
+    void
+    expectLogsIdentical() const
+    {
+        ASSERT_EQ(heapLog.size(), calendarLog.size());
+        for (std::size_t i = 0; i < heapLog.size(); ++i) {
+            ASSERT_EQ(heapLog[i].first, calendarLog[i].first)
+                << "pop order diverged at event " << i;
+            ASSERT_EQ(heapLog[i].second, calendarLog[i].second)
+                << "timestamps diverged at event " << i;
+        }
+    }
+};
+
+class DifferentialInterleaving
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(DifferentialInterleaving, IdenticalPopOrderUnderRandomOps)
+{
+    Rng rng(GetParam());
+    QueuePair pair;
+    Seconds now = 0.0;
+
+    for (int step = 0; step < 4000; ++step) {
+        const double r = rng.uniform();
+        if (r < 0.55) {
+            // Schedule, drawing the timestamp from a mixture that
+            // covers sim-like monotone advance, exact ties (integer
+            // quantized), far scatter including the past, and bursty
+            // exponential gaps.
+            Seconds when = 0.0;
+            switch (rng.uniformInt(0, 3)) {
+            case 0:
+                when = now + rng.uniform(0.0, 10.0);
+                break;
+            case 1:
+                when = now + std::floor(rng.uniform(0.0, 6.0));
+                break;
+            case 2:
+                when = rng.uniform(0.0, 1000.0);
+                break;
+            default:
+                when = now + rng.exponential(5.0);
+                break;
+            }
+            pair.schedule(when);
+        } else if (r < 0.80) {
+            ASSERT_EQ(pair.heap.empty(), pair.calendar.empty());
+            if (!pair.heap.empty()) {
+                const Seconds th = pair.heap.runOne();
+                const Seconds tc = pair.calendar.runOne();
+                ASSERT_EQ(th, tc);
+                now = std::max(now, th);
+            }
+        } else if (r < 0.95) {
+            const Seconds until = now + rng.uniform(0.0, 20.0);
+            const std::size_t nh = pair.heap.runUntil(until);
+            const std::size_t nc = pair.calendar.runUntil(until);
+            ASSERT_EQ(nh, nc);
+            now = std::max(now, until);
+        } else {
+            // Cancel every pending event (the queue's cancellation
+            // primitive), interleaved with the schedules above.
+            pair.heap.clear();
+            pair.calendar.clear();
+        }
+        ASSERT_EQ(pair.heap.size(), pair.calendar.size());
+        ASSERT_EQ(pair.heap.processed(), pair.calendar.processed());
+    }
+
+    // Drain whatever is left and compare the full execution logs.
+    while (!pair.heap.empty()) {
+        ASSERT_EQ(pair.heap.runOne(), pair.calendar.runOne());
+    }
+    EXPECT_TRUE(pair.calendar.empty());
+    pair.expectLogsIdentical();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, DifferentialInterleaving,
+    ::testing::Values(1ULL, 2ULL, 3ULL, 17ULL, 1234ULL, 0xdeadbeefULL,
+                      0x9e3779b97f4a7c15ULL, 424242ULL),
+    [](const ::testing::TestParamInfo<std::uint64_t> &info) {
+        return "seed_" + std::to_string(info.index);
+    });
+
+TEST(DifferentialTies, SameTimestampPopsInInsertionOrder)
+{
+    // A dense block of exact ties interleaved across two timestamps:
+    // both backends must fire strictly in insertion order within a
+    // timestamp.
+    QueuePair pair;
+    for (int i = 0; i < 100; ++i)
+        pair.schedule(i % 2 ? 1.0 : 2.0);
+    while (!pair.heap.empty()) {
+        pair.heap.runOne();
+        pair.calendar.runOne();
+    }
+    pair.expectLogsIdentical();
+    // FIFO within each timestamp: odd ids (t=1) first, ascending,
+    // then even ids ascending.
+    ASSERT_EQ(pair.calendarLog.size(), 100u);
+    for (std::size_t i = 1; i < 50; ++i) {
+        EXPECT_LT(pair.calendarLog[i - 1].first,
+                  pair.calendarLog[i].first);
+        EXPECT_EQ(pair.calendarLog[i - 1].second, 1.0);
+    }
+    for (std::size_t i = 51; i < 100; ++i) {
+        EXPECT_LT(pair.calendarLog[i - 1].first,
+                  pair.calendarLog[i].first);
+        EXPECT_EQ(pair.calendarLog[i].second, 2.0);
+    }
+}
+
+TEST(CalendarQueueGeometry, GrowsAndShrinksWithOccupancy)
+{
+    CalendarQueue queue;
+    const std::size_t initial = queue.bucketCount();
+    for (int i = 0; i < 5000; ++i)
+        queue.insert(i * 0.001, i, [](Seconds) {});
+    EXPECT_GT(queue.bucketCount(), initial);
+    EXPECT_EQ(queue.size(), 5000u);
+    Seconds last = -1.0;
+    while (!queue.empty()) {
+        const auto popped = queue.popMin();
+        EXPECT_GE(popped.when, last);
+        last = popped.when;
+    }
+    // Draining shrinks the calendar back down.
+    EXPECT_EQ(queue.bucketCount(), initial);
+}
+
+TEST(CalendarQueueGeometry, SparseFarFutureEventIsFound)
+{
+    // One event many "years" past the cursor exercises the direct-
+    // search fallback after a fruitless lap.
+    CalendarQueue queue;
+    queue.insert(0.5, 0, [](Seconds) {});
+    EXPECT_EQ(queue.popMin().when, 0.5);
+    queue.insert(1.0e6, 1, [](Seconds) {});
+    EXPECT_EQ(queue.minTime(), 1.0e6);
+    EXPECT_EQ(queue.popMin().when, 1.0e6);
+    EXPECT_TRUE(queue.empty());
+}
+
+TEST(CalendarQueueGeometry, PastInsertRewindsTheCursor)
+{
+    CalendarQueue queue;
+    for (int i = 0; i < 100; ++i)
+        queue.insert(100.0 + i, i, [](Seconds) {});
+    EXPECT_EQ(queue.popMin().when, 100.0);
+    // Now insert far before the cursor: it must pop first.
+    queue.insert(-5.0, 1000, [](Seconds) {});
+    queue.insert(0.25, 1001, [](Seconds) {});
+    EXPECT_EQ(queue.minTime(), -5.0);
+    EXPECT_EQ(queue.popMin().when, -5.0);
+    EXPECT_EQ(queue.popMin().when, 0.25);
+    EXPECT_EQ(queue.popMin().when, 101.0);
+}
+
+TEST(EventQueueBackends, DefaultIsCalendarAndBothBackendsWork)
+{
+    EventQueue byDefault;
+    EXPECT_EQ(byDefault.backend(), EventQueue::Backend::Calendar);
+
+    for (const auto backend : {EventQueue::Backend::TimeOrdered,
+                               EventQueue::Backend::Calendar}) {
+        EventQueue queue(backend);
+        std::vector<Seconds> fired;
+        queue.schedule(3.0, [&](Seconds t) { fired.push_back(t); });
+        queue.schedule(1.0, [&](Seconds t) { fired.push_back(t); });
+        queue.schedule(2.0, [&](Seconds t) {
+            fired.push_back(t);
+            queue.schedule(2.5, [&](Seconds u) { fired.push_back(u); });
+        });
+        EXPECT_EQ(queue.runUntil(10.0), 4u);
+        const std::vector<Seconds> expected{1.0, 2.0, 2.5, 3.0};
+        EXPECT_EQ(fired, expected);
+        EXPECT_EQ(queue.processed(), 4u);
+    }
+}
+
+} // namespace
+} // namespace hipster

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Golden-pin generator: runs the bitwise re-pin scenario matrix (a
+ * fixed set of ExperimentSpec runs plus a jobs=1 vs jobs=4 sweep)
+ * and prints `tests/experiments/golden_pins.inc` to stdout — exact
+ * hex-float summary values, an FNV-1a fingerprint over every raw
+ * bit of every interval of each run, and the sweep CSVs verbatim.
+ *
+ * The committed .inc pins the simulator's observable behaviour
+ * byte-for-byte: any hot-loop optimization (event queue, arrival
+ * generation, metrics accumulation) must leave all of it unchanged.
+ * Regenerate only on an *intentional* behaviour change:
+ *
+ *   ./build/tools/hipster_repin > tests/experiments/golden_pins.inc
+ */
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/csv.hh"
+#include "common/logging.hh"
+#include "experiments/experiment_spec.hh"
+#include "experiments/sweep.hh"
+
+namespace
+{
+
+using namespace hipster;
+
+constexpr Seconds kDuration = 240.0;
+constexpr std::uint64_t kSeed = 1234;
+
+/** The pinned scenario matrix: every policy family on the diurnal
+ * day, the bursty/flash-crowd stimuli, a closed-loop workload, and a
+ * parameterized platform. */
+struct PinScenario
+{
+    const char *workload;
+    const char *platform;
+    const char *trace;
+    const char *policy;
+};
+
+const PinScenario kScenarios[] = {
+    {"memcached", "juno", "diurnal", "hipster-in:bucket=8,learn=90"},
+    {"memcached", "juno", "diurnal", "heuristic"},
+    {"memcached", "juno", "diurnal", "octopus-man"},
+    {"memcached", "juno", "diurnal", "static-big"},
+    {"memcached", "juno", "mmpp:0.2,0.9,45",
+     "hipster-in:bucket=8,learn=90"},
+    {"memcached", "juno", "mmpp:0.2,0.9,45", "static-big"},
+    {"memcached", "juno", "flashcrowd:0.2,0.9,120,30,60",
+     "hipster-in:bucket=8,learn=90"},
+    {"memcached", "juno", "flashcrowd:0.2,0.9,120,30,60", "static-big"},
+    {"websearch", "juno", "diurnal", "hipster-in:learn=90"},
+    {"memcached", "juno:big=4,little=8", "diurnal",
+     "hipster-in:learn=90"},
+};
+
+/** FNV-1a over raw bytes. */
+std::uint64_t
+fnv1a(const void *data, std::size_t len, std::uint64_t hash)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+        hash ^= bytes[i];
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+std::uint64_t
+hashDouble(double value, std::uint64_t hash)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    return fnv1a(&bits, sizeof(bits), hash);
+}
+
+std::uint64_t
+hashU64(std::uint64_t value, std::uint64_t hash)
+{
+    return fnv1a(&value, sizeof(value), hash);
+}
+
+/**
+ * Bitwise fingerprint of a whole interval series: every field of
+ * every IntervalMetrics, in interval order. Must stay in sync with
+ * the copy in tests/experiments/test_golden_repin.cc.
+ */
+std::uint64_t
+seriesFingerprint(const ExperimentResult &result)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (std::size_t i = 0; i < result.series.size(); ++i) {
+        const IntervalMetrics &m = result.series[i];
+        h = hashDouble(m.begin, h);
+        h = hashDouble(m.end, h);
+        h = hashDouble(m.offeredLoad, h);
+        h = hashDouble(m.offeredRate, h);
+        h = hashU64(static_cast<std::uint64_t>(m.loadBucket), h);
+        h = hashDouble(m.tailLatency, h);
+        h = hashDouble(m.qosTarget, h);
+        h = hashDouble(m.throughput, h);
+        h = hashDouble(m.power, h);
+        h = hashDouble(m.energy, h);
+        h = hashDouble(m.batchBigIps, h);
+        h = hashDouble(m.batchSmallIps, h);
+        h = hashU64(m.batchPresent ? 1 : 0, h);
+        h = hashU64(m.ipsValid ? 1 : 0, h);
+        h = hashU64(m.config.nBig, h);
+        h = hashU64(m.config.nSmall, h);
+        h = hashDouble(m.config.bigFreq, h);
+        h = hashDouble(m.config.smallFreq, h);
+        h = hashU64(m.migrations, h);
+        h = hashU64(m.dvfsTransitions, h);
+        h = hashDouble(m.lcUtilization, h);
+        h = hashU64(m.dropped, h);
+    }
+    return h;
+}
+
+ExperimentResult
+runScenario(const PinScenario &s)
+{
+    ExperimentSpec spec;
+    spec.workload = s.workload;
+    spec.platform = s.platform;
+    spec.trace = s.trace;
+    spec.policy = s.policy;
+    spec.duration = kDuration;
+    spec.seed = kSeed;
+    return spec.run();
+}
+
+SweepSpec
+pinSweepSpec()
+{
+    SweepSpec spec;
+    spec.workloads = {"memcached:qos=8ms", "websearch"};
+    spec.platforms = {"juno"};
+    spec.traces = {"diurnal", "mmpp:0.2,0.9,45"};
+    spec.policies = {"hipster"};
+    spec.seeds = 2;
+    spec.masterSeed = 7;
+    spec.duration = 60.0;
+    return spec;
+}
+
+std::string
+runsCsv(const SweepResults &results)
+{
+    std::ostringstream out;
+    CsvWriter csv(out);
+    writeRunsCsv(csv, results);
+    return out.str();
+}
+
+std::string
+aggregateCsv(const SweepResults &results)
+{
+    std::ostringstream out;
+    CsvWriter csv(out);
+    writeAggregateCsv(csv, results);
+    return out.str();
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace hipster;
+
+    std::printf("// Generated by tools/hipster_repin — do not edit.\n");
+    std::printf("// Regenerate (only on an intentional behaviour "
+                "change):\n");
+    std::printf("//   ./build/tools/hipster_repin > "
+                "tests/experiments/golden_pins.inc\n");
+    std::printf("// clang-format off\n");
+    std::printf("constexpr Seconds kPinDuration = %a; // %.17g\n",
+                kDuration, kDuration);
+    std::printf("constexpr std::uint64_t kPinSeed = %" PRIu64 "ULL;\n",
+                kSeed);
+    std::printf("\nconst ScenarioPin kScenarioPins[] = {\n");
+    for (const PinScenario &s : kScenarios) {
+        const ExperimentResult result = runScenario(s);
+        const RunSummary &sum = result.summary;
+        std::printf("    {\"%s\", \"%s\", \"%s\", \"%s\",\n", s.workload,
+                    s.platform, s.trace, s.policy);
+        std::printf("     %a, %a,\n", sum.qosGuarantee, sum.qosTardiness);
+        std::printf("     %a, %a, %a,\n", sum.energy, sum.meanPower,
+                    sum.meanThroughput);
+        std::printf("     %" PRIu64 "ULL, %" PRIu64 "ULL, %" PRIu64
+                    "ULL, %zuULL,\n",
+                    result.migrations, result.dvfsTransitions,
+                    sum.dropped, sum.intervals);
+        std::printf("     0x%016" PRIx64 "ULL},\n",
+                    seriesFingerprint(result));
+        std::fprintf(stderr,
+                     "pinned %-10s %-20s %-30s %-30s QoS %.3f E %.1f\n",
+                     s.workload, s.platform, s.trace, s.policy,
+                     sum.qosGuarantee, sum.energy);
+    }
+    std::printf("};\n");
+
+    // The sweep pin: jobs=1 and jobs=4 must agree before anything is
+    // written, and the CSVs are pinned verbatim.
+    const SweepEngine engine(pinSweepSpec());
+    const SweepResults serial = engine.run(1);
+    const SweepResults parallel = engine.run(4);
+    const std::string runs1 = runsCsv(serial);
+    const std::string runs4 = runsCsv(parallel);
+    const std::string agg1 = aggregateCsv(serial);
+    const std::string agg4 = aggregateCsv(parallel);
+    if (runs1 != runs4 || agg1 != agg4)
+        fatal("hipster_repin: jobs=1 vs jobs=4 sweep CSVs differ; "
+              "refusing to pin a nondeterministic campaign");
+
+    std::printf("\nconst char kSweepRunsCsvPin[] =\n    R\"PIN(%s)PIN\";\n",
+                runs1.c_str());
+    std::printf(
+        "\nconst char kSweepAggregateCsvPin[] =\n    R\"PIN(%s)PIN\";\n",
+        agg1.c_str());
+    std::printf("// clang-format on\n");
+    std::fprintf(stderr, "pinned sweep campaign (%zu runs, %zu cells)\n",
+                 serial.runs.size(), serial.cells.size());
+    return 0;
+}
