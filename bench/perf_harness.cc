@@ -23,6 +23,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <locale>
 #include <map>
 #include <sstream>
 #include <string>
@@ -32,6 +33,7 @@
 #include <sys/resource.h>
 #endif
 
+#include "common/json_number.hh"
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
 #include "experiments/sweep.hh"
@@ -320,14 +322,12 @@ class JsonParser
             pos_ += 4;
             return true;
         }
-        const char *start = text_.c_str() + pos_;
-        char *end = nullptr;
-        const double value = std::strtod(start, &end);
-        if (end == start)
+        // Locale-independent number parse (strtod would honour
+        // LC_NUMERIC and silently stop at a ',' decimal separator);
+        // also rejects the non-JSON "nan"/"inf" spellings.
+        double value = 0.0;
+        if (!parseJsonNumber(text_, pos_, value))
             return fail("expected a JSON value");
-        if (!std::isfinite(value))
-            return fail("non-finite number");
-        pos_ += static_cast<std::size_t>(end - start);
         out_.numbers[path] = value;
         return true;
     }
@@ -584,28 +584,36 @@ writeJson(const Options &options, const Measurement &m)
     std::ofstream out(options.output);
     if (!out)
         fatal("hipster_bench: cannot write ", options.output);
-    char buffer[64];
-    const auto num = [&](double value) {
-        std::snprintf(buffer, sizeof(buffer), "%.17g", value);
-        return std::string(buffer);
+    // Locale-independent emit: every number goes through to_chars
+    // (formatJsonNumber, which also rejects NaN/Inf at emit time),
+    // and the stream is pinned to the classic locale so an imbued
+    // global locale cannot add thousands grouping to integers.
+    out.imbue(std::locale::classic());
+    const auto num = [](double value) {
+        return formatJsonNumber(value);
+    };
+    const auto count = [](std::uint64_t value) {
+        return formatJsonNumber(value);
     };
     out << "{\n";
-    out << "  \"schema_version\": " << kSchemaVersion << ",\n";
+    out << "  \"schema_version\": "
+        << count(static_cast<std::uint64_t>(kSchemaVersion)) << ",\n";
     out << "  \"benchmark\": \"" << kBenchmarkName << "\",\n";
     out << "  \"campaign\": {\n";
     out << "    \"workloads\": " << jsonStringList(kWorkloads) << ",\n";
     out << "    \"platforms\": " << jsonStringList(kPlatforms) << ",\n";
     out << "    \"traces\": " << jsonStringList(kTraces) << ",\n";
     out << "    \"policies\": " << jsonStringList(kPolicies) << ",\n";
-    out << "    \"master_seed\": " << kMasterSeed << ",\n";
+    out << "    \"master_seed\": " << count(kMasterSeed) << ",\n";
     out << "    \"duration_s\": " << num(options.duration) << ",\n";
-    out << "    \"seeds\": " << options.seeds << ",\n";
-    out << "    \"repetitions\": " << options.repetitions << ",\n";
-    out << "    \"warmup\": " << options.warmup << ",\n";
-    out << "    \"jobs\": " << options.jobs << "\n";
+    out << "    \"seeds\": " << count(options.seeds) << ",\n";
+    out << "    \"repetitions\": " << count(options.repetitions)
+        << ",\n";
+    out << "    \"warmup\": " << count(options.warmup) << ",\n";
+    out << "    \"jobs\": " << count(options.jobs) << "\n";
     out << "  },\n";
-    out << "  \"runs_per_repetition\": " << m.runs << ",\n";
-    out << "  \"events_per_repetition\": " << m.events << ",\n";
+    out << "  \"runs_per_repetition\": " << count(m.runs) << ",\n";
+    out << "  \"events_per_repetition\": " << count(m.events) << ",\n";
     out << "  \"wall_s\": {\"median\": " << num(m.wall.median)
         << ", \"p25\": " << num(m.wall.p25)
         << ", \"p75\": " << num(m.wall.p75) << "},\n";

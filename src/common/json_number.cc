@@ -1,0 +1,63 @@
+#include "common/json_number.hh"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <system_error>
+
+#include "common/logging.hh"
+
+namespace hipster
+{
+
+std::string
+formatJsonNumber(double value)
+{
+    if (!std::isfinite(value))
+        fatal("formatJsonNumber: non-finite value (JSON has no "
+              "NaN/Infinity literals)");
+    // Shortest round-trip form; to_chars ignores the global C locale
+    // and any imbued stream locale by construction.
+    char buffer[64];
+    const auto result =
+        std::to_chars(buffer, buffer + sizeof(buffer), value);
+    if (result.ec != std::errc())
+        fatal("formatJsonNumber: to_chars failed");
+    return std::string(buffer, result.ptr);
+}
+
+std::string
+formatJsonNumber(std::uint64_t value)
+{
+    char buffer[32];
+    const auto result =
+        std::to_chars(buffer, buffer + sizeof(buffer), value);
+    if (result.ec != std::errc())
+        fatal("formatJsonNumber: to_chars failed");
+    return std::string(buffer, result.ptr);
+}
+
+bool
+parseJsonNumber(const std::string &text, std::size_t &pos, double &out)
+{
+    if (pos >= text.size())
+        return false;
+    // from_chars accepts "inf"/"nan" spellings; JSON does not. Accept
+    // only the JSON number grammar's first character here, so a file
+    // containing a bare NaN fails to parse instead of round-tripping.
+    const char first = text[pos];
+    if (first != '-' &&
+        !std::isdigit(static_cast<unsigned char>(first)))
+        return false;
+    double value = 0.0;
+    const auto result = std::from_chars(text.data() + pos,
+                                        text.data() + text.size(),
+                                        value);
+    if (result.ec != std::errc() || !std::isfinite(value))
+        return false;
+    pos = static_cast<std::size_t>(result.ptr - text.data());
+    out = value;
+    return true;
+}
+
+} // namespace hipster

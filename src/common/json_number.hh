@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Locale-independent JSON number formatting and parsing, built on
+ * std::to_chars / std::from_chars. printf("%g")-style emitters and
+ * strtod-style parsers obey LC_NUMERIC, so a process running under
+ * de_DE.UTF-8 writes "3,14" — invalid JSON — and fails to read the
+ * numbers it wrote; stream insertion additionally applies the imbued
+ * locale's thousands grouping to integers. The helpers here never
+ * consult any locale, and the emitters reject non-finite values fail-
+ * fast (JSON has no NaN/Infinity literals, so writing them produces
+ * a file no conforming parser accepts).
+ */
+
+#ifndef HIPSTER_COMMON_JSON_NUMBER_HH
+#define HIPSTER_COMMON_JSON_NUMBER_HH
+
+#include <cstdint>
+#include <string>
+
+namespace hipster
+{
+
+/**
+ * Shortest decimal string that round-trips the exact double (what a
+ * JSON emitter should write). Throws FatalError on NaN/Inf — callers
+ * must reject non-finite metrics before they reach the file.
+ */
+std::string formatJsonNumber(double value);
+
+/** Decimal rendering of an unsigned integer, never grouped. */
+std::string formatJsonNumber(std::uint64_t value);
+
+/**
+ * Parse a JSON number from text[pos..): on success returns the value,
+ * advances `pos` past the number and leaves finite semantics to the
+ * caller-visible contract — "nan"/"inf" spellings are rejected (they
+ * are not JSON). Returns false leaving `pos` untouched when no valid
+ * number starts at `pos`.
+ */
+bool parseJsonNumber(const std::string &text, std::size_t &pos,
+                     double &out);
+
+} // namespace hipster
+
+#endif // HIPSTER_COMMON_JSON_NUMBER_HH

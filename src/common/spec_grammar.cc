@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -42,19 +43,36 @@ timeFactor(const std::string &suffix, ParamUnit unit)
 }
 
 /**
+ * Hard ceiling on time-typed values in their canonical unit: 1e12 ms
+ * is ~32 years, 1e12 s is ~32 millennia — far beyond any simulated
+ * horizon, low enough to reject garbage like `duration=1e14s` before
+ * a wrapped or saturated magnitude reaches a factory.
+ */
+constexpr double kMaxTimeValue = 1e12;
+
+/**
  * Parse one override value in the canonical unit of `param`. Plain
  * numbers are taken as the canonical unit; time-typed parameters
- * also accept us/ms/s suffixes.
+ * also accept us/ms/s suffixes. Overflowing magnitudes and negative
+ * time values fail fast here, before any schema range check, so the
+ * error names the real problem even under permissive schemas.
  */
 double
 parseValue(const std::string &kind, const std::string &spec,
            const SpecParamInfo &param, const std::string &text)
 {
     char *end = nullptr;
+    errno = 0;
     const double raw = std::strtod(text.c_str(), &end);
     if (text.empty() || end == text.c_str())
         fatal(kind, " spec '", spec, "': value '", text, "' for '",
               param.key, "' is not a number");
+    // strtod signals overflow with ERANGE + ±HUGE_VAL (underflow to
+    // a denormal also sets ERANGE but is harmless and passes).
+    if (errno == ERANGE &&
+        (raw >= HUGE_VAL || raw <= -HUGE_VAL))
+        fatal(kind, " spec '", spec, "': value '", text, "' for '",
+              param.key, "' overflows the representable range");
     const std::string suffix(end);
     double value = raw;
     if (!suffix.empty()) {
@@ -70,6 +88,17 @@ parseValue(const std::string &kind, const std::string &spec,
     if (!std::isfinite(value))
         fatal(kind, " spec '", spec, "': value '", text, "' for '",
               param.key, "' must be finite");
+    if (param.unit != ParamUnit::None) {
+        if (value < 0.0)
+            fatal(kind, " spec '", spec, "': value '", text, "' for '",
+                  param.key, "' is a negative duration — time values "
+                  "must be >= 0");
+        if (value > kMaxTimeValue)
+            fatal(kind, " spec '", spec, "': value '", text, "' for '",
+                  param.key, "' is beyond the supported time range "
+                  "(max ", formatSpecValue(kMaxTimeValue),
+                  unitSuffix(param.unit), ")");
+    }
     return value;
 }
 

@@ -11,8 +11,22 @@ ThreadPool::ThreadPool(std::size_t threads)
         fatal("ThreadPool: unreasonable thread count ", threads,
               " (max ", kMaxThreads, ")");
     workers_.reserve(threads);
-    for (std::size_t i = 0; i < threads; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+    // If a std::thread fails to spawn partway through, shut down the
+    // workers already running before rethrowing — otherwise their
+    // joinable std::thread destructors call std::terminate.
+    try {
+        for (std::size_t i = 0; i < threads; ++i)
+            workers_.emplace_back([this] { workerLoop(); });
+    } catch (...) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stopping_ = true;
+        }
+        wake_.notify_all();
+        for (auto &worker : workers_)
+            worker.join();
+        throw;
+    }
 }
 
 ThreadPool::~ThreadPool()
@@ -36,7 +50,10 @@ ThreadPool::workerLoop()
             wake_.wait(lock,
                        [this] { return stopping_ || !queue_.empty(); });
             // Drain the queue even when stopping: submitted futures
-            // must always complete.
+            // must always complete — including exceptionally. A task
+            // that throws during the drain stores its exception into
+            // the future via packaged_task below, exactly as before
+            // shutdown began.
             if (queue_.empty())
                 return;
             task = std::move(queue_.front());

@@ -54,36 +54,67 @@ ExperimentRunner::run(
     TaskPolicy &policy, Seconds duration,
     const std::function<void(const IntervalMetrics &)> &observer)
 {
+    const auto intervals = static_cast<std::size_t>(
+        duration / options_.interval + 0.5);
+    beginRun(policy, intervals);
+    for (std::size_t k = 0; k < intervals; ++k) {
+        const IntervalMetrics &last = stepNext(policy);
+        if (observer)
+            observer(last);
+    }
+    return finishRun();
+}
+
+void
+ExperimentRunner::beginRun(TaskPolicy &policy,
+                           std::size_t expectedIntervals)
+{
+    if (runActive_)
+        fatal("ExperimentRunner: beginRun while a run is active "
+              "(missing finishRun)");
     platform_->energyMeter().reset();
     app_->reset();
     lastLcUtilization_ = 0.0;
 
-    ExperimentResult result;
-    result.policyName = policy.name();
-    result.workloadName = def_.params.name;
+    pending_ = ExperimentResult{};
+    pending_.policyName = policy.name();
+    pending_.workloadName = def_.params.name;
+    pending_.series.reserve(expectedIntervals);
+    stepIndex_ = 0;
+    runActive_ = true;
+}
 
-    const auto intervals = static_cast<std::size_t>(
-        duration / options_.interval + 0.5);
-    result.series.reserve(intervals);
-    IntervalMetrics last;
-    for (std::size_t k = 0; k < intervals; ++k) {
-        const Decision decision =
-            k == 0 ? policy.initialDecision() : policy.decide(last);
-        last = stepInterval(k, decision);
-        result.series.push_back(last);
-        if (observer)
-            observer(last);
-    }
+const IntervalMetrics &
+ExperimentRunner::stepNext(TaskPolicy &policy,
+                           std::optional<Fraction> offeredOverride)
+{
+    if (!runActive_)
+        fatal("ExperimentRunner: stepNext without beginRun");
+    const Decision decision = stepIndex_ == 0
+                                  ? policy.initialDecision()
+                                  : policy.decide(lastMetrics_);
+    lastMetrics_ = stepInterval(stepIndex_, decision, offeredOverride);
+    ++stepIndex_;
+    pending_.series.push_back(lastMetrics_);
+    return lastMetrics_;
+}
 
-    result.summary = RunSummary::fromSeries(result.series);
-    result.migrations = platform_->totalMigrations();
-    result.dvfsTransitions = platform_->totalDvfsTransitions();
-    result.simEvents = app_->eventsProcessed();
-    return result;
+ExperimentResult
+ExperimentRunner::finishRun()
+{
+    if (!runActive_)
+        fatal("ExperimentRunner: finishRun without beginRun");
+    runActive_ = false;
+    pending_.summary = RunSummary::fromSeries(pending_.series);
+    pending_.migrations = platform_->totalMigrations();
+    pending_.dvfsTransitions = platform_->totalDvfsTransitions();
+    pending_.simEvents = app_->eventsProcessed();
+    return std::move(pending_);
 }
 
 IntervalMetrics
-ExperimentRunner::stepInterval(std::size_t k, const Decision &decision)
+ExperimentRunner::stepInterval(std::size_t k, const Decision &decision,
+                               std::optional<Fraction> offeredOverride)
 {
     const Seconds t0 = k * options_.interval;
     const Seconds t1 = t0 + options_.interval;
@@ -129,7 +160,8 @@ ExperimentRunner::stepInterval(std::size_t k, const Decision &decision)
     // --- Step the LC app.
     platform_->perfCounters().beginInterval();
     app_->configure(buildServers(pressure), t0, actuation.latency);
-    const Fraction offered = trace_->at(t0);
+    const Fraction offered =
+        offeredOverride ? *offeredOverride : trace_->at(t0);
     LcIntervalStats lc = app_->runInterval(t0, t1, offered);
     lastLcUtilization_ = lc.utilization;
 

@@ -13,6 +13,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -104,8 +105,44 @@ class ExperimentRunner
     run(TaskPolicy &policy, Seconds duration,
         const std::function<void(const IntervalMetrics &)> &observer = {});
 
+    /**
+     * Incremental stepping API — the same closed loop as run(), but
+     * driven one interval at a time by an external clock (the fleet
+     * dispatcher advances every node in lockstep and feeds each one
+     * its routed share of the fleet trace). run() is implemented on
+     * top of these three calls, so both drivers are bitwise
+     * identical per interval.
+     *
+     * beginRun resets the platform meters, the app and the interval
+     * counter; `expectedIntervals` only pre-sizes the series (0 is
+     * fine).
+     */
+    void beginRun(TaskPolicy &policy, std::size_t expectedIntervals = 0);
+
+    /**
+     * Step one monitoring interval: ask `policy` for its decision
+     * (initialDecision on the first step, decide(previous metrics)
+     * after), actuate, simulate, meter. When `offeredOverride` is
+     * set it replaces the trace lookup for this interval — the hook
+     * the fleet front-end uses to route its per-node load share —
+     * otherwise the run's own trace is sampled at interval start,
+     * exactly as run() always has. Returns the interval's metrics
+     * (valid until the next step).
+     */
+    const IntervalMetrics &
+    stepNext(TaskPolicy &policy,
+             std::optional<Fraction> offeredOverride = std::nullopt);
+
+    /** Finish an incremental run: summarize the stepped intervals
+     * and return the same ExperimentResult run() would. */
+    ExperimentResult finishRun();
+
+    /** Intervals stepped since beginRun. */
+    std::size_t stepsTaken() const { return stepIndex_; }
+
   private:
-    IntervalMetrics stepInterval(std::size_t k, const Decision &decision);
+    IntervalMetrics stepInterval(std::size_t k, const Decision &decision,
+                                 std::optional<Fraction> offeredOverride);
 
     /**
      * Build the LC server set for the current platform state into
@@ -128,6 +165,12 @@ class ExperimentRunner
 
     /** LC utilization of the previous interval (pressure lag). */
     Fraction lastLcUtilization_ = 0.0;
+
+    // Incremental-run state (beginRun/stepNext/finishRun).
+    bool runActive_ = false;
+    std::size_t stepIndex_ = 0;
+    IntervalMetrics lastMetrics_;
+    ExperimentResult pending_;
 
     // Per-interval scratch, preallocated once and reused so the
     // interval loop stays allocation-free (see stepInterval).

@@ -1,0 +1,149 @@
+#include "fleet/dispatcher.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace hipster
+{
+
+namespace
+{
+
+/** Total fleet capacity (fleet load units). */
+double
+totalCapacity(const std::vector<DispatchNodeView> &nodes)
+{
+    double total = 0.0;
+    for (const DispatchNodeView &node : nodes)
+        total += node.capacity;
+    return total;
+}
+
+/** Normalize `weights` into shares; falls back to a uniform split
+ * when every weight vanishes (so a degenerate feedback state never
+ * strands the whole load on numerics). */
+void
+normalize(const std::vector<double> &weights, std::vector<double> &shares)
+{
+    shares.assign(weights.size(), 0.0);
+    double total = 0.0;
+    for (const double w : weights)
+        total += w;
+    if (total <= 0.0) {
+        if (!shares.empty())
+            shares.assign(shares.size(), 1.0 / shares.size());
+        return;
+    }
+    for (std::size_t i = 0; i < weights.size(); ++i)
+        shares[i] = weights[i] / total;
+}
+
+/** capacity/TDP of each node normalized by the best node (1 = most
+ * efficient); 1.0 everywhere when TDP data is missing. */
+std::vector<double>
+relativeEfficiency(const std::vector<DispatchNodeView> &nodes)
+{
+    std::vector<double> eff(nodes.size(), 1.0);
+    double best = 0.0;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        eff[i] = nodes[i].tdp > 0.0 ? nodes[i].capacity / nodes[i].tdp
+                                    : 0.0;
+        best = std::max(best, eff[i]);
+    }
+    if (best <= 0.0)
+        return std::vector<double>(nodes.size(), 1.0);
+    for (double &e : eff)
+        e /= best;
+    return eff;
+}
+
+} // namespace
+
+void
+RoundRobinDispatcher::route(const std::vector<DispatchNodeView> &nodes,
+                            Fraction, std::vector<double> &shares) const
+{
+    shares.assign(nodes.size(), 0.0);
+    if (!nodes.empty())
+        shares.assign(nodes.size(), 1.0 / nodes.size());
+}
+
+void
+LeastLoadedDispatcher::route(const std::vector<DispatchNodeView> &nodes,
+                             Fraction, std::vector<double> &shares) const
+{
+    std::vector<double> weights(nodes.size(), 0.0);
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        const double freeFraction = std::clamp(
+            1.0 - nodes[i].lastUtilization, 0.0, 1.0);
+        weights[i] = nodes[i].capacity * freeFraction;
+    }
+    normalize(weights, shares);
+}
+
+void
+PowerAwareDispatcher::route(const std::vector<DispatchNodeView> &nodes,
+                            Fraction, std::vector<double> &shares) const
+{
+    const std::vector<double> eff = relativeEfficiency(nodes);
+    std::vector<double> weights(nodes.size(), 0.0);
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+        weights[i] = nodes[i].capacity * std::pow(eff[i], gamma_);
+    normalize(weights, shares);
+}
+
+void
+CpDispatcher::route(const std::vector<DispatchNodeView> &nodes,
+                    Fraction fleetLoad, std::vector<double> &shares) const
+{
+    shares.assign(nodes.size(), 0.0);
+    if (nodes.empty())
+        return;
+    const double fleetCapacity = totalCapacity(nodes);
+    const double load = fleetLoad * fleetCapacity;
+    if (load <= 0.0 || fleetCapacity <= 0.0) {
+        shares.assign(nodes.size(), 1.0 / nodes.size());
+        return;
+    }
+
+    const std::vector<double> eff = relativeEfficiency(nodes);
+    // Effective capacity: derate a node that violated QoS last
+    // interval by how badly it missed — its predicted slack shrinks
+    // until it recovers.
+    std::vector<double> effective(nodes.size(), 0.0);
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        double derate = 1.0;
+        if (nodes[i].qosTarget > 0.0 &&
+            nodes[i].lastTailLatency > nodes[i].qosTarget)
+            derate = nodes[i].qosTarget / nodes[i].lastTailLatency;
+        effective[i] = nodes[i].capacity * derate;
+    }
+
+    const double quantum = load / static_cast<double>(quanta_);
+    std::vector<double> assigned(nodes.size(), 0.0);
+    for (std::size_t q = 0; q < quanta_; ++q) {
+        std::size_t bestNode = 0;
+        double bestScore = -std::numeric_limits<double>::infinity();
+        for (std::size_t i = 0; i < nodes.size(); ++i) {
+            if (nodes[i].capacity <= 0.0)
+                continue;
+            const double slack =
+                (target_ * effective[i] - assigned[i]) /
+                nodes[i].capacity;
+            const double headroom = std::max(
+                0.0, 1.0 - assigned[i] / nodes[i].capacity);
+            const double score =
+                wslack_ * slack + wpower_ * eff[i] * headroom;
+            if (score > bestScore) { // strict: ties keep lowest index
+                bestScore = score;
+                bestNode = i;
+            }
+        }
+        assigned[bestNode] += quantum;
+    }
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+        shares[i] = assigned[i] / load;
+}
+
+} // namespace hipster

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Fleet dispatchers: the front-end routing policies that split one
+ * offered-load stream across the nodes of a multi-node fleet each
+ * monitoring interval. A dispatcher sees a per-node feedback view
+ * (capacity, TDP, last interval's utilization / tail latency /
+ * power) and yields a share vector; the fleet driver converts shares
+ * into per-node local load fractions and feeds them to each node's
+ * own Hipster/baseline manager. Dispatchers are stateless pure
+ * functions of (views, fleet load), so fleet runs are deterministic
+ * and node order is the only tiebreak.
+ */
+
+#ifndef HIPSTER_FLEET_DISPATCHER_HH
+#define HIPSTER_FLEET_DISPATCHER_HH
+
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace hipster
+{
+
+/**
+ * What a dispatcher may observe about one node when routing an
+ * interval: static sizing plus the previous interval's monitor
+ * feedback (zeros on the first interval, like every policy's cold
+ * start).
+ */
+struct DispatchNodeView
+{
+    /** Node capacity in fleet load units: how many copies of the
+     * app's full offered load (Table 1 maxLoad) the node can serve
+     * with every core at max DVFS. */
+    double capacity = 0.0;
+
+    /** Node TDP in watts (power-aware scoring). */
+    Watts tdp = 0.0;
+
+    /** LC utilization of the node's previous interval, [0, 1]. */
+    Fraction lastUtilization = 0.0;
+
+    /** Tail latency of the previous interval (ms; 0 before any). */
+    Millis lastTailLatency = 0.0;
+
+    /** The workload's QoS target (ms). */
+    Millis qosTarget = 0.0;
+
+    /** Mean node power of the previous interval (W). */
+    Watts lastPower = 0.0;
+};
+
+/**
+ * Interface of one routing policy. route() must fill `shares` with
+ * one non-negative entry per node summing to 1 (the driver
+ * re-normalizes defensively); it is called once per monitoring
+ * interval with the fleet-level offered load (fraction of total
+ * fleet capacity).
+ */
+class Dispatcher
+{
+  public:
+    explicit Dispatcher(std::string name) : name_(std::move(name)) {}
+    virtual ~Dispatcher() = default;
+
+    /** Registry name, e.g. "cp". */
+    const std::string &name() const { return name_; }
+
+    virtual void route(const std::vector<DispatchNodeView> &nodes,
+                       Fraction fleetLoad,
+                       std::vector<double> &shares) const = 0;
+
+  private:
+    std::string name_;
+};
+
+/** Uniform split: the classic per-request round-robin front end
+ * (every node sees the same share regardless of size or state). */
+class RoundRobinDispatcher : public Dispatcher
+{
+  public:
+    RoundRobinDispatcher() : Dispatcher("round-robin") {}
+    void route(const std::vector<DispatchNodeView> &nodes,
+               Fraction fleetLoad,
+               std::vector<double> &shares) const override;
+};
+
+/**
+ * Classic least-loaded routing: share proportional to each node's
+ * free capacity, capacity * (1 - lastUtilization). On the cold first
+ * interval this degrades to capacity-proportional routing.
+ */
+class LeastLoadedDispatcher : public Dispatcher
+{
+  public:
+    LeastLoadedDispatcher() : Dispatcher("least-loaded") {}
+    void route(const std::vector<DispatchNodeView> &nodes,
+               Fraction fleetLoad,
+               std::vector<double> &shares) const override;
+};
+
+/**
+ * Power-aware routing: share proportional to
+ * capacity * efficiency^gamma, where efficiency is the node's
+ * capacity-per-TDP-watt normalized by the best node. gamma=0 is
+ * capacity-proportional; larger gamma concentrates load on the most
+ * efficient (highest capacity/TDP) nodes.
+ */
+class PowerAwareDispatcher : public Dispatcher
+{
+  public:
+    explicit PowerAwareDispatcher(double gamma)
+        : Dispatcher("power-aware"), gamma_(gamma)
+    {
+    }
+    void route(const std::vector<DispatchNodeView> &nodes,
+               Fraction fleetLoad,
+               std::vector<double> &shares) const override;
+
+  private:
+    double gamma_;
+};
+
+/**
+ * CP/ILP-flavored dispatcher (after the constraint-programming batch
+ * dispatchers of Galleguillos et al., arXiv:2009.10348): the
+ * interval's load is divided into `quanta` equal quanta, each
+ * assigned greedily to the node maximizing
+ *
+ *   wslack * slack + wpower * efficiency * headroom
+ *
+ * where slack = (target * effectiveCapacity - assigned) / capacity
+ * measures distance from the per-node utilization target (with the
+ * effective capacity derated by qosTarget/lastTail while a node is
+ * violating QoS — predicted slack shrinks on struggling nodes),
+ * headroom = max(0, 1 - assigned/capacity) is the remaining power
+ * headroom proxy, and efficiency is capacity/TDP normalized by the
+ * best node. Ties break to the lowest node index, keeping the greedy
+ * assignment deterministic.
+ */
+class CpDispatcher : public Dispatcher
+{
+  public:
+    CpDispatcher(std::size_t quanta, double wslack, double wpower,
+                 double target)
+        : Dispatcher("cp"), quanta_(quanta), wslack_(wslack),
+          wpower_(wpower), target_(target)
+    {
+    }
+    void route(const std::vector<DispatchNodeView> &nodes,
+               Fraction fleetLoad,
+               std::vector<double> &shares) const override;
+
+  private:
+    std::size_t quanta_;
+    double wslack_;
+    double wpower_;
+    double target_;
+};
+
+} // namespace hipster
+
+#endif // HIPSTER_FLEET_DISPATCHER_HH

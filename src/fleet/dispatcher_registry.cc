@@ -1,0 +1,175 @@
+#include "fleet/dispatcher_registry.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace hipster
+{
+
+namespace
+{
+
+constexpr const char *kPrefix = "dispatch:";
+
+/** The spec with any `dispatch:` prefix removed. */
+std::string
+stripPrefix(const std::string &spec)
+{
+    const std::string prefix(kPrefix);
+    if (spec.rfind(prefix, 0) == 0)
+        return spec.substr(prefix.size());
+    return spec;
+}
+
+} // namespace
+
+DispatcherRegistry &
+DispatcherRegistry::instance()
+{
+    static DispatcherRegistry registry = [] {
+        DispatcherRegistry r;
+        r.registerBuiltins();
+        return r;
+    }();
+    return registry;
+}
+
+void
+DispatcherRegistry::add(DispatcherInfo info, Factory factory)
+{
+    if (has(info.name))
+        fatal("DispatcherRegistry: duplicate dispatcher '", info.name,
+              "'");
+    entries_.push_back(std::move(info));
+    factories_.push_back(std::move(factory));
+}
+
+bool
+DispatcherRegistry::has(const std::string &name) const
+{
+    return std::any_of(entries_.begin(), entries_.end(),
+                       [&](const DispatcherInfo &e) {
+                           return e.name == name;
+                       });
+}
+
+std::unique_ptr<Dispatcher>
+DispatcherRegistry::make(const std::string &spec) const
+{
+    const std::string body = stripPrefix(spec);
+    const std::string head = specHead(body);
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        if (entries_[i].name != head)
+            continue;
+        SpecParamSet params;
+        parseSpecParams("dispatcher", body, head, entries_[i].params,
+                        params);
+        return factories_[i](params);
+    }
+    std::string known;
+    for (const DispatcherInfo &e : entries_)
+        known += (known.empty() ? "" : ", ") + e.name;
+    fatal("unknown dispatcher '", head, "' in spec '", spec,
+          "'; known dispatchers: ", known,
+          " (prefix with 'dispatch:', e.g. dispatch:", entries_.empty()
+              ? "round-robin"
+              : entries_.front().name,
+          ")");
+}
+
+std::string
+DispatcherRegistry::catalogText() const
+{
+    std::string out = "Fleet dispatchers (spec grammar: dispatch:name"
+                      "[:key=value,...]):\n";
+    for (const DispatcherInfo &e : entries_) {
+        out += "  " + std::string(kPrefix) + e.name + " — " +
+               e.summary + "\n";
+        for (const SpecParamInfo &p : e.params)
+            out += "      " + specParamLine(p) + "\n";
+    }
+    return out;
+}
+
+void
+DispatcherRegistry::registerBuiltins()
+{
+    add({"round-robin",
+         "uniform split: every node gets 1/N of the offered load",
+         {}},
+        [](const SpecParamSet &) {
+            return std::make_unique<RoundRobinDispatcher>();
+        });
+
+    add({"least-loaded",
+         "share ~ capacity * (1 - last utilization): classic "
+         "join-the-least-loaded front end",
+         {}},
+        [](const SpecParamSet &) {
+            return std::make_unique<LeastLoadedDispatcher>();
+        });
+
+    add({"power-aware",
+         "share ~ capacity * (capacity/TDP)^gamma: concentrates load "
+         "on power-efficient nodes",
+         {{"gamma", "efficiency exponent (0 = capacity-proportional)",
+           1.0, 0.0, 16.0, false, false, ParamUnit::None}}},
+        [](const SpecParamSet &params) {
+            return std::make_unique<PowerAwareDispatcher>(
+                params.get("gamma", 1.0));
+        });
+
+    add({"cp",
+         "CP/ILP-style greedy quanta assignment scoring predicted "
+         "slack and power headroom (after arXiv:2009.10348)",
+         {{"quanta", "load quanta assigned greedily per interval",
+           64.0, 1.0, 4096.0, true, false, ParamUnit::None},
+          {"wslack", "weight of the predicted-slack term", 1.0, 0.0,
+           100.0, false, false, ParamUnit::None},
+          {"wpower", "weight of the efficiency*headroom term", 0.5,
+           0.0, 100.0, false, false, ParamUnit::None},
+          {"target", "per-node utilization target the slack is "
+                     "measured against",
+           0.85, 0.05, 1.0, false, false, ParamUnit::None}}},
+        [](const SpecParamSet &params) {
+            return std::make_unique<CpDispatcher>(
+                static_cast<std::size_t>(params.get("quanta", 64.0)),
+                params.get("wslack", 1.0), params.get("wpower", 0.5),
+                params.get("target", 0.85));
+        });
+}
+
+std::unique_ptr<Dispatcher>
+makeDispatcher(const std::string &spec)
+{
+    return DispatcherRegistry::instance().make(spec);
+}
+
+bool
+isDispatcherSpec(const std::string &spec)
+{
+    try {
+        makeDispatcher(spec);
+        return true;
+    } catch (const FatalError &) {
+        return false;
+    }
+}
+
+std::string
+canonicalDispatcherLabel(const std::string &spec)
+{
+    return std::string(kPrefix) + stripPrefix(spec);
+}
+
+std::vector<std::string>
+splitDispatcherList(const std::string &list)
+{
+    return splitSpecList(list, [](const std::string &head) {
+        return head == "dispatch" ||
+               DispatcherRegistry::instance().has(head);
+    });
+}
+
+} // namespace hipster

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Registry for the fleet dispatcher axis. Dispatcher specs ride the
+ * shared common/spec_grammar, carry a canonical `dispatch:` prefix
+ * so sweep/CSV labels are self-describing ("dispatch:cp:quanta=128"),
+ * and fail fast with catalog-enumerating errors exactly like the
+ * workload/platform/trace/policy axes:
+ *
+ *   spec := ['dispatch:'] name [':' key '=' value (',' ...)]
+ *
+ *   dispatch:round-robin
+ *   dispatch:least-loaded
+ *   dispatch:power-aware:gamma=2
+ *   dispatch:cp:quanta=64,wslack=1,wpower=0.5,target=0.85
+ */
+
+#ifndef HIPSTER_FLEET_DISPATCHER_REGISTRY_HH
+#define HIPSTER_FLEET_DISPATCHER_REGISTRY_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/spec_grammar.hh"
+#include "fleet/dispatcher.hh"
+
+namespace hipster
+{
+
+/** Catalog entry describing one registered dispatcher family. */
+struct DispatcherInfo
+{
+    std::string name;    ///< grammar head, e.g. "cp"
+    std::string summary; ///< one line for --list-dispatchers
+    std::vector<SpecParamInfo> params;
+};
+
+/**
+ * Name-keyed dispatcher factory. A singleton holds the built-ins;
+ * custom dispatchers registered at startup become available to the
+ * fleet CLI, the fleet sweep axis and the benches at once.
+ */
+class DispatcherRegistry
+{
+  public:
+    using Factory = std::function<std::unique_ptr<Dispatcher>(
+        const SpecParamSet &params)>;
+
+    static DispatcherRegistry &instance();
+
+    /** Register a dispatcher; FatalError on duplicate names. */
+    void add(DispatcherInfo info, Factory factory);
+
+    bool has(const std::string &name) const;
+
+    /** All registered dispatchers, in registration order. */
+    const std::vector<DispatcherInfo> &entries() const
+    {
+        return entries_;
+    }
+
+    /**
+     * Build a dispatcher from a spec (with or without the
+     * `dispatch:` prefix). Throws FatalError enumerating the catalog
+     * on unknown names and the schema on bad parameters.
+     */
+    std::unique_ptr<Dispatcher> make(const std::string &spec) const;
+
+    /** Human-readable catalog (--list-dispatchers). */
+    std::string catalogText() const;
+
+  private:
+    DispatcherRegistry() = default;
+    void registerBuiltins();
+
+    std::vector<DispatcherInfo> entries_;
+    std::vector<Factory> factories_;
+};
+
+/** Build a dispatcher from a spec via the global registry. */
+std::unique_ptr<Dispatcher> makeDispatcher(const std::string &spec);
+
+/** Non-throwing validation of a dispatcher spec. */
+bool isDispatcherSpec(const std::string &spec);
+
+/** The spec with its `dispatch:` prefix enforced (sweep/CSV label). */
+std::string canonicalDispatcherLabel(const std::string &spec);
+
+/** Splits a CLI dispatcher list (`;` separated; a `,` separates only
+ * before a registered head or the `dispatch:` prefix). */
+std::vector<std::string> splitDispatcherList(const std::string &list);
+
+} // namespace hipster
+
+#endif // HIPSTER_FLEET_DISPATCHER_REGISTRY_HH

@@ -1,0 +1,308 @@
+#include "fleet/fleet.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "experiments/experiment_spec.hh"
+#include "experiments/scenario.hh"
+#include "fleet/dispatcher_registry.hh"
+#include "loadgen/trace_registry.hh"
+#include "monitor/qos_monitor.hh"
+#include "workloads/service_model.hh"
+#include "workloads/workload_registry.hh"
+
+namespace hipster
+{
+
+namespace
+{
+
+/** Local load is capped here: past 2x a node's capacity the queue is
+ * saturated anyway, and an unbounded ratio would let a tiny share on
+ * a tiny node explode the DES event count. */
+constexpr Fraction kMaxLocalLoad = 2.0;
+
+/** Node-seed stream constant (SplitMix64 golden gamma). */
+constexpr std::uint64_t kSeedGamma = 0x9e3779b97f4a7c15ULL;
+
+/** Deterministic per-node seed, independent of every other node. */
+std::uint64_t
+nodeSeed(std::uint64_t fleetSeed, std::size_t node)
+{
+    return splitMix64(fleetSeed + kSeedGamma * (node + 1));
+}
+
+/** The per-node ExperimentSpec a fleet node resolves to. The trace
+ * is a placeholder: every interval's offered load is overridden with
+ * the dispatcher's routed share. */
+ExperimentSpec
+nodeExperiment(const FleetSpec &fleet, const FleetNodeSpec &node,
+               std::size_t index)
+{
+    ExperimentSpec spec;
+    spec.workload = fleet.workload;
+    spec.platform = node.platform;
+    spec.trace = "constant:0";
+    spec.policy = node.policy;
+    spec.duration = fleet.duration;
+    spec.durationScale = fleet.durationScale;
+    spec.seed = nodeSeed(fleet.seed, index);
+    spec.runner = fleet.runner;
+    return spec;
+}
+
+/** Capacity a node's in-force CoreConfig could serve (fleet load
+ * units): the powered fraction of its max capacity. */
+double
+poweredCapacity(const CoreConfig &config, const ServiceModel &model,
+                const LcAppParams &params)
+{
+    double rate = 0.0;
+    if (config.nBig > 0 && config.bigFreq > 0.0)
+        rate += config.nBig /
+                model.meanServiceTime(CoreType::Big, config.bigFreq);
+    if (config.nSmall > 0 && config.smallFreq > 0.0)
+        rate += config.nSmall /
+                model.meanServiceTime(CoreType::Small, config.smallFreq);
+    const double fullRate = params.maxLoad * params.loadScale;
+    return fullRate > 0.0 ? rate / fullRate : 0.0;
+}
+
+} // namespace
+
+FleetNodeSpec
+parseFleetNode(const std::string &text)
+{
+    FleetNodeSpec node;
+    const std::size_t at = text.find('@');
+    if (at == std::string::npos) {
+        node.platform = text;
+    } else {
+        node.platform = text.substr(0, at);
+        node.policy = text.substr(at + 1);
+    }
+    if (node.platform.empty() || node.policy.empty())
+        fatal("fleet node '", text, "' is malformed — expected "
+              "platform[@policy], e.g. juno@hipster-in or "
+              "hetero:big=2,little=8@static-big");
+    return node;
+}
+
+std::vector<FleetNodeSpec>
+parseFleetNodes(const std::string &list)
+{
+    std::vector<FleetNodeSpec> nodes;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= list.size(); ++i) {
+        if (i < list.size() && list[i] != ';')
+            continue;
+        const std::string part = list.substr(start, i - start);
+        if (!part.empty())
+            nodes.push_back(parseFleetNode(part));
+        start = i + 1;
+    }
+    if (nodes.empty())
+        fatal("fleet node list '", list, "' is empty — expected a "
+              "';'-separated platform[@policy] list");
+    return nodes;
+}
+
+void
+FleetSpec::validate() const
+{
+    if (nodes.empty())
+        fatal("FleetSpec: a fleet needs at least one node");
+    if (durationScale <= 0.0)
+        fatal("FleetSpec: durationScale must be > 0");
+    makeDispatcher(dispatcher); // throws with the catalog on error
+    validateTraceSpec(trace, resolvedDuration());
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+        nodeExperiment(*this, nodes[i], i).validate();
+}
+
+Seconds
+FleetSpec::resolvedDuration() const
+{
+    const Seconds base =
+        duration > 0.0 ? duration : diurnalDurationFor(workload);
+    return base * durationScale;
+}
+
+std::string
+FleetSpec::label() const
+{
+    std::string out = "fleet" + std::to_string(nodes.size()) + "[";
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+        out += (i ? "|" : "") + nodes[i].label();
+    return out + "]";
+}
+
+std::shared_ptr<const LoadTrace>
+FleetNodeResult::shardTrace() const
+{
+    if (shard.empty())
+        return std::make_shared<ConstantTrace>(0.0);
+    return std::make_shared<PiecewiseTrace>(shard);
+}
+
+double
+nodeCapacity(const PlatformSpec &platform, const LcWorkloadDef &workload)
+{
+    const ServiceModel model(workload.params.demand);
+    double rate = 0.0;
+    for (const ClusterSpec &cluster : platform.clusters) {
+        if (cluster.coreCount == 0)
+            continue;
+        rate += cluster.coreCount /
+                model.meanServiceTime(cluster.type,
+                                      cluster.maxFrequency());
+    }
+    const double fullRate =
+        workload.params.maxLoad * workload.params.loadScale;
+    if (fullRate <= 0.0)
+        fatal("nodeCapacity: workload '", workload.params.name,
+              "' has no max load");
+    return rate / fullRate;
+}
+
+FleetResult
+runFleet(const FleetSpec &spec)
+{
+    spec.validate();
+    const Seconds duration = spec.resolvedDuration();
+    const Seconds dt = spec.runner.interval;
+    const auto intervals =
+        static_cast<std::size_t>(duration / dt + 0.5);
+
+    const LcWorkloadDef def = makeWorkloadFromSpec(spec.workload);
+    const ServiceModel model(def.params.demand);
+    const auto dispatcher = makeDispatcher(spec.dispatcher);
+    const auto fleetTrace =
+        makeTrace(spec.trace, duration, spec.seed + 100);
+    const LoadBucketQuantizer quantizer(spec.runner.reportBucketPercent);
+
+    FleetResult result;
+    result.dispatcher = canonicalDispatcherLabel(spec.dispatcher);
+
+    // --- Build every node: fresh platform, app, policy.
+    const std::size_t n = spec.nodes.size();
+    std::vector<ExperimentRunner> runners;
+    std::vector<std::unique_ptr<TaskPolicy>> policies;
+    runners.reserve(n);
+    policies.reserve(n);
+    result.nodes.resize(n);
+    double fleetCapacity = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const ExperimentSpec node = nodeExperiment(spec, spec.nodes[i], i);
+        runners.push_back(node.makeRunner());
+        policies.push_back(node.makePolicyFor(runners[i].platform()));
+        result.nodes[i].spec = spec.nodes[i];
+        result.nodes[i].capacity =
+            nodeCapacity(runners[i].platform().spec(), def);
+        result.nodes[i].tdp = runners[i].platform().tdp();
+        result.nodes[i].shard.reserve(intervals);
+        fleetCapacity += result.nodes[i].capacity;
+    }
+
+    // --- Lockstep interval loop: route, step every node, aggregate.
+    for (std::size_t i = 0; i < n; ++i)
+        runners[i].beginRun(*policies[i], intervals);
+
+    std::vector<DispatchNodeView> views(n);
+    std::vector<double> shares;
+    result.fleetSeries.reserve(intervals);
+    double strandedSum = 0.0;
+    for (std::size_t k = 0; k < intervals; ++k) {
+        const Seconds t0 = k * dt;
+        const Fraction fleetLoad = fleetTrace->at(t0);
+
+        for (std::size_t i = 0; i < n; ++i) {
+            views[i].capacity = result.nodes[i].capacity;
+            views[i].tdp = result.nodes[i].tdp;
+            views[i].qosTarget = def.params.qosTargetMs;
+        }
+        dispatcher->route(views, fleetLoad, shares);
+        if (shares.size() != n)
+            fatal("dispatcher '", dispatcher->name(),
+                  "' returned ", shares.size(), " shares for ", n,
+                  " nodes");
+        double shareSum = 0.0;
+        for (const double s : shares) {
+            if (!(s >= 0.0) || !std::isfinite(s))
+                fatal("dispatcher '", dispatcher->name(),
+                      "' returned an invalid share");
+            shareSum += s;
+        }
+
+        IntervalMetrics agg;
+        agg.begin = t0;
+        agg.end = t0 + dt;
+        agg.offeredLoad = fleetLoad;
+        agg.loadBucket = quantizer.bucket(fleetLoad);
+        agg.qosTarget = def.params.qosTargetMs;
+        agg.batchPresent = false;
+        agg.ipsValid = true;
+        double utilizationWeighted = 0.0;
+        double bigFreqSum = 0.0, smallFreqSum = 0.0;
+        double stranded = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            const double share =
+                shareSum > 0.0 ? shares[i] / shareSum : 1.0 / n;
+            const double routed = share * fleetLoad * fleetCapacity;
+            const Fraction localLoad =
+                result.nodes[i].capacity > 0.0
+                    ? std::clamp(routed / result.nodes[i].capacity,
+                                 0.0, kMaxLocalLoad)
+                    : 0.0;
+            result.nodes[i].shard.emplace_back(t0, localLoad);
+
+            const IntervalMetrics &m =
+                runners[i].stepNext(*policies[i], localLoad);
+            views[i].lastUtilization = m.lcUtilization;
+            views[i].lastTailLatency = m.tailLatency;
+            views[i].lastPower = m.power;
+
+            agg.offeredRate += m.offeredRate;
+            agg.tailLatency = std::max(agg.tailLatency, m.tailLatency);
+            agg.throughput += m.throughput;
+            agg.power += m.power;
+            agg.energy += m.energy;
+            agg.ipsValid = agg.ipsValid && m.ipsValid;
+            agg.config.nBig += m.config.nBig;
+            agg.config.nSmall += m.config.nSmall;
+            bigFreqSum += m.config.bigFreq;
+            smallFreqSum += m.config.smallFreq;
+            agg.migrations += m.migrations;
+            agg.dvfsTransitions += m.dvfsTransitions;
+            utilizationWeighted +=
+                m.lcUtilization * result.nodes[i].capacity;
+            agg.dropped += m.dropped;
+
+            const double powered =
+                poweredCapacity(m.config, model, def.params);
+            stranded += std::max(
+                0.0, powered - localLoad * result.nodes[i].capacity);
+        }
+        agg.config.bigFreq = bigFreqSum / n;
+        agg.config.smallFreq = smallFreqSum / n;
+        agg.lcUtilization = fleetCapacity > 0.0
+                                ? utilizationWeighted / fleetCapacity
+                                : 0.0;
+        if (fleetCapacity > 0.0)
+            strandedSum += stranded / fleetCapacity;
+        result.fleetSeries.push_back(agg);
+    }
+
+    for (std::size_t i = 0; i < n; ++i)
+        result.nodes[i].result = runners[i].finishRun();
+
+    result.summary.fleet = RunSummary::fromSeries(result.fleetSeries);
+    result.summary.fleetCapacity = fleetCapacity;
+    result.summary.strandedCapacity =
+        intervals > 0 ? strandedSum / intervals : 0.0;
+    return result;
+}
+
+} // namespace hipster

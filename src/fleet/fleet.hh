@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Fleet-scale simulation: N heterogeneous nodes (each its own
+ * platform spec + per-node Hipster/baseline manager) behind a
+ * front-end dispatcher. Every monitoring interval the front end
+ * samples one fleet-level offered-load trace, asks the dispatcher
+ * for a share vector, converts shares into per-node local load
+ * fractions (of each node's own capacity) and steps every node in
+ * lockstep through the ExperimentRunner incremental API; per-node
+ * metrics are aggregated into a fleet interval series and reduced to
+ * a FleetSummary (fleet QoS guarantee, total energy, stranded
+ * capacity). A fleet run is a pure function of (FleetSpec) — the
+ * per-node seeds, the fleet trace and the recorded load shards all
+ * derive deterministically from the fleet seed.
+ */
+
+#ifndef HIPSTER_FLEET_FLEET_HH
+#define HIPSTER_FLEET_FLEET_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "experiments/runner.hh"
+#include "fleet/dispatcher.hh"
+#include "loadgen/load_trace.hh"
+
+namespace hipster
+{
+
+/** One node of the fleet: a platform spec bound to a policy spec. */
+struct FleetNodeSpec
+{
+    std::string platform = "juno";
+    std::string policy = "hipster-in";
+
+    /** "platform@policy" (the CLI form). */
+    std::string label() const { return platform + "@" + policy; }
+};
+
+/** Parse one "platform@policy" binding; a missing "@policy" defaults
+ * to hipster-in. Throws FatalError on empty parts. */
+FleetNodeSpec parseFleetNode(const std::string &text);
+
+/** Parse a ';'-separated node list. Throws on empty lists. */
+std::vector<FleetNodeSpec> parseFleetNodes(const std::string &list);
+
+/** Declarative description of one fleet run. */
+struct FleetSpec
+{
+    std::vector<FleetNodeSpec> nodes;
+
+    /** Workload spec shared by every node (one service, one fleet). */
+    std::string workload = "memcached";
+
+    /** Fleet-level offered-load trace spec (fraction of total fleet
+     * capacity). */
+    std::string trace = "diurnal";
+
+    /** Dispatcher spec (fleet/dispatcher_registry grammar). */
+    std::string dispatcher = "dispatch:round-robin";
+
+    /** Run length; 0 = the workload's diurnal default. */
+    Seconds duration = 0.0;
+
+    /** Scale factor applied to duration and learning phase. */
+    double durationScale = 1.0;
+
+    /** Fleet seed; node seeds and the trace stream derive from it. */
+    std::uint64_t seed = 1;
+
+    /** Options forwarded to every node's ExperimentRunner. */
+    RunnerOptions runner;
+
+    /** Fail-fast validation of every axis spec (nodes, workload,
+     * trace, dispatcher) without running anything. */
+    void validate() const;
+
+    /** The run length after defaulting and scaling. */
+    Seconds resolvedDuration() const;
+
+    /** Compact fleet label for sweep/CSV cells:
+     * "fleet4[juno@hipster-in|...]". */
+    std::string label() const;
+};
+
+/** What one node produced, plus its routed-load shard. */
+struct FleetNodeResult
+{
+    FleetNodeSpec spec;
+
+    /** Node capacity in fleet load units (multiples of the app's
+     * full Table 1 load). */
+    double capacity = 0.0;
+
+    /** Node TDP (W). */
+    Watts tdp = 0.0;
+
+    /** The node's own run (per-node series + summary). */
+    ExperimentResult result;
+
+    /** Interval-start samples of the local load the dispatcher
+     * routed here (the node's shard of the fleet trace). */
+    std::vector<std::pair<Seconds, Fraction>> shard;
+
+    /** The shard as a LoadTrace view (piecewise-linear through the
+     * recorded samples) — replayable through a single-node run. */
+    std::shared_ptr<const LoadTrace> shardTrace() const;
+};
+
+/** Fleet-level reduction of one run. */
+struct FleetSummary
+{
+    /** Summary over the aggregated fleet interval series. The fleet
+     * tail latency of an interval is the max over nodes, so
+     * qosGuarantee is the fraction of intervals where EVERY node met
+     * the target. */
+    RunSummary fleet;
+
+    /** Total fleet capacity (fleet load units). */
+    double fleetCapacity = 0.0;
+
+    /**
+     * Stranded capacity: mean over intervals of the powered-but-
+     * unrouted capacity fraction, sum_i max(0, powered_i - routed_i)
+     * / fleetCapacity, where powered_i is what node i's active
+     * CoreConfig could serve and routed_i the load dispatched to it.
+     * High stranded capacity = the dispatcher keeps nodes powered
+     * beyond the load they receive.
+     */
+    double strandedCapacity = 0.0;
+};
+
+/** Everything one fleet run produced. */
+struct FleetResult
+{
+    /** Canonical dispatcher label ("dispatch:cp"). */
+    std::string dispatcher;
+
+    std::vector<FleetNodeResult> nodes;
+
+    /** Aggregated per-interval fleet metrics (see runFleet). */
+    std::vector<IntervalMetrics> fleetSeries;
+
+    FleetSummary summary;
+};
+
+/**
+ * Node capacity in fleet load units: every core at its cluster's max
+ * frequency, divided by the app's full simulated arrival rate. The
+ * unit matches offered load, so a node at local load 1.0 receives
+ * exactly `capacity` copies of the app's Table 1 max load.
+ */
+double nodeCapacity(const PlatformSpec &platform,
+                    const LcWorkloadDef &workload);
+
+/** Run one fleet campaign (see the file comment for the loop). */
+FleetResult runFleet(const FleetSpec &spec);
+
+} // namespace hipster
+
+#endif // HIPSTER_FLEET_FLEET_HH

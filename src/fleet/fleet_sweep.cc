@@ -1,0 +1,129 @@
+#include "fleet/fleet_sweep.hh"
+
+#include "common/logging.hh"
+#include "fleet/dispatcher_registry.hh"
+
+namespace hipster
+{
+
+namespace
+{
+
+/** The fleet-level ExperimentResult a job reports back to the sweep
+ * engine: the aggregated fleet series under the dispatcher's label,
+ * with the actuation totals summed over nodes. */
+ExperimentResult
+toExperimentResult(const FleetResult &fleet, const FleetSpec &spec,
+                   bool keepSeries)
+{
+    ExperimentResult result;
+    result.policyName = fleet.dispatcher;
+    result.workloadName = spec.workload;
+    result.summary = fleet.summary.fleet;
+    for (const FleetNodeResult &node : fleet.nodes) {
+        result.migrations += node.result.migrations;
+        result.dvfsTransitions += node.result.dvfsTransitions;
+        result.simEvents += node.result.simEvents;
+    }
+    if (keepSeries) {
+        result.series.reserve(fleet.fleetSeries.size());
+        for (const IntervalMetrics &m : fleet.fleetSeries)
+            result.series.push_back(m);
+    }
+    return result;
+}
+
+} // namespace
+
+double
+FleetSweepResults::meanStranded(const std::string &dispatcher,
+                                const std::string &trace) const
+{
+    const std::string label = canonicalDispatcherLabel(dispatcher);
+    double sum = 0.0;
+    std::size_t count = 0;
+    std::string firstTrace;
+    for (const FleetRunStats &run : fleet) {
+        if (firstTrace.empty())
+            firstTrace = run.trace;
+        const std::string want = trace.empty() ? firstTrace : trace;
+        if (run.dispatcher == label && run.trace == want) {
+            sum += run.strandedCapacity;
+            ++count;
+        }
+    }
+    return count > 0 ? sum / count : -1.0;
+}
+
+FleetSweepResults
+runFleetSweep(const FleetSweepSpec &spec, std::size_t jobs,
+              const std::function<void(const SweepRun &)> &onRun)
+{
+    if (spec.dispatchers.empty())
+        fatal("runFleetSweep: dispatcher axis is empty");
+    if (spec.traces.empty())
+        fatal("runFleetSweep: trace axis is empty");
+
+    // Validate every axis value once, fail-fast, before any job
+    // starts (the engine skips its own validation when jobRunner is
+    // set — the policy axis holds dispatcher labels here).
+    std::vector<std::string> labels;
+    labels.reserve(spec.dispatchers.size());
+    for (const std::string &dispatcher : spec.dispatchers)
+        labels.push_back(canonicalDispatcherLabel(dispatcher));
+    {
+        FleetSpec probe = spec.base;
+        for (const std::string &label : labels) {
+            probe.dispatcher = label;
+            for (const std::string &trace : spec.traces) {
+                probe.trace = trace;
+                probe.validate();
+            }
+        }
+    }
+
+    SweepSpec sweep;
+    sweep.workloads = {spec.base.workload};
+    sweep.platforms = {spec.base.label()};
+    sweep.traces = spec.traces;
+    sweep.policies = labels;
+    sweep.seeds = spec.seeds;
+    sweep.masterSeed = spec.masterSeed;
+    sweep.duration = spec.base.resolvedDuration();
+    sweep.runner = spec.base.runner;
+    sweep.keepSeries = spec.keepSeries;
+
+    // Pre-sized per-job slot vector: jobRunner instances run
+    // concurrently and each writes only its own index, so jobs=1 and
+    // jobs=N fill identical vectors. The count mirrors expandJobs():
+    // 1 workload x 1 platform x traces x dispatchers x seeds.
+    const std::size_t jobCount =
+        spec.traces.size() * labels.size() * spec.seeds;
+    auto stats = std::make_shared<std::vector<FleetRunStats>>(jobCount);
+
+    const FleetSpec base = spec.base;
+    const bool keepSeries = spec.keepSeries;
+    sweep.jobRunner = [base, keepSeries, stats](const SweepJob &job) {
+        FleetSpec fleetSpec = base;
+        fleetSpec.dispatcher = job.policy;
+        fleetSpec.trace = job.trace;
+        fleetSpec.seed = job.seed;
+        const FleetResult fleet = runFleet(fleetSpec);
+        FleetRunStats &slot = (*stats)[job.index];
+        slot.jobIndex = job.index;
+        slot.dispatcher = job.policy;
+        slot.trace = job.trace;
+        slot.seedIndex = job.seedIndex;
+        slot.fleetCapacity = fleet.summary.fleetCapacity;
+        slot.strandedCapacity = fleet.summary.strandedCapacity;
+        return toExperimentResult(fleet, fleetSpec, keepSeries);
+    };
+
+    SweepEngine engine(sweep);
+    FleetSweepResults results;
+    results.sweep = engine.run(jobs, onRun);
+    results.fleet = std::move(*stats);
+    return results;
+}
+
+} // namespace hipster

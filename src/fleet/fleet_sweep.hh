@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Fleet sweep: plugs the multi-node dispatcher axis into the
+ * SweepEngine. The dispatcher specs become the policy axis and the
+ * fleet label the platform axis, so the existing expansion, seed
+ * derivation, scheduling, reduction, CSV writers and ASCII table all
+ * work unchanged; each job runs a whole fleet through runFleet() via
+ * the engine's jobRunner hook and reports the aggregated fleet
+ * series as its ExperimentResult. jobs=1 and jobs=N are
+ * bitwise-identical, exactly like single-node sweeps.
+ */
+
+#ifndef HIPSTER_FLEET_FLEET_SWEEP_HH
+#define HIPSTER_FLEET_FLEET_SWEEP_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "experiments/sweep.hh"
+#include "fleet/fleet.hh"
+
+namespace hipster
+{
+
+/** Declarative description of a fleet sweep campaign. */
+struct FleetSweepSpec
+{
+    /** The fleet every cell runs: nodes, workload, runner options.
+     * Its trace/dispatcher/seed fields are overridden per job. */
+    FleetSpec base;
+
+    /** Dispatcher axis (fleet/dispatcher_registry grammar). */
+    std::vector<std::string> dispatchers = {"dispatch:round-robin"};
+
+    /** Trace axis (loadgen TraceRegistry grammar). */
+    std::vector<std::string> traces = {"diurnal"};
+
+    /** Repetitions per cell with independently derived seeds. */
+    std::size_t seeds = 1;
+
+    /** Master seed all per-run seeds derive from. */
+    std::uint64_t masterSeed = 1;
+
+    /** Keep the full fleet interval series of every run. */
+    bool keepSeries = true;
+};
+
+/** Fleet-only statistics of one run (what RunSummary can't carry). */
+struct FleetRunStats
+{
+    std::size_t jobIndex = 0;
+    std::string dispatcher;
+    std::string trace;
+    std::size_t seedIndex = 0;
+    double fleetCapacity = 0.0;
+    double strandedCapacity = 0.0;
+};
+
+/** Everything a fleet sweep produced. */
+struct FleetSweepResults
+{
+    /** Standard sweep reduction (cells keyed by dispatcher label on
+     * the policy axis); feeds the CSV writers and tables as-is. */
+    SweepResults sweep;
+
+    /** Per-run fleet statistics, by job index. */
+    std::vector<FleetRunStats> fleet;
+
+    /** Mean stranded capacity of a (dispatcher, trace) cell; an
+     * empty trace matches the first trace swept. Returns -1 when the
+     * cell is absent. */
+    double meanStranded(const std::string &dispatcher,
+                        const std::string &trace = "") const;
+};
+
+/**
+ * Run the whole campaign across `jobs` worker threads (<= 1 runs
+ * inline). `onRun` is invoked once per run, serialized in job-index
+ * order (progress reporting).
+ */
+FleetSweepResults
+runFleetSweep(const FleetSweepSpec &spec, std::size_t jobs = 1,
+              const std::function<void(const SweepRun &)> &onRun = {});
+
+} // namespace hipster
+
+#endif // HIPSTER_FLEET_FLEET_SWEEP_HH

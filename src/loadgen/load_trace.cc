@@ -160,6 +160,10 @@ NoisyTrace::NoisyTrace(std::shared_ptr<const LoadTrace> inner,
         fatal("NoisyTrace: negative sigma");
     if (interval <= 0.0)
         fatal("NoisyTrace: interval must be positive");
+    // A negative (or NaN) cap would invert at()'s [0, cap] clamp —
+    // undefined behaviour that can return a negative load.
+    if (!(cap >= 0.0) || !std::isfinite(cap))
+        fatal("NoisyTrace: cap must be finite and >= 0");
 }
 
 Fraction

@@ -306,6 +306,10 @@ ClipTrace::ClipTrace(std::shared_ptr<const LoadTrace> inner, Fraction lo,
 {
     if (!inner_)
         fatal("ClipTrace: inner trace is null");
+    // NaN bounds pass ordered comparisons, so check finiteness first
+    // (std::clamp with an unordered band is undefined behaviour).
+    if (!std::isfinite(lo) || !std::isfinite(hi))
+        fatal("ClipTrace: bounds must be finite");
     if (lo < 0.0 || hi < lo)
         fatal("ClipTrace: need 0 <= lo <= hi");
 }
@@ -328,6 +332,10 @@ JitterTrace::JitterTrace(std::shared_ptr<const LoadTrace> inner,
         fatal("JitterTrace: negative sigma");
     if (interval <= 0.0)
         fatal("JitterTrace: interval must be positive");
+    // A negative (or NaN) cap would invert at()'s [0, cap] clamp —
+    // undefined behaviour that can return a negative load.
+    if (!(cap >= 0.0) || !std::isfinite(cap))
+        fatal("JitterTrace: cap must be finite and >= 0");
 }
 
 Fraction

@@ -540,6 +540,12 @@ TraceRegistry::registerBuiltins()
         [](std::shared_ptr<const LoadTrace> inner,
            const std::vector<std::string> &args, std::uint64_t) {
             const auto v = numericArgs(args, {0.0, 1.0}, "clip");
+            // Fail fast with the band spelled out: an inverted band
+            // would otherwise clamp every sample to a constant (or
+            // worse — std::clamp with hi < lo is undefined).
+            if (v[0] > v[1])
+                fatal("trace transform 'clip': lo ", v[0], " > hi ",
+                      v[1], " — the band [lo, hi] must be ordered");
             return std::static_pointer_cast<const LoadTrace>(
                 std::make_shared<ClipTrace>(std::move(inner), v[0],
                                             v[1]));
@@ -551,6 +557,9 @@ TraceRegistry::registerBuiltins()
         [](std::shared_ptr<const LoadTrace> inner,
            const std::vector<std::string> &args, std::uint64_t seed) {
             const auto v = numericArgs(args, {0.05, 1.0, 1.2}, "noise");
+            if (v[2] < 0.0)
+                fatal("trace transform 'noise': cap ", v[2],
+                      " is negative — the load clamp is [0, cap]");
             return std::static_pointer_cast<const LoadTrace>(
                 std::make_shared<NoisyTrace>(std::move(inner), v[0],
                                              v[1], seed, v[2]));
@@ -563,6 +572,9 @@ TraceRegistry::registerBuiltins()
            const std::vector<std::string> &args, std::uint64_t seed) {
             const auto v =
                 numericArgs(args, {0.05, 1.0, 1.2}, "jitter");
+            if (v[2] < 0.0)
+                fatal("trace transform 'jitter': cap ", v[2],
+                      " is negative — the load clamp is [0, cap]");
             return std::static_pointer_cast<const LoadTrace>(
                 std::make_shared<JitterTrace>(std::move(inner), v[0],
                                               v[1], seed, v[2]));

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Locale-independence tests for common/json_number — the formatter
+ * and parser behind the perf harness's JSON baselines. A process
+ * running under a comma-decimal locale (de_DE style) used to emit
+ * "3,14" via printf-family formatting and fail to re-read its own
+ * baseline via strtod; these tests force such a locale (through a
+ * custom numpunct facet, since the container ships only C-family
+ * locales) and require byte-identical behaviour. Non-finite values
+ * must be rejected at emit time: JSON has no NaN/Infinity literals.
+ */
+
+#include <gtest/gtest.h>
+
+#include <clocale>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <locale>
+#include <sstream>
+#include <string>
+
+#include "common/json_number.hh"
+#include "common/logging.hh"
+
+namespace hipster
+{
+namespace
+{
+
+/** numpunct facet with ',' decimal point and '.' thousands grouping —
+ * the de_DE shape — so the test does not depend on which locales the
+ * host has generated. */
+class CommaDecimal : public std::numpunct<char>
+{
+  protected:
+    char do_decimal_point() const override { return ','; }
+    char do_thousands_sep() const override { return '.'; }
+    std::string do_grouping() const override { return "\3"; }
+};
+
+/**
+ * Scoped hostile-locale environment: installs the comma-decimal
+ * facet as the global C++ locale (which freshly constructed streams
+ * pick up) and, when the host has a real comma-decimal locale,
+ * switches the C locale too (which printf/strtod honor). Restores
+ * both on destruction.
+ */
+class HostileLocale
+{
+  public:
+    HostileLocale()
+        : previousGlobal_(std::locale()),
+          previousC_(std::setlocale(LC_NUMERIC, nullptr))
+    {
+        std::locale::global(
+            std::locale(std::locale::classic(), new CommaDecimal));
+        for (const char *name :
+             {"de_DE.UTF-8", "de_DE.utf8", "de_DE", "fr_FR.UTF-8",
+              "fr_FR"}) {
+            if (std::setlocale(LC_NUMERIC, name) != nullptr) {
+                cLocaleSwitched_ = true;
+                break;
+            }
+        }
+    }
+
+    ~HostileLocale()
+    {
+        std::locale::global(previousGlobal_);
+        std::setlocale(LC_NUMERIC, previousC_.c_str());
+    }
+
+    bool cLocaleSwitched() const { return cLocaleSwitched_; }
+
+  private:
+    std::locale previousGlobal_;
+    std::string previousC_;
+    bool cLocaleSwitched_ = false;
+};
+
+TEST(JsonNumber, FormatsWithPointUnderHostileLocale)
+{
+    HostileLocale hostile;
+    // Default-constructed streams now group and comma under the
+    // hostile global locale — the very bug the formatter avoids.
+    std::ostringstream grouped;
+    grouped << 1234567;
+    ASSERT_EQ(grouped.str(), "1.234.567")
+        << "hostile locale facet not active";
+
+    EXPECT_EQ(formatJsonNumber(3.25), "3.25");
+    EXPECT_EQ(formatJsonNumber(0.1), "0.1");
+    EXPECT_EQ(formatJsonNumber(-17.5), "-17.5");
+    EXPECT_EQ(formatJsonNumber(std::uint64_t{1234567}), "1234567");
+    EXPECT_EQ(formatJsonNumber(std::uint64_t{0}), "0");
+
+    if (hostile.cLocaleSwitched()) {
+        // Sanity: printf really would have written a comma here.
+        char buffer[32];
+        std::snprintf(buffer, sizeof(buffer), "%g", 3.25);
+        EXPECT_EQ(std::string(buffer), "3,25");
+    }
+}
+
+TEST(JsonNumber, ParsesWithPointUnderHostileLocale)
+{
+    HostileLocale hostile;
+    std::size_t pos = 0;
+    double value = 0.0;
+    ASSERT_TRUE(parseJsonNumber("3.25,", pos, value));
+    EXPECT_EQ(value, 3.25);
+    EXPECT_EQ(pos, 4u); // stops at the ',' — not a decimal comma
+
+    pos = 0;
+    ASSERT_TRUE(parseJsonNumber("-1.5e3}", pos, value));
+    EXPECT_EQ(value, -1500.0);
+    EXPECT_EQ(pos, 6u);
+}
+
+TEST(JsonNumber, RoundTripsExactDoubles)
+{
+    for (const double v :
+         {0.0, 1.0, -1.0, 0.1, 2.1314633449999998, 1e-300, 1e300,
+          3.0261857143668268e-05, 36000.0,
+          std::numeric_limits<double>::denorm_min(),
+          std::numeric_limits<double>::max()}) {
+        const std::string text = formatJsonNumber(v);
+        std::size_t pos = 0;
+        double back = 0.0;
+        ASSERT_TRUE(parseJsonNumber(text, pos, back)) << text;
+        EXPECT_EQ(pos, text.size()) << text;
+        EXPECT_EQ(back, v) << text; // bitwise, not approximate
+    }
+}
+
+TEST(JsonNumber, RejectsNonFiniteAtEmit)
+{
+    EXPECT_THROW(
+        formatJsonNumber(std::numeric_limits<double>::quiet_NaN()),
+        FatalError);
+    EXPECT_THROW(
+        formatJsonNumber(std::numeric_limits<double>::infinity()),
+        FatalError);
+    EXPECT_THROW(
+        formatJsonNumber(-std::numeric_limits<double>::infinity()),
+        FatalError);
+}
+
+TEST(JsonNumber, RejectsNonJsonSpellings)
+{
+    // from_chars would happily read these; JSON must not.
+    for (const std::string text :
+         {"nan", "inf", "Infinity", "NaN", "-inf", "+1.5", ".5", "",
+          "true", "e5"}) {
+        std::size_t pos = 0;
+        double value = 0.0;
+        EXPECT_FALSE(parseJsonNumber(text, pos, value)) << text;
+        EXPECT_EQ(pos, 0u) << text; // pos untouched on failure
+    }
+    // Overflowing literals fail instead of saturating to infinity.
+    std::size_t pos = 0;
+    double value = 0.0;
+    EXPECT_FALSE(parseJsonNumber("1e400", pos, value));
+    EXPECT_EQ(pos, 0u);
+}
+
+TEST(JsonNumber, AcceptsBaselineStyleNumbers)
+{
+    // Shapes the perf harness has historically written with %.17g —
+    // old baselines must keep parsing after the formatter switch.
+    const struct
+    {
+        const char *text;
+        double expected;
+    } cases[] = {
+        {"2.1314633449999998", 2.1314633449999998},
+        {"3.0261857143668268e-05", 3.0261857143668268e-05},
+        {"1e+06", 1e6},
+        {"240", 240.0},
+        {"-0.5", -0.5},
+    };
+    for (const auto &c : cases) {
+        std::size_t pos = 0;
+        double value = 0.0;
+        ASSERT_TRUE(parseJsonNumber(c.text, pos, value)) << c.text;
+        EXPECT_EQ(value, c.expected) << c.text;
+    }
+}
+
+} // namespace
+} // namespace hipster

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Grammar-level tests for common/spec_grammar: the shared key=value
+ * machinery behind the workload/platform (and now dispatcher)
+ * registries. Focus: time-suffix parsing edges — overflowing
+ * magnitudes (`duration=99999999999999s`) and negative time values
+ * (`think=-5ms`) must fail fast with the usual catalog-style error
+ * instead of wrapping, saturating or silently passing a permissive
+ * schema range.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/spec_grammar.hh"
+#include "workloads/workload_registry.hh"
+
+namespace hipster
+{
+namespace
+{
+
+/** A deliberately permissive schema: the grammar itself — not the
+ * schema range — must reject overflow and negative time. */
+std::vector<SpecParamInfo>
+permissiveSchema()
+{
+    return {
+        {"duration", "run length", 60.0, -1e30, 1e30, false, false,
+         ParamUnit::TimeSec},
+        {"think", "think time", 2000.0, -1e30, 1e30, false, false,
+         ParamUnit::TimeMs},
+        {"gain", "plain number", 1.0, -1e30, 1e30, false, false,
+         ParamUnit::None},
+        {"count", "an integer", 4.0, 0.0, 100.0, true, false,
+         ParamUnit::None},
+        {"flag", "a flag", 0.0, 0.0, 1.0, false, true,
+         ParamUnit::None},
+    };
+}
+
+SpecParamSet
+parse(const std::string &spec)
+{
+    SpecParamSet out;
+    parseSpecParams("test", spec, specHead(spec), permissiveSchema(),
+                    out);
+    return out;
+}
+
+std::string
+errorOf(const std::string &spec)
+{
+    try {
+        parse(spec);
+    } catch (const FatalError &e) {
+        return e.what();
+    }
+    return "";
+}
+
+TEST(SpecGrammarTime, SuffixesNormalizeExactly)
+{
+    EXPECT_DOUBLE_EQ(parse("t:duration=90").get("duration", 0.0), 90.0);
+    EXPECT_DOUBLE_EQ(parse("t:duration=1500ms").get("duration", 0.0),
+                     1.5);
+    EXPECT_DOUBLE_EQ(parse("t:duration=250us").get("duration", 0.0),
+                     250e-6);
+    EXPECT_DOUBLE_EQ(parse("t:think=1.5s").get("think", 0.0), 1500.0);
+    EXPECT_DOUBLE_EQ(parse("t:think=300us").get("think", 0.0), 0.3);
+}
+
+TEST(SpecGrammarTime, OverflowingMagnitudeIsRejected)
+{
+    // 1e14 seconds is ~3 million years: far beyond the supported
+    // time range even under this schema's huge maxValue.
+    const std::string error = errorOf("t:duration=99999999999999s");
+    EXPECT_NE(error.find("beyond the supported time range"),
+              std::string::npos)
+        << error;
+    EXPECT_THROW(parse("t:duration=1e13"), FatalError);
+    EXPECT_THROW(parse("t:think=99999999999999s"), FatalError);
+}
+
+TEST(SpecGrammarTime, RepresentationOverflowIsRejected)
+{
+    // strtod saturates 1e400 to +inf with ERANGE; the grammar must
+    // name the overflow, not report a range violation.
+    const std::string error = errorOf("t:duration=1e400");
+    EXPECT_NE(error.find("overflows"), std::string::npos) << error;
+    EXPECT_THROW(parse("t:gain=1e400"), FatalError);
+    EXPECT_THROW(parse("t:gain=-1e400"), FatalError);
+}
+
+TEST(SpecGrammarTime, NegativeTimeIsRejected)
+{
+    const std::string error = errorOf("t:think=-5ms");
+    EXPECT_NE(error.find("negative duration"), std::string::npos)
+        << error;
+    EXPECT_THROW(parse("t:duration=-1"), FatalError);
+    EXPECT_THROW(parse("t:duration=-0.5s"), FatalError);
+    // Plain (unitless) parameters still accept negatives.
+    EXPECT_DOUBLE_EQ(parse("t:gain=-5").get("gain", 0.0), -5.0);
+}
+
+TEST(SpecGrammarTime, NonFiniteSpellingsAreRejected)
+{
+    EXPECT_THROW(parse("t:duration=nan"), FatalError);
+    EXPECT_THROW(parse("t:duration=inf"), FatalError);
+    EXPECT_THROW(parse("t:gain=nan"), FatalError);
+}
+
+TEST(SpecGrammar, CoreGrammarStillEnforced)
+{
+    EXPECT_THROW(parse("t:duration=abc"), FatalError);     // not a number
+    EXPECT_THROW(parse("t:gain=5s"), FatalError);          // no unit
+    EXPECT_THROW(parse("t:duration=5min"), FatalError);    // bad suffix
+    EXPECT_THROW(parse("t:unknown=1"), FatalError);        // unknown key
+    EXPECT_THROW(parse("t:gain=1,gain=2"), FatalError);    // duplicate
+    EXPECT_THROW(parse("t:count=1.5"), FatalError);        // integer
+    EXPECT_THROW(parse("t:flag=2"), FatalError);           // boolean
+    EXPECT_THROW(parse("t:"), FatalError);                 // empty tail
+    EXPECT_THROW(parse("t:gain"), FatalError);             // no '='
+}
+
+TEST(SpecGrammar, ErrorsEnumerateTheSchema)
+{
+    const std::string error = errorOf("t:unknown=1");
+    EXPECT_NE(error.find("'t' parameters:"), std::string::npos)
+        << error;
+    EXPECT_NE(error.find("duration="), std::string::npos) << error;
+}
+
+TEST(SpecGrammarTime, RegistryEndToEndFailsFast)
+{
+    // Through a real registry consumer: the workload grammar rides on
+    // parseSpecParams, so the same edges fail fast with catalogs.
+    EXPECT_THROW(makeWorkloadFromSpec("websearch:think=-5ms"),
+                 FatalError);
+    EXPECT_THROW(
+        makeWorkloadFromSpec("memcached:qos=99999999999999s"),
+        FatalError);
+    EXPECT_THROW(makeWorkloadFromSpec("memcached:qos=1e400"),
+                 FatalError);
+}
+
+} // namespace
+} // namespace hipster

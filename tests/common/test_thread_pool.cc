@@ -108,6 +108,39 @@ TEST(ThreadPool, TasksSubmittedFromTasks)
     EXPECT_EQ(outer.get().get(), 5);
 }
 
+TEST(ThreadPool, ExceptionDuringDrainReachesTheFuture)
+{
+    // Regression guard for the drain path: a task that throws while
+    // the destructor is draining the queue must deliver its exception
+    // through the future (not std::terminate, not broken_promise),
+    // and tasks queued after it must still run.
+    std::atomic<int> after{0};
+    std::future<void> boom;
+    std::future<void> tail;
+    {
+        ThreadPool pool(1);
+        // Block the single worker so everything below stays queued
+        // until destruction begins the drain.
+        auto gate = pool.submit([] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        });
+        boom = pool.submit(
+            [] { throw std::runtime_error("mid-drain failure"); });
+        tail = pool.submit([&after] { ++after; });
+        (void)gate;
+        // Pool destroyed while the worker still sleeps in `gate`, so
+        // boom and tail are guaranteed to drain during shutdown.
+    }
+    EXPECT_EQ(after.load(), 1);
+    try {
+        boom.get();
+        FAIL() << "expected the drained task's exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "mid-drain failure");
+    }
+    EXPECT_NO_THROW(tail.get());
+}
+
 TEST(ThreadPool, DefaultJobsIsPositive)
 {
     EXPECT_GE(ThreadPool::defaultJobs(), 1u);

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Dispatcher grammar + routing-policy tests: the registry's spec
+ * grammar (catalog errors, parameter schemas, dispatch: prefix,
+ * list splitting) and the behavioural contracts of each built-in
+ * dispatcher (shares are a distribution; round-robin is uniform;
+ * least-loaded follows free capacity; power-aware follows
+ * efficiency; cp is deterministic, tie-breaks to the lowest index
+ * and derates QoS-violating nodes).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/logging.hh"
+#include "fleet/dispatcher.hh"
+#include "fleet/dispatcher_registry.hh"
+
+namespace hipster
+{
+namespace
+{
+
+std::vector<DispatchNodeView>
+mixedFleet()
+{
+    // Four nodes: capacity (fleet load units) and TDP chosen so
+    // efficiency (capacity/TDP) differs per node.
+    std::vector<DispatchNodeView> nodes(4);
+    nodes[0] = {1.0, 10.0, 0.0, 0.0, 10.0, 0.0};
+    nodes[1] = {2.0, 12.0, 0.0, 0.0, 10.0, 0.0};
+    nodes[2] = {1.5, 6.0, 0.0, 0.0, 10.0, 0.0};
+    nodes[3] = {3.0, 20.0, 0.0, 0.0, 10.0, 0.0};
+    return nodes;
+}
+
+std::vector<double>
+routeWith(const std::string &spec,
+          const std::vector<DispatchNodeView> &nodes, Fraction load)
+{
+    const auto dispatcher = makeDispatcher(spec);
+    std::vector<double> shares;
+    dispatcher->route(nodes, load, shares);
+    return shares;
+}
+
+void
+expectDistribution(const std::vector<double> &shares, std::size_t n)
+{
+    ASSERT_EQ(shares.size(), n);
+    double sum = 0.0;
+    for (const double s : shares) {
+        EXPECT_GE(s, 0.0);
+        EXPECT_TRUE(std::isfinite(s));
+        sum += s;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(DispatcherRegistry, CatalogHasTheFourBuiltins)
+{
+    const auto &registry = DispatcherRegistry::instance();
+    for (const char *name :
+         {"round-robin", "least-loaded", "power-aware", "cp"})
+        EXPECT_TRUE(registry.has(name)) << name;
+    const std::string catalog = registry.catalogText();
+    EXPECT_NE(catalog.find("dispatch:cp"), std::string::npos);
+    EXPECT_NE(catalog.find("quanta="), std::string::npos);
+}
+
+TEST(DispatcherRegistry, GrammarAcceptsPrefixedAndBareSpecs)
+{
+    EXPECT_EQ(makeDispatcher("dispatch:round-robin")->name(),
+              "round-robin");
+    EXPECT_EQ(makeDispatcher("round-robin")->name(), "round-robin");
+    EXPECT_EQ(makeDispatcher("dispatch:cp:quanta=128,wpower=2")->name(),
+              "cp");
+    EXPECT_EQ(canonicalDispatcherLabel("cp"), "dispatch:cp");
+    EXPECT_EQ(canonicalDispatcherLabel("dispatch:cp"), "dispatch:cp");
+}
+
+TEST(DispatcherRegistry, UnknownAndMalformedSpecsFailFast)
+{
+    EXPECT_THROW(makeDispatcher("dispatch:nope"), FatalError);
+    EXPECT_THROW(makeDispatcher("cp:bogus=1"), FatalError);
+    EXPECT_THROW(makeDispatcher("cp:quanta=0"), FatalError);
+    EXPECT_THROW(makeDispatcher("cp:quanta=1.5"), FatalError);
+    EXPECT_THROW(makeDispatcher("power-aware:gamma=-1"), FatalError);
+    EXPECT_THROW(makeDispatcher("round-robin:k=1"), FatalError);
+    EXPECT_FALSE(isDispatcherSpec("dispatch:nope"));
+    EXPECT_TRUE(isDispatcherSpec("dispatch:least-loaded"));
+    // The error names the catalog.
+    try {
+        makeDispatcher("dispatch:nope");
+        FAIL();
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("round-robin"),
+                  std::string::npos);
+    }
+}
+
+TEST(DispatcherRegistry, ListSplittingKeepsInSpecCommas)
+{
+    const auto list = splitDispatcherList(
+        "dispatch:cp:quanta=64,wpower=0.5;dispatch:round-robin,"
+        "dispatch:least-loaded");
+    ASSERT_EQ(list.size(), 3u);
+    EXPECT_EQ(list[0], "dispatch:cp:quanta=64,wpower=0.5");
+    EXPECT_EQ(list[1], "dispatch:round-robin");
+    EXPECT_EQ(list[2], "dispatch:least-loaded");
+}
+
+TEST(Dispatchers, AllBuiltinsYieldDistributions)
+{
+    const auto nodes = mixedFleet();
+    for (const char *spec :
+         {"round-robin", "least-loaded", "power-aware", "cp"}) {
+        for (const double load : {0.0, 0.2, 0.7, 1.0})
+            expectDistribution(routeWith(spec, nodes, load),
+                               nodes.size());
+    }
+}
+
+TEST(Dispatchers, RoundRobinIsUniform)
+{
+    const auto shares = routeWith("round-robin", mixedFleet(), 0.5);
+    for (const double s : shares)
+        EXPECT_DOUBLE_EQ(s, 0.25);
+}
+
+TEST(Dispatchers, LeastLoadedFollowsFreeCapacity)
+{
+    auto nodes = mixedFleet();
+    // Node 1 fully utilized: it must receive (almost) nothing; the
+    // rest split by capacity * free fraction.
+    nodes[1].lastUtilization = 1.0;
+    nodes[3].lastUtilization = 0.5;
+    const auto shares = routeWith("least-loaded", nodes, 0.5);
+    EXPECT_DOUBLE_EQ(shares[1], 0.0);
+    // weights: 1.0, 0, 1.5, 1.5 -> shares 0.25, 0, 0.375, 0.375
+    EXPECT_NEAR(shares[0], 0.25, 1e-12);
+    EXPECT_NEAR(shares[2], 0.375, 1e-12);
+    EXPECT_NEAR(shares[3], 0.375, 1e-12);
+}
+
+TEST(Dispatchers, PowerAwarePrefersEfficientNodes)
+{
+    const auto nodes = mixedFleet();
+    // Efficiency capacity/TDP: 0.1, 0.1667, 0.25, 0.15 — node 2 is
+    // the most efficient per watt.
+    const auto flat = routeWith("power-aware:gamma=0", nodes, 0.5);
+    const auto sharp = routeWith("power-aware:gamma=4", nodes, 0.5);
+    // gamma=0 degrades to capacity-proportional routing.
+    const double cap = 1.0 + 2.0 + 1.5 + 3.0;
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+        EXPECT_NEAR(flat[i], nodes[i].capacity / cap, 1e-12) << i;
+    // Sharper gamma shifts share toward node 2 at the expense of the
+    // least efficient node 0.
+    EXPECT_GT(sharp[2], flat[2]);
+    EXPECT_LT(sharp[0], flat[0]);
+}
+
+TEST(Dispatchers, CpIsDeterministicAndCoversTheLoad)
+{
+    const auto nodes = mixedFleet();
+    const auto a = routeWith("cp", nodes, 0.6);
+    const auto b = routeWith("cp", nodes, 0.6);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i], b[i]) << i; // bitwise: pure greedy, no RNG
+    expectDistribution(a, nodes.size());
+}
+
+TEST(Dispatchers, CpTieBreaksToTheLowestIndex)
+{
+    // Two identical nodes: the greedy quanta alternate, starting at
+    // node 0, so an odd quanta count leaves node 0 one quantum ahead.
+    std::vector<DispatchNodeView> nodes(2);
+    nodes[0] = {1.0, 10.0, 0.0, 0.0, 10.0, 0.0};
+    nodes[1] = {1.0, 10.0, 0.0, 0.0, 10.0, 0.0};
+    const auto shares = routeWith("cp:quanta=3", nodes, 0.5);
+    EXPECT_NEAR(shares[0], 2.0 / 3.0, 1e-12);
+    EXPECT_NEAR(shares[1], 1.0 / 3.0, 1e-12);
+}
+
+TEST(Dispatchers, CpShedsLoadFromQosViolatingNodes)
+{
+    auto nodes = mixedFleet();
+    const auto healthy = routeWith("cp", nodes, 0.8);
+    // Node 3 violating QoS by 4x: its effective capacity derates, so
+    // its share must drop and the others pick up the difference.
+    nodes[3].lastTailLatency = 40.0; // target 10
+    const auto derated = routeWith("cp", nodes, 0.8);
+    EXPECT_LT(derated[3], healthy[3]);
+    expectDistribution(derated, nodes.size());
+}
+
+TEST(Dispatchers, EmptyAndDegenerateFleetsAreSafe)
+{
+    std::vector<DispatchNodeView> none;
+    std::vector<double> shares;
+    for (const char *spec :
+         {"round-robin", "least-loaded", "power-aware", "cp"}) {
+        makeDispatcher(spec)->route(none, 0.5, shares);
+        EXPECT_TRUE(shares.empty()) << spec;
+    }
+    // All-saturated least-loaded falls back to a uniform split
+    // rather than a 0/0 share vector.
+    std::vector<DispatchNodeView> saturated(3);
+    for (auto &node : saturated)
+        node = {1.0, 10.0, 1.0, 0.0, 10.0, 0.0};
+    makeDispatcher("least-loaded")->route(saturated, 0.9, shares);
+    expectDistribution(shares, 3);
+}
+
+} // namespace
+} // namespace hipster

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Fleet core tests: node-binding parsing, capacity math, the
+ * lockstep fleet loop's aggregation invariants (summed power/energy,
+ * max tail latency, capacity-weighted utilization, shard
+ * conservation), determinism of repeated runs, and the shard
+ * LoadTrace views.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "fleet/fleet.hh"
+#include "platform/platform_registry.hh"
+#include "workloads/workload_registry.hh"
+
+namespace hipster
+{
+namespace
+{
+
+/** A small two-node fleet kept short so the suite stays fast. */
+FleetSpec
+smallFleet()
+{
+    FleetSpec spec;
+    spec.nodes = parseFleetNodes(
+        "juno@hipster-in;hetero:big=2,little=8@hipster-in");
+    spec.workload = "memcached";
+    spec.trace = "diurnal";
+    spec.dispatcher = "dispatch:least-loaded";
+    spec.duration = 60.0;
+    spec.seed = 11;
+    return spec;
+}
+
+TEST(FleetNodes, ParseBindings)
+{
+    const FleetNodeSpec plain = parseFleetNode("juno");
+    EXPECT_EQ(plain.platform, "juno");
+    EXPECT_EQ(plain.policy, "hipster-in");
+
+    const FleetNodeSpec bound =
+        parseFleetNode("hetero:big=2,little=8@static-big");
+    EXPECT_EQ(bound.platform, "hetero:big=2,little=8");
+    EXPECT_EQ(bound.policy, "static-big");
+    EXPECT_EQ(bound.label(), "hetero:big=2,little=8@static-big");
+
+    const auto nodes = parseFleetNodes("juno@hipster-in;juno;");
+    ASSERT_EQ(nodes.size(), 2u);
+    EXPECT_EQ(nodes[1].policy, "hipster-in");
+
+    EXPECT_THROW(parseFleetNode("@hipster-in"), FatalError);
+    EXPECT_THROW(parseFleetNode("juno@"), FatalError);
+    EXPECT_THROW(parseFleetNodes(";;"), FatalError);
+}
+
+TEST(FleetSpecTest, ValidateFailsFastOnEveryAxis)
+{
+    FleetSpec spec = smallFleet();
+    EXPECT_NO_THROW(spec.validate());
+
+    FleetSpec bad = spec;
+    bad.nodes.clear();
+    EXPECT_THROW(bad.validate(), FatalError);
+
+    bad = spec;
+    bad.nodes[0].platform = "nope";
+    EXPECT_THROW(bad.validate(), FatalError);
+
+    bad = spec;
+    bad.nodes[0].policy = "nope";
+    EXPECT_THROW(bad.validate(), FatalError);
+
+    bad = spec;
+    bad.workload = "nope";
+    EXPECT_THROW(bad.validate(), FatalError);
+
+    bad = spec;
+    bad.trace = "nope";
+    EXPECT_THROW(bad.validate(), FatalError);
+
+    bad = spec;
+    bad.dispatcher = "dispatch:nope";
+    EXPECT_THROW(bad.validate(), FatalError);
+}
+
+TEST(FleetCapacity, ScalesWithCoreCountAndWorkload)
+{
+    const LcWorkloadDef def = makeWorkloadFromSpec("memcached");
+    const double juno = nodeCapacity(makePlatformFromSpec("juno"), def);
+    EXPECT_GT(juno, 0.0);
+    // Doubling every cluster roughly doubles capacity (exactly, for
+    // a linear service model over core counts).
+    const double doubled = nodeCapacity(
+        makePlatformFromSpec("juno:big=4,little=8"), def);
+    EXPECT_NEAR(doubled, 2.0 * juno, 1e-9);
+    // A node at local load 1.0 receives `capacity` copies of the
+    // app's full load, so capacity must exceed 1 on the reference
+    // board (two big cores at max DVFS just meet the target at
+    // offered load 1.0, and the board has more than those two).
+    EXPECT_GT(juno, 1.0);
+}
+
+TEST(FleetRun, AggregationInvariantsHold)
+{
+    const FleetSpec spec = smallFleet();
+    const FleetResult result = runFleet(spec);
+
+    ASSERT_EQ(result.nodes.size(), 2u);
+    ASSERT_EQ(result.fleetSeries.size(), 60u);
+    EXPECT_EQ(result.dispatcher, "dispatch:least-loaded");
+
+    double fleetCapacity = 0.0;
+    for (const FleetNodeResult &node : result.nodes) {
+        EXPECT_GT(node.capacity, 0.0);
+        EXPECT_GT(node.tdp, 0.0);
+        ASSERT_EQ(node.result.series.size(), 60u);
+        ASSERT_EQ(node.shard.size(), 60u);
+        fleetCapacity += node.capacity;
+    }
+    EXPECT_DOUBLE_EQ(result.summary.fleetCapacity, fleetCapacity);
+
+    for (std::size_t k = 0; k < result.fleetSeries.size(); ++k) {
+        const IntervalMetrics &agg = result.fleetSeries[k];
+        double power = 0.0, energy = 0.0, throughput = 0.0;
+        double tail = 0.0, weightedUtil = 0.0, routed = 0.0;
+        for (const FleetNodeResult &node : result.nodes) {
+            const IntervalMetrics m = node.result.series[k];
+            power += m.power;
+            energy += m.energy;
+            throughput += m.throughput;
+            tail = std::max(tail, m.tailLatency);
+            weightedUtil += m.lcUtilization * node.capacity;
+            routed += node.shard[k].second * node.capacity;
+            // The routed local load is what the node actually saw.
+            EXPECT_DOUBLE_EQ(m.offeredLoad, node.shard[k].second);
+        }
+        EXPECT_DOUBLE_EQ(agg.power, power);
+        EXPECT_DOUBLE_EQ(agg.energy, energy);
+        EXPECT_DOUBLE_EQ(agg.throughput, throughput);
+        EXPECT_DOUBLE_EQ(agg.tailLatency, tail);
+        EXPECT_NEAR(agg.lcUtilization, weightedUtil / fleetCapacity,
+                    1e-12);
+        // Shard conservation: with least-loaded shares (no clamping
+        // at this fleet's loads) the routed load sums back to the
+        // fleet-level offered load.
+        EXPECT_NEAR(routed, agg.offeredLoad * fleetCapacity, 1e-9)
+            << "interval " << k;
+    }
+
+    // Fleet QoS: an interval passes only when every node passed.
+    std::size_t met = 0;
+    for (const IntervalMetrics &agg : result.fleetSeries)
+        met += agg.qosViolated() ? 0 : 1;
+    EXPECT_NEAR(result.summary.fleet.qosGuarantee,
+                static_cast<double>(met) / result.fleetSeries.size(),
+                1e-12);
+    EXPECT_GE(result.summary.strandedCapacity, 0.0);
+    EXPECT_LT(result.summary.strandedCapacity, 1.0);
+}
+
+TEST(FleetRun, RepeatedRunsAreBitwiseIdentical)
+{
+    const FleetSpec spec = smallFleet();
+    const FleetResult a = runFleet(spec);
+    const FleetResult b = runFleet(spec);
+    ASSERT_EQ(a.fleetSeries.size(), b.fleetSeries.size());
+    for (std::size_t k = 0; k < a.fleetSeries.size(); ++k) {
+        EXPECT_EQ(a.fleetSeries[k].power, b.fleetSeries[k].power);
+        EXPECT_EQ(a.fleetSeries[k].tailLatency,
+                  b.fleetSeries[k].tailLatency);
+        EXPECT_EQ(a.fleetSeries[k].energy, b.fleetSeries[k].energy);
+    }
+    EXPECT_EQ(a.summary.fleet.energy, b.summary.fleet.energy);
+    EXPECT_EQ(a.summary.strandedCapacity, b.summary.strandedCapacity);
+}
+
+TEST(FleetRun, SeedsDecorrelateNodes)
+{
+    // Node seeds derive independently from the fleet seed: two
+    // identical platforms in one fleet must not produce identical
+    // series (they see the same load but different service noise).
+    FleetSpec spec = smallFleet();
+    spec.nodes = parseFleetNodes("juno@hipster-in;juno@hipster-in");
+    spec.dispatcher = "dispatch:round-robin";
+    const FleetResult result = runFleet(spec);
+    bool differs = false;
+    for (std::size_t k = 0; k < result.fleetSeries.size() && !differs;
+         ++k)
+        differs = result.nodes[0].result.series[k].tailLatency !=
+                  result.nodes[1].result.series[k].tailLatency;
+    EXPECT_TRUE(differs);
+}
+
+TEST(FleetRun, ShardTraceReplaysTheRoutedLoad)
+{
+    const FleetSpec spec = smallFleet();
+    const FleetResult result = runFleet(spec);
+    const auto trace = result.nodes[0].shardTrace();
+    for (const auto &[t, load] : result.nodes[0].shard)
+        EXPECT_DOUBLE_EQ(trace->at(t), load);
+}
+
+} // namespace
+} // namespace hipster

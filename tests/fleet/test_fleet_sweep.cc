@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Fleet sweep determinism + A/B tests: jobs=1 and jobs=N campaigns
+ * must be bitwise-identical, permuting the dispatcher axis must not
+ * change any cell's numbers, and the CP dispatcher must beat
+ * round-robin on fleet energy at equal-or-better fleet QoS guarantee
+ * on the heterogeneous reference fleet (the headline claim of the
+ * dispatcher layer; the committed bench output pins the same
+ * comparison at full length).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/csv.hh"
+#include "fleet/fleet_sweep.hh"
+
+namespace hipster
+{
+namespace
+{
+
+FleetSweepSpec
+referenceSweep()
+{
+    FleetSweepSpec spec;
+    spec.base.nodes = parseFleetNodes(
+        "juno@hipster-in;juno:big=4,little=8@hipster-in;"
+        "hetero:big=2,little=8@hipster-in;"
+        "hetero:big=6,little=6@hipster-in");
+    spec.base.workload = "memcached";
+    spec.base.duration = 60.0;
+    spec.dispatchers = {"dispatch:round-robin", "dispatch:cp"};
+    spec.traces = {"diurnal"};
+    spec.seeds = 2;
+    spec.masterSeed = 7;
+    return spec;
+}
+
+/** The per-run CSV as a string: the full bitwise fingerprint of a
+ * campaign (every summary metric of every run, in job order). */
+std::string
+runsCsvText(const FleetSweepResults &results)
+{
+    std::ostringstream out;
+    CsvWriter csv(out);
+    writeRunsCsv(csv, results.sweep);
+    return out.str();
+}
+
+TEST(FleetSweep, SerialAndParallelAreBitwiseIdentical)
+{
+    const FleetSweepSpec spec = referenceSweep();
+    const FleetSweepResults serial = runFleetSweep(spec, 1);
+    const FleetSweepResults parallel = runFleetSweep(spec, 4);
+    EXPECT_EQ(runsCsvText(serial), runsCsvText(parallel));
+    ASSERT_EQ(serial.fleet.size(), parallel.fleet.size());
+    for (std::size_t i = 0; i < serial.fleet.size(); ++i) {
+        EXPECT_EQ(serial.fleet[i].strandedCapacity,
+                  parallel.fleet[i].strandedCapacity)
+            << i;
+        EXPECT_EQ(serial.fleet[i].dispatcher,
+                  parallel.fleet[i].dispatcher)
+            << i;
+    }
+}
+
+TEST(FleetSweep, DispatcherOrderPermutationsAgreeBitwise)
+{
+    FleetSweepSpec forward = referenceSweep();
+    FleetSweepSpec reversed = referenceSweep();
+    reversed.dispatchers = {"dispatch:cp", "dispatch:round-robin"};
+
+    const FleetSweepResults a = runFleetSweep(forward, 2);
+    const FleetSweepResults b = runFleetSweep(reversed, 2);
+
+    for (const char *dispatcher :
+         {"dispatch:round-robin", "dispatch:cp"}) {
+        const AggregateSummary *cellA =
+            a.sweep.find(dispatcher, "memcached");
+        const AggregateSummary *cellB =
+            b.sweep.find(dispatcher, "memcached");
+        ASSERT_NE(cellA, nullptr) << dispatcher;
+        ASSERT_NE(cellB, nullptr) << dispatcher;
+        EXPECT_EQ(cellA->energy.mean, cellB->energy.mean)
+            << dispatcher;
+        EXPECT_EQ(cellA->qosGuarantee.mean, cellB->qosGuarantee.mean)
+            << dispatcher;
+        EXPECT_EQ(cellA->meanPower.mean, cellB->meanPower.mean)
+            << dispatcher;
+        EXPECT_EQ(a.meanStranded(dispatcher), b.meanStranded(dispatcher))
+            << dispatcher;
+    }
+}
+
+TEST(FleetSweep, CpBeatsRoundRobinOnEnergyAtEqualOrBetterQos)
+{
+    const FleetSweepResults results = runFleetSweep(referenceSweep(), 4);
+    const AggregateSummary *rr =
+        results.sweep.find("dispatch:round-robin", "memcached");
+    const AggregateSummary *cp =
+        results.sweep.find("dispatch:cp", "memcached");
+    ASSERT_NE(rr, nullptr);
+    ASSERT_NE(cp, nullptr);
+    EXPECT_GE(cp->qosGuarantee.mean, rr->qosGuarantee.mean);
+    EXPECT_LT(cp->energy.mean, rr->energy.mean);
+}
+
+TEST(FleetSweep, EmptyAxesFailFast)
+{
+    FleetSweepSpec spec = referenceSweep();
+    spec.dispatchers.clear();
+    EXPECT_THROW(runFleetSweep(spec), FatalError);
+
+    spec = referenceSweep();
+    spec.traces.clear();
+    EXPECT_THROW(runFleetSweep(spec), FatalError);
+
+    spec = referenceSweep();
+    spec.dispatchers = {"dispatch:nope"};
+    EXPECT_THROW(runFleetSweep(spec), FatalError);
+}
+
+} // namespace
+} // namespace hipster

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Regression tests for the trace-edge hardening sweep: clip bands
+ * with inverted or non-finite bounds must fail fast in the registry
+ * grammar and the constructors, jitter/noise caps must be finite and
+ * non-negative (a negative cap used to reach std::clamp with
+ * lo > hi — undefined behaviour — and could hand negative loads to
+ * the simulator), and jittered loads must always stay inside
+ * [0, cap] no matter how hard the noise pulls.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "common/logging.hh"
+#include "loadgen/load_trace.hh"
+#include "loadgen/trace_families.hh"
+#include "loadgen/trace_registry.hh"
+
+namespace hipster
+{
+namespace
+{
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::shared_ptr<const LoadTrace>
+half()
+{
+    return std::make_shared<ConstantTrace>(0.5);
+}
+
+TEST(TraceHardeningClip, InvertedBandFailsFastInRegistry)
+{
+    // lo > hi has no sensible clamp semantics; the registry must
+    // reject the spec during validation, before any run starts.
+    EXPECT_THROW(validateTraceSpec("diurnal|clip:0.8,0.1"), FatalError);
+    EXPECT_THROW(makeTrace("diurnal|clip:0.8,0.1", 240.0, 1),
+                 FatalError);
+    EXPECT_FALSE(isTraceSpec("diurnal|clip:0.8,0.1"));
+    // The ordered band still builds.
+    EXPECT_NO_THROW(validateTraceSpec("diurnal|clip:0.1,0.8"));
+}
+
+TEST(TraceHardeningClip, ConstructorRejectsBadBounds)
+{
+    EXPECT_THROW(ClipTrace(half(), 0.8, 0.1), FatalError);
+    EXPECT_THROW(ClipTrace(half(), -0.1, 0.5), FatalError);
+    EXPECT_THROW(ClipTrace(half(), kNan, 0.5), FatalError);
+    EXPECT_THROW(ClipTrace(half(), 0.1, kNan), FatalError);
+    EXPECT_THROW(ClipTrace(half(), 0.1, kInf), FatalError);
+    EXPECT_NO_THROW(ClipTrace(half(), 0.1, 0.8));
+}
+
+TEST(TraceHardeningJitter, NegativeCapFailsFast)
+{
+    // Direct construction...
+    EXPECT_THROW(JitterTrace(half(), 0.05, 1.0, 7, -0.5), FatalError);
+    EXPECT_THROW(JitterTrace(half(), 0.05, 1.0, 7, kNan), FatalError);
+    EXPECT_THROW(NoisyTrace(half(), 0.05, 1.0, 7, -0.5), FatalError);
+    EXPECT_THROW(NoisyTrace(half(), 0.05, 1.0, 7, kNan), FatalError);
+    // ...and through the registry grammar (third arg is the cap).
+    EXPECT_THROW(validateTraceSpec("diurnal|jitter:0.05,1,-0.5"),
+                 FatalError);
+    EXPECT_THROW(validateTraceSpec("diurnal|noise:0.05,1,-0.5"),
+                 FatalError);
+    EXPECT_NO_THROW(validateTraceSpec("diurnal|jitter:0.05,1,1.2"));
+    EXPECT_NO_THROW(validateTraceSpec("diurnal|noise:0.05,1,1.2"));
+}
+
+TEST(TraceHardeningJitter, JitteredLoadStaysInsideTheClamp)
+{
+    // Huge sigma relative to the level: raw jitter would swing far
+    // negative and far above the cap; every sample must come back
+    // clamped into [0, cap].
+    const double cap = 1.2;
+    const JitterTrace jittered(half(), 5.0, 1.0, 42, cap);
+    const NoisyTrace noisy(half(), 5.0, 1.0, 42, cap);
+    bool sawLow = false;
+    bool sawHigh = false;
+    for (int i = 0; i < 2000; ++i) {
+        const Seconds t = 0.25 * i;
+        for (const double v : {jittered.at(t), noisy.at(t)}) {
+            ASSERT_TRUE(std::isfinite(v)) << "t=" << t;
+            ASSERT_GE(v, 0.0) << "t=" << t;
+            ASSERT_LE(v, cap) << "t=" << t;
+        }
+        sawLow = sawLow || jittered.at(t) == 0.0;
+        sawHigh = sawHigh || jittered.at(t) == cap;
+    }
+    // With sigma=5 both rails must actually be hit — otherwise the
+    // test is not exercising the clamp at all.
+    EXPECT_TRUE(sawLow);
+    EXPECT_TRUE(sawHigh);
+}
+
+TEST(TraceHardeningJitter, ClipAboveJitterKeepsTheTighterBand)
+{
+    // The composed pipeline from the issue: jitter under a clip must
+    // never leak a value outside the clip band.
+    const auto trace =
+        makeTrace("diurnal|jitter:0.4,1,1.2|clip:0.1,0.8", 240.0, 3);
+    for (int i = 0; i < 960; ++i) {
+        const double v = trace->at(0.25 * i);
+        ASSERT_GE(v, 0.1);
+        ASSERT_LE(v, 0.8);
+    }
+}
+
+TEST(TraceHardeningJitter, ZeroCapIsAllowedAndPinsTheTrace)
+{
+    // cap=0 is a degenerate but valid clamp: everything pins to 0.
+    const JitterTrace pinned(half(), 1.0, 1.0, 9, 0.0);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(pinned.at(1.0 * i), 0.0);
+}
+
+} // namespace
+} // namespace hipster

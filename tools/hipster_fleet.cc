@@ -1,0 +1,218 @@
+/**
+ * @file
+ * hipster_fleet — multi-node fleet campaigns: one offered-load
+ * stream sharded across N heterogeneous nodes by a front-end
+ * dispatcher, each node running its own Hipster/baseline manager.
+ * The dispatcher axis sweeps like any registry axis, the aggregation
+ * is the standard sweep reduction over the fleet-level series, and
+ * jobs=1 vs jobs=N campaigns are bitwise-identical.
+ *
+ *   hipster_fleet --dispatchers "dispatch:round-robin;dispatch:cp" \
+ *                 --seeds 3 --jobs 4
+ *   hipster_fleet --nodes "juno@hipster-in;hetero:big=2,little=8@hipster-in" \
+ *                 --traces diurnal --duration 240 --csv fleet.csv
+ *
+ * Options:
+ *   --nodes <n1;n2;...>      ';'-separated platform[@policy] node
+ *                            bindings (default: a 4-node mixed
+ *                            juno + hetero fleet). Platform and
+ *                            policy use their registry grammars,
+ *                            e.g. hetero:big=2,little=8@static-big
+ *   --dispatchers <d1;...>   dispatcher specs to sweep (default:
+ *                            all four built-ins; --dispatcher is an
+ *                            alias), e.g. dispatch:cp:quanta=128
+ *   --list-dispatchers       print the dispatcher catalog and exit
+ *   --workload <w>           workload spec shared by all nodes
+ *                            (default memcached)
+ *   --traces <t1,...>        fleet trace specs (default diurnal;
+ *                            --trace is an alias)
+ *   --duration <seconds>     run length (default: workload diurnal)
+ *   --scale <f>              duration scale factor (default 1.0)
+ *   --seeds <n>              repetitions per cell (default 3)
+ *   --master-seed <n>        master seed (default 1)
+ *   --jobs <n>               worker threads (default: hardware)
+ *   --csv <path>             per-run CSV dump
+ *   --agg-csv <path>         per-cell aggregate CSV dump
+ *   --quiet                  suppress per-run progress lines
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/csv.hh"
+#include "common/thread_pool.hh"
+#include "fleet/dispatcher_registry.hh"
+#include "fleet/fleet_sweep.hh"
+#include "loadgen/trace_registry.hh"
+
+namespace
+{
+
+using namespace hipster;
+
+/** The default 4-node mixed juno + hetero: fleet. */
+const char *kDefaultNodes =
+    "juno@hipster-in;"
+    "juno:big=4,little=8@hipster-in;"
+    "hetero:big=2,little=8@hipster-in;"
+    "hetero:big=6,little=6@hipster-in";
+
+struct CliOptions
+{
+    FleetSweepSpec spec;
+    std::size_t jobs = ThreadPool::defaultJobs();
+    std::string csvPath;
+    std::string aggCsvPath;
+    bool quiet = false;
+};
+
+[[noreturn]] void
+usage(const char *argv0, int code)
+{
+    std::printf(
+        "usage: %s [--nodes <n1;n2;...>] [--dispatchers <d1;...>]\n"
+        "          [--list-dispatchers] [--workload <w>]\n"
+        "          [--traces <t1,...>] [--duration <s>] [--scale <f>]\n"
+        "          [--seeds <n>] [--master-seed <n>] [--jobs <n>]\n"
+        "          [--csv <path>] [--agg-csv <path>] [--quiet]\n"
+        "nodes are platform[@policy] bindings, ';'-separated, e.g.\n"
+        "  --nodes \"juno@hipster-in;hetero:big=2,little=8@static-big\"\n"
+        "dispatchers use the dispatch: grammar, e.g.\n"
+        "  --dispatchers \"dispatch:round-robin;dispatch:cp:quanta=128\"\n"
+        "see --list-dispatchers for the catalog\n",
+        argv0);
+    std::exit(code);
+}
+
+std::vector<std::string>
+allDispatcherLabels()
+{
+    std::vector<std::string> labels;
+    for (const DispatcherInfo &e :
+         DispatcherRegistry::instance().entries())
+        labels.push_back(canonicalDispatcherLabel(e.name));
+    return labels;
+}
+
+CliOptions
+parse(int argc, char **argv)
+{
+    CliOptions options;
+    options.spec.base.nodes = parseFleetNodes(kDefaultNodes);
+    options.spec.dispatchers = allDispatcherLabels();
+    options.spec.seeds = 3;
+    options.spec.keepSeries = false;
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage(argv[0], 1);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--nodes") {
+            options.spec.base.nodes = parseFleetNodes(need(i));
+        } else if (arg == "--dispatcher" || arg == "--dispatchers") {
+            options.spec.dispatchers = splitDispatcherList(need(i));
+        } else if (arg == "--list-dispatchers") {
+            std::fputs(
+                DispatcherRegistry::instance().catalogText().c_str(),
+                stdout);
+            std::exit(0);
+        } else if (arg == "--workload") {
+            options.spec.base.workload = need(i);
+        } else if (arg == "--trace" || arg == "--traces") {
+            options.spec.traces = splitTraceList(need(i));
+        } else if (arg == "--duration") {
+            options.spec.base.duration = std::atof(need(i));
+        } else if (arg == "--scale") {
+            options.spec.base.durationScale = std::atof(need(i));
+        } else if (arg == "--seeds") {
+            options.spec.seeds = std::strtoull(need(i), nullptr, 10);
+        } else if (arg == "--master-seed") {
+            options.spec.masterSeed =
+                std::strtoull(need(i), nullptr, 10);
+        } else if (arg == "--jobs") {
+            options.jobs = std::strtoull(need(i), nullptr, 10);
+        } else if (arg == "--csv") {
+            options.csvPath = need(i);
+        } else if (arg == "--agg-csv") {
+            options.aggCsvPath = need(i);
+        } else if (arg == "--quiet") {
+            options.quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0], 0);
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            usage(argv[0], 1);
+        }
+    }
+    return options;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliOptions options = parse(argc, argv);
+    try {
+        const std::size_t total = options.spec.dispatchers.size() *
+                                  options.spec.traces.size() *
+                                  options.spec.seeds;
+        std::printf(
+            "fleet: %zu nodes, %zu runs (%zu dispatchers x %zu traces "
+            "x %zu seeds), %zu jobs\n",
+            options.spec.base.nodes.size(), total,
+            options.spec.dispatchers.size(),
+            options.spec.traces.size(), options.spec.seeds,
+            options.jobs);
+        for (const FleetNodeSpec &node : options.spec.base.nodes)
+            std::printf("  node %s\n", node.label().c_str());
+
+        std::size_t done = 0;
+        const FleetSweepResults results = runFleetSweep(
+            options.spec, options.jobs, [&](const SweepRun &run) {
+                ++done;
+                if (options.quiet)
+                    return;
+                std::printf(
+                    "  [%3zu/%zu] %s/%s seed[%zu]=%llu  QoS %.1f%%  "
+                    "energy %.0f J\n",
+                    done, total, run.job.trace.c_str(),
+                    run.job.policy.c_str(), run.job.seedIndex,
+                    static_cast<unsigned long long>(run.job.seed),
+                    run.result.summary.qosGuarantee * 100.0,
+                    run.result.summary.energy);
+            });
+
+        std::printf("\n");
+        printAggregateTable(std::cout, results.sweep);
+        std::printf("\nstranded capacity (mean fraction of fleet "
+                    "capacity powered but unrouted):\n");
+        for (const std::string &dispatcher : options.spec.dispatchers) {
+            for (const std::string &trace : options.spec.traces) {
+                const double stranded =
+                    results.meanStranded(dispatcher, trace);
+                std::printf("  %-40s %-24s %.4f\n",
+                            canonicalDispatcherLabel(dispatcher).c_str(),
+                            trace.c_str(), stranded);
+            }
+        }
+
+        if (!options.csvPath.empty()) {
+            CsvWriter csv(options.csvPath);
+            writeRunsCsv(csv, results.sweep);
+        }
+        if (!options.aggCsvPath.empty()) {
+            CsvWriter csv(options.aggCsvPath);
+            writeAggregateCsv(csv, results.sweep);
+        }
+        return 0;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

@@ -25,6 +25,7 @@
 #include "common/logging.hh"
 #include "experiments/experiment_spec.hh"
 #include "experiments/sweep.hh"
+#include "fleet/fleet.hh"
 
 namespace
 {
@@ -61,6 +62,20 @@ const PinScenario kScenarios[] = {
      "hipster-in:learn=90"},
 };
 
+/** The pinned fleet: the default 4-node mixed board set from
+ * tools/hipster_fleet, run under every built-in dispatcher. */
+constexpr const char *kFleetNodes =
+    "juno@hipster-in;juno:big=4,little=8@hipster-in;"
+    "hetero:big=2,little=8@hipster-in;"
+    "hetero:big=6,little=6@hipster-in";
+
+const char *const kFleetDispatchers[] = {
+    "dispatch:round-robin",
+    "dispatch:least-loaded",
+    "dispatch:power-aware",
+    "dispatch:cp",
+};
+
 /** FNV-1a over raw bytes. */
 std::uint64_t
 fnv1a(const void *data, std::size_t len, std::uint64_t hash)
@@ -92,12 +107,13 @@ hashU64(std::uint64_t value, std::uint64_t hash)
  * every IntervalMetrics, in interval order. Must stay in sync with
  * the copy in tests/experiments/test_golden_repin.cc.
  */
+template <typename Series>
 std::uint64_t
-seriesFingerprint(const ExperimentResult &result)
+seriesFingerprint(const Series &series)
 {
     std::uint64_t h = 0xcbf29ce484222325ULL;
-    for (std::size_t i = 0; i < result.series.size(); ++i) {
-        const IntervalMetrics &m = result.series[i];
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        const IntervalMetrics m = series[i];
         h = hashDouble(m.begin, h);
         h = hashDouble(m.end, h);
         h = hashDouble(m.offeredLoad, h);
@@ -200,11 +216,41 @@ main()
                     result.migrations, result.dvfsTransitions,
                     sum.dropped, sum.intervals);
         std::printf("     0x%016" PRIx64 "ULL},\n",
-                    seriesFingerprint(result));
+                    seriesFingerprint(result.series));
         std::fprintf(stderr,
                      "pinned %-10s %-20s %-30s %-30s QoS %.3f E %.1f\n",
                      s.workload, s.platform, s.trace, s.policy,
                      sum.qosGuarantee, sum.energy);
+    }
+    std::printf("};\n");
+
+    // The fleet pin: the default 4-node mixed fleet under every
+    // built-in dispatcher, fingerprinting the aggregated fleet
+    // series with the same per-interval hash.
+    std::printf("\nconst char kFleetPinNodes[] =\n    \"%s\";\n",
+                kFleetNodes);
+    std::printf("\nconst FleetPin kFleetPins[] = {\n");
+    for (const char *dispatcher : kFleetDispatchers) {
+        FleetSpec fleet;
+        fleet.nodes = parseFleetNodes(kFleetNodes);
+        fleet.workload = "memcached";
+        fleet.trace = "diurnal";
+        fleet.dispatcher = dispatcher;
+        fleet.duration = kDuration;
+        fleet.seed = kSeed;
+        const FleetResult result = runFleet(fleet);
+        const FleetSummary &sum = result.summary;
+        std::printf("    {\"%s\",\n", dispatcher);
+        std::printf("     %a, %a, %a,\n", sum.fleet.qosGuarantee,
+                    sum.fleet.energy, sum.fleet.meanPower);
+        std::printf("     %a, %a, %zuULL,\n", sum.fleetCapacity,
+                    sum.strandedCapacity, result.fleetSeries.size());
+        std::printf("     0x%016" PRIx64 "ULL},\n",
+                    seriesFingerprint(result.fleetSeries));
+        std::fprintf(stderr,
+                     "pinned fleet %-24s QoS %.3f E %.1f stranded %.3f\n",
+                     dispatcher, sum.fleet.qosGuarantee, sum.fleet.energy,
+                     sum.strandedCapacity);
     }
     std::printf("};\n");
 
