@@ -228,9 +228,12 @@ parseSpecParams(const std::string &kind, const std::string &spec,
         const auto param_it = std::find_if(
             schema.begin(), schema.end(),
             [&](const SpecParamInfo &p) { return p.key == key; });
+        // Name the rejecting stage explicitly: in composed specs
+        // (hazard:a+b, trace pipelines) the full text alone doesn't
+        // say which stage's schema refused the key.
         if (param_it == schema.end())
             fatal(kind, " spec '", spec, "': unknown key '", key,
-                  "' for '", name, "'; ",
+                  "' (rejected by ", kind, " '", name, "'); ",
                   specSchemaSummary(name, schema));
         if (out.isSet(key))
             fatal(kind, " spec '", spec, "': duplicate key '", key,

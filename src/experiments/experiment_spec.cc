@@ -3,6 +3,7 @@
 #include "common/logging.hh"
 #include "core/policy_registry.hh"
 #include "experiments/scenario.hh"
+#include "hazards/hazard_registry.hh"
 #include "loadgen/trace_registry.hh"
 #include "platform/platform_registry.hh"
 #include "workloads/workload_registry.hh"
@@ -19,6 +20,7 @@ ExperimentSpec::validate() const
         fatal("ExperimentSpec: durationScale must be > 0");
     validateTraceSpec(trace, resolvedDuration());
     validatePolicySpec(policy);
+    validateHazardSpec(hazard);
 }
 
 Seconds
@@ -42,9 +44,12 @@ ExperimentRunner
 ExperimentSpec::makeRunner() const
 {
     const Seconds length = resolvedDuration();
-    return ExperimentRunner(
+    ExperimentRunner experiment(
         makePlatformFromSpec(platform), makeWorkloadFromSpec(workload),
         makeTraceByName(trace, length, seed + 100), seed, runner);
+    experiment.setHazards(
+        makeHazardEngine(hazard, hazardEngineSeed(seed)));
+    return experiment;
 }
 
 std::unique_ptr<TaskPolicy>

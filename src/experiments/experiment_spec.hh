@@ -48,6 +48,11 @@ struct ExperimentSpec
     /** Policy spec (core/policy_registry grammar). */
     std::string policy = "hipster-in";
 
+    /** Hazard spec (hazards/hazard_registry grammar). "none" is the
+     * perfectly behaved substrate, bitwise-identical to a run
+     * without hazard support. */
+    std::string hazard = "none";
+
     /** Run length; 0 = the workload's diurnal default. */
     Seconds duration = 0.0;
 
@@ -63,7 +68,7 @@ struct ExperimentSpec
     RunnerOptions runner;
 
     /**
-     * Fail-fast validation of all four axis specs (and the splice
+     * Fail-fast validation of all five axis specs (and the splice
      * lengths of the trace against the resolved duration) without
      * building anything, throwing the FatalError the corresponding
      * registry would — campaigns reject bad cells before any runs

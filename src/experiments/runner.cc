@@ -30,6 +30,14 @@ ExperimentRunner::setBatch(std::shared_ptr<BatchWorkload> batch)
     batch_ = std::move(batch);
 }
 
+void
+ExperimentRunner::setHazards(std::unique_ptr<HazardEngine> hazards)
+{
+    hazards_ = std::move(hazards);
+    if (hazards_)
+        hazards_->bind(platform_->tdp());
+}
+
 const std::vector<ServerSpec> &
 ExperimentRunner::buildServers(const std::vector<ClusterPressure> &pressure)
 {
@@ -75,6 +83,10 @@ ExperimentRunner::beginRun(TaskPolicy &policy,
     platform_->energyMeter().reset();
     app_->reset();
     lastLcUtilization_ = 0.0;
+    wasDown_ = false;
+    policyStarted_ = false;
+    if (hazards_)
+        hazards_->reset();
 
     pending_ = ExperimentResult{};
     pending_.policyName = policy.name();
@@ -90,10 +102,47 @@ ExperimentRunner::stepNext(TaskPolicy &policy,
 {
     if (!runActive_)
         fatal("ExperimentRunner: stepNext without beginRun");
-    const Decision decision = stepIndex_ == 0
-                                  ? policy.initialDecision()
-                                  : policy.decide(lastMetrics_);
-    lastMetrics_ = stepInterval(stepIndex_, decision, offeredOverride);
+    // Hazard effects are drawn before the policy acts, once per
+    // interval and in interval order, so every hazard stream is a
+    // pure function of (seed, interval index).
+    HazardEffects fx;
+    if (hazards_) {
+        fx = hazards_->intervalEffects(stepIndex_,
+                                       stepIndex_ * options_.interval,
+                                       options_.interval);
+    }
+    if (fx.down) {
+        // Node failed: the task manager neither observes nor decides,
+        // nothing executes and nothing is metered. The crash kills
+        // all in-flight requests (the app restarts empty).
+        const Seconds t0 = stepIndex_ * options_.interval;
+        if (!wasDown_)
+            app_->reset();
+        wasDown_ = true;
+        if (batch_)
+            batch_->setSuspended(true);
+        lastLcUtilization_ = 0.0;
+        lastMetrics_ = downInterval(t0, t0 + options_.interval);
+        hazards_->observePower(0.0, options_.interval);
+        ++stepIndex_;
+        pending_.series.push_back(lastMetrics_);
+        return lastMetrics_;
+    }
+    wasDown_ = false;
+
+    Decision decision;
+    if (!policyStarted_ || fx.reboot) {
+        // First live interval, or the node restored from a crash
+        // with a cold task manager: the policy (re)starts from its
+        // initial state.
+        if (fx.reboot)
+            policy.reset();
+        decision = policy.initialDecision();
+        policyStarted_ = true;
+    } else {
+        decision = policy.decide(lastMetrics_);
+    }
+    lastMetrics_ = stepInterval(stepIndex_, decision, offeredOverride, fx);
     ++stepIndex_;
     pending_.series.push_back(lastMetrics_);
     return lastMetrics_;
@@ -113,12 +162,65 @@ ExperimentRunner::finishRun()
 }
 
 IntervalMetrics
-ExperimentRunner::stepInterval(std::size_t k, const Decision &decision,
-                               std::optional<Fraction> offeredOverride)
+ExperimentRunner::downInterval(Seconds t0, Seconds t1)
+{
+    IntervalMetrics metrics;
+    metrics.begin = t0;
+    metrics.end = t1;
+    metrics.loadBucket = reportQuantizer_.bucket(0.0);
+    metrics.qosTarget = def_.params.qosTargetMs;
+    return metrics;
+}
+
+IntervalMetrics
+ExperimentRunner::stepInterval(std::size_t k, const Decision &requested,
+                               std::optional<Fraction> offeredOverride,
+                               const HazardEffects &fx)
 {
     const Seconds t0 = k * options_.interval;
     const Seconds t1 = t0 + options_.interval;
     const Seconds dt = options_.interval;
+
+    // --- Let the hazards shape what the actuation layer can do.
+    Decision decision = requested;
+    if (fx.oppCapSteps > 0) {
+        // Thermal throttle: the firmware governor removes OPP steps
+        // from the top of every ladder; requests above the cap are
+        // clamped (min of two table frequencies is a table entry).
+        const auto cap = [&](CoreType type, GHz freq) {
+            const auto &opps = platform_->cluster(type).spec().opps;
+            const std::size_t top = opps.size() - 1;
+            const auto steps = std::min<std::size_t>(fx.oppCapSteps, top);
+            return std::min(freq, opps[top - steps].frequency);
+        };
+        if (decision.config.nBig > 0)
+            decision.config.bigFreq =
+                cap(CoreType::Big, decision.config.bigFreq);
+        if (decision.config.nSmall > 0)
+            decision.config.smallFreq =
+                cap(CoreType::Small, decision.config.smallFreq);
+        if (decision.spareBigFreq &&
+            platform_->coreCount(CoreType::Big) > 0)
+            decision.spareBigFreq =
+                cap(CoreType::Big, *decision.spareBigFreq);
+        if (decision.spareSmallFreq &&
+            platform_->coreCount(CoreType::Small) > 0)
+            decision.spareSmallFreq =
+                cap(CoreType::Small, *decision.spareSmallFreq);
+    }
+    if (fx.dvfsDenied) {
+        // The cpufreq writes are dropped this interval: clusters keep
+        // their current OPPs (migrations still happen — affinity is a
+        // different interface).
+        if (decision.config.nBig > 0)
+            decision.config.bigFreq =
+                platform_->cluster(CoreType::Big).frequency();
+        if (decision.config.nSmall > 0)
+            decision.config.smallFreq =
+                platform_->cluster(CoreType::Small).frequency();
+        decision.spareBigFreq = std::nullopt;
+        decision.spareSmallFreq = std::nullopt;
+    }
 
     // --- Actuate.
     ActuationResult actuation = platform_->applyConfig(decision.config);
@@ -138,6 +240,8 @@ ExperimentRunner::stepInterval(std::size_t k, const Decision &decision,
             ++actuation.dvfsTransitions;
         }
     }
+    if (fx.dvfsLatency > 0.0 && actuation.dvfsTransitions > 0)
+        actuation.latency += fx.dvfsLatency * actuation.dvfsTransitions;
 
     // --- Batch assignment and contention pressures.
     const bool batch_running = batch_ && decision.runBatch;
@@ -155,6 +259,12 @@ ExperimentRunner::stepInterval(std::size_t k, const Decision &decision,
     for (CoreId core : platform_->lcCores()) {
         pressure[platform_->clusterOf(core)].lc +=
             def_.traits.memPressure * lastLcUtilization_;
+    }
+    if (fx.pressure > 0.0) {
+        // Co-tenant interference: contention no policy action can
+        // evict, riding the same batch-pressure term of the model.
+        for (ClusterPressure &p : pressure)
+            p.batch += fx.pressure;
     }
 
     // --- Step the LC app.
@@ -219,6 +329,8 @@ ExperimentRunner::stepInterval(std::size_t k, const Decision &decision,
             std::clamp(busy[i] / (dt * cluster_cores), 0.0, 1.0);
     }
     const Watts power = platform_->accountEnergy(activity, dt);
+    if (hazards_)
+        hazards_->observePower(power, dt);
 
     // --- Read perf counters the way the paper's monitor does.
     Ips bips = 0.0, sips = 0.0;

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/policy.hh"
+#include "hazards/hazard.hh"
 #include "loadgen/load_trace.hh"
 #include "monitor/metrics.hh"
 #include "monitor/metrics_series.hh"
@@ -88,6 +89,18 @@ class ExperimentRunner
     /** Attach a batch workload (enables collocation). */
     void setBatch(std::shared_ptr<BatchWorkload> batch);
 
+    /**
+     * Attach a hazard engine (nullptr = perfectly behaved substrate;
+     * the loop is then bitwise-identical to a runner without hazard
+     * support). The engine is bound to the platform's TDP and reset
+     * by every beginRun, so one runner can host many runs.
+     */
+    void setHazards(std::unique_ptr<HazardEngine> hazards);
+
+    /** The attached hazard engine, or nullptr. */
+    const HazardEngine *hazards() const { return hazards_.get(); }
+    HazardEngine *hazards() { return hazards_.get(); }
+
     Platform &platform() { return *platform_; }
     const Platform &platform() const { return *platform_; }
     LatencyCriticalApp &app() { return *app_; }
@@ -142,7 +155,12 @@ class ExperimentRunner
 
   private:
     IntervalMetrics stepInterval(std::size_t k, const Decision &decision,
-                                 std::optional<Fraction> offeredOverride);
+                                 std::optional<Fraction> offeredOverride,
+                                 const HazardEffects &fx);
+
+    /** The all-zero metrics of an interval spent failed (hazard
+     * `nodefail`): nothing executes, nothing is metered. */
+    IntervalMetrics downInterval(Seconds t0, Seconds t1);
 
     /**
      * Build the LC server set for the current platform state into
@@ -160,6 +178,7 @@ class ExperimentRunner
     std::unique_ptr<Platform> platform_;
     std::unique_ptr<LatencyCriticalApp> app_;
     std::shared_ptr<BatchWorkload> batch_;
+    std::unique_ptr<HazardEngine> hazards_;
     ContentionModel contention_;
     LoadBucketQuantizer reportQuantizer_;
 
@@ -168,6 +187,8 @@ class ExperimentRunner
 
     // Incremental-run state (beginRun/stepNext/finishRun).
     bool runActive_ = false;
+    bool wasDown_ = false;
+    bool policyStarted_ = false;
     std::size_t stepIndex_ = 0;
     IntervalMetrics lastMetrics_;
     ExperimentResult pending_;

@@ -10,6 +10,7 @@
 #include "common/thread_pool.hh"
 #include "core/policy_registry.hh"
 #include "experiments/experiment_spec.hh"
+#include "hazards/hazard_registry.hh"
 #include "loadgen/trace_registry.hh"
 #include "platform/platform_registry.hh"
 #include "workloads/workload_registry.hh"
@@ -23,6 +24,19 @@ namespace
 /** Golden-ratio increment separating the cell and repetition streams
  * fed into the SplitMix64 finalizer. */
 constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+
+/** Whether any run swept a real hazard. Hazard-free campaigns keep
+ * the historical CSV/table layout byte-for-byte (the column only
+ * appears when it carries information), so the pinned sweep CSVs in
+ * golden_pins.inc stay valid. */
+bool
+sweptHazards(const SweepResults &results)
+{
+    return std::any_of(results.runs.begin(), results.runs.end(),
+                       [](const SweepRun &run) {
+                           return !isNoneHazard(run.job.hazard);
+                       });
+}
 
 std::vector<double>
 collect(const std::vector<const RunSummary *> &summaries,
@@ -95,6 +109,8 @@ SweepEngine::SweepEngine(SweepSpec spec) : spec_(std::move(spec))
         fatal("SweepSpec: no traces");
     if (spec_.policies.empty())
         fatal("SweepSpec: no policies");
+    if (spec_.hazards.empty())
+        fatal("SweepSpec: no hazards (use \"none\")");
     if (spec_.seeds == 0)
         fatal("SweepSpec: seeds must be >= 1");
     if (spec_.seeds > SweepSpec::kMaxSeeds)
@@ -138,6 +154,10 @@ SweepEngine::SweepEngine(SweepSpec spec) : spec_(std::move(spec))
         // schema/catalog enumerated, before any job runs.
         for (const auto &policy : spec_.policies)
             validatePolicySpec(policy);
+        // Hazard specs validate against the registry schemas, with
+        // the catalog enumerated on unknown names.
+        for (const auto &hazard : spec_.hazards)
+            validateHazardSpec(hazard);
     }
 }
 
@@ -160,25 +180,28 @@ SweepEngine::expandJobs() const
     std::vector<SweepJob> jobs;
     jobs.reserve(spec_.workloads.size() * spec_.platforms.size() *
                  spec_.traces.size() * spec_.policies.size() *
-                 spec_.seeds);
+                 spec_.hazards.size() * spec_.seeds);
     std::size_t cell = 0;
     for (const auto &workload : spec_.workloads) {
         for (const auto &platform : spec_.platforms) {
             for (const auto &trace : spec_.traces) {
                 for (const auto &policy : spec_.policies) {
-                    for (std::size_t s = 0; s < spec_.seeds; ++s) {
-                        SweepJob job;
-                        job.index = jobs.size();
-                        job.cell = cell;
-                        job.workload = workload;
-                        job.platform = platform;
-                        job.trace = trace;
-                        job.policy = policy;
-                        job.seedIndex = s;
-                        job.seed = seedForRun(spec_.masterSeed, s);
-                        jobs.push_back(std::move(job));
+                    for (const auto &hazard : spec_.hazards) {
+                        for (std::size_t s = 0; s < spec_.seeds; ++s) {
+                            SweepJob job;
+                            job.index = jobs.size();
+                            job.cell = cell;
+                            job.workload = workload;
+                            job.platform = platform;
+                            job.trace = trace;
+                            job.policy = policy;
+                            job.hazard = hazard;
+                            job.seedIndex = s;
+                            job.seed = seedForRun(spec_.masterSeed, s);
+                            jobs.push_back(std::move(job));
+                        }
+                        ++cell;
                     }
-                    ++cell;
                 }
             }
         }
@@ -200,6 +223,7 @@ SweepEngine::runJob(const SweepJob &job) const
     experiment.platform = job.platform;
     experiment.trace = job.trace;
     experiment.policy = job.policy;
+    experiment.hazard = job.hazard;
     experiment.duration = spec_.duration;
     experiment.durationScale = spec_.durationScale;
     experiment.seed = job.seed;
@@ -256,7 +280,8 @@ SweepEngine::run(std::size_t jobs,
     // Reduce each cell in expansion order.
     const std::size_t cellCount =
         spec_.workloads.size() * spec_.platforms.size() *
-        spec_.traces.size() * spec_.policies.size();
+        spec_.traces.size() * spec_.policies.size() *
+        spec_.hazards.size();
     results.cells.resize(cellCount);
     std::vector<std::vector<const RunSummary *>> perCell(cellCount);
     for (const SweepRun &run : results.runs) {
@@ -266,6 +291,7 @@ SweepEngine::run(std::size_t jobs,
             cell.platform = run.job.platform;
             cell.trace = run.job.trace;
             cell.policy = run.job.policy;
+            cell.hazard = run.job.hazard;
             cell.policyDisplay = run.result.policyName;
         }
         ++cell.runs;
@@ -331,18 +357,26 @@ SweepResults::representative(const std::string &policy,
 void
 writeRunsCsv(CsvWriter &csv, const SweepResults &results)
 {
-    csv.header({"workload", "platform", "trace", "policy",
-                "seed_index", "seed", "qos_guarantee_pct",
-                "qos_tardiness", "energy_j", "mean_power_w",
-                "mean_throughput", "migrations", "dvfs_transitions",
-                "dropped"});
+    const bool withHazards = sweptHazards(results);
+    std::vector<std::string> header = {
+        "workload", "platform", "trace", "policy"};
+    if (withHazards)
+        header.push_back("hazard");
+    for (const char *column :
+         {"seed_index", "seed", "qos_guarantee_pct", "qos_tardiness",
+          "energy_j", "mean_power_w", "mean_throughput", "migrations",
+          "dvfs_transitions", "dropped"})
+        header.push_back(column);
+    csv.header(header);
     for (const SweepRun &run : results.runs) {
         const RunSummary &s = run.result.summary;
         csv.add(run.job.workload)
             .add(run.job.platform)
             .add(run.job.trace)
-            .add(run.job.policy)
-            .add(run.job.seedIndex)
+            .add(run.job.policy);
+        if (withHazards)
+            csv.add(run.job.hazard);
+        csv.add(run.job.seedIndex)
             .add(run.job.seed)
             .add(s.qosGuarantee * 100.0)
             .add(s.qosTardiness)
@@ -359,18 +393,27 @@ writeRunsCsv(CsvWriter &csv, const SweepResults &results)
 void
 writeAggregateCsv(CsvWriter &csv, const SweepResults &results)
 {
-    csv.header({"workload", "platform", "trace", "policy", "runs",
-                "qos_guarantee_mean_pct", "qos_guarantee_ci95_pct",
-                "qos_tardiness_mean", "qos_tardiness_ci95",
-                "energy_mean_j", "energy_stddev_j", "energy_ci95_j",
-                "mean_power_w", "mean_throughput", "migrations_mean",
-                "migrations_ci95", "dvfs_transitions_mean"});
+    const bool withHazards = sweptHazards(results);
+    std::vector<std::string> header = {
+        "workload", "platform", "trace", "policy"};
+    if (withHazards)
+        header.push_back("hazard");
+    for (const char *column :
+         {"runs", "qos_guarantee_mean_pct", "qos_guarantee_ci95_pct",
+          "qos_tardiness_mean", "qos_tardiness_ci95", "energy_mean_j",
+          "energy_stddev_j", "energy_ci95_j", "mean_power_w",
+          "mean_throughput", "migrations_mean", "migrations_ci95",
+          "dvfs_transitions_mean"})
+        header.push_back(column);
+    csv.header(header);
     for (const AggregateSummary &cell : results.cells) {
         csv.add(cell.workload)
             .add(cell.platform)
             .add(cell.trace)
-            .add(cell.policy)
-            .add(cell.runs)
+            .add(cell.policy);
+        if (withHazards)
+            csv.add(cell.hazard);
+        csv.add(cell.runs)
             .add(cell.qosGuarantee.mean * 100.0)
             .add(cell.qosGuarantee.ci95 * 100.0)
             .add(cell.qosTardiness.mean)
@@ -390,9 +433,17 @@ writeAggregateCsv(CsvWriter &csv, const SweepResults &results)
 void
 printAggregateTable(std::ostream &out, const SweepResults &results)
 {
-    TextTable table({"workload", "platform", "trace", "policy", "runs",
-                     "QoS guar. (%)", "tardiness", "energy (J)",
-                     "power (W)", "migrations"});
+    bool withHazards = false;
+    for (const AggregateSummary &cell : results.cells)
+        withHazards = withHazards || !isNoneHazard(cell.hazard);
+    std::vector<std::string> columns = {"workload", "platform", "trace",
+                                        "policy"};
+    if (withHazards)
+        columns.push_back("hazard");
+    for (const char *column : {"runs", "QoS guar. (%)", "tardiness",
+                               "energy (J)", "power (W)", "migrations"})
+        columns.push_back(column);
+    TextTable table(columns);
     for (const AggregateSummary &cell : results.cells) {
         // Parameterized specs print verbatim: two cells of the same
         // family (e.g. a bucket-width ablation) must stay
@@ -400,14 +451,17 @@ printAggregateTable(std::ostream &out, const SweepResults &results)
         // ("HipsterIn") cannot do.
         const bool parameterized =
             cell.policy.find(':') != std::string::npos;
-        table.newRow()
-            .cell(cell.workload)
-            .cell(cell.platform)
-            .cell(cell.trace)
-            .cell(!parameterized && !cell.policyDisplay.empty()
-                      ? cell.policyDisplay
-                      : cell.policy)
-            .cell(static_cast<long long>(cell.runs))
+        auto &row = table.newRow()
+                        .cell(cell.workload)
+                        .cell(cell.platform)
+                        .cell(cell.trace)
+                        .cell(!parameterized &&
+                                      !cell.policyDisplay.empty()
+                                  ? cell.policyDisplay
+                                  : cell.policy);
+        if (withHazards)
+            row.cell(cell.hazard);
+        row.cell(static_cast<long long>(cell.runs))
             .cell(formatMeanCi(cell.qosGuarantee, 1, 100.0))
             .cell(formatMeanCi(cell.qosTardiness, 2))
             .cell(formatMeanCi(cell.energy, 0))

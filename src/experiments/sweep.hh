@@ -38,14 +38,15 @@ struct SweepJob
     /** Position in the expansion (also the reduction order). */
     std::size_t index = 0;
 
-    /** Index of the (workload, platform, trace, policy) cell this
-     * run feeds. */
+    /** Index of the (workload, platform, trace, policy, hazard) cell
+     * this run feeds. */
     std::size_t cell = 0;
 
     std::string workload;
     std::string platform;
     std::string trace;
     std::string policy;
+    std::string hazard = "none";
 
     /** Which repetition within the cell (0 .. seeds-1). */
     std::size_t seedIndex = 0;
@@ -74,6 +75,12 @@ struct SweepSpec
      * parameterized, e.g. "hipster-in:bucket=8". Each spec is its
      * own sweep cell, so parameter ablations are ordinary axes. */
     std::vector<std::string> policies = {"hipster-in"};
+
+    /** Hazard specs (hazards HazardRegistry grammar): "none" or
+     * composed adversity, e.g. "hazard:thermal+interference". Each
+     * spec is its own sweep cell, so resilience studies pair every
+     * hazard against every policy under common random numbers. */
+    std::vector<std::string> hazards = {"none"};
 
     /** Hard ceiling on repetitions per cell: far above any real
      * campaign, low enough to reject a "-1" wrapped to 2^64-1 by a
@@ -156,6 +163,7 @@ struct AggregateSummary
     std::string platform;
     std::string trace;
     std::string policy;
+    std::string hazard = "none";
 
     /** Human-readable policy name from the runs (e.g. "HipsterIn"). */
     std::string policyDisplay;
@@ -216,8 +224,8 @@ class SweepEngine
     const SweepSpec &spec() const { return spec_; }
 
     /** All jobs in expansion order (workload-major, then platform,
-     * then trace, then policy, then seed index), each with its
-     * derived seed. */
+     * then trace, then policy, then hazard, then seed index), each
+     * with its derived seed. */
     std::vector<SweepJob> expandJobs() const;
 
     /**
@@ -250,13 +258,17 @@ class SweepEngine
     SweepSpec spec_;
 };
 
-/** Per-run CSV: one row per (cell, seed) run. */
+/** Per-run CSV: one row per (cell, seed) run. A `hazard` column
+ * appears only when the campaign swept a non-"none" hazard, so
+ * hazard-free campaigns keep their historical byte layout. */
 void writeRunsCsv(CsvWriter &csv, const SweepResults &results);
 
-/** Aggregate CSV: one row per cell with mean/stddev/ci95 columns. */
+/** Aggregate CSV: one row per cell with mean/stddev/ci95 columns
+ * (same conditional `hazard` column as writeRunsCsv). */
 void writeAggregateCsv(CsvWriter &csv, const SweepResults &results);
 
-/** ASCII aggregate report: one row per cell, "mean ± ci" cells. */
+/** ASCII aggregate report: one row per cell, "mean ± ci" cells
+ * (same conditional hazard column as the CSVs). */
 void printAggregateTable(std::ostream &out, const SweepResults &results);
 
 } // namespace hipster

@@ -46,6 +46,7 @@ nodeExperiment(const FleetSpec &fleet, const FleetNodeSpec &node,
     spec.platform = node.platform;
     spec.trace = "constant:0";
     spec.policy = node.policy;
+    spec.hazard = fleet.hazard;
     spec.duration = fleet.duration;
     spec.durationScale = fleet.durationScale;
     spec.seed = nodeSeed(fleet.seed, index);
@@ -212,14 +213,23 @@ runFleet(const FleetSpec &spec)
 
     std::vector<DispatchNodeView> views(n);
     std::vector<double> shares;
+    std::vector<char> down(n, 0);
     result.fleetSeries.reserve(intervals);
     double strandedSum = 0.0;
     for (std::size_t k = 0; k < intervals; ++k) {
         const Seconds t0 = k * dt;
         const Fraction fleetLoad = fleetTrace->at(t0);
 
+        // Failed nodes advertise zero capacity and receive no
+        // traffic — the dispatcher re-routes around them until their
+        // hazard timeline restores them.
         for (std::size_t i = 0; i < n; ++i) {
-            views[i].capacity = result.nodes[i].capacity;
+            HazardEngine *hazards = runners[i].hazards();
+            down[i] = hazards && hazards->nodeDown(t0) ? 1 : 0;
+        }
+
+        for (std::size_t i = 0; i < n; ++i) {
+            views[i].capacity = down[i] ? 0.0 : result.nodes[i].capacity;
             views[i].tdp = result.nodes[i].tdp;
             views[i].qosTarget = def.params.qosTargetMs;
         }
@@ -228,11 +238,18 @@ runFleet(const FleetSpec &spec)
             fatal("dispatcher '", dispatcher->name(),
                   "' returned ", shares.size(), " shares for ", n,
                   " nodes");
+        std::size_t upCount = 0;
         double shareSum = 0.0;
-        for (const double s : shares) {
+        for (std::size_t i = 0; i < n; ++i) {
+            const double s = shares[i];
             if (!(s >= 0.0) || !std::isfinite(s))
                 fatal("dispatcher '", dispatcher->name(),
                       "' returned an invalid share");
+            if (down[i]) {
+                shares[i] = 0.0;
+                continue;
+            }
+            ++upCount;
             shareSum += s;
         }
 
@@ -248,8 +265,14 @@ runFleet(const FleetSpec &spec)
         double bigFreqSum = 0.0, smallFreqSum = 0.0;
         double stranded = 0.0;
         for (std::size_t i = 0; i < n; ++i) {
+            // With every share zero, live nodes split the load
+            // evenly; a down node gets nothing either way (all-down
+            // intervals drop the whole fleet load on the floor).
             const double share =
-                shareSum > 0.0 ? shares[i] / shareSum : 1.0 / n;
+                down[i] ? 0.0
+                : shareSum > 0.0
+                    ? shares[i] / shareSum
+                    : upCount > 0 ? 1.0 / upCount : 0.0;
             const double routed = share * fleetLoad * fleetCapacity;
             const Fraction localLoad =
                 result.nodes[i].capacity > 0.0

@@ -60,6 +60,14 @@ struct FleetSpec
     /** Dispatcher spec (fleet/dispatcher_registry grammar). */
     std::string dispatcher = "dispatch:round-robin";
 
+    /** Hazard spec applied to every node (hazards/hazard_registry
+     * grammar). Each node derives independent hazard streams from
+     * its own node seed, so failures/bursts are not fleet-synchronous;
+     * `nodefail` additionally removes a down node from routing (its
+     * capacity reads 0 and its share is forced to 0) until the
+     * timeline restores it. */
+    std::string hazard = "none";
+
     /** Run length; 0 = the workload's diurnal default. */
     Seconds duration = 0.0;
 

@@ -71,13 +71,18 @@ runFleetSweep(const FleetSweepSpec &spec, std::size_t jobs,
     labels.reserve(spec.dispatchers.size());
     for (const std::string &dispatcher : spec.dispatchers)
         labels.push_back(canonicalDispatcherLabel(dispatcher));
+    if (spec.hazards.empty())
+        fatal("runFleetSweep: hazard axis is empty (use \"none\")");
     {
         FleetSpec probe = spec.base;
         for (const std::string &label : labels) {
             probe.dispatcher = label;
             for (const std::string &trace : spec.traces) {
                 probe.trace = trace;
-                probe.validate();
+                for (const std::string &hazard : spec.hazards) {
+                    probe.hazard = hazard;
+                    probe.validate();
+                }
             }
         }
     }
@@ -87,6 +92,7 @@ runFleetSweep(const FleetSweepSpec &spec, std::size_t jobs,
     sweep.platforms = {spec.base.label()};
     sweep.traces = spec.traces;
     sweep.policies = labels;
+    sweep.hazards = spec.hazards;
     sweep.seeds = spec.seeds;
     sweep.masterSeed = spec.masterSeed;
     sweep.duration = spec.base.resolvedDuration();
@@ -96,9 +102,10 @@ runFleetSweep(const FleetSweepSpec &spec, std::size_t jobs,
     // Pre-sized per-job slot vector: jobRunner instances run
     // concurrently and each writes only its own index, so jobs=1 and
     // jobs=N fill identical vectors. The count mirrors expandJobs():
-    // 1 workload x 1 platform x traces x dispatchers x seeds.
-    const std::size_t jobCount =
-        spec.traces.size() * labels.size() * spec.seeds;
+    // 1 workload x 1 platform x traces x dispatchers x hazards x
+    // seeds.
+    const std::size_t jobCount = spec.traces.size() * labels.size() *
+                                 spec.hazards.size() * spec.seeds;
     auto stats = std::make_shared<std::vector<FleetRunStats>>(jobCount);
 
     const FleetSpec base = spec.base;
@@ -107,12 +114,14 @@ runFleetSweep(const FleetSweepSpec &spec, std::size_t jobs,
         FleetSpec fleetSpec = base;
         fleetSpec.dispatcher = job.policy;
         fleetSpec.trace = job.trace;
+        fleetSpec.hazard = job.hazard;
         fleetSpec.seed = job.seed;
         const FleetResult fleet = runFleet(fleetSpec);
         FleetRunStats &slot = (*stats)[job.index];
         slot.jobIndex = job.index;
         slot.dispatcher = job.policy;
         slot.trace = job.trace;
+        slot.hazard = job.hazard;
         slot.seedIndex = job.seedIndex;
         slot.fleetCapacity = fleet.summary.fleetCapacity;
         slot.strandedCapacity = fleet.summary.strandedCapacity;

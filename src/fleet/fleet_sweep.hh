@@ -36,6 +36,10 @@ struct FleetSweepSpec
     /** Trace axis (loadgen TraceRegistry grammar). */
     std::vector<std::string> traces = {"diurnal"};
 
+    /** Hazard axis (hazards HazardRegistry grammar); every value is
+     * applied fleet-wide, per node (see FleetSpec::hazard). */
+    std::vector<std::string> hazards = {"none"};
+
     /** Repetitions per cell with independently derived seeds. */
     std::size_t seeds = 1;
 
@@ -52,6 +56,7 @@ struct FleetRunStats
     std::size_t jobIndex = 0;
     std::string dispatcher;
     std::string trace;
+    std::string hazard = "none";
     std::size_t seedIndex = 0;
     double fleetCapacity = 0.0;
     double strandedCapacity = 0.0;

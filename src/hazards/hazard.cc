@@ -1,0 +1,318 @@
+#include "hazards/hazard.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace hipster
+{
+
+// ---------------------------------------------------------------------------
+// HazardTimeline
+
+HazardTimeline::HazardTimeline(std::uint64_t seed, Seconds meanInactive,
+                               Seconds meanActive)
+    : seed_(seed), meanInactive_(meanInactive), meanActive_(meanActive),
+      rng_(seed)
+{
+}
+
+void
+HazardTimeline::reset()
+{
+    rng_ = Rng(seed_);
+    switches_.clear();
+}
+
+void
+HazardTimeline::extendTo(Seconds t)
+{
+    while (switches_.empty() || switches_.back() <= t) {
+        // Even-indexed switches end an inactive sojourn. Sojourns are
+        // floored at a nanosecond so a degenerate draw cannot stall
+        // the extension loop.
+        const bool leavingInactive = switches_.size() % 2 == 0;
+        const Seconds mean = leavingInactive ? meanInactive_ : meanActive_;
+        const Seconds sojourn =
+            std::max(rng_.exponential(1.0 / mean), 1e-9);
+        const Seconds last = switches_.empty() ? 0.0 : switches_.back();
+        switches_.push_back(last + sojourn);
+    }
+}
+
+bool
+HazardTimeline::activeAt(Seconds t)
+{
+    extendTo(t);
+    // State starts inactive and flips at each switch time <= t.
+    std::size_t flips = 0;
+    while (flips < switches_.size() && switches_[flips] <= t)
+        ++flips;
+    return flips % 2 == 1;
+}
+
+// ---------------------------------------------------------------------------
+// HazardEngine
+
+HazardEngine::HazardEngine(std::string spec,
+                           std::vector<std::unique_ptr<Hazard>> stages)
+    : spec_(std::move(spec)), stages_(std::move(stages))
+{
+}
+
+void
+HazardEngine::bind(Watts tdp)
+{
+    for (auto &stage : stages_)
+        stage->bind(tdp);
+}
+
+void
+HazardEngine::reset()
+{
+    for (auto &stage : stages_)
+        stage->reset();
+}
+
+HazardEffects
+HazardEngine::intervalEffects(std::size_t k, Seconds t0, Seconds dt)
+{
+    HazardEffects fx;
+    for (auto &stage : stages_)
+        stage->apply(k, t0, dt, fx);
+    return fx;
+}
+
+void
+HazardEngine::observePower(Watts power, Seconds dt)
+{
+    for (auto &stage : stages_)
+        stage->observePower(power, dt);
+}
+
+bool
+HazardEngine::nodeDown(Seconds t)
+{
+    for (auto &stage : stages_) {
+        if (stage->downAt(t))
+            return true;
+    }
+    return false;
+}
+
+// ---------------------------------------------------------------------------
+// Built-in hazards
+
+namespace
+{
+
+/**
+ * Thermal throttling grounded in the telemetry of real low-power
+ * clusters: a first-order thermal RC charged by the ratio of drawn
+ * power to the throttle budget (tdp_cap x TDP). When the normalized
+ * temperature exceeds 1.0 the governor removes OPP steps from the
+ * top of every ladder, one per hot interval, and re-arms them only
+ * below the hysteresis release point — so throttling both lags the
+ * overload and outlives it, like firmware governors do.
+ */
+class ThermalHazard final : public Hazard
+{
+  public:
+    ThermalHazard(double tdpCap, Seconds tau, std::uint32_t steps,
+                  double release)
+        : tdpCap_(tdpCap), tau_(tau), maxSteps_(steps), release_(release)
+    {
+    }
+
+    const std::string &name() const override
+    {
+        static const std::string kName = "thermal";
+        return kName;
+    }
+
+    void bind(Watts tdp) override { budget_ = tdpCap_ * tdp; }
+
+    void apply(std::size_t, Seconds, Seconds, HazardEffects &fx) override
+    {
+        fx.oppCapSteps = std::max(fx.oppCapSteps, level_);
+    }
+
+    void observePower(Watts power, Seconds dt) override
+    {
+        if (budget_ <= 0.0)
+            return;
+        // Exponential relaxation toward the normalized steady-state
+        // temperature power/budget with time constant tau.
+        const double target = power / budget_;
+        const double alpha = 1.0 - std::exp(-dt / tau_);
+        temp_ += alpha * (target - temp_);
+        if (temp_ > 1.0 && level_ < maxSteps_)
+            ++level_;
+        else if (temp_ < release_ && level_ > 0)
+            --level_;
+    }
+
+    void reset() override
+    {
+        temp_ = 0.0;
+        level_ = 0;
+    }
+
+  private:
+    double tdpCap_;
+    Seconds tau_;
+    std::uint32_t maxSteps_;
+    double release_;
+    Watts budget_ = 0.0;
+    double temp_ = 0.0;
+    std::uint32_t level_ = 0;
+};
+
+/**
+ * Slow/flaky DVFS actuation: every frequency transition costs extra
+ * latency, and each interval the whole actuation can be denied with
+ * probability `drop` (the write is dropped and clusters keep their
+ * current OPPs) — one Bernoulli draw per interval, in interval
+ * order, so the stream is a pure function of the stage seed.
+ */
+class DvfsLagHazard final : public Hazard
+{
+  public:
+    DvfsLagHazard(Seconds latency, double drop, std::uint64_t seed)
+        : latency_(latency), drop_(drop), seed_(seed), rng_(seed)
+    {
+    }
+
+    const std::string &name() const override
+    {
+        static const std::string kName = "dvfs-lag";
+        return kName;
+    }
+
+    void apply(std::size_t, Seconds, Seconds, HazardEffects &fx) override
+    {
+        fx.dvfsLatency += latency_;
+        if (rng_.bernoulli(drop_))
+            fx.dvfsDenied = true;
+    }
+
+    void reset() override { rng_ = Rng(seed_); }
+
+  private:
+    Seconds latency_;
+    double drop_;
+    std::uint64_t seed_;
+    Rng rng_;
+};
+
+/**
+ * Co-tenant interference: bursts of contention pressure on every
+ * cluster, arriving as an alternating-renewal process (exponential
+ * quiet/burst sojourns).
+ */
+class InterferenceHazard final : public Hazard
+{
+  public:
+    InterferenceHazard(double burst, Seconds on, Seconds off,
+                       std::uint64_t seed)
+        : burst_(burst), timeline_(seed, off, on)
+    {
+    }
+
+    const std::string &name() const override
+    {
+        static const std::string kName = "interference";
+        return kName;
+    }
+
+    void apply(std::size_t, Seconds t0, Seconds,
+               HazardEffects &fx) override
+    {
+        if (timeline_.activeAt(t0))
+            fx.pressure += burst_;
+    }
+
+    void reset() override { timeline_.reset(); }
+
+    HazardTimeline *timeline() override { return &timeline_; }
+
+  private:
+    double burst_;
+    HazardTimeline timeline_;
+};
+
+/**
+ * Whole-node failure/restore: an up/down alternating-renewal process
+ * with exponential MTBF/MTTR sojourns. While down the node executes
+ * nothing and draws no power (the fleet front end also routes no
+ * traffic to it); on restore with reboot=1 the task manager comes
+ * back cold, so the policy relearns from scratch.
+ */
+class NodefailHazard final : public Hazard
+{
+  public:
+    NodefailHazard(Seconds mtbf, Seconds mttr, bool reboot,
+                   std::uint64_t seed)
+        : reboot_(reboot), timeline_(seed, mtbf, mttr)
+    {
+    }
+
+    const std::string &name() const override
+    {
+        static const std::string kName = "nodefail";
+        return kName;
+    }
+
+    void apply(std::size_t k, Seconds t0, Seconds dt,
+               HazardEffects &fx) override
+    {
+        const bool down = timeline_.activeAt(t0);
+        if (down)
+            fx.down = true;
+        else if (reboot_ && k > 0 && timeline_.activeAt(t0 - dt))
+            fx.reboot = true;
+    }
+
+    bool downAt(Seconds t) override { return timeline_.activeAt(t); }
+
+    void reset() override { timeline_.reset(); }
+
+    HazardTimeline *timeline() override { return &timeline_; }
+
+  private:
+    bool reboot_;
+    HazardTimeline timeline_;
+};
+
+} // namespace
+
+std::unique_ptr<Hazard>
+makeThermalHazard(double tdpCap, Seconds tau, std::uint32_t steps,
+                  double release)
+{
+    return std::make_unique<ThermalHazard>(tdpCap, tau, steps, release);
+}
+
+std::unique_ptr<Hazard>
+makeDvfsLagHazard(Seconds latency, double drop, std::uint64_t seed)
+{
+    return std::make_unique<DvfsLagHazard>(latency, drop, seed);
+}
+
+std::unique_ptr<Hazard>
+makeInterferenceHazard(double burst, Seconds on, Seconds off,
+                       std::uint64_t seed)
+{
+    return std::make_unique<InterferenceHazard>(burst, on, off, seed);
+}
+
+std::unique_ptr<Hazard>
+makeNodefailHazard(Seconds mtbf, Seconds mttr, bool reboot,
+                   std::uint64_t seed)
+{
+    return std::make_unique<NodefailHazard>(mtbf, mttr, reboot, seed);
+}
+
+} // namespace hipster

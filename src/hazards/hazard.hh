@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Hazard engine: deterministic, seed-derived adversity injected into
+ * the ExperimentRunner's closed loop (ROADMAP item 5). A hazard is a
+ * per-interval event stream — thermal throttling that integrates the
+ * platform power model and caps the OPP ladder, DVFS actuation
+ * latency/failure, co-tenant interference pressure, or whole-node
+ * failure/restore — composed into one HazardEngine per run. Every
+ * stream derives from the run seed (per-stage streams are keyed by
+ * the stage *name*, so composed hazards commute bitwise), and a run
+ * with no engine attached is bit-identical to a pre-hazard run.
+ */
+
+#ifndef HIPSTER_HAZARDS_HAZARD_HH
+#define HIPSTER_HAZARDS_HAZARD_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/units.hh"
+
+namespace hipster
+{
+
+/**
+ * The merged per-interval effect of every hazard stage. Defaults are
+ * all no-ops; merge operators are commutative (OR / max / sum), so
+ * the effect of a composed spec is independent of stage order.
+ */
+struct HazardEffects
+{
+    /** Node is failed this interval: no actuation, no arrivals, no
+     * power (the fleet front end also routes nothing here). */
+    bool down = false;
+
+    /** First up-interval after a down span with reboot=1: the task
+     * manager restarts cold (policy reset + initialDecision). */
+    bool reboot = false;
+
+    /** Thermal throttle: number of OPP-ladder steps removed from the
+     * top of every cluster's DVFS table (0 = no cap). */
+    std::uint32_t oppCapSteps = 0;
+
+    /** Extra actuation latency per DVFS transition (dvfs-lag). */
+    Seconds dvfsLatency = 0.0;
+
+    /** DVFS writes fail this interval: requested frequency changes
+     * are silently dropped and clusters keep their current OPPs. */
+    bool dvfsDenied = false;
+
+    /** Extra contention pressure on every cluster (co-tenant
+     * interference bursts). */
+    double pressure = 0.0;
+};
+
+/**
+ * Lazily extended alternating-state event timeline: sojourns in the
+ * inactive/active states are exponential with the given mean
+ * durations, drawn in time order from a dedicated stream, so the
+ * switch times are a pure function of the seed no matter when or how
+ * often the timeline is queried. Used by the interference (off/burst)
+ * and nodefail (up/down) hazards.
+ */
+class HazardTimeline
+{
+  public:
+    /**
+     * @param seed         Stream seed (per-stage, name-derived).
+     * @param meanInactive Mean sojourn in the initial/inactive state.
+     * @param meanActive   Mean sojourn in the active state.
+     */
+    HazardTimeline(std::uint64_t seed, Seconds meanInactive,
+                   Seconds meanActive);
+
+    /** State at time t >= 0 (extends the timeline as needed). */
+    bool activeAt(Seconds t);
+
+    /** Regenerate from the seed (fresh run on the same engine). */
+    void reset();
+
+    /** Switch times generated so far (strictly increasing; state
+     * flips at each, starting inactive). Test/inspection hook. */
+    const std::vector<Seconds> &switches() const { return switches_; }
+
+  private:
+    void extendTo(Seconds t);
+
+    std::uint64_t seed_;
+    Seconds meanInactive_;
+    Seconds meanActive_;
+    Rng rng_;
+    std::vector<Seconds> switches_;
+};
+
+/** One hazard stage of a composed spec. */
+class Hazard
+{
+  public:
+    virtual ~Hazard() = default;
+
+    /** Registered family name ("thermal", "nodefail", ...). */
+    virtual const std::string &name() const = 0;
+
+    /**
+     * Merge this stage's effect for interval k ([t0, t0+dt)) into
+     * `fx`. Called exactly once per interval, in interval order —
+     * stages that draw randomness consume their stream here, so the
+     * draw sequence is a pure function of (seed, interval index).
+     */
+    virtual void apply(std::size_t k, Seconds t0, Seconds dt,
+                      HazardEffects &fx) = 0;
+
+    /** Power measured over the finished interval (thermal state). */
+    virtual void observePower(Watts power, Seconds dt)
+    {
+        (void)power;
+        (void)dt;
+    }
+
+    /** Attach platform constants (TDP) before the run starts. */
+    virtual void bind(Watts tdp) { (void)tdp; }
+
+    /** Whether the node is failed at time t (pure timeline lookup —
+     * the fleet front end asks this before routing). */
+    virtual bool downAt(Seconds t)
+    {
+        (void)t;
+        return false;
+    }
+
+    /** Back to the freshly built state (new run, same engine). */
+    virtual void reset() = 0;
+
+    /** Event timeline behind this stage, when it has one. */
+    virtual HazardTimeline *timeline() { return nullptr; }
+};
+
+/**
+ * The composed hazard of one run: owns the stages parsed from a
+ * `hazard:` spec and merges their per-interval effects. Built by the
+ * hazard registry; a null engine (spec "none") means the runner's
+ * hazard hooks are never taken.
+ */
+class HazardEngine
+{
+  public:
+    HazardEngine(std::string spec,
+                 std::vector<std::unique_ptr<Hazard>> stages);
+
+    /** The canonical spec this engine was built from. */
+    const std::string &spec() const { return spec_; }
+
+    /** Attach platform constants (TDP) to every stage. */
+    void bind(Watts tdp);
+
+    /** Fresh-run reset of every stage (beginRun). */
+    void reset();
+
+    /** Merged effects for interval k ([t0, t0+dt)); call once per
+     * interval, in order. */
+    HazardEffects intervalEffects(std::size_t k, Seconds t0, Seconds dt);
+
+    /** Forward the interval's measured power to every stage. */
+    void observePower(Watts power, Seconds dt);
+
+    /** Whether any stage has the node failed at time t. */
+    bool nodeDown(Seconds t);
+
+    /** The stages, in spec order (test/inspection hook). */
+    const std::vector<std::unique_ptr<Hazard>> &stages() const
+    {
+        return stages_;
+    }
+
+  private:
+    std::string spec_;
+    std::vector<std::unique_ptr<Hazard>> stages_;
+};
+
+/** Factory helpers the registry wires up (one per built-in). Each
+ * takes its validated parameters and the stage's derived seed. */
+std::unique_ptr<Hazard> makeThermalHazard(double tdpCap, Seconds tau,
+                                          std::uint32_t steps,
+                                          double release);
+std::unique_ptr<Hazard> makeDvfsLagHazard(Seconds latency, double drop,
+                                          std::uint64_t seed);
+std::unique_ptr<Hazard> makeInterferenceHazard(double burst, Seconds on,
+                                               Seconds off,
+                                               std::uint64_t seed);
+std::unique_ptr<Hazard> makeNodefailHazard(Seconds mtbf, Seconds mttr,
+                                           bool reboot,
+                                           std::uint64_t seed);
+
+} // namespace hipster
+
+#endif // HIPSTER_HAZARDS_HAZARD_HH

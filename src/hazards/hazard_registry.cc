@@ -1,0 +1,300 @@
+#include "hazards/hazard_registry.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace hipster
+{
+
+namespace
+{
+
+constexpr const char *kPrefix = "hazard:";
+
+/** The spec with any `hazard:` prefix removed. */
+std::string
+stripPrefix(const std::string &spec)
+{
+    const std::string prefix(kPrefix);
+    if (spec.rfind(prefix, 0) == 0)
+        return spec.substr(prefix.size());
+    return spec;
+}
+
+/** FNV-1a over a name. Stage streams are keyed by the *family name*
+ * (not the stage position), so `thermal+interference` and
+ * `interference+thermal` draw identical streams and the composed
+ * effects — merged with commutative operators — are bitwise equal. */
+std::uint64_t
+hashName(const std::string &name)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : name) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+/**
+ * Splits a composed hazard body on `+`, but only where the text
+ * after the `+` heads a registered hazard — mirroring the trace
+ * grammar, so parameter values can never be cut in half.
+ */
+std::vector<std::string>
+splitOnHazardBoundary(const std::string &body)
+{
+    std::vector<std::string> stages;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i < body.size(); ++i) {
+        if (body[i] != '+')
+            continue;
+        const std::string head = specHeadToken(body, i + 1);
+        if (head.empty())
+            continue;
+        if (head == "none" || HazardRegistry::instance().has(head)) {
+            stages.push_back(body.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    stages.push_back(body.substr(start));
+    return stages;
+}
+
+} // namespace
+
+HazardRegistry &
+HazardRegistry::instance()
+{
+    static HazardRegistry registry = [] {
+        HazardRegistry r;
+        r.registerBuiltins();
+        return r;
+    }();
+    return registry;
+}
+
+void
+HazardRegistry::add(HazardInfo info, Factory factory)
+{
+    if (has(info.name))
+        fatal("HazardRegistry: duplicate hazard '", info.name, "'");
+    for (const std::string &alias : info.aliases) {
+        if (has(alias))
+            fatal("HazardRegistry: duplicate hazard alias '", alias,
+                  "'");
+    }
+    entries_.push_back(std::move(info));
+    factories_.push_back(std::move(factory));
+}
+
+bool
+HazardRegistry::has(const std::string &name) const
+{
+    return std::any_of(
+        entries_.begin(), entries_.end(), [&](const HazardInfo &e) {
+            return e.name == name ||
+                   std::find(e.aliases.begin(), e.aliases.end(), name) !=
+                       e.aliases.end();
+        });
+}
+
+std::unique_ptr<HazardEngine>
+HazardRegistry::make(const std::string &spec, std::uint64_t seed) const
+{
+    if (isNoneHazard(spec))
+        return nullptr;
+
+    const std::string body = stripPrefix(spec);
+    const std::vector<std::string> stageTexts =
+        splitOnHazardBoundary(body);
+
+    std::vector<std::unique_ptr<Hazard>> stages;
+    std::vector<std::string> used;
+    for (const std::string &stageText : stageTexts) {
+        const std::string head = specHead(stageText);
+        if (head == "none")
+            fatal("hazard spec '", spec,
+                  "': 'none' cannot be composed with other hazards");
+        std::size_t index = entries_.size();
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            const HazardInfo &e = entries_[i];
+            if (e.name == head ||
+                std::find(e.aliases.begin(), e.aliases.end(), head) !=
+                    e.aliases.end()) {
+                index = i;
+                break;
+            }
+        }
+        if (index == entries_.size()) {
+            std::string known = "none";
+            for (const HazardInfo &e : entries_)
+                known += ", " + e.name;
+            fatal("unknown hazard '", head, "' in spec '", spec,
+                  "'; registered hazards: ", known,
+                  " (prefix with 'hazard:', e.g. hazard:",
+                  entries_.empty() ? "thermal" : entries_.front().name,
+                  ")");
+        }
+        const HazardInfo &entry = entries_[index];
+        if (std::find(used.begin(), used.end(), entry.name) !=
+            used.end())
+            fatal("hazard spec '", spec, "': hazard '", entry.name,
+                  "' appears more than once in the composition");
+        used.push_back(entry.name);
+
+        SpecParamSet params;
+        parseSpecParams("hazard", stageText, entry.name, entry.params,
+                        params);
+        // Stage streams are keyed by the family name, never the
+        // position, so compositions commute bitwise.
+        const std::uint64_t stageSeed =
+            splitMix64(seed ^ hashName(entry.name));
+        stages.push_back(factories_[index](params, stageSeed));
+    }
+    return std::make_unique<HazardEngine>(canonicalHazardLabel(spec),
+                                          std::move(stages));
+}
+
+std::string
+HazardRegistry::catalogText() const
+{
+    std::string out =
+        "Hazards (spec grammar: hazard:name[:key=value,...]"
+        "[+name[:...]], or none):\n";
+    out += "  none — perfectly behaved substrate (bitwise-identical "
+           "to a run without hazards)\n";
+    for (const HazardInfo &e : entries_) {
+        out += "  " + std::string(kPrefix) + e.name;
+        for (const std::string &alias : e.aliases)
+            out += " (alias: " + alias + ")";
+        out += " — " + e.summary + "\n";
+        for (const SpecParamInfo &p : e.params)
+            out += "      " + specParamLine(p) + "\n";
+    }
+    return out;
+}
+
+void
+HazardRegistry::registerBuiltins()
+{
+    add({"thermal",
+         {"throttle"},
+         "first-order thermal model over the measured power; "
+         "throttles the OPP ladder with hysteresis (after the "
+         "telemetry of arXiv:2503.18543)",
+         {{"tdp_cap", "throttle budget as a fraction of platform TDP",
+           0.8, 0.05, 1.5, false, false, ParamUnit::None},
+          {"tau", "thermal time constant", 30.0, 0.5, 3600.0, false,
+           false, ParamUnit::TimeSec},
+          {"steps", "max OPP steps removed from the ladder top", 3.0,
+           1.0, 32.0, true, false, ParamUnit::None},
+          {"release", "normalized temperature below which one step "
+                      "re-arms per interval",
+           0.92, 0.5, 0.999, false, false, ParamUnit::None}}},
+        [](const SpecParamSet &params, std::uint64_t) {
+            return makeThermalHazard(
+                params.get("tdp_cap", 0.8), params.get("tau", 30.0),
+                static_cast<std::uint32_t>(params.get("steps", 3.0)),
+                params.get("release", 0.92));
+        });
+
+    add({"dvfs-lag",
+         {"dvfs"},
+         "slow/flaky DVFS actuation: extra latency per transition, "
+         "and whole actuations dropped with probability `drop`",
+         {{"latency", "extra actuation latency per DVFS transition",
+           0.005, 0.0, 10.0, false, false, ParamUnit::TimeSec},
+          {"drop", "per-interval probability the actuation is denied",
+           0.01, 0.0, 1.0, false, false, ParamUnit::None}}},
+        [](const SpecParamSet &params, std::uint64_t seed) {
+            return makeDvfsLagHazard(params.get("latency", 0.005),
+                                     params.get("drop", 0.01), seed);
+        });
+
+    add({"interference",
+         {"noisy-neighbor"},
+         "co-tenant contention bursts: extra pressure on every "
+         "cluster during exponential on/off episodes",
+         {{"burst", "contention pressure added while a burst is "
+                    "active",
+           1.0, 0.0, 16.0, false, false, ParamUnit::None},
+          {"on", "mean burst duration", 20.0, 0.1, 86400.0, false,
+           false, ParamUnit::TimeSec},
+          {"off", "mean quiet gap between bursts", 60.0, 0.1, 86400.0,
+           false, false, ParamUnit::TimeSec}}},
+        [](const SpecParamSet &params, std::uint64_t seed) {
+            return makeInterferenceHazard(params.get("burst", 1.0),
+                                          params.get("on", 20.0),
+                                          params.get("off", 60.0), seed);
+        });
+
+    add({"nodefail",
+         {"crash"},
+         "whole-node failure/restore with exponential MTBF/MTTR; at "
+         "fleet scope dispatchers re-route around down nodes (after "
+         "arXiv:2009.10348)",
+         {{"mtbf", "mean time between failures", 600.0, 1.0, 1e7,
+           false, false, ParamUnit::TimeSec},
+          {"mttr", "mean time to restore", 60.0, 0.5, 1e6, false,
+           false, ParamUnit::TimeSec},
+          {"reboot", "restart the task manager cold on restore (the "
+                     "policy relearns)",
+           1.0, 0.0, 1.0, false, true, ParamUnit::None}}},
+        [](const SpecParamSet &params, std::uint64_t seed) {
+            return makeNodefailHazard(params.get("mtbf", 600.0),
+                                      params.get("mttr", 60.0),
+                                      params.getBool("reboot", true),
+                                      seed);
+        });
+}
+
+std::unique_ptr<HazardEngine>
+makeHazardEngine(const std::string &spec, std::uint64_t seed)
+{
+    return HazardRegistry::instance().make(spec, seed);
+}
+
+bool
+isNoneHazard(const std::string &spec)
+{
+    const std::string body = stripPrefix(spec);
+    return body.empty() || body == "none";
+}
+
+void
+validateHazardSpec(const std::string &spec)
+{
+    makeHazardEngine(spec, 1);
+}
+
+std::string
+canonicalHazardLabel(const std::string &spec)
+{
+    if (isNoneHazard(spec))
+        return "none";
+    return std::string(kPrefix) + stripPrefix(spec);
+}
+
+std::uint64_t
+hazardEngineSeed(std::uint64_t runSeed)
+{
+    // Decorrelated from the trace stream (seed + 100) and the
+    // workload forks: an unrelated additive constant through the
+    // same SplitMix64 finalizer.
+    return splitMix64(runSeed + 0x5851f42d4c957f2dULL);
+}
+
+std::vector<std::string>
+splitHazardList(const std::string &list)
+{
+    return splitSpecList(list, [](const std::string &head) {
+        return head == "hazard" || head == "none" ||
+               HazardRegistry::instance().has(head);
+    });
+}
+
+} // namespace hipster

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Registry for the hazard axis — the sixth registry-backed spec
+ * grammar. Hazard specs ride the shared common/spec_grammar, carry a
+ * canonical `hazard:` prefix so sweep/CSV labels are self-describing,
+ * compose with `+` like traces, and fail fast with catalog-enumerating
+ * errors exactly like the other axes:
+ *
+ *   spec := 'none'
+ *         | ['hazard:'] stage ('+' stage)*
+ *   stage := name [':' key '=' value (',' ...)]
+ *
+ *   none
+ *   hazard:thermal:tdp_cap=0.8,tau=30s
+ *   hazard:nodefail:mtbf=600s,mttr=60s
+ *   hazard:dvfs-lag:latency=5ms,drop=0.01
+ *   hazard:thermal+interference:burst=2
+ *
+ * Every stage draws from its own stream derived from the run seed and
+ * the stage *name*, so composed hazards are bitwise order-independent
+ * and reproducible across jobs=1 vs jobs=N.
+ */
+
+#ifndef HIPSTER_HAZARDS_HAZARD_REGISTRY_HH
+#define HIPSTER_HAZARDS_HAZARD_REGISTRY_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/spec_grammar.hh"
+#include "hazards/hazard.hh"
+
+namespace hipster
+{
+
+/** Catalog entry describing one registered hazard family. */
+struct HazardInfo
+{
+    std::string name;                 ///< grammar head, e.g. "thermal"
+    std::vector<std::string> aliases; ///< alternate heads, e.g. "throttle"
+    std::string summary;              ///< one line for --list-hazards
+    std::vector<SpecParamInfo> params;
+};
+
+/**
+ * Name-keyed hazard factory. A singleton holds the built-ins; custom
+ * hazards registered at startup become available to the CLIs, the
+ * sweep axes and the benches at once.
+ */
+class HazardRegistry
+{
+  public:
+    /** Builds one stage from its validated parameters and the
+     * stage's derived stream seed. */
+    using Factory = std::function<std::unique_ptr<Hazard>(
+        const SpecParamSet &params, std::uint64_t seed)>;
+
+    static HazardRegistry &instance();
+
+    /** Register a hazard; FatalError on duplicate names/aliases. */
+    void add(HazardInfo info, Factory factory);
+
+    /** Whether `name` is a registered family name or alias. */
+    bool has(const std::string &name) const;
+
+    /** All registered hazards, in registration order. */
+    const std::vector<HazardInfo> &entries() const { return entries_; }
+
+    /**
+     * Build the composed engine of a hazard spec (with or without
+     * the `hazard:` prefix), or nullptr for "none"/empty — the
+     * bitwise no-op. Throws FatalError enumerating the catalog on
+     * unknown names and the schema on bad parameters.
+     */
+    std::unique_ptr<HazardEngine> make(const std::string &spec,
+                                       std::uint64_t seed) const;
+
+    /** Human-readable catalog (--list-hazards). */
+    std::string catalogText() const;
+
+  private:
+    HazardRegistry() = default;
+    void registerBuiltins();
+
+    std::vector<HazardInfo> entries_;
+    std::vector<Factory> factories_;
+};
+
+/** Build a hazard engine from a spec via the global registry
+ * (nullptr for "none"/empty). */
+std::unique_ptr<HazardEngine> makeHazardEngine(const std::string &spec,
+                                               std::uint64_t seed);
+
+/** Whether the spec is the no-op hazard ("", "none", "hazard:none"). */
+bool isNoneHazard(const std::string &spec);
+
+/** Fail-fast validation of a hazard spec (builds and discards). */
+void validateHazardSpec(const std::string &spec);
+
+/** The spec with its `hazard:` prefix enforced ("none" stays bare). */
+std::string canonicalHazardLabel(const std::string &spec);
+
+/** The engine seed derived from a run seed (decorrelated from the
+ * trace/workload streams that also fork from the run seed). */
+std::uint64_t hazardEngineSeed(std::uint64_t runSeed);
+
+/** Splits a CLI hazard list (`;` separated; a `,` separates only
+ * before a registered head, the `hazard:` prefix, or `none`). */
+std::vector<std::string> splitHazardList(const std::string &list);
+
+} // namespace hipster
+
+#endif // HIPSTER_HAZARDS_HAZARD_REGISTRY_HH

@@ -22,18 +22,18 @@ constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
 constexpr Seconds kFallbackDuration = 600.0;
 
 double
-parseNumber(const std::string &text, const std::string &spec,
+parseNumber(const std::string &text, const std::string &stage,
             const std::string &what)
 {
     char *end = nullptr;
     const double value = std::strtod(text.c_str(), &end);
     if (text.empty() || end == text.c_str() || *end != '\0')
-        fatal("trace spec '", spec, "': ", what, " '", text,
+        fatal("trace ", stage, ": ", what, " '", text,
               "' is not a number");
     // strtod happily parses "nan"/"inf"; a non-finite argument would
     // poison at()'s finite-and-non-negative invariant downstream.
     if (!std::isfinite(value))
-        fatal("trace spec '", spec, "': ", what, " '", text,
+        fatal("trace ", stage, ": ", what, " '", text,
               "' must be finite");
     return value;
 }
@@ -58,16 +58,19 @@ splitArgs(const std::string &text)
 }
 
 /** Numeric args with per-family defaults: args[i] overrides
- * defaults[i]; an empty arg slot keeps the default. */
+ * defaults[i]; an empty arg slot keeps the default. `stage` names the
+ * rejecting pipeline stage in errors ("family 'mmpp'",
+ * "transform 'scale'") so composed specs point at the culprit. */
 std::vector<double>
 numericArgs(const std::vector<std::string> &args,
-            const std::vector<double> &defaults, const std::string &spec)
+            const std::vector<double> &defaults,
+            const std::string &stage)
 {
     std::vector<double> values = defaults;
     for (std::size_t i = 0; i < args.size(); ++i) {
         if (args[i].empty())
             continue;
-        values[i] = parseNumber(args[i], spec,
+        values[i] = parseNumber(args[i], stage,
                                 "argument " + std::to_string(i + 1));
     }
     return values;
@@ -298,7 +301,8 @@ TraceRegistry::makePipeline(const std::string &pipeline,
     }
     if (familyArgs.size() < family.minArgs ||
         familyArgs.size() > family.maxArgs)
-        fatal("trace spec '", spec, "': '", familyName, "' takes ",
+        fatal("trace spec '", spec, "': family '", familyName,
+              "' takes ",
               family.minArgs == family.maxArgs
                   ? std::to_string(family.minArgs)
                   : std::to_string(family.minArgs) + ".." +
@@ -329,7 +333,7 @@ TraceRegistry::makePipeline(const std::string &pipeline,
         const TraceTransformInfo &info = *it;
         const auto args = splitArgs(argText);
         if (args.size() < info.minArgs || args.size() > info.maxArgs)
-            fatal("trace spec '", spec, "': '", transformName,
+            fatal("trace spec '", spec, "': transform '", transformName,
                   "' takes ",
                   info.minArgs == info.maxArgs
                       ? std::to_string(info.minArgs)
@@ -425,7 +429,7 @@ TraceRegistry::registerBuiltins()
          false, 1, 1, false},
         [](const std::vector<std::string> &args, Seconds,
            std::uint64_t) -> std::shared_ptr<const LoadTrace> {
-            const auto v = numericArgs(args, {0.0}, "constant");
+            const auto v = numericArgs(args, {0.0}, "family 'constant'");
             return std::make_shared<ConstantTrace>(v[0]);
         });
 
@@ -436,7 +440,7 @@ TraceRegistry::registerBuiltins()
         [](const std::vector<std::string> &args, Seconds,
            std::uint64_t) -> std::shared_ptr<const LoadTrace> {
             const auto v =
-                numericArgs(args, {0.50, 1.00, 5.0, 175.0}, "ramp");
+                numericArgs(args, {0.50, 1.00, 5.0, 175.0}, "family 'ramp'");
             return std::make_shared<RampTrace>(v[0], v[1], v[2], v[3]);
         });
 
@@ -446,7 +450,7 @@ TraceRegistry::registerBuiltins()
          "diurnal", true, 0, 2, false},
         [](const std::vector<std::string> &args, Seconds duration,
            std::uint64_t seed) -> std::shared_ptr<const LoadTrace> {
-            const auto v = numericArgs(args, {0.05, 0.95}, "diurnal");
+            const auto v = numericArgs(args, {0.05, 0.95}, "family 'diurnal'");
             return makeNoisyDiurnal(duration, seed, v[0], v[1]);
         });
 
@@ -457,7 +461,7 @@ TraceRegistry::registerBuiltins()
         [](const std::vector<std::string> &args, Seconds duration,
            std::uint64_t) -> std::shared_ptr<const LoadTrace> {
             const auto v =
-                numericArgs(args, {0.7, 0.05, 0.40}, "spike");
+                numericArgs(args, {0.7, 0.05, 0.40}, "family 'spike'");
             auto day =
                 std::make_shared<DiurnalTrace>(duration, 0.05, 0.80);
             return std::make_shared<SpikeTrace>(day, duration * v[0],
@@ -472,7 +476,7 @@ TraceRegistry::registerBuiltins()
         [](const std::vector<std::string> &args, Seconds duration,
            std::uint64_t) -> std::shared_ptr<const LoadTrace> {
             const auto v = numericArgs(
-                args, {0.5, 0.35, duration / 4.0, 0.0}, "sine");
+                args, {0.5, 0.35, duration / 4.0, 0.0}, "family 'sine'");
             return std::make_shared<SineTrace>(v[0], v[1], v[2], v[3]);
         });
 
@@ -484,7 +488,7 @@ TraceRegistry::registerBuiltins()
         [](const std::vector<std::string> &args, Seconds duration,
            std::uint64_t seed) -> std::shared_ptr<const LoadTrace> {
             const auto v =
-                numericArgs(args, {0.15, 0.85, 45.0}, "mmpp");
+                numericArgs(args, {0.15, 0.85, 45.0}, "family 'mmpp'");
             return std::make_shared<MmppTrace>(v[0], v[1], v[2], seed,
                                                duration);
         });
@@ -500,7 +504,7 @@ TraceRegistry::registerBuiltins()
                                        {0.2, 0.95, duration * 0.3,
                                         duration * 0.05,
                                         duration * 0.15, 0.0},
-                                       "flashcrowd");
+                                       "family 'flashcrowd'");
             return std::make_shared<FlashCrowdTrace>(v[0], v[1], v[2],
                                                      v[3], v[4], v[5]);
         });
@@ -519,7 +523,7 @@ TraceRegistry::registerBuiltins()
          false, 1, 1},
         [](std::shared_ptr<const LoadTrace> inner,
            const std::vector<std::string> &args, std::uint64_t) {
-            const auto v = numericArgs(args, {1.0}, "scale");
+            const auto v = numericArgs(args, {1.0}, "transform 'scale'");
             return std::static_pointer_cast<const LoadTrace>(
                 std::make_shared<ScaleTrace>(std::move(inner), v[0]));
         });
@@ -529,7 +533,7 @@ TraceRegistry::registerBuiltins()
          "add a constant (clamped at 0)", false, 1, 1},
         [](std::shared_ptr<const LoadTrace> inner,
            const std::vector<std::string> &args, std::uint64_t) {
-            const auto v = numericArgs(args, {0.0}, "offset");
+            const auto v = numericArgs(args, {0.0}, "transform 'offset'");
             return std::static_pointer_cast<const LoadTrace>(
                 std::make_shared<OffsetTrace>(std::move(inner), v[0]));
         });
@@ -539,7 +543,7 @@ TraceRegistry::registerBuiltins()
          2, 2},
         [](std::shared_ptr<const LoadTrace> inner,
            const std::vector<std::string> &args, std::uint64_t) {
-            const auto v = numericArgs(args, {0.0, 1.0}, "clip");
+            const auto v = numericArgs(args, {0.0, 1.0}, "transform 'clip'");
             // Fail fast with the band spelled out: an inverted band
             // would otherwise clamp every sample to a constant (or
             // worse — std::clamp with hi < lo is undefined).
@@ -556,7 +560,7 @@ TraceRegistry::registerBuiltins()
          "multiplicative per-interval Gaussian noise", true, 1, 3},
         [](std::shared_ptr<const LoadTrace> inner,
            const std::vector<std::string> &args, std::uint64_t seed) {
-            const auto v = numericArgs(args, {0.05, 1.0, 1.2}, "noise");
+            const auto v = numericArgs(args, {0.05, 1.0, 1.2}, "transform 'noise'");
             if (v[2] < 0.0)
                 fatal("trace transform 'noise': cap ", v[2],
                       " is negative — the load clamp is [0, cap]");
@@ -571,7 +575,7 @@ TraceRegistry::registerBuiltins()
         [](std::shared_ptr<const LoadTrace> inner,
            const std::vector<std::string> &args, std::uint64_t seed) {
             const auto v =
-                numericArgs(args, {0.05, 1.0, 1.2}, "jitter");
+                numericArgs(args, {0.05, 1.0, 1.2}, "transform 'jitter'");
             if (v[2] < 0.0)
                 fatal("trace transform 'jitter': cap ", v[2],
                       " is negative — the load clamp is [0, cap]");
@@ -585,7 +589,7 @@ TraceRegistry::registerBuiltins()
          "loop the first <period> seconds forever", false, 1, 1},
         [](std::shared_ptr<const LoadTrace> inner,
            const std::vector<std::string> &args, std::uint64_t) {
-            const auto v = numericArgs(args, {60.0}, "repeat");
+            const auto v = numericArgs(args, {60.0}, "transform 'repeat'");
             return std::static_pointer_cast<const LoadTrace>(
                 std::make_shared<RepeatTrace>(std::move(inner), v[0]));
         });

@@ -134,6 +134,18 @@ TEST(SpecGrammar, ErrorsEnumerateTheSchema)
     EXPECT_NE(error.find("duration="), std::string::npos) << error;
 }
 
+TEST(SpecGrammar, UnknownKeyNamesTheRejectingStage)
+{
+    // Composed specs (hazard:a+b, trace pipelines) carry several
+    // schemas; the unknown-key error must say which stage — kind and
+    // name — refused the key, not just echo the spec text.
+    const std::string error = errorOf("t:unknown=1");
+    EXPECT_NE(error.find("unknown key 'unknown'"), std::string::npos)
+        << error;
+    EXPECT_NE(error.find("rejected by test 't'"), std::string::npos)
+        << error;
+}
+
 TEST(SpecGrammarTime, RegistryEndToEndFailsFast)
 {
     // Through a real registry consumer: the workload grammar rides on

@@ -193,6 +193,90 @@ TEST(Runner, RejectsBadConstruction)
                  FatalError);
 }
 
+TEST(RunnerStepping, ZeroDurationRunIsEmpty)
+{
+    ExperimentRunner runner(Platform::junoR1(), memcachedWorkload(),
+                            std::make_shared<ConstantTrace>(0.5), 1);
+    StaticPolicy policy = StaticPolicy::allBig(runner.platform());
+    const auto result = runner.run(policy, 0.0);
+    EXPECT_TRUE(result.series.empty());
+    EXPECT_EQ(result.policyName, "Static(all-big)");
+    EXPECT_DOUBLE_EQ(result.summary.energy, 0.0);
+    // The runner is reusable after an empty run.
+    EXPECT_EQ(runner.run(policy, 5.0).series.size(), 5u);
+}
+
+TEST(RunnerStepping, FinishWithoutStepYieldsEmptyResult)
+{
+    ExperimentRunner runner(Platform::junoR1(), memcachedWorkload(),
+                            std::make_shared<ConstantTrace>(0.5), 1);
+    StaticPolicy policy = StaticPolicy::allBig(runner.platform());
+    runner.beginRun(policy);
+    EXPECT_EQ(runner.stepsTaken(), 0u);
+    const auto result = runner.finishRun();
+    EXPECT_TRUE(result.series.empty());
+    EXPECT_DOUBLE_EQ(result.summary.energy, 0.0);
+}
+
+TEST(RunnerStepping, OverrideReplacesTheTraceIncludingFinalInterval)
+{
+    // The trace offers 0.5; overrides must win on any interval they
+    // are passed for — including the last one before finishRun.
+    ExperimentRunner runner(Platform::junoR1(), memcachedWorkload(),
+                            std::make_shared<ConstantTrace>(0.5), 1);
+    StaticPolicy policy = StaticPolicy::allBig(runner.platform());
+    runner.beginRun(policy, 3);
+    EXPECT_DOUBLE_EQ(runner.stepNext(policy).offeredLoad, 0.5);
+    EXPECT_DOUBLE_EQ(runner.stepNext(policy, 0.25).offeredLoad, 0.25);
+    EXPECT_DOUBLE_EQ(runner.stepNext(policy, 0.75).offeredLoad, 0.75);
+    const auto result = runner.finishRun();
+    ASSERT_EQ(result.series.size(), 3u);
+    EXPECT_DOUBLE_EQ(result.series[2].offeredLoad, 0.75);
+}
+
+TEST(RunnerStepping, LifecycleGuardsAreFatal)
+{
+    ExperimentRunner runner(Platform::junoR1(), memcachedWorkload(),
+                            std::make_shared<ConstantTrace>(0.5), 1);
+    StaticPolicy policy = StaticPolicy::allBig(runner.platform());
+    EXPECT_THROW(runner.stepNext(policy), FatalError);
+    EXPECT_THROW(runner.finishRun(), FatalError);
+    runner.beginRun(policy);
+    EXPECT_THROW(runner.beginRun(policy), FatalError);
+    // A guard trip must not wedge the active run.
+    runner.stepNext(policy);
+    EXPECT_EQ(runner.finishRun().series.size(), 1u);
+}
+
+TEST(RunnerStepping, SteppedRunMatchesRunBitwise)
+{
+    auto make = [] {
+        return ExperimentRunner(Platform::junoR1(), memcachedWorkload(),
+                                diurnalTrace(40.0, 9), 21);
+    };
+    ExperimentRunner whole = make();
+    OctopusManPolicy wholePolicy(whole.platform(), {});
+    const auto batch = whole.run(wholePolicy, 40.0);
+
+    ExperimentRunner stepped = make();
+    OctopusManPolicy steppedPolicy(stepped.platform(), {});
+    stepped.beginRun(steppedPolicy, 40);
+    for (std::size_t k = 0; k < 40; ++k)
+        stepped.stepNext(steppedPolicy);
+    const auto incremental = stepped.finishRun();
+
+    ASSERT_EQ(batch.series.size(), incremental.series.size());
+    for (std::size_t i = 0; i < batch.series.size(); ++i) {
+        EXPECT_DOUBLE_EQ(batch.series[i].tailLatency,
+                         incremental.series[i].tailLatency);
+        EXPECT_DOUBLE_EQ(batch.series[i].power,
+                         incremental.series[i].power);
+        EXPECT_EQ(batch.series[i].config, incremental.series[i].config);
+    }
+    EXPECT_DOUBLE_EQ(batch.summary.energy, incremental.summary.energy);
+    EXPECT_EQ(batch.migrations, incremental.migrations);
+}
+
 TEST(Scenario, FactoriesAndDefaults)
 {
     Platform platform(Platform::junoR1());

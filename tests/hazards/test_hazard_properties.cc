@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Property tests for the hazard engine: event streams are pure
+ * functions of the seed (deterministic, query-order independent,
+ * monotone in time), composed hazards commute bitwise because stage
+ * streams are keyed by the family name, `hazard:none` runs are
+ * bit-identical to hazard-free runs, and nodefail actually blanks
+ * the failed intervals.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "experiments/experiment_spec.hh"
+#include "hazards/hazard_registry.hh"
+
+namespace hipster
+{
+namespace
+{
+
+/** FNV-1a over raw bytes. */
+std::uint64_t
+fnv1a(const void *data, std::size_t len, std::uint64_t hash)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+        hash ^= bytes[i];
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+std::uint64_t
+hashDouble(double value, std::uint64_t hash)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    return fnv1a(&bits, sizeof(bits), hash);
+}
+
+/** Bitwise fingerprint of a whole run: summary + the per-interval
+ * fields the hazards can move. */
+std::uint64_t
+runFingerprint(const ExperimentResult &result)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    h = hashDouble(result.summary.qosGuarantee, h);
+    h = hashDouble(result.summary.energy, h);
+    h = hashDouble(result.summary.meanPower, h);
+    h = hashDouble(result.summary.meanThroughput, h);
+    h = fnv1a(&result.migrations, sizeof(result.migrations), h);
+    h = fnv1a(&result.dvfsTransitions, sizeof(result.dvfsTransitions),
+              h);
+    for (std::size_t i = 0; i < result.series.size(); ++i) {
+        const IntervalMetrics m = result.series[i];
+        h = hashDouble(m.tailLatency, h);
+        h = hashDouble(m.power, h);
+        h = hashDouble(m.throughput, h);
+        h = hashDouble(m.config.bigFreq, h);
+        h = hashDouble(m.config.smallFreq, h);
+        h = fnv1a(&m.config.nBig, sizeof(m.config.nBig), h);
+        h = fnv1a(&m.config.nSmall, sizeof(m.config.nSmall), h);
+    }
+    return h;
+}
+
+ExperimentResult
+runWithHazard(const std::string &hazard, std::uint64_t seed = 11,
+              const std::string &trace = "diurnal")
+{
+    ExperimentSpec spec;
+    spec.workload = "memcached";
+    spec.platform = "juno";
+    spec.trace = trace;
+    spec.policy = "hipster-in:learn=30";
+    spec.hazard = hazard;
+    spec.duration = 90.0;
+    spec.seed = seed;
+    return spec.run();
+}
+
+/** The merged per-interval effects of a freshly built engine over
+ * `n` one-second intervals, with a flat synthetic power feedback. */
+std::vector<HazardEffects>
+effectStream(const std::string &spec, std::uint64_t seed, std::size_t n)
+{
+    auto engine = makeHazardEngine(spec, seed);
+    engine->bind(12.0);
+    std::vector<HazardEffects> fx;
+    for (std::size_t k = 0; k < n; ++k) {
+        fx.push_back(engine->intervalEffects(
+            k, static_cast<Seconds>(k), 1.0));
+        engine->observePower(fx.back().down ? 0.0 : 10.0, 1.0);
+    }
+    return fx;
+}
+
+bool
+sameEffects(const HazardEffects &a, const HazardEffects &b)
+{
+    return a.down == b.down && a.reboot == b.reboot &&
+           a.oppCapSteps == b.oppCapSteps &&
+           a.dvfsLatency == b.dvfsLatency &&
+           a.dvfsDenied == b.dvfsDenied && a.pressure == b.pressure;
+}
+
+TEST(HazardTimelineProperties, SwitchesAreSeedDeterministic)
+{
+    HazardTimeline a(42, 60.0, 20.0);
+    HazardTimeline b(42, 60.0, 20.0);
+    a.activeAt(500.0);
+    b.activeAt(500.0);
+    EXPECT_EQ(a.switches(), b.switches());
+    EXPECT_FALSE(a.switches().empty());
+
+    HazardTimeline c(43, 60.0, 20.0);
+    c.activeAt(500.0);
+    EXPECT_NE(a.switches(), c.switches());
+}
+
+TEST(HazardTimelineProperties, SwitchesAreStrictlyIncreasing)
+{
+    HazardTimeline timeline(7, 30.0, 10.0);
+    timeline.activeAt(2000.0);
+    const std::vector<Seconds> &switches = timeline.switches();
+    ASSERT_GE(switches.size(), 2u);
+    for (std::size_t i = 1; i < switches.size(); ++i)
+        EXPECT_LT(switches[i - 1], switches[i]);
+}
+
+TEST(HazardTimelineProperties, StateIsQueryOrderIndependent)
+{
+    // A far-future query first, then early lookups, must agree with
+    // a fresh timeline queried in time order: the switch times are a
+    // pure function of the seed, never of the query pattern.
+    HazardTimeline scattered(99, 45.0, 15.0);
+    HazardTimeline ordered(99, 45.0, 15.0);
+    scattered.activeAt(900.0);
+    for (Seconds t = 0.0; t < 900.0; t += 1.0)
+        EXPECT_EQ(scattered.activeAt(t), ordered.activeAt(t)) << t;
+}
+
+TEST(HazardTimelineProperties, ResetReproducesTheStream)
+{
+    HazardTimeline timeline(5, 20.0, 20.0);
+    timeline.activeAt(300.0);
+    const std::vector<Seconds> before = timeline.switches();
+    timeline.reset();
+    timeline.activeAt(300.0);
+    EXPECT_EQ(timeline.switches(), before);
+}
+
+TEST(HazardEngineProperties, EffectStreamsAreSeedDeterministic)
+{
+    const char *spec =
+        "hazard:nodefail:mtbf=40s,mttr=15s+dvfs-lag:drop=0.2"
+        "+interference:burst=1,on=10s,off=20s";
+    const auto a = effectStream(spec, 1234, 300);
+    const auto b = effectStream(spec, 1234, 300);
+    for (std::size_t k = 0; k < a.size(); ++k)
+        EXPECT_TRUE(sameEffects(a[k], b[k])) << "interval " << k;
+
+    // A different engine seed moves the streams.
+    const auto c = effectStream(spec, 1235, 300);
+    bool differs = false;
+    for (std::size_t k = 0; k < a.size(); ++k)
+        differs |= !sameEffects(a[k], c[k]);
+    EXPECT_TRUE(differs);
+}
+
+TEST(HazardEngineProperties, ComposedStagesCommuteBitwise)
+{
+    // Stage streams are keyed by the family *name*, so the composed
+    // effects are independent of spec order.
+    const auto ab = effectStream(
+        "hazard:dvfs-lag:drop=0.3+interference:burst=2,on=15s,off=30s",
+        777, 400);
+    const auto ba = effectStream(
+        "hazard:interference:burst=2,on=15s,off=30s+dvfs-lag:drop=0.3",
+        777, 400);
+    for (std::size_t k = 0; k < ab.size(); ++k)
+        EXPECT_TRUE(sameEffects(ab[k], ba[k])) << "interval " << k;
+}
+
+TEST(HazardEngineProperties, ComposedRunsCommuteBitwise)
+{
+    // End-to-end: the full closed loop under a+b equals b+a bitwise.
+    const auto ab = runWithHazard(
+        "hazard:thermal:tdp_cap=0.6+interference:burst=2,on=10s,off=20s");
+    const auto ba = runWithHazard(
+        "hazard:interference:burst=2,on=10s,off=20s+thermal:tdp_cap=0.6");
+    EXPECT_EQ(runFingerprint(ab), runFingerprint(ba));
+}
+
+TEST(HazardEngineProperties, NoneIsBitwiseIdenticalToNoHazard)
+{
+    ExperimentSpec bare;
+    bare.workload = "memcached";
+    bare.platform = "juno";
+    bare.trace = "diurnal";
+    bare.policy = "hipster-in:learn=30";
+    bare.duration = 90.0;
+    bare.seed = 11;
+    const auto withoutAxis = bare.run();
+    const auto withNone = runWithHazard("none");
+    const auto withPrefixedNone = runWithHazard("hazard:none");
+    EXPECT_EQ(runFingerprint(withoutAxis), runFingerprint(withNone));
+    EXPECT_EQ(runFingerprint(withoutAxis),
+              runFingerprint(withPrefixedNone));
+}
+
+TEST(HazardEngineProperties, HazardsActuallyChangeTheRun)
+{
+    const auto clean = runWithHazard("none");
+    for (const char *hazard :
+         {"hazard:thermal:tdp_cap=0.5,tau=10s",
+          "hazard:dvfs-lag:latency=50ms,drop=0.3",
+          "hazard:interference:burst=3,on=20s,off=20s",
+          "hazard:nodefail:mtbf=30s,mttr=10s"}) {
+        const auto hazarded = runWithHazard(hazard);
+        EXPECT_NE(runFingerprint(clean), runFingerprint(hazarded))
+            << hazard;
+    }
+}
+
+TEST(HazardEngineProperties, NodefailBlanksDownIntervals)
+{
+    const auto result = runWithHazard(
+        "hazard:nodefail:mtbf=30s,mttr=15s", /*seed=*/3);
+    std::size_t downIntervals = 0;
+    for (std::size_t i = 0; i < result.series.size(); ++i) {
+        const IntervalMetrics m = result.series[i];
+        if (m.power == 0.0) {
+            ++downIntervals;
+            EXPECT_DOUBLE_EQ(m.throughput, 0.0);
+            EXPECT_DOUBLE_EQ(m.energy, 0.0);
+            EXPECT_DOUBLE_EQ(m.offeredLoad, 0.0);
+        }
+    }
+    // With MTBF 30 s over 90 s, failures are all but certain.
+    EXPECT_GT(downIntervals, 0u);
+    EXPECT_LT(downIntervals, result.series.size());
+}
+
+TEST(HazardEngineProperties, ThermalThrottlesAndReleasesWithPower)
+{
+    // Sustained power over the budget ramps the OPP cap up to the
+    // step limit; cooling off releases it again, one step at a time.
+    auto engine =
+        makeHazardEngine("hazard:thermal:tdp_cap=0.5,tau=5s,steps=4", 1);
+    engine->bind(12.0); // budget = 6 W
+    std::uint32_t peak = 0;
+    for (std::size_t k = 0; k < 60; ++k) {
+        const HazardEffects fx = engine->intervalEffects(
+            k, static_cast<Seconds>(k), 1.0);
+        peak = std::max(peak, fx.oppCapSteps);
+        engine->observePower(10.0, 1.0); // target 10/6 > 1: heats up
+    }
+    EXPECT_EQ(peak, 4u);
+    for (std::size_t k = 60; k < 160; ++k)
+        engine->observePower(0.5, 1.0); // cools far below release
+    const HazardEffects cooled =
+        engine->intervalEffects(160, 160.0, 1.0);
+    EXPECT_EQ(cooled.oppCapSteps, 0u);
+}
+
+} // namespace
+} // namespace hipster

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Grammar and catalog tests for the hazard registry — the sixth
+ * registry-backed spec axis. Focus: the `hazard:` prefix and '+'
+ * composition grammar, aliases, the "none" no-op rules, fail-fast
+ * catalog-enumerating errors (including the stage-naming unknown-key
+ * message), and spec-aware CLI list splitting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/logging.hh"
+#include "hazards/hazard_registry.hh"
+
+namespace hipster
+{
+namespace
+{
+
+std::string
+errorOf(const std::string &spec)
+{
+    try {
+        validateHazardSpec(spec);
+    } catch (const FatalError &e) {
+        return e.what();
+    }
+    return "";
+}
+
+TEST(HazardRegistryCatalog, BuiltinsAndAliasesAreRegistered)
+{
+    const HazardRegistry &registry = HazardRegistry::instance();
+    for (const char *name :
+         {"thermal", "dvfs-lag", "interference", "nodefail"})
+        EXPECT_TRUE(registry.has(name)) << name;
+    for (const char *alias :
+         {"throttle", "dvfs", "noisy-neighbor", "crash"})
+        EXPECT_TRUE(registry.has(alias)) << alias;
+    EXPECT_FALSE(registry.has("meteor"));
+    EXPECT_GE(registry.entries().size(), 4u);
+}
+
+TEST(HazardRegistryCatalog, CatalogTextListsEverything)
+{
+    const std::string catalog =
+        HazardRegistry::instance().catalogText();
+    EXPECT_NE(catalog.find("none"), std::string::npos);
+    for (const HazardInfo &e : HazardRegistry::instance().entries()) {
+        EXPECT_NE(catalog.find("hazard:" + e.name), std::string::npos)
+            << e.name;
+        for (const std::string &alias : e.aliases)
+            EXPECT_NE(catalog.find("(alias: " + alias + ")"),
+                      std::string::npos)
+                << alias;
+        for (const SpecParamInfo &p : e.params)
+            EXPECT_NE(catalog.find(p.key + "="), std::string::npos)
+                << e.name << ":" << p.key;
+    }
+}
+
+TEST(HazardRegistryGrammar, NoneIsTheNullEngine)
+{
+    EXPECT_TRUE(isNoneHazard(""));
+    EXPECT_TRUE(isNoneHazard("none"));
+    EXPECT_TRUE(isNoneHazard("hazard:none"));
+    EXPECT_FALSE(isNoneHazard("thermal"));
+    EXPECT_FALSE(isNoneHazard("hazard:thermal"));
+    EXPECT_EQ(makeHazardEngine("none", 1), nullptr);
+    EXPECT_EQ(makeHazardEngine("", 1), nullptr);
+    EXPECT_EQ(makeHazardEngine("hazard:none", 1), nullptr);
+}
+
+TEST(HazardRegistryGrammar, CanonicalLabelEnforcesThePrefix)
+{
+    EXPECT_EQ(canonicalHazardLabel("none"), "none");
+    EXPECT_EQ(canonicalHazardLabel("hazard:none"), "none");
+    EXPECT_EQ(canonicalHazardLabel("thermal"), "hazard:thermal");
+    EXPECT_EQ(canonicalHazardLabel("hazard:thermal"), "hazard:thermal");
+    EXPECT_EQ(canonicalHazardLabel("thermal+interference:burst=2"),
+              "hazard:thermal+interference:burst=2");
+}
+
+TEST(HazardRegistryGrammar, BuildsComposedEnginesInSpecOrder)
+{
+    const auto engine = makeHazardEngine(
+        "hazard:thermal:tdp_cap=0.7+interference:burst=2", 7);
+    ASSERT_NE(engine, nullptr);
+    ASSERT_EQ(engine->stages().size(), 2u);
+    EXPECT_EQ(engine->stages()[0]->name(), "thermal");
+    EXPECT_EQ(engine->stages()[1]->name(), "interference");
+    EXPECT_EQ(engine->spec(),
+              "hazard:thermal:tdp_cap=0.7+interference:burst=2");
+}
+
+TEST(HazardRegistryGrammar, AliasesResolveToTheFamily)
+{
+    const auto engine = makeHazardEngine("hazard:throttle", 7);
+    ASSERT_NE(engine, nullptr);
+    ASSERT_EQ(engine->stages().size(), 1u);
+    EXPECT_EQ(engine->stages()[0]->name(), "thermal");
+    // An alias of an already-used family is still a duplicate.
+    EXPECT_THROW(validateHazardSpec("hazard:thermal+throttle"),
+                 FatalError);
+}
+
+TEST(HazardRegistryErrors, UnknownHazardEnumeratesTheCatalog)
+{
+    const std::string error = errorOf("hazard:meteor");
+    EXPECT_NE(error.find("unknown hazard 'meteor'"), std::string::npos)
+        << error;
+    for (const HazardInfo &e : HazardRegistry::instance().entries())
+        EXPECT_NE(error.find(e.name), std::string::npos) << error;
+    EXPECT_NE(error.find("none"), std::string::npos) << error;
+}
+
+TEST(HazardRegistryErrors, NoneCannotBeComposed)
+{
+    const std::string error = errorOf("hazard:none+thermal");
+    EXPECT_NE(error.find("'none' cannot be composed"),
+              std::string::npos)
+        << error;
+    EXPECT_THROW(validateHazardSpec("hazard:thermal+none"),
+                 FatalError);
+}
+
+TEST(HazardRegistryErrors, DuplicateFamilyIsRejected)
+{
+    const std::string error = errorOf("hazard:thermal+thermal");
+    EXPECT_NE(error.find("more than once"), std::string::npos)
+        << error;
+}
+
+TEST(HazardRegistryErrors, UnknownKeyNamesTheRejectingStage)
+{
+    // In a composed spec the unknown-key error must say which stage
+    // refused the key — 'burst' is an interference parameter, and the
+    // thermal stage must say so when it gets it.
+    const std::string error =
+        errorOf("hazard:thermal:burst=2+interference");
+    EXPECT_NE(error.find("unknown key 'burst'"), std::string::npos)
+        << error;
+    EXPECT_NE(error.find("rejected by hazard 'thermal'"),
+              std::string::npos)
+        << error;
+    // The schema of the rejecting stage is enumerated.
+    EXPECT_NE(error.find("tdp_cap="), std::string::npos) << error;
+}
+
+TEST(HazardRegistryErrors, SchemaRangesAreEnforced)
+{
+    EXPECT_THROW(validateHazardSpec("hazard:thermal:tdp_cap=99"),
+                 FatalError);
+    EXPECT_THROW(validateHazardSpec("hazard:thermal:steps=1.5"),
+                 FatalError);
+    EXPECT_THROW(validateHazardSpec("hazard:nodefail:reboot=2"),
+                 FatalError);
+    EXPECT_THROW(validateHazardSpec("hazard:dvfs-lag:drop=1.5"),
+                 FatalError);
+    EXPECT_THROW(validateHazardSpec("hazard:interference:on=0"),
+                 FatalError);
+    // Time suffixes normalize like every other axis.
+    EXPECT_NO_THROW(validateHazardSpec(
+        "hazard:nodefail:mtbf=600s,mttr=60000ms"));
+    EXPECT_NO_THROW(
+        validateHazardSpec("hazard:dvfs-lag:latency=5ms"));
+}
+
+TEST(HazardRegistrySplit, ListSplittingIsSpecAware)
+{
+    // ';' always separates; ',' separates only before a head.
+    const auto simple = splitHazardList("none;hazard:thermal");
+    ASSERT_EQ(simple.size(), 2u);
+    EXPECT_EQ(simple[0], "none");
+    EXPECT_EQ(simple[1], "hazard:thermal");
+
+    // key=value commas inside a spec survive.
+    const auto params = splitHazardList(
+        "hazard:thermal:tdp_cap=0.8,tau=30s,hazard:nodefail:mtbf=60s");
+    ASSERT_EQ(params.size(), 2u);
+    EXPECT_EQ(params[0], "hazard:thermal:tdp_cap=0.8,tau=30s");
+    EXPECT_EQ(params[1], "hazard:nodefail:mtbf=60s");
+
+    // Bare heads and 'none' also start a new spec after a comma.
+    const auto bare = splitHazardList("none,thermal,crash");
+    ASSERT_EQ(bare.size(), 3u);
+    EXPECT_EQ(bare[1], "thermal");
+    EXPECT_EQ(bare[2], "crash");
+}
+
+} // namespace
+} // namespace hipster

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Sweep-level hazard tests: the hazard axis expands like every other
+ * axis, jobs=1 and jobs=4 campaigns with hazards on every axis are
+ * bitwise-identical, and the CSV/table hazard column appears exactly
+ * when a campaign sweeps a non-"none" hazard — so hazard-free
+ * campaigns keep their historical byte layout.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "common/csv.hh"
+#include "common/logging.hh"
+#include "experiments/sweep.hh"
+
+namespace hipster
+{
+namespace
+{
+
+SweepSpec
+hazardSweepSpec()
+{
+    SweepSpec spec;
+    spec.workloads = {"memcached"};
+    spec.platforms = {"juno"};
+    spec.traces = {"diurnal", "flashcrowd:0.2,0.9,20,5,10"};
+    spec.policies = {"hipster-in:learn=20", "static-big"};
+    spec.hazards = {"none", "hazard:thermal:tdp_cap=0.6,tau=10s",
+                    "hazard:nodefail:mtbf=30s,mttr=10s",
+                    "hazard:dvfs-lag:drop=0.2+interference:burst=2"};
+    spec.seeds = 2;
+    spec.masterSeed = 5;
+    spec.duration = 45.0;
+    return spec;
+}
+
+std::string
+runsCsv(const SweepResults &results)
+{
+    std::ostringstream out;
+    CsvWriter csv(out);
+    writeRunsCsv(csv, results);
+    return out.str();
+}
+
+std::string
+aggregateCsv(const SweepResults &results)
+{
+    std::ostringstream out;
+    CsvWriter csv(out);
+    writeAggregateCsv(csv, results);
+    return out.str();
+}
+
+TEST(HazardSweep, ExpansionPutsHazardBetweenPolicyAndSeed)
+{
+    const SweepEngine engine(hazardSweepSpec());
+    const auto jobs = engine.expandJobs();
+    // 1 workload x 1 platform x 2 traces x 2 policies x 4 hazards x
+    // 2 seeds.
+    ASSERT_EQ(jobs.size(), 32u);
+    EXPECT_EQ(jobs[0].hazard, "none");
+    EXPECT_EQ(jobs[0].seedIndex, 0u);
+    EXPECT_EQ(jobs[1].hazard, "none");
+    EXPECT_EQ(jobs[1].seedIndex, 1u);
+    EXPECT_EQ(jobs[2].hazard, "hazard:thermal:tdp_cap=0.6,tau=10s");
+    // Common random numbers: every cell sees the same seed set.
+    EXPECT_EQ(jobs[0].seed, jobs[2].seed);
+    // The cell index advances with the hazard, not the seed.
+    EXPECT_EQ(jobs[0].cell, jobs[1].cell);
+    EXPECT_NE(jobs[0].cell, jobs[2].cell);
+}
+
+TEST(HazardSweep, ParallelAndSerialAreBitwiseIdentical)
+{
+    const SweepEngine engine(hazardSweepSpec());
+    const SweepResults serial = engine.run(1);
+    const SweepResults parallel = engine.run(4);
+    EXPECT_EQ(runsCsv(serial), runsCsv(parallel));
+    EXPECT_EQ(aggregateCsv(serial), aggregateCsv(parallel));
+    EXPECT_EQ(serial.runs.size(), 32u);
+    EXPECT_EQ(serial.cells.size(), 16u);
+}
+
+TEST(HazardSweep, HazardColumnAppearsOnlyWhenSwept)
+{
+    SweepSpec withHazards = hazardSweepSpec();
+    withHazards.traces = {"diurnal"};
+    withHazards.policies = {"static-big"};
+    withHazards.hazards = {"none", "hazard:nodefail:mtbf=30s,mttr=10s"};
+    withHazards.seeds = 1;
+    const SweepResults hazarded = SweepEngine(withHazards).run(1);
+    EXPECT_NE(runsCsv(hazarded).find(",hazard,"), std::string::npos);
+    EXPECT_NE(aggregateCsv(hazarded).find(",hazard,"),
+              std::string::npos);
+
+    SweepSpec clean = withHazards;
+    clean.hazards = {"none"};
+    const SweepResults plain = SweepEngine(clean).run(1);
+    EXPECT_EQ(runsCsv(plain).find("hazard"), std::string::npos);
+    EXPECT_EQ(aggregateCsv(plain).find("hazard"), std::string::npos);
+}
+
+TEST(HazardSweep, InvalidHazardAxisFailsBeforeAnyRun)
+{
+    SweepSpec bad = hazardSweepSpec();
+    bad.hazards = {"hazard:meteor"};
+    EXPECT_THROW(SweepEngine{bad}, FatalError);
+
+    SweepSpec empty = hazardSweepSpec();
+    empty.hazards = {};
+    EXPECT_THROW(SweepEngine{empty}, FatalError);
+}
+
+} // namespace
+} // namespace hipster

@@ -110,6 +110,47 @@ TEST(TraceRegistryErrors, ArgumentCountAndTypeAreChecked)
     EXPECT_THROW(makeTrace("|scale:2", kDuration, 1), FatalError);
 }
 
+TEST(TraceRegistryErrors, ErrorsNameTheRejectingStage)
+{
+    // A composed pipeline carries several stages; the error must say
+    // whether the family or a transform rejected the argument, and
+    // which one.
+    try {
+        makeTrace("mmpp:0.2,x,45|scale:0.8", kDuration, 1);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("family 'mmpp'"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("is not a number"), std::string::npos)
+            << msg;
+    }
+    try {
+        makeTrace("diurnal|scale:x", kDuration, 1);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("transform 'scale'"), std::string::npos)
+            << msg;
+    }
+    // Arity errors name the stage too.
+    try {
+        makeTrace("diurnal|clip:0.5", kDuration, 1);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("transform 'clip'"),
+                  std::string::npos)
+            << e.what();
+    }
+    try {
+        makeTrace("constant:0.5,0.6", kDuration, 1);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("family 'constant'"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
 TEST(TraceRegistrySpecs, DefaultsMatchTheLegacyFactories)
 {
     // "ramp" must stay the Figure 8 stimulus.

@@ -26,6 +26,10 @@
  *                            (default memcached)
  *   --traces <t1,...>        fleet trace specs (default diurnal;
  *                            --trace is an alias)
+ *   --hazards <h1,...>       hazard specs applied per node (default
+ *                            none; --hazard is an alias), e.g.
+ *                            hazard:nodefail:mtbf=300s,mttr=45s
+ *   --list-hazards           print the hazard catalog and exit
  *   --duration <seconds>     run length (default: workload diurnal)
  *   --scale <f>              duration scale factor (default 1.0)
  *   --seeds <n>              repetitions per cell (default 3)
@@ -46,6 +50,7 @@
 #include "common/thread_pool.hh"
 #include "fleet/dispatcher_registry.hh"
 #include "fleet/fleet_sweep.hh"
+#include "hazards/hazard_registry.hh"
 #include "loadgen/trace_registry.hh"
 
 namespace
@@ -75,14 +80,17 @@ usage(const char *argv0, int code)
     std::printf(
         "usage: %s [--nodes <n1;n2;...>] [--dispatchers <d1;...>]\n"
         "          [--list-dispatchers] [--workload <w>]\n"
-        "          [--traces <t1,...>] [--duration <s>] [--scale <f>]\n"
+        "          [--traces <t1,...>] [--hazards <h1,...>]\n"
+        "          [--list-hazards] [--duration <s>] [--scale <f>]\n"
         "          [--seeds <n>] [--master-seed <n>] [--jobs <n>]\n"
         "          [--csv <path>] [--agg-csv <path>] [--quiet]\n"
         "nodes are platform[@policy] bindings, ';'-separated, e.g.\n"
         "  --nodes \"juno@hipster-in;hetero:big=2,little=8@static-big\"\n"
         "dispatchers use the dispatch: grammar, e.g.\n"
         "  --dispatchers \"dispatch:round-robin;dispatch:cp:quanta=128\"\n"
-        "see --list-dispatchers for the catalog\n",
+        "hazards use the hazard: grammar, e.g.\n"
+        "  --hazards \"none;hazard:nodefail:mtbf=300s,mttr=45s\"\n"
+        "see --list-dispatchers / --list-hazards for the catalogs\n",
         argv0);
     std::exit(code);
 }
@@ -125,6 +133,13 @@ parse(int argc, char **argv)
             options.spec.base.workload = need(i);
         } else if (arg == "--trace" || arg == "--traces") {
             options.spec.traces = splitTraceList(need(i));
+        } else if (arg == "--hazard" || arg == "--hazards") {
+            options.spec.hazards = splitHazardList(need(i));
+        } else if (arg == "--list-hazards") {
+            std::fputs(
+                HazardRegistry::instance().catalogText().c_str(),
+                stdout);
+            std::exit(0);
         } else if (arg == "--duration") {
             options.spec.base.duration = std::atof(need(i));
         } else if (arg == "--scale") {
@@ -161,14 +176,15 @@ main(int argc, char **argv)
     try {
         const std::size_t total = options.spec.dispatchers.size() *
                                   options.spec.traces.size() *
+                                  options.spec.hazards.size() *
                                   options.spec.seeds;
         std::printf(
             "fleet: %zu nodes, %zu runs (%zu dispatchers x %zu traces "
-            "x %zu seeds), %zu jobs\n",
+            "x %zu hazards x %zu seeds), %zu jobs\n",
             options.spec.base.nodes.size(), total,
             options.spec.dispatchers.size(),
-            options.spec.traces.size(), options.spec.seeds,
-            options.jobs);
+            options.spec.traces.size(), options.spec.hazards.size(),
+            options.spec.seeds, options.jobs);
         for (const FleetNodeSpec &node : options.spec.base.nodes)
             std::printf("  node %s\n", node.label().c_str());
 

@@ -76,6 +76,35 @@ const char *const kFleetDispatchers[] = {
     "dispatch:cp",
 };
 
+/** The pinned hazard matrix: one scenario per stochastic hazard
+ * family at node level (thermal under the flash crowd, DVFS lag and
+ * interference on the diurnal day). nodefail is pinned at fleet
+ * level below, where down nodes actually reroute load. */
+struct HazardPinScenario
+{
+    const char *workload;
+    const char *platform;
+    const char *trace;
+    const char *policy;
+    const char *hazard;
+};
+
+const HazardPinScenario kHazardScenarios[] = {
+    {"memcached", "juno", "flashcrowd:0.2,0.9,120,30,60",
+     "hipster-in:bucket=8,learn=90",
+     "hazard:thermal:tdp_cap=0.6,tau=20s"},
+    {"memcached", "juno", "diurnal", "hipster-in:bucket=8,learn=90",
+     "hazard:dvfs-lag:latency=20ms,drop=0.05"},
+    {"memcached", "juno", "diurnal", "hipster-in:bucket=8,learn=90",
+     "hazard:interference:burst=2,on=30s,off=60s"},
+};
+
+/** The pinned fleet hazard: node failures over the default 4-node
+ * fleet, forcing the dispatcher to reroute around down nodes. */
+constexpr const char *kHazardFleetDispatcher = "dispatch:least-loaded";
+constexpr const char *kHazardFleetHazard =
+    "hazard:nodefail:mtbf=120s,mttr=30s";
+
 /** FNV-1a over raw bytes. */
 std::uint64_t
 fnv1a(const void *data, std::size_t len, std::uint64_t hash)
@@ -253,6 +282,64 @@ main()
                      sum.strandedCapacity);
     }
     std::printf("};\n");
+
+    // The hazard pins: every stochastic hazard family pinned bitwise
+    // — seed-derived event streams must stay reproducible across any
+    // refactor, exactly like the hazard-free scenarios above.
+    std::printf("\nconst HazardPin kHazardPins[] = {\n");
+    for (const HazardPinScenario &s : kHazardScenarios) {
+        ExperimentSpec spec;
+        spec.workload = s.workload;
+        spec.platform = s.platform;
+        spec.trace = s.trace;
+        spec.policy = s.policy;
+        spec.hazard = s.hazard;
+        spec.duration = kDuration;
+        spec.seed = kSeed;
+        const ExperimentResult result = spec.run();
+        const RunSummary &sum = result.summary;
+        std::printf("    {\"%s\", \"%s\", \"%s\", \"%s\",\n     \"%s\",\n",
+                    s.workload, s.platform, s.trace, s.policy, s.hazard);
+        std::printf("     %a, %a,\n", sum.qosGuarantee, sum.qosTardiness);
+        std::printf("     %a, %a, %a,\n", sum.energy, sum.meanPower,
+                    sum.meanThroughput);
+        std::printf("     %" PRIu64 "ULL, %" PRIu64 "ULL, %" PRIu64
+                    "ULL, %zuULL,\n",
+                    result.migrations, result.dvfsTransitions,
+                    sum.dropped, sum.intervals);
+        std::printf("     0x%016" PRIx64 "ULL},\n",
+                    seriesFingerprint(result.series));
+        std::fprintf(stderr,
+                     "pinned hazard %-42s %-30s QoS %.3f E %.1f\n",
+                     s.hazard, s.trace, sum.qosGuarantee, sum.energy);
+    }
+    std::printf("};\n");
+
+    {
+        FleetSpec fleet;
+        fleet.nodes = parseFleetNodes(kFleetNodes);
+        fleet.workload = "memcached";
+        fleet.trace = "diurnal";
+        fleet.dispatcher = kHazardFleetDispatcher;
+        fleet.hazard = kHazardFleetHazard;
+        fleet.duration = kDuration;
+        fleet.seed = kSeed;
+        const FleetResult result = runFleet(fleet);
+        const FleetSummary &sum = result.summary;
+        std::printf("\nconst HazardFleetPin kHazardFleetPin =\n");
+        std::printf("    {\"%s\", \"%s\",\n", kHazardFleetDispatcher,
+                    kHazardFleetHazard);
+        std::printf("     %a, %a, %a,\n", sum.fleet.qosGuarantee,
+                    sum.fleet.energy, sum.fleet.meanPower);
+        std::printf("     %a, %a, %zuULL,\n", sum.fleetCapacity,
+                    sum.strandedCapacity, result.fleetSeries.size());
+        std::printf("     0x%016" PRIx64 "ULL};\n",
+                    seriesFingerprint(result.fleetSeries));
+        std::fprintf(stderr,
+                     "pinned fleet hazard %-36s QoS %.3f E %.1f\n",
+                     kHazardFleetHazard, sum.fleet.qosGuarantee,
+                     sum.fleet.energy);
+    }
 
     // The sweep pin: jobs=1 and jobs=4 must agree before anything is
     // written, and the CSVs are pinned verbatim.

@@ -38,6 +38,10 @@
  *              |scale/|offset/|clip/|noise/|jitter/|repeat and '+'
  *              splicing (default diurnal)
  *   --list-traces                       (print the catalog and exit)
+ *   --hazard   any registry hazard spec: none (default) or composed
+ *              adversity, e.g. hazard:thermal:tdp_cap=0.7 or
+ *              hazard:thermal+interference:burst=2
+ *   --list-hazards                      (print the catalog and exit)
  *   --duration <seconds>                (default: workload diurnal)
  *   --seed     <n>                      (default 1)
  *   --bucket   <percent>                (Hipster bucket width)
@@ -60,6 +64,7 @@
 #include "core/policy_registry.hh"
 #include "experiments/experiment_spec.hh"
 #include "experiments/scenario.hh"
+#include "hazards/hazard_registry.hh"
 #include "loadgen/trace_registry.hh"
 #include "platform/platform_registry.hh"
 #include "workloads/batch.hh"
@@ -76,6 +81,7 @@ struct CliOptions
     std::string platform = "juno";
     std::string policy = "hipster-in";
     std::string trace = "diurnal";
+    std::string hazard = "none";
     Seconds duration = 0.0;
     std::uint64_t seed = 1;
     double bucket = 0.0;
@@ -93,13 +99,15 @@ usage(const char *argv0, int code)
         "          [--platform <spec>] [--list-platforms]\n"
         "          [--policy <spec>] [--list-policies]\n"
         "          [--trace <spec>] [--list-traces]\n"
+        "          [--hazard <spec>] [--list-hazards]\n"
         "          [--duration <s>] [--seed <n>] [--bucket <pct>]\n"
         "          [--learning <s>] [--batch p1,p2,...] [--series]\n"
         "          [--csv <path>]\n"
-        "all four axes use their registry spec grammars (e.g.\n"
+        "all five axes use their registry spec grammars (e.g.\n"
         "memcached:qos=300us,stall=0.5, juno:big=4,little=8,\n"
-        "mmpp:0.2,0.9,45, hipster-in:bucket=8,learn=600); see the\n"
-        "--list-* flags for the catalogs\n",
+        "mmpp:0.2,0.9,45, hipster-in:bucket=8,learn=600,\n"
+        "hazard:thermal+interference); see the --list-* flags for the\n"
+        "catalogs\n",
         argv0);
     std::exit(code);
 }
@@ -141,6 +149,13 @@ parse(int argc, char **argv)
         } else if (arg == "--list-traces") {
             std::fputs(
                 TraceRegistry::instance().catalogText().c_str(),
+                stdout);
+            std::exit(0);
+        } else if (arg == "--hazard") {
+            options.hazard = need(i);
+        } else if (arg == "--list-hazards") {
+            std::fputs(
+                HazardRegistry::instance().catalogText().c_str(),
                 stdout);
             std::exit(0);
         } else if (arg == "--duration") {
@@ -190,6 +205,7 @@ main(int argc, char **argv)
         spec.platform = options.platform;
         spec.trace = options.trace;
         spec.policy = options.policy;
+        spec.hazard = options.hazard;
         spec.duration = options.duration;
         spec.seed = options.seed;
         spec.validate();
@@ -254,11 +270,17 @@ main(int argc, char **argv)
             });
 
         const RunSummary &s = result.summary;
-        std::printf("\n=== %s / %s / %s / %s, %.0f s, seed %llu ===\n",
+        // The hazard slot only appears when one is armed, so
+        // hazard-free invocations keep their historical output.
+        const std::string hazardSlot =
+            isNoneHazard(options.hazard)
+                ? ""
+                : " / " + canonicalHazardLabel(options.hazard);
+        std::printf("\n=== %s / %s / %s / %s%s, %.0f s, seed %llu ===\n",
                     result.workloadName.c_str(),
                     runner.platform().name().c_str(),
                     result.policyName.c_str(), options.trace.c_str(),
-                    duration,
+                    hazardSlot.c_str(), duration,
                     static_cast<unsigned long long>(options.seed));
         std::printf("QoS guarantee:   %.1f%%\n", s.qosGuarantee * 100.0);
         std::printf("QoS tardiness:   %.2f\n", s.qosTardiness);

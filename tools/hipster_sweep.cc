@@ -38,6 +38,11 @@
  *                               --trace is an alias), e.g.
  *                               mmpp:0.2,0.9,45
  *   --list-traces               print the trace catalog and exit
+ *   --hazards  <h1,h2,...>      hazard specs (default none;
+ *                               --hazard is an alias), e.g.
+ *                               hazard:thermal:tdp_cap=0.7 or
+ *                               hazard:thermal+interference
+ *   --list-hazards              print the hazard catalog and exit
  *   --seeds    <n>              repetitions per cell (default 5)
  *   --jobs     <n>              worker threads (default: hardware)
  *   --master-seed <n>           seed all run seeds derive from (default 1)
@@ -63,6 +68,7 @@
 #include "common/thread_pool.hh"
 #include "core/policy_registry.hh"
 #include "experiments/sweep.hh"
+#include "hazards/hazard_registry.hh"
 #include "loadgen/trace_registry.hh"
 #include "platform/platform_registry.hh"
 #include "workloads/workload_registry.hh"
@@ -88,7 +94,8 @@ usage(const char *argv0, int code)
         "usage: %s [--policy <p1;p2;...>|all] [--list-policies]\n"
         "          [--workload <w1,...>] [--list-workloads]\n"
         "          [--platform <p1,...>] [--list-platforms]\n"
-        "          [--traces <t1,...>] [--list-traces] [--seeds <n>]\n"
+        "          [--traces <t1,...>] [--list-traces]\n"
+        "          [--hazards <h1,...>] [--list-hazards] [--seeds <n>]\n"
         "          [--jobs <n>] [--master-seed <n>] [--duration <s>]\n"
         "          [--scale <f>] [--csv <path>] [--agg-csv <path>]\n"
         "          [--quiet]\n"
@@ -97,8 +104,9 @@ usage(const char *argv0, int code)
         "  --platforms juno:big=4,little=8\n"
         "  --traces    mmpp:0.2,0.9,45\n"
         "  --policies  hipster-in:bucket=8,learn=600\n"
+        "  --hazards   'none;hazard:thermal+interference'\n"
         "see --list-workloads / --list-platforms / --list-traces /\n"
-        "--list-policies for the catalogs\n",
+        "--list-policies / --list-hazards for the catalogs\n",
         argv0);
     std::exit(code);
 }
@@ -154,6 +162,16 @@ parse(int argc, char **argv)
                 TraceRegistry::instance().catalogText().c_str(),
                 stdout);
             std::exit(0);
+        } else if (arg == "--hazard" || arg == "--hazards") {
+            // Spec-aware splitting: key=value commas inside a spec
+            // (hazard:thermal:tdp_cap=0.8,tau=30s) survive, ';'
+            // always separates.
+            options.spec.hazards = splitHazardList(need(i));
+        } else if (arg == "--list-hazards") {
+            std::fputs(
+                HazardRegistry::instance().catalogText().c_str(),
+                stdout);
+            std::exit(0);
         } else if (arg == "--seeds") {
             options.spec.seeds = std::strtoull(need(i), nullptr, 10);
         } else if (arg == "--jobs") {
@@ -191,11 +209,13 @@ main(int argc, char **argv)
         SweepEngine engine(options.spec);
         const std::size_t total = engine.expandJobs().size();
         std::printf("sweep: %zu runs (%zu workloads x %zu platforms x "
-                    "%zu traces x %zu policies x %zu seeds), %zu jobs\n",
+                    "%zu traces x %zu policies x %zu hazards x "
+                    "%zu seeds), %zu jobs\n",
                     total, options.spec.workloads.size(),
                     options.spec.platforms.size(),
                     options.spec.traces.size(),
-                    options.spec.policies.size(), options.spec.seeds,
+                    options.spec.policies.size(),
+                    options.spec.hazards.size(), options.spec.seeds,
                     options.jobs);
 
         std::size_t done = 0;
