@@ -84,6 +84,7 @@ ExperimentRunner::beginRun(TaskPolicy &policy,
     app_->reset();
     lastLcUtilization_ = 0.0;
     wasDown_ = false;
+    wasForcedDown_ = false;
     policyStarted_ = false;
     if (hazards_)
         hazards_->reset();
@@ -98,7 +99,8 @@ ExperimentRunner::beginRun(TaskPolicy &policy,
 
 const IntervalMetrics &
 ExperimentRunner::stepNext(TaskPolicy &policy,
-                           std::optional<Fraction> offeredOverride)
+                           std::optional<Fraction> offeredOverride,
+                           bool forceDown)
 {
     if (!runActive_)
         fatal("ExperimentRunner: stepNext without beginRun");
@@ -111,24 +113,35 @@ ExperimentRunner::stepNext(TaskPolicy &policy,
                                        stepIndex_ * options_.interval,
                                        options_.interval);
     }
-    if (fx.down) {
-        // Node failed: the task manager neither observes nor decides,
+    if (fx.down || forceDown) {
+        // Node failed (own hazard, or blanked by a neighbor's blast
+        // radius): the task manager neither observes nor decides,
         // nothing executes and nothing is metered. The crash kills
         // all in-flight requests (the app restarts empty).
         const Seconds t0 = stepIndex_ * options_.interval;
         if (!wasDown_)
             app_->reset();
         wasDown_ = true;
+        wasForcedDown_ = forceDown && !fx.down;
         if (batch_)
             batch_->setSuspended(true);
         lastLcUtilization_ = 0.0;
         lastMetrics_ = downInterval(t0, t0 + options_.interval);
-        hazards_->observePower(0.0, options_.interval);
+        if (hazards_)
+            hazards_->observePower(0.0, options_.interval);
         ++stepIndex_;
         pending_.series.push_back(lastMetrics_);
         return lastMetrics_;
     }
     wasDown_ = false;
+    // Restoring from a forced (blast-radius) blank reboots cold when
+    // the hazard spec reboots restores; the node's own timeline was
+    // never active, so fx.reboot cannot fire for it.
+    if (wasForcedDown_) {
+        wasForcedDown_ = false;
+        if (hazards_ && hazards_->rebootOnRestore())
+            fx.reboot = true;
+    }
 
     Decision decision;
     if (!policyStarted_ || fx.reboot) {

@@ -139,12 +139,17 @@ class ExperimentRunner
      * set it replaces the trace lookup for this interval — the hook
      * the fleet front-end uses to route its per-node load share —
      * otherwise the run's own trace is sampled at interval start,
-     * exactly as run() always has. Returns the interval's metrics
-     * (valid until the next step).
+     * exactly as run() always has. `forceDown` blanks the interval
+     * as if the node's own hazard had failed it — the hook the
+     * fleet uses for rack-level blast radius, where a *neighbor's*
+     * failure downs this node; restore reboots the task manager
+     * cold when the hazard spec says restores do. Returns the
+     * interval's metrics (valid until the next step).
      */
     const IntervalMetrics &
     stepNext(TaskPolicy &policy,
-             std::optional<Fraction> offeredOverride = std::nullopt);
+             std::optional<Fraction> offeredOverride = std::nullopt,
+             bool forceDown = false);
 
     /** Finish an incremental run: summarize the stepped intervals
      * and return the same ExperimentResult run() would. */
@@ -188,6 +193,7 @@ class ExperimentRunner
     // Incremental-run state (beginRun/stepNext/finishRun).
     bool runActive_ = false;
     bool wasDown_ = false;
+    bool wasForcedDown_ = false;
     bool policyStarted_ = false;
     std::size_t stepIndex_ = 0;
     IntervalMetrics lastMetrics_;

@@ -146,4 +146,169 @@ CpDispatcher::route(const std::vector<DispatchNodeView> &nodes,
         shares[i] = assigned[i] / load;
 }
 
+namespace
+{
+
+/**
+ * Dimensionless cost of one move: transfer latency against the
+ * dispatcher's amortization horizon plus the move energy against a
+ * fixed 100 J reference, both scaled by the cost weight.
+ */
+double
+moveCost(const MigrationModel &model, const std::string &srcIsa,
+         const std::string &dstIsa, double wcost, Seconds horizon)
+{
+    constexpr double kEnergyReference = 100.0; // joules
+    return wcost * (model.latency(srcIsa, dstIsa) / horizon +
+                    model.moveEnergy() / kEnergyReference);
+}
+
+} // namespace
+
+void
+CpMigrateDispatcher::planMoves(const std::vector<DispatchNodeView> &nodes,
+                               Fraction fleetLoad,
+                               const MigrationPlanContext &ctx,
+                               std::vector<MigrationMove> &moves) const
+{
+    moves.clear();
+    if (nodes.empty() || ctx.resident == nullptr ||
+        ctx.model == nullptr || ctx.inFlightShare > 0.0)
+        return;
+    const double fleetCapacity = totalCapacity(nodes);
+    const double load = fleetLoad * fleetCapacity;
+    if (load <= 0.0 || fleetCapacity <= 0.0)
+        return;
+
+    const std::vector<double> eff = relativeEfficiency(nodes);
+    std::vector<double> effective(nodes.size(), 0.0);
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        double derate = 1.0;
+        if (nodes[i].qosTarget > 0.0 &&
+            nodes[i].lastTailLatency > nodes[i].qosTarget)
+            derate = nodes[i].qosTarget / nodes[i].lastTailLatency;
+        effective[i] = nodes[i].capacity * derate;
+    }
+
+    // Same scoring as cp's greedy assignment, evaluated at the
+    // *resident* placement: score(i) rises with predicted slack and
+    // power headroom, so moving a quantum from the worst donor to
+    // the best recipient yields the largest scoring gain.
+    std::vector<double> cur = *ctx.resident;
+    const auto score = [&](std::size_t i) {
+        const double assigned = cur[i] * load;
+        const double slack =
+            (target_ * effective[i] - assigned) / nodes[i].capacity;
+        const double headroom =
+            std::max(0.0, 1.0 - assigned / nodes[i].capacity);
+        return wslack_ * slack + wpower_ * eff[i] * headroom;
+    };
+
+    const double quantum = 1.0 / static_cast<double>(quanta_);
+    for (std::size_t m = 0; m < maxMoves_; ++m) {
+        std::size_t dst = nodes.size();
+        double dstScore = -std::numeric_limits<double>::infinity();
+        for (std::size_t i = 0; i < nodes.size(); ++i) {
+            if (nodes[i].capacity <= 0.0)
+                continue;
+            const double s = score(i);
+            if (s > dstScore) { // strict: ties keep lowest index
+                dstScore = s;
+                dst = i;
+            }
+        }
+        if (dst == nodes.size())
+            break;
+
+        std::size_t src = nodes.size();
+        double srcScore = std::numeric_limits<double>::infinity();
+        for (std::size_t i = 0; i < nodes.size(); ++i) {
+            if (i == dst || nodes[i].capacity <= 0.0 ||
+                cur[i] < quantum - 1e-12)
+                continue;
+            const double s = score(i);
+            if (s < srcScore) { // strict: ties keep lowest index
+                srcScore = s;
+                src = i;
+            }
+        }
+        if (src == nodes.size())
+            break;
+
+        const double gain = dstScore - srcScore;
+        const double cost =
+            moveCost(*ctx.model, nodes[src].isa, nodes[dst].isa,
+                     wcost_, horizon_);
+        if (gain <= cost)
+            break;
+        moves.push_back({src, dst, quantum});
+        cur[src] -= quantum;
+        cur[dst] += quantum;
+    }
+}
+
+void
+RebalanceDispatcher::route(const std::vector<DispatchNodeView> &nodes,
+                           Fraction, std::vector<double> &shares) const
+{
+    std::vector<double> weights(nodes.size(), 0.0);
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+        weights[i] = nodes[i].capacity;
+    normalize(weights, shares);
+}
+
+void
+RebalanceDispatcher::planMoves(const std::vector<DispatchNodeView> &nodes,
+                               Fraction,
+                               const MigrationPlanContext &ctx,
+                               std::vector<MigrationMove> &moves) const
+{
+    moves.clear();
+    if (nodes.empty() || ctx.resident == nullptr ||
+        ctx.model == nullptr || ctx.inFlightShare > 0.0)
+        return;
+    double maxCapacity = 0.0;
+    for (const DispatchNodeView &node : nodes)
+        maxCapacity = std::max(maxCapacity, node.capacity);
+    if (maxCapacity <= 0.0)
+        return;
+
+    const auto unhealthy = [&](std::size_t i) {
+        return (nodes[i].qosTarget > 0.0 &&
+                nodes[i].lastTailLatency > nodes[i].qosTarget) ||
+               nodes[i].lastUtilization > hot_;
+    };
+
+    const std::vector<double> &resident = *ctx.resident;
+    for (std::size_t s = 0; s < nodes.size(); ++s) {
+        if (nodes[s].capacity <= 0.0 || resident[s] <= 0.0 ||
+            !unhealthy(s))
+            continue;
+        const double amount = drain_ * resident[s];
+        if (amount < ctx.model->minMoveShare())
+            continue;
+
+        // Healthy destination with the best cost-adjusted headroom.
+        std::size_t dst = nodes.size();
+        double best = 0.0;
+        for (std::size_t d = 0; d < nodes.size(); ++d) {
+            if (d == s || nodes[d].capacity <= 0.0 || unhealthy(d))
+                continue;
+            const double headroom =
+                std::max(0.0, 1.0 - nodes[d].lastUtilization) *
+                nodes[d].capacity / maxCapacity;
+            const double net =
+                headroom - moveCost(*ctx.model, nodes[s].isa,
+                                    nodes[d].isa, wcost_, horizon_);
+            if (net > best) { // strict: ties keep lowest index
+                best = net;
+                dst = d;
+            }
+        }
+        if (dst == nodes.size())
+            continue;
+        moves.push_back({s, dst, amount});
+    }
+}
+
 } // namespace hipster

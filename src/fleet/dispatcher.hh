@@ -14,10 +14,12 @@
 #ifndef HIPSTER_FLEET_DISPATCHER_HH
 #define HIPSTER_FLEET_DISPATCHER_HH
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
 #include "common/units.hh"
+#include "migration/migration.hh"
 
 namespace hipster
 {
@@ -49,6 +51,34 @@ struct DispatchNodeView
 
     /** Mean node power of the previous interval (W). */
     Watts lastPower = 0.0;
+
+    /** Node ISA ("arm64", "riscv64", "x86_64"): cross-ISA moves pay
+     * the migration model's checkpointed path. */
+    std::string isa = "arm64";
+};
+
+/**
+ * What a migration-aware dispatcher may additionally observe when
+ * planning explicit work moves: where the load currently lives and
+ * what moving it costs.
+ */
+struct MigrationPlanContext
+{
+    /** Resident share of fleet load per node (sums to ~1). */
+    const std::vector<double> *resident = nullptr;
+
+    /** Cost model pricing each candidate move. */
+    const MigrationModel *model = nullptr;
+
+    /** Lockstep monitoring interval (s). */
+    Seconds interval = 1.0;
+
+    /** Share of fleet load currently in transit between nodes.
+     * Aware planners treat a non-zero value as "moves outstanding"
+     * and plan nothing until the fleet settles — one batch of moves
+     * per transit window, so a slow transfer can never pile surges
+     * on top of each other. */
+    double inFlightShare = 0.0;
 };
 
 /**
@@ -70,6 +100,31 @@ class Dispatcher
     virtual void route(const std::vector<DispatchNodeView> &nodes,
                        Fraction fleetLoad,
                        std::vector<double> &shares) const = 0;
+
+    /**
+     * True when this dispatcher plans explicit work moves via
+     * planMoves(). Blind dispatchers keep returning a fresh share
+     * vector every interval and let the migration engine churn the
+     * placement toward it — paying the modeled cost for every move.
+     */
+    virtual bool migrationAware() const { return false; }
+
+    /**
+     * Plan work moves for one interval (only called when
+     * migrationAware() and the fleet runs with a migration model).
+     * Implementations must emit deterministic, index-ordered moves:
+     * node order is the only tiebreak, as with route().
+     */
+    virtual void planMoves(const std::vector<DispatchNodeView> &nodes,
+                           Fraction fleetLoad,
+                           const MigrationPlanContext &ctx,
+                           std::vector<MigrationMove> &moves) const
+    {
+        (void)nodes;
+        (void)fleetLoad;
+        (void)ctx;
+        moves.clear();
+    }
 
   private:
     std::string name_;
@@ -152,11 +207,86 @@ class CpDispatcher : public Dispatcher
                Fraction fleetLoad,
                std::vector<double> &shares) const override;
 
-  private:
+  protected:
+    CpDispatcher(std::string name, std::size_t quanta, double wslack,
+                 double wpower, double target)
+        : Dispatcher(std::move(name)), quanta_(quanta),
+          wslack_(wslack), wpower_(wpower), target_(target)
+    {
+    }
+
     std::size_t quanta_;
     double wslack_;
     double wpower_;
     double target_;
+};
+
+/**
+ * cp extended with per-move cost terms (the migration-aware variant
+ * of the arXiv:2009.10348 dispatcher). Routing is identical to cp;
+ * under a migration model it additionally plans explicit moves of
+ * one load quantum at a time, from the worst-scoring donor to the
+ * best-scoring recipient, but only while the scoring gain exceeds
+ *
+ *   wcost * (latency(srcIsa, dstIsa)/horizon + energy/100 J)
+ *
+ * so expensive (large-checkpoint or cross-ISA) moves are correctly
+ * declined while cheap ones drain inefficient nodes.
+ */
+class CpMigrateDispatcher : public CpDispatcher
+{
+  public:
+    CpMigrateDispatcher(std::size_t quanta, double wslack,
+                        double wpower, double target, double wcost,
+                        Seconds horizon, std::size_t maxMoves)
+        : CpDispatcher("cp-migrate", quanta, wslack, wpower, target),
+          wcost_(wcost), horizon_(horizon), maxMoves_(maxMoves)
+    {
+    }
+
+    bool migrationAware() const override { return true; }
+    void planMoves(const std::vector<DispatchNodeView> &nodes,
+                   Fraction fleetLoad,
+                   const MigrationPlanContext &ctx,
+                   std::vector<MigrationMove> &moves) const override;
+
+  private:
+    double wcost_;
+    Seconds horizon_;
+    std::size_t maxMoves_;
+};
+
+/**
+ * Drain-based rebalancer: routes capacity-proportionally, and under
+ * a migration model drains a fraction of the resident share off
+ * every hot (utilization above `hot`) or QoS-violating node toward
+ * the healthy node with the best cost-adjusted headroom — same-ISA
+ * destinations win when the model makes cross-ISA moves expensive.
+ */
+class RebalanceDispatcher : public Dispatcher
+{
+  public:
+    RebalanceDispatcher(double hot, double drain, double wcost,
+                        Seconds horizon)
+        : Dispatcher("rebalance"), hot_(hot), drain_(drain),
+          wcost_(wcost), horizon_(horizon)
+    {
+    }
+
+    bool migrationAware() const override { return true; }
+    void route(const std::vector<DispatchNodeView> &nodes,
+               Fraction fleetLoad,
+               std::vector<double> &shares) const override;
+    void planMoves(const std::vector<DispatchNodeView> &nodes,
+                   Fraction fleetLoad,
+                   const MigrationPlanContext &ctx,
+                   std::vector<MigrationMove> &moves) const override;
+
+  private:
+    double hot_;
+    double drain_;
+    double wcost_;
+    Seconds horizon_;
 };
 
 } // namespace hipster

@@ -138,6 +138,55 @@ DispatcherRegistry::registerBuiltins()
                 params.get("wslack", 1.0), params.get("wpower", 0.5),
                 params.get("target", 0.85));
         });
+
+    add({"cp-migrate",
+         "cp extended with per-move cost terms: plans explicit work "
+         "moves only while the scoring gain beats the modeled "
+         "migration cost (migration-aware)",
+         {{"quanta", "load quanta assigned greedily per interval",
+           64.0, 1.0, 4096.0, true, false, ParamUnit::None},
+          {"wslack", "weight of the predicted-slack term", 1.0, 0.0,
+           100.0, false, false, ParamUnit::None},
+          {"wpower", "weight of the efficiency*headroom term", 0.5,
+           0.0, 100.0, false, false, ParamUnit::None},
+          {"target", "per-node utilization target the slack is "
+                     "measured against",
+           0.85, 0.05, 1.0, false, false, ParamUnit::None},
+          {"wcost", "weight of the migration-cost penalty", 20.0, 0.0,
+           100.0, false, false, ParamUnit::None},
+          {"horizon", "amortization horizon for move latency",
+           120.0, 1.0, 1e6, false, false, ParamUnit::TimeSec},
+          {"maxmoves", "most quanta moved per settle window", 2.0, 0.0,
+           4096.0, true, false, ParamUnit::None}}},
+        [](const SpecParamSet &params) {
+            return std::make_unique<CpMigrateDispatcher>(
+                static_cast<std::size_t>(params.get("quanta", 64.0)),
+                params.get("wslack", 1.0), params.get("wpower", 0.5),
+                params.get("target", 0.85), params.get("wcost", 20.0),
+                params.get("horizon", 120.0),
+                static_cast<std::size_t>(
+                    params.get("maxmoves", 2.0)));
+        });
+
+    add({"rebalance",
+         "capacity-proportional routing plus migration-aware drains: "
+         "moves resident share off hot or QoS-violating nodes toward "
+         "the healthy node with the best cost-adjusted headroom",
+         {{"hot", "utilization above which a node is drained", 0.90,
+           0.10, 1.0, false, false, ParamUnit::None},
+          {"drain", "fraction of a hot node's resident share drained "
+                    "per settle window",
+           0.10, 0.0, 1.0, false, false, ParamUnit::None},
+          {"wcost", "weight of the migration-cost penalty", 20.0, 0.0,
+           100.0, false, false, ParamUnit::None},
+          {"horizon", "amortization horizon for move latency",
+           120.0, 1.0, 1e6, false, false, ParamUnit::TimeSec}}},
+        [](const SpecParamSet &params) {
+            return std::make_unique<RebalanceDispatcher>(
+                params.get("hot", 0.90), params.get("drain", 0.10),
+                params.get("wcost", 20.0),
+                params.get("horizon", 120.0));
+        });
 }
 
 std::unique_ptr<Dispatcher>

@@ -9,7 +9,9 @@
 #include "experiments/scenario.hh"
 #include "fleet/dispatcher_registry.hh"
 #include "loadgen/trace_registry.hh"
+#include "migration/migration_registry.hh"
 #include "monitor/qos_monitor.hh"
+#include "platform/platform_registry.hh"
 #include "workloads/service_model.hh"
 #include "workloads/workload_registry.hh"
 
@@ -88,6 +90,9 @@ parseFleetNode(const std::string &text)
         fatal("fleet node '", text, "' is malformed — expected "
               "platform[@policy], e.g. juno@hipster-in or "
               "hetero:big=2,little=8@static-big");
+    // Fail fast on a bad platform with the catalog-enumerating
+    // registry error, like every other spec axis.
+    validatePlatformSpec(node.platform);
     return node;
 }
 
@@ -118,6 +123,7 @@ FleetSpec::validate() const
     if (durationScale <= 0.0)
         fatal("FleetSpec: durationScale must be > 0");
     makeDispatcher(dispatcher); // throws with the catalog on error
+    validateMigrationSpec(migration);
     validateTraceSpec(trace, resolvedDuration());
     for (std::size_t i = 0; i < nodes.size(); ++i)
         nodeExperiment(*this, nodes[i], i).validate();
@@ -186,6 +192,7 @@ runFleet(const FleetSpec &spec)
 
     FleetResult result;
     result.dispatcher = canonicalDispatcherLabel(spec.dispatcher);
+    result.migration = canonicalMigrationLabel(spec.migration);
 
     // --- Build every node: fresh platform, app, policy.
     const std::size_t n = spec.nodes.size();
@@ -207,15 +214,45 @@ runFleet(const FleetSpec &spec)
         fleetCapacity += result.nodes[i].capacity;
     }
 
+    // --- Migration: a priced model turns the dispatcher's share
+    // vector into explicit moves of resident load (see
+    // migration/migration.hh); migrate:none keeps the stateless
+    // re-routing path untouched.
+    const std::unique_ptr<MigrationModel> migrationModel =
+        makeMigrationModel(spec.migration);
+    std::unique_ptr<MigrationEngine> migration;
+    if (migrationModel) {
+        std::vector<std::string> isas(n);
+        for (std::size_t i = 0; i < n; ++i)
+            isas[i] = runners[i].platform().spec().isa;
+        migration = std::make_unique<MigrationEngine>(
+            *migrationModel, std::move(isas));
+        result.migrationSeries.reserve(intervals);
+    }
+
     // --- Lockstep interval loop: route, step every node, aggregate.
     for (std::size_t i = 0; i < n; ++i)
         runners[i].beginRun(*policies[i], intervals);
 
+    // Rack-level blast radius: one nodefail:blast=K failure downs
+    // the whole contiguous rack of K nodes its victim belongs to.
+    std::uint32_t blast = 1;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (runners[i].hazards())
+            blast = std::max(blast,
+                             runners[i].hazards()->blastRadius());
+    }
+
     std::vector<DispatchNodeView> views(n);
     std::vector<double> shares;
+    std::vector<double> norm(n, 0.0);
+    std::vector<double> served;
+    std::vector<MigrationMove> plannedMoves;
     std::vector<char> down(n, 0);
     result.fleetSeries.reserve(intervals);
     double strandedSum = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        views[i].isa = runners[i].platform().spec().isa;
     for (std::size_t k = 0; k < intervals; ++k) {
         const Seconds t0 = k * dt;
         const Fraction fleetLoad = fleetTrace->at(t0);
@@ -226,6 +263,17 @@ runFleet(const FleetSpec &spec)
         for (std::size_t i = 0; i < n; ++i) {
             HazardEngine *hazards = runners[i].hazards();
             down[i] = hazards && hazards->nodeDown(t0) ? 1 : 0;
+        }
+        if (blast > 1) {
+            for (std::size_t rack = 0; rack < n; rack += blast) {
+                const std::size_t end = std::min(
+                    rack + static_cast<std::size_t>(blast), n);
+                char any = 0;
+                for (std::size_t i = rack; i < end; ++i)
+                    any |= down[i];
+                for (std::size_t i = rack; i < end; ++i)
+                    down[i] = any;
+            }
         }
 
         for (std::size_t i = 0; i < n; ++i) {
@@ -253,6 +301,37 @@ runFleet(const FleetSpec &spec)
             shareSum += s;
         }
 
+        // Normalized target shares. With every share zero, live
+        // nodes split the load evenly; a down node gets nothing
+        // either way (all-down intervals drop the whole fleet load
+        // on the floor).
+        for (std::size_t i = 0; i < n; ++i) {
+            norm[i] = down[i] ? 0.0
+                      : shareSum > 0.0
+                          ? shares[i] / shareSum
+                          : upCount > 0 ? 1.0 / upCount : 0.0;
+        }
+
+        const MigrationIntervalStats *moved = nullptr;
+        if (migration) {
+            if (dispatcher->migrationAware()) {
+                MigrationPlanContext ctx;
+                ctx.resident = &migration->resident();
+                ctx.model = migrationModel.get();
+                ctx.interval = dt;
+                ctx.inFlightShare = migration->inFlightShare();
+                dispatcher->planMoves(views, fleetLoad, ctx,
+                                      plannedMoves);
+                moved = &migration->step(k, dt, fleetLoad,
+                                         fleetCapacity, norm, down,
+                                         &plannedMoves, served);
+            } else {
+                moved = &migration->step(k, dt, fleetLoad,
+                                         fleetCapacity, norm, down,
+                                         nullptr, served);
+            }
+        }
+
         IntervalMetrics agg;
         agg.begin = t0;
         agg.end = t0 + dt;
@@ -265,15 +344,9 @@ runFleet(const FleetSpec &spec)
         double bigFreqSum = 0.0, smallFreqSum = 0.0;
         double stranded = 0.0;
         for (std::size_t i = 0; i < n; ++i) {
-            // With every share zero, live nodes split the load
-            // evenly; a down node gets nothing either way (all-down
-            // intervals drop the whole fleet load on the floor).
-            const double share =
-                down[i] ? 0.0
-                : shareSum > 0.0
-                    ? shares[i] / shareSum
-                    : upCount > 0 ? 1.0 / upCount : 0.0;
-            const double routed = share * fleetLoad * fleetCapacity;
+            const double routed =
+                migration ? served[i]
+                          : norm[i] * fleetLoad * fleetCapacity;
             const Fraction localLoad =
                 result.nodes[i].capacity > 0.0
                     ? std::clamp(routed / result.nodes[i].capacity,
@@ -281,8 +354,8 @@ runFleet(const FleetSpec &spec)
                     : 0.0;
             result.nodes[i].shard.emplace_back(t0, localLoad);
 
-            const IntervalMetrics &m =
-                runners[i].stepNext(*policies[i], localLoad);
+            const IntervalMetrics &m = runners[i].stepNext(
+                *policies[i], localLoad, down[i] != 0);
             views[i].lastUtilization = m.lcUtilization;
             views[i].lastTailLatency = m.tailLatency;
             views[i].lastPower = m.power;
@@ -315,6 +388,13 @@ runFleet(const FleetSpec &spec)
                                 : 0.0;
         if (fleetCapacity > 0.0)
             strandedSum += stranded / fleetCapacity;
+        if (moved != nullptr) {
+            // Transfer energy is billed to the fleet, attributed to
+            // the interval the move started in.
+            agg.energy += moved->migrationEnergy;
+            agg.power += moved->migrationEnergy / dt;
+            result.migrationSeries.push_back(*moved);
+        }
         result.fleetSeries.push_back(agg);
     }
 
@@ -325,6 +405,8 @@ runFleet(const FleetSpec &spec)
     result.summary.fleetCapacity = fleetCapacity;
     result.summary.strandedCapacity =
         intervals > 0 ? strandedSum / intervals : 0.0;
+    if (migration)
+        result.summary.migration = migration->totals();
     return result;
 }
 

@@ -24,6 +24,7 @@
 #include "experiments/runner.hh"
 #include "fleet/dispatcher.hh"
 #include "loadgen/load_trace.hh"
+#include "migration/migration.hh"
 
 namespace hipster
 {
@@ -67,6 +68,15 @@ struct FleetSpec
      * capacity reads 0 and its share is forced to 0) until the
      * timeline restores it. */
     std::string hazard = "none";
+
+    /** Work-migration spec (migration/migration_registry grammar).
+     * "none" disables migration entirely — the run is then
+     * bitwise-identical to the pre-migration fleet. Any other spec
+     * prices explicit moves of resident load between nodes: blind
+     * dispatchers churn toward their share vector and pay for it,
+     * migration-aware ones (cp-migrate, rebalance) plan moves
+     * against the modeled cost. */
+    std::string migration = "none";
 
     /** Run length; 0 = the workload's diurnal default. */
     Seconds duration = 0.0;
@@ -137,6 +147,9 @@ struct FleetSummary
      * beyond the load they receive.
      */
     double strandedCapacity = 0.0;
+
+    /** Whole-run migration totals (all zero under migrate:none). */
+    MigrationTotals migration;
 };
 
 /** Everything one fleet run produced. */
@@ -145,10 +158,17 @@ struct FleetResult
     /** Canonical dispatcher label ("dispatch:cp"). */
     std::string dispatcher;
 
+    /** Canonical migration label ("none", "migrate:hexo", ...). */
+    std::string migration;
+
     std::vector<FleetNodeResult> nodes;
 
     /** Aggregated per-interval fleet metrics (see runFleet). */
     std::vector<IntervalMetrics> fleetSeries;
+
+    /** Per-interval migration activity; empty under migrate:none so
+     * the fleet series itself stays byte-stable. */
+    std::vector<MigrationIntervalStats> migrationSeries;
 
     FleetSummary summary;
 };

@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "fleet/dispatcher_registry.hh"
+#include "migration/migration_registry.hh"
 
 namespace hipster
 {
@@ -31,6 +32,21 @@ toExperimentResult(const FleetResult &fleet, const FleetSpec &spec,
             result.series.push_back(m);
     }
     return result;
+}
+
+/** Marker gluing a migration label onto a dispatcher label on the
+ * policy axis ("dispatch:cp+migrate:hexo"). None is never folded, so
+ * migration-free campaigns keep the historical label set. */
+constexpr const char *kMigrateMarker = "+migrate:";
+
+/** Split a folded policy label back into (dispatcher, migration). */
+std::pair<std::string, std::string>
+splitFoldedLabel(const std::string &policy)
+{
+    const std::size_t at = policy.find(kMigrateMarker);
+    if (at == std::string::npos)
+        return {policy, "none"};
+    return {policy.substr(0, at), policy.substr(at + 1)};
 }
 
 } // namespace
@@ -67,16 +83,30 @@ runFleetSweep(const FleetSweepSpec &spec, std::size_t jobs,
     // Validate every axis value once, fail-fast, before any job
     // starts (the engine skips its own validation when jobRunner is
     // set — the policy axis holds dispatcher labels here).
-    std::vector<std::string> labels;
-    labels.reserve(spec.dispatchers.size());
-    for (const std::string &dispatcher : spec.dispatchers)
-        labels.push_back(canonicalDispatcherLabel(dispatcher));
     if (spec.hazards.empty())
         fatal("runFleetSweep: hazard axis is empty (use \"none\")");
+    if (spec.migrations.empty())
+        fatal("runFleetSweep: migration axis is empty (use \"none\")");
+    std::vector<std::string> migrations;
+    migrations.reserve(spec.migrations.size());
+    for (const std::string &migration : spec.migrations)
+        migrations.push_back(canonicalMigrationLabel(migration));
+    // Policy-axis labels: dispatcher labels, with every non-none
+    // migration folded in (see kMigrateMarker).
+    std::vector<std::string> labels;
+    labels.reserve(spec.dispatchers.size() * migrations.size());
+    for (const std::string &dispatcher : spec.dispatchers) {
+        const std::string base = canonicalDispatcherLabel(dispatcher);
+        for (const std::string &migration : migrations)
+            labels.push_back(migration == "none" ? base
+                                                 : base + "+" + migration);
+    }
     {
         FleetSpec probe = spec.base;
         for (const std::string &label : labels) {
-            probe.dispatcher = label;
+            const auto [dispatcher, migration] = splitFoldedLabel(label);
+            probe.dispatcher = dispatcher;
+            probe.migration = migration;
             for (const std::string &trace : spec.traces) {
                 probe.trace = trace;
                 for (const std::string &hazard : spec.hazards) {
@@ -102,8 +132,8 @@ runFleetSweep(const FleetSweepSpec &spec, std::size_t jobs,
     // Pre-sized per-job slot vector: jobRunner instances run
     // concurrently and each writes only its own index, so jobs=1 and
     // jobs=N fill identical vectors. The count mirrors expandJobs():
-    // 1 workload x 1 platform x traces x dispatchers x hazards x
-    // seeds.
+    // 1 workload x 1 platform x traces x (dispatchers x migrations)
+    // x hazards x seeds.
     const std::size_t jobCount = spec.traces.size() * labels.size() *
                                  spec.hazards.size() * spec.seeds;
     auto stats = std::make_shared<std::vector<FleetRunStats>>(jobCount);
@@ -111,21 +141,30 @@ runFleetSweep(const FleetSweepSpec &spec, std::size_t jobs,
     const FleetSpec base = spec.base;
     const bool keepSeries = spec.keepSeries;
     sweep.jobRunner = [base, keepSeries, stats](const SweepJob &job) {
+        const auto [dispatcher, migration] = splitFoldedLabel(job.policy);
         FleetSpec fleetSpec = base;
-        fleetSpec.dispatcher = job.policy;
+        fleetSpec.dispatcher = dispatcher;
+        fleetSpec.migration = migration;
         fleetSpec.trace = job.trace;
         fleetSpec.hazard = job.hazard;
         fleetSpec.seed = job.seed;
         const FleetResult fleet = runFleet(fleetSpec);
         FleetRunStats &slot = (*stats)[job.index];
         slot.jobIndex = job.index;
-        slot.dispatcher = job.policy;
+        slot.dispatcher = dispatcher;
         slot.trace = job.trace;
         slot.hazard = job.hazard;
+        slot.migration = fleet.migration;
         slot.seedIndex = job.seedIndex;
         slot.fleetCapacity = fleet.summary.fleetCapacity;
         slot.strandedCapacity = fleet.summary.strandedCapacity;
-        return toExperimentResult(fleet, fleetSpec, keepSeries);
+        slot.migrationTotals = fleet.summary.migration;
+        ExperimentResult result =
+            toExperimentResult(fleet, fleetSpec, keepSeries);
+        // Report the folded label back so sweep cells keyed by the
+        // policy axis keep dispatcher and migration distinct.
+        result.policyName = job.policy;
+        return result;
     };
 
     SweepEngine engine(sweep);

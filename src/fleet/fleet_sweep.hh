@@ -40,6 +40,14 @@ struct FleetSweepSpec
      * applied fleet-wide, per node (see FleetSpec::hazard). */
     std::vector<std::string> hazards = {"none"};
 
+    /** Migration axis (migration MigrationRegistry grammar). A
+     * non-none value is folded into the policy-axis label as
+     * "dispatch:...+migrate:..." so the expansion, reduction and CSV
+     * layout stay unchanged — campaigns that keep the default
+     * {"none"} produce byte-identical output to pre-migration
+     * sweeps. */
+    std::vector<std::string> migrations = {"none"};
+
     /** Repetitions per cell with independently derived seeds. */
     std::size_t seeds = 1;
 
@@ -57,9 +65,13 @@ struct FleetRunStats
     std::string dispatcher;
     std::string trace;
     std::string hazard = "none";
+    std::string migration = "none";
     std::size_t seedIndex = 0;
     double fleetCapacity = 0.0;
     double strandedCapacity = 0.0;
+
+    /** Whole-run migration totals (all zero under migrate:none). */
+    MigrationTotals migrationTotals;
 };
 
 /** Everything a fleet sweep produced. */

@@ -102,6 +102,25 @@ HazardEngine::nodeDown(Seconds t)
     return false;
 }
 
+std::uint32_t
+HazardEngine::blastRadius() const
+{
+    std::uint32_t radius = 1;
+    for (const auto &stage : stages_)
+        radius = std::max(radius, stage->blastRadius());
+    return radius;
+}
+
+bool
+HazardEngine::rebootOnRestore() const
+{
+    for (const auto &stage : stages_) {
+        if (stage->rebootOnRestore())
+            return true;
+    }
+    return false;
+}
+
 // ---------------------------------------------------------------------------
 // Built-in hazards
 
@@ -254,8 +273,8 @@ class NodefailHazard final : public Hazard
 {
   public:
     NodefailHazard(Seconds mtbf, Seconds mttr, bool reboot,
-                   std::uint64_t seed)
-        : reboot_(reboot), timeline_(seed, mtbf, mttr)
+                   std::uint32_t blast, std::uint64_t seed)
+        : reboot_(reboot), blast_(blast), timeline_(seed, mtbf, mttr)
     {
     }
 
@@ -277,12 +296,17 @@ class NodefailHazard final : public Hazard
 
     bool downAt(Seconds t) override { return timeline_.activeAt(t); }
 
+    std::uint32_t blastRadius() const override { return blast_; }
+
+    bool rebootOnRestore() const override { return reboot_; }
+
     void reset() override { timeline_.reset(); }
 
     HazardTimeline *timeline() override { return &timeline_; }
 
   private:
     bool reboot_;
+    std::uint32_t blast_;
     HazardTimeline timeline_;
 };
 
@@ -310,9 +334,10 @@ makeInterferenceHazard(double burst, Seconds on, Seconds off,
 
 std::unique_ptr<Hazard>
 makeNodefailHazard(Seconds mtbf, Seconds mttr, bool reboot,
-                   std::uint64_t seed)
+                   std::uint32_t blast, std::uint64_t seed)
 {
-    return std::make_unique<NodefailHazard>(mtbf, mttr, reboot, seed);
+    return std::make_unique<NodefailHazard>(mtbf, mttr, reboot, blast,
+                                            seed);
 }
 
 } // namespace hipster

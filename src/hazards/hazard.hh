@@ -131,6 +131,14 @@ class Hazard
         return false;
     }
 
+    /** How many contiguous fleet nodes one failure of this stage
+     * downs (rack-level correlated failures; 1 = just this node). */
+    virtual std::uint32_t blastRadius() const { return 1; }
+
+    /** Whether a node blanked by a *neighbor's* failure (blast
+     * radius) restarts its task manager cold on restore. */
+    virtual bool rebootOnRestore() const { return false; }
+
     /** Back to the freshly built state (new run, same engine). */
     virtual void reset() = 0;
 
@@ -169,6 +177,12 @@ class HazardEngine
     /** Whether any stage has the node failed at time t. */
     bool nodeDown(Seconds t);
 
+    /** Largest blast radius over all stages (fleet rack size). */
+    std::uint32_t blastRadius() const;
+
+    /** Whether any stage reboots a blast-blanked node on restore. */
+    bool rebootOnRestore() const;
+
     /** The stages, in spec order (test/inspection hook). */
     const std::vector<std::unique_ptr<Hazard>> &stages() const
     {
@@ -192,6 +206,7 @@ std::unique_ptr<Hazard> makeInterferenceHazard(double burst, Seconds on,
                                                std::uint64_t seed);
 std::unique_ptr<Hazard> makeNodefailHazard(Seconds mtbf, Seconds mttr,
                                            bool reboot,
+                                           std::uint32_t blast,
                                            std::uint64_t seed);
 
 } // namespace hipster

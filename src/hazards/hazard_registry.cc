@@ -243,12 +243,17 @@ HazardRegistry::registerBuiltins()
            false, ParamUnit::TimeSec},
           {"reboot", "restart the task manager cold on restore (the "
                      "policy relearns)",
-           1.0, 0.0, 1.0, false, true, ParamUnit::None}}},
+           1.0, 0.0, 1.0, false, true, ParamUnit::None},
+          {"blast", "contiguous fleet nodes downed per failure "
+                    "(rack-level blast radius; single-node scope "
+                    "ignores it)",
+           1.0, 1.0, 64.0, true, false, ParamUnit::None}}},
         [](const SpecParamSet &params, std::uint64_t seed) {
-            return makeNodefailHazard(params.get("mtbf", 600.0),
-                                      params.get("mttr", 60.0),
-                                      params.getBool("reboot", true),
-                                      seed);
+            return makeNodefailHazard(
+                params.get("mtbf", 600.0), params.get("mttr", 60.0),
+                params.getBool("reboot", true),
+                static_cast<std::uint32_t>(params.get("blast", 1.0)),
+                seed);
         });
 }
 

@@ -1,0 +1,302 @@
+#include "migration/migration.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace hipster
+{
+
+MigrationModel::MigrationModel(std::string label, double checkpointMb,
+                               double serializeMbps,
+                               double transferMbps, double restoreMbps,
+                               double warmFactor, double crossIsaFactor,
+                               double joulesPerMb, double minMoveShare)
+    : label_(std::move(label)),
+      checkpointMb_(checkpointMb),
+      serializeMbps_(serializeMbps),
+      transferMbps_(transferMbps),
+      restoreMbps_(restoreMbps),
+      warmFactor_(warmFactor),
+      crossIsaFactor_(crossIsaFactor),
+      joulesPerMb_(joulesPerMb),
+      minMoveShare_(minMoveShare)
+{
+    HIPSTER_ASSERT(checkpointMb_ >= 0.0 && warmFactor_ >= 0.0 &&
+                       crossIsaFactor_ >= 0.0 && joulesPerMb_ >= 0.0 &&
+                       minMoveShare_ >= 0.0,
+                   "migration model '", label_, "': negative parameter");
+    HIPSTER_ASSERT(serializeMbps_ > 0.0 && transferMbps_ > 0.0 &&
+                       restoreMbps_ > 0.0,
+                   "migration model '", label_,
+                   "': bandwidths must be positive");
+}
+
+Seconds
+MigrationModel::baseLatency() const
+{
+    if (checkpointMb_ <= 0.0)
+        return 0.0;
+    return checkpointMb_ / serializeMbps_ +
+           checkpointMb_ / transferMbps_ +
+           checkpointMb_ / restoreMbps_;
+}
+
+Seconds
+MigrationModel::latency(const std::string &srcIsa,
+                        const std::string &dstIsa) const
+{
+    const double factor =
+        srcIsa == dstIsa ? warmFactor_ : crossIsaFactor_;
+    return baseLatency() * factor;
+}
+
+Joules
+MigrationModel::moveEnergy() const
+{
+    return checkpointMb_ * joulesPerMb_;
+}
+
+bool
+MigrationModel::freeBetween(const std::string &srcIsa,
+                            const std::string &dstIsa) const
+{
+    return latency(srcIsa, dstIsa) <= 0.0 && moveEnergy() <= 0.0;
+}
+
+MigrationEngine::MigrationEngine(const MigrationModel &model,
+                                 std::vector<std::string> nodeIsa)
+    : model_(model),
+      isa_(std::move(nodeIsa)),
+      resident_(isa_.size(), 0.0),
+      surge_(isa_.size(), 0.0)
+{
+    HIPSTER_ASSERT(!isa_.empty(),
+                   "MigrationEngine needs at least one node");
+    allFree_ = true;
+    for (const std::string &src : isa_) {
+        for (const std::string &dst : isa_) {
+            if (!model_.freeBetween(src, dst))
+                allFree_ = false;
+        }
+    }
+}
+
+double
+MigrationEngine::inFlightShare() const
+{
+    double total = 0.0;
+    for (const Transfer &t : transfers_)
+        total += t.share;
+    return total;
+}
+
+MigrationTotals
+MigrationEngine::totals() const
+{
+    MigrationTotals out = totals_;
+    out.meanInFlightShare =
+        steps_ > 0
+            ? inFlightShareSum_ / static_cast<double>(steps_)
+            : 0.0;
+    return out;
+}
+
+const MigrationIntervalStats &
+MigrationEngine::step(std::size_t interval, Seconds dt,
+                      Fraction fleetLoad, double fleetCapacity,
+                      const std::vector<double> &target,
+                      const std::vector<char> &down,
+                      const std::vector<MigrationMove> *plannedMoves,
+                      std::vector<double> &served)
+{
+    const std::size_t n = resident_.size();
+    HIPSTER_ASSERT(target.size() == n && down.size() == n,
+                   "MigrationEngine::step: vector size mismatch");
+    HIPSTER_ASSERT(dt > 0.0, "MigrationEngine::step: dt must be > 0");
+    stats_ = MigrationIntervalStats{};
+    served.assign(n, 0.0);
+
+    // Initial placement: wherever the dispatcher routes first.
+    if (!placed_) {
+        resident_ = target;
+        placed_ = true;
+    }
+
+    // Down nodes lose their resident share back to the front end.
+    double pool = pendingPool_;
+    pendingPool_ = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (down[i] && resident_[i] != 0.0) {
+            pool += resident_[i];
+            resident_[i] = 0.0;
+        }
+    }
+
+    // Arrivals: transfers whose latency has elapsed land now. A
+    // destination downed mid-flight blanks the deferred load and
+    // re-pools the share.
+    std::size_t keep = 0;
+    for (std::size_t ti = 0; ti < transfers_.size(); ++ti) {
+        Transfer &t = transfers_[ti];
+        if (t.arriveInterval > interval) {
+            transfers_[keep++] = t;
+            continue;
+        }
+        if (down[t.to]) {
+            pool += t.share;
+            stats_.blankedLoad += t.deferred;
+        } else {
+            resident_[t.to] += t.share;
+            surge_[t.to] += t.deferred;
+        }
+    }
+    transfers_.resize(keep);
+
+    // Re-pool orphaned share over up nodes, proportional to the
+    // dispatcher's target (uniform if the target is all-zero). With
+    // every node down the pool waits for the next interval.
+    if (pool > 0.0) {
+        double weight = 0.0;
+        std::size_t up = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!down[i]) {
+                weight += target[i];
+                ++up;
+            }
+        }
+        if (up == 0) {
+            pendingPool_ = pool;
+        } else if (weight > 0.0) {
+            for (std::size_t i = 0; i < n; ++i) {
+                if (!down[i])
+                    resident_[i] += pool * (target[i] / weight);
+            }
+        } else {
+            const double each = pool / static_cast<double>(up);
+            for (std::size_t i = 0; i < n; ++i) {
+                if (!down[i])
+                    resident_[i] += each;
+            }
+        }
+    }
+
+    // Close the resident->target gap. A free model under a blind
+    // dispatcher degrades to stateless routing: adopt the target
+    // wholesale so the result is bitwise-identical to migrate:none.
+    if (plannedMoves == nullptr && allFree_) {
+        resident_ = target;
+    } else if (plannedMoves == nullptr) {
+        scratchMoves_.clear();
+        deriveMoves(target, down, scratchMoves_);
+        applyMoves(interval, dt, scratchMoves_, down);
+    } else {
+        applyMoves(interval, dt, *plannedMoves, down);
+    }
+
+    // In-flight transfers defer their load: not served anywhere,
+    // not billed to the source, delivered as a surge on arrival.
+    double inFlight = 0.0;
+    for (Transfer &t : transfers_) {
+        const double deferred =
+            t.share * fleetLoad * fleetCapacity * dt;
+        t.deferred += deferred;
+        stats_.transitLoad += deferred;
+        inFlight += t.share;
+    }
+    stats_.inFlightShare = inFlight;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        double load = resident_[i] * fleetLoad * fleetCapacity;
+        if (surge_[i] != 0.0) {
+            load += surge_[i] / dt;
+            stats_.surgeLoad += surge_[i];
+            surge_[i] = 0.0;
+        }
+        served[i] = load;
+    }
+
+    totals_.transitLoad += stats_.transitLoad;
+    totals_.surgeLoad += stats_.surgeLoad;
+    totals_.blankedLoad += stats_.blankedLoad;
+    inFlightShareSum_ += inFlight;
+    ++steps_;
+    return stats_;
+}
+
+void
+MigrationEngine::deriveMoves(const std::vector<double> &target,
+                             const std::vector<char> &down,
+                             std::vector<MigrationMove> &out) const
+{
+    const std::size_t n = resident_.size();
+    const double floor = model_.minMoveShare();
+
+    // Surplus/deficit nodes in index order; deltas at or below the
+    // model's move floor stick to their current node (hysteresis).
+    std::vector<std::size_t> sources, sinks;
+    std::vector<double> surplus, deficit;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (down[i])
+            continue;
+        const double delta = target[i] - resident_[i];
+        if (delta > floor) {
+            sinks.push_back(i);
+            deficit.push_back(delta);
+        } else if (-delta > floor) {
+            sources.push_back(i);
+            surplus.push_back(-delta);
+        }
+    }
+
+    std::size_t si = 0, di = 0;
+    while (si < sources.size() && di < sinks.size()) {
+        const double amount = std::min(surplus[si], deficit[di]);
+        out.push_back({sources[si], sinks[di], amount});
+        surplus[si] -= amount;
+        deficit[di] -= amount;
+        if (surplus[si] <= 1e-15)
+            ++si;
+        if (deficit[di] <= 1e-15)
+            ++di;
+    }
+}
+
+void
+MigrationEngine::applyMoves(std::size_t interval, Seconds dt,
+                            const std::vector<MigrationMove> &moves,
+                            const std::vector<char> &down)
+{
+    const std::size_t n = resident_.size();
+    for (const MigrationMove &mv : moves) {
+        if (mv.from >= n || mv.to >= n || mv.from == mv.to ||
+            !std::isfinite(mv.share) || mv.share < 0.0)
+            fatal("MigrationEngine: malformed move (", mv.from, " -> ",
+                  mv.to, ", share ", mv.share, ")");
+        if (mv.share == 0.0 || down[mv.to] || down[mv.from])
+            continue;
+        const double amount = std::min(mv.share, resident_[mv.from]);
+        if (amount <= 0.0)
+            continue;
+        const Seconds latency =
+            model_.latency(isa_[mv.from], isa_[mv.to]);
+        resident_[mv.from] -= amount;
+        ++stats_.movesStarted;
+        ++totals_.moves;
+        const Joules energy = model_.moveEnergy();
+        stats_.migrationEnergy += energy;
+        totals_.energy += energy;
+        if (latency <= 0.0) {
+            resident_[mv.to] += amount;
+        } else {
+            const auto hops = static_cast<std::size_t>(
+                std::ceil(latency / dt));
+            transfers_.push_back(
+                {mv.from, mv.to, amount,
+                 interval + std::max<std::size_t>(hops, 1), 0.0});
+        }
+    }
+}
+
+} // namespace hipster

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Work migration between fleet nodes.
+ *
+ * The fleet layer (PR 7) routes *new* load every interval; this
+ * subsystem lets dispatchers *move running work* between nodes. A
+ * MigrationModel prices a move — checkpoint size, serialize /
+ * transfer / restore bandwidths, a warm same-ISA path and a
+ * HEXO-style checkpointed cross-ISA path — and a MigrationEngine
+ * executes planned moves interval-by-interval inside the fleet's
+ * lockstep loop: load share in transit is neither served nor billed
+ * to the source node, arrives after the modeled latency as a surge,
+ * and is blanked when the destination is down on arrival.
+ */
+
+#ifndef HIPSTER_MIGRATION_MIGRATION_HH
+#define HIPSTER_MIGRATION_MIGRATION_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace hipster
+{
+
+/**
+ * Cost model for moving work between nodes. All latencies derive
+ * from one checkpoint image: serialize on the source, transfer over
+ * the fleet network, restore on the destination. Same-ISA moves pay
+ * `warm` times the base latency (process state ships mostly as-is);
+ * cross-ISA moves pay `xisa` times the base latency (HEXO-style
+ * checkpoint transformation at both ends).
+ */
+class MigrationModel
+{
+  public:
+    MigrationModel(std::string label, double checkpointMb,
+                   double serializeMbps, double transferMbps,
+                   double restoreMbps, double warmFactor,
+                   double crossIsaFactor, double joulesPerMb,
+                   double minMoveShare);
+
+    /** Canonical spec label, e.g. "migrate:hexo:ckpt=64". */
+    const std::string &label() const { return label_; }
+
+    /** Serialize + transfer + restore latency of one checkpoint. */
+    Seconds baseLatency() const;
+
+    /** One-way latency of a move between the two ISAs. */
+    Seconds latency(const std::string &srcIsa,
+                    const std::string &dstIsa) const;
+
+    /** Energy charged to the fleet per transfer event. */
+    Joules moveEnergy() const;
+
+    /**
+     * Smallest share a blind (non-migration-aware) dispatcher will
+     * bother moving; deltas below this stick to their current node,
+     * which is what makes churn under a costed model hysteretic.
+     */
+    double minMoveShare() const { return minMoveShare_; }
+
+    /**
+     * True when every move between the given ISAs is free: zero
+     * latency and zero energy. A model that is free for all ISAs in
+     * a fleet degrades migration to plain re-routing.
+     */
+    bool freeBetween(const std::string &srcIsa,
+                     const std::string &dstIsa) const;
+
+    double checkpointMb() const { return checkpointMb_; }
+    double warmFactor() const { return warmFactor_; }
+    double crossIsaFactor() const { return crossIsaFactor_; }
+    double joulesPerMb() const { return joulesPerMb_; }
+
+  private:
+    std::string label_;
+    double checkpointMb_;
+    double serializeMbps_;
+    double transferMbps_;
+    double restoreMbps_;
+    double warmFactor_;
+    double crossIsaFactor_;
+    double joulesPerMb_;
+    double minMoveShare_;
+};
+
+/** One planned move of fleet-load share between two nodes. */
+struct MigrationMove
+{
+    std::size_t from = 0;
+    std::size_t to = 0;
+    /** Fraction of total fleet load to move (share units). */
+    double share = 0.0;
+};
+
+/** Per-interval migration activity, reported alongside the fleet
+ *  interval metrics. */
+struct MigrationIntervalStats
+{
+    /** Transfer events started this interval. */
+    std::uint32_t movesStarted = 0;
+
+    /** Share of fleet load in transit at the end of the interval. */
+    double inFlightShare = 0.0;
+
+    /** Load quanta deferred in transit this interval (load x time). */
+    double transitLoad = 0.0;
+
+    /** Deferred load served on arrival this interval. */
+    double surgeLoad = 0.0;
+
+    /** Deferred load blanked by a down destination this interval. */
+    double blankedLoad = 0.0;
+
+    /** Energy billed to transfers started this interval. */
+    Joules migrationEnergy = 0.0;
+};
+
+/** Whole-run migration totals, folded into the fleet summary. */
+struct MigrationTotals
+{
+    std::uint64_t moves = 0;
+    double meanInFlightShare = 0.0;
+    double transitLoad = 0.0;
+    double surgeLoad = 0.0;
+    double blankedLoad = 0.0;
+    Joules energy = 0.0;
+};
+
+/**
+ * Executes migrations inside the fleet lockstep loop.
+ *
+ * The engine tracks the *resident* share of fleet load placed on
+ * each node. Every interval the fleet hands it the dispatcher's
+ * normalized target shares; the gap between resident and target is
+ * closed by explicit moves — either planned by a migration-aware
+ * dispatcher, or derived here for blind dispatchers (who churn
+ * freely toward their target and pay for it). Moves with a non-zero
+ * latency become in-flight transfers: their share is served nowhere
+ * until it arrives, at which point the deferred load is served as a
+ * surge on the destination (or blanked if the destination is down).
+ *
+ * Conservation invariant, every interval: the resident shares, the
+ * in-flight transfer shares and the re-pool backlog sum to exactly
+ * the total routable share (1, or 0 while every node is down).
+ */
+class MigrationEngine
+{
+  public:
+    MigrationEngine(const MigrationModel &model,
+                    std::vector<std::string> nodeIsa);
+
+    /**
+     * Advance one lockstep interval.
+     *
+     * `target` must be the same normalized share vector the fleet
+     * would use without migration (down nodes zeroed, sums to 1
+     * while any node is up). `plannedMoves` is null for blind
+     * dispatchers — the engine derives churn moves itself — and
+     * points at the dispatcher's plan for migration-aware ones.
+     * `served[i]` receives the absolute load each node must serve
+     * this interval (resident share plus any arrival surge).
+     */
+    const MigrationIntervalStats &
+    step(std::size_t interval, Seconds dt, Fraction fleetLoad,
+         double fleetCapacity, const std::vector<double> &target,
+         const std::vector<char> &down,
+         const std::vector<MigrationMove> *plannedMoves,
+         std::vector<double> &served);
+
+    /** Resident share per node (after the last step). */
+    const std::vector<double> &resident() const { return resident_; }
+
+    /** Share currently in transit between nodes. */
+    double inFlightShare() const;
+
+    /** Share waiting to be re-pooled (only while all nodes down). */
+    double pooledShare() const { return pendingPool_; }
+
+    const MigrationModel &model() const { return model_; }
+    const std::vector<std::string> &nodeIsa() const { return isa_; }
+
+    /** Whole-run totals; meanInFlightShare is per completed step. */
+    MigrationTotals totals() const;
+
+  private:
+    struct Transfer
+    {
+        std::size_t from;
+        std::size_t to;
+        double share;
+        std::size_t arriveInterval;
+        /** Load quanta accrued while this transfer was in flight. */
+        double deferred;
+    };
+
+    void deriveMoves(const std::vector<double> &target,
+                     const std::vector<char> &down,
+                     std::vector<MigrationMove> &out) const;
+    void applyMoves(std::size_t interval, Seconds dt,
+                    const std::vector<MigrationMove> &moves,
+                    const std::vector<char> &down);
+
+    const MigrationModel &model_;
+    std::vector<std::string> isa_;
+    std::vector<double> resident_;
+    std::vector<double> surge_;
+    std::vector<Transfer> transfers_;
+    std::vector<MigrationMove> scratchMoves_;
+    double pendingPool_ = 0.0;
+    bool allFree_ = false;
+    bool placed_ = false;
+    std::size_t steps_ = 0;
+    double inFlightShareSum_ = 0.0;
+    MigrationIntervalStats stats_;
+    MigrationTotals totals_;
+};
+
+} // namespace hipster
+
+#endif // HIPSTER_MIGRATION_MIGRATION_HH

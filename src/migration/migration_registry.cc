@@ -1,0 +1,230 @@
+#include "migration/migration_registry.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace hipster
+{
+
+namespace
+{
+
+constexpr const char *kPrefix = "migrate:";
+
+/** The spec with any `migrate:` prefix removed. */
+std::string
+stripPrefix(const std::string &spec)
+{
+    const std::string prefix(kPrefix);
+    if (spec.rfind(prefix, 0) == 0)
+        return spec.substr(prefix.size());
+    return spec;
+}
+
+} // namespace
+
+MigrationRegistry &
+MigrationRegistry::instance()
+{
+    static MigrationRegistry registry = [] {
+        MigrationRegistry r;
+        r.registerBuiltins();
+        return r;
+    }();
+    return registry;
+}
+
+void
+MigrationRegistry::add(MigrationInfo info, Factory factory)
+{
+    if (has(info.name) || info.name == "none")
+        fatal("MigrationRegistry: duplicate migration family '",
+              info.name, "'");
+    for (const std::string &alias : info.aliases) {
+        if (has(alias) || alias == "none")
+            fatal("MigrationRegistry: duplicate migration alias '",
+                  alias, "'");
+    }
+    if (!factory)
+        fatal("MigrationRegistry: null factory for '", info.name,
+              "'");
+    entries_.push_back(std::move(info));
+    factories_.push_back(std::move(factory));
+}
+
+bool
+MigrationRegistry::has(const std::string &name) const
+{
+    return std::any_of(
+        entries_.begin(), entries_.end(),
+        [&](const MigrationInfo &e) {
+            return e.name == name ||
+                   std::find(e.aliases.begin(), e.aliases.end(),
+                             name) != e.aliases.end();
+        });
+}
+
+std::unique_ptr<MigrationModel>
+MigrationRegistry::make(const std::string &spec) const
+{
+    if (isNoneMigration(spec))
+        return nullptr;
+
+    const std::string body = stripPrefix(spec);
+    const std::string head = specHead(body);
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        const MigrationInfo &e = entries_[i];
+        const bool match =
+            e.name == head ||
+            std::find(e.aliases.begin(), e.aliases.end(), head) !=
+                e.aliases.end();
+        if (!match)
+            continue;
+        SpecParamSet params;
+        parseSpecParams("migration", body, e.name, e.params, params);
+        return factories_[i](canonicalMigrationLabel(spec), params);
+    }
+    std::string known = "none";
+    for (const MigrationInfo &e : entries_)
+        known += ", " + e.name;
+    fatal("unknown migration family '", head, "' in spec '", spec,
+          "'; known migrations: ", known,
+          " (prefix with 'migrate:', e.g. migrate:",
+          entries_.empty() ? "hexo" : entries_.front().name, ")");
+}
+
+std::string
+MigrationRegistry::catalogText() const
+{
+    std::string out =
+        "Work migration (spec grammar: migrate:name[:key=value,...],"
+        " or none):\n";
+    out += "  none — no migration: dispatchers re-route new load "
+           "only (bitwise-identical\n      to the pre-migration "
+           "fleet)\n";
+    for (const MigrationInfo &e : entries_) {
+        out += "  " + std::string(kPrefix) + e.name;
+        for (const std::string &alias : e.aliases)
+            out += " (alias: " + alias + ")";
+        out += " — " + e.summary;
+        if (!e.paperRef.empty())
+            out += " [" + e.paperRef + "]";
+        out += "\n";
+        for (const SpecParamInfo &p : e.params)
+            out += "      " + specParamLine(p) + "\n";
+    }
+    return out;
+}
+
+void
+MigrationRegistry::registerBuiltins()
+{
+    {
+        MigrationInfo info;
+        info.name = "hexo";
+        info.aliases = {"checkpoint"};
+        info.summary =
+            "checkpointed migration: serialize + transfer + restore "
+            "one checkpoint image per move; same-ISA moves take the "
+            "warm path, cross-ISA moves pay the HEXO-style "
+            "transformation factor";
+        info.paperRef = "HEXO/popcorn-compiler; arXiv:2205.03725";
+        info.params = {
+            {"ckpt", "checkpoint image size in MB", 64.0, 0.0,
+             65536.0, false, false, ParamUnit::None},
+            {"serialize", "source-side serialize bandwidth in MB/s",
+             400.0, 1.0, 1e6, false, false, ParamUnit::None},
+            {"bw", "network transfer bandwidth in MB/s", 117.0, 1.0,
+             1e6, false, false, ParamUnit::None},
+            {"restore", "destination-side restore bandwidth in MB/s",
+             400.0, 1.0, 1e6, false, false, ParamUnit::None},
+            {"warm", "same-ISA latency factor (0 = free warm moves)",
+             0.25, 0.0, 10.0, false, false, ParamUnit::None},
+            {"xisa", "cross-ISA latency factor (checkpoint "
+                     "transformation at both ends)",
+             2.0, 0.0, 100.0, false, false, ParamUnit::None},
+            {"joules", "energy billed per checkpoint MB moved", 0.02,
+             0.0, 1000.0, false, false, ParamUnit::None},
+            {"minmove", "smallest share a blind dispatcher will "
+                        "move (churn hysteresis)",
+             0.02, 0.0, 1.0, false, false, ParamUnit::None},
+        };
+        add(info, [](const std::string &label,
+                     const SpecParamSet &set) {
+            return std::make_unique<MigrationModel>(
+                label, set.get("ckpt", 64.0),
+                set.get("serialize", 400.0), set.get("bw", 117.0),
+                set.get("restore", 400.0), set.get("warm", 0.25),
+                set.get("xisa", 2.0), set.get("joules", 0.02),
+                set.get("minmove", 0.02));
+        });
+    }
+
+    {
+        MigrationInfo info;
+        info.name = "instant";
+        info.aliases = {"free"};
+        info.summary =
+            "zero-latency, zero-energy moves: an upper bound that "
+            "degrades migration to plain re-routing";
+        info.paperRef = "";
+        info.params = {};
+        add(info, [](const std::string &label, const SpecParamSet &) {
+            return std::make_unique<MigrationModel>(
+                label, /*checkpointMb=*/0.0, /*serializeMbps=*/1.0,
+                /*transferMbps=*/1.0, /*restoreMbps=*/1.0,
+                /*warmFactor=*/0.0, /*crossIsaFactor=*/0.0,
+                /*joulesPerMb=*/0.0, /*minMoveShare=*/0.0);
+        });
+    }
+}
+
+std::unique_ptr<MigrationModel>
+makeMigrationModel(const std::string &spec)
+{
+    return MigrationRegistry::instance().make(spec);
+}
+
+bool
+isNoneMigration(const std::string &spec)
+{
+    const std::string body = stripPrefix(spec);
+    return body.empty() || body == "none";
+}
+
+void
+validateMigrationSpec(const std::string &spec)
+{
+    makeMigrationModel(spec);
+}
+
+bool
+isMigrationSpec(const std::string &spec)
+{
+    try {
+        validateMigrationSpec(spec);
+        return true;
+    } catch (const FatalError &) {
+        return false;
+    }
+}
+
+std::string
+canonicalMigrationLabel(const std::string &spec)
+{
+    if (isNoneMigration(spec))
+        return "none";
+    return std::string(kPrefix) + stripPrefix(spec);
+}
+
+std::vector<std::string>
+splitMigrationList(const std::string &list)
+{
+    return splitSpecList(list, [](const std::string &head) {
+        return head == "migrate" || head == "none" ||
+               MigrationRegistry::instance().has(head);
+    });
+}
+
+} // namespace hipster

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Registry for the work-migration axis — the seventh spec axis.
+ * Migration specs ride the shared common/spec_grammar, carry a
+ * canonical `migrate:` prefix so sweep/CSV labels are
+ * self-describing, and fail fast with catalog-enumerating errors
+ * exactly like the trace/policy/workload/platform/dispatch/hazard
+ * axes:
+ *
+ *   spec := 'none' | ['migrate:'] name [':' key '=' value (',' ...)]
+ *
+ *   none
+ *   migrate:hexo
+ *   migrate:hexo:ckpt=256,bw=117,xisa=2
+ *   migrate:instant
+ */
+
+#ifndef HIPSTER_MIGRATION_MIGRATION_REGISTRY_HH
+#define HIPSTER_MIGRATION_MIGRATION_REGISTRY_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/spec_grammar.hh"
+#include "migration/migration.hh"
+
+namespace hipster
+{
+
+/** Catalog entry describing one registered migration family. */
+struct MigrationInfo
+{
+    std::string name;                 ///< grammar head, e.g. "hexo"
+    std::vector<std::string> aliases; ///< alternate heads
+    std::string summary;              ///< one line for the catalog
+    std::string paperRef;             ///< grounding citation
+    std::vector<SpecParamInfo> params;
+};
+
+/**
+ * Name-keyed migration-model factory. A singleton holds the
+ * built-ins; custom models registered at startup become available
+ * to the fleet CLI, the fleet sweep axis and the benches at once.
+ */
+class MigrationRegistry
+{
+  public:
+    using Factory = std::function<std::unique_ptr<MigrationModel>(
+        const std::string &label, const SpecParamSet &params)>;
+
+    static MigrationRegistry &instance();
+
+    /** Register a family; FatalError on duplicate names/aliases. */
+    void add(MigrationInfo info, Factory factory);
+
+    bool has(const std::string &name) const;
+
+    /** All registered families, in registration order. */
+    const std::vector<MigrationInfo> &entries() const
+    {
+        return entries_;
+    }
+
+    /**
+     * Build a migration model from a spec (with or without the
+     * `migrate:` prefix). Returns nullptr for "none". Throws
+     * FatalError enumerating the catalog on unknown names and the
+     * schema on bad parameters.
+     */
+    std::unique_ptr<MigrationModel>
+    make(const std::string &spec) const;
+
+    /** Human-readable catalog (--list-migrations). */
+    std::string catalogText() const;
+
+  private:
+    MigrationRegistry() = default;
+    void registerBuiltins();
+
+    std::vector<MigrationInfo> entries_;
+    std::vector<Factory> factories_;
+};
+
+/** Build a migration model from a spec via the global registry;
+ *  nullptr for "none". */
+std::unique_ptr<MigrationModel>
+makeMigrationModel(const std::string &spec);
+
+/** True when the spec disables migration entirely. */
+bool isNoneMigration(const std::string &spec);
+
+/** Throws FatalError when the spec does not parse. */
+void validateMigrationSpec(const std::string &spec);
+
+/** Non-throwing validation of a migration spec. */
+bool isMigrationSpec(const std::string &spec);
+
+/** "none", or the spec with its `migrate:` prefix enforced. */
+std::string canonicalMigrationLabel(const std::string &spec);
+
+/** Splits a CLI migration list (`;` separated; a `,` separates only
+ * before a registered head, `none`, or the `migrate:` prefix). */
+std::vector<std::string> splitMigrationList(const std::string &list);
+
+} // namespace hipster
+
+#endif // HIPSTER_MIGRATION_MIGRATION_REGISTRY_HH

@@ -7,6 +7,12 @@
 namespace hipster
 {
 
+bool
+isKnownIsa(const std::string &isa)
+{
+    return isa == "arm64" || isa == "riscv64" || isa == "x86_64";
+}
+
 void
 PlatformSpec::validate() const
 {
@@ -30,6 +36,9 @@ PlatformSpec::validate() const
             seen_small = true;
         }
     }
+    if (!isKnownIsa(isa))
+        fatal("platform '", name, "': unknown isa '", isa,
+              "' (expected arm64, riscv64 or x86_64)");
     if (restOfSystem < 0.0)
         fatal("platform '", name, "': negative rest-of-system power");
     if (costs.dvfsTransition < 0.0 || costs.coreMigration < 0.0)
@@ -135,6 +144,7 @@ Platform::junoR1()
     spec.power = {big_power, small_power};
     spec.restOfSystem = 0.76;
     spec.costs = ActuationCosts{};
+    spec.isa = "arm64";
     spec.emulatePerfErrata = true;
     return spec;
 }

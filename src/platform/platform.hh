@@ -56,11 +56,22 @@ struct PlatformSpec
     Watts restOfSystem = 0.0;
     ActuationCosts costs;
 
+    /**
+     * Instruction-set architecture of the node. Work migrating
+     * between nodes of different ISAs must take the checkpointed
+     * (HEXO-style) path in the migration model; same-ISA moves take
+     * the warm path. One of "arm64", "riscv64", "x86_64".
+     */
+    std::string isa = "arm64";
+
     /** Emulate the Juno perf-counter idle erratum (Section 3.7). */
     bool emulatePerfErrata = true;
 
     void validate() const;
 };
+
+/** True when `isa` is one of the recognised ISA names. */
+bool isKnownIsa(const std::string &isa);
 
 /** Cost report returned by Platform::applyConfig. */
 struct ActuationResult

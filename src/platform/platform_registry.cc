@@ -266,8 +266,93 @@ PlatformRegistry::registerBuiltins()
 
             spec.power = {big_power, small_power};
             spec.restOfSystem = set.get("rest", 1.5);
+            spec.isa = "x86_64";
             // No Juno perf-counter idle erratum on a made-up server
             // part (Section 3.7 is board-specific).
+            spec.emulatePerfErrata = false;
+            return spec;
+        });
+    }
+
+    {
+        PlatformInfo info;
+        info.name = "montecimone";
+        info.aliases = {"mc", "riscv"};
+        info.display = "Monte Cimone RISC-V node";
+        info.summary =
+            "SiFive Freedom U740 board from the Monte Cimone RISC-V "
+            "cluster: four dual-issue in-order U74 application cores "
+            "plus one S7 monitor core, with the board power envelope "
+            "calibrated to the published 2.5 W idle / ~5.9 W loaded "
+            "measurements; isa=riscv64";
+        info.paperRef = "arXiv:2205.03725; arXiv:2503.18543";
+        info.params = {
+            {"u74", "U74 application core count", 4.0, 1.0, 64.0,
+             true, false, ParamUnit::None},
+            {"freq", "top U74 frequency in GHz", 1.2, 0.4, 2.0,
+             false, false, ParamUnit::None},
+            {"opps", "U74 OPP ladder depth", 3.0, 1.0, 8.0, true,
+             false, ParamUnit::None},
+            {"ipc", "U74 compute-microbenchmark IPC", 1.4, 0.1, 10.0,
+             false, false, ParamUnit::None},
+            {"s7", "S7 monitor core count", 1.0, 1.0, 4.0, true,
+             false, ParamUnit::None},
+            {"rest", "rest-of-system power in watts", 0.90, 0.0,
+             1000.0, false, false, ParamUnit::None},
+        };
+        registerPlatform(info, [](const SpecParamSet &set) {
+            PlatformSpec spec;
+            const auto u74_count = static_cast<std::uint32_t>(
+                set.get("u74", 4.0));
+            spec.name = "Monte Cimone U740 " +
+                        std::to_string(u74_count) + "xU74";
+
+            // U74 application cluster: dual-issue in-order rv64gc,
+            // up to 1.2 GHz on the FU740; the three-step ladder
+            // mirrors the cpufreq table Monte Cimone exposes.
+            ClusterSpec big;
+            big.name = "SiFive-U74";
+            big.type = CoreType::Big;
+            big.coreCount = u74_count;
+            big.microbenchIpc = set.get("ipc", 1.4);
+            big.l2Bytes = 2ULL << 20;
+            big.opps = syntheticOpps(
+                set.get("freq", 1.2),
+                static_cast<std::size_t>(set.get("opps", 3.0)),
+                /*floor=*/0.5, /*v_lo=*/0.75, /*v_hi=*/0.90);
+
+            // S7 monitor core: a single in-order embedded core at a
+            // fixed clock, usable as the "small" cluster.
+            ClusterSpec small;
+            small.name = "SiFive-S7";
+            small.type = CoreType::Small;
+            small.coreCount =
+                static_cast<std::uint32_t>(set.get("s7", 1.0));
+            small.microbenchIpc = 0.8;
+            small.l2Bytes = 1ULL << 20;
+            small.opps = {{1.0, 0.75}};
+
+            spec.clusters = {big, small};
+
+            // Power split so that the modeled board lands on the
+            // Monte Cimone measurements: ~2.5 W at idle and ~5.9 W
+            // under full load once DDR and peripherals (the `rest`
+            // key) are included.
+            ClusterPowerParams big_power;
+            big_power.core.refVoltage = 0.90;
+            big_power.core.staticAtRef = 0.06;
+            big_power.core.dynCoeff = 0.30;
+            big_power.uncoreAtRef = 0.15;
+
+            ClusterPowerParams small_power;
+            small_power.core.refVoltage = 0.75;
+            small_power.core.staticAtRef = 0.04;
+            small_power.core.dynCoeff = 0.15;
+            small_power.uncoreAtRef = 0.04;
+
+            spec.power = {big_power, small_power};
+            spec.restOfSystem = set.get("rest", 0.90);
+            spec.isa = "riscv64";
             spec.emulatePerfErrata = false;
             return spec;
         });

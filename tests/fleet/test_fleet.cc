@@ -204,5 +204,73 @@ TEST(FleetRun, ShardTraceReplaysTheRoutedLoad)
         EXPECT_DOUBLE_EQ(trace->at(t), load);
 }
 
+TEST(FleetHazards, BlastDownsContiguousRacksTogether)
+{
+    // nodefail:blast=2 on a 4-node fleet forms two contiguous racks
+    // (nodes 0+1 and 2+3). Any failure downs its victim's whole
+    // rack: both members blank together, and the dispatcher serves
+    // the fleet through the surviving rack.
+    FleetSpec spec;
+    spec.nodes = parseFleetNodes(
+        "juno@hipster-in;juno@hipster-in;juno@hipster-in;"
+        "juno@hipster-in");
+    spec.workload = "memcached";
+    spec.trace = "diurnal";
+    spec.dispatcher = "dispatch:least-loaded";
+    spec.hazard = "hazard:nodefail:mtbf=90s,mttr=30s,blast=2";
+    spec.duration = 240.0;
+    spec.seed = 11;
+    const FleetResult result = runFleet(spec);
+
+    const auto nodeDown = [&](std::size_t i, std::size_t k) {
+        const IntervalMetrics &m = result.nodes[i].result.series[k];
+        return m.power == 0.0 && m.throughput == 0.0;
+    };
+    std::size_t downIntervals = 0, reRouted = 0;
+    for (std::size_t k = 0; k < result.fleetSeries.size(); ++k) {
+        // Rack property: both members of each rack blank together.
+        EXPECT_EQ(nodeDown(0, k), nodeDown(1, k)) << "interval " << k;
+        EXPECT_EQ(nodeDown(2, k), nodeDown(3, k)) << "interval " << k;
+        const bool rack0 = nodeDown(0, k), rack1 = nodeDown(2, k);
+        if (rack0 || rack1)
+            ++downIntervals;
+        if (rack0 != rack1) {
+            // Exactly one rack down: its nodes get no traffic and
+            // the fleet keeps serving through the other rack.
+            const std::size_t base = rack0 ? 0 : 2;
+            EXPECT_EQ(result.nodes[base].shard[k].second, 0.0);
+            EXPECT_EQ(result.nodes[base + 1].shard[k].second, 0.0);
+            if (result.fleetSeries[k].throughput > 0.0)
+                ++reRouted;
+        }
+    }
+    // The property must not hold vacuously: this seed produces
+    // failures, and the fleet rides them out on the other rack.
+    EXPECT_GT(downIntervals, 0u);
+    EXPECT_GT(reRouted, 0u);
+}
+
+TEST(FleetHazards, BlastOneIsBitwiseIdenticalToPlainNodefail)
+{
+    // blast=1 is the default: spelling it out must not change a
+    // single bit of the run.
+    FleetSpec plain = smallFleet();
+    plain.hazard = "hazard:nodefail:mtbf=120s,mttr=30s";
+    plain.duration = 120.0;
+    FleetSpec blast = plain;
+    blast.hazard = "hazard:nodefail:mtbf=120s,mttr=30s,blast=1";
+
+    const FleetResult a = runFleet(plain);
+    const FleetResult b = runFleet(blast);
+    ASSERT_EQ(a.fleetSeries.size(), b.fleetSeries.size());
+    for (std::size_t k = 0; k < a.fleetSeries.size(); ++k) {
+        EXPECT_EQ(a.fleetSeries[k].power, b.fleetSeries[k].power);
+        EXPECT_EQ(a.fleetSeries[k].energy, b.fleetSeries[k].energy);
+        EXPECT_EQ(a.fleetSeries[k].tailLatency,
+                  b.fleetSeries[k].tailLatency);
+    }
+    EXPECT_EQ(a.summary.fleet.energy, b.summary.fleet.energy);
+}
+
 } // namespace
 } // namespace hipster

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Fleet-level migration tests: the conservation invariant (no load
+ * quanta lost or double-served), the zero-cost equivalence (a free
+ * same-ISA migration spec is bitwise-identical to plain re-routing),
+ * blanking of in-flight arrivals under nodefail, cp-migrate's
+ * cost-gated decline under huge checkpoints, and jobs=1 vs jobs=N
+ * bitwise identity of mixed-ISA migration campaigns.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "fleet/fleet.hh"
+#include "fleet/fleet_sweep.hh"
+
+namespace hipster
+{
+namespace
+{
+
+/** Mixed-ISA fleet: one arm64 Juno plus two riscv64 Monte Cimone
+ * boards, kept short so the suite stays fast. */
+FleetSpec
+mixedFleet()
+{
+    FleetSpec spec;
+    spec.nodes = parseFleetNodes(
+        "juno@hipster-in;montecimone@hipster-in;"
+        "montecimone:u74=8@hipster-in");
+    spec.workload = "memcached";
+    spec.trace = "diurnal";
+    spec.dispatcher = "dispatch:cp";
+    spec.duration = 120.0;
+    spec.seed = 7;
+    return spec;
+}
+
+void
+expectBitwiseEqualSeries(const FleetResult &a, const FleetResult &b)
+{
+    ASSERT_EQ(a.fleetSeries.size(), b.fleetSeries.size());
+    for (std::size_t k = 0; k < a.fleetSeries.size(); ++k) {
+        const IntervalMetrics &ma = a.fleetSeries[k];
+        const IntervalMetrics &mb = b.fleetSeries[k];
+        EXPECT_EQ(ma.power, mb.power) << "interval " << k;
+        EXPECT_EQ(ma.energy, mb.energy) << "interval " << k;
+        EXPECT_EQ(ma.tailLatency, mb.tailLatency) << "interval " << k;
+        EXPECT_EQ(ma.throughput, mb.throughput) << "interval " << k;
+        EXPECT_EQ(ma.lcUtilization, mb.lcUtilization)
+            << "interval " << k;
+    }
+    EXPECT_EQ(a.summary.fleet.energy, b.summary.fleet.energy);
+    EXPECT_EQ(a.summary.fleet.qosGuarantee,
+              b.summary.fleet.qosGuarantee);
+    EXPECT_EQ(a.summary.strandedCapacity, b.summary.strandedCapacity);
+}
+
+TEST(FleetMigration, ValidateFailsFastOnBadMigrationSpec)
+{
+    FleetSpec spec = mixedFleet();
+    spec.migration = "migrate:hexo";
+    EXPECT_NO_THROW(spec.validate());
+    spec.migration = "migrate:teleport";
+    EXPECT_THROW(spec.validate(), FatalError);
+    spec.migration = "migrate:hexo:nonsense=1";
+    EXPECT_THROW(spec.validate(), FatalError);
+}
+
+TEST(FleetMigration, ZeroCostSameIsaIsBitwiseIdenticalToNone)
+{
+    // All-juno fleet: every pair is same-ISA, so warm=0 plus
+    // joules=0 makes every move free and a blind dispatcher must
+    // reproduce the stateless re-routing path bit for bit.
+    FleetSpec none = mixedFleet();
+    none.nodes = parseFleetNodes(
+        "juno@hipster-in;juno:big=4,little=8@hipster-in");
+    FleetSpec free = none;
+    free.migration = "migrate:hexo:warm=0,joules=0";
+
+    const FleetResult a = runFleet(none);
+    const FleetResult b = runFleet(free);
+    EXPECT_EQ(a.migration, "none");
+    EXPECT_EQ(b.migration, "migrate:hexo:warm=0,joules=0");
+    expectBitwiseEqualSeries(a, b);
+    EXPECT_EQ(b.summary.migration.moves, 0u);
+    EXPECT_EQ(b.summary.migration.energy, 0.0);
+    for (const MigrationIntervalStats &m : b.migrationSeries) {
+        EXPECT_EQ(m.movesStarted, 0u);
+        EXPECT_EQ(m.transitLoad, 0.0);
+        EXPECT_EQ(m.surgeLoad, 0.0);
+    }
+}
+
+TEST(FleetMigration, InstantIsBitwiseIdenticalToNoneOnMixedIsa)
+{
+    // migrate:instant is free for every ISA pair, so even a mixed
+    // arm64 + riscv64 fleet under a blind dispatcher degrades to
+    // plain re-routing.
+    FleetSpec none = mixedFleet();
+    FleetSpec instant = none;
+    instant.migration = "migrate:instant";
+    expectBitwiseEqualSeries(runFleet(none), runFleet(instant));
+}
+
+TEST(FleetMigration, PerIntervalConservationHolds)
+{
+    // No load quanta lost or double-served: every interval, the load
+    // the nodes actually serve plus the quanta entering transit
+    // minus the quanta surging back out must equal the offered load.
+    FleetSpec spec = mixedFleet();
+    spec.dispatcher = "dispatch:cp-migrate";
+    spec.migration = "migrate:hexo";
+    const FleetResult result = runFleet(spec);
+    ASSERT_EQ(result.migrationSeries.size(),
+              result.fleetSeries.size());
+    const double dt = spec.runner.interval;
+
+    double fleetCapacity = 0.0;
+    for (const FleetNodeResult &node : result.nodes)
+        fleetCapacity += node.capacity;
+
+    for (std::size_t k = 0; k < result.fleetSeries.size(); ++k) {
+        double servedSum = 0.0;
+        for (const FleetNodeResult &node : result.nodes)
+            servedSum += node.shard[k].second * node.capacity;
+        const MigrationIntervalStats &m = result.migrationSeries[k];
+        const double offered =
+            result.fleetSeries[k].offeredLoad * fleetCapacity;
+        EXPECT_NEAR(servedSum + m.transitLoad / dt - m.surgeLoad / dt,
+                    offered, 1e-9)
+            << "interval " << k;
+        EXPECT_EQ(m.blankedLoad, 0.0) << "interval " << k;
+    }
+
+    // Cumulative bookkeeping: everything that entered transit either
+    // surged back out, was blanked, or is still in flight at the end.
+    const MigrationTotals totals = result.summary.migration;
+    EXPECT_LE(totals.surgeLoad + totals.blankedLoad,
+              totals.transitLoad + 1e-9);
+    EXPECT_GT(totals.moves, 0u);
+    EXPECT_GT(totals.energy, 0.0);
+}
+
+TEST(FleetMigration, AwarePlannerMovesLessThanBlindChurn)
+{
+    // A blind dispatcher churns toward its fresh share vector every
+    // interval and pays for it; the cost-gated planner moves only
+    // when the scoring gain beats the modeled cost.
+    FleetSpec blind = mixedFleet();
+    blind.migration = "migrate:hexo";
+    FleetSpec aware = blind;
+    aware.dispatcher = "dispatch:cp-migrate";
+
+    const FleetResult b = runFleet(blind);
+    const FleetResult a = runFleet(aware);
+    EXPECT_GT(b.summary.migration.moves, 0u);
+    EXPECT_LT(a.summary.migration.moves, b.summary.migration.moves);
+    EXPECT_LT(a.summary.migration.energy, b.summary.migration.energy);
+}
+
+TEST(FleetMigration, CpMigrateDeclinesWhenCheckpointIsHuge)
+{
+    // A 2 GB checkpoint makes every move cost more than any scoring
+    // gain, so the planner keeps the initial placement frozen.
+    FleetSpec spec = mixedFleet();
+    spec.dispatcher = "dispatch:cp-migrate";
+    spec.migration = "migrate:hexo:ckpt=2048";
+    const FleetResult result = runFleet(spec);
+    EXPECT_EQ(result.summary.migration.moves, 0u);
+    EXPECT_EQ(result.summary.migration.energy, 0.0);
+    EXPECT_EQ(result.summary.migration.transitLoad, 0.0);
+}
+
+TEST(FleetMigration, NodefailBlanksInFlightArrivals)
+{
+    // A blind dispatcher under nodefail keeps transfers in flight;
+    // some arrive at destinations that died mid-flight and their
+    // deferred load is blanked, never served and never re-billed.
+    FleetSpec spec = mixedFleet();
+    spec.migration = "migrate:hexo";
+    spec.hazard = "hazard:nodefail:mtbf=60s,mttr=30s";
+    spec.duration = 180.0;
+    const FleetResult result = runFleet(spec);
+    const MigrationTotals totals = result.summary.migration;
+    EXPECT_GT(totals.moves, 0u);
+    EXPECT_GT(totals.blankedLoad, 0.0);
+    EXPECT_LE(totals.surgeLoad + totals.blankedLoad,
+              totals.transitLoad + 1e-9);
+    for (const IntervalMetrics &m : result.fleetSeries) {
+        EXPECT_TRUE(std::isfinite(m.power));
+        EXPECT_TRUE(std::isfinite(m.tailLatency));
+    }
+}
+
+TEST(FleetMigration, MixedIsaSweepIsBitwiseAcrossJobs)
+{
+    FleetSweepSpec sweep;
+    sweep.base = mixedFleet();
+    sweep.base.nodes = parseFleetNodes(
+        "juno@hipster-in;montecimone@hipster-in");
+    sweep.base.duration = 60.0;
+    sweep.dispatchers = {"dispatch:cp", "dispatch:cp-migrate"};
+    sweep.migrations = {"none", "migrate:hexo"};
+    sweep.seeds = 1;
+    sweep.keepSeries = false;
+
+    const FleetSweepResults serial = runFleetSweep(sweep, 1);
+    const FleetSweepResults parallel = runFleetSweep(sweep, 4);
+    ASSERT_EQ(serial.fleet.size(), 4u);
+    ASSERT_EQ(parallel.fleet.size(), serial.fleet.size());
+    ASSERT_EQ(serial.sweep.runs.size(), parallel.sweep.runs.size());
+
+    for (std::size_t i = 0; i < serial.sweep.runs.size(); ++i) {
+        const RunSummary &a = serial.sweep.runs[i].result.summary;
+        const RunSummary &b = parallel.sweep.runs[i].result.summary;
+        EXPECT_EQ(a.energy, b.energy) << "run " << i;
+        EXPECT_EQ(a.qosGuarantee, b.qosGuarantee) << "run " << i;
+        EXPECT_EQ(a.meanPower, b.meanPower) << "run " << i;
+    }
+    for (std::size_t i = 0; i < serial.fleet.size(); ++i) {
+        const FleetRunStats &a = serial.fleet[i];
+        const FleetRunStats &b = parallel.fleet[i];
+        EXPECT_EQ(a.dispatcher, b.dispatcher);
+        EXPECT_EQ(a.migration, b.migration);
+        EXPECT_EQ(a.strandedCapacity, b.strandedCapacity);
+        EXPECT_EQ(a.migrationTotals.moves, b.migrationTotals.moves);
+        EXPECT_EQ(a.migrationTotals.energy, b.migrationTotals.energy);
+    }
+
+    // The folded policy-axis labels keep dispatcher and migration
+    // distinct; migrate:none keeps the historical bare label.
+    EXPECT_EQ(serial.fleet[0].migration, "none");
+    EXPECT_EQ(serial.fleet[1].migration, "migrate:hexo");
+    EXPECT_EQ(serial.sweep.runs[1].job.policy,
+              "dispatch:cp+migrate:hexo");
+    EXPECT_EQ(serial.sweep.runs[0].job.policy, "dispatch:cp");
+}
+
+} // namespace
+} // namespace hipster

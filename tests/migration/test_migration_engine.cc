@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "migration/migration.hh"
+#include "migration/migration_registry.hh"
+
+namespace hipster
+{
+namespace
+{
+
+constexpr double kTol = 1e-9;
+
+double
+residentSum(const MigrationEngine &engine)
+{
+    double sum = 0.0;
+    for (const double r : engine.resident())
+        sum += r;
+    return sum;
+}
+
+/** Total routable share the engine is accountable for. */
+double
+accountedShare(const MigrationEngine &engine)
+{
+    return residentSum(engine) + engine.inFlightShare() +
+           engine.pooledShare();
+}
+
+TEST(MigrationEngine, InitialPlacementAdoptsTarget)
+{
+    const auto model = makeMigrationModel("migrate:hexo");
+    MigrationEngine engine(*model, {"arm64", "arm64"});
+    std::vector<double> served;
+    const std::vector<double> target = {0.75, 0.25};
+    engine.step(0, 1.0, 0.5, 10.0, target, {0, 0}, nullptr, served);
+    EXPECT_DOUBLE_EQ(engine.resident()[0], 0.75);
+    EXPECT_DOUBLE_EQ(engine.resident()[1], 0.25);
+    EXPECT_DOUBLE_EQ(served[0], 0.75 * 0.5 * 10.0);
+    EXPECT_DOUBLE_EQ(served[1], 0.25 * 0.5 * 10.0);
+}
+
+TEST(MigrationEngine, PlannedMoveDefersTransitsAndSurges)
+{
+    // arm64 -> riscv64 is the cross-ISA path: 2.0 * base ~= 1.73 s,
+    // so with dt=1 a move departs at k=0 and arrives at k=2.
+    const auto model = makeMigrationModel("migrate:hexo");
+    MigrationEngine engine(*model, {"arm64", "riscv64"});
+    std::vector<double> served;
+    const std::vector<double> target = {1.0, 0.0};
+    const std::vector<char> up = {0, 0};
+    const double load = 0.5, capacity = 10.0;
+
+    std::vector<MigrationMove> moves = {{0, 1, 0.25}};
+    const MigrationIntervalStats &s0 = engine.step(
+        0, 1.0, load, capacity, target, up, &moves, served);
+    EXPECT_EQ(s0.movesStarted, 1u);
+    EXPECT_DOUBLE_EQ(s0.inFlightShare, 0.25);
+    EXPECT_DOUBLE_EQ(s0.migrationEnergy, 64.0 * 0.02);
+    // In-transit share is served nowhere and billed to nobody.
+    EXPECT_DOUBLE_EQ(served[0], 0.75 * load * capacity);
+    EXPECT_DOUBLE_EQ(served[1], 0.0);
+    EXPECT_DOUBLE_EQ(s0.transitLoad, 0.25 * load * capacity);
+    EXPECT_NEAR(accountedShare(engine), 1.0, kTol);
+
+    moves.clear();
+    const MigrationIntervalStats &s1 = engine.step(
+        1, 1.0, load, capacity, target, up, &moves, served);
+    EXPECT_DOUBLE_EQ(s1.inFlightShare, 0.25);
+    EXPECT_DOUBLE_EQ(served[1], 0.0);
+    EXPECT_NEAR(accountedShare(engine), 1.0, kTol);
+
+    // Arrival: the resident share lands plus the deferred load of
+    // two transit intervals is served as a surge.
+    const MigrationIntervalStats &s2 = engine.step(
+        2, 1.0, load, capacity, target, up, &moves, served);
+    EXPECT_DOUBLE_EQ(s2.inFlightShare, 0.0);
+    EXPECT_DOUBLE_EQ(engine.resident()[1], 0.25);
+    EXPECT_DOUBLE_EQ(s2.surgeLoad, 2.0 * 0.25 * load * capacity);
+    EXPECT_DOUBLE_EQ(served[1],
+                     0.25 * load * capacity +
+                         2.0 * 0.25 * load * capacity);
+    EXPECT_NEAR(accountedShare(engine), 1.0, kTol);
+
+    const MigrationTotals totals = engine.totals();
+    EXPECT_EQ(totals.moves, 1u);
+    EXPECT_DOUBLE_EQ(totals.surgeLoad, s2.surgeLoad);
+    EXPECT_DOUBLE_EQ(totals.blankedLoad, 0.0);
+}
+
+TEST(MigrationEngine, DownDestinationBlanksDeferredLoad)
+{
+    const auto model = makeMigrationModel("migrate:hexo");
+    MigrationEngine engine(*model, {"arm64", "riscv64"});
+    std::vector<double> served;
+    const std::vector<double> target = {1.0, 0.0};
+    const double load = 0.5, capacity = 10.0;
+
+    std::vector<MigrationMove> moves = {{0, 1, 0.25}};
+    engine.step(0, 1.0, load, capacity, target, {0, 0}, &moves,
+                served);
+    moves.clear();
+    engine.step(1, 1.0, load, capacity, target, {0, 0}, &moves,
+                served);
+
+    // Destination down on the arrival interval: the deferred load is
+    // blanked and the share re-pools onto the up node.
+    const std::vector<double> targetDown = {1.0, 0.0};
+    const MigrationIntervalStats &s2 = engine.step(
+        2, 1.0, load, capacity, targetDown, {0, 1}, &moves, served);
+    EXPECT_DOUBLE_EQ(s2.blankedLoad, 2.0 * 0.25 * load * capacity);
+    EXPECT_DOUBLE_EQ(s2.surgeLoad, 0.0);
+    EXPECT_DOUBLE_EQ(engine.resident()[0], 1.0);
+    EXPECT_DOUBLE_EQ(engine.resident()[1], 0.0);
+    EXPECT_NEAR(accountedShare(engine), 1.0, kTol);
+    EXPECT_DOUBLE_EQ(engine.totals().blankedLoad, s2.blankedLoad);
+}
+
+TEST(MigrationEngine, FreeModelUnderBlindDispatcherIsPassThrough)
+{
+    const auto model = makeMigrationModel("migrate:instant");
+    MigrationEngine engine(*model, {"arm64", "riscv64", "x86_64"});
+    std::vector<double> served;
+    for (std::size_t k = 0; k < 10; ++k) {
+        const double a = 0.2 + 0.05 * static_cast<double>(k % 4);
+        const std::vector<double> target = {a, 0.7 - a, 0.3};
+        const MigrationIntervalStats &stats = engine.step(
+            k, 1.0, 0.4, 12.0, target, {0, 0, 0}, nullptr, served);
+        // Bitwise pass-through: no moves, resident == target, served
+        // is exactly the stateless routing expression.
+        EXPECT_EQ(stats.movesStarted, 0u);
+        EXPECT_DOUBLE_EQ(stats.migrationEnergy, 0.0);
+        for (std::size_t i = 0; i < target.size(); ++i) {
+            EXPECT_EQ(engine.resident()[i], target[i]);
+            EXPECT_EQ(served[i], target[i] * 0.4 * 12.0);
+        }
+    }
+    EXPECT_EQ(engine.totals().moves, 0u);
+}
+
+TEST(MigrationEngine, BlindChurnSticksBelowMoveFloor)
+{
+    // minmove=0.1: a 5% target wiggle must not trigger any move.
+    const auto model =
+        makeMigrationModel("migrate:hexo:minmove=0.1");
+    MigrationEngine engine(*model, {"arm64", "arm64"});
+    std::vector<double> served;
+    engine.step(0, 1.0, 0.5, 10.0, {0.5, 0.5}, {0, 0}, nullptr,
+                served);
+    const MigrationIntervalStats &s1 = engine.step(
+        1, 1.0, 0.5, 10.0, {0.55, 0.45}, {0, 0}, nullptr, served);
+    EXPECT_EQ(s1.movesStarted, 0u);
+    EXPECT_DOUBLE_EQ(engine.resident()[0], 0.5);
+
+    // A 30% swing clears the floor and churns.
+    const MigrationIntervalStats &s2 = engine.step(
+        2, 1.0, 0.5, 10.0, {0.8, 0.2}, {0, 0}, nullptr, served);
+    EXPECT_EQ(s2.movesStarted, 1u);
+    EXPECT_NEAR(accountedShare(engine), 1.0, kTol);
+}
+
+TEST(MigrationEngine, DownSourceRepoolsResidentShare)
+{
+    const auto model = makeMigrationModel("migrate:hexo");
+    MigrationEngine engine(*model, {"arm64", "arm64", "arm64"});
+    std::vector<double> served;
+    std::vector<MigrationMove> noMoves;
+    engine.step(0, 1.0, 0.5, 10.0, {0.4, 0.4, 0.2}, {0, 0, 0},
+                &noMoves, served);
+    // Node 0 fails: its 0.4 resident share re-pools over the up
+    // nodes proportional to the target.
+    engine.step(1, 1.0, 0.5, 10.0, {0.0, 0.5, 0.5}, {1, 0, 0},
+                &noMoves, served);
+    EXPECT_DOUBLE_EQ(engine.resident()[0], 0.0);
+    EXPECT_NEAR(engine.resident()[1], 0.4 + 0.2, kTol);
+    EXPECT_NEAR(engine.resident()[2], 0.2 + 0.2, kTol);
+    EXPECT_NEAR(accountedShare(engine), 1.0, kTol);
+}
+
+TEST(MigrationEngine, AllDownParksShareInThePool)
+{
+    const auto model = makeMigrationModel("migrate:hexo");
+    MigrationEngine engine(*model, {"arm64", "riscv64"});
+    std::vector<double> served;
+    std::vector<MigrationMove> noMoves;
+    engine.step(0, 1.0, 0.5, 10.0, {0.5, 0.5}, {0, 0}, &noMoves,
+                served);
+    engine.step(1, 1.0, 0.5, 10.0, {0.0, 0.0}, {1, 1}, &noMoves,
+                served);
+    EXPECT_DOUBLE_EQ(residentSum(engine), 0.0);
+    EXPECT_DOUBLE_EQ(engine.pooledShare(), 1.0);
+    EXPECT_DOUBLE_EQ(served[0], 0.0);
+    EXPECT_DOUBLE_EQ(served[1], 0.0);
+    // Restore: the pool redistributes and life goes on.
+    engine.step(2, 1.0, 0.5, 10.0, {0.5, 0.5}, {0, 0}, &noMoves,
+                served);
+    EXPECT_DOUBLE_EQ(engine.pooledShare(), 0.0);
+    EXPECT_NEAR(accountedShare(engine), 1.0, kTol);
+}
+
+/**
+ * The conservation invariant of the tentpole: across a long run of
+ * shifting targets, blind churn, planned moves and node failures, no
+ * load share is ever lost or double-counted — resident + in-flight +
+ * pooled stays exactly 1.
+ */
+TEST(MigrationEngine, ConservationInvariantHoldsEveryInterval)
+{
+    const auto model = makeMigrationModel("migrate:hexo:ckpt=256");
+    MigrationEngine engine(
+        *model, {"arm64", "arm64", "riscv64", "riscv64"});
+    std::vector<double> served;
+    std::vector<MigrationMove> planned;
+    for (std::size_t k = 0; k < 200; ++k) {
+        // Deterministic shifting target distribution.
+        double weights[4];
+        double sum = 0.0;
+        for (std::size_t i = 0; i < 4; ++i) {
+            weights[i] =
+                1.0 + static_cast<double>((k + 3 * i) % 5);
+            sum += weights[i];
+        }
+        std::vector<char> down(4, 0);
+        if (k % 11 < 2)
+            down[(k / 11) % 4] = 1;
+        std::vector<double> target(4, 0.0);
+        double upWeight = 0.0;
+        for (std::size_t i = 0; i < 4; ++i)
+            upWeight += down[i] ? 0.0 : weights[i];
+        for (std::size_t i = 0; i < 4; ++i)
+            target[i] = down[i] ? 0.0 : weights[i] / upWeight;
+
+        if (k % 3 == 0) {
+            // Alternate between blind churn and planned moves.
+            engine.step(k, 1.0, 0.6, 20.0, target, down, nullptr,
+                        served);
+        } else {
+            planned.clear();
+            if (k % 3 == 1 && !down[0] && !down[2])
+                planned.push_back({0, 2, 0.05});
+            engine.step(k, 1.0, 0.6, 20.0, target, down, &planned,
+                        served);
+        }
+        ASSERT_NEAR(accountedShare(engine), 1.0, kTol)
+            << "interval " << k;
+        for (const double s : served)
+            ASSERT_GE(s, 0.0);
+    }
+    EXPECT_GT(engine.totals().moves, 0u);
+}
+
+TEST(MigrationEngine, MalformedMovesAreFatal)
+{
+    const auto model = makeMigrationModel("migrate:hexo");
+    MigrationEngine engine(*model, {"arm64", "arm64"});
+    std::vector<double> served;
+    const std::vector<double> target = {0.5, 0.5};
+    std::vector<MigrationMove> bad = {{0, 7, 0.1}};
+    EXPECT_THROW(engine.step(0, 1.0, 0.5, 10.0, target, {0, 0},
+                             &bad, served),
+                 FatalError);
+    std::vector<MigrationMove> self = {{1, 1, 0.1}};
+    EXPECT_THROW(engine.step(0, 1.0, 0.5, 10.0, target, {0, 0},
+                             &self, served),
+                 FatalError);
+    std::vector<MigrationMove> negative = {{0, 1, -0.1}};
+    EXPECT_THROW(engine.step(0, 1.0, 0.5, 10.0, target, {0, 0},
+                             &negative, served),
+                 FatalError);
+}
+
+} // namespace
+} // namespace hipster

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "migration/migration_registry.hh"
+
+namespace hipster
+{
+namespace
+{
+
+TEST(MigrationRegistry, NoneSpecYieldsNoModel)
+{
+    EXPECT_EQ(makeMigrationModel("none"), nullptr);
+    EXPECT_EQ(makeMigrationModel(""), nullptr);
+    EXPECT_EQ(makeMigrationModel("migrate:none"), nullptr);
+    EXPECT_TRUE(isNoneMigration("none"));
+    EXPECT_TRUE(isNoneMigration("migrate:none"));
+    EXPECT_FALSE(isNoneMigration("migrate:hexo"));
+    EXPECT_FALSE(isNoneMigration("hexo"));
+}
+
+TEST(MigrationRegistry, HexoDefaultsParse)
+{
+    const auto model = makeMigrationModel("migrate:hexo");
+    ASSERT_NE(model, nullptr);
+    EXPECT_EQ(model->label(), "migrate:hexo");
+    EXPECT_DOUBLE_EQ(model->checkpointMb(), 64.0);
+    // base = 64/400 + 64/117 + 64/400 seconds.
+    const double base = 64.0 / 400.0 + 64.0 / 117.0 + 64.0 / 400.0;
+    EXPECT_NEAR(model->baseLatency(), base, 1e-12);
+    EXPECT_NEAR(model->latency("arm64", "arm64"), 0.25 * base, 1e-12);
+    EXPECT_NEAR(model->latency("arm64", "riscv64"), 2.0 * base, 1e-12);
+    EXPECT_NEAR(model->moveEnergy(), 64.0 * 0.02, 1e-12);
+    EXPECT_FALSE(model->freeBetween("arm64", "arm64"));
+}
+
+TEST(MigrationRegistry, PrefixIsOptionalAndAliasesResolve)
+{
+    EXPECT_NE(makeMigrationModel("hexo"), nullptr);
+    EXPECT_NE(makeMigrationModel("checkpoint"), nullptr);
+    EXPECT_NE(makeMigrationModel("migrate:instant"), nullptr);
+    EXPECT_NE(makeMigrationModel("free"), nullptr);
+}
+
+TEST(MigrationRegistry, InstantIsFreeForEveryIsaPair)
+{
+    const auto model = makeMigrationModel("migrate:instant");
+    ASSERT_NE(model, nullptr);
+    EXPECT_DOUBLE_EQ(model->baseLatency(), 0.0);
+    EXPECT_DOUBLE_EQ(model->moveEnergy(), 0.0);
+    EXPECT_TRUE(model->freeBetween("arm64", "riscv64"));
+    EXPECT_TRUE(model->freeBetween("x86_64", "x86_64"));
+}
+
+TEST(MigrationRegistry, ParamsOverrideDefaults)
+{
+    const auto model = makeMigrationModel(
+        "migrate:hexo:ckpt=128,bw=234,warm=0,xisa=4,joules=0.5");
+    ASSERT_NE(model, nullptr);
+    const double base =
+        128.0 / 400.0 + 128.0 / 234.0 + 128.0 / 400.0;
+    EXPECT_NEAR(model->baseLatency(), base, 1e-12);
+    EXPECT_DOUBLE_EQ(model->latency("arm64", "arm64"), 0.0);
+    EXPECT_NEAR(model->latency("arm64", "riscv64"), 4.0 * base, 1e-12);
+    EXPECT_NEAR(model->moveEnergy(), 64.0, 1e-12);
+}
+
+TEST(MigrationRegistry, UnknownFamilyFailsFastWithCatalog)
+{
+    try {
+        makeMigrationModel("migrate:teleport");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &err) {
+        const std::string what = err.what();
+        EXPECT_NE(what.find("unknown migration family"),
+                  std::string::npos);
+        EXPECT_NE(what.find("hexo"), std::string::npos);
+        EXPECT_NE(what.find("instant"), std::string::npos);
+        EXPECT_NE(what.find("none"), std::string::npos);
+    }
+}
+
+TEST(MigrationRegistry, BadParamsFailFast)
+{
+    EXPECT_THROW(makeMigrationModel("migrate:hexo:ckpt=-1"),
+                 FatalError);
+    EXPECT_THROW(makeMigrationModel("migrate:hexo:nonsense=3"),
+                 FatalError);
+    EXPECT_THROW(makeMigrationModel("migrate:hexo:ckpt=abc"),
+                 FatalError);
+    EXPECT_THROW(makeMigrationModel("migrate:instant:ckpt=1"),
+                 FatalError);
+    EXPECT_FALSE(isMigrationSpec("migrate:hexo:warm=-2"));
+    EXPECT_TRUE(isMigrationSpec("migrate:hexo:warm=0"));
+    EXPECT_TRUE(isMigrationSpec("none"));
+}
+
+TEST(MigrationRegistry, CanonicalLabels)
+{
+    EXPECT_EQ(canonicalMigrationLabel("none"), "none");
+    EXPECT_EQ(canonicalMigrationLabel(""), "none");
+    EXPECT_EQ(canonicalMigrationLabel("hexo"), "migrate:hexo");
+    EXPECT_EQ(canonicalMigrationLabel("migrate:hexo:ckpt=8"),
+              "migrate:hexo:ckpt=8");
+}
+
+TEST(MigrationRegistry, CatalogTextListsEveryFamily)
+{
+    const std::string catalog =
+        MigrationRegistry::instance().catalogText();
+    EXPECT_NE(catalog.find("none"), std::string::npos);
+    EXPECT_NE(catalog.find("migrate:hexo"), std::string::npos);
+    EXPECT_NE(catalog.find("migrate:instant"), std::string::npos);
+    EXPECT_NE(catalog.find("ckpt"), std::string::npos);
+}
+
+TEST(MigrationRegistry, SplitMigrationList)
+{
+    const auto specs = splitMigrationList(
+        "none;migrate:hexo:ckpt=64,warm=0.5;migrate:instant");
+    ASSERT_EQ(specs.size(), 3u);
+    EXPECT_EQ(specs[0], "none");
+    EXPECT_EQ(specs[1], "migrate:hexo:ckpt=64,warm=0.5");
+    EXPECT_EQ(specs[2], "migrate:instant");
+}
+
+} // namespace
+} // namespace hipster

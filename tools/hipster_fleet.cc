@@ -17,11 +17,16 @@
  *                            bindings (default: a 4-node mixed
  *                            juno + hetero fleet). Platform and
  *                            policy use their registry grammars,
- *                            e.g. hetero:big=2,little=8@static-big
+ *                            e.g. montecimone:u74=8@hipster-in
+ *   --list-platforms         print the platform catalog and exit
  *   --dispatchers <d1;...>   dispatcher specs to sweep (default:
- *                            all four built-ins; --dispatcher is an
+ *                            all built-ins; --dispatcher is an
  *                            alias), e.g. dispatch:cp:quanta=128
  *   --list-dispatchers       print the dispatcher catalog and exit
+ *   --migrations <m1;...>    migration specs to sweep (default
+ *                            none; --migration is an alias), e.g.
+ *                            migrate:hexo:ckpt=64,xisa=2
+ *   --list-migrations        print the migration catalog and exit
  *   --workload <w>           workload spec shared by all nodes
  *                            (default memcached)
  *   --traces <t1,...>        fleet trace specs (default diurnal;
@@ -52,6 +57,8 @@
 #include "fleet/fleet_sweep.hh"
 #include "hazards/hazard_registry.hh"
 #include "loadgen/trace_registry.hh"
+#include "migration/migration_registry.hh"
+#include "platform/platform_registry.hh"
 
 namespace
 {
@@ -78,19 +85,24 @@ struct CliOptions
 usage(const char *argv0, int code)
 {
     std::printf(
-        "usage: %s [--nodes <n1;n2;...>] [--dispatchers <d1;...>]\n"
-        "          [--list-dispatchers] [--workload <w>]\n"
-        "          [--traces <t1,...>] [--hazards <h1,...>]\n"
-        "          [--list-hazards] [--duration <s>] [--scale <f>]\n"
+        "usage: %s [--nodes <n1;n2;...>] [--list-platforms]\n"
+        "          [--dispatchers <d1;...>] [--list-dispatchers]\n"
+        "          [--workload <w>] [--traces <t1,...>]\n"
+        "          [--hazards <h1,...>] [--list-hazards]\n"
+        "          [--migrations <m1;...>] [--list-migrations]\n"
+        "          [--duration <s>] [--scale <f>]\n"
         "          [--seeds <n>] [--master-seed <n>] [--jobs <n>]\n"
         "          [--csv <path>] [--agg-csv <path>] [--quiet]\n"
         "nodes are platform[@policy] bindings, ';'-separated, e.g.\n"
-        "  --nodes \"juno@hipster-in;hetero:big=2,little=8@static-big\"\n"
+        "  --nodes \"juno@hipster-in;montecimone:u74=8@hipster-in\"\n"
         "dispatchers use the dispatch: grammar, e.g.\n"
         "  --dispatchers \"dispatch:round-robin;dispatch:cp:quanta=128\"\n"
         "hazards use the hazard: grammar, e.g.\n"
         "  --hazards \"none;hazard:nodefail:mtbf=300s,mttr=45s\"\n"
-        "see --list-dispatchers / --list-hazards for the catalogs\n",
+        "migrations use the migrate: grammar, e.g.\n"
+        "  --migrations \"none;migrate:hexo:ckpt=64\"\n"
+        "see --list-platforms / --list-dispatchers / --list-hazards /\n"
+        "--list-migrations for the catalogs\n",
         argv0);
     std::exit(code);
 }
@@ -122,6 +134,11 @@ parse(int argc, char **argv)
         const std::string arg = argv[i];
         if (arg == "--nodes") {
             options.spec.base.nodes = parseFleetNodes(need(i));
+        } else if (arg == "--list-platforms") {
+            std::fputs(
+                PlatformRegistry::instance().catalogText().c_str(),
+                stdout);
+            std::exit(0);
         } else if (arg == "--dispatcher" || arg == "--dispatchers") {
             options.spec.dispatchers = splitDispatcherList(need(i));
         } else if (arg == "--list-dispatchers") {
@@ -138,6 +155,13 @@ parse(int argc, char **argv)
         } else if (arg == "--list-hazards") {
             std::fputs(
                 HazardRegistry::instance().catalogText().c_str(),
+                stdout);
+            std::exit(0);
+        } else if (arg == "--migration" || arg == "--migrations") {
+            options.spec.migrations = splitMigrationList(need(i));
+        } else if (arg == "--list-migrations") {
+            std::fputs(
+                MigrationRegistry::instance().catalogText().c_str(),
                 stdout);
             std::exit(0);
         } else if (arg == "--duration") {
@@ -172,19 +196,22 @@ parse(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    const CliOptions options = parse(argc, argv);
     try {
+        const CliOptions options = parse(argc, argv);
         const std::size_t total = options.spec.dispatchers.size() *
+                                  options.spec.migrations.size() *
                                   options.spec.traces.size() *
                                   options.spec.hazards.size() *
                                   options.spec.seeds;
         std::printf(
-            "fleet: %zu nodes, %zu runs (%zu dispatchers x %zu traces "
-            "x %zu hazards x %zu seeds), %zu jobs\n",
+            "fleet: %zu nodes, %zu runs (%zu dispatchers x %zu "
+            "migrations x %zu traces x %zu hazards x %zu seeds), "
+            "%zu jobs\n",
             options.spec.base.nodes.size(), total,
             options.spec.dispatchers.size(),
-            options.spec.traces.size(), options.spec.hazards.size(),
-            options.spec.seeds, options.jobs);
+            options.spec.migrations.size(), options.spec.traces.size(),
+            options.spec.hazards.size(), options.spec.seeds,
+            options.jobs);
         for (const FleetNodeSpec &node : options.spec.base.nodes)
             std::printf("  node %s\n", node.label().c_str());
 

@@ -105,6 +105,27 @@ constexpr const char *kHazardFleetDispatcher = "dispatch:least-loaded";
 constexpr const char *kHazardFleetHazard =
     "hazard:nodefail:mtbf=120s,mttr=30s";
 
+/** The pinned mixed-ISA fleet: two arm64 Juno boards plus two
+ * riscv64 Monte Cimone boards, run with and without work migration.
+ * migrate:none must reproduce the stateless re-routing loop byte
+ * for byte; migrate:hexo pins the montecimone service/power model,
+ * the migration engine's transit bookkeeping, and the cost-gated
+ * cp-migrate planner. */
+constexpr const char *kMigrationFleetNodes =
+    "juno@hipster-in;juno:big=4,little=8@hipster-in;"
+    "montecimone@hipster-in;montecimone:u74=8@hipster-in";
+
+struct MigrationPinScenario
+{
+    const char *dispatcher;
+    const char *migration;
+};
+
+const MigrationPinScenario kMigrationScenarios[] = {
+    {"dispatch:cp", "none"},
+    {"dispatch:cp-migrate", "migrate:hexo"},
+};
+
 /** FNV-1a over raw bytes. */
 std::uint64_t
 fnv1a(const void *data, std::size_t len, std::uint64_t hash)
@@ -340,6 +361,41 @@ main()
                      kHazardFleetHazard, sum.fleet.qosGuarantee,
                      sum.fleet.energy);
     }
+
+    // The mixed-ISA migration pins: printed summaries, migration
+    // totals, and the same per-interval fingerprint over the
+    // aggregated fleet series.
+    std::printf("\nconst char kMigrationFleetPinNodes[] =\n    \"%s\";\n",
+                kMigrationFleetNodes);
+    std::printf("\nconst MigrationFleetPin kMigrationFleetPins[] = {\n");
+    for (const MigrationPinScenario &s : kMigrationScenarios) {
+        FleetSpec fleet;
+        fleet.nodes = parseFleetNodes(kMigrationFleetNodes);
+        fleet.workload = "memcached";
+        fleet.trace = "diurnal";
+        fleet.dispatcher = s.dispatcher;
+        fleet.migration = s.migration;
+        fleet.duration = kDuration;
+        fleet.seed = kSeed;
+        const FleetResult result = runFleet(fleet);
+        const FleetSummary &sum = result.summary;
+        std::printf("    {\"%s\", \"%s\",\n", s.dispatcher, s.migration);
+        std::printf("     %a, %a, %a,\n", sum.fleet.qosGuarantee,
+                    sum.fleet.energy, sum.fleet.meanPower);
+        std::printf("     %a, %a, %zuULL,\n", sum.fleetCapacity,
+                    sum.strandedCapacity, result.fleetSeries.size());
+        std::printf("     %" PRIu64 "ULL, %a, %a,\n",
+                    sum.migration.moves, sum.migration.energy,
+                    sum.migration.transitLoad);
+        std::printf("     0x%016" PRIx64 "ULL},\n",
+                    seriesFingerprint(result.fleetSeries));
+        std::fprintf(stderr,
+                     "pinned migration fleet %-20s %-14s QoS %.3f "
+                     "E %.1f moves %" PRIu64 "\n",
+                     s.dispatcher, s.migration, sum.fleet.qosGuarantee,
+                     sum.fleet.energy, sum.migration.moves);
+    }
+    std::printf("};\n");
 
     // The sweep pin: jobs=1 and jobs=4 must agree before anything is
     // written, and the CSVs are pinned verbatim.

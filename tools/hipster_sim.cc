@@ -42,6 +42,9 @@
  *              adversity, e.g. hazard:thermal:tdp_cap=0.7 or
  *              hazard:thermal+interference:burst=2
  *   --list-hazards                      (print the catalog and exit)
+ *   --migration migration spec; single-node runs accept only "none"
+ *              (moving work needs a fleet — see hipster_fleet)
+ *   --list-migrations                   (print the catalog and exit)
  *   --duration <seconds>                (default: workload diurnal)
  *   --seed     <n>                      (default 1)
  *   --bucket   <percent>                (Hipster bucket width)
@@ -66,6 +69,7 @@
 #include "experiments/scenario.hh"
 #include "hazards/hazard_registry.hh"
 #include "loadgen/trace_registry.hh"
+#include "migration/migration_registry.hh"
 #include "platform/platform_registry.hh"
 #include "workloads/batch.hh"
 #include "workloads/workload_registry.hh"
@@ -82,6 +86,7 @@ struct CliOptions
     std::string policy = "hipster-in";
     std::string trace = "diurnal";
     std::string hazard = "none";
+    std::string migration = "none";
     Seconds duration = 0.0;
     std::uint64_t seed = 1;
     double bucket = 0.0;
@@ -100,6 +105,7 @@ usage(const char *argv0, int code)
         "          [--policy <spec>] [--list-policies]\n"
         "          [--trace <spec>] [--list-traces]\n"
         "          [--hazard <spec>] [--list-hazards]\n"
+        "          [--migration <spec>] [--list-migrations]\n"
         "          [--duration <s>] [--seed <n>] [--bucket <pct>]\n"
         "          [--learning <s>] [--batch p1,p2,...] [--series]\n"
         "          [--csv <path>]\n"
@@ -158,6 +164,13 @@ parse(int argc, char **argv)
                 HazardRegistry::instance().catalogText().c_str(),
                 stdout);
             std::exit(0);
+        } else if (arg == "--migration") {
+            options.migration = need(i);
+        } else if (arg == "--list-migrations") {
+            std::fputs(
+                MigrationRegistry::instance().catalogText().c_str(),
+                stdout);
+            std::exit(0);
         } else if (arg == "--duration") {
             options.duration = std::atof(need(i));
         } else if (arg == "--seed") {
@@ -209,6 +222,14 @@ main(int argc, char **argv)
         spec.duration = options.duration;
         spec.seed = options.seed;
         spec.validate();
+        // Migration moves work BETWEEN nodes, so a single-node run
+        // has nowhere to send it: validate against the catalog, then
+        // insist on none (use hipster_fleet for mixed-ISA fleets).
+        validateMigrationSpec(options.migration);
+        if (!isNoneMigration(options.migration))
+            fatal("--migration ", options.migration,
+                  ": single-node runs cannot migrate work; use "
+                  "hipster_fleet for mixed-ISA fleets");
 
         const Seconds duration = spec.resolvedDuration();
         ExperimentRunner runner = spec.makeRunner();

@@ -43,6 +43,10 @@
  *                               hazard:thermal:tdp_cap=0.7 or
  *                               hazard:thermal+interference
  *   --list-hazards              print the hazard catalog and exit
+ *   --migration <spec>          migration spec; single-node sweeps
+ *                               accept only "none" (moving work
+ *                               needs a fleet — see hipster_fleet)
+ *   --list-migrations           print the migration catalog and exit
  *   --seeds    <n>              repetitions per cell (default 5)
  *   --jobs     <n>              worker threads (default: hardware)
  *   --master-seed <n>           seed all run seeds derive from (default 1)
@@ -70,6 +74,7 @@
 #include "experiments/sweep.hh"
 #include "hazards/hazard_registry.hh"
 #include "loadgen/trace_registry.hh"
+#include "migration/migration_registry.hh"
 #include "platform/platform_registry.hh"
 #include "workloads/workload_registry.hh"
 
@@ -81,6 +86,7 @@ using namespace hipster;
 struct CliOptions
 {
     SweepSpec spec;
+    std::string migration = "none";
     std::size_t jobs = ThreadPool::defaultJobs();
     std::string csvPath;
     std::string aggCsvPath;
@@ -95,7 +101,9 @@ usage(const char *argv0, int code)
         "          [--workload <w1,...>] [--list-workloads]\n"
         "          [--platform <p1,...>] [--list-platforms]\n"
         "          [--traces <t1,...>] [--list-traces]\n"
-        "          [--hazards <h1,...>] [--list-hazards] [--seeds <n>]\n"
+        "          [--hazards <h1,...>] [--list-hazards]\n"
+        "          [--migration <spec>] [--list-migrations]\n"
+        "          [--seeds <n>]\n"
         "          [--jobs <n>] [--master-seed <n>] [--duration <s>]\n"
         "          [--scale <f>] [--csv <path>] [--agg-csv <path>]\n"
         "          [--quiet]\n"
@@ -172,6 +180,13 @@ parse(int argc, char **argv)
                 HazardRegistry::instance().catalogText().c_str(),
                 stdout);
             std::exit(0);
+        } else if (arg == "--migration") {
+            options.migration = need(i);
+        } else if (arg == "--list-migrations") {
+            std::fputs(
+                MigrationRegistry::instance().catalogText().c_str(),
+                stdout);
+            std::exit(0);
         } else if (arg == "--seeds") {
             options.spec.seeds = std::strtoull(need(i), nullptr, 10);
         } else if (arg == "--jobs") {
@@ -206,6 +221,14 @@ main(int argc, char **argv)
 {
     const CliOptions options = parse(argc, argv);
     try {
+        // Migration moves work BETWEEN nodes, so a single-node sweep
+        // has nowhere to send it: validate against the catalog, then
+        // insist on none (use hipster_fleet for mixed-ISA fleets).
+        validateMigrationSpec(options.migration);
+        if (!isNoneMigration(options.migration))
+            fatal("--migration ", options.migration,
+                  ": single-node sweeps cannot migrate work; use "
+                  "hipster_fleet for mixed-ISA fleets");
         SweepEngine engine(options.spec);
         const std::size_t total = engine.expandJobs().size();
         std::printf("sweep: %zu runs (%zu workloads x %zu platforms x "
