@@ -33,6 +33,7 @@
 #include <sys/resource.h>
 #endif
 
+#include "common/build_info.hh"
 #include "common/json_number.hh"
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
@@ -43,8 +44,10 @@ namespace
 
 using namespace hipster;
 
-/** Bump when the JSON layout changes; readers accept 1..current. */
-constexpr int kSchemaVersion = 1;
+/** Bump when the JSON layout changes; readers accept 1..current.
+ * v2 added the build-provenance block (git SHA, compiler + flags,
+ * build type) — v1 files (no provenance) still validate. */
+constexpr int kSchemaVersion = 2;
 
 constexpr const char *kBenchmarkName = "hotloop_campaign";
 
@@ -446,6 +449,21 @@ validateSchema(const FlatJson &json, std::string &error)
                 std::to_string(kSchemaVersion) + "]";
         return false;
     }
+    // v2 stamps build provenance; v1 files predate it and stay
+    // valid, so the committed baseline never has to be regenerated
+    // just for a schema bump.
+    if (version >= 2) {
+        const char *provenance[] = {
+            "provenance.git_sha", "provenance.compiler",
+            "provenance.compiler_flags", "provenance.build_type"};
+        for (const char *key : provenance) {
+            if (json.strings.find(key) == json.strings.end()) {
+                error = std::string("missing required string '") +
+                        key + "' (schema_version >= 2)";
+                return false;
+            }
+        }
+    }
     const char *positive[] = {"wall_s.median", "events_per_sec.median",
                               "runs_per_sec.median"};
     for (const char *key : positive) {
@@ -599,6 +617,13 @@ writeJson(const Options &options, const Measurement &m)
     out << "  \"schema_version\": "
         << count(static_cast<std::uint64_t>(kSchemaVersion)) << ",\n";
     out << "  \"benchmark\": \"" << kBenchmarkName << "\",\n";
+    out << "  \"provenance\": {\n";
+    out << "    \"git_sha\": \"" << buildGitSha() << "\",\n";
+    out << "    \"compiler\": \"" << buildCompilerId() << "\",\n";
+    out << "    \"compiler_flags\": \"" << buildCompilerFlags()
+        << "\",\n";
+    out << "    \"build_type\": \"" << buildTypeName() << "\"\n";
+    out << "  },\n";
     out << "  \"campaign\": {\n";
     out << "    \"workloads\": " << jsonStringList(kWorkloads) << ",\n";
     out << "    \"platforms\": " << jsonStringList(kPlatforms) << ",\n";

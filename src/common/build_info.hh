@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Build provenance stamped at configure time: git SHA, compiler
+ * identity and flags, and build type. Consumed by the perf-harness
+ * JSON schema (v2 `provenance` block) and telemetry trace headers so
+ * every artifact names the build that produced it.
+ */
+
+#ifndef HIPSTER_COMMON_BUILD_INFO_HH
+#define HIPSTER_COMMON_BUILD_INFO_HH
+
+namespace hipster
+{
+
+/** Short git SHA of the source tree, or "unknown" outside git. */
+const char *buildGitSha();
+
+/** Compiler id + version, e.g. "GNU 13.2.0". */
+const char *buildCompilerId();
+
+/** C++ flags the build was configured with (base + build-type). */
+const char *buildCompilerFlags();
+
+/** CMake build type, e.g. "Release" ("" when unset). */
+const char *buildTypeName();
+
+} // namespace hipster
+
+#endif // HIPSTER_COMMON_BUILD_INFO_HH

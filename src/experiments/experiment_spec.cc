@@ -6,6 +6,7 @@
 #include "hazards/hazard_registry.hh"
 #include "loadgen/trace_registry.hh"
 #include "platform/platform_registry.hh"
+#include "telemetry/telemetry_registry.hh"
 #include "workloads/workload_registry.hh"
 
 namespace hipster
@@ -21,6 +22,7 @@ ExperimentSpec::validate() const
     validateTraceSpec(trace, resolvedDuration());
     validatePolicySpec(policy);
     validateHazardSpec(hazard);
+    validateTelemetrySpec(telemetry);
 }
 
 Seconds
@@ -49,6 +51,9 @@ ExperimentSpec::makeRunner() const
         makeTraceByName(trace, length, seed + 100), seed, runner);
     experiment.setHazards(
         makeHazardEngine(hazard, hazardEngineSeed(seed)));
+    experiment.setTelemetry(telemetryContext ? telemetryContext
+                                             : makeTelemetryContext(
+                                                   telemetry));
     return experiment;
 }
 
@@ -64,6 +69,17 @@ ExperimentSpec::run(
 {
     ExperimentRunner experiment = makeRunner();
     const auto task_policy = makePolicyFor(experiment.platform());
+    if (experiment.telemetry()) {
+        emitTelemetryHeader(*experiment.telemetry(),
+                            {{"workload", workload},
+                             {"platform", platform},
+                             {"trace", trace},
+                             {"policy", policy},
+                             {"hazard", canonicalHazardLabel(hazard)}},
+                            {{"seed", static_cast<double>(seed)},
+                             {"duration_s", resolvedDuration()},
+                             {"interval_s", runner.interval}});
+    }
     return experiment.run(*task_policy, resolvedDuration(), observer);
 }
 

@@ -53,6 +53,18 @@ struct ExperimentSpec
      * without hazard support. */
     std::string hazard = "none";
 
+    /** Telemetry spec (telemetry/telemetry_registry grammar).
+     * "none" is tracing off — the bitwise no-op default. */
+    std::string telemetry = "none";
+
+    /**
+     * Pre-built telemetry context; when set it wins over the
+     * `telemetry` spec string. The hook sweep engines use to hand
+     * each job a per-run sink (suffixed file path) or a shared
+     * thread-safe one (counters/ring).
+     */
+    std::shared_ptr<TelemetryContext> telemetryContext;
+
     /** Run length; 0 = the workload's diurnal default. */
     Seconds duration = 0.0;
 

@@ -38,6 +38,12 @@ ExperimentRunner::setHazards(std::unique_ptr<HazardEngine> hazards)
         hazards_->bind(platform_->tdp());
 }
 
+void
+ExperimentRunner::setTelemetry(std::shared_ptr<TelemetryContext> telemetry)
+{
+    telemetry_ = std::move(telemetry);
+}
+
 const std::vector<ServerSpec> &
 ExperimentRunner::buildServers(const std::vector<ClusterPressure> &pressure)
 {
@@ -95,6 +101,17 @@ ExperimentRunner::beginRun(TaskPolicy &policy,
     pending_.series.reserve(expectedIntervals);
     stepIndex_ = 0;
     runActive_ = true;
+
+    profile_ = PhaseProfile{};
+    lastArrivalSeconds_ = 0.0;
+    lastRunIntervalSeconds_ = 0.0;
+    startSimEvents_ = app_->eventsProcessed();
+    perfSession_.reset();
+    if (telemetry_ && telemetry_->config().perfCounters) {
+        perfSession_ = std::make_unique<PerfCounterSession>();
+        profile_.perfStatus =
+            perfSession_->ok() ? "ok" : perfSession_->reason();
+    }
 }
 
 const IntervalMetrics &
@@ -129,6 +146,14 @@ ExperimentRunner::stepNext(TaskPolicy &policy,
         lastMetrics_ = downInterval(t0, t0 + options_.interval);
         if (hazards_)
             hazards_->observePower(0.0, options_.interval);
+        if (telemetry_ &&
+            telemetry_->wants(TelemetryEventType::Hazard, stepIndex_)) {
+            TelemetryEvent event(TelemetryEventType::Hazard,
+                                 stepIndex_, t0);
+            event.add("down", 1.0);
+            event.add("forced", forceDown && !fx.down ? 1.0 : 0.0);
+            telemetry_->emit(std::move(event));
+        }
         ++stepIndex_;
         pending_.series.push_back(lastMetrics_);
         return lastMetrics_;
@@ -143,7 +168,26 @@ ExperimentRunner::stepNext(TaskPolicy &policy,
             fx.reboot = true;
     }
 
+    if (telemetry_ &&
+        (fx.reboot || fx.oppCapSteps > 0 || fx.dvfsDenied ||
+         fx.dvfsLatency > 0.0 || fx.pressure > 0.0) &&
+        telemetry_->wants(TelemetryEventType::Hazard, stepIndex_)) {
+        TelemetryEvent event(TelemetryEventType::Hazard, stepIndex_,
+                             stepIndex_ * options_.interval);
+        event.add("down", 0.0);
+        event.add("reboot", fx.reboot ? 1.0 : 0.0);
+        event.add("opp_cap_steps",
+                  static_cast<double>(fx.oppCapSteps));
+        event.add("dvfs_denied", fx.dvfsDenied ? 1.0 : 0.0);
+        event.add("dvfs_latency_s", fx.dvfsLatency);
+        event.add("pressure", fx.pressure);
+        telemetry_->emit(std::move(event));
+    }
+
     Decision decision;
+    bool initialDecision = false;
+    PhaseTimer policyTimer;
+    policyTimer.start();
     if (!policyStarted_ || fx.reboot) {
         // First live interval, or the node restored from a crash
         // with a cold task manager: the policy (re)starts from its
@@ -151,11 +195,63 @@ ExperimentRunner::stepNext(TaskPolicy &policy,
         if (fx.reboot)
             policy.reset();
         decision = policy.initialDecision();
+        initialDecision = true;
         policyStarted_ = true;
     } else {
         decision = policy.decide(lastMetrics_);
     }
+    profile_.policySeconds += policyTimer.lap();
+
+    if (telemetry_ &&
+        telemetry_->wants(TelemetryEventType::Decision, stepIndex_)) {
+        TelemetryEvent event(TelemetryEventType::Decision, stepIndex_,
+                             stepIndex_ * options_.interval);
+        event.add("initial", initialDecision ? 1.0 : 0.0);
+        if (!initialDecision) {
+            event.add("observed_load", lastMetrics_.offeredLoad);
+            event.add("load_bucket",
+                      static_cast<double>(lastMetrics_.loadBucket));
+            event.add("observed_tail_ms", lastMetrics_.tailLatency);
+            event.add("target_ms", lastMetrics_.qosTarget);
+            event.add("observed_power_w", lastMetrics_.power);
+        }
+        event.add("n_big",
+                  static_cast<double>(decision.config.nBig));
+        event.add("big_ghz", decision.config.bigFreq);
+        event.add("n_small",
+                  static_cast<double>(decision.config.nSmall));
+        event.add("small_ghz", decision.config.smallFreq);
+        event.add("run_batch", decision.runBatch ? 1.0 : 0.0);
+        telemetry_->emit(std::move(event));
+    }
+
+    PhaseTimer stepTimer;
+    stepTimer.start();
     lastMetrics_ = stepInterval(stepIndex_, decision, offeredOverride, fx);
+    const double stepSeconds = stepTimer.lap();
+    const double arrivalTotal = app_->arrivalGenSeconds();
+    const double arrivalSeconds = arrivalTotal - lastArrivalSeconds_;
+    lastArrivalSeconds_ = arrivalTotal;
+    profile_.arrivalGenSeconds += arrivalSeconds;
+    profile_.eventLoopSeconds +=
+        std::max(0.0, lastRunIntervalSeconds_ - arrivalSeconds);
+    profile_.metricsSeconds +=
+        std::max(0.0, stepSeconds - lastRunIntervalSeconds_);
+
+    if (telemetry_ &&
+        (lastMetrics_.dvfsTransitions > 0 || fx.dvfsDenied) &&
+        telemetry_->wants(TelemetryEventType::Dvfs, stepIndex_)) {
+        TelemetryEvent event(TelemetryEventType::Dvfs, stepIndex_,
+                             stepIndex_ * options_.interval);
+        event.add("transitions",
+                  static_cast<double>(lastMetrics_.dvfsTransitions));
+        event.add("denied", fx.dvfsDenied ? 1.0 : 0.0);
+        event.add("latency_s", fx.dvfsLatency);
+        event.add("big_ghz", lastMetrics_.config.bigFreq);
+        event.add("small_ghz", lastMetrics_.config.smallFreq);
+        telemetry_->emit(std::move(event));
+    }
+
     ++stepIndex_;
     pending_.series.push_back(lastMetrics_);
     return lastMetrics_;
@@ -171,6 +267,40 @@ ExperimentRunner::finishRun()
     pending_.migrations = platform_->totalMigrations();
     pending_.dvfsTransitions = platform_->totalDvfsTransitions();
     pending_.simEvents = app_->eventsProcessed();
+
+    profile_.intervals = stepIndex_;
+    profile_.simEvents = app_->eventsProcessed() - startSimEvents_;
+    if (perfSession_) {
+        profile_.perfAvailable = perfSession_->ok();
+        perfSession_->stop(profile_.cycles, profile_.instructions);
+        perfSession_.reset();
+    }
+    pending_.profile = profile_;
+
+    if (telemetry_ && telemetry_->wants(TelemetryEventType::PhaseProfile,
+                                        stepIndex_)) {
+        TelemetryEvent event(TelemetryEventType::PhaseProfile,
+                             stepIndex_,
+                             stepIndex_ * options_.interval);
+        event.add("intervals",
+                  static_cast<double>(profile_.intervals));
+        event.add("sim_events",
+                  static_cast<double>(profile_.simEvents));
+        event.add("arrival_gen_s", profile_.arrivalGenSeconds);
+        event.add("event_loop_s", profile_.eventLoopSeconds);
+        event.add("policy_s", profile_.policySeconds);
+        event.add("metrics_s", profile_.metricsSeconds);
+        event.add("total_s", profile_.totalSeconds());
+        event.add("events_per_sec", profile_.eventsPerSecond());
+        event.add("cycles", static_cast<double>(profile_.cycles));
+        event.add("instructions",
+                  static_cast<double>(profile_.instructions));
+        event.add("perf_available",
+                  profile_.perfAvailable ? 1.0 : 0.0);
+        event.add("perf_status", profile_.perfStatus);
+        telemetry_->emit(std::move(event));
+        telemetry_->sink().flush();
+    }
     return std::move(pending_);
 }
 
@@ -282,10 +412,13 @@ ExperimentRunner::stepInterval(std::size_t k, const Decision &requested,
 
     // --- Step the LC app.
     platform_->perfCounters().beginInterval();
+    PhaseTimer eventTimer;
+    eventTimer.start();
     app_->configure(buildServers(pressure), t0, actuation.latency);
     const Fraction offered =
         offeredOverride ? *offeredOverride : trace_->at(t0);
     LcIntervalStats lc = app_->runInterval(t0, t1, offered);
+    lastRunIntervalSeconds_ = eventTimer.lap();
     lastLcUtilization_ = lc.utilization;
 
     for (const auto &use : lc.usage) {

@@ -24,6 +24,9 @@
 #include "monitor/metrics_series.hh"
 #include "monitor/qos_monitor.hh"
 #include "platform/platform.hh"
+#include "telemetry/perf_probe.hh"
+#include "telemetry/phase_profiler.hh"
+#include "telemetry/telemetry.hh"
 #include "workloads/apps.hh"
 #include "workloads/batch.hh"
 #include "workloads/contention.hh"
@@ -48,6 +51,10 @@ struct ExperimentResult
 
     /** Simulation events processed by the LC app's event queue. */
     std::uint64_t simEvents = 0;
+
+    /** Self-instrumentation: where the run's wall-clock went.
+     * Observation only — never part of pinned outputs. */
+    PhaseProfile profile;
 };
 
 /** Knobs of the experiment loop. */
@@ -100,6 +107,20 @@ class ExperimentRunner
     /** The attached hazard engine, or nullptr. */
     const HazardEngine *hazards() const { return hazards_.get(); }
     HazardEngine *hazards() { return hazards_.get(); }
+
+    /**
+     * Attach a telemetry context (nullptr = tracing off, the
+     * default). Emission is observation-only: it draws no RNG and
+     * reorders no events, so a traced run is bitwise-identical to an
+     * untraced one.
+     */
+    void setTelemetry(std::shared_ptr<TelemetryContext> telemetry);
+
+    /** The attached telemetry context, or nullptr. */
+    const std::shared_ptr<TelemetryContext> &telemetry() const
+    {
+        return telemetry_;
+    }
 
     Platform &platform() { return *platform_; }
     const Platform &platform() const { return *platform_; }
@@ -184,6 +205,7 @@ class ExperimentRunner
     std::unique_ptr<LatencyCriticalApp> app_;
     std::shared_ptr<BatchWorkload> batch_;
     std::unique_ptr<HazardEngine> hazards_;
+    std::shared_ptr<TelemetryContext> telemetry_;
     ContentionModel contention_;
     LoadBucketQuantizer reportQuantizer_;
 
@@ -198,6 +220,16 @@ class ExperimentRunner
     std::size_t stepIndex_ = 0;
     IntervalMetrics lastMetrics_;
     ExperimentResult pending_;
+
+    // Self-instrumentation (telemetry/phase_profiler.hh): phase
+    // wall-clock accumulators for the current run. Always on — a
+    // handful of steady_clock reads per interval — but never part of
+    // any pinned output.
+    PhaseProfile profile_;
+    double lastArrivalSeconds_ = 0.0;
+    double lastRunIntervalSeconds_ = 0.0;
+    std::uint64_t startSimEvents_ = 0;
+    std::unique_ptr<PerfCounterSession> perfSession_;
 
     // Per-interval scratch, preallocated once and reused so the
     // interval loop stays allocation-free (see stepInterval).

@@ -13,6 +13,7 @@
 #include "hazards/hazard_registry.hh"
 #include "loadgen/trace_registry.hh"
 #include "platform/platform_registry.hh"
+#include "telemetry/telemetry_registry.hh"
 #include "workloads/workload_registry.hh"
 
 namespace hipster
@@ -159,6 +160,14 @@ SweepEngine::SweepEngine(SweepSpec spec) : spec_(std::move(spec))
         for (const auto &hazard : spec_.hazards)
             validateHazardSpec(hazard);
     }
+    // The telemetry spec applies to jobRunner campaigns too (the
+    // hook receives its context via telemetryForJob), so it is
+    // parsed unconditionally. Pathless sinks are built once here
+    // and shared by every job; file sinks open lazily per job so a
+    // campaign never holds thousands of descriptors.
+    telemetryConfig_ = parseTelemetryConfig(spec_.telemetry);
+    if (!telemetryConfig_.isNone() && telemetryConfig_.path.empty())
+        sharedTelemetrySink_ = makeTelemetrySink(telemetryConfig_);
 }
 
 std::uint64_t
@@ -228,7 +237,15 @@ SweepEngine::runJob(const SweepJob &job) const
     experiment.durationScale = spec_.durationScale;
     experiment.seed = job.seed;
     experiment.runner = spec_.runner;
+    experiment.telemetryContext = telemetryForJob(job.index);
     return experiment.run();
+}
+
+std::shared_ptr<TelemetryContext>
+SweepEngine::telemetryForJob(std::size_t runIndex) const
+{
+    return makeRunTelemetryContext(telemetryConfig_,
+                                   sharedTelemetrySink_, runIndex);
 }
 
 SweepResults

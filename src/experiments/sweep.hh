@@ -22,12 +22,14 @@
 
 #include <functional>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/csv.hh"
 #include "experiments/runner.hh"
 #include "experiments/scenario.hh"
+#include "telemetry/telemetry.hh"
 
 namespace hipster
 {
@@ -81,6 +83,16 @@ struct SweepSpec
      * spec is its own sweep cell, so resilience studies pair every
      * hazard against every policy under common random numbers. */
     std::vector<std::string> hazards = {"none"};
+
+    /**
+     * Telemetry spec (telemetry TelemetryRegistry grammar) applied
+     * to every run. "none" is tracing off — jobs get a null context
+     * and the campaign is bitwise-identical to a build without the
+     * axis. File sinks fan out per run (path gains a ".runNNNN"
+     * tag); pathless sinks (ring, counters) are shared thread-safe
+     * across all jobs.
+     */
+    std::string telemetry = "none";
 
     /** Hard ceiling on repetitions per cell: far above any real
      * campaign, low enough to reject a "-1" wrapped to 2^64-1 by a
@@ -246,6 +258,28 @@ class SweepEngine
     ExperimentResult runJob(const SweepJob &job) const;
 
     /**
+     * The telemetry context job `runIndex` emits through: nullptr
+     * when the campaign's telemetry is "none", the campaign-shared
+     * sink for pathless kinds (ring, counters), else a fresh file
+     * sink on the ".runNNNN"-suffixed path. Thread-safe.
+     */
+    std::shared_ptr<TelemetryContext>
+    telemetryForJob(std::size_t runIndex) const;
+
+    /** The campaign-wide shared sink (ring/counters only; nullptr
+     * for file sinks and "none") — CLIs print its summaryText(). */
+    const std::shared_ptr<TelemetrySink> &sharedTelemetrySink() const
+    {
+        return sharedTelemetrySink_;
+    }
+
+    /** The parsed campaign telemetry configuration. */
+    const TelemetryConfig &telemetryConfig() const
+    {
+        return telemetryConfig_;
+    }
+
+    /**
      * Run the whole campaign across `jobs` worker threads (<= 1 runs
      * inline) and reduce. `onRun`, when given, is invoked once per
      * run, serialized in job-index order.
@@ -256,6 +290,8 @@ class SweepEngine
 
   private:
     SweepSpec spec_;
+    TelemetryConfig telemetryConfig_;
+    std::shared_ptr<TelemetrySink> sharedTelemetrySink_;
 };
 
 /** Per-run CSV: one row per (cell, seed) run. A `hazard` column

@@ -8,8 +8,10 @@
 #include "experiments/experiment_spec.hh"
 #include "experiments/scenario.hh"
 #include "fleet/dispatcher_registry.hh"
+#include "hazards/hazard_registry.hh"
 #include "loadgen/trace_registry.hh"
 #include "migration/migration_registry.hh"
+#include "telemetry/telemetry_registry.hh"
 #include "monitor/qos_monitor.hh"
 #include "platform/platform_registry.hh"
 #include "workloads/service_model.hh"
@@ -124,6 +126,7 @@ FleetSpec::validate() const
         fatal("FleetSpec: durationScale must be > 0");
     makeDispatcher(dispatcher); // throws with the catalog on error
     validateMigrationSpec(migration);
+    validateTelemetrySpec(telemetry);
     validateTraceSpec(trace, resolvedDuration());
     for (std::size_t i = 0; i < nodes.size(); ++i)
         nodeExperiment(*this, nodes[i], i).validate();
@@ -196,6 +199,29 @@ runFleet(const FleetSpec &spec)
 
     // --- Build every node: fresh platform, app, policy.
     const std::size_t n = spec.nodes.size();
+
+    // One telemetry sink for the whole fleet: the fleet level emits
+    // dispatch/migration events untagged-by-node or per-node, and
+    // every node emits its own decisions through a node-tagged view
+    // of the same context. Null context = tracing off = bitwise
+    // no-op.
+    const std::shared_ptr<TelemetryContext> telemetry =
+        spec.telemetryContext ? spec.telemetryContext
+                              : makeTelemetryContext(spec.telemetry);
+    if (telemetry) {
+        emitTelemetryHeader(
+            *telemetry,
+            {{"workload", spec.workload},
+             {"fleet", spec.label()},
+             {"trace", spec.trace},
+             {"dispatcher", result.dispatcher},
+             {"hazard", canonicalHazardLabel(spec.hazard)},
+             {"migration", result.migration}},
+            {{"seed", static_cast<double>(spec.seed)},
+             {"duration_s", duration},
+             {"interval_s", dt},
+             {"nodes", static_cast<double>(n)}});
+    }
     std::vector<ExperimentRunner> runners;
     std::vector<std::unique_ptr<TaskPolicy>> policies;
     runners.reserve(n);
@@ -203,7 +229,10 @@ runFleet(const FleetSpec &spec)
     result.nodes.resize(n);
     double fleetCapacity = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
-        const ExperimentSpec node = nodeExperiment(spec, spec.nodes[i], i);
+        ExperimentSpec node = nodeExperiment(spec, spec.nodes[i], i);
+        if (telemetry)
+            node.telemetryContext =
+                telemetry->forNode(static_cast<int>(i));
         runners.push_back(node.makeRunner());
         policies.push_back(node.makePolicyFor(runners[i].platform()));
         result.nodes[i].spec = spec.nodes[i];
@@ -354,6 +383,18 @@ runFleet(const FleetSpec &spec)
                     : 0.0;
             result.nodes[i].shard.emplace_back(t0, localLoad);
 
+            if (telemetry &&
+                telemetry->wants(TelemetryEventType::Dispatch, k)) {
+                TelemetryEvent ev(TelemetryEventType::Dispatch, k, t0);
+                ev.node = static_cast<int>(i);
+                ev.add("share", norm[i])
+                    .add("routed_load", routed)
+                    .add("local_load", localLoad)
+                    .add("down", down[i] ? 1.0 : 0.0)
+                    .add("fleet_load", fleetLoad);
+                telemetry->emit(std::move(ev));
+            }
+
             const IntervalMetrics &m = runners[i].stepNext(
                 *policies[i], localLoad, down[i] != 0);
             views[i].lastUtilization = m.lcUtilization;
@@ -389,6 +430,19 @@ runFleet(const FleetSpec &spec)
         if (fleetCapacity > 0.0)
             strandedSum += stranded / fleetCapacity;
         if (moved != nullptr) {
+            if (telemetry &&
+                telemetry->wants(TelemetryEventType::Migration, k)) {
+                TelemetryEvent ev(TelemetryEventType::Migration, k,
+                                  t0);
+                ev.add("moves_started",
+                       static_cast<double>(moved->movesStarted))
+                    .add("in_flight_share", moved->inFlightShare)
+                    .add("transit_load", moved->transitLoad)
+                    .add("surge_load", moved->surgeLoad)
+                    .add("blanked_load", moved->blankedLoad)
+                    .add("energy_j", moved->migrationEnergy);
+                telemetry->emit(std::move(ev));
+            }
             // Transfer energy is billed to the fleet, attributed to
             // the interval the move started in.
             agg.energy += moved->migrationEnergy;
@@ -407,6 +461,8 @@ runFleet(const FleetSpec &spec)
         intervals > 0 ? strandedSum / intervals : 0.0;
     if (migration)
         result.summary.migration = migration->totals();
+    if (telemetry)
+        telemetry->sink().flush();
     return result;
 }
 

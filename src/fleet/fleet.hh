@@ -25,6 +25,7 @@
 #include "fleet/dispatcher.hh"
 #include "loadgen/load_trace.hh"
 #include "migration/migration.hh"
+#include "telemetry/telemetry.hh"
 
 namespace hipster
 {
@@ -77,6 +78,18 @@ struct FleetSpec
      * migration-aware ones (cp-migrate, rebalance) plan moves
      * against the modeled cost. */
     std::string migration = "none";
+
+    /** Telemetry spec (telemetry/telemetry_registry grammar) for the
+     * whole fleet run: one sink shared by the fleet level (dispatch
+     * shares, migration activity) and every node (decisions, DVFS,
+     * hazards — each stamped with its node index). "none" is tracing
+     * off, bitwise-identical to a run without the axis. */
+    std::string telemetry = "none";
+
+    /** Pre-built telemetry context; when set it wins over the
+     * `telemetry` spec string (the fleet sweep hands per-run sinks
+     * through here). */
+    std::shared_ptr<TelemetryContext> telemetryContext;
 
     /** Run length; 0 = the workload's diurnal default. */
     Seconds duration = 0.0;

@@ -3,6 +3,7 @@
 #include "common/logging.hh"
 #include "fleet/dispatcher_registry.hh"
 #include "migration/migration_registry.hh"
+#include "telemetry/telemetry_registry.hh"
 
 namespace hipster
 {
@@ -138,9 +139,20 @@ runFleetSweep(const FleetSweepSpec &spec, std::size_t jobs,
                                  spec.hazards.size() * spec.seeds;
     auto stats = std::make_shared<std::vector<FleetRunStats>>(jobCount);
 
+    // Telemetry is handled here rather than by the engine: jobRunner
+    // campaigns bypass the engine's default wiring, so the per-run
+    // contexts (shared pathless sink, ".runNNNN" file fan-out) are
+    // built in the job lambda itself.
+    const TelemetryConfig telemetryConfig =
+        parseTelemetryConfig(spec.telemetry);
+    std::shared_ptr<TelemetrySink> sharedSink;
+    if (!telemetryConfig.isNone() && telemetryConfig.path.empty())
+        sharedSink = makeTelemetrySink(telemetryConfig);
+
     const FleetSpec base = spec.base;
     const bool keepSeries = spec.keepSeries;
-    sweep.jobRunner = [base, keepSeries, stats](const SweepJob &job) {
+    sweep.jobRunner = [base, keepSeries, stats, telemetryConfig,
+                       sharedSink](const SweepJob &job) {
         const auto [dispatcher, migration] = splitFoldedLabel(job.policy);
         FleetSpec fleetSpec = base;
         fleetSpec.dispatcher = dispatcher;
@@ -148,6 +160,8 @@ runFleetSweep(const FleetSweepSpec &spec, std::size_t jobs,
         fleetSpec.trace = job.trace;
         fleetSpec.hazard = job.hazard;
         fleetSpec.seed = job.seed;
+        fleetSpec.telemetryContext = makeRunTelemetryContext(
+            telemetryConfig, sharedSink, job.index);
         const FleetResult fleet = runFleet(fleetSpec);
         FleetRunStats &slot = (*stats)[job.index];
         slot.jobIndex = job.index;
@@ -171,6 +185,7 @@ runFleetSweep(const FleetSweepSpec &spec, std::size_t jobs,
     FleetSweepResults results;
     results.sweep = engine.run(jobs, onRun);
     results.fleet = std::move(*stats);
+    results.telemetrySink = sharedSink;
     return results;
 }
 

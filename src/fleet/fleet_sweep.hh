@@ -48,6 +48,12 @@ struct FleetSweepSpec
      * sweeps. */
     std::vector<std::string> migrations = {"none"};
 
+    /** Telemetry spec (telemetry TelemetryRegistry grammar) applied
+     * to every fleet run. File sinks fan out per job (".runNNNN"
+     * path tags); pathless sinks (ring, counters) are shared
+     * thread-safe across the campaign. "none" is tracing off. */
+    std::string telemetry = "none";
+
     /** Repetitions per cell with independently derived seeds. */
     std::size_t seeds = 1;
 
@@ -83,6 +89,10 @@ struct FleetSweepResults
 
     /** Per-run fleet statistics, by job index. */
     std::vector<FleetRunStats> fleet;
+
+    /** The campaign-shared telemetry sink (ring/counters specs only;
+     * nullptr otherwise) — CLIs print its summaryText(). */
+    std::shared_ptr<TelemetrySink> telemetrySink;
 
     /** Mean stranded capacity of a (dispatcher, trace) cell; an
      * empty trace matches the first trace swept. Returns -1 when the

@@ -1,0 +1,168 @@
+#include "telemetry/perf_probe.hh"
+
+#if defined(__linux__) && __has_include(<linux/perf_event.h>)
+#define HIPSTER_HAVE_PERF_EVENT 1
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
+
+namespace hipster
+{
+
+#if defined(HIPSTER_HAVE_PERF_EVENT)
+
+namespace
+{
+
+int
+openCounter(std::uint64_t hwConfig, std::string &reason)
+{
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.type = PERF_TYPE_HARDWARE;
+    attr.size = sizeof(attr);
+    attr.config = hwConfig;
+    attr.disabled = 1;
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+
+    const long fd = syscall(SYS_perf_event_open, &attr, 0, -1, -1, 0);
+    if (fd >= 0)
+        return static_cast<int>(fd);
+
+    switch (errno) {
+    case EACCES:
+    case EPERM:
+        reason = "permission denied (perf_event_paranoid)";
+        break;
+    case ENOSYS:
+        reason = "perf_event_open syscall unavailable";
+        break;
+    case ENOENT:
+    case ENODEV:
+    case EOPNOTSUPP:
+        reason = "hardware counters unsupported";
+        break;
+    default:
+        reason = std::strerror(errno);
+    }
+    return -1;
+}
+
+} // namespace
+
+const PerfProbe &
+probePerfCounters()
+{
+    static const PerfProbe probe = [] {
+        PerfProbe p;
+        std::string reason;
+        const int fd =
+            openCounter(PERF_COUNT_HW_CPU_CYCLES, reason);
+        if (fd >= 0) {
+            close(fd);
+            p.available = true;
+            p.reason = "ok";
+        } else {
+            p.reason = reason;
+        }
+        return p;
+    }();
+    return probe;
+}
+
+PerfCounterSession::PerfCounterSession()
+{
+    const PerfProbe &probe = probePerfCounters();
+    if (!probe.available) {
+        reason_ = probe.reason;
+        return;
+    }
+    std::string reason;
+    cyclesFd_ = openCounter(PERF_COUNT_HW_CPU_CYCLES, reason);
+    if (cyclesFd_ < 0) {
+        reason_ = reason;
+        return;
+    }
+    instructionsFd_ =
+        openCounter(PERF_COUNT_HW_INSTRUCTIONS, reason);
+    if (instructionsFd_ < 0) {
+        close(cyclesFd_);
+        cyclesFd_ = -1;
+        reason_ = reason;
+        return;
+    }
+    ioctl(cyclesFd_, PERF_EVENT_IOC_RESET, 0);
+    ioctl(instructionsFd_, PERF_EVENT_IOC_RESET, 0);
+    ioctl(cyclesFd_, PERF_EVENT_IOC_ENABLE, 0);
+    ioctl(instructionsFd_, PERF_EVENT_IOC_ENABLE, 0);
+    ok_ = true;
+}
+
+PerfCounterSession::~PerfCounterSession()
+{
+    if (cyclesFd_ >= 0)
+        close(cyclesFd_);
+    if (instructionsFd_ >= 0)
+        close(instructionsFd_);
+}
+
+void
+PerfCounterSession::stop(std::uint64_t &cycles,
+                         std::uint64_t &instructions)
+{
+    cycles = 0;
+    instructions = 0;
+    if (!ok_)
+        return;
+    ioctl(cyclesFd_, PERF_EVENT_IOC_DISABLE, 0);
+    ioctl(instructionsFd_, PERF_EVENT_IOC_DISABLE, 0);
+    std::uint64_t value = 0;
+    if (read(cyclesFd_, &value, sizeof(value)) == sizeof(value))
+        cycles = value;
+    if (read(instructionsFd_, &value, sizeof(value)) == sizeof(value))
+        instructions = value;
+    close(cyclesFd_);
+    close(instructionsFd_);
+    cyclesFd_ = -1;
+    instructionsFd_ = -1;
+    ok_ = false;
+}
+
+#else // !HIPSTER_HAVE_PERF_EVENT
+
+const PerfProbe &
+probePerfCounters()
+{
+    static const PerfProbe probe = [] {
+        PerfProbe p;
+        p.available = false;
+        p.reason = "unsupported platform";
+        return p;
+    }();
+    return probe;
+}
+
+PerfCounterSession::PerfCounterSession()
+    : reason_(probePerfCounters().reason)
+{
+}
+
+PerfCounterSession::~PerfCounterSession() = default;
+
+void
+PerfCounterSession::stop(std::uint64_t &cycles,
+                         std::uint64_t &instructions)
+{
+    cycles = 0;
+    instructions = 0;
+}
+
+#endif // HIPSTER_HAVE_PERF_EVENT
+
+} // namespace hipster

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Optional perf_event_open backend for the phase profiler: hardware
+ * cycles/instructions per run, behind a runtime probe. The probe
+ * degrades gracefully — off-Linux, in sandboxes without the syscall,
+ * or unprivileged (perf_event_paranoid) it reports a clean
+ * "unavailable" status with the reason; it never throws and never
+ * fails a run.
+ */
+
+#ifndef HIPSTER_TELEMETRY_PERF_PROBE_HH
+#define HIPSTER_TELEMETRY_PERF_PROBE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace hipster
+{
+
+/** Result of probing for perf_event_open support. */
+struct PerfProbe
+{
+    bool available = false;
+
+    /** "ok" when available, else why not ("unsupported platform",
+     * "permission denied", ...). */
+    std::string reason;
+};
+
+/** Probe once per process (cached) for usable hardware counters. */
+const PerfProbe &probePerfCounters();
+
+/**
+ * One measurement session over hardware cycles + instructions.
+ * Construction arms the counters when the probe succeeded;
+ * otherwise every call is a no-op and ok() stays false.
+ */
+class PerfCounterSession
+{
+  public:
+    PerfCounterSession();
+    ~PerfCounterSession();
+
+    PerfCounterSession(const PerfCounterSession &) = delete;
+    PerfCounterSession &operator=(const PerfCounterSession &) = delete;
+
+    /** Whether counters are live for this session. */
+    bool ok() const { return ok_; }
+
+    /** Why the session is not live ("" when ok). */
+    const std::string &reason() const { return reason_; }
+
+    /** Stop counting and read the totals (0 when not ok). */
+    void stop(std::uint64_t &cycles, std::uint64_t &instructions);
+
+  private:
+    bool ok_ = false;
+    std::string reason_;
+    int cyclesFd_ = -1;
+    int instructionsFd_ = -1;
+};
+
+} // namespace hipster
+
+#endif // HIPSTER_TELEMETRY_PERF_PROBE_HH

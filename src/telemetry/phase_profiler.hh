@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Self-instrumentation: where does a simulated run's wall-clock go?
+ * The runner splits each interval into arrival generation, the
+ * discrete event loop, policy decisions and metrics assembly, and
+ * accumulates the split here together with an events-per-second
+ * rate — answering ROADMAP item 2's "does per-run simulation
+ * dominate?" without external profilers. Optionally backed by
+ * perf_event_open hardware counters (telemetry/perf_probe.hh).
+ *
+ * Wall-clock values never feed back into simulated behavior or any
+ * pinned output: they live only in ExperimentResult::profile and in
+ * phase_profile trace events.
+ */
+
+#ifndef HIPSTER_TELEMETRY_PHASE_PROFILER_HH
+#define HIPSTER_TELEMETRY_PHASE_PROFILER_HH
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace hipster
+{
+
+/** Per-run phase-time breakdown and self-instrumentation counters. */
+struct PhaseProfile
+{
+    /** Open-loop arrival generation inside the workload model. */
+    double arrivalGenSeconds = 0.0;
+
+    /** Discrete event loop (service simulation) minus arrival gen. */
+    double eventLoopSeconds = 0.0;
+
+    /** Policy initialDecision()/decide() calls. */
+    double policySeconds = 0.0;
+
+    /** Interval bookkeeping: actuation, power/metrics assembly. */
+    double metricsSeconds = 0.0;
+
+    /** Intervals stepped. */
+    std::uint64_t intervals = 0;
+
+    /** Simulator events processed (workload eventsProcessed delta). */
+    std::uint64_t simEvents = 0;
+
+    /** Hardware counters (perf=1 and the probe succeeded). */
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    bool perfAvailable = false;
+
+    /** "ok", or why hardware counters are off ("disabled",
+     * "unsupported platform", "permission denied", ...). */
+    std::string perfStatus = "disabled";
+
+    double
+    totalSeconds() const
+    {
+        return arrivalGenSeconds + eventLoopSeconds + policySeconds +
+               metricsSeconds;
+    }
+
+    /** Simulator events per wall-clock second (0 when unmeasured). */
+    double
+    eventsPerSecond() const
+    {
+        const double total = totalSeconds();
+        return total > 0.0
+                   ? static_cast<double>(simEvents) / total
+                   : 0.0;
+    }
+};
+
+/** Monotonic stopwatch for one phase bucket. */
+class PhaseTimer
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    void
+    start()
+    {
+        begin_ = Clock::now();
+    }
+
+    /** Seconds since start(). */
+    double
+    lap() const
+    {
+        return std::chrono::duration<double>(Clock::now() - begin_)
+            .count();
+    }
+
+  private:
+    Clock::time_point begin_{};
+};
+
+} // namespace hipster
+
+#endif // HIPSTER_TELEMETRY_PHASE_PROFILER_HH

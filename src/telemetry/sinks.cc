@@ -1,0 +1,447 @@
+#include "telemetry/sinks.hh"
+
+#include <utility>
+
+#include "common/json_number.hh"
+#include "common/logging.hh"
+
+namespace hipster
+{
+
+namespace
+{
+
+/** Escape a string for inclusion in a JSON string literal. */
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                static const char *kHex = "0123456789abcdef";
+                out += "\\u00";
+                out += kHex[(c >> 4) & 0xf];
+                out += kHex[c & 0xf];
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Undo jsonEscape; stops at the closing quote. */
+bool
+jsonUnescape(const std::string &text, std::size_t &pos,
+             std::string &out)
+{
+    out.clear();
+    while (pos < text.size() && text[pos] != '"') {
+        char c = text[pos];
+        if (c == '\\') {
+            if (pos + 1 >= text.size())
+                return false;
+            char esc = text[pos + 1];
+            pos += 2;
+            switch (esc) {
+            case '"':
+                out += '"';
+                break;
+            case '\\':
+                out += '\\';
+                break;
+            case '/':
+                out += '/';
+                break;
+            case 'n':
+                out += '\n';
+                break;
+            case 'r':
+                out += '\r';
+                break;
+            case 't':
+                out += '\t';
+                break;
+            case 'u': {
+                if (pos + 4 > text.size())
+                    return false;
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text[pos + i];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return false;
+                }
+                if (code > 0x7f)
+                    return false; // only escapes we emit
+                out += static_cast<char>(code);
+                pos += 4;
+                break;
+            }
+            default:
+                return false;
+            }
+        } else {
+            out += c;
+            ++pos;
+        }
+    }
+    return pos < text.size();
+}
+
+std::FILE *
+openTelemetryFile(const std::string &path, const char *kind)
+{
+    std::FILE *file = std::fopen(path.c_str(), "w");
+    if (!file)
+        fatal("telemetry: cannot open ", kind, " sink path '", path,
+              "' for writing");
+    return file;
+}
+
+/** RFC 4180 field escape (mirrors CsvWriter). */
+std::string
+csvEscape(const std::string &field)
+{
+    if (field.find_first_of(",\"\n\r") == std::string::npos)
+        return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+/** Pack an event payload as '|'-separated k=v pairs. */
+std::string
+packPayload(const TelemetryEvent &event)
+{
+    std::string data;
+    for (const auto &kv : event.num) {
+        if (!data.empty())
+            data += '|';
+        data += kv.first;
+        data += '=';
+        data += formatJsonNumber(kv.second);
+    }
+    for (const auto &kv : event.str) {
+        if (!data.empty())
+            data += '|';
+        data += kv.first;
+        data += '=';
+        data += kv.second;
+    }
+    return data;
+}
+
+} // namespace
+
+std::string
+telemetryEventToJson(const TelemetryEvent &event)
+{
+    std::string out = "{\"type\":\"";
+    out += telemetryEventTypeName(event.type);
+    out += "\",\"interval\":";
+    out += formatJsonNumber(event.interval);
+    out += ",\"time_s\":";
+    out += formatJsonNumber(event.time);
+    if (event.node >= 0) {
+        out += ",\"node\":";
+        out +=
+            formatJsonNumber(static_cast<std::uint64_t>(event.node));
+    }
+    for (const auto &kv : event.num) {
+        out += ",\"";
+        out += jsonEscape(kv.first);
+        out += "\":";
+        out += formatJsonNumber(kv.second);
+    }
+    for (const auto &kv : event.str) {
+        out += ",\"";
+        out += jsonEscape(kv.first);
+        out += "\":\"";
+        out += jsonEscape(kv.second);
+        out += '"';
+    }
+    out += '}';
+    return out;
+}
+
+bool
+parseTelemetryEventJson(const std::string &line, TelemetryEvent &out)
+{
+    out = TelemetryEvent();
+    std::size_t pos = 0;
+    auto skipWs = [&] {
+        while (pos < line.size() &&
+               (line[pos] == ' ' || line[pos] == '\t'))
+            ++pos;
+    };
+    skipWs();
+    if (pos >= line.size() || line[pos] != '{')
+        return false;
+    ++pos;
+    bool sawType = false;
+    bool first = true;
+    for (;;) {
+        skipWs();
+        if (pos < line.size() && line[pos] == '}') {
+            ++pos;
+            break;
+        }
+        if (!first) {
+            if (pos >= line.size() || line[pos] != ',')
+                return false;
+            ++pos;
+            skipWs();
+        }
+        first = false;
+        if (pos >= line.size() || line[pos] != '"')
+            return false;
+        ++pos;
+        std::string key;
+        if (!jsonUnescape(line, pos, key))
+            return false;
+        ++pos; // closing quote
+        skipWs();
+        if (pos >= line.size() || line[pos] != ':')
+            return false;
+        ++pos;
+        skipWs();
+        if (pos < line.size() && line[pos] == '"') {
+            ++pos;
+            std::string value;
+            if (!jsonUnescape(line, pos, value))
+                return false;
+            ++pos;
+            if (key == "type") {
+                if (!parseTelemetryEventType(value, out.type))
+                    return false;
+                sawType = true;
+            } else {
+                out.add(key, std::move(value));
+            }
+        } else {
+            double value = 0.0;
+            if (!parseJsonNumber(line, pos, value))
+                return false;
+            if (key == "interval")
+                out.interval = static_cast<std::uint64_t>(value);
+            else if (key == "time_s")
+                out.time = value;
+            else if (key == "node")
+                out.node = static_cast<int>(value);
+            else
+                out.add(key, value);
+        }
+    }
+    return sawType;
+}
+
+JsonlSink::JsonlSink(const std::string &path)
+    : path_(path), file_(openTelemetryFile(path, "jsonl"))
+{
+}
+
+JsonlSink::~JsonlSink()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+void
+JsonlSink::write(const TelemetryEvent &event)
+{
+    std::string line = telemetryEventToJson(event);
+    line += '\n';
+    std::fwrite(line.data(), 1, line.size(), file_);
+    ++written_;
+}
+
+void
+JsonlSink::flush()
+{
+    std::fflush(file_);
+}
+
+std::string
+JsonlSink::summaryText() const
+{
+    return "telemetry: " + formatJsonNumber(written_) +
+           " events -> " + path_;
+}
+
+CsvSink::CsvSink(const std::string &path)
+    : path_(path), file_(openTelemetryFile(path, "csv"))
+{
+    static const char kHeader[] = "type,interval,time_s,node,data\n";
+    std::fwrite(kHeader, 1, sizeof(kHeader) - 1, file_);
+}
+
+CsvSink::~CsvSink()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+void
+CsvSink::write(const TelemetryEvent &event)
+{
+    std::string row = telemetryEventTypeName(event.type);
+    row += ',';
+    row += formatJsonNumber(event.interval);
+    row += ',';
+    row += formatJsonNumber(event.time);
+    row += ',';
+    if (event.node >= 0)
+        row +=
+            formatJsonNumber(static_cast<std::uint64_t>(event.node));
+    row += ',';
+    row += csvEscape(packPayload(event));
+    row += '\n';
+    std::fwrite(row.data(), 1, row.size(), file_);
+    ++written_;
+}
+
+void
+CsvSink::flush()
+{
+    std::fflush(file_);
+}
+
+std::string
+CsvSink::summaryText() const
+{
+    return "telemetry: " + formatJsonNumber(written_) +
+           " events -> " + path_;
+}
+
+RingBufferSink::RingBufferSink(std::size_t cap) : cap_(cap)
+{
+    if (cap_ == 0)
+        fatal("telemetry: ring sink capacity must be positive");
+}
+
+void
+RingBufferSink::write(const TelemetryEvent &event)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (events_.size() == cap_) {
+        events_.pop_front();
+        ++dropped_;
+    }
+    events_.push_back(event);
+    ++total_;
+}
+
+std::uint64_t
+RingBufferSink::dropped() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dropped_;
+}
+
+std::uint64_t
+RingBufferSink::total() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return total_;
+}
+
+std::vector<TelemetryEvent>
+RingBufferSink::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return std::vector<TelemetryEvent>(events_.begin(), events_.end());
+}
+
+std::string
+RingBufferSink::summaryText() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string text = "telemetry: ring holds " +
+                       formatJsonNumber(
+                           static_cast<std::uint64_t>(events_.size())) +
+                       " of " + formatJsonNumber(total_) + " events";
+    if (dropped_ > 0)
+        text += " (" + formatJsonNumber(dropped_) +
+                " dropped oldest-first)";
+    return text;
+}
+
+CountersSink::CountersSink()
+{
+    for (auto &c : counts_)
+        c.store(0, std::memory_order_relaxed);
+}
+
+void
+CountersSink::write(const TelemetryEvent &event)
+{
+    counts_[static_cast<std::size_t>(event.type)].fetch_add(
+        1, std::memory_order_relaxed);
+}
+
+std::uint64_t
+CountersSink::count(TelemetryEventType type) const
+{
+    return counts_[static_cast<std::size_t>(type)].load(
+        std::memory_order_relaxed);
+}
+
+std::uint64_t
+CountersSink::total() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &c : counts_)
+        sum += c.load(std::memory_order_relaxed);
+    return sum;
+}
+
+std::string
+CountersSink::summaryText() const
+{
+    std::string text = "telemetry counters:";
+    for (std::size_t i = 0; i < kTelemetryEventTypes; ++i) {
+        const auto type = static_cast<TelemetryEventType>(i);
+        const std::uint64_t n = count(type);
+        if (n == 0)
+            continue;
+        text += ' ';
+        text += telemetryEventTypeName(type);
+        text += '=';
+        text += formatJsonNumber(n);
+    }
+    if (total() == 0)
+        text += " (no events)";
+    return text;
+}
+
+} // namespace hipster

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Concrete telemetry sinks: JSONL and CSV files (numbers through
+ * common/json_number so every double round-trips bitwise), a bounded
+ * in-memory ring buffer for tests and post-run inspection, and
+ * thread-safe per-type counters for sweep-wide tallies.
+ */
+
+#ifndef HIPSTER_TELEMETRY_SINKS_HH
+#define HIPSTER_TELEMETRY_SINKS_HH
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.hh"
+
+namespace hipster
+{
+
+/**
+ * One JSON object per line, flat and jq-friendly:
+ *   {"type":"decision","interval":12,"time_s":12,"node":0,...}
+ * Fails fast on an unwritable path, naming the telemetry stage.
+ */
+class JsonlSink : public TelemetrySink
+{
+  public:
+    explicit JsonlSink(const std::string &path);
+    ~JsonlSink() override;
+
+    void write(const TelemetryEvent &event) override;
+    void flush() override;
+    std::string summaryText() const override;
+
+  private:
+    std::string path_;
+    std::FILE *file_ = nullptr;
+    std::uint64_t written_ = 0;
+};
+
+/**
+ * CSV with fixed columns type,interval,time_s,node,data where `data`
+ * packs the payload as '|'-separated k=v pairs (numbers formatted
+ * via json_number, so a CsvReader round-trips them exactly).
+ */
+class CsvSink : public TelemetrySink
+{
+  public:
+    explicit CsvSink(const std::string &path);
+    ~CsvSink() override;
+
+    void write(const TelemetryEvent &event) override;
+    void flush() override;
+    std::string summaryText() const override;
+
+  private:
+    std::string path_;
+    std::FILE *file_ = nullptr;
+    std::uint64_t written_ = 0;
+};
+
+/**
+ * Bounded in-memory buffer keeping the newest `cap` events; overflow
+ * drops oldest-first and counts the drops. Thread-safe so fleet
+ * nodes and sweep jobs may share one instance.
+ */
+class RingBufferSink : public TelemetrySink
+{
+  public:
+    explicit RingBufferSink(std::size_t cap);
+
+    void write(const TelemetryEvent &event) override;
+    std::string summaryText() const override;
+
+    /** Events dropped to stay within capacity. */
+    std::uint64_t dropped() const;
+
+    /** Events accepted (dropped or retained). */
+    std::uint64_t total() const;
+
+    /** Copy of the retained events, oldest first. */
+    std::vector<TelemetryEvent> snapshot() const;
+
+  private:
+    std::size_t cap_;
+    mutable std::mutex mutex_;
+    std::deque<TelemetryEvent> events_;
+    std::uint64_t dropped_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * Per-type event counters; lock-free writes so one instance can be
+ * shared across every job of a sweep.
+ */
+class CountersSink : public TelemetrySink
+{
+  public:
+    CountersSink();
+
+    void write(const TelemetryEvent &event) override;
+    std::string summaryText() const override;
+
+    /** Count of events of `type` seen so far. */
+    std::uint64_t count(TelemetryEventType type) const;
+
+    /** Total events across all types. */
+    std::uint64_t total() const;
+
+  private:
+    std::array<std::atomic<std::uint64_t>, kTelemetryEventTypes>
+        counts_;
+};
+
+/** Serialize one event as a single JSON object (no newline). */
+std::string telemetryEventToJson(const TelemetryEvent &event);
+
+/**
+ * Parse a JSONL trace line back into an event. Returns false (and
+ * leaves `out` unspecified) on malformed input or unknown type.
+ */
+bool parseTelemetryEventJson(const std::string &line,
+                             TelemetryEvent &out);
+
+} // namespace hipster
+
+#endif // HIPSTER_TELEMETRY_SINKS_HH

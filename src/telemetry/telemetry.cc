@@ -1,0 +1,125 @@
+#include "telemetry/telemetry.hh"
+
+#include "common/build_info.hh"
+
+namespace hipster
+{
+
+const char *
+telemetryEventTypeName(TelemetryEventType type)
+{
+    switch (type) {
+    case TelemetryEventType::Header:
+        return "header";
+    case TelemetryEventType::Decision:
+        return "decision";
+    case TelemetryEventType::Dvfs:
+        return "dvfs";
+    case TelemetryEventType::Hazard:
+        return "hazard";
+    case TelemetryEventType::Migration:
+        return "migration";
+    case TelemetryEventType::Dispatch:
+        return "dispatch";
+    case TelemetryEventType::PhaseProfile:
+        return "phase_profile";
+    }
+    return "unknown";
+}
+
+bool
+parseTelemetryEventType(const std::string &name, TelemetryEventType &out)
+{
+    static const TelemetryEventType kAll[kTelemetryEventTypes] = {
+        TelemetryEventType::Header,       TelemetryEventType::Decision,
+        TelemetryEventType::Dvfs,         TelemetryEventType::Hazard,
+        TelemetryEventType::Migration,    TelemetryEventType::Dispatch,
+        TelemetryEventType::PhaseProfile,
+    };
+    for (TelemetryEventType type : kAll) {
+        if (name == telemetryEventTypeName(type)) {
+            out = type;
+            return true;
+        }
+    }
+    return false;
+}
+
+double
+TelemetryEvent::numField(const std::string &key, double fallback) const
+{
+    for (const auto &kv : num)
+        if (kv.first == key)
+            return kv.second;
+    return fallback;
+}
+
+std::string
+TelemetryEvent::strField(const std::string &key) const
+{
+    for (const auto &kv : str)
+        if (kv.first == key)
+            return kv.second;
+    return "";
+}
+
+TelemetryContext::TelemetryContext(TelemetryConfig config,
+                                   std::shared_ptr<TelemetrySink> sink)
+    : config_(std::move(config)), sink_(std::move(sink))
+{
+}
+
+std::shared_ptr<TelemetryContext>
+TelemetryContext::forNode(int node) const
+{
+    auto child = std::make_shared<TelemetryContext>(config_, sink_);
+    child->node_ = node;
+    return child;
+}
+
+bool
+TelemetryContext::wants(TelemetryEventType type,
+                        std::uint64_t interval) const
+{
+    const auto bit = 1u << static_cast<unsigned>(type);
+    if ((config_.typeMask & bit) == 0)
+        return false;
+    // Headers and run-level profiles always pass the sampling
+    // stride; only interval-scoped events are decimated.
+    if (type == TelemetryEventType::Header ||
+        type == TelemetryEventType::PhaseProfile)
+        return true;
+    return config_.sample <= 1 || interval % config_.sample == 0;
+}
+
+void
+TelemetryContext::emit(TelemetryEvent event)
+{
+    if (event.node < 0 && node_ >= 0)
+        event.node = node_;
+    sink_->write(event);
+    ++emitted_;
+}
+
+void
+emitTelemetryHeader(
+    TelemetryContext &telemetry,
+    const std::vector<std::pair<std::string, std::string>> &axes,
+    const std::vector<std::pair<std::string, double>> &numbers)
+{
+    if (!telemetry.wants(TelemetryEventType::Header, 0))
+        return;
+    TelemetryEvent event(TelemetryEventType::Header, 0, 0.0);
+    event.add("schema", static_cast<double>(kTelemetryTraceSchema));
+    event.add("git_sha", std::string(buildGitSha()));
+    event.add("compiler", std::string(buildCompilerId()));
+    event.add("compiler_flags", std::string(buildCompilerFlags()));
+    event.add("build_type", std::string(buildTypeName()));
+    for (const auto &axis : axes)
+        event.add(axis.first, axis.second);
+    for (const auto &field : numbers)
+        event.add(field.first, field.second);
+    telemetry.emit(std::move(event));
+}
+
+} // namespace hipster

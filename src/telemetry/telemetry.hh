@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Telemetry & introspection: the structured decision-trace event
+ * model and the context every instrumented layer emits through.
+ *
+ * The simulator's aggregate outputs (series, summaries, sweep CSVs)
+ * say *what* happened; the telemetry stream records *why*: one typed
+ * event per policy decision (observed state + chosen config), DVFS
+ * transition (including hazard-denied ones), hazard effect
+ * application, migration move and dispatcher routing share, plus one
+ * run-level phase-time profile. Emission is observation-only by
+ * construction — no RNG is drawn, no event order is perturbed — so
+ * a traced run is bitwise-identical to an untraced one, and
+ * `telemetry:none` (a null context) is the no-op every golden pin
+ * already exercises.
+ */
+
+#ifndef HIPSTER_TELEMETRY_TELEMETRY_HH
+#define HIPSTER_TELEMETRY_TELEMETRY_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hipster
+{
+
+/** Every event kind a trace can carry. */
+enum class TelemetryEventType
+{
+    Header,       ///< run metadata + build provenance (first line)
+    Decision,     ///< one policy decision with its observed state
+    Dvfs,         ///< a DVFS actuation (incl. hazard-denied ones)
+    Hazard,       ///< hazard effects applied to one interval
+    Migration,    ///< per-interval work-migration activity
+    Dispatch,     ///< one node's routed share of the fleet load
+    PhaseProfile, ///< run-level phase-time/self-instrumentation
+};
+
+/** Number of event types (array sizing). */
+constexpr std::size_t kTelemetryEventTypes = 7;
+
+/** Canonical lower-case name ("decision", "phase_profile", ...). */
+const char *telemetryEventTypeName(TelemetryEventType type);
+
+/** Parse a canonical name back; false when unknown. */
+bool parseTelemetryEventType(const std::string &name,
+                             TelemetryEventType &out);
+
+/**
+ * One trace event: a type, the interval/time it belongs to, the node
+ * it came from (-1 = single-node or fleet-level), and ordered
+ * key=value payloads — numeric fields serialize through
+ * common/json_number so every double round-trips bitwise.
+ */
+struct TelemetryEvent
+{
+    TelemetryEventType type = TelemetryEventType::Header;
+    std::uint64_t interval = 0;
+    double time = 0.0;
+    int node = -1;
+
+    std::vector<std::pair<std::string, double>> num;
+    std::vector<std::pair<std::string, std::string>> str;
+
+    TelemetryEvent() = default;
+    TelemetryEvent(TelemetryEventType t, std::uint64_t k, double at)
+        : type(t), interval(k), time(at)
+    {
+    }
+
+    TelemetryEvent &
+    add(std::string key, double value)
+    {
+        num.emplace_back(std::move(key), value);
+        return *this;
+    }
+
+    TelemetryEvent &
+    add(std::string key, std::string value)
+    {
+        str.emplace_back(std::move(key), std::move(value));
+        return *this;
+    }
+
+    /** The numeric field `key`, or `fallback` when absent. */
+    double numField(const std::string &key, double fallback = 0.0) const;
+
+    /** The string field `key`, or "" when absent. */
+    std::string strField(const std::string &key) const;
+};
+
+/**
+ * Where events go. Implementations (telemetry/sinks.hh) are JSONL /
+ * CSV files, a bounded in-memory ring buffer, and per-type counters.
+ * Sinks shared across sweep jobs must be thread-safe; file sinks are
+ * created one-per-run (suffixed paths) and never shared.
+ */
+class TelemetrySink
+{
+  public:
+    virtual ~TelemetrySink() = default;
+
+    virtual void write(const TelemetryEvent &event) = 0;
+
+    virtual void flush() {}
+
+    /** Human-readable post-run summary ("" = nothing to report). */
+    virtual std::string summaryText() const { return ""; }
+};
+
+/** Parsed configuration of one telemetry spec (see the registry). */
+struct TelemetryConfig
+{
+    /** Sink family: "none", "jsonl", "csv", "ring", "counters". */
+    std::string sink = "none";
+
+    /** Output path (jsonl/csv sinks). */
+    std::string path;
+
+    /** Emit interval-scoped events only every Nth interval. */
+    std::uint64_t sample = 1;
+
+    /** Bitmask over TelemetryEventType: which kinds to keep. */
+    std::uint32_t typeMask = 0xffffffffu;
+
+    /** Ring-buffer capacity (ring sink). */
+    std::size_t cap = 65536;
+
+    /** Arm the perf_event_open cycles/instructions backend. */
+    bool perfCounters = false;
+
+    /** Canonical spec label ("telemetry:jsonl:path=..."). */
+    std::string label = "none";
+
+    bool isNone() const { return sink == "none"; }
+};
+
+/**
+ * The handle instrumented code emits through: a shared sink plus the
+ * run's sampling/filter config and a node tag. Contexts are cheap to
+ * copy per node (fleet runs share one sink across nodes); a null
+ * context pointer is the `telemetry:none` fast path.
+ */
+class TelemetryContext
+{
+  public:
+    TelemetryContext(TelemetryConfig config,
+                     std::shared_ptr<TelemetrySink> sink);
+
+    const TelemetryConfig &config() const { return config_; }
+    TelemetrySink &sink() { return *sink_; }
+    const std::shared_ptr<TelemetrySink> &sinkPtr() const
+    {
+        return sink_;
+    }
+
+    /** The node index events are stamped with (-1 = untagged). */
+    int node() const { return node_; }
+
+    /** A context sharing this sink/config, tagged with `node`. */
+    std::shared_ptr<TelemetryContext> forNode(int node) const;
+
+    /**
+     * Whether an event of `type` at `interval` passes the filter and
+     * the sampling stride. Callers guard event construction with
+     * this so the no-emission path stays allocation-free.
+     */
+    bool wants(TelemetryEventType type, std::uint64_t interval) const;
+
+    /** Stamp the node tag (when unset) and forward to the sink.
+     * Callers are expected to have checked wants() first. */
+    void emit(TelemetryEvent event);
+
+    /** Events emitted through this context. */
+    std::uint64_t emitted() const { return emitted_; }
+
+  private:
+    TelemetryConfig config_;
+    std::shared_ptr<TelemetrySink> sink_;
+    int node_ = -1;
+    std::uint64_t emitted_ = 0;
+};
+
+/**
+ * Emit the run-header event: the given run axes plus the build
+ * provenance (git SHA, compiler + flags, build type) stamped into
+ * every trace file, mirroring the perf-harness JSON schema.
+ */
+void emitTelemetryHeader(
+    TelemetryContext &telemetry,
+    const std::vector<std::pair<std::string, std::string>> &axes,
+    const std::vector<std::pair<std::string, double>> &numbers);
+
+/** Telemetry trace-format version (header `schema` field). */
+constexpr std::uint64_t kTelemetryTraceSchema = 1;
+
+} // namespace hipster
+
+#endif // HIPSTER_TELEMETRY_TELEMETRY_HH

@@ -1,0 +1,392 @@
+#include "telemetry/telemetry_registry.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "common/logging.hh"
+#include "common/spec_grammar.hh"
+#include "telemetry/sinks.hh"
+
+namespace hipster
+{
+
+namespace
+{
+
+constexpr const char *kPrefix = "telemetry:";
+
+/** The spec with any `telemetry:` prefix removed. */
+std::string
+stripPrefix(const std::string &spec)
+{
+    const std::string prefix(kPrefix);
+    if (spec.rfind(prefix, 0) == 0)
+        return spec.substr(prefix.size());
+    return spec;
+}
+
+/** The schema summary used by every bad-parameter error. */
+std::string
+keySchemaText(const TelemetrySinkInfo &entry)
+{
+    if (entry.params.empty())
+        return "'" + entry.name + "' takes no parameters";
+    std::string out = "'" + entry.name + "' parameters:";
+    for (const TelemetryParamInfo &p : entry.params)
+        out += "\n  " + p.key + "=" + p.example + " — " + p.doc;
+    return out;
+}
+
+const TelemetrySinkInfo *
+findEntry(const std::string &head)
+{
+    for (const TelemetrySinkInfo &e :
+         TelemetryRegistry::instance().entries()) {
+        if (e.name == head ||
+            std::find(e.aliases.begin(), e.aliases.end(), head) !=
+                e.aliases.end())
+            return &e;
+    }
+    return nullptr;
+}
+
+bool
+entryHasKey(const TelemetrySinkInfo &entry, const std::string &key)
+{
+    return std::any_of(entry.params.begin(), entry.params.end(),
+                       [&](const TelemetryParamInfo &p) {
+                           return p.key == key;
+                       });
+}
+
+std::uint64_t
+parseCount(const std::string &spec, const TelemetrySinkInfo &entry,
+           const std::string &key, const std::string &value,
+           std::uint64_t min)
+{
+    std::uint64_t out = 0;
+    bool ok = !value.empty();
+    for (char c : value) {
+        if (c < '0' || c > '9') {
+            ok = false;
+            break;
+        }
+        out = out * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    if (!ok || out < min)
+        fatal("telemetry spec '", spec, "': '", key, "=", value,
+              "' must be an integer >= ", min, "; ",
+              keySchemaText(entry));
+    return out;
+}
+
+std::uint32_t
+parseTypeMask(const std::string &spec, const TelemetrySinkInfo &entry,
+              const std::string &value)
+{
+    std::uint32_t mask = 0;
+    std::size_t start = 0;
+    while (start <= value.size()) {
+        const std::size_t plus = value.find('+', start);
+        const std::string name =
+            value.substr(start, plus == std::string::npos
+                                    ? std::string::npos
+                                    : plus - start);
+        TelemetryEventType type;
+        if (!parseTelemetryEventType(name, type)) {
+            std::string known;
+            for (std::size_t i = 0; i < kTelemetryEventTypes; ++i) {
+                if (i > 0)
+                    known += ", ";
+                known += telemetryEventTypeName(
+                    static_cast<TelemetryEventType>(i));
+            }
+            fatal("telemetry spec '", spec, "': unknown event type '",
+                  name, "' in only=; event types: ", known, "; ",
+                  keySchemaText(entry));
+        }
+        mask |= 1u << static_cast<unsigned>(type);
+        if (plus == std::string::npos)
+            break;
+        start = plus + 1;
+    }
+    // Headers and phase profiles always ride along: a filtered trace
+    // still names its build and closes with its profile.
+    mask |= 1u << static_cast<unsigned>(TelemetryEventType::Header);
+    mask |=
+        1u << static_cast<unsigned>(TelemetryEventType::PhaseProfile);
+    return mask;
+}
+
+} // namespace
+
+TelemetryRegistry &
+TelemetryRegistry::instance()
+{
+    static TelemetryRegistry registry = [] {
+        TelemetryRegistry r;
+        r.registerBuiltins();
+        return r;
+    }();
+    return registry;
+}
+
+void
+TelemetryRegistry::add(TelemetrySinkInfo info)
+{
+    if (has(info.name))
+        fatal("TelemetryRegistry: duplicate sink '", info.name, "'");
+    for (const std::string &alias : info.aliases) {
+        if (has(alias))
+            fatal("TelemetryRegistry: duplicate sink alias '", alias,
+                  "'");
+    }
+    entries_.push_back(std::move(info));
+}
+
+bool
+TelemetryRegistry::has(const std::string &name) const
+{
+    return std::any_of(
+        entries_.begin(), entries_.end(),
+        [&](const TelemetrySinkInfo &e) {
+            return e.name == name ||
+                   std::find(e.aliases.begin(), e.aliases.end(),
+                             name) != e.aliases.end();
+        });
+}
+
+std::string
+TelemetryRegistry::catalogText() const
+{
+    std::string out =
+        "Telemetry sinks (spec grammar: telemetry:sink[:key=value,"
+        "...], or none):\n";
+    out += "  none — tracing off (the default; bitwise-identical to "
+           "a build without the axis)\n";
+    for (const TelemetrySinkInfo &e : entries_) {
+        out += "  " + std::string(kPrefix) + e.name;
+        for (const std::string &alias : e.aliases)
+            out += " (alias: " + alias + ")";
+        out += " — " + e.summary + "\n";
+        for (const TelemetryParamInfo &p : e.params)
+            out += "      " + p.key + "=" + p.example + " — " + p.doc +
+                   "\n";
+    }
+    return out;
+}
+
+void
+TelemetryRegistry::registerBuiltins()
+{
+    const TelemetryParamInfo kSample = {
+        "sample", "keep interval-scoped events every Nth interval",
+        "10"};
+    const TelemetryParamInfo kOnly = {
+        "only",
+        "'+'-joined event types to keep (headers and phase profiles "
+        "always ride along)",
+        "decision+hazard"};
+    const TelemetryParamInfo kPerf = {
+        "perf",
+        "arm the perf_event_open cycles/instructions backend "
+        "(degrades to 'unavailable' off-Linux/unprivileged)",
+        "1"};
+
+    add({"jsonl",
+         {"json"},
+         "one JSON object per event, one per line (jq-friendly; "
+         "numbers round-trip bitwise)",
+         {{"path", "output file (mandatory)", "trace.jsonl"}, kSample,
+          kOnly, kPerf},
+         true});
+    add({"csv",
+         {},
+         "type,interval,time_s,node,data rows; the data column packs "
+         "k=v pairs at full precision",
+         {{"path", "output file (mandatory)", "trace.csv"}, kSample,
+          kOnly, kPerf},
+         true});
+    add({"ring",
+         {"memory"},
+         "bounded in-memory buffer keeping the newest events; "
+         "overflow drops oldest-first with a counted drop stat",
+         {{"cap", "buffer capacity in events", "65536"}, kSample,
+          kOnly, kPerf},
+         false});
+    add({"counters",
+         {"count"},
+         "per-type event tallies only (cheapest; shareable across a "
+         "whole sweep)",
+         {kSample, kOnly, kPerf},
+         false});
+}
+
+TelemetryConfig
+parseTelemetryConfig(const std::string &spec)
+{
+    TelemetryConfig config;
+    if (isNoneTelemetry(spec))
+        return config;
+
+    const std::string body = stripPrefix(spec);
+    const std::string head = specHead(body);
+    const TelemetrySinkInfo *entry = findEntry(head);
+    if (!entry) {
+        std::string known = "none";
+        for (const TelemetrySinkInfo &e :
+             TelemetryRegistry::instance().entries())
+            known += ", " + e.name;
+        fatal("unknown telemetry sink '", head, "' in spec '", spec,
+              "'; registered sinks: ", known,
+              " (prefix with 'telemetry:', e.g. "
+              "telemetry:jsonl:path=trace.jsonl)");
+    }
+
+    config.sink = entry->name;
+    config.label = canonicalTelemetryLabel(spec);
+
+    const std::size_t colon = body.find(':');
+    const std::string tail =
+        colon == std::string::npos ? "" : body.substr(colon + 1);
+    std::vector<std::string> seen;
+    std::size_t start = 0;
+    while (start < tail.size()) {
+        std::size_t comma = tail.find(',', start);
+        if (comma == std::string::npos)
+            comma = tail.size();
+        const std::string pair = tail.substr(start, comma - start);
+        start = comma + 1;
+        if (pair.empty())
+            continue;
+        const std::size_t eq = pair.find('=');
+        if (eq == std::string::npos || eq == 0)
+            fatal("telemetry spec '", spec, "': malformed parameter '",
+                  pair, "' (expected key=value); ",
+                  keySchemaText(*entry));
+        const std::string key = pair.substr(0, eq);
+        const std::string value = pair.substr(eq + 1);
+        if (!entryHasKey(*entry, key))
+            fatal("telemetry spec '", spec, "': unknown parameter '",
+                  key, "'; ", keySchemaText(*entry));
+        if (std::find(seen.begin(), seen.end(), key) != seen.end())
+            fatal("telemetry spec '", spec, "': duplicate parameter '",
+                  key, "'; ", keySchemaText(*entry));
+        seen.push_back(key);
+
+        if (key == "path") {
+            if (value.empty())
+                fatal("telemetry spec '", spec,
+                      "': path= must not be empty; ",
+                      keySchemaText(*entry));
+            config.path = value;
+        } else if (key == "sample") {
+            config.sample =
+                parseCount(spec, *entry, key, value, 1);
+        } else if (key == "cap") {
+            config.cap = static_cast<std::size_t>(
+                parseCount(spec, *entry, key, value, 1));
+        } else if (key == "only") {
+            config.typeMask = parseTypeMask(spec, *entry, value);
+        } else if (key == "perf") {
+            config.perfCounters =
+                parseCount(spec, *entry, key, value, 0) != 0;
+        }
+    }
+
+    if (entry->needsPath && config.path.empty())
+        fatal("telemetry spec '", spec, "': sink '", entry->name,
+              "' requires path=; ", keySchemaText(*entry));
+    return config;
+}
+
+std::shared_ptr<TelemetrySink>
+makeTelemetrySink(const TelemetryConfig &config)
+{
+    if (config.isNone())
+        return nullptr;
+    if (config.sink == "jsonl")
+        return std::make_shared<JsonlSink>(config.path);
+    if (config.sink == "csv")
+        return std::make_shared<CsvSink>(config.path);
+    if (config.sink == "ring")
+        return std::make_shared<RingBufferSink>(config.cap);
+    if (config.sink == "counters")
+        return std::make_shared<CountersSink>();
+    fatal("telemetry: no sink factory for '", config.sink, "'");
+}
+
+std::shared_ptr<TelemetryContext>
+makeTelemetryContext(const std::string &spec)
+{
+    const TelemetryConfig config = parseTelemetryConfig(spec);
+    if (config.isNone())
+        return nullptr;
+    return std::make_shared<TelemetryContext>(
+        config, makeTelemetrySink(config));
+}
+
+bool
+isNoneTelemetry(const std::string &spec)
+{
+    const std::string body = stripPrefix(spec);
+    return body.empty() || body == "none";
+}
+
+void
+validateTelemetrySpec(const std::string &spec)
+{
+    parseTelemetryConfig(spec);
+}
+
+std::string
+canonicalTelemetryLabel(const std::string &spec)
+{
+    if (isNoneTelemetry(spec))
+        return "none";
+    return std::string(kPrefix) + stripPrefix(spec);
+}
+
+TelemetryConfig
+telemetryConfigForRun(const TelemetryConfig &base, std::size_t runIndex)
+{
+    TelemetryConfig config = base;
+    if (config.path.empty())
+        return config;
+    char tag[16];
+    std::snprintf(tag, sizeof(tag), ".run%04zu", runIndex);
+    const std::size_t dot = config.path.rfind('.');
+    const std::size_t slash = config.path.find_last_of("/\\");
+    if (dot != std::string::npos &&
+        (slash == std::string::npos || dot > slash))
+        config.path.insert(dot, tag);
+    else
+        config.path += tag;
+    return config;
+}
+
+std::shared_ptr<TelemetryContext>
+makeRunTelemetryContext(const TelemetryConfig &config,
+                        const std::shared_ptr<TelemetrySink> &sharedSink,
+                        std::size_t runIndex)
+{
+    if (config.isNone())
+        return nullptr;
+    if (sharedSink)
+        return std::make_shared<TelemetryContext>(config, sharedSink);
+    const TelemetryConfig run = telemetryConfigForRun(config, runIndex);
+    return std::make_shared<TelemetryContext>(run,
+                                              makeTelemetrySink(run));
+}
+
+std::vector<std::string>
+splitTelemetryList(const std::string &list)
+{
+    return splitSpecList(list, [](const std::string &head) {
+        return head == "telemetry" || head == "none" ||
+               TelemetryRegistry::instance().has(head);
+    });
+}
+
+} // namespace hipster

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Registry for the telemetry axis — the eighth registry-backed spec
+ * grammar. Telemetry specs carry a canonical `telemetry:` prefix,
+ * name one sink family, and take a key=value tail; unlike the other
+ * axes two keys (`path`, `only`) are strings, so the tail parser
+ * here extends the numeric common/spec_grammar with string-typed
+ * parameters while keeping catalog-enumerating fail-fast errors:
+ *
+ *   spec := 'none'
+ *         | ['telemetry:'] sink [':' key '=' value (',' ...)]
+ *
+ *   none
+ *   telemetry:jsonl:path=trace.jsonl,sample=10
+ *   telemetry:csv:path=trace.csv,only=decision+hazard
+ *   telemetry:ring:cap=4096
+ *   telemetry:counters:perf=1
+ *
+ * `none` is the default and the bitwise no-op: a null context, no
+ * allocation, no emission, byte-identical output to a build without
+ * the axis.
+ */
+
+#ifndef HIPSTER_TELEMETRY_TELEMETRY_REGISTRY_HH
+#define HIPSTER_TELEMETRY_TELEMETRY_REGISTRY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.hh"
+
+namespace hipster
+{
+
+/** Schema entry for one telemetry spec key. */
+struct TelemetryParamInfo
+{
+    std::string key;     ///< e.g. "path"
+    std::string doc;     ///< one-line description
+    std::string example; ///< catalog example value
+};
+
+/** Catalog entry describing one registered sink family. */
+struct TelemetrySinkInfo
+{
+    std::string name;                 ///< grammar head, e.g. "jsonl"
+    std::vector<std::string> aliases; ///< alternate heads
+    std::string summary;              ///< one line for --list-telemetry
+    std::vector<TelemetryParamInfo> params;
+    bool needsPath = false; ///< `path=` is mandatory
+};
+
+/**
+ * Name-keyed sink catalog. A singleton holds the built-ins (jsonl,
+ * csv, ring, counters); the catalog drives --list-telemetry and the
+ * fail-fast unknown-sink errors.
+ */
+class TelemetryRegistry
+{
+  public:
+    static TelemetryRegistry &instance();
+
+    /** Register a sink family; FatalError on duplicates. */
+    void add(TelemetrySinkInfo info);
+
+    /** Whether `name` is a registered family name or alias. */
+    bool has(const std::string &name) const;
+
+    /** All registered sinks, in registration order. */
+    const std::vector<TelemetrySinkInfo> &entries() const
+    {
+        return entries_;
+    }
+
+    /** Human-readable catalog (--list-telemetry). */
+    std::string catalogText() const;
+
+  private:
+    TelemetryRegistry() = default;
+    void registerBuiltins();
+
+    std::vector<TelemetrySinkInfo> entries_;
+};
+
+/**
+ * Parse and validate a telemetry spec into its configuration.
+ * Throws FatalError enumerating the catalog on unknown sinks and
+ * the key schema on bad parameters. "none"/"" parses to the no-op
+ * config.
+ */
+TelemetryConfig parseTelemetryConfig(const std::string &spec);
+
+/** Build the sink of a parsed config (nullptr for none). File sinks
+ * fail fast on unwritable paths, naming the telemetry stage. */
+std::shared_ptr<TelemetrySink>
+makeTelemetrySink(const TelemetryConfig &config);
+
+/** Parse + build in one step: the context a run emits through, or
+ * nullptr for "none"/empty — the bitwise no-op. */
+std::shared_ptr<TelemetryContext>
+makeTelemetryContext(const std::string &spec);
+
+/** Whether the spec is the no-op ("", "none", "telemetry:none"). */
+bool isNoneTelemetry(const std::string &spec);
+
+/** Fail-fast validation of a telemetry spec (parses and discards —
+ * does NOT open the sink, so sweep validation never touches disk). */
+void validateTelemetrySpec(const std::string &spec);
+
+/** The spec with its `telemetry:` prefix enforced ("none" bare). */
+std::string canonicalTelemetryLabel(const std::string &spec);
+
+/**
+ * The per-run variant of a config for sweep job `runIndex`: file
+ * paths gain a ".runNNNN" tag before the extension ("trace.jsonl"
+ * -> "trace.run0003.jsonl") so parallel jobs never share a file;
+ * pathless configs come back unchanged (their sinks are shared).
+ */
+TelemetryConfig telemetryConfigForRun(const TelemetryConfig &base,
+                                      std::size_t runIndex);
+
+/**
+ * The context one sweep job emits through: nullptr for none, a
+ * context over `sharedSink` when set (counters/ring sinks shared by
+ * the whole campaign — must be thread-safe), else a fresh file sink
+ * on the run-suffixed path. Thread-safe; called from worker threads.
+ */
+std::shared_ptr<TelemetryContext>
+makeRunTelemetryContext(const TelemetryConfig &config,
+                        const std::shared_ptr<TelemetrySink> &sharedSink,
+                        std::size_t runIndex);
+
+/** Splits a CLI telemetry list (`;` separated; a `,` separates only
+ * before a registered head, the `telemetry:` prefix, or `none`). */
+std::vector<std::string> splitTelemetryList(const std::string &list);
+
+} // namespace hipster
+
+#endif // HIPSTER_TELEMETRY_TELEMETRY_REGISTRY_HH

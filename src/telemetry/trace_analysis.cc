@@ -1,0 +1,396 @@
+#include "telemetry/trace_analysis.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/json_number.hh"
+
+namespace hipster
+{
+
+namespace
+{
+
+std::string
+fmt(const char *format, double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), format, value);
+    return buf;
+}
+
+/** "4B@1.80+4S@1.20[+batch]" from a decision event's fields. */
+std::string
+configLabel(const TelemetryEvent &event)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%dB@%.2f+%dS@%.2f",
+                  static_cast<int>(event.numField("n_big")),
+                  event.numField("big_ghz"),
+                  static_cast<int>(event.numField("n_small")),
+                  event.numField("small_ghz"));
+    std::string label = buf;
+    if (event.numField("run_batch") != 0.0)
+        label += "+batch";
+    return label;
+}
+
+void
+bumpConfig(TraceNodeStats &stats, const std::string &label)
+{
+    for (auto &entry : stats.configs) {
+        if (entry.first == label) {
+            ++entry.second;
+            return;
+        }
+    }
+    stats.configs.emplace_back(label, 1);
+}
+
+void
+extendWindows(std::vector<HazardWindow> &windows,
+              std::uint64_t interval)
+{
+    // Traces arrive in interval order per node; sampling may stride
+    // intervals, so anything non-adjacent opens a new window.
+    if (!windows.empty() && interval <= windows.back().last + 1) {
+        windows.back().last = std::max(windows.back().last, interval);
+        return;
+    }
+    windows.push_back({interval, interval});
+}
+
+std::string
+nodeName(int node)
+{
+    if (node < 0)
+        return "fleet";
+    return "node " + formatJsonNumber(static_cast<std::uint64_t>(
+                         static_cast<unsigned>(node)));
+}
+
+/** One event's identity for diffing, without wall-clock payloads. */
+std::string
+eventKey(const TelemetryEvent &event)
+{
+    std::string key = telemetryEventTypeName(event.type);
+    key += '@';
+    key += formatJsonNumber(event.interval);
+    key += "/node=";
+    key += event.node < 0 ? std::string("-")
+                          : formatJsonNumber(static_cast<std::uint64_t>(
+                                static_cast<unsigned>(event.node)));
+    for (const auto &kv : event.num) {
+        key += ' ';
+        key += kv.first;
+        key += '=';
+        key += formatJsonNumber(kv.second);
+    }
+    for (const auto &kv : event.str) {
+        key += ' ';
+        key += kv.first;
+        key += '=';
+        key += kv.second;
+    }
+    return key;
+}
+
+bool
+skipInDiff(const TelemetryEvent &event)
+{
+    return event.type == TelemetryEventType::PhaseProfile ||
+           event.type == TelemetryEventType::Header;
+}
+
+} // namespace
+
+TraceSummary
+summarizeTrace(const std::vector<TelemetryEvent> &events)
+{
+    TraceSummary summary;
+    summary.totalEvents = events.size();
+    for (const TelemetryEvent &event : events) {
+        ++summary.typeCounts[static_cast<std::size_t>(event.type)];
+        switch (event.type) {
+        case TelemetryEventType::Header:
+            if (!summary.hasHeader) {
+                summary.hasHeader = true;
+                summary.headerStr = event.str;
+                summary.headerNum = event.num;
+            }
+            break;
+        case TelemetryEventType::Decision: {
+            TraceNodeStats &stats = summary.nodes[event.node];
+            ++stats.decisions;
+            if (event.numField("initial") != 0.0)
+                ++stats.initialDecisions;
+            bumpConfig(stats, configLabel(event));
+            break;
+        }
+        case TelemetryEventType::Dvfs: {
+            TraceNodeStats &stats = summary.nodes[event.node];
+            stats.dvfsTransitions += static_cast<std::uint64_t>(
+                event.numField("transitions"));
+            if (event.numField("denied") != 0.0)
+                ++stats.dvfsDenied;
+            break;
+        }
+        case TelemetryEventType::Hazard: {
+            TraceNodeStats &stats = summary.nodes[event.node];
+            ++stats.hazardIntervals;
+            if (event.numField("down") != 0.0)
+                ++stats.downIntervals;
+            if (event.numField("pressure") > 0.0)
+                ++stats.pressuredIntervals;
+            if (event.numField("opp_cap_steps") > 0.0)
+                ++stats.oppCappedIntervals;
+            if (event.numField("dvfs_denied") != 0.0)
+                ++stats.dvfsDenied;
+            if (event.numField("reboot") != 0.0)
+                ++stats.reboots;
+            extendWindows(stats.hazardWindows, event.interval);
+            break;
+        }
+        case TelemetryEventType::Migration: {
+            TraceNodeStats &stats = summary.nodes[event.node];
+            stats.migrationMoves += static_cast<std::uint64_t>(
+                event.numField("moves_started"));
+            break;
+        }
+        case TelemetryEventType::Dispatch: {
+            TraceNodeStats &stats = summary.nodes[event.node];
+            ++stats.dispatchSamples;
+            stats.shareSum += event.numField("share");
+            break;
+        }
+        case TelemetryEventType::PhaseProfile:
+            ++summary.profiledRuns;
+            summary.arrivalGenSeconds +=
+                event.numField("arrival_gen_s");
+            summary.eventLoopSeconds += event.numField("event_loop_s");
+            summary.policySeconds += event.numField("policy_s");
+            summary.metricsSeconds += event.numField("metrics_s");
+            summary.simEvents +=
+                static_cast<std::uint64_t>(event.numField("sim_events"));
+            summary.cycles +=
+                static_cast<std::uint64_t>(event.numField("cycles"));
+            summary.instructions += static_cast<std::uint64_t>(
+                event.numField("instructions"));
+            if (event.numField("perf_available") != 0.0)
+                summary.perfAvailable = true;
+            if (summary.perfStatus.empty())
+                summary.perfStatus = event.strField("perf_status");
+            break;
+        }
+    }
+    return summary;
+}
+
+std::string
+renderTraceSummary(const TraceSummary &summary)
+{
+    std::string out = "trace summary: " +
+                      formatJsonNumber(summary.totalEvents) +
+                      " events\n";
+    if (summary.hasHeader) {
+        for (const auto &kv : summary.headerStr) {
+            if (kv.first == "git_sha" || kv.first == "compiler" ||
+                kv.first == "compiler_flags" ||
+                kv.first == "build_type")
+                continue;
+            out += "  " + kv.first + "=" + kv.second + "\n";
+        }
+        for (const auto &kv : summary.headerStr) {
+            if (kv.first == "git_sha")
+                out += "  built from " + kv.second + "\n";
+        }
+    }
+    out += "  by type:";
+    for (std::size_t i = 0; i < kTelemetryEventTypes; ++i) {
+        if (summary.typeCounts[i] == 0)
+            continue;
+        out += ' ';
+        out += telemetryEventTypeName(
+            static_cast<TelemetryEventType>(i));
+        out += '=';
+        out += formatJsonNumber(summary.typeCounts[i]);
+    }
+    out += '\n';
+
+    for (const auto &entry : summary.nodes) {
+        const TraceNodeStats &stats = entry.second;
+        out += '\n';
+        out += nodeName(entry.first) + ": " +
+               formatJsonNumber(stats.decisions) + " decisions";
+        if (stats.initialDecisions > 0)
+            out += " (" + formatJsonNumber(stats.initialDecisions) +
+                   " initial)";
+        out += '\n';
+        if (!stats.configs.empty()) {
+            std::vector<std::pair<std::string, std::uint64_t>>
+                ranked = stats.configs;
+            std::stable_sort(ranked.begin(), ranked.end(),
+                             [](const auto &a, const auto &b) {
+                                 return a.second > b.second;
+                             });
+            out += "  configs:\n";
+            for (const auto &config : ranked) {
+                char line[128];
+                std::snprintf(line, sizeof(line), "    %-28s %s\n",
+                              config.first.c_str(),
+                              formatJsonNumber(config.second).c_str());
+                out += line;
+            }
+        }
+        if (stats.dvfsTransitions > 0 || stats.dvfsDenied > 0)
+            out += "  dvfs: " +
+                   formatJsonNumber(stats.dvfsTransitions) +
+                   " transitions, " +
+                   formatJsonNumber(stats.dvfsDenied) + " denied\n";
+        if (stats.hazardIntervals > 0) {
+            out += "  hazard: " +
+                   formatJsonNumber(stats.hazardIntervals) +
+                   " intervals flagged (" +
+                   formatJsonNumber(stats.downIntervals) + " down, " +
+                   formatJsonNumber(stats.pressuredIntervals) +
+                   " pressured, " +
+                   formatJsonNumber(stats.oppCappedIntervals) +
+                   " opp-capped, " + formatJsonNumber(stats.reboots) +
+                   " reboots) in " +
+                   formatJsonNumber(static_cast<std::uint64_t>(
+                       stats.hazardWindows.size())) +
+                   " windows:\n   ";
+            for (const HazardWindow &window : stats.hazardWindows) {
+                out += " [" + formatJsonNumber(window.first) + ".." +
+                       formatJsonNumber(window.last) + "]";
+            }
+            out += '\n';
+        }
+        if (stats.dispatchSamples > 0)
+            out += "  dispatch: mean share " +
+                   fmt("%.4f", stats.shareSum /
+                                   static_cast<double>(
+                                       stats.dispatchSamples)) +
+                   " over " + formatJsonNumber(stats.dispatchSamples) +
+                   " intervals\n";
+        if (stats.migrationMoves > 0)
+            out += "  migration: " +
+                   formatJsonNumber(stats.migrationMoves) +
+                   " moves started\n";
+    }
+
+    if (summary.profiledRuns > 0) {
+        const double total =
+            summary.arrivalGenSeconds + summary.eventLoopSeconds +
+            summary.policySeconds + summary.metricsSeconds;
+        auto line = [&](const char *name, double seconds) {
+            char buf[96];
+            const double pct =
+                total > 0.0 ? 100.0 * seconds / total : 0.0;
+            std::snprintf(buf, sizeof(buf),
+                          "  %-12s %10.6f s  (%5.1f%%)\n", name,
+                          seconds, pct);
+            out += buf;
+        };
+        out += "\nphase breakdown (" +
+               formatJsonNumber(summary.profiledRuns) +
+               " profiled runs):\n";
+        line("arrival gen", summary.arrivalGenSeconds);
+        line("event loop", summary.eventLoopSeconds);
+        line("policy", summary.policySeconds);
+        line("metrics", summary.metricsSeconds);
+        out += "  total        " + fmt("%10.6f", total) + " s, " +
+               formatJsonNumber(summary.simEvents) + " sim events";
+        if (total > 0.0)
+            out += ", " +
+                   fmt("%.0f", static_cast<double>(summary.simEvents) /
+                                   total) +
+                   " events/s";
+        out += '\n';
+        if (summary.perfAvailable)
+            out += "  perf: " + formatJsonNumber(summary.cycles) +
+                   " cycles, " +
+                   formatJsonNumber(summary.instructions) +
+                   " instructions\n";
+        else if (!summary.perfStatus.empty())
+            out += "  perf: unavailable (" + summary.perfStatus +
+                   ")\n";
+    }
+    return out;
+}
+
+bool
+TraceFilter::matches(const TelemetryEvent &event) const
+{
+    if ((typeMask & (1u << static_cast<unsigned>(event.type))) == 0)
+        return false;
+    if (node != -2 && event.node != node)
+        return false;
+    return event.interval >= minInterval &&
+           event.interval <= maxInterval;
+}
+
+std::vector<TelemetryEvent>
+filterTrace(const std::vector<TelemetryEvent> &events,
+            const TraceFilter &filter)
+{
+    std::vector<TelemetryEvent> out;
+    for (const TelemetryEvent &event : events)
+        if (filter.matches(event))
+            out.push_back(event);
+    return out;
+}
+
+std::string
+diffTraces(const std::vector<TelemetryEvent> &a,
+           const std::vector<TelemetryEvent> &b,
+           std::size_t maxDetails)
+{
+    std::string out;
+
+    const TraceSummary sa = summarizeTrace(a);
+    const TraceSummary sb = summarizeTrace(b);
+    for (std::size_t i = 0; i < kTelemetryEventTypes; ++i) {
+        if (sa.typeCounts[i] == sb.typeCounts[i])
+            continue;
+        const auto type = static_cast<TelemetryEventType>(i);
+        if (type == TelemetryEventType::Header ||
+            type == TelemetryEventType::PhaseProfile)
+            continue;
+        out += std::string(telemetryEventTypeName(type)) +
+               " count: " + formatJsonNumber(sa.typeCounts[i]) +
+               " vs " + formatJsonNumber(sb.typeCounts[i]) + "\n";
+    }
+
+    std::vector<const TelemetryEvent *> ea, eb;
+    for (const TelemetryEvent &event : a)
+        if (!skipInDiff(event))
+            ea.push_back(&event);
+    for (const TelemetryEvent &event : b)
+        if (!skipInDiff(event))
+            eb.push_back(&event);
+
+    std::size_t details = 0;
+    const std::size_t common = std::min(ea.size(), eb.size());
+    for (std::size_t i = 0; i < common && details < maxDetails; ++i) {
+        const std::string ka = eventKey(*ea[i]);
+        const std::string kb = eventKey(*eb[i]);
+        if (ka == kb)
+            continue;
+        out += "event " +
+               formatJsonNumber(static_cast<std::uint64_t>(i)) +
+               " differs:\n  a: " + ka + "\n  b: " + kb + "\n";
+        ++details;
+    }
+    if (ea.size() != eb.size())
+        out += "event counts differ (excluding header/profile): " +
+               formatJsonNumber(
+                   static_cast<std::uint64_t>(ea.size())) +
+               " vs " +
+               formatJsonNumber(
+                   static_cast<std::uint64_t>(eb.size())) +
+               "\n";
+    return out;
+}
+
+} // namespace hipster

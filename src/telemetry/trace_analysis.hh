@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Offline analysis over telemetry traces: the summarize / filter /
+ * diff primitives behind the hipster_trace CLI. All rendering is
+ * deterministic for a given trace, so tests pin the summary text of
+ * a committed fixture byte-for-byte.
+ */
+
+#ifndef HIPSTER_TELEMETRY_TRACE_ANALYSIS_HH
+#define HIPSTER_TELEMETRY_TRACE_ANALYSIS_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/telemetry.hh"
+
+namespace hipster
+{
+
+/** A contiguous run of intervals with active hazard effects. */
+struct HazardWindow
+{
+    std::uint64_t first = 0;
+    std::uint64_t last = 0;
+};
+
+/** Per-node tallies extracted from one trace. */
+struct TraceNodeStats
+{
+    std::uint64_t decisions = 0;
+    std::uint64_t initialDecisions = 0;
+    std::uint64_t dvfsTransitions = 0;
+    std::uint64_t dvfsDenied = 0;
+    std::uint64_t hazardIntervals = 0;
+    std::uint64_t downIntervals = 0;
+    std::uint64_t pressuredIntervals = 0;
+    std::uint64_t oppCappedIntervals = 0;
+    std::uint64_t reboots = 0;
+    std::uint64_t migrationMoves = 0;
+    std::uint64_t dispatchSamples = 0;
+    double shareSum = 0.0;
+
+    /** Chosen-config histogram, insertion-ordered by first use. */
+    std::vector<std::pair<std::string, std::uint64_t>> configs;
+
+    /** Contiguous hazard-effect windows, in interval order. */
+    std::vector<HazardWindow> hazardWindows;
+};
+
+/** Everything summarize reports about one trace. */
+struct TraceSummary
+{
+    std::uint64_t totalEvents = 0;
+    std::array<std::uint64_t, kTelemetryEventTypes> typeCounts{};
+
+    bool hasHeader = false;
+    std::vector<std::pair<std::string, std::string>> headerStr;
+    std::vector<std::pair<std::string, double>> headerNum;
+
+    /** Keyed by node (-1 = untagged/fleet-level events). */
+    std::map<int, TraceNodeStats> nodes;
+
+    /** Phase-time totals summed over all phase_profile events. */
+    double arrivalGenSeconds = 0.0;
+    double eventLoopSeconds = 0.0;
+    double policySeconds = 0.0;
+    double metricsSeconds = 0.0;
+    std::uint64_t simEvents = 0;
+    std::uint64_t profiledRuns = 0;
+    bool perfAvailable = false;
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    std::string perfStatus;
+};
+
+/** Tally a trace into its summary. */
+TraceSummary summarizeTrace(const std::vector<TelemetryEvent> &events);
+
+/** Render a summary as deterministic human-readable text. */
+std::string renderTraceSummary(const TraceSummary &summary);
+
+/** Predicate set for `hipster_trace filter`. */
+struct TraceFilter
+{
+    std::uint32_t typeMask = 0xffffffffu;
+    int node = -2; ///< -2 = any node; -1 = untagged only
+    std::uint64_t minInterval = 0;
+    std::uint64_t maxInterval = UINT64_MAX;
+
+    bool matches(const TelemetryEvent &event) const;
+};
+
+/** Events passing the filter, order preserved. */
+std::vector<TelemetryEvent>
+filterTrace(const std::vector<TelemetryEvent> &events,
+            const TraceFilter &filter);
+
+/**
+ * Render the differences between two traces: per-type count deltas
+ * plus the first `maxDetails` event-level mismatches (wall-clock
+ * phase profiles and headers are skipped — they differ between any
+ * two runs by construction). Returns "" when equivalent.
+ */
+std::string diffTraces(const std::vector<TelemetryEvent> &a,
+                       const std::vector<TelemetryEvent> &b,
+                       std::size_t maxDetails = 10);
+
+} // namespace hipster
+
+#endif // HIPSTER_TELEMETRY_TRACE_ANALYSIS_HH

@@ -1,0 +1,42 @@
+#include "telemetry/trace_io.hh"
+
+#include <fstream>
+#include <istream>
+
+#include "common/logging.hh"
+#include "telemetry/sinks.hh"
+
+namespace hipster
+{
+
+std::vector<TelemetryEvent>
+readTrace(std::istream &in, const std::string &name)
+{
+    std::vector<TelemetryEvent> events;
+    std::string line;
+    std::size_t lineNo = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty())
+            continue;
+        TelemetryEvent event;
+        if (!parseTelemetryEventJson(line, event))
+            fatal("telemetry trace '", name, "' line ", lineNo,
+                  ": malformed event: ", line);
+        events.push_back(std::move(event));
+    }
+    return events;
+}
+
+std::vector<TelemetryEvent>
+readTraceFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("telemetry trace '", path, "': cannot open for reading");
+    return readTrace(in, path);
+}
+
+} // namespace hipster

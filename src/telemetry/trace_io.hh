@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Reading JSONL telemetry traces back in: the inverse of JsonlSink,
+ * shared by the hipster_trace CLI and the test suite so analysis
+ * never reimplements the wire format.
+ */
+
+#ifndef HIPSTER_TELEMETRY_TRACE_IO_HH
+#define HIPSTER_TELEMETRY_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.hh"
+
+namespace hipster
+{
+
+/**
+ * Parse a whole JSONL trace stream; `name` labels error messages.
+ * Blank lines are skipped; malformed lines fail fast with their
+ * line number.
+ */
+std::vector<TelemetryEvent>
+readTrace(std::istream &in, const std::string &name = "<stream>");
+
+/** Read and parse a trace file; FatalError when unopenable. */
+std::vector<TelemetryEvent> readTraceFile(const std::string &path);
+
+} // namespace hipster
+
+#endif // HIPSTER_TELEMETRY_TRACE_IO_HH

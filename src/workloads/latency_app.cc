@@ -1,6 +1,7 @@
 #include "workloads/latency_app.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "common/logging.hh"
@@ -93,6 +94,7 @@ LatencyCriticalApp::runInterval(Seconds t0, Seconds t1,
     intervalCompleted_ = 0;
 
     const Rate sim_rate = offered_load * params_.maxLoad * params_.loadScale;
+    const auto arrival_begin = std::chrono::steady_clock::now();
     if (params_.mode == ArrivalMode::OpenLoop) {
         seedOpenLoopArrivals(t0, t1, sim_rate);
     } else {
@@ -103,6 +105,10 @@ LatencyCriticalApp::runInterval(Seconds t0, Seconds t1,
             std::llround(offered_load * max_users));
         adjustUserPopulation(target, t0);
     }
+    arrivalGenSeconds_ += std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() -
+                              arrival_begin)
+                              .count();
 
     events_.runUntil(t1);
 
@@ -144,6 +150,7 @@ LatencyCriticalApp::reset()
     lastDroppedTotal_ = 0;
     activeUsers_ = 0;
     userEpoch_.clear();
+    arrivalGenSeconds_ = 0.0;
 }
 
 void

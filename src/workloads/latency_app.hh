@@ -166,6 +166,14 @@ class LatencyCriticalApp
     /** Simulation events processed so far (bench instrumentation). */
     std::uint64_t eventsProcessed() const { return events_.processed(); }
 
+    /**
+     * Wall-clock seconds spent generating arrivals (open-loop batch
+     * draws and closed-loop population adjustments) since the last
+     * reset — the phase profiler's "arrival gen" bucket. Pure
+     * observation: never feeds back into simulated behavior.
+     */
+    double arrivalGenSeconds() const { return arrivalGenSeconds_; }
+
   private:
     void seedOpenLoopArrivals(Seconds t0, Seconds t1, Rate sim_rate);
     void adjustUserPopulation(std::size_t target, Seconds now);
@@ -185,6 +193,9 @@ class LatencyCriticalApp
 
     /** Reusable scratch for batched open-loop arrival times. */
     std::vector<Seconds> arrivalBatch_;
+
+    /** Wall-clock spent in arrival generation since reset(). */
+    double arrivalGenSeconds_ = 0.0;
 
     // Closed-loop user state.
     std::size_t activeUsers_ = 0;

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Self-instrumentation: every run accounts its wall-clock into the
+ * four phase buckets (arrival gen / event loop / policy / metrics)
+ * and an events-per-second rate, the profile lands both in
+ * ExperimentResult and in one phase_profile trace event, and none of
+ * it ever feeds back into pinned outputs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "experiments/experiment_spec.hh"
+#include "telemetry/phase_profiler.hh"
+#include "telemetry/sinks.hh"
+#include "telemetry/telemetry_registry.hh"
+
+namespace hipster
+{
+namespace
+{
+
+ExperimentResult
+shortRun(const std::shared_ptr<TelemetryContext> &telemetry = nullptr)
+{
+    ExperimentSpec spec;
+    spec.workload = "memcached";
+    spec.platform = "juno";
+    spec.trace = "diurnal";
+    spec.policy = "hipster-in:learn=15";
+    spec.duration = 30.0;
+    spec.seed = 3;
+    spec.telemetryContext = telemetry;
+    return spec.run();
+}
+
+TEST(PhaseProfiler, ProfileArithmetic)
+{
+    PhaseProfile profile;
+    EXPECT_EQ(profile.totalSeconds(), 0.0);
+    EXPECT_EQ(profile.eventsPerSecond(), 0.0);
+    profile.arrivalGenSeconds = 1.0;
+    profile.eventLoopSeconds = 2.0;
+    profile.policySeconds = 0.5;
+    profile.metricsSeconds = 0.5;
+    profile.simEvents = 8000;
+    EXPECT_DOUBLE_EQ(profile.totalSeconds(), 4.0);
+    EXPECT_DOUBLE_EQ(profile.eventsPerSecond(), 2000.0);
+    EXPECT_EQ(profile.perfStatus, "disabled");
+}
+
+TEST(PhaseProfiler, TimerMeasuresNonNegativeLaps)
+{
+    PhaseTimer timer;
+    timer.start();
+    double sink = 0.0;
+    for (int i = 0; i < 1000; ++i)
+        sink += static_cast<double>(i);
+    EXPECT_GE(timer.lap(), 0.0);
+    EXPECT_GT(sink, 0.0);
+}
+
+TEST(PhaseProfiler, EveryRunAccountsItsWallClock)
+{
+    const ExperimentResult result = shortRun();
+    const PhaseProfile &profile = result.profile;
+    // 30 s at 1 s intervals.
+    EXPECT_EQ(profile.intervals, 30u);
+    EXPECT_EQ(profile.intervals, result.series.size());
+    EXPECT_GT(profile.simEvents, 0u);
+    EXPECT_EQ(profile.simEvents, result.simEvents);
+    EXPECT_GT(profile.totalSeconds(), 0.0);
+    EXPECT_GT(profile.eventsPerSecond(), 0.0);
+    // Each bucket is a wall-clock accumulation, never negative.
+    EXPECT_GE(profile.arrivalGenSeconds, 0.0);
+    EXPECT_GE(profile.eventLoopSeconds, 0.0);
+    EXPECT_GE(profile.policySeconds, 0.0);
+    EXPECT_GE(profile.metricsSeconds, 0.0);
+    // The event loop actually runs, so its bucket moves.
+    EXPECT_GT(profile.eventLoopSeconds, 0.0);
+    // Hardware counters are off unless the spec arms perf=1.
+    EXPECT_FALSE(profile.perfAvailable);
+    EXPECT_EQ(profile.perfStatus, "disabled");
+}
+
+TEST(PhaseProfiler, TracedRunEmitsOnePhaseProfileEvent)
+{
+    const auto sink = std::make_shared<RingBufferSink>(1000000);
+    const auto telemetry = std::make_shared<TelemetryContext>(
+        parseTelemetryConfig("telemetry:ring"), sink);
+    const ExperimentResult result = shortRun(telemetry);
+
+    std::size_t profiles = 0;
+    TelemetryEvent profileEvent;
+    for (const TelemetryEvent &event : sink->snapshot()) {
+        if (event.type != TelemetryEventType::PhaseProfile)
+            continue;
+        ++profiles;
+        profileEvent = event;
+    }
+    ASSERT_EQ(profiles, 1u);
+    EXPECT_EQ(profileEvent.numField("intervals"),
+              static_cast<double>(result.profile.intervals));
+    EXPECT_EQ(profileEvent.numField("sim_events"),
+              static_cast<double>(result.profile.simEvents));
+    EXPECT_EQ(profileEvent.numField("arrival_gen_s"),
+              result.profile.arrivalGenSeconds);
+    EXPECT_EQ(profileEvent.numField("event_loop_s"),
+              result.profile.eventLoopSeconds);
+    EXPECT_EQ(profileEvent.numField("policy_s"),
+              result.profile.policySeconds);
+    EXPECT_EQ(profileEvent.numField("metrics_s"),
+              result.profile.metricsSeconds);
+    EXPECT_EQ(profileEvent.numField("total_s"),
+              result.profile.totalSeconds());
+    EXPECT_EQ(profileEvent.strField("perf_status"),
+              result.profile.perfStatus);
+}
+
+TEST(PhaseProfiler, OnlyFilterStillKeepsTheProfile)
+{
+    // only= force-includes phase_profile (and the header) so every
+    // trace closes with its self-instrumentation.
+    const auto sink = std::make_shared<RingBufferSink>(1000000);
+    const auto telemetry = std::make_shared<TelemetryContext>(
+        parseTelemetryConfig("telemetry:ring:only=dvfs"), sink);
+    shortRun(telemetry);
+
+    std::size_t profiles = 0, headers = 0, decisions = 0;
+    for (const TelemetryEvent &event : sink->snapshot()) {
+        profiles += event.type == TelemetryEventType::PhaseProfile;
+        headers += event.type == TelemetryEventType::Header;
+        decisions += event.type == TelemetryEventType::Decision;
+    }
+    EXPECT_EQ(profiles, 1u);
+    EXPECT_EQ(headers, 1u);
+    EXPECT_EQ(decisions, 0u);
+}
+
+} // namespace
+} // namespace hipster

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * The telemetry hard bar: emission is observation-only. A traced run
+ * is bitwise-identical to an untraced one — across hazards, fleets
+ * and sweep parallelism — because emission draws no RNG and perturbs
+ * no event order, and `telemetry:none` is a null context.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "common/csv.hh"
+#include "experiments/experiment_spec.hh"
+#include "experiments/sweep.hh"
+#include "fleet/fleet.hh"
+#include "telemetry/sinks.hh"
+#include "telemetry/telemetry_registry.hh"
+#include "telemetry/trace_analysis.hh"
+#include "telemetry/trace_io.hh"
+
+namespace hipster
+{
+namespace
+{
+
+/** FNV-1a over raw bytes. */
+std::uint64_t
+fnv1a(const void *data, std::size_t len, std::uint64_t hash)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+        hash ^= bytes[i];
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+std::uint64_t
+hashDouble(double value, std::uint64_t hash)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    return fnv1a(&bits, sizeof(bits), hash);
+}
+
+/** Bitwise fingerprint of one run: summary + every interval. */
+std::uint64_t
+runFingerprint(const ExperimentResult &result,
+               std::uint64_t h = 0xcbf29ce484222325ULL)
+{
+    h = hashDouble(result.summary.qosGuarantee, h);
+    h = hashDouble(result.summary.energy, h);
+    h = hashDouble(result.summary.meanPower, h);
+    h = hashDouble(result.summary.meanThroughput, h);
+    h = fnv1a(&result.migrations, sizeof(result.migrations), h);
+    h = fnv1a(&result.dvfsTransitions, sizeof(result.dvfsTransitions),
+              h);
+    for (std::size_t i = 0; i < result.series.size(); ++i) {
+        const IntervalMetrics m = result.series[i];
+        h = hashDouble(m.tailLatency, h);
+        h = hashDouble(m.power, h);
+        h = hashDouble(m.throughput, h);
+        h = hashDouble(m.config.bigFreq, h);
+        h = hashDouble(m.config.smallFreq, h);
+        h = fnv1a(&m.config.nBig, sizeof(m.config.nBig), h);
+        h = fnv1a(&m.config.nSmall, sizeof(m.config.nSmall), h);
+    }
+    return h;
+}
+
+/** Bitwise fingerprint of a fleet run: fleet series + every node. */
+std::uint64_t
+fleetFingerprint(const FleetResult &result)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const IntervalMetrics &m : result.fleetSeries) {
+        h = hashDouble(m.tailLatency, h);
+        h = hashDouble(m.power, h);
+        h = hashDouble(m.throughput, h);
+        h = hashDouble(m.offeredLoad, h);
+    }
+    h = hashDouble(result.summary.fleet.energy, h);
+    h = hashDouble(result.summary.fleet.qosGuarantee, h);
+    h = hashDouble(result.summary.strandedCapacity, h);
+    for (const FleetNodeResult &node : result.nodes)
+        h = runFingerprint(node.result, h);
+    return h;
+}
+
+ExperimentSpec
+singleNodeSpec(const std::string &telemetry)
+{
+    ExperimentSpec spec;
+    spec.workload = "memcached";
+    spec.platform = "juno";
+    spec.trace = "diurnal";
+    spec.policy = "hipster-in:learn=20";
+    spec.hazard = "hazard:thermal:tdp_cap=0.6,tau=10s+interference:"
+                  "burst=2,on=10s,off=20s";
+    spec.telemetry = telemetry;
+    spec.duration = 60.0;
+    spec.seed = 11;
+    return spec;
+}
+
+FleetSpec
+fleetSpec(const std::string &telemetry)
+{
+    FleetSpec spec;
+    spec.nodes = parseFleetNodes(
+        "juno@hipster-in:learn=15;hetero:big=2,little=8@hipster-in:"
+        "learn=15");
+    spec.trace = "diurnal";
+    spec.dispatcher = "dispatch:cp";
+    spec.hazard = "hazard:thermal:tdp_cap=0.5,tau=5s+interference:"
+                  "burst=2,on=10s,off=10s";
+    spec.telemetry = telemetry;
+    spec.duration = 40.0;
+    spec.seed = 7;
+    return spec;
+}
+
+SweepSpec
+sweepSpec(const std::string &telemetry)
+{
+    SweepSpec spec;
+    spec.workloads = {"memcached"};
+    spec.platforms = {"juno"};
+    spec.traces = {"diurnal"};
+    spec.policies = {"hipster-in:learn=20", "static-big"};
+    spec.hazards = {"none", "hazard:thermal:tdp_cap=0.6,tau=10s"};
+    spec.seeds = 2;
+    spec.masterSeed = 5;
+    spec.duration = 40.0;
+    spec.telemetry = telemetry;
+    return spec;
+}
+
+std::string
+aggregateCsv(const SweepResults &results)
+{
+    std::ostringstream out;
+    CsvWriter csv(out);
+    writeAggregateCsv(csv, results);
+    return out.str();
+}
+
+TEST(TelemetryEquivalence, TracedRunIsBitwiseIdenticalToUntraced)
+{
+    const auto untraced = singleNodeSpec("none").run();
+    const auto traced =
+        singleNodeSpec("telemetry:ring:cap=1000000").run();
+    EXPECT_EQ(runFingerprint(untraced), runFingerprint(traced));
+    // The traced run actually emitted something.
+    EXPECT_GT(traced.profile.intervals, 0u);
+}
+
+TEST(TelemetryEquivalence, SamplingAndFilteringNeverPerturb)
+{
+    const auto untraced = singleNodeSpec("none").run();
+    for (const char *spec :
+         {"telemetry:counters", "telemetry:counters:sample=3",
+          "telemetry:ring:cap=4,only=decision",
+          "telemetry:counters:perf=1"}) {
+        const auto traced = singleNodeSpec(spec).run();
+        EXPECT_EQ(runFingerprint(untraced), runFingerprint(traced))
+            << spec;
+    }
+}
+
+TEST(TelemetryEquivalence, NoneSpellingsMatchTheDefault)
+{
+    ExperimentSpec bare = singleNodeSpec("none");
+    const auto reference = bare.run();
+    for (const char *spec : {"", "telemetry:none"}) {
+        bare.telemetry = spec;
+        EXPECT_EQ(runFingerprint(reference), runFingerprint(bare.run()))
+            << "'" << spec << "'";
+    }
+}
+
+TEST(TelemetryEquivalence, TracedFleetRunIsBitwiseIdentical)
+{
+    const auto untraced = runFleet(fleetSpec("none"));
+    const auto traced =
+        runFleet(fleetSpec("telemetry:ring:cap=1000000"));
+    EXPECT_EQ(fleetFingerprint(untraced), fleetFingerprint(traced));
+}
+
+TEST(TelemetryEquivalence, FleetTraceCarriesEveryNode)
+{
+    FleetSpec spec = fleetSpec("none");
+    const auto sink = std::make_shared<RingBufferSink>(1000000);
+    spec.telemetryContext = std::make_shared<TelemetryContext>(
+        parseTelemetryConfig("telemetry:ring"), sink);
+    runFleet(spec);
+
+    const TraceSummary summary = summarizeTrace(sink->snapshot());
+    EXPECT_TRUE(summary.hasHeader);
+    // Both nodes show up, plus the fleet-level (-1) dispatch scope.
+    EXPECT_TRUE(summary.nodes.count(0));
+    EXPECT_TRUE(summary.nodes.count(1));
+    EXPECT_GT(summary.nodes.at(0).decisions, 0u);
+    EXPECT_GT(summary.nodes.at(1).decisions, 0u);
+    EXPECT_GT(summary.nodes.at(0).dispatchSamples, 0u);
+    // hazard:thermal+interference flags intervals on some node.
+    std::uint64_t hazardIntervals = 0;
+    for (const auto &entry : summary.nodes)
+        hazardIntervals += entry.second.hazardIntervals;
+    EXPECT_GT(hazardIntervals, 0u);
+}
+
+TEST(TelemetryEquivalence, TracedSweepAggregatesMatchUntracedAnyJobs)
+{
+    const std::string untraced =
+        aggregateCsv(SweepEngine(sweepSpec("none")).run(1));
+    // A shared counters sink sees every job's events; aggregates
+    // stay byte-identical across jobs=1/jobs=4 and vs untraced.
+    SweepEngine serial(sweepSpec("telemetry:counters"));
+    const std::string tracedSerial = aggregateCsv(serial.run(1));
+    SweepEngine parallel(sweepSpec("telemetry:counters"));
+    const std::string tracedParallel = aggregateCsv(parallel.run(4));
+    EXPECT_EQ(untraced, tracedSerial);
+    EXPECT_EQ(untraced, tracedParallel);
+
+    ASSERT_NE(parallel.sharedTelemetrySink(), nullptr);
+    const auto *counters = dynamic_cast<CountersSink *>(
+        parallel.sharedTelemetrySink().get());
+    ASSERT_NE(counters, nullptr);
+    // 1 workload x 1 platform x 1 trace x 2 policies x 2 hazards x
+    // 2 seeds = 8 runs, each contributing a header and a profile.
+    EXPECT_EQ(counters->count(TelemetryEventType::Header), 8u);
+    EXPECT_EQ(counters->count(TelemetryEventType::PhaseProfile), 8u);
+    EXPECT_GT(counters->count(TelemetryEventType::Decision), 0u);
+}
+
+TEST(TelemetryEquivalence, PerRunTraceFilesMatchAcrossJobCounts)
+{
+    // File sinks fan out one trace per run; modulo wall-clock
+    // payloads (headers/phase profiles, skipped by diffTraces) the
+    // same run's trace is identical no matter the job count.
+    const std::string dir = testing::TempDir();
+    SweepSpec serial = sweepSpec("telemetry:jsonl:path=" + dir +
+                                 "equiv_serial.jsonl");
+    SweepSpec parallel = sweepSpec("telemetry:jsonl:path=" + dir +
+                                   "equiv_parallel.jsonl");
+    SweepEngine(serial).run(1);
+    SweepEngine(parallel).run(4);
+    for (const char *run : {"run0000", "run0003", "run0007"}) {
+        const auto a = readTraceFile(dir + "equiv_serial." + run +
+                                     ".jsonl");
+        const auto b = readTraceFile(dir + "equiv_parallel." + run +
+                                     ".jsonl");
+        EXPECT_EQ(diffTraces(a, b), "") << run;
+    }
+}
+
+} // namespace
+} // namespace hipster

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Telemetry registry tests: the eighth spec grammar parses and
+ * canonicalizes like the other seven, unknown sinks/keys fail fast
+ * enumerating the catalog, per-run path suffixing keeps parallel
+ * jobs off each other's files, and validation never touches disk.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/logging.hh"
+#include "telemetry/sinks.hh"
+#include "telemetry/telemetry_registry.hh"
+
+namespace hipster
+{
+namespace
+{
+
+constexpr std::uint32_t
+bit(TelemetryEventType type)
+{
+    return 1u << static_cast<unsigned>(type);
+}
+
+TEST(TelemetryRegistry, NoneSpellingsAllParseToTheNoOp)
+{
+    for (const char *spec : {"", "none", "telemetry:none"}) {
+        EXPECT_TRUE(isNoneTelemetry(spec)) << spec;
+        const TelemetryConfig config = parseTelemetryConfig(spec);
+        EXPECT_TRUE(config.isNone()) << spec;
+        EXPECT_EQ(canonicalTelemetryLabel(spec), "none") << spec;
+        EXPECT_EQ(makeTelemetryContext(spec), nullptr) << spec;
+    }
+}
+
+TEST(TelemetryRegistry, JsonlSpecParsesPathSampleAndOnly)
+{
+    const TelemetryConfig config = parseTelemetryConfig(
+        "telemetry:jsonl:path=trace.jsonl,sample=10,"
+        "only=decision+hazard");
+    EXPECT_EQ(config.sink, "jsonl");
+    EXPECT_EQ(config.path, "trace.jsonl");
+    EXPECT_EQ(config.sample, 10u);
+    // only= force-includes headers and phase profiles so a filtered
+    // trace still names its build and closes with its profile.
+    EXPECT_EQ(config.typeMask,
+              bit(TelemetryEventType::Decision) |
+                  bit(TelemetryEventType::Hazard) |
+                  bit(TelemetryEventType::Header) |
+                  bit(TelemetryEventType::PhaseProfile));
+    EXPECT_FALSE(config.isNone());
+}
+
+TEST(TelemetryRegistry, PrefixIsOptionalAndCanonicalized)
+{
+    const TelemetryConfig bare =
+        parseTelemetryConfig("jsonl:path=x.jsonl");
+    const TelemetryConfig prefixed =
+        parseTelemetryConfig("telemetry:jsonl:path=x.jsonl");
+    EXPECT_EQ(bare.sink, prefixed.sink);
+    EXPECT_EQ(bare.path, prefixed.path);
+    EXPECT_EQ(canonicalTelemetryLabel("jsonl:path=x.jsonl"),
+              "telemetry:jsonl:path=x.jsonl");
+    EXPECT_EQ(canonicalTelemetryLabel("telemetry:ring"),
+              "telemetry:ring");
+}
+
+TEST(TelemetryRegistry, AliasesResolveToTheirFamilies)
+{
+    EXPECT_EQ(parseTelemetryConfig("json:path=a.jsonl").sink, "jsonl");
+    EXPECT_EQ(parseTelemetryConfig("telemetry:memory").sink, "ring");
+    EXPECT_EQ(parseTelemetryConfig("count").sink, "counters");
+}
+
+TEST(TelemetryRegistry, RingAndCountersParseTheirKeys)
+{
+    const TelemetryConfig ring =
+        parseTelemetryConfig("telemetry:ring:cap=16");
+    EXPECT_EQ(ring.sink, "ring");
+    EXPECT_EQ(ring.cap, 16u);
+
+    const TelemetryConfig counters =
+        parseTelemetryConfig("telemetry:counters:perf=1");
+    EXPECT_EQ(counters.sink, "counters");
+    EXPECT_TRUE(counters.perfCounters);
+    EXPECT_FALSE(
+        parseTelemetryConfig("telemetry:counters").perfCounters);
+}
+
+TEST(TelemetryRegistry, UnknownSinkFailsFastNamingTheCatalog)
+{
+    try {
+        parseTelemetryConfig("telemetry:nosuch");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &error) {
+        const std::string what = error.what();
+        EXPECT_NE(what.find("nosuch"), std::string::npos);
+        EXPECT_NE(what.find("jsonl"), std::string::npos);
+        EXPECT_NE(what.find("counters"), std::string::npos);
+    }
+}
+
+TEST(TelemetryRegistry, BadParametersFailFastNamingTheSchema)
+{
+    // Unknown key, duplicate key, malformed pair, bad values and a
+    // missing mandatory path all throw with the key schema attached.
+    EXPECT_THROW(parseTelemetryConfig("telemetry:ring:nope=1"),
+                 FatalError);
+    EXPECT_THROW(
+        parseTelemetryConfig("telemetry:ring:cap=4,cap=8"),
+        FatalError);
+    EXPECT_THROW(parseTelemetryConfig("telemetry:ring:cap"),
+                 FatalError);
+    EXPECT_THROW(parseTelemetryConfig("telemetry:ring:cap=0"),
+                 FatalError);
+    EXPECT_THROW(
+        parseTelemetryConfig("telemetry:ring:sample=huge"),
+        FatalError);
+    EXPECT_THROW(
+        parseTelemetryConfig("telemetry:ring:only=decision+bogus"),
+        FatalError);
+    EXPECT_THROW(parseTelemetryConfig("telemetry:jsonl"), FatalError);
+    EXPECT_THROW(parseTelemetryConfig("telemetry:csv:sample=2"),
+                 FatalError);
+    try {
+        parseTelemetryConfig("telemetry:jsonl:sample=2");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &error) {
+        EXPECT_NE(std::string(error.what()).find("path="),
+                  std::string::npos);
+    }
+}
+
+TEST(TelemetryRegistry, ValidationNeverTouchesDisk)
+{
+    // The path does not exist and its directory is unwritable;
+    // validation must still pass because it only parses.
+    EXPECT_NO_THROW(validateTelemetrySpec(
+        "telemetry:jsonl:path=/nonexistent-dir/trace.jsonl"));
+    EXPECT_THROW(validateTelemetrySpec("telemetry:bogus"), FatalError);
+}
+
+TEST(TelemetryRegistry, CatalogListsEveryBuiltinSink)
+{
+    const std::string catalog =
+        TelemetryRegistry::instance().catalogText();
+    for (const char *name :
+         {"none", "telemetry:jsonl", "telemetry:csv", "telemetry:ring",
+          "telemetry:counters"})
+        EXPECT_NE(catalog.find(name), std::string::npos) << name;
+}
+
+TEST(TelemetryRegistry, RunConfigSuffixesFilePathsBeforeExtension)
+{
+    TelemetryConfig config =
+        parseTelemetryConfig("telemetry:jsonl:path=out/trace.jsonl");
+    EXPECT_EQ(telemetryConfigForRun(config, 3).path,
+              "out/trace.run0003.jsonl");
+    EXPECT_EQ(telemetryConfigForRun(config, 0).path,
+              "out/trace.run0000.jsonl");
+
+    // No extension: the tag is appended.
+    config.path = "trace";
+    EXPECT_EQ(telemetryConfigForRun(config, 12).path, "trace.run0012");
+
+    // A dot in a directory name is not an extension.
+    config.path = "out.d/trace";
+    EXPECT_EQ(telemetryConfigForRun(config, 1).path,
+              "out.d/trace.run0001");
+
+    // Pathless configs (ring/counters) come back unchanged: their
+    // sinks are shared across the whole campaign.
+    const TelemetryConfig ring =
+        parseTelemetryConfig("telemetry:ring:cap=8");
+    EXPECT_EQ(telemetryConfigForRun(ring, 7).path, "");
+}
+
+TEST(TelemetryRegistry, MakeRunContextHonorsSharingAndNone)
+{
+    const TelemetryConfig none = parseTelemetryConfig("none");
+    EXPECT_EQ(makeRunTelemetryContext(none, nullptr, 0), nullptr);
+
+    // A shared sink wins: every job emits into the same instance.
+    const TelemetryConfig counters =
+        parseTelemetryConfig("telemetry:counters");
+    const auto shared = makeTelemetrySink(counters);
+    const auto a = makeRunTelemetryContext(counters, shared, 0);
+    const auto b = makeRunTelemetryContext(counters, shared, 5);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(a->sinkPtr(), shared);
+    EXPECT_EQ(b->sinkPtr(), shared);
+
+    // Without a shared sink a fresh one opens on the suffixed path.
+    TelemetryConfig file = parseTelemetryConfig(
+        "telemetry:jsonl:path=" + testing::TempDir() +
+        "registry_run.jsonl");
+    const auto c = makeRunTelemetryContext(file, nullptr, 2);
+    ASSERT_NE(c, nullptr);
+    EXPECT_NE(c->config().path.find(".run0002"), std::string::npos);
+}
+
+TEST(TelemetryRegistry, SplitListKeepsSpecCommasIntact)
+{
+    const auto specs = splitTelemetryList(
+        "none;telemetry:jsonl:path=a.jsonl,sample=2,"
+        "telemetry:counters");
+    ASSERT_EQ(specs.size(), 3u);
+    EXPECT_EQ(specs[0], "none");
+    EXPECT_EQ(specs[1], "telemetry:jsonl:path=a.jsonl,sample=2");
+    EXPECT_EQ(specs[2], "telemetry:counters");
+}
+
+TEST(TelemetryRegistry, EventTypeNamesRoundTrip)
+{
+    for (std::size_t i = 0; i < kTelemetryEventTypes; ++i) {
+        const auto type = static_cast<TelemetryEventType>(i);
+        TelemetryEventType back;
+        ASSERT_TRUE(
+            parseTelemetryEventType(telemetryEventTypeName(type), back))
+            << i;
+        EXPECT_EQ(back, type);
+    }
+    TelemetryEventType ignored;
+    EXPECT_FALSE(parseTelemetryEventType("bogus", ignored));
+    EXPECT_FALSE(parseTelemetryEventType("", ignored));
+}
+
+} // namespace
+} // namespace hipster

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Sink edge cases: JSONL and CSV round-trip every double at full
+ * precision (numbers go through common/json_number), the ring buffer
+ * drops oldest-first with a counted drop stat, counters tally per
+ * type, and unwritable paths fail fast naming the telemetry stage.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json_number.hh"
+#include "common/logging.hh"
+#include "telemetry/sinks.hh"
+#include "telemetry/trace_io.hh"
+
+namespace hipster
+{
+namespace
+{
+
+bool
+sameBits(double a, double b)
+{
+    return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+/** Doubles that defeat naive %g-style formatting. */
+std::vector<double>
+trickyDoubles()
+{
+    return {0.1,
+            1.0 / 3.0,
+            2.0 / 3.0,
+            1e300,
+            1e-300,
+            5e-324, // smallest denormal
+            -0.0,
+            123456789.987654321,
+            3.141592653589793,
+            0.30000000000000004};
+}
+
+TelemetryEvent
+trickyEvent()
+{
+    TelemetryEvent event(TelemetryEventType::Decision, 42, 42.125);
+    event.node = 3;
+    const auto values = trickyDoubles();
+    for (std::size_t i = 0; i < values.size(); ++i)
+        event.add("v" + std::to_string(i), values[i]);
+    event.add("label", "big@1.8, \"quoted\"\tand\nnewline");
+    return event;
+}
+
+TEST(TelemetrySinks, JsonlRoundTripsEveryDoubleBitwise)
+{
+    const std::string path =
+        testing::TempDir() + "sink_roundtrip.jsonl";
+    const TelemetryEvent original = trickyEvent();
+    {
+        JsonlSink sink(path);
+        sink.write(original);
+        TelemetryEvent untagged(TelemetryEventType::Hazard, 7, 7.0);
+        untagged.add("pressure", 0.75);
+        sink.write(untagged);
+        sink.flush();
+        EXPECT_NE(sink.summaryText().find("2 events"),
+                  std::string::npos);
+    }
+
+    const auto events = readTraceFile(path);
+    ASSERT_EQ(events.size(), 2u);
+    const TelemetryEvent &back = events[0];
+    EXPECT_EQ(back.type, original.type);
+    EXPECT_EQ(back.interval, original.interval);
+    EXPECT_TRUE(sameBits(back.time, original.time));
+    EXPECT_EQ(back.node, original.node);
+    ASSERT_EQ(back.num.size(), original.num.size());
+    for (std::size_t i = 0; i < original.num.size(); ++i) {
+        EXPECT_EQ(back.num[i].first, original.num[i].first);
+        EXPECT_TRUE(
+            sameBits(back.num[i].second, original.num[i].second))
+            << original.num[i].first << " = "
+            << formatJsonNumber(original.num[i].second);
+    }
+    ASSERT_EQ(back.str.size(), original.str.size());
+    EXPECT_EQ(back.str[0].second, original.str[0].second);
+    // The untagged event keeps node = -1 (no "node" key emitted).
+    EXPECT_EQ(events[1].node, -1);
+}
+
+TEST(TelemetrySinks, JsonRoundTripOfSingleEventString)
+{
+    const TelemetryEvent original = trickyEvent();
+    TelemetryEvent back;
+    ASSERT_TRUE(
+        parseTelemetryEventJson(telemetryEventToJson(original), back));
+    EXPECT_EQ(telemetryEventToJson(back),
+              telemetryEventToJson(original));
+}
+
+TEST(TelemetrySinks, ParseRejectsMalformedLines)
+{
+    TelemetryEvent out;
+    EXPECT_FALSE(parseTelemetryEventJson("", out));
+    EXPECT_FALSE(parseTelemetryEventJson("not json", out));
+    EXPECT_FALSE(parseTelemetryEventJson("{\"interval\":1}", out));
+    EXPECT_FALSE(
+        parseTelemetryEventJson("{\"type\":\"bogus\"}", out));
+    EXPECT_FALSE(parseTelemetryEventJson(
+        "{\"type\":\"decision\",\"x\":}", out));
+    EXPECT_TRUE(
+        parseTelemetryEventJson("{\"type\":\"decision\"}", out));
+}
+
+TEST(TelemetrySinks, CsvKeepsFullPrecisionInTheDataColumn)
+{
+    const std::string path = testing::TempDir() + "sink_precision.csv";
+    const TelemetryEvent event = trickyEvent();
+    {
+        CsvSink sink(path);
+        sink.write(event);
+        sink.flush();
+    }
+
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string content = buffer.str();
+    EXPECT_NE(content.find("type,interval,time_s,node,data"),
+              std::string::npos);
+    // Every payload number appears exactly as json_number formats
+    // it, and that text parses back to the same bits.
+    for (const auto &kv : event.num) {
+        const std::string text = formatJsonNumber(kv.second);
+        EXPECT_NE(content.find(kv.first + "=" + text),
+                  std::string::npos)
+            << kv.first;
+        EXPECT_TRUE(
+            sameBits(std::strtod(text.c_str(), nullptr), kv.second))
+            << text;
+    }
+}
+
+TEST(TelemetrySinks, RingOverflowDropsOldestFirstAndCountsIt)
+{
+    RingBufferSink sink(4);
+    for (std::uint64_t k = 0; k < 10; ++k)
+        sink.write(TelemetryEvent(TelemetryEventType::Decision, k,
+                                  static_cast<double>(k)));
+
+    EXPECT_EQ(sink.total(), 10u);
+    EXPECT_EQ(sink.dropped(), 6u);
+    const auto kept = sink.snapshot();
+    ASSERT_EQ(kept.size(), 4u);
+    // The newest four survive, oldest first.
+    for (std::size_t i = 0; i < kept.size(); ++i)
+        EXPECT_EQ(kept[i].interval, 6u + i);
+    const std::string summary = sink.summaryText();
+    EXPECT_NE(summary.find("4 of 10"), std::string::npos) << summary;
+    EXPECT_NE(summary.find("6 dropped oldest-first"),
+              std::string::npos)
+        << summary;
+}
+
+TEST(TelemetrySinks, RingBelowCapacityDropsNothing)
+{
+    RingBufferSink sink(8);
+    for (std::uint64_t k = 0; k < 5; ++k)
+        sink.write(TelemetryEvent(TelemetryEventType::Dvfs, k, 0.0));
+    EXPECT_EQ(sink.dropped(), 0u);
+    EXPECT_EQ(sink.total(), 5u);
+    EXPECT_EQ(sink.snapshot().size(), 5u);
+    EXPECT_EQ(sink.summaryText().find("dropped"), std::string::npos);
+}
+
+TEST(TelemetrySinks, CountersTallyPerType)
+{
+    CountersSink sink;
+    EXPECT_EQ(sink.total(), 0u);
+    EXPECT_NE(sink.summaryText().find("no events"),
+              std::string::npos);
+    for (int i = 0; i < 3; ++i)
+        sink.write(
+            TelemetryEvent(TelemetryEventType::Decision, 0, 0.0));
+    sink.write(TelemetryEvent(TelemetryEventType::Hazard, 0, 0.0));
+    EXPECT_EQ(sink.count(TelemetryEventType::Decision), 3u);
+    EXPECT_EQ(sink.count(TelemetryEventType::Hazard), 1u);
+    EXPECT_EQ(sink.count(TelemetryEventType::Migration), 0u);
+    EXPECT_EQ(sink.total(), 4u);
+    const std::string summary = sink.summaryText();
+    EXPECT_NE(summary.find("decision=3"), std::string::npos);
+    EXPECT_NE(summary.find("hazard=1"), std::string::npos);
+}
+
+TEST(TelemetrySinks, UnwritablePathFailsFastNamingTelemetry)
+{
+    for (const char *kind : {"jsonl", "csv"}) {
+        try {
+            if (std::string(kind) == "jsonl")
+                JsonlSink sink("/nonexistent-dir/trace.jsonl");
+            else
+                CsvSink sink("/nonexistent-dir/trace.csv");
+            FAIL() << kind << ": expected FatalError";
+        } catch (const FatalError &error) {
+            const std::string what = error.what();
+            EXPECT_NE(what.find("telemetry"), std::string::npos)
+                << what;
+            EXPECT_NE(what.find("/nonexistent-dir/"),
+                      std::string::npos)
+                << what;
+        }
+    }
+}
+
+TEST(TelemetrySinks, TraceReaderFailsFastWithLineNumbers)
+{
+    EXPECT_THROW(readTraceFile("/nonexistent-dir/trace.jsonl"),
+                 FatalError);
+
+    const std::string path = testing::TempDir() + "sink_corrupt.jsonl";
+    {
+        std::ofstream out(path);
+        out << telemetryEventToJson(
+                   TelemetryEvent(TelemetryEventType::Header, 0, 0.0))
+            << "\n\n"; // blank lines are fine
+        out << "garbage\n";
+    }
+    try {
+        readTraceFile(path);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &error) {
+        EXPECT_NE(std::string(error.what()).find("line 3"),
+                  std::string::npos)
+            << error.what();
+    }
+}
+
+} // namespace
+} // namespace hipster

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Offline trace analysis: summarize tallies per-node decisions,
+ * hazard windows and the phase breakdown; filter applies type/node/
+ * interval predicates; diff ignores wall-clock payloads and reports
+ * real divergence. The summary renderer is pinned byte-for-byte
+ * against a committed fixture trace from a hazard:thermal+
+ * interference fleet run (regenerate with hipster_fleet + mv, then
+ * hipster_trace summarize > fixture_summary.txt).
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/trace_analysis.hh"
+#include "telemetry/trace_io.hh"
+
+namespace hipster
+{
+namespace
+{
+
+constexpr std::uint32_t
+bit(TelemetryEventType type)
+{
+    return 1u << static_cast<unsigned>(type);
+}
+
+std::string
+fixturePath(const std::string &name)
+{
+    return std::string(HIPSTER_TELEMETRY_FIXTURE_DIR) + "/" + name;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+/** A small synthetic trace with known tallies. */
+std::vector<TelemetryEvent>
+syntheticTrace()
+{
+    std::vector<TelemetryEvent> events;
+
+    TelemetryEvent header(TelemetryEventType::Header, 0, 0.0);
+    header.add("workload", "memcached").add("git_sha", "abc123");
+    events.push_back(header);
+
+    for (std::uint64_t k = 0; k < 4; ++k) {
+        TelemetryEvent decision(TelemetryEventType::Decision, k,
+                                static_cast<double>(k));
+        decision.node = static_cast<int>(k % 2);
+        decision.add("initial", k == 0 ? 1.0 : 0.0)
+            .add("n_big", 4.0)
+            .add("big_ghz", k < 2 ? 1.8 : 0.6)
+            .add("n_small", 4.0)
+            .add("small_ghz", 1.2)
+            .add("run_batch", 0.0);
+        events.push_back(decision);
+    }
+
+    // Hazard flags on node 0 at intervals 3,4,5 and 9 — two windows.
+    for (std::uint64_t k : {3u, 4u, 5u, 9u}) {
+        TelemetryEvent hazard(TelemetryEventType::Hazard, k,
+                              static_cast<double>(k));
+        hazard.node = 0;
+        hazard.add("down", k == 9 ? 1.0 : 0.0)
+            .add("pressure", k == 9 ? 0.0 : 0.5)
+            .add("opp_cap_steps", 1.0)
+            .add("dvfs_denied", 0.0)
+            .add("reboot", 0.0);
+        events.push_back(hazard);
+    }
+
+    TelemetryEvent dvfs(TelemetryEventType::Dvfs, 2, 2.0);
+    dvfs.node = 1;
+    dvfs.add("transitions", 3.0).add("denied", 1.0);
+    events.push_back(dvfs);
+
+    TelemetryEvent dispatch(TelemetryEventType::Dispatch, 1, 1.0);
+    dispatch.node = 1;
+    dispatch.add("share", 0.5);
+    events.push_back(dispatch);
+
+    TelemetryEvent migration(TelemetryEventType::Migration, 6, 6.0);
+    migration.add("moves_started", 2.0);
+    events.push_back(migration);
+
+    TelemetryEvent profile(TelemetryEventType::PhaseProfile, 10, 10.0);
+    profile.add("arrival_gen_s", 0.25)
+        .add("event_loop_s", 0.5)
+        .add("policy_s", 0.125)
+        .add("metrics_s", 0.125)
+        .add("sim_events", 2000.0)
+        .add("perf_available", 0.0)
+        .add("perf_status", "disabled");
+    events.push_back(profile);
+
+    return events;
+}
+
+TEST(TraceAnalysis, SummarizeTalliesTheSyntheticTrace)
+{
+    const TraceSummary summary = summarizeTrace(syntheticTrace());
+    EXPECT_EQ(summary.totalEvents, 13u);
+    EXPECT_TRUE(summary.hasHeader);
+    EXPECT_EQ(summary.typeCounts[static_cast<std::size_t>(
+                  TelemetryEventType::Decision)],
+              4u);
+    EXPECT_EQ(summary.typeCounts[static_cast<std::size_t>(
+                  TelemetryEventType::Hazard)],
+              4u);
+
+    const TraceNodeStats &node0 = summary.nodes.at(0);
+    EXPECT_EQ(node0.decisions, 2u);
+    EXPECT_EQ(node0.initialDecisions, 1u);
+    EXPECT_EQ(node0.hazardIntervals, 4u);
+    EXPECT_EQ(node0.downIntervals, 1u);
+    EXPECT_EQ(node0.pressuredIntervals, 3u);
+    EXPECT_EQ(node0.oppCappedIntervals, 4u);
+    // Intervals 3,4,5 merge; 9 opens its own window.
+    ASSERT_EQ(node0.hazardWindows.size(), 2u);
+    EXPECT_EQ(node0.hazardWindows[0].first, 3u);
+    EXPECT_EQ(node0.hazardWindows[0].last, 5u);
+    EXPECT_EQ(node0.hazardWindows[1].first, 9u);
+    EXPECT_EQ(node0.hazardWindows[1].last, 9u);
+
+    const TraceNodeStats &node1 = summary.nodes.at(1);
+    EXPECT_EQ(node1.decisions, 2u);
+    EXPECT_EQ(node1.dvfsTransitions, 3u);
+    EXPECT_EQ(node1.dvfsDenied, 1u);
+    EXPECT_EQ(node1.dispatchSamples, 1u);
+    EXPECT_DOUBLE_EQ(node1.shareSum, 0.5);
+
+    // The untagged migration event lands in the fleet (-1) scope.
+    EXPECT_EQ(summary.nodes.at(-1).migrationMoves, 2u);
+
+    EXPECT_EQ(summary.profiledRuns, 1u);
+    EXPECT_DOUBLE_EQ(summary.arrivalGenSeconds, 0.25);
+    EXPECT_EQ(summary.simEvents, 2000u);
+    EXPECT_EQ(summary.perfStatus, "disabled");
+
+    // Rendering mentions the load-bearing pieces.
+    const std::string text = renderTraceSummary(summary);
+    EXPECT_NE(text.find("workload=memcached"), std::string::npos);
+    EXPECT_NE(text.find("built from abc123"), std::string::npos);
+    EXPECT_NE(text.find("[3..5]"), std::string::npos);
+    EXPECT_NE(text.find("[9..9]"), std::string::npos);
+    EXPECT_NE(text.find("phase breakdown"), std::string::npos);
+    EXPECT_NE(text.find("perf: unavailable (disabled)"),
+              std::string::npos);
+}
+
+TEST(TraceAnalysis, FilterAppliesTypeNodeAndIntervalBounds)
+{
+    const auto events = syntheticTrace();
+
+    TraceFilter byType;
+    byType.typeMask = bit(TelemetryEventType::Hazard);
+    EXPECT_EQ(filterTrace(events, byType).size(), 4u);
+
+    TraceFilter byNode;
+    byNode.node = 1;
+    for (const TelemetryEvent &event : filterTrace(events, byNode))
+        EXPECT_EQ(event.node, 1);
+    EXPECT_EQ(filterTrace(events, byNode).size(), 4u);
+
+    // -1 selects only untagged (fleet-level) events; -2 means any.
+    TraceFilter untagged;
+    untagged.node = -1;
+    EXPECT_EQ(filterTrace(events, untagged).size(), 3u);
+
+    TraceFilter byInterval;
+    byInterval.minInterval = 3;
+    byInterval.maxInterval = 5;
+    EXPECT_EQ(filterTrace(events, byInterval).size(), 4u);
+
+    TraceFilter combined;
+    combined.typeMask = bit(TelemetryEventType::Hazard);
+    combined.node = 0;
+    combined.minInterval = 9;
+    const auto kept = filterTrace(events, combined);
+    ASSERT_EQ(kept.size(), 1u);
+    EXPECT_EQ(kept[0].interval, 9u);
+}
+
+TEST(TraceAnalysis, DiffIgnoresWallClockButCatchesRealDivergence)
+{
+    const auto events = syntheticTrace();
+    EXPECT_EQ(diffTraces(events, events), "");
+
+    // Perturbing only the phase profile (wall-clock) stays silent.
+    auto perturbedProfile = events;
+    perturbedProfile.back().num[0].second = 99.0;
+    EXPECT_EQ(diffTraces(events, perturbedProfile), "");
+
+    // Perturbing a decision payload is real divergence.
+    auto perturbedDecision = events;
+    perturbedDecision[1].num[2].second = 0.6; // big_ghz
+    const std::string report = diffTraces(events, perturbedDecision);
+    EXPECT_NE(report.find("differs"), std::string::npos) << report;
+    EXPECT_NE(report.find("big_ghz"), std::string::npos) << report;
+
+    // A missing event shows up as a count mismatch.
+    auto shorter = events;
+    shorter.pop_back(); // drop profile: ignored
+    shorter.pop_back(); // drop migration: reported
+    const std::string counts = diffTraces(events, shorter);
+    EXPECT_NE(counts.find("migration count"), std::string::npos)
+        << counts;
+    EXPECT_NE(counts.find("event counts differ"), std::string::npos)
+        << counts;
+}
+
+TEST(TraceAnalysis, FixtureSummaryIsPinnedByteForByte)
+{
+    // The fixture is a real hazard:thermal+interference fleet trace;
+    // its rendered summary (per-node decisions, hazard windows,
+    // dispatch shares, phase breakdown) must never drift silently.
+    const auto events =
+        readTraceFile(fixturePath("fixture_trace.jsonl"));
+    ASSERT_FALSE(events.empty());
+    const std::string rendered =
+        renderTraceSummary(summarizeTrace(events));
+    EXPECT_EQ(rendered,
+              readFile(fixturePath("fixture_summary.txt")));
+
+    // Sanity on the fixture's content, independent of exact bytes.
+    const TraceSummary summary = summarizeTrace(events);
+    EXPECT_TRUE(summary.hasHeader);
+    EXPECT_GE(summary.nodes.size(), 2u);
+    EXPECT_GT(summary.profiledRuns, 0u);
+    bool anyHazard = false;
+    for (const auto &entry : summary.nodes)
+        anyHazard |= !entry.second.hazardWindows.empty();
+    EXPECT_TRUE(anyHazard);
+}
+
+} // namespace
+} // namespace hipster

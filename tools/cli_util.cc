@@ -1,0 +1,82 @@
+#include "cli_util.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "core/policy_registry.hh"
+#include "fleet/dispatcher_registry.hh"
+#include "hazards/hazard_registry.hh"
+#include "loadgen/trace_registry.hh"
+#include "migration/migration_registry.hh"
+#include "platform/platform_registry.hh"
+#include "telemetry/telemetry_registry.hh"
+#include "workloads/workload_registry.hh"
+
+namespace hipster
+{
+
+void
+CliParser::usage(int code) const
+{
+    std::FILE *out = code == 0 ? stdout : stderr;
+    std::fprintf(out, "usage: %s %s", argv[0], usageText.c_str());
+    std::exit(code);
+}
+
+const char *
+CliParser::need(int &i) const
+{
+    if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: option %s needs a value\n",
+                     argv[i]);
+        usage(1);
+    }
+    return argv[++i];
+}
+
+void
+CliParser::unknown(const std::string &arg) const
+{
+    std::fprintf(stderr, "error: unknown option: %s\n", arg.c_str());
+    usage(1);
+}
+
+bool
+CliParser::handleListFlag(const std::string &arg) const
+{
+    std::string catalog;
+    if (arg == "--list-workloads")
+        catalog = WorkloadRegistry::instance().catalogText();
+    else if (arg == "--list-platforms")
+        catalog = PlatformRegistry::instance().catalogText();
+    else if (arg == "--list-policies")
+        catalog = PolicyRegistry::instance().catalogText();
+    else if (arg == "--list-traces")
+        catalog = TraceRegistry::instance().catalogText();
+    else if (arg == "--list-hazards")
+        catalog = HazardRegistry::instance().catalogText();
+    else if (arg == "--list-migrations")
+        catalog = MigrationRegistry::instance().catalogText();
+    else if (arg == "--list-dispatchers")
+        catalog = DispatcherRegistry::instance().catalogText();
+    else if (arg == "--list-telemetry")
+        catalog = TelemetryRegistry::instance().catalogText();
+    else
+        return false;
+    std::fputs(catalog.c_str(), stdout);
+    std::exit(0);
+}
+
+int
+runCli(const std::function<int()> &body)
+{
+    try {
+        return body();
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}
+
+} // namespace hipster

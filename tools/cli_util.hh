@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Shared option-parsing plumbing for the hipster_* CLIs: the
+ * `--list-*` catalog flags, the missing-value / unknown-option
+ * errors, and the FatalError-to-exit-code wrapper all live here once
+ * instead of three times, so every binary reports parse problems the
+ * same way and picks up new spec axes (e.g. --list-telemetry) from
+ * one place.
+ */
+
+#ifndef HIPSTER_TOOLS_CLI_UTIL_HH
+#define HIPSTER_TOOLS_CLI_UTIL_HH
+
+#include <functional>
+#include <string>
+
+namespace hipster
+{
+
+/** Option-parsing helpers bound to one argv + usage text. */
+struct CliParser
+{
+    int argc = 0;
+    char **argv = nullptr;
+
+    /** Usage body printed after "usage: <argv0> "; the caller keeps
+     * full control of its option synopsis. */
+    std::string usageText;
+
+    /** Print the usage text and exit with `code` (stdout for --help,
+     * stderr for parse errors). */
+    [[noreturn]] void usage(int code) const;
+
+    /** The value following option argv[i], advancing i; a uniform
+     * "option X needs a value" error + usage exit(1) when absent. */
+    const char *need(int &i) const;
+
+    /** Uniform unknown-option error + usage exit(1). */
+    [[noreturn]] void unknown(const std::string &arg) const;
+
+    /**
+     * Handle the shared `--list-*` catalog flags (workloads,
+     * platforms, policies, traces, hazards, migrations, dispatchers,
+     * telemetry): print the registry catalog and exit 0. Returns
+     * false when `arg` is not a list flag.
+     */
+    bool handleListFlag(const std::string &arg) const;
+};
+
+/** Run a CLI body with uniform error reporting: FatalError prints
+ * "error: <what>" on stderr and exits 1. */
+int runCli(const std::function<int()> &body);
+
+} // namespace hipster
+
+#endif // HIPSTER_TOOLS_CLI_UTIL_HH

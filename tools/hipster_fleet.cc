@@ -35,6 +35,11 @@
  *                            none; --hazard is an alias), e.g.
  *                            hazard:nodefail:mtbf=300s,mttr=45s
  *   --list-hazards           print the hazard catalog and exit
+ *   --telemetry <spec>       telemetry spec applied to every fleet
+ *                            run (default none), e.g.
+ *                            telemetry:jsonl:path=fleet.jsonl (file
+ *                            paths gain a .runNNNN tag per job)
+ *   --list-telemetry         print the telemetry catalog and exit
  *   --duration <seconds>     run length (default: workload diurnal)
  *   --scale <f>              duration scale factor (default 1.0)
  *   --seeds <n>              repetitions per cell (default 3)
@@ -51,6 +56,7 @@
 #include <string>
 #include <vector>
 
+#include "cli_util.hh"
 #include "common/csv.hh"
 #include "common/thread_pool.hh"
 #include "fleet/dispatcher_registry.hh"
@@ -58,7 +64,7 @@
 #include "hazards/hazard_registry.hh"
 #include "loadgen/trace_registry.hh"
 #include "migration/migration_registry.hh"
-#include "platform/platform_registry.hh"
+#include "telemetry/telemetry_registry.hh"
 
 namespace
 {
@@ -81,31 +87,28 @@ struct CliOptions
     bool quiet = false;
 };
 
-[[noreturn]] void
-usage(const char *argv0, int code)
-{
-    std::printf(
-        "usage: %s [--nodes <n1;n2;...>] [--list-platforms]\n"
-        "          [--dispatchers <d1;...>] [--list-dispatchers]\n"
-        "          [--workload <w>] [--traces <t1,...>]\n"
-        "          [--hazards <h1,...>] [--list-hazards]\n"
-        "          [--migrations <m1;...>] [--list-migrations]\n"
-        "          [--duration <s>] [--scale <f>]\n"
-        "          [--seeds <n>] [--master-seed <n>] [--jobs <n>]\n"
-        "          [--csv <path>] [--agg-csv <path>] [--quiet]\n"
-        "nodes are platform[@policy] bindings, ';'-separated, e.g.\n"
-        "  --nodes \"juno@hipster-in;montecimone:u74=8@hipster-in\"\n"
-        "dispatchers use the dispatch: grammar, e.g.\n"
-        "  --dispatchers \"dispatch:round-robin;dispatch:cp:quanta=128\"\n"
-        "hazards use the hazard: grammar, e.g.\n"
-        "  --hazards \"none;hazard:nodefail:mtbf=300s,mttr=45s\"\n"
-        "migrations use the migrate: grammar, e.g.\n"
-        "  --migrations \"none;migrate:hexo:ckpt=64\"\n"
-        "see --list-platforms / --list-dispatchers / --list-hazards /\n"
-        "--list-migrations for the catalogs\n",
-        argv0);
-    std::exit(code);
-}
+const char *kUsage =
+    "[--nodes <n1;n2;...>] [--list-platforms]\n"
+    "          [--dispatchers <d1;...>] [--list-dispatchers]\n"
+    "          [--workload <w>] [--traces <t1,...>]\n"
+    "          [--hazards <h1,...>] [--list-hazards]\n"
+    "          [--migrations <m1;...>] [--list-migrations]\n"
+    "          [--telemetry <spec>] [--list-telemetry]\n"
+    "          [--duration <s>] [--scale <f>]\n"
+    "          [--seeds <n>] [--master-seed <n>] [--jobs <n>]\n"
+    "          [--csv <path>] [--agg-csv <path>] [--quiet]\n"
+    "nodes are platform[@policy] bindings, ';'-separated, e.g.\n"
+    "  --nodes \"juno@hipster-in;montecimone:u74=8@hipster-in\"\n"
+    "dispatchers use the dispatch: grammar, e.g.\n"
+    "  --dispatchers \"dispatch:round-robin;dispatch:cp:quanta=128\"\n"
+    "hazards use the hazard: grammar, e.g.\n"
+    "  --hazards \"none;hazard:nodefail:mtbf=300s,mttr=45s\"\n"
+    "migrations use the migrate: grammar, e.g.\n"
+    "  --migrations \"none;migrate:hexo:ckpt=64\"\n"
+    "telemetry uses the telemetry: grammar, e.g.\n"
+    "  --telemetry telemetry:jsonl:path=fleet.jsonl\n"
+    "see --list-platforms / --list-dispatchers / --list-hazards /\n"
+    "--list-migrations / --list-telemetry for the catalogs\n";
 
 std::vector<std::string>
 allDispatcherLabels()
@@ -125,67 +128,48 @@ parse(int argc, char **argv)
     options.spec.dispatchers = allDispatcherLabels();
     options.spec.seeds = 3;
     options.spec.keepSeries = false;
-    auto need = [&](int &i) -> const char * {
-        if (i + 1 >= argc)
-            usage(argv[0], 1);
-        return argv[++i];
-    };
+    const CliParser cli{argc, argv, kUsage};
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--nodes") {
-            options.spec.base.nodes = parseFleetNodes(need(i));
-        } else if (arg == "--list-platforms") {
-            std::fputs(
-                PlatformRegistry::instance().catalogText().c_str(),
-                stdout);
-            std::exit(0);
+        if (cli.handleListFlag(arg)) {
+            // Unreachable: handleListFlag exits when it matches.
+        } else if (arg == "--nodes") {
+            options.spec.base.nodes = parseFleetNodes(cli.need(i));
         } else if (arg == "--dispatcher" || arg == "--dispatchers") {
-            options.spec.dispatchers = splitDispatcherList(need(i));
-        } else if (arg == "--list-dispatchers") {
-            std::fputs(
-                DispatcherRegistry::instance().catalogText().c_str(),
-                stdout);
-            std::exit(0);
+            options.spec.dispatchers =
+                splitDispatcherList(cli.need(i));
         } else if (arg == "--workload") {
-            options.spec.base.workload = need(i);
+            options.spec.base.workload = cli.need(i);
         } else if (arg == "--trace" || arg == "--traces") {
-            options.spec.traces = splitTraceList(need(i));
+            options.spec.traces = splitTraceList(cli.need(i));
         } else if (arg == "--hazard" || arg == "--hazards") {
-            options.spec.hazards = splitHazardList(need(i));
-        } else if (arg == "--list-hazards") {
-            std::fputs(
-                HazardRegistry::instance().catalogText().c_str(),
-                stdout);
-            std::exit(0);
+            options.spec.hazards = splitHazardList(cli.need(i));
         } else if (arg == "--migration" || arg == "--migrations") {
-            options.spec.migrations = splitMigrationList(need(i));
-        } else if (arg == "--list-migrations") {
-            std::fputs(
-                MigrationRegistry::instance().catalogText().c_str(),
-                stdout);
-            std::exit(0);
+            options.spec.migrations = splitMigrationList(cli.need(i));
+        } else if (arg == "--telemetry") {
+            options.spec.telemetry = cli.need(i);
         } else if (arg == "--duration") {
-            options.spec.base.duration = std::atof(need(i));
+            options.spec.base.duration = std::atof(cli.need(i));
         } else if (arg == "--scale") {
-            options.spec.base.durationScale = std::atof(need(i));
+            options.spec.base.durationScale = std::atof(cli.need(i));
         } else if (arg == "--seeds") {
-            options.spec.seeds = std::strtoull(need(i), nullptr, 10);
+            options.spec.seeds =
+                std::strtoull(cli.need(i), nullptr, 10);
         } else if (arg == "--master-seed") {
             options.spec.masterSeed =
-                std::strtoull(need(i), nullptr, 10);
+                std::strtoull(cli.need(i), nullptr, 10);
         } else if (arg == "--jobs") {
-            options.jobs = std::strtoull(need(i), nullptr, 10);
+            options.jobs = std::strtoull(cli.need(i), nullptr, 10);
         } else if (arg == "--csv") {
-            options.csvPath = need(i);
+            options.csvPath = cli.need(i);
         } else if (arg == "--agg-csv") {
-            options.aggCsvPath = need(i);
+            options.aggCsvPath = cli.need(i);
         } else if (arg == "--quiet") {
             options.quiet = true;
         } else if (arg == "--help" || arg == "-h") {
-            usage(argv[0], 0);
+            cli.usage(0);
         } else {
-            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
-            usage(argv[0], 1);
+            cli.unknown(arg);
         }
     }
     return options;
@@ -196,7 +180,7 @@ parse(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    try {
+    return runCli([&]() -> int {
         const CliOptions options = parse(argc, argv);
         const std::size_t total = options.spec.dispatchers.size() *
                                   options.spec.migrations.size() *
@@ -253,9 +237,21 @@ main(int argc, char **argv)
             CsvWriter csv(options.aggCsvPath);
             writeAggregateCsv(csv, results.sweep);
         }
+        // Telemetry-armed campaigns report where traces went; off
+        // campaigns keep the historical byte layout.
+        const TelemetryConfig telemetry =
+            parseTelemetryConfig(options.spec.telemetry);
+        if (results.telemetrySink) {
+            const std::string text =
+                results.telemetrySink->summaryText();
+            if (!text.empty())
+                std::printf("\n%s\n", text.c_str());
+        } else if (!telemetry.isNone()) {
+            std::printf("\ntelemetry: %zu per-run %s traces at %s "
+                        "(.runNNNN suffix)\n",
+                        total, telemetry.sink.c_str(),
+                        telemetry.path.c_str());
+        }
         return 0;
-    } catch (const FatalError &e) {
-        std::fprintf(stderr, "error: %s\n", e.what());
-        return 1;
-    }
+    });
 }

@@ -13,6 +13,8 @@
  *               --trace ramp --duration 400 --csv out.csv
  *   hipster_sim --workload websearch --policy hipster-co \
  *               --batch calculix,lbm --series
+ *   hipster_sim --hazard hazard:thermal+interference \
+ *               --telemetry telemetry:jsonl:path=trace.jsonl
  *
  * Options:
  *   --workload any registry workload spec: memcached (alias mc),
@@ -45,6 +47,10 @@
  *   --migration migration spec; single-node runs accept only "none"
  *              (moving work needs a fleet — see hipster_fleet)
  *   --list-migrations                   (print the catalog and exit)
+ *   --telemetry telemetry spec: none (default) or a sink, e.g.
+ *              telemetry:jsonl:path=trace.jsonl,sample=10 or
+ *              telemetry:counters (analyze with hipster_trace)
+ *   --list-telemetry                    (print the catalog and exit)
  *   --duration <seconds>                (default: workload diurnal)
  *   --seed     <n>                      (default 1)
  *   --bucket   <percent>                (Hipster bucket width)
@@ -62,17 +68,15 @@
 #include <string>
 #include <vector>
 
+#include "cli_util.hh"
 #include "common/csv.hh"
 #include "common/table.hh"
 #include "core/policy_registry.hh"
 #include "experiments/experiment_spec.hh"
 #include "experiments/scenario.hh"
 #include "hazards/hazard_registry.hh"
-#include "loadgen/trace_registry.hh"
 #include "migration/migration_registry.hh"
-#include "platform/platform_registry.hh"
 #include "workloads/batch.hh"
-#include "workloads/workload_registry.hh"
 
 namespace
 {
@@ -87,6 +91,7 @@ struct CliOptions
     std::string trace = "diurnal";
     std::string hazard = "none";
     std::string migration = "none";
+    std::string telemetry = "none";
     Seconds duration = 0.0;
     std::uint64_t seed = 1;
     double bucket = 0.0;
@@ -96,91 +101,57 @@ struct CliOptions
     std::string csvPath;
 };
 
-[[noreturn]] void
-usage(const char *argv0, int code)
-{
-    std::printf(
-        "usage: %s [--workload <spec>] [--list-workloads]\n"
-        "          [--platform <spec>] [--list-platforms]\n"
-        "          [--policy <spec>] [--list-policies]\n"
-        "          [--trace <spec>] [--list-traces]\n"
-        "          [--hazard <spec>] [--list-hazards]\n"
-        "          [--migration <spec>] [--list-migrations]\n"
-        "          [--duration <s>] [--seed <n>] [--bucket <pct>]\n"
-        "          [--learning <s>] [--batch p1,p2,...] [--series]\n"
-        "          [--csv <path>]\n"
-        "all five axes use their registry spec grammars (e.g.\n"
-        "memcached:qos=300us,stall=0.5, juno:big=4,little=8,\n"
-        "mmpp:0.2,0.9,45, hipster-in:bucket=8,learn=600,\n"
-        "hazard:thermal+interference); see the --list-* flags for the\n"
-        "catalogs\n",
-        argv0);
-    std::exit(code);
-}
+const char *kUsage =
+    "[--workload <spec>] [--list-workloads]\n"
+    "          [--platform <spec>] [--list-platforms]\n"
+    "          [--policy <spec>] [--list-policies]\n"
+    "          [--trace <spec>] [--list-traces]\n"
+    "          [--hazard <spec>] [--list-hazards]\n"
+    "          [--migration <spec>] [--list-migrations]\n"
+    "          [--telemetry <spec>] [--list-telemetry]\n"
+    "          [--duration <s>] [--seed <n>] [--bucket <pct>]\n"
+    "          [--learning <s>] [--batch p1,p2,...] [--series]\n"
+    "          [--csv <path>]\n"
+    "all axes use their registry spec grammars (e.g.\n"
+    "memcached:qos=300us,stall=0.5, juno:big=4,little=8,\n"
+    "mmpp:0.2,0.9,45, hipster-in:bucket=8,learn=600,\n"
+    "hazard:thermal+interference,\n"
+    "telemetry:jsonl:path=trace.jsonl); see the --list-* flags for\n"
+    "the catalogs\n";
 
 CliOptions
 parse(int argc, char **argv)
 {
     CliOptions options;
-    auto need = [&](int &i) -> const char * {
-        if (i + 1 >= argc)
-            usage(argv[0], 1);
-        return argv[++i];
-    };
+    const CliParser cli{argc, argv, kUsage};
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--workload") {
-            options.workload = need(i);
-        } else if (arg == "--list-workloads") {
-            std::fputs(
-                WorkloadRegistry::instance().catalogText().c_str(),
-                stdout);
-            std::exit(0);
+        if (cli.handleListFlag(arg)) {
+            // Unreachable: handleListFlag exits when it matches.
+        } else if (arg == "--workload") {
+            options.workload = cli.need(i);
         } else if (arg == "--platform") {
-            options.platform = need(i);
-        } else if (arg == "--list-platforms") {
-            std::fputs(
-                PlatformRegistry::instance().catalogText().c_str(),
-                stdout);
-            std::exit(0);
+            options.platform = cli.need(i);
         } else if (arg == "--policy") {
-            options.policy = need(i);
-        } else if (arg == "--list-policies") {
-            std::fputs(
-                PolicyRegistry::instance().catalogText().c_str(),
-                stdout);
-            std::exit(0);
+            options.policy = cli.need(i);
         } else if (arg == "--trace") {
-            options.trace = need(i);
-        } else if (arg == "--list-traces") {
-            std::fputs(
-                TraceRegistry::instance().catalogText().c_str(),
-                stdout);
-            std::exit(0);
+            options.trace = cli.need(i);
         } else if (arg == "--hazard") {
-            options.hazard = need(i);
-        } else if (arg == "--list-hazards") {
-            std::fputs(
-                HazardRegistry::instance().catalogText().c_str(),
-                stdout);
-            std::exit(0);
+            options.hazard = cli.need(i);
         } else if (arg == "--migration") {
-            options.migration = need(i);
-        } else if (arg == "--list-migrations") {
-            std::fputs(
-                MigrationRegistry::instance().catalogText().c_str(),
-                stdout);
-            std::exit(0);
+            options.migration = cli.need(i);
+        } else if (arg == "--telemetry") {
+            options.telemetry = cli.need(i);
         } else if (arg == "--duration") {
-            options.duration = std::atof(need(i));
+            options.duration = std::atof(cli.need(i));
         } else if (arg == "--seed") {
-            options.seed = std::strtoull(need(i), nullptr, 10);
+            options.seed = std::strtoull(cli.need(i), nullptr, 10);
         } else if (arg == "--bucket") {
-            options.bucket = std::atof(need(i));
+            options.bucket = std::atof(cli.need(i));
         } else if (arg == "--learning") {
-            options.learning = std::atof(need(i));
+            options.learning = std::atof(cli.need(i));
         } else if (arg == "--batch") {
-            std::string list = need(i);
+            std::string list = cli.need(i);
             std::size_t pos = 0;
             while (pos != std::string::npos) {
                 const std::size_t comma = list.find(',', pos);
@@ -193,12 +164,11 @@ parse(int argc, char **argv)
         } else if (arg == "--series") {
             options.series = true;
         } else if (arg == "--csv") {
-            options.csvPath = need(i);
+            options.csvPath = cli.need(i);
         } else if (arg == "--help" || arg == "-h") {
-            usage(argv[0], 0);
+            cli.usage(0);
         } else {
-            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
-            usage(argv[0], 1);
+            cli.unknown(arg);
         }
     }
     return options;
@@ -210,8 +180,8 @@ int
 main(int argc, char **argv)
 {
     const CliOptions options = parse(argc, argv);
-    try {
-        // One declarative spec carries all four axes; the runner,
+    return runCli([&]() -> int {
+        // One declarative spec carries all the axes; the runner,
         // base tunables and duration all derive from it.
         ExperimentSpec spec;
         spec.workload = options.workload;
@@ -219,6 +189,7 @@ main(int argc, char **argv)
         spec.trace = options.trace;
         spec.policy = options.policy;
         spec.hazard = options.hazard;
+        spec.telemetry = options.telemetry;
         spec.duration = options.duration;
         spec.seed = options.seed;
         spec.validate();
@@ -251,6 +222,22 @@ main(int argc, char **argv)
         // variant is forced by its factory.
         auto policy =
             makePolicy(options.policy, runner.platform(), params);
+
+        // The trace opens with the run axes + build provenance, like
+        // ExperimentSpec::run() (this CLI drives the runner directly
+        // for --batch and the series observer).
+        if (runner.telemetry()) {
+            emitTelemetryHeader(
+                *runner.telemetry(),
+                {{"workload", options.workload},
+                 {"platform", options.platform},
+                 {"trace", options.trace},
+                 {"policy", options.policy},
+                 {"hazard", canonicalHazardLabel(options.hazard)}},
+                {{"seed", static_cast<double>(options.seed)},
+                 {"duration_s", duration},
+                 {"interval_s", spec.runner.interval}});
+        }
 
         std::unique_ptr<CsvWriter> csv;
         if (!options.csvPath.empty()) {
@@ -317,9 +304,14 @@ main(int argc, char **argv)
                         result.dvfsTransitions));
         std::printf("dropped:         %llu\n",
                     static_cast<unsigned long long>(s.dropped));
+        // Telemetry-armed runs report where the trace went; off runs
+        // keep the historical byte layout.
+        if (runner.telemetry()) {
+            const std::string text =
+                runner.telemetry()->sink().summaryText();
+            if (!text.empty())
+                std::printf("%s\n", text.c_str());
+        }
         return 0;
-    } catch (const FatalError &e) {
-        std::fprintf(stderr, "error: %s\n", e.what());
-        return 1;
-    }
+    });
 }

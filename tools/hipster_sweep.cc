@@ -47,6 +47,12 @@
  *                               accept only "none" (moving work
  *                               needs a fleet — see hipster_fleet)
  *   --list-migrations           print the migration catalog and exit
+ *   --telemetry <spec>          telemetry spec applied to every run
+ *                               (default none), e.g.
+ *                               telemetry:jsonl:path=trace.jsonl
+ *                               (file paths gain a .runNNNN tag per
+ *                               job) or telemetry:counters (shared)
+ *   --list-telemetry            print the telemetry catalog and exit
  *   --seeds    <n>              repetitions per cell (default 5)
  *   --jobs     <n>              worker threads (default: hardware)
  *   --master-seed <n>           seed all run seeds derive from (default 1)
@@ -68,6 +74,7 @@
 #include <string>
 #include <vector>
 
+#include "cli_util.hh"
 #include "common/csv.hh"
 #include "common/thread_pool.hh"
 #include "core/policy_registry.hh"
@@ -76,6 +83,7 @@
 #include "loadgen/trace_registry.hh"
 #include "migration/migration_registry.hh"
 #include "platform/platform_registry.hh"
+#include "telemetry/telemetry_registry.hh"
 #include "workloads/workload_registry.hh"
 
 namespace
@@ -93,31 +101,28 @@ struct CliOptions
     bool quiet = false;
 };
 
-[[noreturn]] void
-usage(const char *argv0, int code)
-{
-    std::printf(
-        "usage: %s [--policy <p1;p2;...>|all] [--list-policies]\n"
-        "          [--workload <w1,...>] [--list-workloads]\n"
-        "          [--platform <p1,...>] [--list-platforms]\n"
-        "          [--traces <t1,...>] [--list-traces]\n"
-        "          [--hazards <h1,...>] [--list-hazards]\n"
-        "          [--migration <spec>] [--list-migrations]\n"
-        "          [--seeds <n>]\n"
-        "          [--jobs <n>] [--master-seed <n>] [--duration <s>]\n"
-        "          [--scale <f>] [--csv <path>] [--agg-csv <path>]\n"
-        "          [--quiet]\n"
-        "every axis uses its registry spec grammar, e.g.\n"
-        "  --workloads memcached:qos=300us,stall=0.5\n"
-        "  --platforms juno:big=4,little=8\n"
-        "  --traces    mmpp:0.2,0.9,45\n"
-        "  --policies  hipster-in:bucket=8,learn=600\n"
-        "  --hazards   'none;hazard:thermal+interference'\n"
-        "see --list-workloads / --list-platforms / --list-traces /\n"
-        "--list-policies / --list-hazards for the catalogs\n",
-        argv0);
-    std::exit(code);
-}
+const char *kUsage =
+    "[--policy <p1;p2;...>|all] [--list-policies]\n"
+    "          [--workload <w1,...>] [--list-workloads]\n"
+    "          [--platform <p1,...>] [--list-platforms]\n"
+    "          [--traces <t1,...>] [--list-traces]\n"
+    "          [--hazards <h1,...>] [--list-hazards]\n"
+    "          [--migration <spec>] [--list-migrations]\n"
+    "          [--telemetry <spec>] [--list-telemetry]\n"
+    "          [--seeds <n>]\n"
+    "          [--jobs <n>] [--master-seed <n>] [--duration <s>]\n"
+    "          [--scale <f>] [--csv <path>] [--agg-csv <path>]\n"
+    "          [--quiet]\n"
+    "every axis uses its registry spec grammar, e.g.\n"
+    "  --workloads memcached:qos=300us,stall=0.5\n"
+    "  --platforms juno:big=4,little=8\n"
+    "  --traces    mmpp:0.2,0.9,45\n"
+    "  --policies  hipster-in:bucket=8,learn=600\n"
+    "  --hazards   'none;hazard:thermal+interference'\n"
+    "  --telemetry telemetry:jsonl:path=trace.jsonl\n"
+    "see --list-workloads / --list-platforms / --list-traces /\n"
+    "--list-policies / --list-hazards / --list-telemetry for the\n"
+    "catalogs\n";
 
 CliOptions
 parse(int argc, char **argv)
@@ -127,88 +132,58 @@ parse(int argc, char **argv)
     // The CLI only reports summaries/aggregates; don't hold every
     // run's interval series for large campaigns.
     options.spec.keepSeries = false;
-    auto need = [&](int &i) -> const char * {
-        if (i + 1 >= argc)
-            usage(argv[0], 1);
-        return argv[++i];
-    };
+    const CliParser cli{argc, argv, kUsage};
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--policy" || arg == "--policies") {
+        if (cli.handleListFlag(arg)) {
+            // Unreachable: handleListFlag exits when it matches.
+        } else if (arg == "--policy" || arg == "--policies") {
             // Spec-aware splitting: key=value commas inside a spec
             // (hipster-in:bucket=8,learn=600) survive, ';' always
             // separates.
-            const std::string value = need(i);
+            const std::string value = cli.need(i);
             options.spec.policies = value == "all"
                                         ? tablePolicyNames()
                                         : splitPolicyList(value);
-        } else if (arg == "--list-policies") {
-            std::fputs(
-                PolicyRegistry::instance().catalogText().c_str(),
-                stdout);
-            std::exit(0);
         } else if (arg == "--workload" || arg == "--workloads") {
-            options.spec.workloads = splitWorkloadList(need(i));
-        } else if (arg == "--list-workloads") {
-            std::fputs(
-                WorkloadRegistry::instance().catalogText().c_str(),
-                stdout);
-            std::exit(0);
+            options.spec.workloads = splitWorkloadList(cli.need(i));
         } else if (arg == "--platform" || arg == "--platforms") {
-            options.spec.platforms = splitPlatformList(need(i));
-        } else if (arg == "--list-platforms") {
-            std::fputs(
-                PlatformRegistry::instance().catalogText().c_str(),
-                stdout);
-            std::exit(0);
+            options.spec.platforms = splitPlatformList(cli.need(i));
         } else if (arg == "--trace" || arg == "--traces") {
             // Spec-aware splitting: argument commas inside a spec
             // (mmpp:0.2,0.9,45) survive, ';' always separates.
-            options.spec.traces = splitTraceList(need(i));
-        } else if (arg == "--list-traces") {
-            std::fputs(
-                TraceRegistry::instance().catalogText().c_str(),
-                stdout);
-            std::exit(0);
+            options.spec.traces = splitTraceList(cli.need(i));
         } else if (arg == "--hazard" || arg == "--hazards") {
             // Spec-aware splitting: key=value commas inside a spec
             // (hazard:thermal:tdp_cap=0.8,tau=30s) survive, ';'
             // always separates.
-            options.spec.hazards = splitHazardList(need(i));
-        } else if (arg == "--list-hazards") {
-            std::fputs(
-                HazardRegistry::instance().catalogText().c_str(),
-                stdout);
-            std::exit(0);
+            options.spec.hazards = splitHazardList(cli.need(i));
         } else if (arg == "--migration") {
-            options.migration = need(i);
-        } else if (arg == "--list-migrations") {
-            std::fputs(
-                MigrationRegistry::instance().catalogText().c_str(),
-                stdout);
-            std::exit(0);
+            options.migration = cli.need(i);
+        } else if (arg == "--telemetry") {
+            options.spec.telemetry = cli.need(i);
         } else if (arg == "--seeds") {
-            options.spec.seeds = std::strtoull(need(i), nullptr, 10);
+            options.spec.seeds =
+                std::strtoull(cli.need(i), nullptr, 10);
         } else if (arg == "--jobs") {
-            options.jobs = std::strtoull(need(i), nullptr, 10);
+            options.jobs = std::strtoull(cli.need(i), nullptr, 10);
         } else if (arg == "--master-seed") {
             options.spec.masterSeed =
-                std::strtoull(need(i), nullptr, 10);
+                std::strtoull(cli.need(i), nullptr, 10);
         } else if (arg == "--duration") {
-            options.spec.duration = std::atof(need(i));
+            options.spec.duration = std::atof(cli.need(i));
         } else if (arg == "--scale") {
-            options.spec.durationScale = std::atof(need(i));
+            options.spec.durationScale = std::atof(cli.need(i));
         } else if (arg == "--csv") {
-            options.csvPath = need(i);
+            options.csvPath = cli.need(i);
         } else if (arg == "--agg-csv") {
-            options.aggCsvPath = need(i);
+            options.aggCsvPath = cli.need(i);
         } else if (arg == "--quiet") {
             options.quiet = true;
         } else if (arg == "--help" || arg == "-h") {
-            usage(argv[0], 0);
+            cli.usage(0);
         } else {
-            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
-            usage(argv[0], 1);
+            cli.unknown(arg);
         }
     }
     return options;
@@ -220,7 +195,7 @@ int
 main(int argc, char **argv)
 {
     const CliOptions options = parse(argc, argv);
-    try {
+    return runCli([&]() -> int {
         // Migration moves work BETWEEN nodes, so a single-node sweep
         // has nowhere to send it: validate against the catalog, then
         // insist on none (use hipster_fleet for mixed-ISA fleets).
@@ -269,9 +244,20 @@ main(int argc, char **argv)
             CsvWriter csv(options.aggCsvPath);
             writeAggregateCsv(csv, results);
         }
+        // Telemetry-armed campaigns report where traces went; off
+        // campaigns keep the historical byte layout.
+        const TelemetryConfig &telemetry = engine.telemetryConfig();
+        if (engine.sharedTelemetrySink()) {
+            const std::string text =
+                engine.sharedTelemetrySink()->summaryText();
+            if (!text.empty())
+                std::printf("\n%s\n", text.c_str());
+        } else if (!telemetry.isNone()) {
+            std::printf("\ntelemetry: %zu per-run %s traces at %s "
+                        "(.runNNNN suffix)\n",
+                        total, telemetry.sink.c_str(),
+                        telemetry.path.c_str());
+        }
         return 0;
-    } catch (const FatalError &e) {
-        std::fprintf(stderr, "error: %s\n", e.what());
-        return 1;
-    }
+    });
 }

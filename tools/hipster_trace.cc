@@ -1,0 +1,197 @@
+/**
+ * @file
+ * hipster_trace — offline analysis of JSONL telemetry traces
+ * produced by --telemetry telemetry:jsonl:path=... runs.
+ *
+ *   hipster_trace summarize trace.jsonl
+ *   hipster_trace filter trace.jsonl --only decision+hazard --node 2
+ *   hipster_trace filter trace.jsonl --from 100 --to 200 --out cut.jsonl
+ *   hipster_trace diff a.jsonl b.jsonl
+ *
+ * Subcommands:
+ *   summarize <trace>   per-node decision counts, chosen-config
+ *                       histogram, DVFS/hazard activity with hazard
+ *                       windows, dispatcher shares, phase-time
+ *                       breakdown and perf-counter status
+ *   filter <trace>      re-emit matching events as JSONL
+ *     --only <t1+t2>    keep only these event types (header and
+ *                       phase_profile always pass)
+ *     --node <n>        keep one node's events (-1 = untagged only)
+ *     --from <k>        keep intervals >= k
+ *     --to <k>          keep intervals <= k
+ *     --out <path>      write to a file instead of stdout
+ *   diff <a> <b>        compare two traces event-by-event (headers
+ *                       and wall-clock phase profiles are skipped);
+ *                       silent + exit 0 when equivalent, report +
+ *                       exit 1 when not
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "cli_util.hh"
+#include "common/logging.hh"
+#include "telemetry/sinks.hh"
+#include "telemetry/trace_analysis.hh"
+#include "telemetry/trace_io.hh"
+
+namespace
+{
+
+using namespace hipster;
+
+const char *kUsage =
+    "<subcommand> ...\n"
+    "  summarize <trace.jsonl>\n"
+    "  filter <trace.jsonl> [--only t1+t2] [--node n] [--from k]\n"
+    "         [--to k] [--out <path>]\n"
+    "  diff <a.jsonl> <b.jsonl>\n"
+    "traces are the JSONL files written by --telemetry\n"
+    "telemetry:jsonl:path=...; event types: header, decision, dvfs,\n"
+    "hazard, migration, dispatch, phase_profile\n";
+
+/** Parse a '+'-joined event-type list into a bitmask. */
+std::uint32_t
+parseTypeList(const std::string &value)
+{
+    std::uint32_t mask = 0;
+    std::size_t start = 0;
+    while (start <= value.size()) {
+        const std::size_t plus = value.find('+', start);
+        const std::string name =
+            value.substr(start, plus == std::string::npos
+                                    ? std::string::npos
+                                    : plus - start);
+        TelemetryEventType type;
+        if (!parseTelemetryEventType(name, type)) {
+            std::string known;
+            for (std::size_t i = 0; i < kTelemetryEventTypes; ++i) {
+                if (i > 0)
+                    known += ", ";
+                known += telemetryEventTypeName(
+                    static_cast<TelemetryEventType>(i));
+            }
+            fatal("--only: unknown event type '", name,
+                  "'; event types: ", known);
+        }
+        mask |= 1u << static_cast<unsigned>(type);
+        if (plus == std::string::npos)
+            break;
+        start = plus + 1;
+    }
+    // Headers and phase profiles ride along, mirroring the only=
+    // spec key: a filtered trace keeps its provenance and profile.
+    mask |= 1u << static_cast<unsigned>(TelemetryEventType::Header);
+    mask |=
+        1u << static_cast<unsigned>(TelemetryEventType::PhaseProfile);
+    return mask;
+}
+
+int
+runSummarize(const std::string &path)
+{
+    const std::vector<TelemetryEvent> events = readTraceFile(path);
+    const TraceSummary summary = summarizeTrace(events);
+    std::fputs(renderTraceSummary(summary).c_str(), stdout);
+    return 0;
+}
+
+int
+runFilter(const CliParser &cli, int argc, char **argv)
+{
+    std::string path;
+    std::string outPath;
+    TraceFilter filter;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--only") {
+            filter.typeMask = parseTypeList(cli.need(i));
+        } else if (arg == "--node") {
+            filter.node =
+                static_cast<int>(std::strtol(cli.need(i), nullptr, 10));
+        } else if (arg == "--from") {
+            filter.minInterval =
+                std::strtoull(cli.need(i), nullptr, 10);
+        } else if (arg == "--to") {
+            filter.maxInterval =
+                std::strtoull(cli.need(i), nullptr, 10);
+        } else if (arg == "--out") {
+            outPath = cli.need(i);
+        } else if (!arg.empty() && arg[0] == '-') {
+            cli.unknown(arg);
+        } else if (path.empty()) {
+            path = arg;
+        } else {
+            cli.unknown(arg);
+        }
+    }
+    if (path.empty())
+        fatal("filter: no trace file given");
+
+    const std::vector<TelemetryEvent> events = readTraceFile(path);
+    const std::vector<TelemetryEvent> kept =
+        filterTrace(events, filter);
+    std::FILE *out = stdout;
+    if (!outPath.empty()) {
+        out = std::fopen(outPath.c_str(), "w");
+        if (!out)
+            fatal("telemetry: cannot open filter output path '",
+                  outPath, "' for writing");
+    }
+    for (const TelemetryEvent &event : kept) {
+        const std::string line = telemetryEventToJson(event);
+        std::fwrite(line.data(), 1, line.size(), out);
+        std::fputc('\n', out);
+    }
+    if (out != stdout)
+        std::fclose(out);
+    std::fprintf(stderr, "filter: kept %zu of %zu events\n",
+                 kept.size(), events.size());
+    return 0;
+}
+
+int
+runDiff(const std::string &pathA, const std::string &pathB)
+{
+    const std::string report =
+        diffTraces(readTraceFile(pathA), readTraceFile(pathB));
+    if (report.empty()) {
+        std::printf("traces are equivalent (headers and phase "
+                    "profiles ignored)\n");
+        return 0;
+    }
+    std::fputs(report.c_str(), stdout);
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliParser cli{argc, argv, kUsage};
+    return runCli([&]() -> int {
+        if (argc < 2)
+            cli.usage(1);
+        const std::string sub = argv[1];
+        if (sub == "--help" || sub == "-h")
+            cli.usage(0);
+        if (sub == "summarize") {
+            if (argc != 3)
+                cli.usage(1);
+            return runSummarize(argv[2]);
+        }
+        if (sub == "filter")
+            return runFilter(cli, argc, argv);
+        if (sub == "diff") {
+            if (argc != 4)
+                cli.usage(1);
+            return runDiff(argv[2], argv[3]);
+        }
+        std::fprintf(stderr, "error: unknown subcommand: %s\n",
+                     sub.c_str());
+        cli.usage(1);
+    });
+}
